@@ -1,0 +1,33 @@
+"""Ablation benchmark A2 — FreeBS vs FreeRS cross-over under equal memory.
+
+Regenerates the early-vs-late arrival comparison of Section IV-C and asserts
+its two qualitative claims: bit sharing is at least as accurate for the
+early group, and each empirical error stays below the corresponding
+analytic bound of Theorems 1/2 (up to sampling noise).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_ablation_freebs_vs_freers(benchmark, bench_config, save_table):
+    """Regenerate the FreeBS-vs-FreeRS cross-over table and check its claims."""
+    table = benchmark.pedantic(
+        run_experiment,
+        args=("ablation_bs_vs_rs", bench_config),
+        kwargs={"group_users": 120, "cardinality": 200},
+        rounds=1,
+        iterations=1,
+    )
+    save_table("ablation_bs_vs_rs", table)
+    rows = {(row["group"], row["method"]): row for row in table.row_dicts()}
+
+    # Early group: bit sharing at least as accurate as register sharing.
+    early_bs = rows[("early_users", "FreeBS")]["empirical_rse"]
+    early_rs = rows[("early_users", "FreeRS")]["empirical_rse"]
+    assert early_bs <= early_rs * 1.1
+
+    # Empirical errors respect the analytic bounds (up to 50% sampling slack).
+    for (group, method), row in rows.items():
+        assert row["empirical_rse"] <= 1.5 * row["analytic_rse_bound"] + 0.02, (group, method)

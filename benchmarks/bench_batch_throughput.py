@@ -1,0 +1,85 @@
+"""Throughput benchmark of the vectorised batch path vs the scalar path.
+
+Not a paper artefact: documents how far the pure-Python implementation can be
+pushed for high-rate stream replay (the reproduction's known weak point) and
+guards the batch path's speed advantage against regressions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import FreeBS, FreeBSBatch, FreeRS, FreeRSBatch, encode_int_pairs
+
+_RNG = np.random.default_rng(17)
+_USERS = _RNG.integers(0, 500, size=50_000)
+_ITEMS = _RNG.integers(0, 20_000, size=50_000)
+_PAIRS = [(int(user), int(item)) for user, item in zip(_USERS[:5_000], _ITEMS[:5_000])]
+_ENCODED = encode_int_pairs(_USERS, _ITEMS)
+
+
+def test_freebs_scalar_5k_pairs(benchmark):
+    """Scalar FreeBS over 5k pairs (baseline for the speedup comparison)."""
+
+    def run():
+        estimator = FreeBS(1 << 20, seed=1)
+        for user, item in _PAIRS:
+            estimator.update(user, item)
+        return estimator
+
+    benchmark(run)
+
+
+def test_freebs_batch_50k_pairs_encoded(benchmark):
+    """Vectorised FreeBS over 50k pre-encoded pairs (the high-rate path)."""
+
+    def run():
+        estimator = FreeBSBatch(1 << 20, seed=1)
+        estimator.update_batch_encoded(*_ENCODED)
+        return estimator
+
+    benchmark(run)
+
+
+def test_freers_scalar_5k_pairs(benchmark):
+    """Scalar FreeRS over 5k pairs."""
+
+    def run():
+        estimator = FreeRS((1 << 20) // 5, seed=1)
+        for user, item in _PAIRS:
+            estimator.update(user, item)
+        return estimator
+
+    benchmark(run)
+
+
+def test_freers_batch_50k_pairs_encoded(benchmark):
+    """Vectorised FreeRS over 50k pre-encoded pairs."""
+
+    def run():
+        estimator = FreeRSBatch((1 << 20) // 5, seed=1)
+        estimator.update_batch_encoded(*_ENCODED)
+        return estimator
+
+    benchmark(run)
+
+
+def test_batch_path_is_faster_per_pair(benchmark):
+    """Assert the batch path's per-pair cost beats the scalar path by >3x."""
+    import time
+
+    def measure():
+        start = time.perf_counter()
+        scalar = FreeBS(1 << 20, seed=2)
+        for user, item in _PAIRS:
+            scalar.update(user, item)
+        scalar_seconds_per_pair = (time.perf_counter() - start) / len(_PAIRS)
+
+        start = time.perf_counter()
+        batch = FreeBSBatch(1 << 20, seed=2)
+        batch.update_batch_encoded(*_ENCODED)
+        batch_seconds_per_pair = (time.perf_counter() - start) / len(_USERS)
+        return scalar_seconds_per_pair, batch_seconds_per_pair
+
+    scalar_cost, batch_cost = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert batch_cost * 3 < scalar_cost

@@ -1,0 +1,80 @@
+"""Benchmark / regeneration target for Figure 3 (per-update runtime vs m).
+
+Two parts:
+
+* the experiment run that regenerates the figure's series (per-update time
+  as a function of the virtual sketch size m for all six methods);
+* direct pytest-benchmark micro-benchmarks of a single ``update`` call for
+  the two proposed methods and the two virtual-sketch baselines, which give
+  tighter per-call numbers than the coarse experiment loop.
+
+The assertion encodes the paper's complexity claim: FreeBS/FreeRS update time
+is flat in m, while CSE/vHLL grow with m.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.baselines import CSE, VirtualHLL
+from repro.core import FreeBS, FreeRS
+from repro.experiments import run_experiment
+
+
+def test_figure3_runtime_vs_m(benchmark, bench_config, save_table):
+    """Regenerate the Figure 3 series and check the O(1)-vs-O(m) shape."""
+    # Sweep two orders of magnitude in m so the O(m) term dominates the
+    # vectorised constant overhead of the virtual-sketch scan.
+    sweep = [64, 256, 1024, 4096]
+    table = benchmark.pedantic(
+        run_experiment,
+        args=("figure3", bench_config),
+        kwargs={"sweep": sweep, "pairs_per_point": 2_000},
+        rounds=1,
+        iterations=1,
+    )
+    save_table("figure3_runtime", table)
+    rows = table.row_dicts()
+    first, last = rows[0], rows[-1]
+    # CSE and vHLL slow down measurably as m grows 64x ...
+    assert last["CSE"] > 1.3 * first["CSE"]
+    assert last["vHLL"] > 1.3 * first["vHLL"]
+    # ... while the proposed methods stay within noise of flat.
+    assert last["FreeBS"] < 2.0 * first["FreeBS"]
+    assert last["FreeRS"] < 2.0 * first["FreeRS"]
+
+
+def _drive(estimator, pairs):
+    for user, item in pairs:
+        estimator.update(user, item)
+
+
+_PAIRS = [(user, item) for user, item in zip(itertools.cycle(range(50)), range(500))]
+
+
+def test_update_freebs(benchmark, bench_config):
+    """Per-update cost of FreeBS (O(1) per pair)."""
+    benchmark(lambda: _drive(FreeBS(bench_config.memory_bits), _PAIRS))
+
+
+def test_update_freers(benchmark, bench_config):
+    """Per-update cost of FreeRS (O(1) per pair)."""
+    benchmark(lambda: _drive(FreeRS(bench_config.registers), _PAIRS))
+
+
+def test_update_cse(benchmark, bench_config):
+    """Per-update cost of CSE (O(m) estimate refresh per pair)."""
+    benchmark(
+        lambda: _drive(
+            CSE(bench_config.memory_bits, virtual_size=bench_config.virtual_size), _PAIRS
+        )
+    )
+
+
+def test_update_vhll(benchmark, bench_config):
+    """Per-update cost of vHLL (O(m) estimate refresh per pair)."""
+    benchmark(
+        lambda: _drive(
+            VirtualHLL(bench_config.registers, virtual_size=bench_config.virtual_size), _PAIRS
+        )
+    )

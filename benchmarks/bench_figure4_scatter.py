@@ -1,0 +1,42 @@
+"""Benchmark / regeneration target for Figure 4 (estimated vs actual, Orkut).
+
+Regenerates the per-method scatter summaries on the Orkut stand-in.  The
+assertions encode the figure's qualitative content: FreeBS/FreeRS bucket
+means hug the diagonal across the whole range, while CSE saturates for
+heavy users (its mean estimate stops growing near m ln m).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import run_experiment
+
+
+def test_figure4_scatter(benchmark, bench_config, save_table):
+    """Regenerate the Figure 4 scatter summaries on the Orkut stand-in."""
+    table = benchmark.pedantic(
+        run_experiment,
+        args=("figure4", bench_config),
+        kwargs={"dataset": "Orkut"},
+        rounds=1,
+        iterations=1,
+    )
+    save_table("figure4_scatter", table)
+    rows = table.row_dicts()
+
+    def buckets(method):
+        return [row for row in rows if row["method"] == method]
+
+    # FreeBS and FreeRS stay near the diagonal in every populated bucket.
+    for method in ("FreeBS", "FreeRS"):
+        for row in buckets(method):
+            center = row["actual_bucket"]
+            if center >= 10:  # tiny buckets are dominated by quantisation
+                assert 0.5 * center <= row["mean_estimate"] <= 2.0 * center, (
+                    method,
+                    row,
+                )
+    # CSE cannot exceed its m ln m range: its largest mean estimate is capped.
+    cse_cap = bench_config.virtual_size * math.log(bench_config.virtual_size)
+    assert max(row["mean_estimate"] for row in buckets("CSE")) <= cse_cap * 1.1

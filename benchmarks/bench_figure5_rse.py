@@ -1,0 +1,48 @@
+"""Benchmark / regeneration target for Figure 5 (RSE vs cardinality).
+
+Regenerates the headline accuracy comparison on every configured dataset and
+asserts the paper's central result: under equal memory, the proposed
+parameter-free methods (FreeBS, FreeRS) have lower error than the virtual
+sketch baselines (CSE, vHLL) on every dataset.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_figure5_rse_curves(benchmark, bench_config, save_table):
+    """Regenerate the Figure 5 RSE curves and check the method ordering."""
+    table = benchmark.pedantic(
+        run_experiment, args=("figure5", bench_config), rounds=1, iterations=1
+    )
+    save_table("figure5_rse", table)
+    rows = table.row_dicts()
+
+    # Per-dataset weighted mean RSE (weights = users per bucket) per method.
+    for dataset in bench_config.datasets:
+        summary = defaultdict(lambda: [0.0, 0.0])
+        for row in rows:
+            if row["dataset"] != dataset:
+                continue
+            total, weight = summary[row["method"]]
+            summary[row["method"]] = [
+                total + row["rse"] * row["users_in_bucket"],
+                weight + row["users_in_bucket"],
+            ]
+        mean_rse = {method: total / weight for method, (total, weight) in summary.items()}
+        assert mean_rse["FreeBS"] < mean_rse["CSE"], (dataset, mean_rse)
+        assert mean_rse["FreeBS"] < mean_rse["vHLL"], (dataset, mean_rse)
+        assert mean_rse["FreeRS"] < mean_rse["vHLL"], (dataset, mean_rse)
+
+    # Aggregate advantage across all datasets (paper: often orders of magnitude).
+    overall = defaultdict(list)
+    for row in rows:
+        overall[row["method"]].append(row["rse"])
+    proposed = min(np.mean(overall["FreeBS"]), np.mean(overall["FreeRS"]))
+    baseline = max(np.mean(overall["CSE"]), np.mean(overall["vHLL"]))
+    assert baseline / max(proposed, 1e-9) > 2.0

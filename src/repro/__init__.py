@@ -1,0 +1,39 @@
+"""FreeSketch reproduction library.
+
+Reproduction of "Utilizing Dynamic Properties of Sharing Bits and Registers
+to Estimate User Cardinalities over Time" (Wang et al., ICDE 2019).
+
+The package estimates, at every point in a (user, item) graph stream, the
+cardinality (number of distinct connected items) of every user, using a
+memory budget shared by all users.
+
+Quick start::
+
+    from repro import FreeRS
+    from repro.streams import zipf_bipartite_stream
+
+    estimator = FreeRS(registers=1 << 16)
+    for user, item in zipf_bipartite_stream(n_users=1000, n_pairs=100_000, seed=7):
+        estimator.update(user, item)
+    heavy = max(estimator.estimates(), key=estimator.estimate)
+
+The estimators exported at the top level all implement the common
+:class:`repro.core.base.CardinalityEstimator` interface.
+"""
+
+from repro.core import CardinalityEstimator, FreeBS, FreeRS
+from repro.baselines import CSE, ExactCounter, PerUserHLLPP, PerUserLPC, VirtualHLL
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CardinalityEstimator",
+    "FreeBS",
+    "FreeRS",
+    "CSE",
+    "VirtualHLL",
+    "PerUserLPC",
+    "PerUserHLLPP",
+    "ExactCounter",
+    "__version__",
+]

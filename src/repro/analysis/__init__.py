@@ -1,0 +1,60 @@
+"""Metrics, analytic error models and distribution tools used by the evaluation.
+
+* :mod:`repro.analysis.metrics` — the paper's accuracy metrics (RSE per
+  cardinality, aggregate error summaries, scatter summaries).
+* :mod:`repro.analysis.estimator_math` — the combinatorial quantities behind
+  the estimators (``alpha_m``, Stirling occupancy laws, ``E[1/q]``
+  approximations from Theorems 1 and 2).
+* :mod:`repro.analysis.variance` — closed-form variance/bias models of every
+  method (LPC, HLL, CSE, vHLL, FreeBS, FreeRS) used to cross-check the
+  empirical errors.
+* :mod:`repro.analysis.ccdf` — complementary CDFs of user cardinalities
+  (paper Figure 2).
+"""
+
+from repro.analysis.metrics import (
+    ErrorSummary,
+    aggregate_error,
+    mean_absolute_relative_error,
+    relative_standard_error,
+    rse_by_cardinality,
+    rse_curve,
+    scatter_summary,
+)
+from repro.analysis.estimator_math import (
+    expected_inverse_q_bits,
+    expected_inverse_q_registers,
+    occupancy_distribution,
+    stirling2,
+)
+from repro.analysis.variance import (
+    cse_variance,
+    freebs_variance_bound,
+    freers_variance_bound,
+    hll_relative_error,
+    lpc_variance,
+    vhll_variance,
+)
+from repro.analysis.ccdf import ccdf, ccdf_from_stream
+
+__all__ = [
+    "ErrorSummary",
+    "relative_standard_error",
+    "mean_absolute_relative_error",
+    "rse_by_cardinality",
+    "rse_curve",
+    "aggregate_error",
+    "scatter_summary",
+    "stirling2",
+    "occupancy_distribution",
+    "expected_inverse_q_bits",
+    "expected_inverse_q_registers",
+    "lpc_variance",
+    "hll_relative_error",
+    "cse_variance",
+    "vhll_variance",
+    "freebs_variance_bound",
+    "freers_variance_bound",
+    "ccdf",
+    "ccdf_from_stream",
+]

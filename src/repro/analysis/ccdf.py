@@ -1,0 +1,81 @@
+"""Complementary CDFs of user cardinalities (paper Figure 2).
+
+Figure 2 of the paper shows, for every dataset, the fraction of users whose
+cardinality is at least ``n`` as a function of ``n`` on log-log axes; all six
+curves are approximately straight lines (power-law tails).  The functions
+here compute that curve from exact per-user cardinalities and evaluate it at
+logarithmically spaced points so the benchmark can print a compact series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.streams.stream import GraphStream
+
+
+def ccdf(cardinalities: Mapping[object, int] | Sequence[int]) -> List[Tuple[int, float]]:
+    """Return the CCDF of a cardinality collection as ``(n, P(N >= n))`` pairs.
+
+    The returned points are the distinct observed cardinalities in increasing
+    order, which is the exact empirical CCDF.
+    """
+    if isinstance(cardinalities, Mapping):
+        values = np.array(list(cardinalities.values()), dtype=np.int64)
+    else:
+        values = np.array(list(cardinalities), dtype=np.int64)
+    if values.size == 0:
+        return []
+    values = np.sort(values)
+    total = values.size
+    points: List[Tuple[int, float]] = []
+    distinct, first_index = np.unique(values, return_index=True)
+    for value, index in zip(distinct, first_index):
+        points.append((int(value), float((total - index) / total)))
+    return points
+
+
+def ccdf_at(
+    cardinalities: Mapping[object, int] | Sequence[int], thresholds: Sequence[int]
+) -> Dict[int, float]:
+    """Evaluate the CCDF at the given thresholds (``P(N >= threshold)``)."""
+    if isinstance(cardinalities, Mapping):
+        values = np.array(list(cardinalities.values()), dtype=np.int64)
+    else:
+        values = np.array(list(cardinalities), dtype=np.int64)
+    results: Dict[int, float] = {}
+    total = values.size
+    for threshold in thresholds:
+        if total == 0:
+            results[int(threshold)] = 0.0
+        else:
+            results[int(threshold)] = float(np.count_nonzero(values >= threshold) / total)
+    return results
+
+
+def logarithmic_thresholds(max_value: int, points_per_decade: int = 3) -> List[int]:
+    """Return logarithmically spaced integer thresholds from 1 to ``max_value``."""
+    if max_value < 1:
+        return [1]
+    thresholds: List[int] = []
+    exponent = 0.0
+    while 10**exponent <= max_value:
+        value = int(round(10**exponent))
+        if not thresholds or value > thresholds[-1]:
+            thresholds.append(value)
+        exponent += 1.0 / points_per_decade
+    if thresholds[-1] != max_value:
+        thresholds.append(max_value)
+    return thresholds
+
+
+def ccdf_from_stream(stream: GraphStream, points_per_decade: int = 3) -> List[Tuple[int, float]]:
+    """Compute a compact CCDF series (log-spaced thresholds) for a stream."""
+    cardinalities = stream.cardinalities()
+    if not cardinalities:
+        return []
+    thresholds = logarithmic_thresholds(max(cardinalities.values()), points_per_decade)
+    evaluated = ccdf_at(cardinalities, thresholds)
+    return [(threshold, evaluated[threshold]) for threshold in thresholds]

@@ -1,0 +1,131 @@
+"""Combinatorial quantities behind the paper's estimators and theorems.
+
+This module implements, exactly where feasible and with the paper's own
+approximations otherwise:
+
+* Stirling numbers of the second kind and the bit-occupancy distribution
+  ``P(m0 = M - j | n)`` used in the proof of Theorem 1,
+* the exact and approximate ``E[1/q_B]`` of Theorem 1 (bit sharing),
+* the approximate ``E[1/q_R]`` of Theorem 2 (register sharing),
+* helpers shared by the analytic variance models in
+  :mod:`repro.analysis.variance`.
+
+Exact formulas are only tractable for small ``M`` and ``n`` (they involve
+sums over Stirling numbers); the test-suite uses them to validate the
+approximations on small instances, and the experiment harness always uses
+the approximations.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Dict, List
+
+from repro.sketches.hll import alpha_m
+
+
+@lru_cache(maxsize=None)
+def stirling2(n: int, k: int) -> int:
+    """Stirling number of the second kind S(n, k) (exact integer arithmetic).
+
+    S(n, k) counts the ways to partition ``n`` labelled elements into ``k``
+    non-empty unlabelled blocks.  Computed with the standard recurrence
+    ``S(n, k) = k S(n-1, k) + S(n-1, k-1)``.
+    """
+    if n < 0 or k < 0:
+        raise ValueError("n and k must be non-negative")
+    if n == 0 and k == 0:
+        return 1
+    if n == 0 or k == 0:
+        return 0
+    if k > n:
+        return 0
+    return k * stirling2(n - 1, k) + stirling2(n - 1, k - 1)
+
+
+def occupancy_distribution(n: int, m: int) -> Dict[int, float]:
+    """Distribution of the number of occupied cells after ``n`` balls into ``m`` bins.
+
+    Returns ``{j: P(exactly j occupied)}`` for ``j = 0..min(n, m)``, using
+    ``P(j) = C(m, j) * j! * S(n, j) / m^n``.  This is the law of the number of
+    set bits of FreeBS after ``n`` distinct pairs (paper, proof of Theorem 1).
+    """
+    if n < 0 or m <= 0:
+        raise ValueError("n must be non-negative and m positive")
+    if n == 0:
+        return {0: 1.0}
+    total = float(m) ** n
+    distribution: Dict[int, float] = {}
+    for j in range(1, min(n, m) + 1):
+        ways = math.comb(m, j) * math.factorial(j) * stirling2(n, j)
+        distribution[j] = ways / total
+    return distribution
+
+
+def expected_inverse_q_bits_exact(n: int, m: int) -> float:
+    """Exact ``E[1/q_B]`` after ``n`` distinct pairs in an ``m``-bit array.
+
+    ``q_B = (m - occupied)/m``, so ``E[1/q_B] = sum_j P(occupied = j) * m/(m-j)``.
+    Only defined while the array cannot be full (``n < m`` guarantees it);
+    feasible for small instances only — O(n*m) Stirling evaluations.
+    """
+    if n >= m:
+        raise ValueError("exact E[1/q_B] requires n < m (array must not fill)")
+    distribution = occupancy_distribution(n, m)
+    return sum(p * m / (m - j) for j, p in distribution.items())
+
+
+def expected_inverse_q_bits(n: float, m: int) -> float:
+    """Paper's approximation of ``E[1/q_B]`` (Theorem 1).
+
+    ``E[1/q_B] ~= e^(n/M) * (1 + (e^(n/M) - n/M - 1)/M)``.
+    """
+    if m <= 0:
+        raise ValueError("m must be positive")
+    load = n / m
+    return math.exp(load) * (1.0 + (math.exp(load) - load - 1.0) / m)
+
+
+def expected_inverse_q_registers(n: float, m: int) -> float:
+    """Paper's approximation of ``E[1/q_R]`` (Theorem 2).
+
+    For ``n > 2.5 M`` the paper shows ``E[1/q_R] ~= n / (alpha_M * M)``
+    (about ``1.386 n / M`` for large ``M``); below that load the register
+    array still contains zero registers and behaves like a bitmap, so the
+    bit-sharing approximation with ``m`` registers is used instead.
+    """
+    if m <= 0:
+        raise ValueError("m must be positive")
+    if n > 2.5 * m:
+        return n / (alpha_m(m) * m)
+    return expected_inverse_q_bits(n, m)
+
+
+def harmonic_partial_sum(m: int) -> float:
+    """``sum_{i=1..M} M/i``: the maximum value FreeBS's estimate can reach.
+
+    The paper states the FreeBS estimation range is ``sum_{i=1..M} M/i ~ M ln M``.
+    """
+    if m <= 0:
+        raise ValueError("m must be positive")
+    return m * sum(1.0 / i for i in range(1, m + 1))
+
+
+def geometric_register_distribution(n: int, width: int) -> List[float]:
+    """Distribution of a single HLL register after ``n`` distinct elements.
+
+    Returns ``[P(R = 0), P(R = 1), ..., P(R = max)]`` where
+    ``P(R <= k) = (1 - 2^-k)^n`` and the register saturates at
+    ``max = 2^width - 1``.  Used by the analytic FreeRS model and the tests.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if width <= 0:
+        raise ValueError("width must be positive")
+    max_value = (1 << width) - 1
+    cdf = [(1.0 - 2.0 ** (-k)) ** n if k > 0 else (0.0 if n > 0 else 1.0) for k in range(max_value + 1)]
+    # Saturation: P(R <= max) = 1 by construction.
+    cdf[-1] = 1.0
+    pmf = [cdf[0]] + [cdf[k] - cdf[k - 1] for k in range(1, max_value + 1)]
+    return [max(0.0, p) for p in pmf]

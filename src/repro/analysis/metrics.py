@@ -1,0 +1,200 @@
+"""Accuracy metrics used in the paper's evaluation (Section V-C).
+
+The central metric is the *relative standard error* at a given true
+cardinality ``n``:
+
+    RSE(n) = (1/n) * sqrt( mean over users with cardinality n of (n_hat - n)^2 )
+
+which the paper plots against ``n`` (Figure 5).  Because real cardinalities
+rarely repeat exactly, :func:`rse_curve` also supports geometric bucketing so
+that each point aggregates users with *similar* cardinalities, which is how
+the figures are usually rendered.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Aggregate error statistics of one estimator over one workload."""
+
+    count: int
+    mean_relative_error: float
+    mean_absolute_relative_error: float
+    rse: float
+    max_relative_error: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the summary as a plain dictionary (for reports/CSV)."""
+        return {
+            "count": float(self.count),
+            "mean_relative_error": self.mean_relative_error,
+            "mean_absolute_relative_error": self.mean_absolute_relative_error,
+            "rse": self.rse,
+            "max_relative_error": self.max_relative_error,
+        }
+
+
+def _paired_arrays(
+    truth: Mapping[object, float], estimates: Mapping[object, float], minimum_cardinality: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    users = [user for user, true in truth.items() if true >= minimum_cardinality]
+    true_values = np.array([truth[user] for user in users], dtype=np.float64)
+    estimated = np.array([estimates.get(user, 0.0) for user in users], dtype=np.float64)
+    return true_values, estimated
+
+
+def relative_standard_error(
+    truth: Mapping[object, float],
+    estimates: Mapping[object, float],
+    minimum_cardinality: int = 1,
+) -> float:
+    """RSE over all users with true cardinality >= ``minimum_cardinality``."""
+    true_values, estimated = _paired_arrays(truth, estimates, minimum_cardinality)
+    if true_values.size == 0:
+        return 0.0
+    relative = (estimated - true_values) / true_values
+    return float(np.sqrt(np.mean(relative**2)))
+
+
+def mean_absolute_relative_error(
+    truth: Mapping[object, float],
+    estimates: Mapping[object, float],
+    minimum_cardinality: int = 1,
+) -> float:
+    """Mean of |n_hat - n| / n over users with cardinality >= the minimum."""
+    true_values, estimated = _paired_arrays(truth, estimates, minimum_cardinality)
+    if true_values.size == 0:
+        return 0.0
+    return float(np.mean(np.abs(estimated - true_values) / true_values))
+
+
+def aggregate_error(
+    truth: Mapping[object, float],
+    estimates: Mapping[object, float],
+    minimum_cardinality: int = 1,
+) -> ErrorSummary:
+    """Return the full :class:`ErrorSummary` for one estimator."""
+    true_values, estimated = _paired_arrays(truth, estimates, minimum_cardinality)
+    if true_values.size == 0:
+        return ErrorSummary(0, 0.0, 0.0, 0.0, 0.0)
+    relative = (estimated - true_values) / true_values
+    return ErrorSummary(
+        count=int(true_values.size),
+        mean_relative_error=float(np.mean(relative)),
+        mean_absolute_relative_error=float(np.mean(np.abs(relative))),
+        rse=float(np.sqrt(np.mean(relative**2))),
+        max_relative_error=float(np.max(np.abs(relative))),
+    )
+
+
+def rse_by_cardinality(
+    truth: Mapping[object, float],
+    estimates: Mapping[object, float],
+) -> Dict[int, float]:
+    """RSE computed separately for every exact cardinality value.
+
+    This is the paper's definition of ``RSE(n)`` verbatim: group users by
+    exact true cardinality and compute the root-mean-square relative error
+    inside each group.
+    """
+    groups: Dict[int, List[float]] = {}
+    for user, true_value in truth.items():
+        n = int(true_value)
+        if n <= 0:
+            continue
+        estimate = estimates.get(user, 0.0)
+        groups.setdefault(n, []).append((estimate - n) / n)
+    return {
+        n: float(np.sqrt(np.mean(np.square(errors)))) for n, errors in sorted(groups.items())
+    }
+
+
+def rse_curve(
+    truth: Mapping[object, float],
+    estimates: Mapping[object, float],
+    buckets_per_decade: int = 4,
+    minimum_cardinality: int = 1,
+) -> List[Tuple[float, float, int]]:
+    """RSE aggregated in geometric cardinality buckets.
+
+    Returns a list of ``(bucket_center, rse, user_count)`` tuples, which is
+    the series plotted in Figure 5 for each method.
+    """
+    if buckets_per_decade <= 0:
+        raise ValueError("buckets_per_decade must be positive")
+    groups: Dict[int, List[float]] = {}
+    for user, true_value in truth.items():
+        n = float(true_value)
+        if n < minimum_cardinality:
+            continue
+        bucket = int(math.floor(math.log10(n) * buckets_per_decade)) if n > 0 else 0
+        estimate = estimates.get(user, 0.0)
+        groups.setdefault(bucket, []).append((estimate - n) / n)
+    curve: List[Tuple[float, float, int]] = []
+    for bucket, errors in sorted(groups.items()):
+        center = 10 ** ((bucket + 0.5) / buckets_per_decade)
+        rse = float(np.sqrt(np.mean(np.square(errors))))
+        curve.append((center, rse, len(errors)))
+    return curve
+
+
+def scatter_summary(
+    truth: Mapping[object, float],
+    estimates: Mapping[object, float],
+    buckets_per_decade: int = 4,
+) -> List[Tuple[float, float, float, float]]:
+    """Summarise an estimated-vs-actual scatter (Figure 4) per geometric bucket.
+
+    Returns ``(bucket_center, mean_estimate, p10_estimate, p90_estimate)``
+    rows: a compact textual stand-in for the paper's scatter plots that still
+    shows bias (mean away from the diagonal) and spread (p10/p90 band).
+    """
+    groups: Dict[int, List[float]] = {}
+    for user, true_value in truth.items():
+        n = float(true_value)
+        if n <= 0:
+            continue
+        bucket = int(math.floor(math.log10(n) * buckets_per_decade))
+        groups.setdefault(bucket, []).append(estimates.get(user, 0.0))
+    rows: List[Tuple[float, float, float, float]] = []
+    for bucket, values in sorted(groups.items()):
+        center = 10 ** ((bucket + 0.5) / buckets_per_decade)
+        array = np.array(values, dtype=np.float64)
+        rows.append(
+            (
+                center,
+                float(np.mean(array)),
+                float(np.percentile(array, 10)),
+                float(np.percentile(array, 90)),
+            )
+        )
+    return rows
+
+
+def detection_confusion(
+    true_positives: Iterable[object],
+    detected: Iterable[object],
+    population: int,
+) -> Tuple[float, float]:
+    """Return (FNR, FPR) for a detection task.
+
+    ``FNR`` is the fraction of true positives that were missed; ``FPR`` is the
+    fraction of the whole population wrongly reported (the paper's Figure 6 /
+    Table II definitions).
+    """
+    truth_set = set(true_positives)
+    detected_set = set(detected)
+    if truth_set:
+        fnr = len(truth_set - detected_set) / len(truth_set)
+    else:
+        fnr = 0.0
+    false_positives = len(detected_set - truth_set)
+    fpr = false_positives / population if population > 0 else 0.0
+    return fnr, fpr

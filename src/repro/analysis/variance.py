@@ -1,0 +1,110 @@
+"""Closed-form error models of every method compared in the paper.
+
+These formulas come straight from Sections III and IV of the paper (and the
+original LPC / HLL / CSE / vHLL papers it cites).  They serve two purposes:
+
+* the test-suite checks that the *empirical* error of each implementation is
+  within a constant factor of its analytic prediction on controlled
+  workloads, which guards against silent estimator bugs;
+* the ablation experiments report analytic-vs-empirical error side by side,
+  reproducing the discussion of Section IV-C (when does bit sharing beat
+  register sharing, and by how much).
+
+All functions return a *variance* unless the name says otherwise; callers
+convert to a relative standard error via ``sqrt(var)/n``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.estimator_math import (
+    expected_inverse_q_bits,
+    expected_inverse_q_registers,
+)
+from repro.sketches.hll import beta_m
+
+
+def lpc_variance(n: float, m: int) -> float:
+    """Variance of a private LPC sketch of ``m`` bits at true cardinality ``n``."""
+    if m <= 0:
+        raise ValueError("m must be positive")
+    load = n / m
+    return m * (math.exp(load) - load - 1.0)
+
+
+def lpc_bias(n: float, m: int) -> float:
+    """Bias of a private LPC sketch of ``m`` bits at true cardinality ``n``."""
+    load = n / m
+    return 0.5 * (math.exp(load) - load - 1.0)
+
+
+def hll_relative_error(m: int) -> float:
+    """Asymptotic relative standard error of HLL with ``m`` registers."""
+    if m <= 0:
+        raise ValueError("m must be positive")
+    return beta_m(m) / math.sqrt(m)
+
+
+def cse_variance(n_user: float, n_total: float, m: int, memory_bits: int) -> float:
+    """Approximate variance of CSE for a user of cardinality ``n_user``.
+
+    Follows the expression quoted in Section IV-C of the paper:
+    ``Var ~= m (E[1/q] e^{n_s/m} - n_s/m - 1)`` with
+    ``E[1/q] ~= e^{n_total/M}`` (the global fill of the shared array).
+    """
+    if m <= 0 or memory_bits <= 0:
+        raise ValueError("m and memory_bits must be positive")
+    expected_inverse_q = math.exp(n_total / memory_bits)
+    return m * (expected_inverse_q * math.exp(n_user / m) - n_user / m - 1.0)
+
+
+def vhll_variance(n_user: float, n_total: float, m: int, registers: int) -> float:
+    """Approximate variance of vHLL for a user of cardinality ``n_user``.
+
+    Expression from Section III-B.2 of the paper:
+    ``Var ~= (M/(M-m))^2 [ (1.04^2/m)(n_s + (n-n_s) m/M)^2
+             + (n-n_s)(m/M)(1-m/M) + (1.04 n m)^2 / M^3 ]``.
+    """
+    if m <= 0 or registers <= 0:
+        raise ValueError("m and registers must be positive")
+    if m >= registers:
+        raise ValueError("m must be smaller than the number of registers")
+    noise = (n_total - n_user) * m / registers
+    scale = (registers / (registers - m)) ** 2
+    term_sampling = (1.04**2 / m) * (n_user + noise) ** 2
+    term_noise = (n_total - n_user) * (m / registers) * (1.0 - m / registers)
+    term_global = (1.04 * n_total * m) ** 2 / registers**3
+    return scale * (term_sampling + term_noise + term_global)
+
+
+def freebs_variance_bound(n_user: float, n_total: float, memory_bits: int) -> float:
+    """Theorem 1 upper bound: ``Var <= n_s (E[1/q_B(t)] - 1)``.
+
+    ``E[1/q_B(t)]`` is evaluated at the end-of-stream load ``n_total``, which
+    is the worst case over the user's update times.
+    """
+    if memory_bits <= 0:
+        raise ValueError("memory_bits must be positive")
+    return n_user * (expected_inverse_q_bits(n_total, memory_bits) - 1.0)
+
+
+def freers_variance_bound(n_user: float, n_total: float, registers: int) -> float:
+    """Theorem 2 upper bound: ``Var <= n_s (E[1/q_R(t)] - 1)``."""
+    if registers <= 0:
+        raise ValueError("registers must be positive")
+    return n_user * (expected_inverse_q_registers(n_total, registers) - 1.0)
+
+
+def freebs_rse_bound(n_user: float, n_total: float, memory_bits: int) -> float:
+    """Relative standard error bound of FreeBS (``sqrt(Var)/n``)."""
+    if n_user <= 0:
+        return 0.0
+    return math.sqrt(freebs_variance_bound(n_user, n_total, memory_bits)) / n_user
+
+
+def freers_rse_bound(n_user: float, n_total: float, registers: int) -> float:
+    """Relative standard error bound of FreeRS (``sqrt(Var)/n``)."""
+    if n_user <= 0:
+        return 0.0
+    return math.sqrt(freers_variance_bound(n_user, n_total, registers)) / n_user

@@ -1,0 +1,19 @@
+"""Baseline estimators the paper compares FreeBS/FreeRS against.
+
+* :class:`~repro.baselines.cse.CSE` — bit-sharing virtual LPC sketches
+  (Yoon et al., INFOCOM 2009).
+* :class:`~repro.baselines.vhll.VirtualHLL` — register-sharing virtual HLL
+  sketches (Xiao et al., SIGMETRICS 2015).
+* :class:`~repro.baselines.per_user.PerUserLPC` /
+  :class:`~repro.baselines.per_user.PerUserHLLPP` — one private sketch per
+  user under a global memory budget (the paper's LPC and HLL++ baselines).
+* :class:`~repro.baselines.exact.ExactCounter` — exact per-user cardinalities
+  via a hash set of distinct edges (ground truth for every experiment).
+"""
+
+from repro.baselines.cse import CSE
+from repro.baselines.vhll import VirtualHLL
+from repro.baselines.per_user import PerUserHLLPP, PerUserLPC
+from repro.baselines.exact import ExactCounter
+
+__all__ = ["CSE", "VirtualHLL", "PerUserLPC", "PerUserHLLPP", "ExactCounter"]

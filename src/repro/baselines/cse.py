@@ -1,0 +1,128 @@
+"""CSE — Compact Spread Estimator (Yoon, Li, Chen & Peir, INFOCOM 2009).
+
+CSE compresses one virtual LPC sketch per user into a single shared bit array
+``A`` of ``M`` bits.  User ``s``'s virtual sketch is the ``m`` bits
+``A[f_1(s)], ..., A[f_m(s)]`` selected by ``m`` independent hash functions.
+An arriving pair (s, d) sets the ``h(d)``-th bit of the virtual sketch, i.e.
+the physical bit ``A[f_{h(d)}(s)]``.
+
+The estimator corrects for "noisy" bits (bits of the virtual sketch set by
+*other* users) by subtracting the global fill term:
+
+    n_hat_s = -m ln(U_hat_s / m) + m ln(U / M)
+
+where ``U_hat_s`` is the number of zero bits in the virtual sketch and ``U``
+the number of zero bits in the whole array.
+
+Complexity: every estimate refresh costs O(m) because the virtual sketch has
+to be scanned; the paper's Challenge 2 is precisely this cost.  Following the
+evaluation protocol of the paper (Section V-B), the streaming wrapper only
+re-estimates the cardinality of the *arriving* user after each update and
+keeps a per-user counter of the latest estimate.
+
+Known limitations faithfully reproduced:
+
+* the estimation range is bounded by ``m ln m`` — CSE reports wildly wrong
+  (or saturated) values for heavy users, which is visible in Figure 4/5;
+* accuracy depends strongly on the choice of ``m`` (Challenge 1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+import numpy as np
+
+from repro.core.base import CardinalityEstimator
+from repro.hashing import HashFamily, hash64
+from repro.sketches.bitarray import BitArray
+
+
+class CSE(CardinalityEstimator):
+    """Bit-sharing virtual-LPC estimator with ``M`` shared bits, ``m`` per user."""
+
+    name = "CSE"
+
+    def __init__(self, memory_bits: int, virtual_size: int = 1024, seed: int = 0) -> None:
+        if memory_bits <= 0:
+            raise ValueError("memory_bits must be positive")
+        if virtual_size <= 0:
+            raise ValueError("virtual_size must be positive")
+        if virtual_size > memory_bits:
+            raise ValueError("virtual_size cannot exceed memory_bits")
+        self.M = memory_bits
+        self.m = virtual_size
+        self.seed = seed
+        self._bits = BitArray(memory_bits)
+        self._family = HashFamily(virtual_size, memory_bits, seed=seed ^ 0x5CE)
+        self._estimates: Dict[object, float] = {}
+        # Cache of each user's m physical bit positions; avoids recomputing
+        # the hash family on every O(m) estimate refresh.
+        self._positions_cache: Dict[object, np.ndarray] = {}
+
+    # -- internal helpers -----------------------------------------------------
+
+    def _positions(self, user: object) -> np.ndarray:
+        positions = self._positions_cache.get(user)
+        if positions is None:
+            positions = self._family.positions(user)
+            self._positions_cache[user] = positions
+        return positions
+
+    def _estimate_from_sketch(self, user: object) -> float:
+        """Recompute the CSE estimate of ``user`` from the shared array (O(m))."""
+        positions = self._positions(user)
+        virtual_zeros = int(np.count_nonzero(~self._bits.get_bits(positions)))
+        global_zero_fraction = self._bits.zero_fraction
+        if virtual_zeros == 0:
+            # Virtual sketch saturated: pin at the estimator's maximum range.
+            local_term = self.m * math.log(self.m)
+        else:
+            local_term = -self.m * math.log(virtual_zeros / self.m)
+        if global_zero_fraction <= 0.0:
+            correction = self.m * math.log(1.0 / self.M)
+        else:
+            correction = self.m * math.log(global_zero_fraction)
+        return max(0.0, local_term + correction)
+
+    # -- streaming API --------------------------------------------------------
+
+    def update(self, user: object, item: object) -> float:
+        """Process one (user, item) pair; refresh only this user's estimate (O(m))."""
+        positions = self._positions(user)
+        bucket = hash64(item, seed=self.seed ^ 0xD1) % self.m
+        self._bits.set_bit(int(positions[bucket]))
+        estimate = self._estimate_from_sketch(user)
+        self._estimates[user] = estimate
+        return estimate
+
+    def estimate(self, user: object) -> float:
+        """Return the latest cached estimate of ``user`` (0.0 for unseen users)."""
+        return self._estimates.get(user, 0.0)
+
+    def estimate_fresh(self, user: object) -> float:
+        """Recompute the estimate of ``user`` from the shared array right now."""
+        if user not in self._positions_cache:
+            return 0.0
+        return self._estimate_from_sketch(user)
+
+    def estimates(self) -> Dict[object, float]:
+        """Return the latest cached estimate of every observed user."""
+        return dict(self._estimates)
+
+    def memory_bits(self) -> int:
+        """Accounted memory of the shared bit array."""
+        return self._bits.memory_bits()
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def max_estimate(self) -> float:
+        """Upper end of the usable estimation range, ``m ln m``."""
+        return self.m * math.log(self.m)
+
+    @property
+    def fill_fraction(self) -> float:
+        """Fraction of shared bits already set to one."""
+        return 1.0 - self._bits.zero_fraction

@@ -1,0 +1,92 @@
+"""Exact per-user cardinality counting (ground truth).
+
+The exact counter keeps, for every user, the set of distinct items observed
+so far.  It is the ground truth for every accuracy experiment and also
+provides the exact *total* cardinality ``n(t)`` needed to resolve the
+super-spreader threshold ``Delta * n(t)``.
+
+It deliberately implements the same :class:`CardinalityEstimator` interface
+as the sketches, so the harness can drive it interchangeably; its
+``memory_bits`` reports the (large) true footprint, which is what the paper's
+motivation section argues is infeasible at line rate.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Set, Tuple
+
+from repro.core.base import CardinalityEstimator
+
+
+class ExactCounter(CardinalityEstimator):
+    """Exact per-user distinct-item counting with a hash set per user."""
+
+    name = "Exact"
+
+    def __init__(self) -> None:
+        self._items: Dict[object, Set[object]] = {}
+        self._total_distinct_pairs = 0
+        self._pairs_processed = 0
+
+    def update(self, user: object, item: object) -> float:
+        """Record the pair exactly; return the user's exact cardinality."""
+        self._pairs_processed += 1
+        items = self._items.get(user)
+        if items is None:
+            items = set()
+            self._items[user] = items
+        if item not in items:
+            items.add(item)
+            self._total_distinct_pairs += 1
+        return float(len(items))
+
+    def estimate(self, user: object) -> float:
+        """Return the exact cardinality of ``user`` (0.0 for unseen users)."""
+        items = self._items.get(user)
+        return float(len(items)) if items is not None else 0.0
+
+    def estimates(self) -> Dict[object, float]:
+        """Return the exact cardinality of every observed user."""
+        return {user: float(len(items)) for user, items in self._items.items()}
+
+    def cardinality(self, user: object) -> int:
+        """Integer-typed exact cardinality of ``user``."""
+        items = self._items.get(user)
+        return len(items) if items is not None else 0
+
+    def cardinalities(self) -> Dict[object, int]:
+        """Integer-typed exact cardinality of every observed user."""
+        return {user: len(items) for user, items in self._items.items()}
+
+    @property
+    def total_cardinality(self) -> int:
+        """Sum of all user cardinalities, ``n(t)`` in the paper's notation."""
+        return self._total_distinct_pairs
+
+    @property
+    def user_count(self) -> int:
+        """Number of distinct users observed so far."""
+        return len(self._items)
+
+    @property
+    def pairs_processed(self) -> int:
+        """Total number of pairs observed, duplicates included."""
+        return self._pairs_processed
+
+    def max_cardinality(self) -> int:
+        """Largest per-user cardinality observed so far."""
+        if not self._items:
+            return 0
+        return max(len(items) for items in self._items.values())
+
+    def memory_bits(self) -> int:
+        """Approximate true memory footprint of the stored edge sets, in bits."""
+        total = sys.getsizeof(self._items)
+        for user, items in self._items.items():
+            total += sys.getsizeof(user) + sys.getsizeof(items)
+        return total * 8
+
+    def items_of(self, user: object) -> Tuple[object, ...]:
+        """Return the distinct items of ``user`` (for debugging/tests)."""
+        return tuple(self._items.get(user, ()))

@@ -1,0 +1,134 @@
+"""Command-line interface of the reproduction.
+
+Three subcommands:
+
+``freesketch list-experiments``
+    Show the identifiers of every reproducible table/figure/ablation.
+
+``freesketch run-experiment <id> [--preset quick|default|full] [--csv out.csv]``
+    Run one experiment and print its result table (optionally also as CSV).
+
+``freesketch generate-dataset <name> <path> [--scale S]``
+    Materialise a dataset stand-in to an edge-list file (so the same stream
+    can be replayed by external tools).
+
+``freesketch estimate <edge-file> [--method FreeRS] [--memory-bits N] [--top K]``
+    Run one estimator over an edge-list file and print the top-K users by
+    estimated cardinality — a minimal "use it on your own data" entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.estimators import METHOD_ORDER, build_estimators
+from repro.experiments.runner import DESCRIPTIONS, list_experiments, run_experiment
+from repro.streams.datasets import DATASETS, dataset_names
+from repro.streams.io import read_edge_file, write_edge_file
+
+
+def _config_from_preset(preset: str) -> ExperimentConfig:
+    presets = {
+        "quick": ExperimentConfig.quick,
+        "default": ExperimentConfig,
+        "full": ExperimentConfig.full,
+    }
+    try:
+        return presets[preset]()
+    except KeyError:
+        raise SystemExit(f"unknown preset {preset!r}; choose from {sorted(presets)}") from None
+
+
+def _cmd_list_experiments(_: argparse.Namespace) -> int:
+    for name in list_experiments():
+        print(f"{name:28s} {DESCRIPTIONS.get(name, '')}")
+    return 0
+
+
+def _cmd_run_experiment(args: argparse.Namespace) -> int:
+    config = _config_from_preset(args.preset)
+    table = run_experiment(args.experiment, config)
+    print(table.render())
+    if args.csv:
+        table.to_csv(args.csv)
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def _cmd_generate_dataset(args: argparse.Namespace) -> int:
+    if args.dataset not in DATASETS:
+        raise SystemExit(f"unknown dataset {args.dataset!r}; choose from {dataset_names()}")
+    stream = DATASETS[args.dataset].load(scale=args.scale)
+    count = write_edge_file(
+        args.path,
+        stream,
+        header=f"synthetic stand-in for {args.dataset} (scale={args.scale})",
+    )
+    print(f"wrote {count} edges to {args.path}")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    stream = read_edge_file(args.path)
+    config = ExperimentConfig(memory_bits=args.memory_bits)
+    estimators = build_estimators(config, expected_users=max(1, stream.user_count), methods=[args.method])
+    estimator = estimators[args.method]
+    for user, item in stream:
+        estimator.update(user, item)
+    ranked = sorted(estimator.estimates().items(), key=lambda pair: pair[1], reverse=True)
+    print(f"method={args.method} memory_bits={args.memory_bits} users={stream.user_count}")
+    print("user\testimated_cardinality")
+    for user, estimate in ranked[: args.top]:
+        print(f"{user}\t{estimate:.1f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for the CLI tests)."""
+    parser = argparse.ArgumentParser(
+        prog="freesketch",
+        description="Reproduction of FreeBS/FreeRS (Wang et al., ICDE 2019).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list-experiments", help="list reproducible artefacts")
+    list_parser.set_defaults(handler=_cmd_list_experiments)
+
+    run_parser = subparsers.add_parser("run-experiment", help="run one experiment")
+    run_parser.add_argument("experiment", choices=list_experiments())
+    run_parser.add_argument("--preset", default="quick", choices=["quick", "default", "full"])
+    run_parser.add_argument("--csv", default=None, help="also write the table to this CSV file")
+    run_parser.set_defaults(handler=_cmd_run_experiment)
+
+    generate_parser = subparsers.add_parser(
+        "generate-dataset", help="materialise a dataset stand-in to an edge-list file"
+    )
+    generate_parser.add_argument("dataset", choices=dataset_names())
+    generate_parser.add_argument("path")
+    generate_parser.add_argument("--scale", type=float, default=0.1)
+    generate_parser.set_defaults(handler=_cmd_generate_dataset)
+
+    estimate_parser = subparsers.add_parser(
+        "estimate", help="estimate per-user cardinalities of an edge-list file"
+    )
+    estimate_parser.add_argument("path")
+    estimate_parser.add_argument("--method", default="FreeRS", choices=METHOD_ORDER)
+    estimate_parser.add_argument("--memory-bits", type=int, default=1 << 20)
+    estimate_parser.add_argument("--top", type=int, default=10)
+    estimate_parser.set_defaults(handler=_cmd_estimate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""Common streaming interface shared by every per-user cardinality estimator.
+
+The paper compares six methods (FreeBS, FreeRS, CSE, vHLL, per-user LPC,
+per-user HLL++) on exactly the same task: observe a stream of (user, item)
+pairs and be able to report, at any time, an estimate of every user's
+cardinality.  :class:`CardinalityEstimator` captures that contract so the
+experiment harness, the super-spreader detector and the benchmarks can treat
+all six methods uniformly.
+
+Implementations must provide:
+
+``update(user, item)``
+    Process one (possibly duplicate) user-item pair and return the user's
+    *current* cardinality estimate.  This is the anytime-available estimate
+    the paper emphasises; for the non-streaming baselines (CSE, vHLL, LPC,
+    HLL++) the estimate is recomputed for the arriving user only, mirroring
+    the per-user counter trick described in Section V-B of the paper.
+
+``estimate(user)``
+    Current estimate for one user (0.0 for never-seen users).
+
+``estimates()``
+    Dict of estimates for every observed user.
+
+``memory_bits()``
+    Accounted memory of the shared sketch structures (per-user counters are
+    excluded, as in the paper's comparison).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Tuple
+
+UserItemPair = Tuple[object, object]
+
+
+@dataclass
+class EstimatorState:
+    """Lightweight snapshot of an estimator's progress through a stream."""
+
+    pairs_processed: int = 0
+    distinct_pairs_estimate: float = 0.0
+    users_tracked: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+class CardinalityEstimator(ABC):
+    """Abstract base class for streaming per-user cardinality estimators."""
+
+    #: Human-readable name used in reports, tables and plots.
+    name: str = "estimator"
+
+    @abstractmethod
+    def update(self, user: object, item: object) -> float:
+        """Process one (user, item) pair; return the user's current estimate."""
+
+    @abstractmethod
+    def estimate(self, user: object) -> float:
+        """Return the current cardinality estimate of ``user`` (0.0 if unseen)."""
+
+    @abstractmethod
+    def estimates(self) -> Dict[object, float]:
+        """Return a mapping of every observed user to its current estimate."""
+
+    @abstractmethod
+    def memory_bits(self) -> int:
+        """Return the accounted memory of the shared sketch in bits."""
+
+    # -- conveniences shared by all implementations ---------------------------
+
+    def process(self, stream: Iterable[UserItemPair]) -> "CardinalityEstimator":
+        """Consume an entire stream of (user, item) pairs; return ``self``."""
+        for user, item in stream:
+            self.update(user, item)
+        return self
+
+    def process_with_snapshots(
+        self,
+        stream: Iterable[UserItemPair],
+        every: int,
+    ) -> Iterator[Tuple[int, Dict[object, float]]]:
+        """Yield ``(t, estimates)`` snapshots every ``every`` processed pairs.
+
+        This powers the "over time" experiments (Figure 6): detection quality
+        is evaluated on the snapshot estimates, not only at stream end.
+        """
+        if every <= 0:
+            raise ValueError("every must be positive")
+        count = 0
+        for user, item in stream:
+            self.update(user, item)
+            count += 1
+            if count % every == 0:
+                yield count, self.estimates()
+        if count % every != 0:
+            yield count, self.estimates()
+
+    def state(self) -> EstimatorState:
+        """Return a coarse snapshot of progress (overridden where richer info exists)."""
+        current = self.estimates()
+        return EstimatorState(
+            pairs_processed=-1,
+            distinct_pairs_estimate=float(sum(current.values())),
+            users_tracked=len(current),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(memory_bits={self.memory_bits()})"

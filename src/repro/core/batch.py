@@ -1,0 +1,369 @@
+"""Vectorised batch-processing variants of FreeBS and FreeRS.
+
+The scalar estimators in :mod:`repro.core.freebs` / :mod:`repro.core.freers`
+process one (user, item) pair per call, which is the right shape for the
+paper's streaming model but leaves a lot of throughput on the table in pure
+Python.  High-rate replay — the situation the benchmark harness is in — can
+instead hand the estimator a *batch* of pre-encoded integer pairs and let
+numpy do the heavy lifting.
+
+The batch implementations are **exactly equivalent** to feeding the same
+pairs one by one to the scalar estimators with the same seed (the test-suite
+asserts this bit-for-bit on random streams).  Equivalence is achieved by
+replaying the batch's *change events* in arrival order:
+
+* FreeBS: the pairs that change the array are the first occurrences of bit
+  indices that are still zero; `q_B` decreases by `1/M` at each such event,
+  so the increments `1/q` for all events can be computed with one cumulative
+  sum.
+* FreeRS: a pair changes a register iff its rank exceeds the running maximum
+  of that register (initial value, then previous in-batch updates); the
+  events are found with a per-register prefix maximum after sorting by
+  (register, position), and `q_R`'s trajectory is reconstructed with a
+  cumulative sum of the per-event harmonic-sum deltas.
+
+Both classes also accept plain Python keys through the scalar
+``update``/``process`` API (they simply encode and delegate), so they are
+drop-in replacements implementing :class:`repro.core.base.CardinalityEstimator`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from repro.core.base import CardinalityEstimator
+from repro.core.freebs import FreeBS
+from repro.core.freers import FreeRS
+from repro.hashing import MASK64, pair_key, splitmix64, splitmix64_array
+from repro.hashing.geometric import geometric_rank_array
+
+UserItemPair = Tuple[object, object]
+
+
+def encode_pairs(pairs: Iterable[UserItemPair]) -> Tuple[np.ndarray, np.ndarray, Dict[int, object]]:
+    """Encode arbitrary (user, item) pairs into integer arrays for batch APIs.
+
+    Returns ``(user_codes, pair_hash_keys, decode_table)`` where
+    ``user_codes[i]`` is a dense integer id of the i-th pair's user,
+    ``pair_hash_keys[i]`` is a 64-bit key that identifies the *pair* (equal
+    pairs get equal keys), and ``decode_table`` maps user codes back to the
+    original user objects.
+    """
+    users: list = []
+    user_codes: Dict[object, int] = {}
+    codes = []
+    keys = []
+    for user, item in pairs:
+        code = user_codes.get(user)
+        if code is None:
+            code = len(users)
+            user_codes[user] = code
+            users.append(user)
+        codes.append(code)
+        keys.append(pair_key(user, item))
+    decode = {code: user for user, code in user_codes.items()}
+    return (
+        np.asarray(codes, dtype=np.int64),
+        np.asarray(keys, dtype=np.uint64),
+        decode,
+    )
+
+
+_GOLDEN_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+
+
+def encode_int_pairs(users: np.ndarray, items: np.ndarray) -> Tuple[np.ndarray, np.ndarray, Dict[int, object]]:
+    """Vectorised :func:`encode_pairs` for streams of integer users and items.
+
+    Produces exactly the same keys as the scalar path (``pair_key(u, i)`` for
+    integer ``u``/``i``), but without a Python-level loop — this is the fast
+    path the high-rate benchmarks use.  The decode table maps each user code
+    to the original integer user id.
+    """
+    users = np.asarray(users)
+    items = np.asarray(items)
+    if users.shape != items.shape:
+        raise ValueError("users and items must have the same length")
+    with np.errstate(over="ignore"):
+        keys = splitmix64_array(users.astype(np.uint64) ^ _GOLDEN_GAMMA) ^ splitmix64_array(
+            items.astype(np.uint64)
+        )
+    unique_users, codes = np.unique(users, return_inverse=True)
+    decode = {code: int(user) for code, user in enumerate(unique_users)}
+    return codes.astype(np.int64), keys, decode
+
+
+class _BatchEstimatorBase(CardinalityEstimator):
+    """Shared plumbing of the two batch estimators (user bookkeeping, interface)."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._estimates: Dict[object, float] = {}
+        self._pairs_processed = 0
+
+    # -- scalar interface delegates to the batch path -------------------------
+
+    def update(self, user: object, item: object) -> float:
+        """Process a single pair (delegates to a batch of size one)."""
+        self.update_batch([(user, item)])
+        return self._estimates.get(user, 0.0)
+
+    def estimate(self, user: object) -> float:
+        """Return the current estimate of ``user`` (0.0 for unseen users)."""
+        return self._estimates.get(user, 0.0)
+
+    def estimates(self) -> Dict[object, float]:
+        """Return the current estimate of every observed user."""
+        return dict(self._estimates)
+
+    @property
+    def pairs_processed(self) -> int:
+        """Total number of pairs processed so far (duplicates included)."""
+        return self._pairs_processed
+
+    # -- to be provided by subclasses -----------------------------------------
+
+    def update_batch(self, pairs: Iterable[UserItemPair]) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _touch_users(self, users: Iterable[object]) -> None:
+        for user in users:
+            self._estimates.setdefault(user, 0.0)
+
+
+class FreeBSBatch(_BatchEstimatorBase):
+    """Batch-oriented FreeBS, update-for-update equivalent to :class:`FreeBS`."""
+
+    name = "FreeBS(batch)"
+
+    def __init__(self, memory_bits: int, seed: int = 0) -> None:
+        if memory_bits <= 0:
+            raise ValueError("memory_bits must be positive")
+        super().__init__(seed)
+        self.M = memory_bits
+        # Dense byte-per-bit state: the batch path needs random access reads
+        # and fancy-indexed writes, which a packed representation would make
+        # much slower in numpy.  Memory accounting still reports M bits.
+        self._bit_state = np.zeros(memory_bits, dtype=bool)
+        self._zero_bits = memory_bits
+
+    def memory_bits(self) -> int:
+        """Accounted memory of the shared bit array (M bits, as in the paper)."""
+        return self.M
+
+    @property
+    def change_probability(self) -> float:
+        """Current ``q_B``: probability a new pair changes the array."""
+        return self._zero_bits / self.M
+
+    def update_batch(self, pairs: Iterable[UserItemPair]) -> None:
+        """Process a batch of raw (user, item) pairs."""
+        pairs = list(pairs)
+        if not pairs:
+            return
+        user_codes, keys, decode = encode_pairs(pairs)
+        self.update_batch_encoded(user_codes, keys, decode)
+
+    def update_batch_encoded(
+        self,
+        user_codes: np.ndarray,
+        pair_keys: np.ndarray,
+        decode: Dict[int, object],
+    ) -> None:
+        """Process a batch already encoded by :func:`encode_pairs`.
+
+        ``pair_keys`` must identify pairs (equal pairs ⇒ equal keys); they are
+        re-mixed with this estimator's seed before use, so the same encoded
+        batch can be fed to estimators with different seeds.
+        """
+        if user_codes.shape != pair_keys.shape:
+            raise ValueError("user_codes and pair_keys must have the same length")
+        count = int(user_codes.shape[0])
+        if count == 0:
+            return
+        self._pairs_processed += count
+        seed_mix = np.uint64(splitmix64(self.seed & MASK64))
+        indices = (splitmix64_array(pair_keys ^ seed_mix) % np.uint64(self.M)).astype(np.int64)
+
+        # A pair is a change event iff its bit is still zero at its arrival
+        # time, i.e. the bit was zero at batch start AND this is the first
+        # occurrence of that bit index within the batch.
+        first_occurrence = np.zeros(count, dtype=bool)
+        unique_indices, first_positions = np.unique(indices, return_index=True)
+        first_occurrence[first_positions] = True
+        zero_at_start = ~self._bit_state[indices]
+        changes = first_occurrence & zero_at_start
+        change_positions = np.nonzero(changes)[0]
+
+        self._touch_users(decode[int(code)] for code in np.unique(user_codes))
+        if change_positions.size == 0:
+            return
+
+        # q before the k-th change event (in arrival order) is
+        # (zero_bits_at_batch_start - k) / M.
+        order = np.argsort(change_positions, kind="stable")
+        ordered_positions = change_positions[order]
+        zeros_before = self._zero_bits - np.arange(ordered_positions.size)
+        increments = self.M / zeros_before
+
+        # Attribute each increment to the user of the changing pair.
+        for position, increment in zip(ordered_positions, increments):
+            user = decode[int(user_codes[position])]
+            self._estimates[user] = self._estimates.get(user, 0.0) + float(increment)
+
+        # Commit the array state.
+        self._bit_state[indices[ordered_positions]] = True
+        self._zero_bits -= int(ordered_positions.size)
+
+    def to_scalar(self) -> FreeBS:
+        """Return a scalar :class:`FreeBS` snapshot with identical state.
+
+        Useful for handing the state to code written against the scalar class
+        (e.g. the super-spreader detector's ``total_cardinality_estimate``).
+        """
+        scalar = FreeBS(self.M, seed=self.seed)
+        for index in np.nonzero(self._bit_state)[0]:
+            scalar._bits.set_bit(int(index))
+        scalar._estimates = dict(self._estimates)
+        scalar._pairs_processed = self._pairs_processed
+        return scalar
+
+    def total_cardinality_estimate(self) -> float:
+        """LPC estimate of the total distinct-pair count (see :class:`FreeBS`)."""
+        import math
+
+        if self._zero_bits == 0:
+            return self.M * math.log(self.M)
+        return -self.M * math.log(self._zero_bits / self.M)
+
+
+class FreeRSBatch(_BatchEstimatorBase):
+    """Batch-oriented FreeRS, update-for-update equivalent to :class:`FreeRS`."""
+
+    name = "FreeRS(batch)"
+
+    def __init__(self, registers: int, register_width: int = 5, seed: int = 0) -> None:
+        if registers <= 0:
+            raise ValueError("registers must be positive")
+        if not 1 <= register_width <= 8:
+            raise ValueError("register_width must be between 1 and 8")
+        super().__init__(seed)
+        self.M = registers
+        self.register_width = register_width
+        self._max_rank = (1 << register_width) - 1
+        self._register_state = np.zeros(registers, dtype=np.int64)
+        self._harmonic_sum = float(registers)
+
+    def memory_bits(self) -> int:
+        """Accounted memory of the shared register array."""
+        return self.M * self.register_width
+
+    @property
+    def change_probability(self) -> float:
+        """Current ``q_R``: probability a new pair changes some register."""
+        return self._harmonic_sum / self.M
+
+    def update_batch(self, pairs: Iterable[UserItemPair]) -> None:
+        """Process a batch of raw (user, item) pairs."""
+        pairs = list(pairs)
+        if not pairs:
+            return
+        user_codes, keys, decode = encode_pairs(pairs)
+        self.update_batch_encoded(user_codes, keys, decode)
+
+    def update_batch_encoded(
+        self,
+        user_codes: np.ndarray,
+        pair_keys: np.ndarray,
+        decode: Dict[int, object],
+    ) -> None:
+        """Process a batch already encoded by :func:`encode_pairs`."""
+        if user_codes.shape != pair_keys.shape:
+            raise ValueError("user_codes and pair_keys must have the same length")
+        count = int(user_codes.shape[0])
+        if count == 0:
+            return
+        self._pairs_processed += count
+        seed_mix = np.uint64(splitmix64(self.seed & MASK64))
+        hashes = splitmix64_array(pair_keys ^ seed_mix)
+        indices = (hashes % np.uint64(self.M)).astype(np.int64)
+        ranks = geometric_rank_array(splitmix64_array(hashes), max_rank=self._max_rank)
+
+        self._touch_users(decode[int(code)] for code in np.unique(user_codes))
+
+        # Find the change events: sort by (register, position); within each
+        # register segment a pair is an event iff its rank exceeds the running
+        # maximum of (initial register value, earlier in-batch ranks).
+        order = np.lexsort((np.arange(count), indices))
+        sorted_registers = indices[order]
+        sorted_ranks = ranks[order]
+        segment_starts = np.ones(count, dtype=bool)
+        segment_starts[1:] = sorted_registers[1:] != sorted_registers[:-1]
+
+        initial_values = self._register_state[sorted_registers]
+        # Running maximum of ranks *before* each element within its segment.
+        # Compute an inclusive prefix max, then shift it right by one inside
+        # each segment (the first element of a segment sees only the initial
+        # register value).
+        inclusive = np.maximum(sorted_ranks, initial_values)
+        # Segment-aware cumulative maximum via np.maximum.accumulate with
+        # resets: offset each segment so values from previous segments cannot
+        # leak (ranks are bounded by _max_rank, so a per-segment offset of
+        # (_max_rank + 1) is enough).
+        segment_ids = np.cumsum(segment_starts) - 1
+        offset = segment_ids * (self._max_rank + 2)
+        running = np.maximum.accumulate(inclusive + offset) - offset
+        previous_max = np.empty(count, dtype=np.int64)
+        previous_max[0] = initial_values[0]
+        previous_max[1:] = np.where(
+            segment_starts[1:], initial_values[1:], running[:-1]
+        )
+        is_event_sorted = sorted_ranks > previous_max
+
+        if not np.any(is_event_sorted):
+            return
+
+        event_positions = order[is_event_sorted]
+        event_old = previous_max[is_event_sorted]
+        event_new = sorted_ranks[is_event_sorted]
+        event_registers = sorted_registers[is_event_sorted]
+        event_users = user_codes[event_positions]
+
+        # Replay the events in arrival order to reconstruct q_R's trajectory.
+        arrival = np.argsort(event_positions, kind="stable")
+        deltas = np.exp2(-event_new[arrival].astype(np.float64)) - np.exp2(
+            -event_old[arrival].astype(np.float64)
+        )
+        harmonic_before = self._harmonic_sum + np.concatenate(([0.0], np.cumsum(deltas)[:-1]))
+        increments = self.M / harmonic_before
+
+        for user_code, increment in zip(event_users[arrival], increments):
+            user = decode[int(user_code)]
+            self._estimates[user] = self._estimates.get(user, 0.0) + float(increment)
+
+        # Commit register state: each register ends at the max rank seen.
+        np.maximum.at(self._register_state, event_registers, event_new)
+        self._harmonic_sum += float(np.sum(deltas))
+
+    def to_scalar(self) -> FreeRS:
+        """Return a scalar :class:`FreeRS` snapshot with identical state."""
+        scalar = FreeRS(self.M, register_width=self.register_width, seed=self.seed)
+        for index in np.nonzero(self._register_state)[0]:
+            scalar._registers.update(int(index), int(self._register_state[index]))
+        scalar._estimates = dict(self._estimates)
+        scalar._pairs_processed = self._pairs_processed
+        return scalar
+
+    def total_cardinality_estimate(self) -> float:
+        """HLL estimate of the total distinct-pair count (see :class:`FreeRS`)."""
+        import math
+
+        from repro.sketches.hll import alpha_m
+
+        raw = alpha_m(self.M) * self.M * self.M / self._harmonic_sum
+        zeros = int(np.count_nonzero(self._register_state == 0))
+        if raw < 2.5 * self.M and zeros > 0:
+            return self.M * math.log(self.M / zeros)
+        return raw

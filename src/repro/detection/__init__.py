@@ -1,0 +1,25 @@
+"""Super-spreader detection case study (paper Section V-F).
+
+A *super spreader* at time ``t`` is a user whose cardinality is at least
+``Delta * n(t)``, where ``n(t)`` is the sum of all user cardinalities at time
+``t`` and ``Delta`` is a relative threshold (the paper uses 5e-5).  The
+detector consumes any :class:`repro.core.base.CardinalityEstimator` and
+reports the detected set either at stream end or on a schedule of snapshots;
+the evaluator scores detections against exact ground truth with the paper's
+FNR / FPR metrics (Figure 6 and Table II).
+"""
+
+from repro.detection.super_spreader import SuperSpreaderDetector, super_spreaders
+from repro.detection.evaluation import (
+    DetectionResult,
+    detection_error_at_end,
+    detection_error_over_time,
+)
+
+__all__ = [
+    "SuperSpreaderDetector",
+    "super_spreaders",
+    "DetectionResult",
+    "detection_error_at_end",
+    "detection_error_over_time",
+]

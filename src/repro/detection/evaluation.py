@@ -1,0 +1,132 @@
+"""Evaluation of super-spreader detection (FNR / FPR, over time and at stream end).
+
+Implements the protocol of the paper's Section V-F: at evaluation time the
+ground-truth super spreaders are the users whose *exact* cardinality is at
+least ``Delta * n(t)`` (with ``n(t)`` the exact total), the detected set is
+computed the same way from the estimator's current estimates, and
+
+* FNR = missed super spreaders / true super spreaders,
+* FPR = falsely reported users / all observed users.
+
+``detection_error_over_time`` replays a stream once per estimator, pausing at
+a fixed number of checkpoints — the "t (minutes)" axis of Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.baselines.exact import ExactCounter
+from repro.core.base import CardinalityEstimator
+from repro.detection.super_spreader import super_spreaders
+
+UserItemPair = Tuple[object, object]
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """FNR/FPR of one estimator at one checkpoint."""
+
+    checkpoint: int
+    pairs_processed: int
+    true_spreaders: int
+    detected_spreaders: int
+    false_negative_rate: float
+    false_positive_rate: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the result as a plain dictionary (for reports/CSV)."""
+        return {
+            "checkpoint": float(self.checkpoint),
+            "pairs_processed": float(self.pairs_processed),
+            "true_spreaders": float(self.true_spreaders),
+            "detected_spreaders": float(self.detected_spreaders),
+            "fnr": self.false_negative_rate,
+            "fpr": self.false_positive_rate,
+        }
+
+
+def _score(
+    truth: Dict[object, int],
+    total_cardinality: int,
+    estimates: Dict[object, float],
+    delta: float,
+    checkpoint: int,
+    pairs_processed: int,
+) -> DetectionResult:
+    true_set = super_spreaders(truth, delta, total_cardinality=float(total_cardinality))
+    detected = super_spreaders(estimates, delta, total_cardinality=float(total_cardinality))
+    population = len(truth)
+    missed = len(true_set - detected)
+    false_positives = len(detected - true_set)
+    fnr = missed / len(true_set) if true_set else 0.0
+    fpr = false_positives / population if population else 0.0
+    return DetectionResult(
+        checkpoint=checkpoint,
+        pairs_processed=pairs_processed,
+        true_spreaders=len(true_set),
+        detected_spreaders=len(detected),
+        false_negative_rate=fnr,
+        false_positive_rate=fpr,
+    )
+
+
+def detection_error_at_end(
+    estimator: CardinalityEstimator,
+    pairs: Sequence[UserItemPair],
+    delta: float = 5e-5,
+) -> DetectionResult:
+    """Process the whole stream, then score detection once (Table II protocol)."""
+    exact = ExactCounter()
+    for user, item in pairs:
+        estimator.update(user, item)
+        exact.update(user, item)
+    return _score(
+        truth=exact.cardinalities(),
+        total_cardinality=exact.total_cardinality,
+        estimates=estimator.estimates(),
+        delta=delta,
+        checkpoint=1,
+        pairs_processed=exact.pairs_processed,
+    )
+
+
+def detection_error_over_time(
+    estimator: CardinalityEstimator,
+    pairs: Sequence[UserItemPair],
+    delta: float = 5e-5,
+    checkpoints: int = 10,
+) -> List[DetectionResult]:
+    """Score detection at ``checkpoints`` evenly spaced points of the stream.
+
+    Reproduces the Figure 6 protocol: the stream (one hour of traffic in the
+    paper) is cut into equal time slices and FNR/FPR are computed after each
+    slice, using the exact ground truth *at that time*.
+    """
+    if checkpoints <= 0:
+        raise ValueError("checkpoints must be positive")
+    pairs = list(pairs)
+    if not pairs:
+        return []
+    exact = ExactCounter()
+    boundaries = [((index + 1) * len(pairs)) // checkpoints for index in range(checkpoints)]
+    results: List[DetectionResult] = []
+    position = 0
+    for checkpoint_index, boundary in enumerate(boundaries, start=1):
+        while position < boundary:
+            user, item = pairs[position]
+            estimator.update(user, item)
+            exact.update(user, item)
+            position += 1
+        results.append(
+            _score(
+                truth=exact.cardinalities(),
+                total_cardinality=exact.total_cardinality,
+                estimates=estimator.estimates(),
+                delta=delta,
+                checkpoint=checkpoint_index,
+                pairs_processed=position,
+            )
+        )
+    return results

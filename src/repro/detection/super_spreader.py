@@ -1,0 +1,105 @@
+"""Super-spreader detection over a stream of per-user cardinality estimates.
+
+The detector is deliberately estimator-agnostic: it asks the wrapped
+estimator for per-user estimates and compares them against the absolute
+threshold ``Delta * n(t)``.  ``n(t)`` (the sum of all user cardinalities) can
+be supplied exactly by the harness — the configuration used in the paper's
+evaluation, where the threshold is a property of the workload — or resolved
+from the estimator itself when it exposes a ``total_cardinality_estimate``
+method (FreeBS and FreeRS do), which is the fully-online deployment mode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Set
+
+from repro.core.base import CardinalityEstimator
+
+
+def super_spreaders(
+    cardinalities: Mapping[object, float],
+    delta: float,
+    total_cardinality: float | None = None,
+) -> Set[object]:
+    """Return the users whose cardinality is at least ``delta * total``.
+
+    ``total_cardinality`` defaults to the sum of the provided cardinalities,
+    which is the paper's ``n(t)``.
+    """
+    if delta <= 0 or delta >= 1:
+        raise ValueError("delta must be in (0, 1)")
+    if total_cardinality is None:
+        total_cardinality = float(sum(cardinalities.values()))
+    threshold = delta * total_cardinality
+    return {user for user, value in cardinalities.items() if value >= threshold}
+
+
+class SuperSpreaderDetector:
+    """Online super-spreader detector wrapping any cardinality estimator.
+
+    Parameters
+    ----------
+    estimator:
+        Any :class:`CardinalityEstimator`; its per-user estimates drive the
+        detection decisions.
+    delta:
+        Relative threshold ``Delta`` (the paper uses 5e-5).
+    use_exact_total:
+        When True (default) the caller must pass the exact total cardinality
+        to :meth:`detect`; when False the detector resolves the total from
+        the estimator's own ``total_cardinality_estimate`` (if available) or
+        the sum of its per-user estimates.
+    """
+
+    def __init__(
+        self,
+        estimator: CardinalityEstimator,
+        delta: float = 5e-5,
+        use_exact_total: bool = True,
+    ) -> None:
+        if delta <= 0 or delta >= 1:
+            raise ValueError("delta must be in (0, 1)")
+        self.estimator = estimator
+        self.delta = delta
+        self.use_exact_total = use_exact_total
+
+    def update(self, user: object, item: object) -> float:
+        """Feed one pair to the wrapped estimator (pass-through)."""
+        return self.estimator.update(user, item)
+
+    def process(self, stream: Iterable[tuple]) -> "SuperSpreaderDetector":
+        """Feed an entire stream to the wrapped estimator; return ``self``."""
+        self.estimator.process(stream)
+        return self
+
+    def _resolve_total(self, exact_total: float | None, estimates: Dict[object, float]) -> float:
+        if self.use_exact_total:
+            if exact_total is None:
+                raise ValueError(
+                    "exact_total is required when use_exact_total=True; "
+                    "pass the ground-truth n(t) or construct the detector with "
+                    "use_exact_total=False"
+                )
+            return float(exact_total)
+        total_estimator = getattr(self.estimator, "total_cardinality_estimate", None)
+        if callable(total_estimator):
+            return float(total_estimator())
+        return float(sum(estimates.values()))
+
+    def detect(self, exact_total: float | None = None) -> Set[object]:
+        """Return the set of users currently classified as super spreaders."""
+        estimates = self.estimator.estimates()
+        total = self._resolve_total(exact_total, estimates)
+        threshold = self.delta * total
+        return {user for user, value in estimates.items() if value >= threshold}
+
+    def threshold(self, exact_total: float | None = None) -> float:
+        """Return the current absolute cardinality threshold ``Delta * n(t)``."""
+        estimates = self.estimator.estimates()
+        return self.delta * self._resolve_total(exact_total, estimates)
+
+    def top_users(self, count: int = 10) -> List[tuple]:
+        """Return the ``count`` users with the largest estimates (diagnostics)."""
+        estimates = self.estimator.estimates()
+        ranked = sorted(estimates.items(), key=lambda pair: pair[1], reverse=True)
+        return ranked[:count]

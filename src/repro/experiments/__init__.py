@@ -1,0 +1,16 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment module exposes a ``run(config)`` function returning an
+:class:`repro.experiments.report.Table` (or a list of them) that prints the
+same rows/series the paper reports.  The registry in
+:mod:`repro.experiments.runner` maps experiment identifiers (``table1``,
+``figure5`` ...) to those functions; the CLI and the benchmark suite both go
+through it, so a benchmark run and ``freesketch run-experiment figure5``
+produce identical numbers for the same configuration.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import Table
+from repro.experiments.runner import EXPERIMENTS, list_experiments, run_experiment
+
+__all__ = ["ExperimentConfig", "Table", "EXPERIMENTS", "run_experiment", "list_experiments"]

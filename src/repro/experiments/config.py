@@ -1,0 +1,89 @@
+"""Shared experiment configuration.
+
+The paper's configuration is ``M = 5e8`` bits, ``m = 1024`` and 5-bit
+registers on datasets with millions of users.  A pure-Python reproduction
+cannot replay billions of updates, so the default configuration scales the
+datasets down (see :mod:`repro.streams.datasets`) and scales the memory
+budget with them; the *load factor* (distinct pairs per shared bit), which is
+the quantity that controls every estimator's error, stays in the same regime
+as the paper's.
+
+Two presets are provided:
+
+* :meth:`ExperimentConfig.quick` — finishes in seconds; used by the test
+  suite and the default benchmark run.
+* :meth:`ExperimentConfig.full` — a few minutes per experiment; closer to the
+  paper's operating point and the preset used for EXPERIMENTS.md numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters shared by every experiment."""
+
+    #: Dataset scale factor applied to every stand-in (1.0 = registry size).
+    dataset_scale: float = 1.0
+    #: Shared memory budget M in bits (bit-sharing methods use M bits,
+    #: register-sharing methods use M / register_width registers).
+    memory_bits: int = 1 << 20
+    #: Number of bits/registers in each user's virtual sketch (CSE / vHLL).
+    virtual_size: int = 256
+    #: Register width in bits (the paper uses 5 for vHLL/FreeRS, 6 for HLL++).
+    register_width: int = 5
+    #: Relative super-spreader threshold Delta.  The paper uses 5e-5 on
+    #: datasets with tens of millions of distinct pairs; the scaled-down
+    #: stand-ins have ~100x fewer pairs, so the default threshold is scaled
+    #: up by the same factor to keep targeting genuinely heavy users.
+    delta: float = 5e-4
+    #: Number of checkpoints for the over-time experiments (Figure 6).
+    checkpoints: int = 10
+    #: Master seed; every estimator derives its hash seeds from it.
+    seed: int = 7
+    #: Datasets included in multi-dataset experiments.
+    datasets: List[str] = field(
+        default_factory=lambda: [
+            "sanjose",
+            "chicago",
+            "Twitter",
+            "Flickr",
+            "Orkut",
+            "LiveJournal",
+        ]
+    )
+
+    @property
+    def registers(self) -> int:
+        """Number of shared registers under the same memory budget."""
+        return max(16, self.memory_bits // self.register_width)
+
+    def scaled(self, dataset_scale: float) -> "ExperimentConfig":
+        """Return a copy with a different dataset scale."""
+        return replace(self, dataset_scale=dataset_scale)
+
+    @classmethod
+    def quick(cls) -> "ExperimentConfig":
+        """Small configuration for tests and fast benchmark runs (seconds)."""
+        return cls(
+            dataset_scale=0.08,
+            memory_bits=1 << 17,
+            virtual_size=128,
+            delta=5e-3,
+            checkpoints=5,
+            datasets=["sanjose", "chicago", "Orkut"],
+        )
+
+    @classmethod
+    def full(cls) -> "ExperimentConfig":
+        """Configuration used for the EXPERIMENTS.md numbers (minutes)."""
+        return cls(
+            dataset_scale=0.5,
+            memory_bits=1 << 20,
+            virtual_size=256,
+            delta=1e-3,
+            checkpoints=10,
+        )

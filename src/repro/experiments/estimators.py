@@ -1,0 +1,77 @@
+"""Factory that builds the six compared estimators under one memory budget.
+
+Implements the paper's equal-memory protocol (Section V-B):
+
+* FreeBS and CSE get ``M`` bits;
+* FreeRS and vHLL get ``M / w`` registers of ``w`` bits;
+* per-user LPC gets ``M / |S|`` bits per user;
+* per-user HLL++ gets ``M / (6 |S|)`` six-bit registers per user;
+* CSE and vHLL share the same virtual sketch size ``m``.
+
+``expected_users`` is the dataset's user count, mirroring the paper's setup
+where the per-user baselines are dimensioned from the known population.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.baselines import CSE, PerUserHLLPP, PerUserLPC, VirtualHLL
+from repro.core import FreeBS, FreeRS
+from repro.core.base import CardinalityEstimator
+from repro.experiments.config import ExperimentConfig
+
+#: Order in which methods appear in every table (matches the paper's legends).
+METHOD_ORDER = ["FreeBS", "FreeRS", "CSE", "vHLL", "LPC", "HLL++"]
+
+
+def build_estimators(
+    config: ExperimentConfig,
+    expected_users: int,
+    methods: Iterable[str] | None = None,
+) -> Dict[str, CardinalityEstimator]:
+    """Build the requested estimators under the configuration's memory budget.
+
+    Parameters
+    ----------
+    config:
+        Experiment configuration (memory budget, virtual sketch size, seed).
+    expected_users:
+        User population used to dimension the per-user baselines.
+    methods:
+        Subset of :data:`METHOD_ORDER` to build; defaults to all six.
+    """
+    selected: List[str] = list(methods) if methods is not None else list(METHOD_ORDER)
+    unknown = set(selected) - set(METHOD_ORDER)
+    if unknown:
+        raise ValueError(f"unknown methods {sorted(unknown)}; known: {METHOD_ORDER}")
+    registers = config.registers
+    virtual_size = min(config.virtual_size, max(16, registers // 4))
+    estimators: Dict[str, CardinalityEstimator] = {}
+    for method in selected:
+        if method == "FreeBS":
+            estimators[method] = FreeBS(config.memory_bits, seed=config.seed)
+        elif method == "FreeRS":
+            estimators[method] = FreeRS(
+                registers, register_width=config.register_width, seed=config.seed
+            )
+        elif method == "CSE":
+            estimators[method] = CSE(
+                config.memory_bits, virtual_size=config.virtual_size, seed=config.seed
+            )
+        elif method == "vHLL":
+            estimators[method] = VirtualHLL(
+                registers,
+                virtual_size=virtual_size,
+                register_width=config.register_width,
+                seed=config.seed,
+            )
+        elif method == "LPC":
+            estimators[method] = PerUserLPC(
+                config.memory_bits, expected_users=expected_users, seed=config.seed
+            )
+        elif method == "HLL++":
+            estimators[method] = PerUserHLLPP(
+                config.memory_bits, expected_users=expected_users, seed=config.seed
+            )
+    return estimators

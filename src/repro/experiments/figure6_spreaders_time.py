@@ -1,0 +1,53 @@
+"""Experiment E6 — Figure 6: super-spreader detection quality over time.
+
+The paper cuts the sanjose trace into minutes and reports FNR/FPR of
+super-spreader detection (relative threshold ``Delta``) after each minute,
+for FreeBS, FreeRS, CSE, vHLL and HLL++.  The reproduction cuts the
+sanjose stand-in into ``checkpoints`` equal slices and evaluates the same
+metrics at every slice boundary with exact ground truth at that point.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.detection.evaluation import detection_error_over_time
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.estimators import build_estimators
+from repro.experiments.report import Table
+from repro.streams.datasets import DATASETS
+
+#: Methods shown in the paper's Figure 6.
+FIGURE6_METHODS = ["FreeBS", "FreeRS", "CSE", "vHLL", "HLL++"]
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    dataset: str = "sanjose",
+    methods: Iterable[str] | None = None,
+) -> Table:
+    """Evaluate detection FNR/FPR at every checkpoint of the stream."""
+    config = config or ExperimentConfig()
+    method_names: List[str] = list(methods) if methods is not None else list(FIGURE6_METHODS)
+    stream = DATASETS[dataset].load(scale=config.dataset_scale)
+    pairs = stream.pairs()
+    table = Table(
+        title=f"Figure 6 — super-spreader detection over time ({dataset}, delta={config.delta})",
+        columns=["method", "checkpoint", "pairs_processed", "true_spreaders", "fnr", "fpr"],
+    )
+    estimators = build_estimators(config, stream.user_count, methods=method_names)
+    for method in method_names:
+        results = detection_error_over_time(
+            estimators[method], pairs, delta=config.delta, checkpoints=config.checkpoints
+        )
+        for result in results:
+            table.add_row(
+                method,
+                result.checkpoint,
+                result.pairs_processed,
+                result.true_spreaders,
+                result.false_negative_rate,
+                result.false_positive_rate,
+            )
+    table.add_note("FreeBS/FreeRS FNR and FPR should be several times below the baselines")
+    return table

@@ -1,0 +1,95 @@
+"""Textual tables produced by the experiments.
+
+The paper reports its results as figures and two tables; a terminal-only
+reproduction renders everything as aligned text tables (one row per series
+point).  :class:`Table` is intentionally tiny: column names, rows of values,
+a title, and helpers to render, to convert to CSV, and to extract columns for
+assertions in tests.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+Value = Union[str, int, float]
+
+
+def _format_value(value: Value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.01:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table of experiment results."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[Value]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: Value) -> None:
+        """Append a row; the number of values must match the column count."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values ({', '.join(self.columns)}), "
+                f"got {len(values)}"
+            )
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-text note rendered under the table."""
+        self.notes.append(note)
+
+    def column(self, name: str) -> List[Value]:
+        """Return all values of one column (for assertions and plots)."""
+        try:
+            index = list(self.columns).index(name)
+        except ValueError:
+            raise KeyError(f"unknown column {name!r}; columns: {list(self.columns)}") from None
+        return [row[index] for row in self.rows]
+
+    def row_dicts(self) -> List[Dict[str, Value]]:
+        """Return the rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def render(self) -> str:
+        """Render the table as aligned monospaced text."""
+        header = [str(column) for column in self.columns]
+        formatted_rows = [[_format_value(value) for value in row] for row in self.rows]
+        widths = [len(column) for column in header]
+        for row in formatted_rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(column.ljust(widths[i]) for i, column in enumerate(header)))
+        lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+        for row in formatted_rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self, path: Union[str, Path]) -> None:
+        """Write the table to a CSV file."""
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self.columns)
+            writer.writerows(self.rows)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def render_tables(tables: Iterable[Table]) -> str:
+    """Render several tables separated by blank lines."""
+    return "\n\n".join(table.render() for table in tables)

@@ -1,0 +1,51 @@
+"""Experiment E7 — Table II: super-spreader detection on every dataset.
+
+Table II of the paper reports, for every dataset, the final FNR and FPR of
+super-spreader detection (threshold ``Delta``) for FreeBS, FreeRS, CSE, vHLL
+and HLL++.  The paper marks CSE as "N/A" on Twitter and Orkut because its
+bounded estimation range makes it report an empty spreader set; the
+reproduction reports whatever the implementation produces and flags empty
+detections in a dedicated column.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.detection.evaluation import detection_error_at_end
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.estimators import build_estimators
+from repro.experiments.report import Table
+from repro.streams.datasets import DATASETS
+
+#: Methods shown in the paper's Table II.
+TABLE2_METHODS = ["FreeBS", "FreeRS", "CSE", "vHLL", "HLL++"]
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    methods: Iterable[str] | None = None,
+) -> Table:
+    """Evaluate end-of-stream detection FNR/FPR on every dataset."""
+    config = config or ExperimentConfig()
+    method_names: List[str] = list(methods) if methods is not None else list(TABLE2_METHODS)
+    table = Table(
+        title=f"Table II — super-spreader detection (delta={config.delta})",
+        columns=["dataset", "method", "true_spreaders", "detected", "fnr", "fpr"],
+    )
+    for dataset in config.datasets:
+        stream = DATASETS[dataset].load(scale=config.dataset_scale)
+        pairs = stream.pairs()
+        estimators = build_estimators(config, stream.user_count, methods=method_names)
+        for method in method_names:
+            result = detection_error_at_end(estimators[method], pairs, delta=config.delta)
+            table.add_row(
+                dataset,
+                method,
+                result.true_spreaders,
+                result.detected_spreaders,
+                result.false_negative_rate,
+                result.false_positive_rate,
+            )
+    table.add_note("paper reports CSE as N/A on Twitter/Orkut (empty detection set)")
+    return table

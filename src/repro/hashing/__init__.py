@@ -1,0 +1,57 @@
+"""Deterministic, seedable hashing substrate used by every sketch.
+
+All sketches in this library (LPC, HLL, HLL++, CSE, vHLL, FreeBS, FreeRS)
+require hash functions that are
+
+* deterministic across processes (Python's builtin ``hash`` is salted per
+  process and therefore unusable),
+* cheap to evaluate on the hot update path,
+* seedable, so that independent hash functions can be drawn from a family,
+* available both for scalar keys and for numpy arrays of pre-hashed keys
+  (the vectorised path used by the benchmark harness).
+
+The public surface is:
+
+``hash64(key, seed=0)``
+    64-bit hash of an arbitrary key (int, str, bytes, tuple).
+
+``hash_pair(user, item, seed=0)``
+    64-bit hash of a (user, item) edge, the primitive used by FreeBS/FreeRS.
+
+``HashFamily(m, seed)``
+    An indexed family ``f_1 .. f_m`` of independent hash functions mapping
+    keys to ``{0, .., range-1}``, used by CSE and vHLL to pick the bits /
+    registers of a user's virtual sketch.
+
+``geometric_rank(hash_value, max_rank)``
+    The HLL ``rho`` function: number of leading zeros (plus one) of the hash
+    suffix, i.e. a Geometric(1/2) random variable derived from the hash.
+"""
+
+from repro.hashing.mix import (
+    MASK64,
+    hash64,
+    hash_pair,
+    hash64_array,
+    pair_key,
+    splitmix64,
+    splitmix64_array,
+    to_unit_interval,
+)
+from repro.hashing.family import HashFamily
+from repro.hashing.geometric import geometric_rank, geometric_rank_array, rho_from_hash
+
+__all__ = [
+    "MASK64",
+    "hash64",
+    "hash_pair",
+    "hash64_array",
+    "pair_key",
+    "splitmix64",
+    "splitmix64_array",
+    "to_unit_interval",
+    "HashFamily",
+    "geometric_rank",
+    "geometric_rank_array",
+    "rho_from_hash",
+]

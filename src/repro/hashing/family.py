@@ -1,0 +1,80 @@
+"""Indexed families of independent hash functions.
+
+CSE and vHLL build a *virtual sketch* for every user by picking ``m``
+positions from a shared array with ``m`` independent hash functions
+``f_1(s), ..., f_m(s)``.  :class:`HashFamily` provides exactly that: a family
+of ``m`` seeded functions with a common output range, plus a cached
+vectorised evaluation that returns all ``m`` positions of a user at once
+(the shape needed for the O(m) estimation step of CSE/vHLL).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.mix import MASK64, hash64, hash64_array, splitmix64, splitmix64_array
+
+
+class HashFamily:
+    """A family of ``m`` independent hash functions onto ``{0, ..., range_size-1}``.
+
+    Parameters
+    ----------
+    m:
+        Number of functions in the family.
+    range_size:
+        Size of the output range of every function.
+    seed:
+        Master seed; two families with different master seeds are independent.
+    """
+
+    def __init__(self, m: int, range_size: int, seed: int = 0) -> None:
+        if m <= 0:
+            raise ValueError("m must be positive")
+        if range_size <= 0:
+            raise ValueError("range_size must be positive")
+        self.m = m
+        self.range_size = range_size
+        self.seed = seed
+        # Pre-derive one sub-seed per function so evaluation is a single mix.
+        base = splitmix64(seed & MASK64)
+        self._sub_seeds = np.array(
+            [splitmix64((base + 0x632BE59BD9B4E019 * (i + 1)) & MASK64) for i in range(m)],
+            dtype=np.uint64,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashFamily(m={self.m}, range_size={self.range_size}, seed={self.seed})"
+
+    def position(self, key: object, index: int) -> int:
+        """Return ``f_index(key)``, a position in ``{0, ..., range_size-1}``.
+
+        Computed with exactly the same mixing as :meth:`positions`, so the
+        scalar and vectorised paths always agree.
+        """
+        if not 0 <= index < self.m:
+            raise IndexError(f"function index {index} outside [0, {self.m})")
+        folded = hash64(key)
+        return splitmix64(int(self._sub_seeds[index]) ^ folded) % self.range_size
+
+    def positions(self, key: object) -> np.ndarray:
+        """Return all ``m`` positions ``(f_1(key), ..., f_m(key))`` as an array.
+
+        The evaluation mixes the folded key with each function's sub-seed in
+        one vectorised pass, which keeps the O(m) estimation step of CSE and
+        vHLL tolerable in pure Python.
+        """
+        folded = np.uint64(hash64(key))
+        mixed = splitmix64_array(self._sub_seeds ^ folded)
+        return (mixed % np.uint64(self.range_size)).astype(np.int64)
+
+    def positions_for_many(self, keys: np.ndarray) -> np.ndarray:
+        """Return an ``(len(keys), m)`` matrix of positions for integer keys.
+
+        Row ``i`` equals ``positions(int(keys[i]))``: the integer keys are
+        folded through the same seed-0 hash as the scalar path before mixing
+        with the per-function sub-seeds.
+        """
+        folded = hash64_array(keys.astype(np.uint64))[:, None]
+        mixed = splitmix64_array(self._sub_seeds[None, :] ^ folded)
+        return (mixed % np.uint64(self.range_size)).astype(np.int64)

@@ -1,0 +1,69 @@
+"""Geometric(1/2) rank functions used by HLL-style sketches.
+
+HyperLogLog, HLL++, vHLL and FreeRS all map each element to a register index
+``h`` and a rank ``rho`` distributed Geometric(1/2):
+``P(rho = k) = 2^-k`` for ``k = 1, 2, ...``.  The rank is obtained from the
+number of leading zero bits of (part of) the element's hash.
+
+We derive both the index and the rank from a single 64-bit hash: the low
+bits pick the register, the remaining high bits feed the leading-zero count.
+``max_rank`` caps the rank so it fits a ``w``-bit register (the cap is the
+same truncation HLL applies when a register has only ``w`` bits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.mix import MASK64
+
+
+def rho_from_hash(bits: int, width: int) -> int:
+    """Return the position of the first 1-bit in the top ``width`` bits.
+
+    ``bits`` is interpreted as a ``width``-bit unsigned integer; the return
+    value is in ``{1, ..., width + 1}`` where ``width + 1`` means all bits
+    were zero.  This matches the rho() definition of Flajolet et al.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    bits &= (1 << width) - 1
+    if bits == 0:
+        return width + 1
+    return width - bits.bit_length() + 1
+
+
+def geometric_rank(hash_value: int, max_rank: int = 64) -> int:
+    """Return a Geometric(1/2) rank derived from a 64-bit hash.
+
+    The rank is the number of leading zeros of the hash plus one, capped at
+    ``max_rank`` so the value fits in a fixed-width register.
+    """
+    if max_rank <= 0:
+        raise ValueError("max_rank must be positive")
+    value = hash_value & MASK64
+    rank = 65 - value.bit_length() if value else 65
+    return min(rank, max_rank)
+
+
+def geometric_rank_array(hash_values: np.ndarray, max_rank: int = 64) -> np.ndarray:
+    """Vectorised :func:`geometric_rank` over an array of ``uint64`` hashes."""
+    if max_rank <= 0:
+        raise ValueError("max_rank must be positive")
+    values = hash_values.astype(np.uint64, copy=False)
+    # bit_length of v is 64 - clz(v); emulate clz via log2 on the float path
+    # is unsafe for values near 2**64, so compute bit lengths by successive
+    # comparisons on the integer path instead.
+    ranks = np.full(values.shape, 65, dtype=np.int64)
+    nonzero = values != 0
+    if np.any(nonzero):
+        nz = values[nonzero]
+        bit_lengths = np.zeros(nz.shape, dtype=np.int64)
+        work = nz.copy()
+        for shift in (32, 16, 8, 4, 2, 1):
+            mask = work >= (np.uint64(1) << np.uint64(shift))
+            bit_lengths[mask] += shift
+            work[mask] >>= np.uint64(shift)
+        bit_lengths += 1  # work is now 1 for every nonzero input
+        ranks[nonzero] = 65 - bit_lengths
+    return np.minimum(ranks, max_rank)

@@ -1,0 +1,119 @@
+"""Packed bit array with constant-time zero-bit accounting.
+
+The bit array is the shared substrate of LPC, CSE and FreeBS.  Both CSE and
+FreeBS need to know, at every time step, how many bits of the array are still
+zero (the "fill" of the array); FreeBS additionally needs that count to be
+maintained in O(1) per update.  The array therefore tracks the number of set
+bits incrementally and never recounts unless explicitly asked to
+(:meth:`BitArray.recount`, used by the test-suite to cross-check the
+incremental bookkeeping).
+
+Bits are stored packed, 64 per ``numpy.uint64`` word, so a 2**20-bit array
+costs 128 KiB rather than the 8 MiB a byte-per-bit representation would use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BitArray:
+    """A fixed-size array of ``size`` bits, all initially zero."""
+
+    __slots__ = ("size", "_words", "_ones")
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError("size must be positive")
+        self.size = size
+        n_words = (size + 63) // 64
+        self._words = np.zeros(n_words, dtype=np.uint64)
+        self._ones = 0
+
+    # -- mutation -----------------------------------------------------------
+
+    def set_bit(self, index: int) -> bool:
+        """Set bit ``index`` to one; return True if the bit was previously zero."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"bit index {index} outside [0, {self.size})")
+        word_index, bit = divmod(index, 64)
+        mask = np.uint64(1) << np.uint64(bit)
+        word = self._words[word_index]
+        if word & mask:
+            return False
+        self._words[word_index] = word | mask
+        self._ones += 1
+        return True
+
+    def set_bits(self, indices: np.ndarray) -> int:
+        """Set many bits at once; return how many transitioned from 0 to 1.
+
+        Duplicates inside ``indices`` are handled correctly (each bit is
+        counted at most once).
+        """
+        flipped = 0
+        for index in np.unique(indices):
+            if self.set_bit(int(index)):
+                flipped += 1
+        return flipped
+
+    def clear(self) -> None:
+        """Reset every bit to zero."""
+        self._words.fill(0)
+        self._ones = 0
+
+    # -- queries ------------------------------------------------------------
+
+    def get_bit(self, index: int) -> bool:
+        """Return True if bit ``index`` is one."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"bit index {index} outside [0, {self.size})")
+        word_index, bit = divmod(index, 64)
+        return bool(self._words[word_index] >> np.uint64(bit) & np.uint64(1))
+
+    def get_bits(self, indices: np.ndarray) -> np.ndarray:
+        """Return a boolean array with the values of the requested bits."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.size):
+            raise IndexError("bit index outside the array")
+        words = self._words[idx // 64]
+        return ((words >> (idx % 64).astype(np.uint64)) & np.uint64(1)).astype(bool)
+
+    @property
+    def ones(self) -> int:
+        """Number of bits currently set to one (maintained incrementally)."""
+        return self._ones
+
+    @property
+    def zeros(self) -> int:
+        """Number of bits currently equal to zero."""
+        return self.size - self._ones
+
+    @property
+    def zero_fraction(self) -> float:
+        """Fraction of bits equal to zero (the ``U/M`` of LPC/CSE/FreeBS)."""
+        return (self.size - self._ones) / self.size
+
+    def recount(self) -> int:
+        """Recount set bits from the raw words (O(size/64)); used for checks."""
+        counts = np.bitwise_count(self._words) if hasattr(np, "bitwise_count") else None
+        if counts is None:
+            total = sum(int(word).bit_count() for word in self._words)
+        else:
+            total = int(counts.sum())
+        return total
+
+    def memory_bits(self) -> int:
+        """Memory footprint of the bit payload in bits."""
+        return self.size
+
+    def to_numpy(self) -> np.ndarray:
+        """Return the full array as a boolean numpy vector (for analysis)."""
+        bits = np.unpackbits(self._words.view(np.uint8), bitorder="little")
+        return bits[: self.size].astype(bool)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BitArray(size={self.size}, ones={self._ones})"

@@ -1,0 +1,83 @@
+"""Flajolet–Martin probabilistic counting (PCSA variant, 1985).
+
+The FM sketch keeps ``m`` bitmaps of ``width`` bits.  Every element is routed
+to one bitmap and sets the bit whose position follows a Geometric(1/2) law;
+the estimate is derived from the average position of the lowest unset bit
+across bitmaps:
+
+    n_hat = (m / phi) * 2^(mean lowest-unset-bit position)
+
+with the standard PCSA correction factor ``phi ~= 0.77351``.
+
+FM is the historical ancestor of LogLog/HLL and is included both for the
+related-work ablations and because FreeRS registers are exactly FM/HLL
+registers shared across users.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing import hash64, rho_from_hash
+
+_PHI = 0.77351  # Flajolet & Martin's correction factor.
+
+
+class FlajoletMartinSketch:
+    """A PCSA sketch with ``m`` bitmaps of ``width`` bits each."""
+
+    def __init__(self, m: int = 64, width: int = 32, seed: int = 0) -> None:
+        if m <= 0:
+            raise ValueError("m must be positive")
+        if width <= 0 or width > 56:
+            raise ValueError("width must be in (0, 56]")
+        self.m = m
+        self.width = width
+        self.seed = seed
+        self._bitmaps = np.zeros(m, dtype=np.uint64)
+
+    def add(self, item: object) -> bool:
+        """Insert ``item``; return True if the insertion changed the sketch."""
+        return self.add_hashed(hash64(item, seed=self.seed))
+
+    def add_hashed(self, hash_value: int) -> bool:
+        """Insert a pre-hashed 64-bit value."""
+        bucket = hash_value % self.m
+        suffix = hash_value // self.m
+        position = rho_from_hash(suffix, self.width) - 1  # zero-based bit position
+        position = min(position, self.width - 1)
+        mask = np.uint64(1) << np.uint64(position)
+        before = self._bitmaps[bucket]
+        if before & mask:
+            return False
+        self._bitmaps[bucket] = before | mask
+        return True
+
+    def _lowest_unset_positions(self) -> np.ndarray:
+        positions = np.zeros(self.m, dtype=np.int64)
+        for i, bitmap in enumerate(self._bitmaps):
+            value = int(bitmap)
+            position = 0
+            while value & 1:
+                value >>= 1
+                position += 1
+            positions[i] = position
+        return positions
+
+    def estimate(self) -> float:
+        """Return the PCSA cardinality estimate."""
+        mean_position = float(self._lowest_unset_positions().mean())
+        return (self.m / _PHI) * (2.0 ** mean_position - 1.0) if mean_position else 0.0
+
+    def memory_bits(self) -> int:
+        """Memory footprint of the sketch in bits."""
+        return self.m * self.width
+
+    def merge(self, other: "FlajoletMartinSketch") -> None:
+        """Merge another FM sketch built with the same parameters (bitwise OR)."""
+        if (other.m, other.width, other.seed) != (self.m, self.width, self.seed):
+            raise ValueError("can only merge FM sketches with identical parameters")
+        self._bitmaps |= other._bitmaps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FlajoletMartinSketch(m={self.m}, width={self.width})"

@@ -1,0 +1,124 @@
+"""HyperLogLog (Flajolet, Fusy, Gandouet & Meunier 2007).
+
+HLL keeps ``m`` registers storing the maximum Geometric(1/2) rank of the
+elements routed to each register and estimates the cardinality with the
+harmonic mean:
+
+    n_raw = alpha_m * m^2 / sum_j 2^-R[j]
+
+with two corrections taken from the original paper:
+
+* small range: when ``n_raw < 2.5 m`` and some registers are still zero, the
+  sketch is treated as an LPC bitmap and linear counting is used instead
+  (this is the same switch the paper applies inside vHLL);
+* large range (32-bit hash only): not needed here because ranks are derived
+  from a 64-bit hash, as in HLL++.
+
+``alpha_m`` follows the standard numeric values (0.673 / 0.697 / 0.709 and
+the asymptotic formula for m >= 128) quoted in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hashing import geometric_rank, hash64, splitmix64
+from repro.sketches.registers import RegisterArray
+
+
+def alpha_m(m: int) -> float:
+    """Return the HLL bias-correction constant ``alpha_m`` for ``m`` registers."""
+    if m <= 0:
+        raise ValueError("m must be positive")
+    if m <= 16:
+        return 0.673
+    if m <= 32:
+        return 0.697
+    if m <= 64:
+        return 0.709
+    return 0.7213 / (1.0 + 1.079 / m)
+
+
+def beta_m(m: int) -> float:
+    """Return the asymptotic relative-standard-error constant ``beta_m``.
+
+    ``RSE(HLL) ~= beta_m / sqrt(m)``; the values follow Flajolet et al.
+    (1.106 at m=16 decreasing toward 1.039 asymptotically).
+    """
+    table = {16: 1.106, 32: 1.070, 64: 1.054, 128: 1.046}
+    if m in table:
+        return table[m]
+    if m < 16:
+        return 1.106
+    return 1.039 + 0.9 / m
+
+
+class HyperLogLog:
+    """An HLL sketch with ``m`` registers of ``width`` bits each."""
+
+    def __init__(self, m: int = 64, width: int = 5, seed: int = 0) -> None:
+        if m <= 0:
+            raise ValueError("m must be positive")
+        self.m = m
+        self.seed = seed
+        self._registers = RegisterArray(m, width=width)
+        self._alpha = alpha_m(m)
+
+    # -- updates ------------------------------------------------------------
+
+    def add(self, item: object) -> bool:
+        """Insert ``item``; return True if the insertion changed the sketch."""
+        return self.add_hashed(hash64(item, seed=self.seed))
+
+    def add_hashed(self, hash_value: int) -> bool:
+        """Insert a pre-hashed 64-bit value."""
+        bucket = hash_value % self.m
+        # Derive the rank from an independent remix of the hash; using the
+        # quotient hash//m directly would inject ~log2(m) spurious leading
+        # zeros and bias every register upward.
+        rank = geometric_rank(splitmix64(hash_value), max_rank=self._registers.max_value)
+        return self._registers.update(bucket, rank)
+
+    # -- estimation ---------------------------------------------------------
+
+    def raw_estimate(self) -> float:
+        """Return the uncorrected harmonic-mean estimate."""
+        return self._alpha * self.m * self.m / self._registers.harmonic_sum
+
+    def estimate(self) -> float:
+        """Return the HLL estimate with the small-range (linear counting) switch."""
+        raw = self.raw_estimate()
+        if raw < 2.5 * self.m:
+            zeros = self._registers.zeros
+            if zeros > 0:
+                return self.m * math.log(self.m / zeros)
+        return raw
+
+    def memory_bits(self) -> int:
+        """Memory footprint of the sketch in bits."""
+        return self._registers.memory_bits()
+
+    @property
+    def registers(self) -> RegisterArray:
+        """The underlying register array (read access for analysis/tests)."""
+        return self._registers
+
+    def merge(self, other: "HyperLogLog") -> None:
+        """Merge another HLL sketch with identical parameters (register max)."""
+        if (other.m, other.seed, other._registers.width) != (
+            self.m,
+            self.seed,
+            self._registers.width,
+        ):
+            raise ValueError("can only merge HLL sketches with identical parameters")
+        for index in range(self.m):
+            self._registers.update(index, other._registers.get(index))
+
+    # -- analytic error model -------------------------------------------------
+
+    def analytic_standard_error(self) -> float:
+        """Asymptotic relative standard error ``beta_m / sqrt(m)``."""
+        return beta_m(self.m) / math.sqrt(self.m)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HyperLogLog(m={self.m})"

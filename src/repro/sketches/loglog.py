@@ -1,0 +1,81 @@
+"""LogLog cardinality estimation (Durand & Flajolet 2003).
+
+LogLog keeps ``m`` registers, each storing the maximum Geometric(1/2) rank of
+the elements routed to it, and estimates the cardinality from the *arithmetic*
+mean of the registers:
+
+    n_hat = alpha_loglog(m) * m * 2^(mean register)
+
+HyperLogLog later replaced the arithmetic mean with the harmonic mean, which
+is what the paper's register-sharing methods build on.  LogLog is included as
+an ablation baseline and to exercise the shared RegisterArray substrate with
+a second estimator.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.hashing import geometric_rank, hash64, splitmix64
+from repro.sketches.registers import RegisterArray
+
+
+def loglog_alpha(m: int) -> float:
+    """Return the LogLog bias-correction constant for ``m`` registers.
+
+    The asymptotic constant is ``(Gamma(-1/m) * (1 - 2^(1/m)) / ln 2)^-m``,
+    which converges to about 0.39701 for large ``m``; the closed form is used
+    directly for every ``m`` larger than 2.
+    """
+    if m <= 2:
+        return 0.39701
+    gamma = math.gamma(-1.0 / m)
+    return (gamma * (1.0 - 2.0 ** (1.0 / m)) / math.log(2.0)) ** (-m)
+
+
+class LogLogSketch:
+    """A LogLog sketch with ``m`` registers of ``width`` bits each."""
+
+    def __init__(self, m: int = 64, width: int = 5, seed: int = 0) -> None:
+        if m <= 0:
+            raise ValueError("m must be positive")
+        self.m = m
+        self.seed = seed
+        self._registers = RegisterArray(m, width=width)
+        self._alpha = loglog_alpha(m)
+
+    def add(self, item: object) -> bool:
+        """Insert ``item``; return True if the insertion changed the sketch."""
+        return self.add_hashed(hash64(item, seed=self.seed))
+
+    def add_hashed(self, hash_value: int) -> bool:
+        """Insert a pre-hashed 64-bit value."""
+        bucket = hash_value % self.m
+        # Remix before ranking so the bucket choice does not bias the rank.
+        rank = geometric_rank(splitmix64(hash_value), max_rank=self._registers.max_value)
+        return self._registers.update(bucket, rank)
+
+    def estimate(self) -> float:
+        """Return the LogLog cardinality estimate."""
+        mean_register = float(np.mean(self._registers.values.astype(np.float64)))
+        return self._alpha * self.m * (2.0 ** mean_register)
+
+    def memory_bits(self) -> int:
+        """Memory footprint of the sketch in bits."""
+        return self._registers.memory_bits()
+
+    def merge(self, other: "LogLogSketch") -> None:
+        """Merge another LogLog sketch with identical parameters (register max)."""
+        if (other.m, other.seed, other._registers.width) != (
+            self.m,
+            self.seed,
+            self._registers.width,
+        ):
+            raise ValueError("can only merge LogLog sketches with identical parameters")
+        for index in range(self.m):
+            self._registers.update(index, other._registers.get(index))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LogLogSketch(m={self.m})"

@@ -1,0 +1,113 @@
+"""Linear-Time Probabilistic Counting (Whang, Vander-Zanden & Taylor 1990).
+
+LPC stores a bitmap of ``m`` bits.  Every distinct element hashes to one bit,
+which is set to one; the cardinality is estimated from the fraction of bits
+still zero:
+
+    n_hat = -m * ln(U / m)
+
+where ``U`` is the number of zero bits.  The estimator is accurate while the
+bitmap is not saturated; its usable range is roughly ``[0, m ln m]`` and once
+all bits are set (``U = 0``) the estimate is pinned to that maximum.
+
+In the paper LPC appears twice: as a per-user baseline (each user gets its own
+small bitmap under a shared memory budget) and as the substrate that CSE
+virtualises.  The analytic bias and variance of the estimator
+(Section III-A.1) are exposed as :meth:`LinearProbabilisticCounter.analytic_bias`
+and :meth:`analytic_variance` so the test-suite can compare empirical errors
+against the paper's formulas.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hashing import hash64
+from repro.sketches.bitarray import BitArray
+
+
+class LinearProbabilisticCounter:
+    """An LPC sketch of ``m`` bits for a single multiset."""
+
+    def __init__(self, m: int, seed: int = 0) -> None:
+        if m <= 0:
+            raise ValueError("m must be positive")
+        self.m = m
+        self.seed = seed
+        self._bits = BitArray(m)
+
+    # -- updates ------------------------------------------------------------
+
+    def add(self, item: object) -> bool:
+        """Insert ``item``; return True if the insertion changed the sketch."""
+        index = hash64(item, seed=self.seed) % self.m
+        return self._bits.set_bit(index)
+
+    def add_hashed(self, hash_value: int) -> bool:
+        """Insert a pre-hashed 64-bit value (hot-path variant of :meth:`add`)."""
+        return self._bits.set_bit(hash_value % self.m)
+
+    # -- estimation ---------------------------------------------------------
+
+    @property
+    def zero_bits(self) -> int:
+        """Number of zero bits ``U`` in the bitmap."""
+        return self._bits.zeros
+
+    @property
+    def max_estimate(self) -> float:
+        """Upper end of the usable estimation range, ``m ln m``."""
+        return self.m * math.log(self.m)
+
+    def estimate(self) -> float:
+        """Return the LPC cardinality estimate ``-m ln(U/m)``.
+
+        When the bitmap saturates (``U = 0``) the estimate is pinned at
+        ``m ln m``, the maximum value the estimator can express.
+        """
+        zeros = self._bits.zeros
+        if zeros == 0:
+            return self.max_estimate
+        return -self.m * math.log(zeros / self.m)
+
+    def is_saturated(self) -> bool:
+        """True when every bit is set and the estimate is pinned at its max."""
+        return self._bits.zeros == 0
+
+    def memory_bits(self) -> int:
+        """Memory footprint of the sketch in bits."""
+        return self._bits.memory_bits()
+
+    def merge(self, other: "LinearProbabilisticCounter") -> None:
+        """Merge another LPC sketch built with the same ``m`` and seed.
+
+        Merging ORs the bitmaps, which makes the merged sketch equal to the
+        sketch of the union of the two input multisets.
+        """
+        if other.m != self.m or other.seed != self.seed:
+            raise ValueError("can only merge LPC sketches with identical m and seed")
+        merged = self._bits.to_numpy() | other._bits.to_numpy()
+        self._bits.clear()
+        for index in merged.nonzero()[0]:
+            self._bits.set_bit(int(index))
+
+    # -- analytic error model (paper Section III-A.1) -------------------------
+
+    def analytic_bias(self, true_cardinality: float) -> float:
+        """Expected bias of the estimator at a given true cardinality."""
+        load = true_cardinality / self.m
+        return 0.5 * (math.exp(load) - load - 1.0)
+
+    def analytic_variance(self, true_cardinality: float) -> float:
+        """Approximate variance of the estimator at a given true cardinality."""
+        load = true_cardinality / self.m
+        return self.m * (math.exp(load) - load - 1.0)
+
+    def analytic_standard_error(self, true_cardinality: float) -> float:
+        """Relative standard error predicted by the analytic variance."""
+        if true_cardinality <= 0:
+            return 0.0
+        return math.sqrt(self.analytic_variance(true_cardinality)) / true_cardinality
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LinearProbabilisticCounter(m={self.m}, zeros={self._bits.zeros})"

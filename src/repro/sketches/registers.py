@@ -1,0 +1,113 @@
+"""Packed array of w-bit registers with incremental harmonic-sum accounting.
+
+Register arrays are the shared substrate of HLL, HLL++, vHLL and FreeRS.
+Every HLL-style estimator needs the harmonic sum ``sum_j 2^-R[j]`` over its
+registers; FreeRS additionally needs the harmonic sum of the *whole shared
+array* to be available in O(1) after each update (it equals ``M * q_R(t)``).
+The array therefore maintains the sum incrementally as registers grow, and
+also tracks the number of zero registers (used by the small-range linear
+counting correction of HLL/vHLL).
+
+Registers are stored in a ``numpy.uint8`` vector.  The paper uses 5-bit
+registers for vHLL/FreeRS and 6-bit registers for HLL++; we keep each
+register in its own byte for simplicity but *account* memory as
+``width * count`` bits so that the equal-memory comparisons of the paper are
+faithful.  Register values are capped at ``2**width - 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RegisterArray:
+    """A fixed-size array of ``count`` registers of ``width`` bits each."""
+
+    __slots__ = ("count", "width", "max_value", "_values", "_harmonic_sum", "_zeros")
+
+    def __init__(self, count: int, width: int = 5) -> None:
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if not 1 <= width <= 8:
+            raise ValueError("width must be between 1 and 8 bits")
+        self.count = count
+        self.width = width
+        self.max_value = (1 << width) - 1
+        self._values = np.zeros(count, dtype=np.uint8)
+        # sum_j 2^-R[j]; all registers start at zero so the sum starts at count.
+        self._harmonic_sum = float(count)
+        self._zeros = count
+
+    # -- mutation -----------------------------------------------------------
+
+    def update(self, index: int, rank: int) -> bool:
+        """Raise register ``index`` to ``rank`` if larger; return True on change.
+
+        ``rank`` is clipped to the register capacity ``2**width - 1``, exactly
+        as a hardware register of that width would saturate.
+        """
+        if not 0 <= index < self.count:
+            raise IndexError(f"register index {index} outside [0, {self.count})")
+        rank = min(int(rank), self.max_value)
+        current = int(self._values[index])
+        if rank <= current:
+            return False
+        self._values[index] = rank
+        self._harmonic_sum += 2.0 ** (-rank) - 2.0 ** (-current)
+        if current == 0:
+            self._zeros -= 1
+        return True
+
+    def clear(self) -> None:
+        """Reset every register to zero."""
+        self._values.fill(0)
+        self._harmonic_sum = float(self.count)
+        self._zeros = self.count
+
+    # -- queries ------------------------------------------------------------
+
+    def get(self, index: int) -> int:
+        """Return the value of register ``index``."""
+        if not 0 <= index < self.count:
+            raise IndexError(f"register index {index} outside [0, {self.count})")
+        return int(self._values[index])
+
+    def get_many(self, indices: np.ndarray) -> np.ndarray:
+        """Return the values of the requested registers as an int array."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.count):
+            raise IndexError("register index outside the array")
+        return self._values[idx].astype(np.int64)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only view of the raw register values."""
+        return self._values
+
+    @property
+    def harmonic_sum(self) -> float:
+        """``sum_j 2^-R[j]`` maintained incrementally (the core of q_R)."""
+        return self._harmonic_sum
+
+    @property
+    def zeros(self) -> int:
+        """Number of registers currently equal to zero."""
+        return self._zeros
+
+    def recompute_harmonic_sum(self) -> float:
+        """Recompute the harmonic sum from scratch (test cross-check)."""
+        return float(np.sum(np.exp2(-self._values.astype(np.float64))))
+
+    def recount_zeros(self) -> int:
+        """Recount zero registers from scratch (test cross-check)."""
+        return int(np.count_nonzero(self._values == 0))
+
+    def memory_bits(self) -> int:
+        """Accounted memory footprint in bits (``count * width``)."""
+        return self.count * self.width
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RegisterArray(count={self.count}, width={self.width})"

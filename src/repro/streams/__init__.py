@@ -1,0 +1,43 @@
+"""Graph-stream substrate: edges, streams, generators and dataset stand-ins.
+
+The paper evaluates on six real-world datasets (two CAIDA traffic traces and
+four social graphs).  Those datasets cannot be redistributed, so this package
+provides
+
+* a small edge/stream model (:mod:`repro.streams.edge`,
+  :mod:`repro.streams.stream`) with text IO (:mod:`repro.streams.io`),
+* synthetic bipartite stream generators with heavy-tailed user cardinalities
+  and controllable duplicate ratios (:mod:`repro.streams.generators`), and
+* a registry of *dataset stand-ins* shaped to the summary statistics of the
+  paper's Table I, scaled down so pure-Python experiments finish
+  (:mod:`repro.streams.datasets`).
+"""
+
+from repro.streams.edge import Edge
+from repro.streams.stream import GraphStream, materialize
+from repro.streams.io import read_edge_file, write_edge_file
+from repro.streams.generators import (
+    StreamSpec,
+    interleaved_stream,
+    uniform_bipartite_stream,
+    zipf_bipartite_stream,
+    zipf_cardinalities,
+)
+from repro.streams.datasets import DATASETS, DatasetSpec, dataset_names, load_dataset
+
+__all__ = [
+    "Edge",
+    "GraphStream",
+    "materialize",
+    "read_edge_file",
+    "write_edge_file",
+    "StreamSpec",
+    "zipf_cardinalities",
+    "zipf_bipartite_stream",
+    "uniform_bipartite_stream",
+    "interleaved_stream",
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "load_dataset",
+]

@@ -1,0 +1,173 @@
+"""Synthetic stand-ins for the paper's six evaluation datasets.
+
+The paper evaluates on two CAIDA passive traces (equinix-sanjose,
+equinix-chicago) and four social graphs (Twitter, Flickr, Orkut,
+LiveJournal).  None of these can be redistributed, so this module registers
+a synthetic stand-in per dataset whose *shape* matches the paper's Table I:
+
+* the user-cardinality distribution is a truncated power law whose tail
+  exponent and truncation are chosen so that the average cardinality
+  (total / users) and the max/average ratio are close to the original,
+* duplicates are injected at a per-dataset rate (traffic traces repeat
+  edges heavily, social-graph crawls less so),
+* everything is scaled down by ``scale`` (default ~1/300 of the original
+  user population) so that pure-Python experiments finish in minutes; memory
+  parameters in the experiments are scaled by the same factor, which keeps
+  the load factor — the quantity that actually drives estimator error —
+  faithful to the paper.
+
+Users with the real datasets can bypass this module entirely:
+``repro.streams.io.read_edge_file`` accepts the standard SNAP edge-list
+format the originals ship in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.streams.generators import zipf_bipartite_stream
+from repro.streams.stream import GraphStream
+
+UserItemPair = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Description of one dataset stand-in and the paper statistics it mimics."""
+
+    name: str
+    #: Paper Table I statistics of the original dataset.
+    paper_users: int
+    paper_max_cardinality: int
+    paper_total_cardinality: int
+    #: Stand-in generation parameters (at scale=1.0).
+    n_users: int
+    target_total_cardinality: int
+    max_cardinality: int
+    alpha: float
+    duplicate_factor: float
+    seed: int
+
+    @property
+    def paper_average_cardinality(self) -> float:
+        """Average user cardinality of the original dataset."""
+        return self.paper_total_cardinality / self.paper_users
+
+    def generate(self, scale: float = 1.0, seed_offset: int = 0) -> List[UserItemPair]:
+        """Materialise the stand-in stream, optionally scaled down further."""
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        n_users = max(50, int(self.n_users * scale))
+        total = max(200, int(self.target_total_cardinality * scale))
+        max_card = max(20, int(self.max_cardinality * min(1.0, scale * 2)))
+        return zipf_bipartite_stream(
+            n_users=n_users,
+            n_pairs=total,
+            alpha=self.alpha,
+            max_cardinality=max_card,
+            duplicate_factor=self.duplicate_factor,
+            seed=self.seed + seed_offset,
+        )
+
+    def load(self, scale: float = 1.0, seed_offset: int = 0) -> GraphStream:
+        """Return the stand-in as a replayable :class:`GraphStream`."""
+        pairs = self.generate(scale=scale, seed_offset=seed_offset)
+        return GraphStream(pairs, name=self.name)
+
+
+#: Registry of dataset stand-ins, keyed by the paper's dataset names.
+DATASETS: Dict[str, DatasetSpec] = {
+    "sanjose": DatasetSpec(
+        name="sanjose",
+        paper_users=8_387_347,
+        paper_max_cardinality=313_772,
+        paper_total_cardinality=23_073_907,
+        n_users=20_000,
+        target_total_cardinality=55_000,
+        max_cardinality=800,
+        alpha=1.9,
+        duplicate_factor=1.0,
+        seed=101,
+    ),
+    "chicago": DatasetSpec(
+        name="chicago",
+        paper_users=1_966_677,
+        paper_max_cardinality=106_026,
+        paper_total_cardinality=9_910_287,
+        n_users=8_000,
+        target_total_cardinality=40_000,
+        max_cardinality=450,
+        alpha=1.8,
+        duplicate_factor=1.0,
+        seed=102,
+    ),
+    "Twitter": DatasetSpec(
+        name="Twitter",
+        paper_users=40_103_281,
+        paper_max_cardinality=2_997_496,
+        paper_total_cardinality=1_468_365_182,
+        n_users=6_000,
+        target_total_cardinality=200_000,
+        max_cardinality=5_000,
+        alpha=1.25,
+        duplicate_factor=0.3,
+        seed=103,
+    ),
+    "Flickr": DatasetSpec(
+        name="Flickr",
+        paper_users=1_441_431,
+        paper_max_cardinality=26_185,
+        paper_total_cardinality=22_613_980,
+        n_users=6_000,
+        target_total_cardinality=90_000,
+        max_cardinality=1_100,
+        alpha=1.5,
+        duplicate_factor=0.4,
+        seed=104,
+    ),
+    "Orkut": DatasetSpec(
+        name="Orkut",
+        paper_users=2_997_376,
+        paper_max_cardinality=31_949,
+        paper_total_cardinality=223_534_301,
+        n_users=4_000,
+        target_total_cardinality=130_000,
+        max_cardinality=2_000,
+        alpha=1.3,
+        duplicate_factor=0.4,
+        seed=105,
+    ),
+    "LiveJournal": DatasetSpec(
+        name="LiveJournal",
+        paper_users=4_590_650,
+        paper_max_cardinality=9_186,
+        paper_total_cardinality=76_937_805,
+        n_users=6_000,
+        target_total_cardinality=100_000,
+        max_cardinality=650,
+        alpha=1.45,
+        duplicate_factor=0.4,
+        seed=106,
+    ),
+}
+
+
+def dataset_names() -> List[str]:
+    """Names of all registered dataset stand-ins, in the paper's order."""
+    return list(DATASETS)
+
+
+def load_dataset(name: str, scale: float = 1.0, seed_offset: int = 0) -> GraphStream:
+    """Load a dataset stand-in by name.
+
+    ``scale`` multiplies the stand-in's user population and total cardinality
+    (use small values such as 0.1 for quick smoke runs); ``seed_offset``
+    produces an independent realisation of the same dataset shape.
+    """
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        known = ", ".join(DATASETS)
+        raise KeyError(f"unknown dataset {name!r}; known datasets: {known}") from None
+    return spec.load(scale=scale, seed_offset=seed_offset)

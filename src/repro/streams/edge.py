@@ -1,0 +1,40 @@
+"""Edge model for bipartite graph streams.
+
+The estimators themselves accept plain ``(user, item)`` tuples on their hot
+path (creating an object per update would dominate the runtime of a pure
+Python implementation), so :class:`Edge` is used at the boundaries: dataset
+files, generators that need to carry timestamps, and the experiment reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """One (user, item) occurrence in a graph stream.
+
+    Attributes
+    ----------
+    user:
+        Source endpoint (e.g. the monitored network host).
+    item:
+        Destination endpoint (e.g. the visited website).
+    timestamp:
+        Position of the edge in the stream; generators assign consecutive
+        integers, file readers preserve whatever the file records.
+    """
+
+    user: object
+    item: object
+    timestamp: int = 0
+
+    def as_pair(self) -> Tuple[object, object]:
+        """Return the (user, item) tuple consumed by the estimators."""
+        return (self.user, self.item)
+
+    def reversed(self) -> "Edge":
+        """Return the edge with endpoints swapped (for regular-graph streams)."""
+        return Edge(user=self.item, item=self.user, timestamp=self.timestamp)

@@ -1,0 +1,216 @@
+"""Synthetic bipartite graph-stream generators.
+
+All accuracy properties of the estimators under study depend on three things
+only: the distribution of user cardinalities (heavy tailed in every dataset
+of the paper, see its Figure 2), the total number of distinct (user, item)
+pairs relative to the memory budget, and the amount of edge duplication.
+The generators below give precise control over all three, which is what the
+dataset stand-ins of :mod:`repro.streams.datasets` are built from.
+
+Users are integers ``0 .. n_users-1``.  Items are integers drawn from a
+per-user item space: item ``j`` of user ``u`` is encoded as
+``u * item_stride + j`` so that distinct users never share items unless
+``shared_item_space`` is requested (sharing does not change any estimator's
+behaviour — all of them hash the *(user, item)* pair or route items through
+user-specific hash functions — but the option exists for realism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+UserItemPair = Tuple[int, int]
+
+_ITEM_STRIDE = 1 << 26  # large enough that u * stride + j never collides at our scales
+
+
+def zipf_cardinalities(
+    n_users: int,
+    alpha: float = 1.3,
+    max_cardinality: int = 10_000,
+    min_cardinality: int = 1,
+    seed: int = 0,
+) -> np.ndarray:
+    """Draw heavy-tailed per-user target cardinalities.
+
+    Cardinalities follow a discrete truncated power law
+    ``P(n) ~ n^-alpha`` on ``[min_cardinality, max_cardinality]``, which
+    matches the straight-line CCDFs of the paper's Figure 2.
+
+    Returns an ``int64`` array of length ``n_users``.
+    """
+    if n_users <= 0:
+        raise ValueError("n_users must be positive")
+    if max_cardinality < min_cardinality:
+        raise ValueError("max_cardinality must be >= min_cardinality")
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    rng = np.random.default_rng(seed)
+    # Inverse-CDF sampling of a continuous Pareto truncated to the range,
+    # then floored to integers; alpha == 1 needs the logarithmic special case.
+    u = rng.random(n_users)
+    lo = float(min_cardinality)
+    hi = float(max_cardinality) + 1.0
+    if abs(alpha - 1.0) < 1e-9:
+        samples = lo * (hi / lo) ** u
+    else:
+        exponent = 1.0 - alpha
+        samples = (lo**exponent + u * (hi**exponent - lo**exponent)) ** (1.0 / exponent)
+    return np.clip(samples.astype(np.int64), min_cardinality, max_cardinality)
+
+
+def _pairs_for_cardinalities(
+    cardinalities: Sequence[int],
+    duplicate_factor: float,
+    seed: int,
+    shared_item_space: bool,
+) -> List[UserItemPair]:
+    """Build a shuffled stream realising the requested per-user cardinalities.
+
+    Every user ``u`` with target cardinality ``c`` contributes exactly ``c``
+    distinct pairs; an extra ``duplicate_factor`` fraction of the stream is
+    made of re-draws of already-emitted pairs, uniformly at random.
+    """
+    if duplicate_factor < 0:
+        raise ValueError("duplicate_factor must be non-negative")
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    cards = np.asarray(cardinalities, dtype=np.int64)
+    users = np.repeat(np.arange(len(cards), dtype=np.int64), cards)
+    if shared_item_space:
+        # Items drawn without replacement per user from a common universe.
+        item_universe = int(max(1, cards.sum()))
+        offsets = np.concatenate(([0], np.cumsum(cards)))
+        items = np.empty(int(cards.sum()), dtype=np.int64)
+        for index, cardinality in enumerate(cards):
+            items[offsets[index] : offsets[index + 1]] = rng.choice(
+                item_universe, size=int(cardinality), replace=False
+            )
+    else:
+        # Item j of user u encoded as u * stride + j: distinct by construction.
+        items = np.concatenate(
+            [np.arange(int(c), dtype=np.int64) for c in cards]
+        ) if len(cards) else np.empty(0, dtype=np.int64)
+        items = items + users * _ITEM_STRIDE
+    distinct = np.stack([users, items], axis=1)
+    n_duplicates = int(round(duplicate_factor * len(distinct)))
+    if n_duplicates and len(distinct):
+        duplicate_rows = distinct[rng.integers(0, len(distinct), size=n_duplicates)]
+        stream = np.concatenate([distinct, duplicate_rows], axis=0)
+    else:
+        stream = distinct
+    rng.shuffle(stream)
+    return [(int(user), int(item)) for user, item in stream]
+
+
+def zipf_bipartite_stream(
+    n_users: int,
+    n_pairs: int | None = None,
+    alpha: float = 1.3,
+    max_cardinality: int = 10_000,
+    duplicate_factor: float = 0.5,
+    seed: int = 0,
+    shared_item_space: bool = False,
+) -> List[UserItemPair]:
+    """Generate a shuffled bipartite stream with Zipf-ian user cardinalities.
+
+    Parameters
+    ----------
+    n_users:
+        Number of distinct users.
+    n_pairs:
+        If given, the per-user cardinalities are rescaled so the number of
+        *distinct* pairs is approximately ``n_pairs`` (before duplicates).
+    alpha, max_cardinality:
+        Power-law shape and truncation of the cardinality distribution.
+    duplicate_factor:
+        Extra fraction of the stream made of duplicate pairs.
+    shared_item_space:
+        Draw items from a common universe instead of per-user item spaces.
+    """
+    cards = zipf_cardinalities(
+        n_users, alpha=alpha, max_cardinality=max_cardinality, seed=seed
+    )
+    if n_pairs is not None:
+        total = int(cards.sum())
+        if total == 0:
+            raise ValueError("generated zero total cardinality; increase n_users")
+        scale = n_pairs / total
+        cards = np.maximum(1, np.round(cards * scale)).astype(np.int64)
+    return _pairs_for_cardinalities(cards, duplicate_factor, seed, shared_item_space)
+
+
+def uniform_bipartite_stream(
+    n_users: int,
+    cardinality: int,
+    duplicate_factor: float = 0.0,
+    seed: int = 0,
+) -> List[UserItemPair]:
+    """Generate a stream where every user has exactly the same cardinality.
+
+    Used by the statistical tests: with all users identical, the empirical
+    RSE at that cardinality can be measured from a single run.
+    """
+    if cardinality <= 0:
+        raise ValueError("cardinality must be positive")
+    cards = np.full(n_users, cardinality, dtype=np.int64)
+    return _pairs_for_cardinalities(cards, duplicate_factor, seed, shared_item_space=False)
+
+
+def interleaved_stream(
+    early_users: int,
+    late_users: int,
+    cardinality: int,
+    seed: int = 0,
+) -> List[UserItemPair]:
+    """Generate a stream where one group of users finishes before another starts.
+
+    The FreeBS-vs-FreeRS discussion in Section IV-C of the paper predicts that
+    bit sharing favours users whose pairs arrive early (while the array is
+    still sparse) and register sharing favours users that arrive late.  This
+    generator produces exactly that arrival pattern: all pairs of the
+    ``early_users`` group appear before any pair of the ``late_users`` group;
+    inside each group the order is shuffled.
+    """
+    rng = np.random.default_rng(seed)
+    early = _pairs_for_cardinalities(
+        np.full(early_users, cardinality, dtype=np.int64), 0.0, seed, False
+    )
+    late_cards = np.full(late_users, cardinality, dtype=np.int64)
+    late_raw = _pairs_for_cardinalities(late_cards, 0.0, seed + 1, False)
+    # Shift the late group's user ids so the two groups do not overlap.
+    late = [(user + early_users, item + early_users * _ITEM_STRIDE) for user, item in late_raw]
+    rng.shuffle(early)
+    rng.shuffle(late)
+    return early + late
+
+
+@dataclass
+class StreamSpec:
+    """Declarative description of a synthetic stream (used by the dataset registry)."""
+
+    name: str
+    n_users: int
+    alpha: float = 1.3
+    max_cardinality: int = 10_000
+    target_total_cardinality: int | None = None
+    duplicate_factor: float = 0.5
+    seed: int = 0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def generate(self, seed_offset: int = 0) -> List[UserItemPair]:
+        """Materialise the stream described by this spec."""
+        return zipf_bipartite_stream(
+            n_users=self.n_users,
+            n_pairs=self.target_total_cardinality,
+            alpha=self.alpha,
+            max_cardinality=self.max_cardinality,
+            duplicate_factor=self.duplicate_factor,
+            seed=self.seed + seed_offset,
+        )
+
+    def iter_pairs(self, seed_offset: int = 0) -> Iterator[UserItemPair]:
+        """Iterate the generated stream without keeping a reference to it."""
+        return iter(self.generate(seed_offset))

@@ -1,0 +1,120 @@
+"""Replayable graph streams.
+
+A :class:`GraphStream` wraps a *factory* of (user, item) pairs so that the
+same stream can be replayed for every estimator under comparison — essential
+for the paper's experiments, where six methods must observe exactly the same
+edge sequence.  Streams can be built from a list, a generator factory or a
+file, and expose exact summary statistics (user count, per-user
+cardinalities, total cardinality) computed on demand and cached.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+UserItemPair = Tuple[object, object]
+
+
+def materialize(pairs: Iterable[UserItemPair]) -> List[UserItemPair]:
+    """Materialise a pair iterable into a list (convenience re-export)."""
+    return list(pairs)
+
+
+class GraphStream:
+    """A replayable stream of (user, item) pairs with cached exact statistics."""
+
+    def __init__(
+        self,
+        source: Callable[[], Iterable[UserItemPair]] | List[UserItemPair],
+        name: str = "stream",
+    ) -> None:
+        if callable(source):
+            self._factory: Callable[[], Iterable[UserItemPair]] = source
+            self._pairs: Optional[List[UserItemPair]] = None
+        else:
+            pairs = list(source)
+            self._pairs = pairs
+            self._factory = lambda: pairs
+        self.name = name
+        self._stats: Optional[Dict[str, object]] = None
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[UserItemPair], name: str = "stream") -> "GraphStream":
+        """Build a stream from an in-memory iterable of pairs."""
+        return cls(list(pairs), name=name)
+
+    # -- iteration -------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[UserItemPair]:
+        return iter(self._factory())
+
+    def pairs(self) -> List[UserItemPair]:
+        """Return (and cache) the full list of pairs."""
+        if self._pairs is None:
+            self._pairs = list(self._factory())
+            cached = self._pairs
+            self._factory = lambda: cached
+        return self._pairs
+
+    def __len__(self) -> int:
+        return len(self.pairs())
+
+    def prefix(self, length: int) -> "GraphStream":
+        """Return a new stream containing only the first ``length`` pairs."""
+        return GraphStream(self.pairs()[:length], name=f"{self.name}[:{length}]")
+
+    # -- exact statistics ------------------------------------------------------
+
+    def _compute_stats(self) -> Dict[str, object]:
+        cardinalities: Dict[object, set] = {}
+        total_pairs = 0
+        for user, item in self:
+            total_pairs += 1
+            cardinalities.setdefault(user, set()).add(item)
+        per_user = {user: len(items) for user, items in cardinalities.items()}
+        return {
+            "total_pairs": total_pairs,
+            "user_count": len(per_user),
+            "cardinalities": per_user,
+            "total_cardinality": sum(per_user.values()),
+            "max_cardinality": max(per_user.values()) if per_user else 0,
+        }
+
+    def stats(self) -> Dict[str, object]:
+        """Return exact summary statistics of the stream (cached)."""
+        if self._stats is None:
+            self._stats = self._compute_stats()
+        return self._stats
+
+    def cardinalities(self) -> Dict[object, int]:
+        """Exact per-user cardinalities."""
+        return dict(self.stats()["cardinalities"])  # type: ignore[arg-type]
+
+    @property
+    def user_count(self) -> int:
+        """Number of distinct users in the stream."""
+        return int(self.stats()["user_count"])  # type: ignore[arg-type]
+
+    @property
+    def total_cardinality(self) -> int:
+        """Sum of all user cardinalities (distinct pairs)."""
+        return int(self.stats()["total_cardinality"])  # type: ignore[arg-type]
+
+    @property
+    def max_cardinality(self) -> int:
+        """Largest per-user cardinality."""
+        return int(self.stats()["max_cardinality"])  # type: ignore[arg-type]
+
+    @property
+    def duplicate_ratio(self) -> float:
+        """Fraction of stream pairs that are duplicates of earlier pairs."""
+        stats = self.stats()
+        total_pairs = int(stats["total_pairs"])  # type: ignore[arg-type]
+        if total_pairs == 0:
+            return 0.0
+        return 1.0 - int(stats["total_cardinality"]) / total_pairs  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GraphStream(name={self.name!r})"

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.exact import ExactCounter
+from repro.streams.generators import zipf_bipartite_stream
+
+
+@pytest.fixture(scope="session")
+def small_stream():
+    """A small heavy-tailed stream with duplicates, shared across tests.
+
+    ~8k pairs over 400 users; session-scoped because generating it is cheap
+    but re-generating it in every test adds up.
+    """
+    return zipf_bipartite_stream(
+        n_users=400,
+        n_pairs=6_000,
+        alpha=1.3,
+        max_cardinality=600,
+        duplicate_factor=0.4,
+        seed=123,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_stream_truth(small_stream):
+    """Exact per-user cardinalities of ``small_stream``."""
+    exact = ExactCounter()
+    for user, item in small_stream:
+        exact.update(user, item)
+    return exact
+
+
+@pytest.fixture()
+def rng():
+    """A seeded random.Random instance for tests that need extra randomness."""
+    return random.Random(2024)

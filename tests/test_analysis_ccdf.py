@@ -1,0 +1,66 @@
+"""Unit tests for the CCDF utilities (Figure 2 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ccdf import ccdf, ccdf_at, ccdf_from_stream, logarithmic_thresholds
+from repro.streams import GraphStream
+
+
+class TestCCDF:
+    def test_simple_distribution(self):
+        points = ccdf([1, 1, 2, 4])
+        assert points == [(1, 1.0), (2, 0.5), (4, 0.25)]
+
+    def test_accepts_mapping(self):
+        points = ccdf({"a": 1, "b": 2})
+        assert points == [(1, 1.0), (2, 0.5)]
+
+    def test_empty(self):
+        assert ccdf([]) == []
+
+    def test_monotone_decreasing(self):
+        points = ccdf([1, 2, 3, 5, 8, 13, 21])
+        values = [p for _, p in points]
+        assert values == sorted(values, reverse=True)
+
+
+class TestCCDFAt:
+    def test_threshold_evaluation(self):
+        values = [1, 2, 3, 10]
+        evaluated = ccdf_at(values, [1, 5, 10, 20])
+        assert evaluated[1] == 1.0
+        assert evaluated[5] == 0.25
+        assert evaluated[10] == 0.25
+        assert evaluated[20] == 0.0
+
+    def test_empty_values(self):
+        assert ccdf_at([], [1, 2]) == {1: 0.0, 2: 0.0}
+
+
+class TestLogarithmicThresholds:
+    def test_covers_range(self):
+        thresholds = logarithmic_thresholds(1000, points_per_decade=3)
+        assert thresholds[0] == 1
+        assert thresholds[-1] == 1000
+        assert thresholds == sorted(thresholds)
+
+    def test_strictly_increasing(self):
+        thresholds = logarithmic_thresholds(500, points_per_decade=5)
+        assert all(b > a for a, b in zip(thresholds, thresholds[1:]))
+
+    def test_small_max(self):
+        assert logarithmic_thresholds(0) == [1]
+
+
+class TestCCDFFromStream:
+    def test_stream_ccdf(self):
+        stream = GraphStream([("a", 1), ("a", 2), ("a", 3), ("b", 1)])
+        points = ccdf_from_stream(stream)
+        assert points[0] == (1, 1.0)
+        assert points[-1][0] == 3
+        assert points[-1][1] == pytest.approx(0.5)
+
+    def test_empty_stream(self):
+        assert ccdf_from_stream(GraphStream([])) == []

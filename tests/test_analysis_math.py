@@ -1,0 +1,175 @@
+"""Unit tests for the estimator mathematics and analytic variance models."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.estimator_math import (
+    expected_inverse_q_bits,
+    expected_inverse_q_bits_exact,
+    expected_inverse_q_registers,
+    geometric_register_distribution,
+    harmonic_partial_sum,
+    occupancy_distribution,
+    stirling2,
+)
+from repro.analysis.variance import (
+    cse_variance,
+    freebs_rse_bound,
+    freebs_variance_bound,
+    freers_rse_bound,
+    freers_variance_bound,
+    hll_relative_error,
+    lpc_bias,
+    lpc_variance,
+    vhll_variance,
+)
+
+
+class TestStirling:
+    def test_base_cases(self):
+        assert stirling2(0, 0) == 1
+        assert stirling2(5, 0) == 0
+        assert stirling2(0, 3) == 0
+        assert stirling2(3, 5) == 0
+
+    def test_known_values(self):
+        assert stirling2(4, 2) == 7
+        assert stirling2(5, 3) == 25
+        assert stirling2(10, 3) == 9330
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            stirling2(-1, 2)
+
+    def test_partition_identity(self):
+        # sum_k S(n, k) * falling_factorial(m, k) = m^n  (balls into bins).
+        n, m = 6, 4
+        total = sum(
+            stirling2(n, k) * math.perm(m, k) for k in range(0, n + 1)
+        )
+        assert total == m**n
+
+
+class TestOccupancy:
+    def test_distribution_sums_to_one(self):
+        distribution = occupancy_distribution(8, 5)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_zero_balls(self):
+        assert occupancy_distribution(0, 7) == {0: 1.0}
+
+    def test_one_ball(self):
+        assert occupancy_distribution(1, 7) == {1: 1.0}
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            occupancy_distribution(-1, 5)
+        with pytest.raises(ValueError):
+            occupancy_distribution(3, 0)
+
+    def test_mean_occupancy_matches_formula(self):
+        # E[occupied] = m (1 - (1 - 1/m)^n).
+        n, m = 12, 10
+        distribution = occupancy_distribution(n, m)
+        mean = sum(j * p for j, p in distribution.items())
+        assert mean == pytest.approx(m * (1 - (1 - 1 / m) ** n), rel=1e-9)
+
+
+class TestExpectedInverseQ:
+    def test_exact_matches_approximation_small_instance(self):
+        exact = expected_inverse_q_bits_exact(30, 256)
+        approximate = expected_inverse_q_bits(30, 256)
+        assert exact == pytest.approx(approximate, rel=0.01)
+
+    def test_exact_requires_n_below_m(self):
+        with pytest.raises(ValueError):
+            expected_inverse_q_bits_exact(10, 10)
+
+    def test_bits_grows_with_load(self):
+        assert expected_inverse_q_bits(2000, 1024) > expected_inverse_q_bits(100, 1024)
+
+    def test_registers_heavy_load_linear(self):
+        value = expected_inverse_q_registers(10_000, 1024)
+        assert value == pytest.approx(10_000 / (0.7213 / (1 + 1.079 / 1024) * 1024), rel=1e-6)
+
+    def test_registers_light_load_uses_bitmap_form(self):
+        light = expected_inverse_q_registers(100, 1024)
+        assert light == pytest.approx(expected_inverse_q_bits(100, 1024))
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            expected_inverse_q_bits(10, 0)
+        with pytest.raises(ValueError):
+            expected_inverse_q_registers(10, 0)
+
+
+class TestAuxiliary:
+    def test_harmonic_partial_sum_close_to_m_ln_m(self):
+        m = 1000
+        assert harmonic_partial_sum(m) == pytest.approx(m * (math.log(m) + 0.5772), rel=0.01)
+
+    def test_harmonic_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            harmonic_partial_sum(0)
+
+    def test_register_distribution_sums_to_one(self):
+        pmf = geometric_register_distribution(50, width=5)
+        assert sum(pmf) == pytest.approx(1.0)
+        assert len(pmf) == 32
+
+    def test_register_distribution_empty_stream(self):
+        pmf = geometric_register_distribution(0, width=5)
+        assert pmf[0] == pytest.approx(1.0)
+
+    def test_register_distribution_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            geometric_register_distribution(-1, 5)
+        with pytest.raises(ValueError):
+            geometric_register_distribution(5, 0)
+
+
+class TestVarianceModels:
+    def test_lpc_variance_and_bias_grow_with_load(self):
+        assert lpc_variance(500, 256) > lpc_variance(100, 256)
+        assert lpc_bias(500, 256) > lpc_bias(100, 256)
+
+    def test_hll_relative_error_shrinks_with_m(self):
+        assert hll_relative_error(1024) < hll_relative_error(64)
+
+    def test_cse_variance_positive_and_grows_with_noise(self):
+        low_noise = cse_variance(100, 1_000, 256, 1 << 20)
+        high_noise = cse_variance(100, 1_000_000, 256, 1 << 20)
+        assert 0 < low_noise < high_noise
+
+    def test_vhll_variance_positive_and_grows_with_noise(self):
+        low = vhll_variance(100, 10_000, 128, 1 << 16)
+        high = vhll_variance(100, 1_000_000, 128, 1 << 16)
+        assert 0 < low < high
+
+    def test_vhll_variance_rejects_m_not_less_than_registers(self):
+        with pytest.raises(ValueError):
+            vhll_variance(10, 100, 128, 128)
+
+    def test_freebs_bound_below_cse_variance_at_same_load(self):
+        # Section IV-C: FreeBS variance is below CSE's for the same memory.
+        n_user, n_total, memory_bits = 1_000, 100_000, 1 << 20
+        assert freebs_variance_bound(n_user, n_total, memory_bits) < cse_variance(
+            n_user, n_total, 1024, memory_bits
+        )
+
+    def test_freers_bound_below_vhll_variance_at_same_load(self):
+        n_user, n_total, registers = 1_000, 500_000, (1 << 20) // 5
+        assert freers_variance_bound(n_user, n_total, registers) < vhll_variance(
+            n_user, n_total, 1024, registers
+        )
+
+    def test_rse_bounds_zero_for_zero_cardinality(self):
+        assert freebs_rse_bound(0, 100, 1024) == 0.0
+        assert freers_rse_bound(0, 100, 1024) == 0.0
+
+    def test_rse_bounds_decrease_with_memory(self):
+        assert freebs_rse_bound(100, 10_000, 1 << 22) < freebs_rse_bound(100, 10_000, 1 << 16)
+        assert freers_rse_bound(100, 10_000, 1 << 20) < freers_rse_bound(100, 10_000, 1 << 14)

@@ -1,0 +1,130 @@
+"""Unit tests for the accuracy metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    aggregate_error,
+    detection_confusion,
+    mean_absolute_relative_error,
+    relative_standard_error,
+    rse_by_cardinality,
+    rse_curve,
+    scatter_summary,
+)
+
+
+class TestRelativeStandardError:
+    def test_perfect_estimates_give_zero(self):
+        truth = {"a": 10, "b": 20}
+        assert relative_standard_error(truth, {"a": 10.0, "b": 20.0}) == 0.0
+
+    def test_known_value(self):
+        truth = {"a": 10}
+        estimates = {"a": 12.0}
+        assert relative_standard_error(truth, estimates) == pytest.approx(0.2)
+
+    def test_missing_estimates_count_as_zero(self):
+        truth = {"a": 10}
+        assert relative_standard_error(truth, {}) == pytest.approx(1.0)
+
+    def test_minimum_cardinality_filter(self):
+        truth = {"small": 1, "big": 100}
+        estimates = {"small": 50.0, "big": 100.0}
+        assert relative_standard_error(truth, estimates, minimum_cardinality=10) == 0.0
+
+    def test_empty_truth(self):
+        assert relative_standard_error({}, {}) == 0.0
+
+
+class TestAggregateError:
+    def test_summary_fields(self):
+        truth = {"a": 10, "b": 20}
+        estimates = {"a": 11.0, "b": 18.0}
+        summary = aggregate_error(truth, estimates)
+        assert summary.count == 2
+        assert summary.mean_relative_error == pytest.approx((0.1 - 0.1) / 2)
+        assert summary.mean_absolute_relative_error == pytest.approx(0.1)
+        assert summary.max_relative_error == pytest.approx(0.1)
+        assert summary.rse == pytest.approx(0.1)
+
+    def test_as_dict(self):
+        summary = aggregate_error({"a": 10}, {"a": 10.0})
+        assert summary.as_dict()["count"] == 1.0
+
+    def test_empty(self):
+        summary = aggregate_error({}, {})
+        assert summary.count == 0
+        assert summary.rse == 0.0
+
+    def test_mare_matches_function(self):
+        truth = {"a": 10, "b": 5}
+        estimates = {"a": 12.0, "b": 5.0}
+        assert mean_absolute_relative_error(truth, estimates) == pytest.approx(
+            aggregate_error(truth, estimates).mean_absolute_relative_error
+        )
+
+
+class TestRSEByCardinality:
+    def test_groups_by_exact_cardinality(self):
+        truth = {"a": 10, "b": 10, "c": 100}
+        estimates = {"a": 11.0, "b": 9.0, "c": 100.0}
+        by_cardinality = rse_by_cardinality(truth, estimates)
+        assert set(by_cardinality) == {10, 100}
+        assert by_cardinality[10] == pytest.approx(0.1)
+        assert by_cardinality[100] == 0.0
+
+    def test_ignores_zero_cardinality(self):
+        assert rse_by_cardinality({"a": 0}, {"a": 5.0}) == {}
+
+
+class TestRSECurve:
+    def test_buckets_are_geometric(self):
+        truth = {f"u{i}": 10 for i in range(5)} | {f"v{i}": 1000 for i in range(5)}
+        estimates = {user: value * 1.1 for user, value in truth.items()}
+        curve = rse_curve(truth, estimates, buckets_per_decade=1)
+        assert len(curve) == 2
+        for _, rse, count in curve:
+            assert rse == pytest.approx(0.1, rel=1e-6)
+            assert count == 5
+
+    def test_rejects_bad_bucket_count(self):
+        with pytest.raises(ValueError):
+            rse_curve({}, {}, buckets_per_decade=0)
+
+    def test_minimum_cardinality_filter(self):
+        truth = {"a": 1, "b": 1000}
+        estimates = {"a": 100.0, "b": 1000.0}
+        curve = rse_curve(truth, estimates, minimum_cardinality=10)
+        assert len(curve) == 1
+
+
+class TestScatterSummary:
+    def test_mean_and_percentiles(self):
+        truth = {f"u{i}": 100 for i in range(20)}
+        estimates = {f"u{i}": 90.0 + i for i in range(20)}
+        rows = scatter_summary(truth, estimates, buckets_per_decade=1)
+        assert len(rows) == 1
+        _, mean, p10, p90 = rows[0]
+        assert mean == pytest.approx(sum(90.0 + i for i in range(20)) / 20)
+        assert p10 < mean < p90
+
+
+class TestDetectionConfusion:
+    def test_perfect_detection(self):
+        fnr, fpr = detection_confusion({"a", "b"}, {"a", "b"}, population=10)
+        assert fnr == 0.0
+        assert fpr == 0.0
+
+    def test_missed_and_false_positive(self):
+        fnr, fpr = detection_confusion({"a", "b"}, {"a", "c"}, population=10)
+        assert fnr == pytest.approx(0.5)
+        assert fpr == pytest.approx(0.1)
+
+    def test_empty_truth_and_population(self):
+        fnr, fpr = detection_confusion(set(), {"x"}, population=0)
+        assert fnr == 0.0
+        assert fpr == 0.0

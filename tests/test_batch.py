@@ -1,0 +1,204 @@
+"""Tests for the vectorised batch estimators (exact equivalence with scalar).
+
+The batch implementations exist purely for throughput; their contract is that
+feeding a stream through ``update_batch`` (in any chunking) produces exactly
+the same estimates and exactly the same shared-array state as feeding the
+same stream pair-by-pair to the scalar estimator with the same seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    FreeBS,
+    FreeBSBatch,
+    FreeRS,
+    FreeRSBatch,
+    encode_int_pairs,
+    encode_pairs,
+)
+from repro.hashing import pair_key
+
+
+def _random_pairs(count, n_users=40, n_items=400, seed=0):
+    rng = random.Random(seed)
+    return [(rng.randint(0, n_users), rng.randint(0, n_items)) for _ in range(count)]
+
+
+class TestEncoding:
+    def test_encode_pairs_keys_match_pair_key(self):
+        pairs = [("alice", "x"), ("bob", "y"), ("alice", "x")]
+        codes, keys, decode = encode_pairs(pairs)
+        assert keys.tolist() == [pair_key(u, i) for u, i in pairs]
+        assert decode[codes[0]] == "alice"
+        assert codes[0] == codes[2]
+
+    def test_encode_int_pairs_matches_scalar_keys(self):
+        users = np.array([1, 2, 3, 1], dtype=np.int64)
+        items = np.array([10, 20, 30, 10], dtype=np.int64)
+        codes, keys, decode = encode_int_pairs(users, items)
+        expected = [pair_key(int(u), int(i)) for u, i in zip(users, items)]
+        assert keys.tolist() == expected
+        assert decode[int(codes[0])] == 1
+
+    def test_encode_int_pairs_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            encode_int_pairs(np.array([1, 2]), np.array([1]))
+
+    def test_empty_batch_is_noop(self):
+        estimator = FreeBSBatch(1 << 12)
+        estimator.update_batch([])
+        assert estimator.estimates() == {}
+
+
+class TestFreeBSBatchEquivalence:
+    @pytest.mark.parametrize("chunk_size", [1, 7, 100, 10_000])
+    def test_matches_scalar_for_any_chunking(self, chunk_size):
+        pairs = _random_pairs(3_000, seed=chunk_size)
+        scalar = FreeBS(1 << 13, seed=5)
+        batch = FreeBSBatch(1 << 13, seed=5)
+        for user, item in pairs:
+            scalar.update(user, item)
+        for start in range(0, len(pairs), chunk_size):
+            batch.update_batch(pairs[start : start + chunk_size])
+        assert batch.estimates() == scalar.estimates()
+        assert batch.change_probability == pytest.approx(scalar.change_probability)
+
+    def test_encoded_fast_path_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        users = rng.integers(0, 50, size=5_000)
+        items = rng.integers(0, 800, size=5_000)
+        scalar = FreeBS(1 << 13, seed=2)
+        batch = FreeBSBatch(1 << 13, seed=2)
+        for user, item in zip(users, items):
+            scalar.update(int(user), int(item))
+        batch.update_batch_encoded(*encode_int_pairs(users, items))
+        assert batch.estimates() == scalar.estimates()
+
+    def test_to_scalar_snapshot(self):
+        pairs = _random_pairs(1_000, seed=11)
+        batch = FreeBSBatch(1 << 12, seed=7)
+        batch.update_batch(pairs)
+        snapshot = batch.to_scalar()
+        assert snapshot.estimates() == batch.estimates()
+        assert snapshot.change_probability == pytest.approx(batch.change_probability)
+
+    def test_total_cardinality_estimate(self):
+        pairs = [(u, i) for u in range(20) for i in range(50)]
+        batch = FreeBSBatch(1 << 15, seed=1)
+        batch.update_batch(pairs)
+        assert batch.total_cardinality_estimate() == pytest.approx(1_000, rel=0.1)
+
+    def test_rejects_bad_memory(self):
+        with pytest.raises(ValueError):
+            FreeBSBatch(0)
+
+    def test_scalar_interface_delegates(self):
+        batch = FreeBSBatch(1 << 12, seed=9)
+        value = batch.update("u", "item")
+        assert value == batch.estimate("u") > 0
+
+
+class TestFreeRSBatchEquivalence:
+    @pytest.mark.parametrize("chunk_size", [1, 13, 500, 10_000])
+    def test_matches_scalar_for_any_chunking(self, chunk_size):
+        pairs = _random_pairs(3_000, seed=chunk_size + 100)
+        scalar = FreeRS(1 << 10, seed=5)
+        batch = FreeRSBatch(1 << 10, seed=5)
+        for user, item in pairs:
+            scalar.update(user, item)
+        for start in range(0, len(pairs), chunk_size):
+            batch.update_batch(pairs[start : start + chunk_size])
+        estimates_scalar = scalar.estimates()
+        estimates_batch = batch.estimates()
+        assert set(estimates_scalar) == set(estimates_batch)
+        for user, value in estimates_scalar.items():
+            assert estimates_batch[user] == pytest.approx(value, rel=1e-9, abs=1e-9)
+        assert batch.change_probability == pytest.approx(scalar.change_probability)
+
+    def test_encoded_fast_path_matches_scalar(self):
+        rng = np.random.default_rng(4)
+        users = rng.integers(0, 50, size=5_000)
+        items = rng.integers(0, 800, size=5_000)
+        scalar = FreeRS(1 << 10, seed=2)
+        batch = FreeRSBatch(1 << 10, seed=2)
+        for user, item in zip(users, items):
+            scalar.update(int(user), int(item))
+        batch.update_batch_encoded(*encode_int_pairs(users, items))
+        for user, value in scalar.estimates().items():
+            assert batch.estimate(user) == pytest.approx(value, rel=1e-9, abs=1e-9)
+
+    def test_to_scalar_snapshot(self):
+        pairs = _random_pairs(1_000, seed=21)
+        batch = FreeRSBatch(1 << 9, seed=7)
+        batch.update_batch(pairs)
+        snapshot = batch.to_scalar()
+        for user, value in batch.estimates().items():
+            assert snapshot.estimate(user) == pytest.approx(value)
+        assert snapshot.change_probability == pytest.approx(batch.change_probability)
+
+    def test_total_cardinality_estimate(self):
+        pairs = [(u, i) for u in range(20) for i in range(50)]
+        batch = FreeRSBatch(1 << 12, seed=1)
+        batch.update_batch(pairs)
+        assert batch.total_cardinality_estimate() == pytest.approx(1_000, rel=0.15)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            FreeRSBatch(0)
+        with pytest.raises(ValueError):
+            FreeRSBatch(64, register_width=0)
+
+    def test_register_saturation_handled(self):
+        batch = FreeRSBatch(32, register_width=3, seed=3)
+        batch.update_batch([("u", item) for item in range(5_000)])
+        assert batch.estimate("u") > 0
+        assert batch.change_probability > 0
+
+
+class TestBatchProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20),
+                st.integers(min_value=0, max_value=200),
+            ),
+            max_size=200,
+        ),
+        chunk=st.integers(min_value=1, max_value=50),
+    )
+    def test_freebs_batch_equals_scalar(self, pairs, chunk):
+        scalar = FreeBS(1 << 10, seed=13)
+        batch = FreeBSBatch(1 << 10, seed=13)
+        for user, item in pairs:
+            scalar.update(user, item)
+        for start in range(0, len(pairs), chunk):
+            batch.update_batch(pairs[start : start + chunk])
+        assert batch.estimates() == scalar.estimates()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20),
+                st.integers(min_value=0, max_value=200),
+            ),
+            max_size=200,
+        ),
+        chunk=st.integers(min_value=1, max_value=50),
+    )
+    def test_freers_batch_equals_scalar(self, pairs, chunk):
+        scalar = FreeRS(1 << 8, seed=13)
+        batch = FreeRSBatch(1 << 8, seed=13)
+        for user, item in pairs:
+            scalar.update(user, item)
+        for start in range(0, len(pairs), chunk):
+            batch.update_batch(pairs[start : start + chunk])
+        for user, value in scalar.estimates().items():
+            assert batch.estimate(user) == pytest.approx(value, rel=1e-9, abs=1e-9)

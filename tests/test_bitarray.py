@@ -1,0 +1,103 @@
+"""Unit tests for the packed bit-array substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketches.bitarray import BitArray
+
+
+class TestBitArrayBasics:
+    def test_starts_all_zero(self):
+        bits = BitArray(100)
+        assert bits.ones == 0
+        assert bits.zeros == 100
+        assert bits.zero_fraction == 1.0
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            BitArray(0)
+
+    def test_set_and_get(self):
+        bits = BitArray(130)
+        assert bits.set_bit(0) is True
+        assert bits.set_bit(64) is True
+        assert bits.set_bit(129) is True
+        assert bits.get_bit(0)
+        assert bits.get_bit(64)
+        assert bits.get_bit(129)
+        assert not bits.get_bit(1)
+
+    def test_set_same_bit_twice_reports_no_change(self):
+        bits = BitArray(10)
+        assert bits.set_bit(3) is True
+        assert bits.set_bit(3) is False
+        assert bits.ones == 1
+
+    def test_out_of_range_indices_raise(self):
+        bits = BitArray(10)
+        with pytest.raises(IndexError):
+            bits.set_bit(10)
+        with pytest.raises(IndexError):
+            bits.set_bit(-1)
+        with pytest.raises(IndexError):
+            bits.get_bit(10)
+
+    def test_len(self):
+        assert len(BitArray(77)) == 77
+
+
+class TestBitArrayCounting:
+    def test_ones_tracks_incrementally(self):
+        bits = BitArray(1000)
+        for index in range(0, 1000, 3):
+            bits.set_bit(index)
+        assert bits.ones == len(range(0, 1000, 3))
+        assert bits.ones == bits.recount()
+
+    def test_zero_fraction(self):
+        bits = BitArray(10)
+        for index in range(5):
+            bits.set_bit(index)
+        assert bits.zero_fraction == pytest.approx(0.5)
+
+    def test_clear(self):
+        bits = BitArray(50)
+        for index in range(25):
+            bits.set_bit(index)
+        bits.clear()
+        assert bits.ones == 0
+        assert bits.recount() == 0
+
+    def test_memory_bits(self):
+        assert BitArray(12345).memory_bits() == 12345
+
+
+class TestBitArrayBulk:
+    def test_set_bits_counts_unique_flips(self):
+        bits = BitArray(64)
+        flipped = bits.set_bits(np.array([1, 2, 2, 3, 1]))
+        assert flipped == 3
+        assert bits.ones == 3
+
+    def test_get_bits(self):
+        bits = BitArray(128)
+        for index in (5, 70, 127):
+            bits.set_bit(index)
+        values = bits.get_bits(np.array([5, 6, 70, 127, 0]))
+        assert values.tolist() == [True, False, True, True, False]
+
+    def test_get_bits_range_check(self):
+        bits = BitArray(16)
+        with pytest.raises(IndexError):
+            bits.get_bits(np.array([0, 16]))
+
+    def test_to_numpy_roundtrip(self):
+        bits = BitArray(70)
+        indices = [0, 1, 63, 64, 69]
+        for index in indices:
+            bits.set_bit(index)
+        dense = bits.to_numpy()
+        assert dense.shape == (70,)
+        assert sorted(np.nonzero(dense)[0].tolist()) == indices

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.streams.io import read_edge_file, write_edge_file
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_experiment_arguments(self):
+        args = build_parser().parse_args(["run-experiment", "table1", "--preset", "quick"])
+        assert args.experiment == "table1"
+        assert args.preset == "quick"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-experiment", "figure99"])
+
+    def test_estimate_defaults(self):
+        args = build_parser().parse_args(["estimate", "some.tsv"])
+        assert args.method == "FreeRS"
+        assert args.top == 10
+
+
+class TestCommands:
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        output = capsys.readouterr().out
+        assert "table1" in output
+        assert "figure5" in output
+
+    def test_generate_dataset_and_estimate(self, tmp_path, capsys):
+        path = tmp_path / "chicago.tsv"
+        assert main(["generate-dataset", "chicago", str(path), "--scale", "0.02"]) == 0
+        assert path.exists()
+        stream = read_edge_file(path)
+        assert len(stream) > 100
+
+        assert main(["estimate", str(path), "--method", "FreeBS", "--top", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "estimated_cardinality" in output
+
+    def test_run_experiment_table1_with_csv(self, tmp_path, capsys, monkeypatch):
+        # Patch the quick preset to an even smaller configuration so the CLI
+        # test stays fast.
+        from repro.experiments.config import ExperimentConfig
+
+        tiny = ExperimentConfig(
+            dataset_scale=0.02, memory_bits=1 << 14, virtual_size=64, datasets=["chicago"]
+        )
+        monkeypatch.setattr(ExperimentConfig, "quick", classmethod(lambda cls: tiny))
+        csv_path = tmp_path / "table1.csv"
+        assert main(["run-experiment", "table1", "--preset", "quick", "--csv", str(csv_path)]) == 0
+        output = capsys.readouterr().out
+        assert "Table I" in output
+        assert csv_path.exists()
+
+    def test_estimate_rejects_unknown_method(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        write_edge_file(path, [(1, 2)])
+        with pytest.raises(SystemExit):
+            main(["estimate", str(path), "--method", "NotAMethod"])

@@ -1,0 +1,75 @@
+"""Tests of the shared CardinalityEstimator interface and its conveniences."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CSE, ExactCounter, FreeBS, FreeRS, PerUserHLLPP, PerUserLPC, VirtualHLL
+from repro.core.base import CardinalityEstimator
+
+
+def _all_estimators():
+    return [
+        FreeBS(1 << 14, seed=1),
+        FreeRS(1 << 12, seed=1),
+        CSE(1 << 14, virtual_size=64, seed=1),
+        VirtualHLL(1 << 12, virtual_size=64, seed=1),
+        PerUserLPC(1 << 14, expected_users=20, seed=1),
+        PerUserHLLPP(1 << 14, expected_users=20, seed=1),
+        ExactCounter(),
+    ]
+
+
+@pytest.mark.parametrize("estimator", _all_estimators(), ids=lambda e: e.name)
+class TestCommonInterface:
+    def test_is_cardinality_estimator(self, estimator):
+        assert isinstance(estimator, CardinalityEstimator)
+
+    def test_update_returns_float(self, estimator):
+        value = estimator.update("user", "item")
+        assert isinstance(value, float)
+        assert value >= 0.0
+
+    def test_estimate_unseen_user_is_zero(self, estimator):
+        assert estimator.estimate("never-seen") == 0.0
+
+    def test_estimates_contains_observed_user(self, estimator):
+        estimator.update("user", "item")
+        assert "user" in estimator.estimates()
+
+    def test_memory_bits_positive(self, estimator):
+        estimator.update("user", "item")
+        assert estimator.memory_bits() > 0
+
+    def test_process_consumes_stream(self, estimator):
+        pairs = [("a", 1), ("a", 2), ("b", 1)]
+        returned = estimator.process(pairs)
+        assert returned is estimator
+        assert estimator.estimate("a") > 0
+
+    def test_state_snapshot(self, estimator):
+        estimator.update("a", 1)
+        state = estimator.state()
+        assert state.users_tracked >= 1
+
+
+class TestProcessWithSnapshots:
+    def test_snapshot_cadence(self):
+        estimator = FreeBS(1 << 12, seed=2)
+        pairs = [("u", item) for item in range(10)]
+        snapshots = list(estimator.process_with_snapshots(pairs, every=4))
+        assert [t for t, _ in snapshots] == [4, 8, 10]
+        # Estimates grow monotonically across snapshots for a single user.
+        estimates = [snapshot["u"] for _, snapshot in snapshots]
+        assert estimates == sorted(estimates)
+
+    def test_exact_multiple_of_every(self):
+        estimator = FreeBS(1 << 12, seed=3)
+        pairs = [("u", item) for item in range(8)]
+        snapshots = list(estimator.process_with_snapshots(pairs, every=4))
+        assert [t for t, _ in snapshots] == [4, 8]
+
+    def test_rejects_bad_every(self):
+        estimator = FreeBS(1 << 12)
+        with pytest.raises(ValueError):
+            list(estimator.process_with_snapshots([("a", 1)], every=0))

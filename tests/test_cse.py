@@ -1,0 +1,94 @@
+"""Unit tests for the CSE baseline (virtual LPC bit sharing)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.baselines import CSE
+from repro.baselines.exact import ExactCounter
+
+
+class TestCSEBasics:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CSE(0)
+        with pytest.raises(ValueError):
+            CSE(1024, virtual_size=0)
+        with pytest.raises(ValueError):
+            CSE(1024, virtual_size=2048)
+
+    def test_unseen_user_estimate_is_zero(self):
+        assert CSE(1 << 14).estimate("nobody") == 0.0
+        assert CSE(1 << 14).estimate_fresh("nobody") == 0.0
+
+    def test_estimate_cached_per_user(self):
+        estimator = CSE(1 << 14, virtual_size=64, seed=1)
+        estimator.update("u", "a")
+        assert estimator.estimate("u") > 0
+        assert "u" in estimator.estimates()
+
+    def test_duplicates_do_not_grow_estimate(self):
+        estimator = CSE(1 << 14, virtual_size=64, seed=2)
+        estimator.update("u", "a")
+        first = estimator.estimate("u")
+        for _ in range(50):
+            estimator.update("u", "a")
+        assert estimator.estimate("u") == pytest.approx(first)
+
+    def test_memory_bits(self):
+        assert CSE(1 << 16, virtual_size=64).memory_bits() == 1 << 16
+
+    def test_max_estimate_is_m_ln_m(self):
+        estimator = CSE(1 << 16, virtual_size=128)
+        assert estimator.max_estimate == pytest.approx(128 * math.log(128))
+
+    def test_estimate_fresh_reflects_other_users_noise(self):
+        estimator = CSE(1 << 12, virtual_size=64, seed=3)
+        estimator.update("u", "a")
+        cached = estimator.estimate("u")
+        # Other users fill the array; the *fresh* estimate of "u" can change,
+        # while the cached one stays what it was at u's last update.
+        for item in range(2_000):
+            estimator.update("noise", item)
+        assert estimator.estimate("u") == pytest.approx(cached)
+        assert estimator.estimate_fresh("u") != pytest.approx(cached)
+
+
+class TestCSEAccuracy:
+    def test_moderate_cardinalities_estimated_reasonably(self):
+        estimator = CSE(1 << 17, virtual_size=256, seed=4)
+        exact = ExactCounter()
+        rng = random.Random(5)
+        for _ in range(20_000):
+            user = rng.randint(0, 40)
+            item = rng.randint(0, 500)
+            estimator.update(user, item)
+            exact.update(user, item)
+        for user, true_cardinality in exact.cardinalities().items():
+            if 100 <= true_cardinality <= 400:
+                relative_error = abs(estimator.estimate(user) - true_cardinality) / true_cardinality
+                assert relative_error < 0.5
+
+    def test_range_limited_to_m_ln_m(self):
+        # A user far beyond m ln m must saturate near the maximum, the paper's
+        # Challenge-1/limited-range behaviour.
+        estimator = CSE(1 << 18, virtual_size=64, seed=6)
+        for item in range(50_000):
+            estimator.update("heavy", item)
+        assert estimator.estimate("heavy") <= estimator.max_estimate * 1.05
+
+    def test_noise_correction_beats_naive_virtual_lpc(self):
+        # With heavy cross-traffic, the corrected estimate should be much
+        # closer to the truth than the uncorrected virtual-LPC term alone.
+        memory_bits, m = 1 << 14, 128
+        estimator = CSE(memory_bits, virtual_size=m, seed=7)
+        for item in range(100):
+            estimator.update("victim", item)
+        for user in range(200):
+            for item in range(30):
+                estimator.update(("noise", user), (user, item))
+        corrected = estimator.estimate_fresh("victim")
+        assert abs(corrected - 100) < 75

@@ -1,0 +1,122 @@
+"""Unit tests for super-spreader detection and its evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.exact import ExactCounter
+from repro.core import FreeBS, FreeRS
+from repro.detection import (
+    SuperSpreaderDetector,
+    detection_error_at_end,
+    detection_error_over_time,
+    super_spreaders,
+)
+from repro.streams.generators import zipf_bipartite_stream
+
+
+class TestSuperSpreaders:
+    def test_threshold_selection(self):
+        cardinalities = {"a": 100, "b": 5, "c": 40}
+        spreaders = super_spreaders(cardinalities, delta=0.2)  # threshold = 29
+        assert spreaders == {"a", "c"}
+
+    def test_explicit_total(self):
+        cardinalities = {"a": 100, "b": 5}
+        spreaders = super_spreaders(cardinalities, delta=0.5, total_cardinality=150)
+        assert spreaders == {"a"}
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            super_spreaders({"a": 1}, delta=0.0)
+        with pytest.raises(ValueError):
+            super_spreaders({"a": 1}, delta=1.0)
+
+
+class TestSuperSpreaderDetector:
+    def _build_stream(self):
+        # One clear super spreader among small users.
+        pairs = [("heavy", item) for item in range(500)]
+        for user in range(50):
+            pairs.extend((f"small-{user}", item) for item in range(5))
+        return pairs
+
+    def test_detects_heavy_user_with_exact_total(self):
+        pairs = self._build_stream()
+        exact = ExactCounter()
+        detector = SuperSpreaderDetector(FreeBS(1 << 16), delta=0.2)
+        for user, item in pairs:
+            detector.update(user, item)
+            exact.update(user, item)
+        detected = detector.detect(exact_total=exact.total_cardinality)
+        assert detected == {"heavy"}
+
+    def test_online_mode_resolves_total_from_estimator(self):
+        pairs = self._build_stream()
+        detector = SuperSpreaderDetector(FreeRS(1 << 13), delta=0.2, use_exact_total=False)
+        detector.process(pairs)
+        assert detector.detect() == {"heavy"}
+
+    def test_exact_total_required_when_configured(self):
+        detector = SuperSpreaderDetector(FreeBS(1 << 12), delta=0.1)
+        detector.update("u", "d")
+        with pytest.raises(ValueError):
+            detector.detect()
+
+    def test_threshold_value(self):
+        detector = SuperSpreaderDetector(FreeBS(1 << 12), delta=0.1)
+        detector.update("u", "d")
+        assert detector.threshold(exact_total=100) == pytest.approx(10.0)
+
+    def test_top_users_ranked(self):
+        detector = SuperSpreaderDetector(FreeBS(1 << 16), delta=0.1, use_exact_total=False)
+        detector.process(self._build_stream())
+        top = detector.top_users(3)
+        assert top[0][0] == "heavy"
+        assert top[0][1] >= top[1][1] >= top[2][1]
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            SuperSpreaderDetector(FreeBS(1 << 12), delta=2.0)
+
+
+class TestDetectionEvaluation:
+    def test_end_of_stream_scores_perfect_for_exact_estimator(self):
+        pairs = zipf_bipartite_stream(n_users=100, n_pairs=2_000, seed=21)
+        result = detection_error_at_end(ExactCounter(), pairs, delta=5e-3)
+        assert result.false_negative_rate == 0.0
+        assert result.false_positive_rate == 0.0
+        assert result.true_spreaders == result.detected_spreaders
+
+    def test_end_of_stream_with_sketch_estimator(self):
+        pairs = zipf_bipartite_stream(n_users=200, n_pairs=5_000, seed=22)
+        result = detection_error_at_end(FreeBS(1 << 18), pairs, delta=5e-3)
+        assert result.false_negative_rate < 0.2
+        assert result.false_positive_rate < 0.05
+
+    def test_over_time_produces_requested_checkpoints(self):
+        pairs = zipf_bipartite_stream(n_users=100, n_pairs=2_000, seed=23)
+        results = detection_error_over_time(FreeBS(1 << 16), pairs, delta=5e-3, checkpoints=4)
+        assert len(results) == 4
+        assert results[-1].pairs_processed == len(pairs)
+        assert [r.checkpoint for r in results] == [1, 2, 3, 4]
+
+    def test_over_time_rejects_bad_checkpoints(self):
+        with pytest.raises(ValueError):
+            detection_error_over_time(FreeBS(1 << 12), [("a", 1)], checkpoints=0)
+
+    def test_over_time_empty_stream(self):
+        assert detection_error_over_time(FreeBS(1 << 12), [], checkpoints=3) == []
+
+    def test_result_as_dict(self):
+        pairs = [("a", 1), ("b", 2)]
+        result = detection_error_at_end(ExactCounter(), pairs, delta=0.4)
+        as_dict = result.as_dict()
+        assert set(as_dict) == {
+            "checkpoint",
+            "pairs_processed",
+            "true_spreaders",
+            "detected_spreaders",
+            "fnr",
+            "fpr",
+        }

@@ -1,0 +1,101 @@
+"""Unit tests for the FM/PCSA and LogLog sketches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sketches import FlajoletMartinSketch, LogLogSketch
+from repro.sketches.loglog import loglog_alpha
+
+
+class TestFlajoletMartin:
+    def test_empty_estimate_zero(self):
+        assert FlajoletMartinSketch(m=32).estimate() == pytest.approx(0.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            FlajoletMartinSketch(m=0)
+        with pytest.raises(ValueError):
+            FlajoletMartinSketch(m=8, width=0)
+
+    def test_duplicates_do_not_change_sketch(self):
+        sketch = FlajoletMartinSketch(m=32, seed=1)
+        sketch.add("item")
+        estimate = sketch.estimate()
+        for _ in range(50):
+            sketch.add("item")
+        assert sketch.estimate() == pytest.approx(estimate)
+
+    @pytest.mark.parametrize("true_cardinality", [1_000, 20_000])
+    def test_estimate_within_tolerance(self, true_cardinality):
+        sketch = FlajoletMartinSketch(m=128, seed=3)
+        for item in range(true_cardinality):
+            sketch.add(item)
+        relative_error = abs(sketch.estimate() - true_cardinality) / true_cardinality
+        assert relative_error < 0.25
+
+    def test_merge_equals_union(self):
+        a = FlajoletMartinSketch(m=64, seed=4)
+        b = FlajoletMartinSketch(m=64, seed=4)
+        for item in range(2_000):
+            a.add(("a", item))
+            b.add(("b", item))
+        union = FlajoletMartinSketch(m=64, seed=4)
+        for item in range(2_000):
+            union.add(("a", item))
+            union.add(("b", item))
+        a.merge(b)
+        assert a.estimate() == pytest.approx(union.estimate())
+
+    def test_memory_bits(self):
+        assert FlajoletMartinSketch(m=16, width=32).memory_bits() == 512
+
+
+class TestLogLog:
+    def test_alpha_constant_converges(self):
+        assert loglog_alpha(1024) == pytest.approx(0.39701, rel=0.02)
+
+    def test_empty_estimate_small(self):
+        sketch = LogLogSketch(m=64)
+        assert sketch.estimate() < 64
+
+    def test_rejects_non_positive_m(self):
+        with pytest.raises(ValueError):
+            LogLogSketch(m=0)
+
+    @pytest.mark.parametrize("true_cardinality", [5_000, 50_000])
+    def test_estimate_within_tolerance(self, true_cardinality):
+        sketch = LogLogSketch(m=256, seed=7)
+        for item in range(true_cardinality):
+            sketch.add(item)
+        relative_error = abs(sketch.estimate() - true_cardinality) / true_cardinality
+        # LogLog RSE ~ 1.3/sqrt(m) ~ 8%; allow 4 sigma.
+        assert relative_error < 0.33
+
+    def test_duplicates_do_not_change_estimate(self):
+        sketch = LogLogSketch(m=64, seed=2)
+        sketch.add("x")
+        estimate = sketch.estimate()
+        for _ in range(20):
+            sketch.add("x")
+        assert sketch.estimate() == pytest.approx(estimate)
+
+    def test_merge_equals_union(self):
+        a = LogLogSketch(m=64, seed=5)
+        b = LogLogSketch(m=64, seed=5)
+        for item in range(3_000):
+            a.add(("a", item))
+            b.add(("b", item))
+        union = LogLogSketch(m=64, seed=5)
+        for item in range(3_000):
+            union.add(("a", item))
+            union.add(("b", item))
+        a.merge(b)
+        assert a.estimate() == pytest.approx(union.estimate())
+
+    def test_merge_rejects_mismatched_parameters(self):
+        with pytest.raises(ValueError):
+            LogLogSketch(m=32).merge(LogLogSketch(m=64))
+
+    def test_memory_bits(self):
+        assert LogLogSketch(m=64, width=5).memory_bits() == 320

@@ -1,0 +1,122 @@
+"""Unit tests for FreeBS (paper Algorithm 1)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.baselines.exact import ExactCounter
+from repro.core import FreeBS
+
+
+class TestFreeBSBasics:
+    def test_rejects_non_positive_memory(self):
+        with pytest.raises(ValueError):
+            FreeBS(0)
+
+    def test_unseen_user_estimate_is_zero(self):
+        assert FreeBS(1024).estimate("nobody") == 0.0
+
+    def test_first_pair_increments_by_one(self):
+        # The very first update sees an empty array (q_B = 1), so the user's
+        # estimate must increase by exactly 1.
+        estimator = FreeBS(4096, seed=1)
+        estimator.update("u", "d1")
+        assert estimator.estimate("u") == pytest.approx(1.0)
+
+    def test_duplicate_pairs_do_not_increase_estimate(self):
+        estimator = FreeBS(4096, seed=2)
+        estimator.update("u", "d")
+        first = estimator.estimate("u")
+        for _ in range(100):
+            estimator.update("u", "d")
+        assert estimator.estimate("u") == pytest.approx(first)
+
+    def test_estimates_returns_all_observed_users(self):
+        estimator = FreeBS(1 << 14, seed=3)
+        estimator.update("a", 1)
+        estimator.update("b", 1)
+        estimator.update("b", 2)
+        estimates = estimator.estimates()
+        assert set(estimates) == {"a", "b"}
+
+    def test_memory_bits(self):
+        assert FreeBS(12_345).memory_bits() == 12_345
+
+    def test_update_returns_current_estimate(self):
+        estimator = FreeBS(1 << 12, seed=4)
+        returned = estimator.update("u", "x")
+        assert returned == estimator.estimate("u")
+
+    def test_change_probability_decreases(self):
+        estimator = FreeBS(1 << 10, seed=5)
+        assert estimator.change_probability == pytest.approx(1.0)
+        for item in range(200):
+            estimator.update("u", item)
+        assert estimator.change_probability < 1.0
+
+    def test_counters_track_processed_and_sampled(self):
+        estimator = FreeBS(1 << 14, seed=6)
+        for item in range(50):
+            estimator.update("u", item)
+        for _ in range(25):
+            estimator.update("u", 0)
+        assert estimator.pairs_processed == 75
+        assert estimator.pairs_sampled <= 50
+
+
+class TestFreeBSAccuracy:
+    def test_estimates_track_exact_counts(self):
+        estimator = FreeBS(1 << 17, seed=7)
+        exact = ExactCounter()
+        rng = random.Random(7)
+        for _ in range(30_000):
+            user = rng.randint(0, 30)
+            item = rng.randint(0, 2_000)
+            estimator.update(user, item)
+            exact.update(user, item)
+        for user, true_cardinality in exact.cardinalities().items():
+            if true_cardinality >= 100:
+                relative_error = abs(estimator.estimate(user) - true_cardinality) / true_cardinality
+                assert relative_error < 0.25
+
+    def test_unbiased_over_repetitions(self):
+        # Theorem 1: E[n_hat] = n.  Average many independent runs.
+        true_cardinality, repetitions = 200, 30
+        total = 0.0
+        for seed in range(repetitions):
+            estimator = FreeBS(1 << 12, seed=seed)
+            for item in range(true_cardinality):
+                estimator.update("u", item)
+            # Load the array with another user's items to exercise sharing.
+            for item in range(500):
+                estimator.update("other", ("o", item))
+            total += estimator.estimate("u")
+        mean_estimate = total / repetitions
+        assert abs(mean_estimate - true_cardinality) / true_cardinality < 0.1
+
+    def test_total_cardinality_estimate(self):
+        estimator = FreeBS(1 << 16, seed=8)
+        exact = ExactCounter()
+        for user in range(20):
+            for item in range(100):
+                estimator.update(user, item)
+                exact.update(user, item)
+        estimate = estimator.total_cardinality_estimate()
+        assert abs(estimate - exact.total_cardinality) / exact.total_cardinality < 0.1
+
+    def test_max_estimate_is_m_ln_m(self):
+        estimator = FreeBS(1000)
+        assert estimator.max_estimate == pytest.approx(1000 * math.log(1000))
+
+    def test_small_users_unaffected_by_heavy_users_much(self):
+        # A user with 10 items should stay near 10 even when another user has
+        # thousands, as long as the array is not saturated.
+        estimator = FreeBS(1 << 18, seed=9)
+        for item in range(10):
+            estimator.update("small", item)
+        for item in range(20_000):
+            estimator.update("heavy", ("h", item))
+        assert estimator.estimate("small") == pytest.approx(10, abs=3)

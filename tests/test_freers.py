@@ -1,0 +1,114 @@
+"""Unit tests for FreeRS (paper Algorithm 2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.exact import ExactCounter
+from repro.core import FreeRS
+
+
+class TestFreeRSBasics:
+    def test_rejects_non_positive_registers(self):
+        with pytest.raises(ValueError):
+            FreeRS(0)
+
+    def test_unseen_user_estimate_is_zero(self):
+        assert FreeRS(1024).estimate("nobody") == 0.0
+
+    def test_first_pair_increments_by_one(self):
+        estimator = FreeRS(4096, seed=1)
+        estimator.update("u", "d1")
+        assert estimator.estimate("u") == pytest.approx(1.0)
+
+    def test_duplicate_pairs_do_not_increase_estimate(self):
+        estimator = FreeRS(4096, seed=2)
+        estimator.update("u", "d")
+        first = estimator.estimate("u")
+        for _ in range(100):
+            estimator.update("u", "d")
+        assert estimator.estimate("u") == pytest.approx(first)
+
+    def test_memory_bits_accounts_width(self):
+        assert FreeRS(1000, register_width=5).memory_bits() == 5000
+        assert FreeRS(1000, register_width=6).memory_bits() == 6000
+
+    def test_update_returns_current_estimate(self):
+        estimator = FreeRS(1 << 12, seed=3)
+        returned = estimator.update("u", "x")
+        assert returned == estimator.estimate("u")
+
+    def test_change_probability_starts_at_one_and_decreases(self):
+        estimator = FreeRS(512, seed=4)
+        assert estimator.change_probability == pytest.approx(1.0)
+        for item in range(2_000):
+            estimator.update("u", item)
+        assert estimator.change_probability < 0.9
+
+    def test_counters_track_processed_and_sampled(self):
+        estimator = FreeRS(1 << 12, seed=5)
+        for item in range(100):
+            estimator.update("u", item)
+        assert estimator.pairs_processed == 100
+        assert 0 < estimator.pairs_sampled <= 100
+
+
+class TestFreeRSAccuracy:
+    def test_estimates_track_exact_counts(self):
+        estimator = FreeRS(1 << 14, seed=6)
+        exact = ExactCounter()
+        rng = random.Random(11)
+        for _ in range(30_000):
+            user = rng.randint(0, 30)
+            item = rng.randint(0, 2_000)
+            estimator.update(user, item)
+            exact.update(user, item)
+        for user, true_cardinality in exact.cardinalities().items():
+            if true_cardinality >= 100:
+                relative_error = abs(estimator.estimate(user) - true_cardinality) / true_cardinality
+                assert relative_error < 0.3
+
+    def test_unbiased_over_repetitions(self):
+        # Theorem 2: E[n_hat] = n.
+        true_cardinality, repetitions = 200, 30
+        total = 0.0
+        for seed in range(repetitions):
+            estimator = FreeRS(1 << 11, seed=seed)
+            for item in range(true_cardinality):
+                estimator.update("u", item)
+            for item in range(500):
+                estimator.update("other", ("o", item))
+            total += estimator.estimate("u")
+        mean_estimate = total / repetitions
+        assert abs(mean_estimate - true_cardinality) / true_cardinality < 0.12
+
+    def test_total_cardinality_estimate(self):
+        estimator = FreeRS(1 << 13, seed=7)
+        exact = ExactCounter()
+        for user in range(20):
+            for item in range(100):
+                estimator.update(user, item)
+                exact.update(user, item)
+        estimate = estimator.total_cardinality_estimate()
+        assert abs(estimate - exact.total_cardinality) / exact.total_cardinality < 0.15
+
+    def test_large_cardinality_beyond_bit_sharing_range(self):
+        # With only 512 registers (2560 bits), FreeRS should still track a
+        # cardinality in the tens of thousands — far beyond the M ln M limit
+        # an equally-sized bit array would have.
+        estimator = FreeRS(512, seed=8)
+        true_cardinality = 50_000
+        for item in range(true_cardinality):
+            estimator.update("heavy", item)
+        relative_error = abs(estimator.estimate("heavy") - true_cardinality) / true_cardinality
+        assert relative_error < 0.35
+
+    def test_handles_register_saturation_gracefully(self):
+        # Tiny register width saturates quickly; estimates must stay finite.
+        estimator = FreeRS(64, register_width=3, seed=9)
+        for item in range(10_000):
+            estimator.update("u", item)
+        assert estimator.estimate("u") > 0
+        assert estimator.change_probability > 0

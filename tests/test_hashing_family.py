@@ -1,0 +1,73 @@
+"""Unit tests for the indexed hash-function family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing import HashFamily
+
+
+class TestHashFamilyConstruction:
+    def test_rejects_non_positive_m(self):
+        with pytest.raises(ValueError):
+            HashFamily(0, 100)
+
+    def test_rejects_non_positive_range(self):
+        with pytest.raises(ValueError):
+            HashFamily(4, 0)
+
+
+class TestHashFamilyEvaluation:
+    def test_positions_in_range(self):
+        family = HashFamily(16, 97, seed=1)
+        positions = family.positions("user-1")
+        assert positions.shape == (16,)
+        assert positions.min() >= 0
+        assert positions.max() < 97
+
+    def test_position_matches_positions(self):
+        family = HashFamily(8, 1000, seed=2)
+        all_positions = family.positions(1234)
+        for index in range(8):
+            assert family.position(1234, index) == all_positions[index]
+
+    def test_position_index_out_of_range(self):
+        family = HashFamily(4, 10)
+        with pytest.raises(IndexError):
+            family.position("x", 4)
+
+    def test_deterministic(self):
+        family_a = HashFamily(32, 500, seed=7)
+        family_b = HashFamily(32, 500, seed=7)
+        assert family_a.positions("key").tolist() == family_b.positions("key").tolist()
+
+    def test_different_seeds_differ(self):
+        family_a = HashFamily(32, 500, seed=7)
+        family_b = HashFamily(32, 500, seed=8)
+        assert family_a.positions("key").tolist() != family_b.positions("key").tolist()
+
+    def test_functions_are_distinct(self):
+        # Different functions of the family should map the same key to
+        # different positions (except for chance collisions).
+        family = HashFamily(64, 10_000, seed=3)
+        positions = family.positions("same-key")
+        assert len(set(positions.tolist())) > 55
+
+    def test_positions_for_many_matches_single(self):
+        family = HashFamily(8, 256, seed=11)
+        keys = np.array([1, 2, 3, 99], dtype=np.uint64)
+        matrix = family.positions_for_many(keys)
+        assert matrix.shape == (4, 8)
+        for row, key in enumerate(keys):
+            assert matrix[row].tolist() == family.positions(int(key)).tolist()
+
+    def test_distribution_over_range(self):
+        family = HashFamily(4, 10, seed=5)
+        counts = np.zeros(10, dtype=np.int64)
+        for key in range(2000):
+            for position in family.positions(key):
+                counts[position] += 1
+        # 8000 samples over 10 cells: each cell should be within 25% of 800.
+        assert counts.min() > 600
+        assert counts.max() < 1000

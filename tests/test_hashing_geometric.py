@@ -1,0 +1,65 @@
+"""Unit tests for the Geometric(1/2) rank functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing import geometric_rank, geometric_rank_array, hash64, rho_from_hash
+
+
+class TestRhoFromHash:
+    def test_all_zero_bits(self):
+        assert rho_from_hash(0, 8) == 9
+
+    def test_top_bit_set(self):
+        assert rho_from_hash(0b10000000, 8) == 1
+
+    def test_lowest_bit_set(self):
+        assert rho_from_hash(0b00000001, 8) == 8
+
+    def test_masks_to_width(self):
+        # Bits above the window must be ignored.
+        assert rho_from_hash(0x100, 8) == 9
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(ValueError):
+            rho_from_hash(3, 0)
+
+
+class TestGeometricRank:
+    def test_zero_hash_gets_max(self):
+        assert geometric_rank(0, max_rank=31) == 31
+
+    def test_full_hash_gets_one(self):
+        assert geometric_rank((1 << 64) - 1) == 1
+
+    def test_cap_applies(self):
+        assert geometric_rank(1, max_rank=5) == 5
+
+    def test_rejects_non_positive_max(self):
+        with pytest.raises(ValueError):
+            geometric_rank(7, max_rank=0)
+
+    def test_distribution_is_geometric_half(self):
+        # P(rank = k) should be about 2^-k.
+        ranks = [geometric_rank(hash64(i)) for i in range(20_000)]
+        counts = np.bincount(ranks, minlength=6)
+        total = len(ranks)
+        assert abs(counts[1] / total - 0.5) < 0.02
+        assert abs(counts[2] / total - 0.25) < 0.02
+        assert abs(counts[3] / total - 0.125) < 0.015
+
+    def test_array_matches_scalar(self):
+        hashes = np.array([hash64(i) for i in range(500)], dtype=np.uint64)
+        array_ranks = geometric_rank_array(hashes, max_rank=31)
+        scalar_ranks = [geometric_rank(int(value), max_rank=31) for value in hashes]
+        assert array_ranks.tolist() == scalar_ranks
+
+    def test_array_handles_zeros(self):
+        hashes = np.array([0, 0], dtype=np.uint64)
+        assert geometric_rank_array(hashes, max_rank=12).tolist() == [12, 12]
+
+    def test_array_rejects_non_positive_max(self):
+        with pytest.raises(ValueError):
+            geometric_rank_array(np.array([1], dtype=np.uint64), max_rank=0)

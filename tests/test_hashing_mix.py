@@ -1,0 +1,101 @@
+"""Unit tests for the 64-bit mixing functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing import (
+    MASK64,
+    hash64,
+    hash64_array,
+    hash_pair,
+    splitmix64,
+    splitmix64_array,
+    to_unit_interval,
+)
+
+
+class TestSplitmix64:
+    def test_deterministic(self):
+        assert splitmix64(12345) == splitmix64(12345)
+
+    def test_output_in_64_bit_range(self):
+        for value in (0, 1, 2**63, MASK64):
+            result = splitmix64(value)
+            assert 0 <= result <= MASK64
+
+    def test_different_inputs_give_different_outputs(self):
+        outputs = {splitmix64(value) for value in range(1000)}
+        assert len(outputs) == 1000
+
+    def test_avalanche_flips_many_bits(self):
+        # Flipping one input bit should flip roughly half the output bits.
+        base = splitmix64(0xDEADBEEF)
+        flipped = splitmix64(0xDEADBEEF ^ 1)
+        differing = bin(base ^ flipped).count("1")
+        assert 16 <= differing <= 48
+
+    def test_array_matches_scalar(self):
+        values = np.array([0, 1, 7, 2**40, MASK64], dtype=np.uint64)
+        array_result = splitmix64_array(values)
+        scalar_result = [splitmix64(int(value)) for value in values]
+        assert array_result.tolist() == scalar_result
+
+
+class TestHash64:
+    def test_deterministic_across_calls(self):
+        assert hash64("alice", seed=3) == hash64("alice", seed=3)
+
+    def test_seed_changes_output(self):
+        assert hash64("alice", seed=1) != hash64("alice", seed=2)
+
+    def test_supports_int_str_bytes_tuple(self):
+        keys = [42, "42", b"42", (4, 2)]
+        outputs = {hash64(key) for key in keys}
+        assert len(outputs) == len(keys)
+
+    def test_int_and_numpy_int_agree(self):
+        assert hash64(7) == hash64(np.int64(7))
+
+    def test_distribution_roughly_uniform(self):
+        buckets = np.zeros(16, dtype=np.int64)
+        for value in range(4000):
+            buckets[hash64(value) % 16] += 1
+        assert buckets.min() > 150
+        assert buckets.max() < 350
+
+    def test_array_matches_scalar_for_ints(self):
+        values = np.arange(100, dtype=np.uint64)
+        array_result = hash64_array(values, seed=9)
+        scalar_result = [hash64(int(value), seed=9) for value in values]
+        assert array_result.tolist() == scalar_result
+
+
+class TestHashPair:
+    def test_depends_on_both_components(self):
+        assert hash_pair("u", "a") != hash_pair("u", "b")
+        assert hash_pair("u", "a") != hash_pair("v", "a")
+
+    def test_duplicate_pairs_collide(self):
+        assert hash_pair("u", "a", seed=5) == hash_pair("u", "a", seed=5)
+
+    def test_not_symmetric(self):
+        assert hash_pair("u", "a") != hash_pair("a", "u")
+
+    def test_seed_changes_output(self):
+        assert hash_pair("u", "a", seed=0) != hash_pair("u", "a", seed=1)
+
+
+class TestToUnitInterval:
+    def test_range(self):
+        for value in (0, 1, 2**53, MASK64):
+            result = to_unit_interval(value)
+            assert 0.0 <= result < 1.0
+
+    def test_monotone_in_top_bits(self):
+        assert to_unit_interval(0) < to_unit_interval(MASK64)
+
+    def test_mean_near_half(self):
+        values = [to_unit_interval(hash64(i)) for i in range(2000)]
+        assert abs(np.mean(values) - 0.5) < 0.02

@@ -1,0 +1,85 @@
+"""Unit tests for HyperLogLog and its constants."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sketches import HyperLogLog, alpha_m
+from repro.sketches.hll import beta_m
+
+
+class TestAlphaBeta:
+    def test_alpha_reference_values(self):
+        assert alpha_m(16) == pytest.approx(0.673)
+        assert alpha_m(32) == pytest.approx(0.697)
+        assert alpha_m(64) == pytest.approx(0.709)
+        assert alpha_m(1024) == pytest.approx(0.7213 / (1 + 1.079 / 1024))
+
+    def test_alpha_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            alpha_m(0)
+
+    def test_beta_decreases_with_m(self):
+        assert beta_m(16) > beta_m(64) > beta_m(1024)
+
+    def test_analytic_standard_error_scales_with_sqrt_m(self):
+        small = HyperLogLog(m=64).analytic_standard_error()
+        large = HyperLogLog(m=1024).analytic_standard_error()
+        assert large < small
+        assert large == pytest.approx(beta_m(1024) / math.sqrt(1024))
+
+
+class TestHyperLogLog:
+    def test_empty_estimate_is_zero(self):
+        assert HyperLogLog(m=64).estimate() == pytest.approx(0.0)
+
+    def test_rejects_non_positive_m(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(m=0)
+
+    def test_duplicates_do_not_change_registers(self):
+        sketch = HyperLogLog(m=64, seed=2)
+        sketch.add("item")
+        before = sketch.registers.values.copy()
+        for _ in range(100):
+            sketch.add("item")
+        assert (sketch.registers.values == before).all()
+
+    @pytest.mark.parametrize("true_cardinality", [100, 1_000, 20_000])
+    def test_estimate_within_tolerance(self, true_cardinality):
+        sketch = HyperLogLog(m=256, seed=5)
+        for item in range(true_cardinality):
+            sketch.add(item)
+        relative_error = abs(sketch.estimate() - true_cardinality) / true_cardinality
+        # 256 registers -> ~6.5% asymptotic RSE; allow 4 sigma.
+        assert relative_error < 4 * sketch.analytic_standard_error()
+
+    def test_small_range_uses_linear_counting(self):
+        sketch = HyperLogLog(m=256, seed=1)
+        for item in range(20):
+            sketch.add(item)
+        # With only 20 items the raw estimate is far below 2.5m, so the
+        # estimate should be very close to exact thanks to linear counting.
+        assert abs(sketch.estimate() - 20) < 3
+
+    def test_memory_bits(self):
+        assert HyperLogLog(m=128, width=5).memory_bits() == 640
+
+    def test_merge_equals_union(self):
+        a = HyperLogLog(m=128, seed=3)
+        b = HyperLogLog(m=128, seed=3)
+        for item in range(500):
+            a.add(("a", item))
+            b.add(("b", item))
+        union = HyperLogLog(m=128, seed=3)
+        for item in range(500):
+            union.add(("a", item))
+            union.add(("b", item))
+        a.merge(b)
+        assert a.estimate() == pytest.approx(union.estimate())
+
+    def test_merge_rejects_mismatched_parameters(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(m=64).merge(HyperLogLog(m=128))

@@ -1,0 +1,105 @@
+"""Unit tests for HyperLogLog++ (sparse representation, bias correction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sketches import HyperLogLog, HyperLogLogPlusPlus
+
+
+class TestSparseRepresentation:
+    def test_starts_sparse(self):
+        sketch = HyperLogLogPlusPlus(m=256)
+        assert sketch.is_sparse
+
+    def test_densifies_after_enough_distinct_items(self):
+        sketch = HyperLogLogPlusPlus(m=64, width=6)
+        for item in range(200):
+            sketch.add(item)
+        assert not sketch.is_sparse
+
+    def test_sparse_and_dense_estimates_agree_at_transition(self):
+        # Estimates immediately before and after densification should be close.
+        sparse = HyperLogLogPlusPlus(m=256, width=6, sparse=True)
+        dense = HyperLogLogPlusPlus(m=256, width=6, sparse=False)
+        for item in range(40):
+            sparse.add(item)
+            dense.add(item)
+        assert sparse.estimate() == pytest.approx(dense.estimate(), rel=0.05)
+
+    def test_sparse_disabled(self):
+        sketch = HyperLogLogPlusPlus(m=64, sparse=False)
+        assert not sketch.is_sparse
+        sketch.add("x")
+        assert sketch.estimate() > 0
+
+
+class TestHLLPPAccuracy:
+    def test_empty_estimate_zero(self):
+        assert HyperLogLogPlusPlus(m=128).estimate() == pytest.approx(0.0)
+
+    def test_duplicates_do_not_change_estimate(self):
+        sketch = HyperLogLogPlusPlus(m=128, seed=4)
+        sketch.add("a")
+        first = sketch.estimate()
+        for _ in range(100):
+            sketch.add("a")
+        assert sketch.estimate() == pytest.approx(first)
+
+    @pytest.mark.parametrize("true_cardinality", [10, 100, 1_000, 30_000])
+    def test_estimate_within_tolerance(self, true_cardinality):
+        sketch = HyperLogLogPlusPlus(m=256, seed=6)
+        for item in range(true_cardinality):
+            sketch.add(item)
+        relative_error = abs(sketch.estimate() - true_cardinality) / true_cardinality
+        assert relative_error < 0.3
+
+    def test_small_range_more_accurate_than_plain_hll_on_average(self):
+        # HLL++'s raison d'etre in the paper: better small-cardinality bias.
+        true_cardinality, repetitions = 300, 15
+        hllpp_error = 0.0
+        hll_error = 0.0
+        for seed in range(repetitions):
+            plus = HyperLogLogPlusPlus(m=64, width=6, seed=seed)
+            plain = HyperLogLog(m=64, width=6, seed=seed)
+            for item in range(true_cardinality):
+                plus.add(item)
+                plain.add(item)
+            hllpp_error += abs(plus.estimate() - true_cardinality)
+            hll_error += abs(plain.estimate() - true_cardinality)
+        assert hllpp_error <= hll_error * 1.2
+
+    def test_memory_bits_accounts_dense_equivalent(self):
+        assert HyperLogLogPlusPlus(m=128, width=6).memory_bits() == 768
+
+    def test_rejects_non_positive_m(self):
+        with pytest.raises(ValueError):
+            HyperLogLogPlusPlus(m=0)
+
+
+class TestHLLPPMerge:
+    def test_merge_sparse_into_sparse(self):
+        a = HyperLogLogPlusPlus(m=256, seed=1)
+        b = HyperLogLogPlusPlus(m=256, seed=1)
+        for item in range(10):
+            a.add(("a", item))
+            b.add(("b", item))
+        a.merge(b)
+        assert a.estimate() == pytest.approx(20, abs=4)
+
+    def test_merge_dense_into_dense(self):
+        a = HyperLogLogPlusPlus(m=64, seed=2)
+        b = HyperLogLogPlusPlus(m=64, seed=2)
+        for item in range(500):
+            a.add(("a", item))
+            b.add(("b", item))
+        union = HyperLogLogPlusPlus(m=64, seed=2)
+        for item in range(500):
+            union.add(("a", item))
+            union.add(("b", item))
+        a.merge(b)
+        assert a.estimate() == pytest.approx(union.estimate(), rel=0.01)
+
+    def test_merge_rejects_mismatched_parameters(self):
+        with pytest.raises(ValueError):
+            HyperLogLogPlusPlus(m=64).merge(HyperLogLogPlusPlus(m=128))

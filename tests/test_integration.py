@@ -1,0 +1,112 @@
+"""Integration tests: whole-pipeline comparisons on a shared workload.
+
+These tests replay one realistic (small) workload through every estimator and
+assert the *relative ordering* results the paper reports: the proposed
+methods beat the baselines on accuracy under equal memory, super-spreader
+detection works end to end, and anytime estimates are consistent with
+end-of-stream estimates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import relative_standard_error
+from repro.baselines.exact import ExactCounter
+from repro.detection.evaluation import detection_error_at_end
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.estimators import METHOD_ORDER, build_estimators
+
+
+@pytest.fixture(scope="module")
+def workload(small_stream, small_stream_truth):
+    """The shared stream plus everything the comparisons need."""
+    config = ExperimentConfig(memory_bits=1 << 17, virtual_size=128, seed=3)
+    estimators = build_estimators(config, expected_users=small_stream_truth.user_count)
+    for user, item in small_stream:
+        for estimator in estimators.values():
+            estimator.update(user, item)
+    return {
+        "config": config,
+        "estimators": estimators,
+        "truth": small_stream_truth.cardinalities(),
+        "pairs": small_stream,
+    }
+
+
+class TestEqualMemoryComparison:
+    def test_all_methods_produce_estimates_for_all_users(self, workload):
+        truth = workload["truth"]
+        for method, estimator in workload["estimators"].items():
+            estimates = estimator.estimates()
+            missing = set(truth) - set(estimates)
+            assert not missing, f"{method} missing estimates for {len(missing)} users"
+
+    def test_proposed_methods_beat_virtual_sketch_baselines(self, workload):
+        truth = workload["truth"]
+        rse = {
+            method: relative_standard_error(truth, estimator.estimates(), minimum_cardinality=5)
+            for method, estimator in workload["estimators"].items()
+        }
+        assert rse["FreeBS"] < rse["CSE"]
+        assert rse["FreeBS"] < rse["vHLL"]
+        assert rse["FreeRS"] < rse["vHLL"]
+
+    def test_freebs_most_accurate_overall_on_small_workload(self, workload):
+        truth = workload["truth"]
+        rse = {
+            method: relative_standard_error(truth, estimator.estimates(), minimum_cardinality=5)
+            for method, estimator in workload["estimators"].items()
+        }
+        assert min(rse, key=rse.get) in {"FreeBS", "FreeRS", "LPC"}
+
+    def test_every_method_reasonable_on_heavy_users(self, workload):
+        truth = {user: n for user, n in workload["truth"].items() if n >= 200}
+        assert truth, "fixture must contain heavy users"
+        for method in ["FreeBS", "FreeRS", "vHLL", "HLL++"]:
+            estimates = workload["estimators"][method].estimates()
+            assert relative_standard_error(truth, estimates) < 0.6, method
+
+
+class TestDetectionEndToEnd:
+    def test_super_spreader_detection_ordering(self, workload):
+        # Fresh estimators (detection needs its own replay).
+        config = workload["config"]
+        pairs = workload["pairs"]
+        exact = ExactCounter()
+        for user, item in pairs:
+            exact.update(user, item)
+        results = {}
+        for method in ["FreeBS", "FreeRS", "CSE", "vHLL", "HLL++"]:
+            estimator = build_estimators(config, exact.user_count, methods=[method])[method]
+            results[method] = detection_error_at_end(estimator, pairs, delta=5e-3)
+        # The proposed methods should miss no more spreaders than the worst baseline.
+        worst_baseline_fnr = max(results[m].false_negative_rate for m in ["CSE", "vHLL", "HLL++"])
+        assert results["FreeBS"].false_negative_rate <= worst_baseline_fnr
+        assert results["FreeRS"].false_negative_rate <= worst_baseline_fnr
+        # And their false positive rates stay small in absolute terms.
+        assert results["FreeBS"].false_positive_rate < 0.05
+        assert results["FreeRS"].false_positive_rate < 0.05
+
+
+class TestAnytimeEstimates:
+    def test_freebs_anytime_estimate_matches_end_of_stream(self, workload):
+        # Processing the stream in two halves must give the same final state
+        # as processing it in one go (the estimator is purely incremental).
+        from repro.core import FreeBS
+
+        pairs = workload["pairs"]
+        once = FreeBS(1 << 16, seed=9)
+        twice = FreeBS(1 << 16, seed=9)
+        for user, item in pairs:
+            once.update(user, item)
+        half = len(pairs) // 2
+        for user, item in pairs[:half]:
+            twice.update(user, item)
+        midpoint_estimates = twice.estimates()
+        for user, item in pairs[half:]:
+            twice.update(user, item)
+        assert once.estimates() == twice.estimates()
+        # And the midpoint estimates never exceed the final ones.
+        for user, midpoint_value in midpoint_estimates.items():
+            assert midpoint_value <= twice.estimate(user) + 1e-9

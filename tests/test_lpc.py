@@ -1,0 +1,97 @@
+"""Unit tests for Linear Probabilistic Counting."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sketches import LinearProbabilisticCounter
+
+
+class TestLPCBasics:
+    def test_empty_estimate_is_zero(self):
+        assert LinearProbabilisticCounter(256).estimate() == pytest.approx(0.0)
+
+    def test_rejects_non_positive_m(self):
+        with pytest.raises(ValueError):
+            LinearProbabilisticCounter(0)
+
+    def test_duplicates_do_not_change_estimate(self):
+        sketch = LinearProbabilisticCounter(512, seed=1)
+        for _ in range(50):
+            sketch.add("same-item")
+        assert sketch.estimate() == pytest.approx(
+            -512 * math.log(511 / 512), rel=1e-9
+        )
+
+    def test_add_returns_change_flag(self):
+        sketch = LinearProbabilisticCounter(128)
+        assert sketch.add("x") is True
+        assert sketch.add("x") is False
+
+    def test_memory_bits(self):
+        assert LinearProbabilisticCounter(1024).memory_bits() == 1024
+
+
+class TestLPCAccuracy:
+    @pytest.mark.parametrize("true_cardinality", [50, 200, 800])
+    def test_estimate_within_tolerance(self, true_cardinality):
+        sketch = LinearProbabilisticCounter(4096, seed=3)
+        for item in range(true_cardinality):
+            sketch.add(item)
+        estimate = sketch.estimate()
+        assert abs(estimate - true_cardinality) / true_cardinality < 0.12
+
+    def test_saturation_pins_at_max(self):
+        sketch = LinearProbabilisticCounter(16, seed=2)
+        for item in range(10_000):
+            sketch.add(item)
+        assert sketch.is_saturated()
+        assert sketch.estimate() == pytest.approx(sketch.max_estimate)
+
+    def test_max_estimate_is_m_ln_m(self):
+        sketch = LinearProbabilisticCounter(100)
+        assert sketch.max_estimate == pytest.approx(100 * math.log(100))
+
+    def test_analytic_error_model_positive_and_growing(self):
+        sketch = LinearProbabilisticCounter(256)
+        assert sketch.analytic_variance(100) > 0
+        assert sketch.analytic_variance(400) > sketch.analytic_variance(100)
+        assert sketch.analytic_standard_error(0) == 0.0
+
+    def test_empirical_error_matches_analytic_order(self):
+        # Average over repetitions: the empirical RSE should be within a small
+        # factor of the analytic standard error.
+        m, n, repetitions = 1024, 500, 20
+        errors = []
+        for seed in range(repetitions):
+            sketch = LinearProbabilisticCounter(m, seed=seed)
+            for item in range(n):
+                sketch.add((seed, item))
+            errors.append((sketch.estimate() - n) / n)
+        empirical_rse = math.sqrt(sum(error**2 for error in errors) / repetitions)
+        analytic = sketch.analytic_standard_error(n)
+        assert empirical_rse < 3 * analytic
+
+
+class TestLPCMerge:
+    def test_merge_equals_union(self):
+        a = LinearProbabilisticCounter(512, seed=9)
+        b = LinearProbabilisticCounter(512, seed=9)
+        for item in range(100):
+            a.add(("a", item))
+        for item in range(100):
+            b.add(("b", item))
+        union = LinearProbabilisticCounter(512, seed=9)
+        for item in range(100):
+            union.add(("a", item))
+            union.add(("b", item))
+        a.merge(b)
+        assert a.estimate() == pytest.approx(union.estimate())
+
+    def test_merge_rejects_mismatched_parameters(self):
+        a = LinearProbabilisticCounter(128, seed=0)
+        b = LinearProbabilisticCounter(256, seed=0)
+        with pytest.raises(ValueError):
+            a.merge(b)

@@ -1,0 +1,122 @@
+"""Unit tests for the per-user sketch baselines and the exact counter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ExactCounter, PerUserHLLPP, PerUserLPC
+
+
+class TestExactCounter:
+    def test_counts_distinct_items_per_user(self):
+        exact = ExactCounter()
+        exact.update("u", "a")
+        exact.update("u", "a")
+        exact.update("u", "b")
+        exact.update("v", "a")
+        assert exact.cardinality("u") == 2
+        assert exact.cardinality("v") == 1
+        assert exact.estimate("u") == 2.0
+
+    def test_unseen_user_is_zero(self):
+        assert ExactCounter().cardinality("x") == 0
+        assert ExactCounter().estimate("x") == 0.0
+
+    def test_total_cardinality_and_users(self):
+        exact = ExactCounter()
+        for user in range(5):
+            for item in range(10):
+                exact.update(user, item)
+                exact.update(user, item)  # duplicates ignored
+        assert exact.total_cardinality == 50
+        assert exact.user_count == 5
+        assert exact.pairs_processed == 100
+        assert exact.max_cardinality() == 10
+
+    def test_cardinalities_and_estimates_agree(self):
+        exact = ExactCounter()
+        exact.update(1, 1)
+        exact.update(1, 2)
+        assert exact.cardinalities() == {1: 2}
+        assert exact.estimates() == {1: 2.0}
+
+    def test_items_of(self):
+        exact = ExactCounter()
+        exact.update("u", "a")
+        exact.update("u", "b")
+        assert set(exact.items_of("u")) == {"a", "b"}
+
+    def test_memory_reported_positive(self):
+        exact = ExactCounter()
+        exact.update("u", "a")
+        assert exact.memory_bits() > 0
+
+
+class TestPerUserLPC:
+    def test_budget_division(self):
+        estimator = PerUserLPC(memory_bits=10_000, expected_users=100)
+        assert estimator.bits_per_user == 100
+
+    def test_explicit_bits_override(self):
+        estimator = PerUserLPC(memory_bits=10_000, expected_users=100, bits_per_user=256)
+        assert estimator.bits_per_user == 256
+
+    def test_rejects_bad_expected_users(self):
+        with pytest.raises(ValueError):
+            PerUserLPC(memory_bits=1000, expected_users=0)
+
+    def test_minimum_bits_enforced(self):
+        estimator = PerUserLPC(memory_bits=100, expected_users=1_000)
+        assert estimator.bits_per_user >= 8
+
+    def test_estimates_track_counts(self):
+        estimator = PerUserLPC(memory_bits=1 << 16, expected_users=10, seed=1)
+        for item in range(200):
+            estimator.update("u", item)
+        assert estimator.estimate("u") == pytest.approx(200, rel=0.15)
+
+    def test_memory_grows_with_users(self):
+        estimator = PerUserLPC(memory_bits=1 << 14, expected_users=16, seed=2)
+        estimator.update("a", 1)
+        first = estimator.memory_bits()
+        estimator.update("b", 1)
+        assert estimator.memory_bits() == 2 * first
+        assert estimator.users_allocated == 2
+
+    def test_range_limited_by_per_user_budget(self):
+        # With a tiny per-user bitmap, heavy users saturate (the paper's
+        # motivation for sharing memory instead of splitting it).
+        estimator = PerUserLPC(memory_bits=3_200, expected_users=100, seed=3)
+        for item in range(10_000):
+            estimator.update("heavy", item)
+        assert estimator.estimate("heavy") < 10_000 * 0.5
+
+
+class TestPerUserHLLPP:
+    def test_budget_division(self):
+        estimator = PerUserHLLPP(memory_bits=60_000, expected_users=100)
+        assert estimator.registers_per_user == 100
+
+    def test_rejects_bad_expected_users(self):
+        with pytest.raises(ValueError):
+            PerUserHLLPP(memory_bits=1000, expected_users=0)
+
+    def test_estimates_track_counts(self):
+        estimator = PerUserHLLPP(memory_bits=1 << 16, expected_users=8, seed=4)
+        for item in range(5_000):
+            estimator.update("u", item)
+        assert estimator.estimate("u") == pytest.approx(5_000, rel=0.3)
+
+    def test_duplicates_ignored(self):
+        estimator = PerUserHLLPP(memory_bits=1 << 14, expected_users=4, seed=5)
+        estimator.update("u", "a")
+        first = estimator.estimate("u")
+        for _ in range(20):
+            estimator.update("u", "a")
+        assert estimator.estimate("u") == pytest.approx(first)
+
+    def test_users_allocated(self):
+        estimator = PerUserHLLPP(memory_bits=1 << 14, expected_users=4, seed=6)
+        estimator.update("a", 1)
+        estimator.update("b", 1)
+        assert estimator.users_allocated == 2

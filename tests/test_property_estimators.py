@@ -1,0 +1,143 @@
+"""Property-based tests for the per-user streaming estimators.
+
+The invariants exercised here are the ones the paper's correctness argument
+rests on:
+
+* duplicate user-item pairs never change any estimate (all methods);
+* a user's estimate is non-decreasing over time (FreeBS/FreeRS increment
+  counters, never decrement);
+* FreeBS/FreeRS incremental ``q`` bookkeeping equals the value recomputed
+  from the raw array state after any update sequence;
+* estimates of users never observed stay exactly zero.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro import CSE, FreeBS, FreeRS, VirtualHLL
+
+_SETTINGS = settings(max_examples=30, deadline=None)
+
+pairs_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=0, max_value=500),
+    ),
+    min_size=0,
+    max_size=300,
+)
+
+
+class TestDuplicateInsensitivity:
+    @_SETTINGS
+    @given(pairs=pairs_strategy)
+    def test_freebs(self, pairs):
+        once = FreeBS(1 << 12, seed=1)
+        twice = FreeBS(1 << 12, seed=1)
+        for user, item in pairs:
+            once.update(user, item)
+            twice.update(user, item)
+            twice.update(user, item)
+        assert once.estimates() == twice.estimates()
+
+    @_SETTINGS
+    @given(pairs=pairs_strategy)
+    def test_freers(self, pairs):
+        once = FreeRS(1 << 10, seed=1)
+        twice = FreeRS(1 << 10, seed=1)
+        for user, item in pairs:
+            once.update(user, item)
+            twice.update(user, item)
+            twice.update(user, item)
+        assert once.estimates() == twice.estimates()
+
+    @_SETTINGS
+    @given(pairs=pairs_strategy)
+    def test_cse_shared_array_state(self, pairs):
+        once = CSE(1 << 12, virtual_size=32, seed=1)
+        twice = CSE(1 << 12, virtual_size=32, seed=1)
+        for user, item in pairs:
+            once.update(user, item)
+            twice.update(user, item)
+            twice.update(user, item)
+        # Duplicates may refresh the cached estimate but must not change the
+        # *fresh* estimate (the shared array is unchanged).
+        for user, _ in pairs:
+            assert once.estimate_fresh(user) == twice.estimate_fresh(user)
+
+
+class TestMonotonicity:
+    @_SETTINGS
+    @given(pairs=pairs_strategy)
+    def test_freebs_estimates_never_decrease(self, pairs):
+        estimator = FreeBS(1 << 12, seed=2)
+        running = {}
+        for user, item in pairs:
+            estimator.update(user, item)
+            estimate = estimator.estimate(user)
+            assert estimate >= running.get(user, 0.0) - 1e-12
+            running[user] = estimate
+
+    @_SETTINGS
+    @given(pairs=pairs_strategy)
+    def test_freers_estimates_never_decrease(self, pairs):
+        estimator = FreeRS(1 << 10, seed=2)
+        running = {}
+        for user, item in pairs:
+            estimator.update(user, item)
+            estimate = estimator.estimate(user)
+            assert estimate >= running.get(user, 0.0) - 1e-12
+            running[user] = estimate
+
+
+class TestIncrementalBookkeeping:
+    @_SETTINGS
+    @given(pairs=pairs_strategy)
+    def test_freebs_change_probability_matches_array(self, pairs):
+        estimator = FreeBS(1 << 11, seed=3)
+        for user, item in pairs:
+            estimator.update(user, item)
+        assert estimator.change_probability == estimator._bits.zero_fraction
+        assert estimator._bits.ones == estimator._bits.recount()
+
+    @_SETTINGS
+    @given(pairs=pairs_strategy)
+    def test_freers_change_probability_matches_array(self, pairs):
+        estimator = FreeRS(1 << 9, seed=3)
+        for user, item in pairs:
+            estimator.update(user, item)
+        recomputed = estimator._registers.recompute_harmonic_sum() / estimator.M
+        assert abs(estimator.change_probability - recomputed) < 1e-9
+
+
+class TestUnseenUsers:
+    @_SETTINGS
+    @given(pairs=pairs_strategy)
+    def test_unseen_users_stay_zero(self, pairs):
+        freebs = FreeBS(1 << 12, seed=4)
+        freers = FreeRS(1 << 10, seed=4)
+        vhll = VirtualHLL(1 << 10, virtual_size=32, seed=4)
+        for user, item in pairs:
+            freebs.update(user, item)
+            freers.update(user, item)
+            vhll.update(user, item)
+        for estimator in (freebs, freers, vhll):
+            assert estimator.estimate("user-that-never-appears") == 0.0
+            assert "user-that-never-appears" not in estimator.estimates()
+
+
+class TestConservation:
+    @_SETTINGS
+    @given(pairs=pairs_strategy)
+    def test_freebs_total_increment_counts_sampled_pairs(self, pairs):
+        # Every sampled pair contributes at least 1 to some user's estimate
+        # (increments are 1/q >= 1), so the sum of estimates is at least the
+        # number of sampled pairs and zero when nothing was sampled.
+        estimator = FreeBS(1 << 12, seed=5)
+        for user, item in pairs:
+            estimator.update(user, item)
+        total_estimate = sum(estimator.estimates().values())
+        assert total_estimate >= estimator.pairs_sampled - 1e-9
+        if estimator.pairs_sampled == 0:
+            assert total_estimate == 0.0

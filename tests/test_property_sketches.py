@@ -1,0 +1,163 @@
+"""Property-based tests (hypothesis) for the sketch substrates and sketches.
+
+These tests check structural invariants that must hold for *every* input, not
+just the fixtures: duplicate insensitivity, order insensitivity of sketch
+state, incremental bookkeeping consistency, and monotonicity.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sketches import (
+    BitArray,
+    HyperLogLog,
+    HyperLogLogPlusPlus,
+    LinearProbabilisticCounter,
+    RegisterArray,
+)
+
+# Keep hypothesis example counts moderate: every example replays a stream.
+_SETTINGS = settings(max_examples=40, deadline=None)
+
+items_strategy = st.lists(st.integers(min_value=0, max_value=10_000), min_size=0, max_size=300)
+
+
+class TestBitArrayProperties:
+    @_SETTINGS
+    @given(indices=st.lists(st.integers(min_value=0, max_value=255), max_size=400))
+    def test_incremental_ones_matches_recount(self, indices):
+        bits = BitArray(256)
+        for index in indices:
+            bits.set_bit(index)
+        assert bits.ones == bits.recount()
+        assert bits.ones == len(set(indices))
+
+    @_SETTINGS
+    @given(indices=st.lists(st.integers(min_value=0, max_value=127), max_size=200))
+    def test_ones_plus_zeros_is_size(self, indices):
+        bits = BitArray(128)
+        for index in indices:
+            bits.set_bit(index)
+        assert bits.ones + bits.zeros == 128
+
+
+class TestRegisterArrayProperties:
+    @_SETTINGS
+    @given(
+        updates=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=63),
+                st.integers(min_value=1, max_value=40),
+            ),
+            max_size=300,
+        )
+    )
+    def test_incremental_harmonic_sum_matches_recompute(self, updates):
+        registers = RegisterArray(64, width=5)
+        for index, rank in updates:
+            registers.update(index, rank)
+        assert abs(registers.harmonic_sum - registers.recompute_harmonic_sum()) < 1e-9
+        assert registers.zeros == registers.recount_zeros()
+
+    @_SETTINGS
+    @given(
+        updates=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=31),
+                st.integers(min_value=1, max_value=100),
+            ),
+            max_size=200,
+        )
+    )
+    def test_registers_never_decrease(self, updates):
+        registers = RegisterArray(32, width=5)
+        previous = [0] * 32
+        for index, rank in updates:
+            registers.update(index, rank)
+            current = [registers.get(i) for i in range(32)]
+            assert all(c >= p for c, p in zip(current, previous))
+            previous = current
+
+
+class TestSketchProperties:
+    @_SETTINGS
+    @given(items=items_strategy)
+    def test_lpc_duplicate_insensitive(self, items):
+        once = LinearProbabilisticCounter(512, seed=1)
+        twice = LinearProbabilisticCounter(512, seed=1)
+        for item in items:
+            once.add(item)
+            twice.add(item)
+            twice.add(item)
+        assert once.estimate() == twice.estimate()
+
+    @_SETTINGS
+    @given(items=items_strategy)
+    def test_lpc_order_insensitive(self, items):
+        forward = LinearProbabilisticCounter(512, seed=2)
+        backward = LinearProbabilisticCounter(512, seed=2)
+        for item in items:
+            forward.add(item)
+        for item in reversed(items):
+            backward.add(item)
+        assert forward.estimate() == backward.estimate()
+
+    @_SETTINGS
+    @given(items=items_strategy)
+    def test_hll_duplicate_and_order_insensitive(self, items):
+        reference = HyperLogLog(m=64, seed=3)
+        shuffled = HyperLogLog(m=64, seed=3)
+        for item in items:
+            reference.add(item)
+        for item in reversed(items):
+            shuffled.add(item)
+            shuffled.add(item)
+        assert reference.estimate() == shuffled.estimate()
+
+    @_SETTINGS
+    @given(items=items_strategy)
+    def test_hll_estimate_monotone_in_insertions(self, items):
+        sketch = HyperLogLog(m=64, seed=4)
+        previous_estimate = 0.0
+        for item in items:
+            sketch.add(item)
+            estimate = sketch.estimate()
+            assert estimate >= previous_estimate - 1e-9
+            previous_estimate = estimate
+
+    @_SETTINGS
+    @given(items=items_strategy)
+    def test_hllpp_sparse_dense_consistency(self, items):
+        sparse = HyperLogLogPlusPlus(m=128, seed=5, sparse=True)
+        dense = HyperLogLogPlusPlus(m=128, seed=5, sparse=False)
+        for item in items:
+            sparse.add(item)
+            dense.add(item)
+        # Both representations must agree (within float noise) on the estimate.
+        assert abs(sparse.estimate() - dense.estimate()) < max(
+            1e-6, 0.02 * max(sparse.estimate(), 1.0)
+        )
+
+    @_SETTINGS
+    @given(
+        left=items_strategy,
+        right=items_strategy,
+    )
+    def test_hll_merge_commutes(self, left, right):
+        a = HyperLogLog(m=64, seed=6)
+        b = HyperLogLog(m=64, seed=6)
+        for item in left:
+            a.add(("L", item))
+        for item in right:
+            b.add(("R", item))
+        ab = HyperLogLog(m=64, seed=6)
+        ba = HyperLogLog(m=64, seed=6)
+        for item in left:
+            ab.add(("L", item))
+            ba.add(("L", item))
+        for item in right:
+            ab.add(("R", item))
+            ba.add(("R", item))
+        a.merge(b)
+        assert a.estimate() == ab.estimate() == ba.estimate()

@@ -1,0 +1,91 @@
+"""Unit tests for the packed register-array substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketches.registers import RegisterArray
+
+
+class TestRegisterArrayBasics:
+    def test_starts_all_zero(self):
+        registers = RegisterArray(64, width=5)
+        assert registers.zeros == 64
+        assert registers.harmonic_sum == pytest.approx(64.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RegisterArray(0)
+        with pytest.raises(ValueError):
+            RegisterArray(10, width=0)
+        with pytest.raises(ValueError):
+            RegisterArray(10, width=9)
+
+    def test_update_raises_register(self):
+        registers = RegisterArray(8)
+        assert registers.update(3, 4) is True
+        assert registers.get(3) == 4
+
+    def test_update_ignores_smaller_rank(self):
+        registers = RegisterArray(8)
+        registers.update(2, 5)
+        assert registers.update(2, 3) is False
+        assert registers.get(2) == 5
+
+    def test_update_saturates_at_width(self):
+        registers = RegisterArray(4, width=5)
+        registers.update(0, 99)
+        assert registers.get(0) == 31
+
+    def test_index_range_checks(self):
+        registers = RegisterArray(4)
+        with pytest.raises(IndexError):
+            registers.update(4, 1)
+        with pytest.raises(IndexError):
+            registers.get(-1)
+
+    def test_len_and_memory(self):
+        registers = RegisterArray(100, width=5)
+        assert len(registers) == 100
+        assert registers.memory_bits() == 500
+
+
+class TestRegisterArrayAccounting:
+    def test_harmonic_sum_matches_recompute(self):
+        registers = RegisterArray(256, width=5)
+        rng = np.random.default_rng(4)
+        for _ in range(2000):
+            registers.update(int(rng.integers(0, 256)), int(rng.geometric(0.5)))
+        assert registers.harmonic_sum == pytest.approx(registers.recompute_harmonic_sum())
+
+    def test_zero_count_matches_recount(self):
+        registers = RegisterArray(128)
+        rng = np.random.default_rng(5)
+        for _ in range(300):
+            registers.update(int(rng.integers(0, 128)), int(rng.geometric(0.5)))
+        assert registers.zeros == registers.recount_zeros()
+
+    def test_clear(self):
+        registers = RegisterArray(16)
+        registers.update(1, 3)
+        registers.clear()
+        assert registers.zeros == 16
+        assert registers.harmonic_sum == pytest.approx(16.0)
+
+    def test_get_many(self):
+        registers = RegisterArray(32)
+        registers.update(0, 2)
+        registers.update(31, 7)
+        values = registers.get_many(np.array([0, 1, 31]))
+        assert values.tolist() == [2, 0, 7]
+
+    def test_get_many_range_check(self):
+        registers = RegisterArray(8)
+        with pytest.raises(IndexError):
+            registers.get_many(np.array([7, 8]))
+
+    def test_values_view_reflects_updates(self):
+        registers = RegisterArray(4)
+        registers.update(2, 6)
+        assert registers.values[2] == 6

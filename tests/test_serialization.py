@@ -1,0 +1,87 @@
+"""Tests for estimator snapshot serialization."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import FreeBS, FreeBSBatch, FreeRS, FreeRSBatch
+from repro.core import serialization
+from repro.baselines import ExactCounter
+
+
+def _feed(estimator, pairs):
+    for user, item in pairs:
+        estimator.update(user, item)
+    return estimator
+
+
+def _pairs(count, seed=0):
+    rng = random.Random(seed)
+    return [(rng.randint(0, 30), rng.randint(0, 300)) for _ in range(count)]
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: FreeBS(1 << 12, seed=3),
+        lambda: FreeRS(1 << 9, seed=3),
+        lambda: FreeBSBatch(1 << 12, seed=3),
+        lambda: FreeRSBatch(1 << 9, seed=3),
+    ],
+    ids=["FreeBS", "FreeRS", "FreeBSBatch", "FreeRSBatch"],
+)
+class TestRoundTrip:
+    def test_estimates_survive_round_trip(self, factory):
+        estimator = _feed(factory(), _pairs(2_000, seed=1))
+        restored = serialization.loads(serialization.dumps(estimator))
+        assert restored.estimates() == estimator.estimates()
+
+    def test_restored_estimator_continues_identically(self, factory):
+        # Process half the stream, snapshot, restore, process the second half
+        # on both the original and the restored copy: results must be equal.
+        first_half = _pairs(1_500, seed=2)
+        second_half = _pairs(1_500, seed=3)
+        original = _feed(factory(), first_half)
+        restored = serialization.loads(serialization.dumps(original))
+        _feed(original, second_half)
+        _feed(restored, second_half)
+        assert restored.estimates() == original.estimates()
+
+    def test_file_round_trip(self, factory, tmp_path):
+        estimator = _feed(factory(), _pairs(500, seed=4))
+        path = tmp_path / "snapshot.json"
+        serialization.save(estimator, path)
+        restored = serialization.load(path)
+        assert restored.estimates() == estimator.estimates()
+        assert type(restored) is type(estimator)
+
+
+class TestErrorsAndFormat:
+    def test_rejects_unsupported_estimator(self):
+        with pytest.raises(TypeError):
+            serialization.dumps(ExactCounter())
+
+    def test_rejects_garbage_payload(self):
+        with pytest.raises(ValueError):
+            serialization.loads('{"format": "something-else"}')
+
+    def test_rejects_unknown_version(self):
+        payload = serialization.dumps(FreeBS(1 << 10))
+        tampered = payload.replace('"version": 1', '"version": 99')
+        with pytest.raises(ValueError):
+            serialization.loads(tampered)
+
+    def test_string_and_int_users_round_trip(self):
+        estimator = FreeBS(1 << 10, seed=1)
+        estimator.update("alice", "x")
+        estimator.update(42, "y")
+        restored = serialization.loads(serialization.dumps(estimator))
+        assert set(restored.estimates()) == {"alice", 42}
+
+    def test_seed_preserved(self):
+        estimator = FreeRS(1 << 8, seed=77)
+        estimator.update("u", "i")
+        restored = serialization.loads(serialization.dumps(estimator))
+        assert restored.seed == 77

@@ -1,0 +1,145 @@
+"""Unit tests for the synthetic stream generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import ExactCounter
+from repro.streams.generators import (
+    StreamSpec,
+    interleaved_stream,
+    uniform_bipartite_stream,
+    zipf_bipartite_stream,
+    zipf_cardinalities,
+)
+
+
+class TestZipfCardinalities:
+    def test_length_and_bounds(self):
+        cards = zipf_cardinalities(1_000, alpha=1.3, max_cardinality=500, seed=1)
+        assert cards.shape == (1_000,)
+        assert cards.min() >= 1
+        assert cards.max() <= 500
+
+    def test_heavy_tail_present(self):
+        cards = zipf_cardinalities(5_000, alpha=1.2, max_cardinality=2_000, seed=2)
+        # Most users small, a few large: the 99th percentile should be far
+        # above the median.
+        assert np.percentile(cards, 99) > 5 * np.median(cards)
+
+    def test_deterministic_per_seed(self):
+        a = zipf_cardinalities(100, seed=3)
+        b = zipf_cardinalities(100, seed=3)
+        c = zipf_cardinalities(100, seed=4)
+        assert a.tolist() == b.tolist()
+        assert a.tolist() != c.tolist()
+
+    def test_alpha_one_special_case(self):
+        cards = zipf_cardinalities(500, alpha=1.0, max_cardinality=100, seed=5)
+        assert cards.min() >= 1
+        assert cards.max() <= 100
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            zipf_cardinalities(0)
+        with pytest.raises(ValueError):
+            zipf_cardinalities(10, alpha=0)
+        with pytest.raises(ValueError):
+            zipf_cardinalities(10, max_cardinality=1, min_cardinality=5)
+
+
+class TestZipfBipartiteStream:
+    def test_exact_cardinalities_match_targets_scale(self):
+        pairs = zipf_bipartite_stream(
+            n_users=200, n_pairs=5_000, alpha=1.3, duplicate_factor=0.0, seed=6
+        )
+        exact = ExactCounter()
+        for user, item in pairs:
+            exact.update(user, item)
+        # With duplicate_factor 0, every pair is distinct.
+        assert exact.total_cardinality == len(pairs)
+        assert exact.total_cardinality == pytest.approx(5_000, rel=0.25)
+
+    def test_duplicate_factor_controls_duplicates(self):
+        pairs = zipf_bipartite_stream(
+            n_users=100, n_pairs=2_000, duplicate_factor=1.0, seed=7
+        )
+        exact = ExactCounter()
+        for user, item in pairs:
+            exact.update(user, item)
+        duplicate_ratio = 1.0 - exact.total_cardinality / len(pairs)
+        assert 0.3 < duplicate_ratio < 0.6
+
+    def test_users_are_contiguous_integers(self):
+        pairs = zipf_bipartite_stream(n_users=50, n_pairs=500, seed=8)
+        users = {user for user, _ in pairs}
+        assert users <= set(range(50))
+
+    def test_deterministic_per_seed(self):
+        a = zipf_bipartite_stream(n_users=30, n_pairs=200, seed=9)
+        b = zipf_bipartite_stream(n_users=30, n_pairs=200, seed=9)
+        assert a == b
+
+    def test_shared_item_space(self):
+        pairs = zipf_bipartite_stream(
+            n_users=20, n_pairs=300, seed=10, shared_item_space=True, duplicate_factor=0.0
+        )
+        items = {item for _, item in pairs}
+        # Items drawn from a compact universe rather than user-striped ranges.
+        assert max(items) < 10_000
+
+    def test_rejects_negative_duplicate_factor(self):
+        with pytest.raises(ValueError):
+            zipf_bipartite_stream(n_users=10, duplicate_factor=-0.5)
+
+
+class TestUniformAndInterleaved:
+    def test_uniform_every_user_has_requested_cardinality(self):
+        pairs = uniform_bipartite_stream(n_users=40, cardinality=25, seed=11)
+        exact = ExactCounter()
+        for user, item in pairs:
+            exact.update(user, item)
+        assert set(exact.cardinalities().values()) == {25}
+
+    def test_uniform_rejects_bad_cardinality(self):
+        with pytest.raises(ValueError):
+            uniform_bipartite_stream(n_users=5, cardinality=0)
+
+    def test_interleaved_group_ordering(self):
+        pairs = interleaved_stream(early_users=10, late_users=10, cardinality=20, seed=12)
+        # Every pair of an early user must appear before any pair of a late user.
+        last_early_position = max(
+            index for index, (user, _) in enumerate(pairs) if user < 10
+        )
+        first_late_position = min(
+            index for index, (user, _) in enumerate(pairs) if user >= 10
+        )
+        assert last_early_position < first_late_position
+
+    def test_interleaved_cardinalities(self):
+        pairs = interleaved_stream(early_users=5, late_users=5, cardinality=30, seed=13)
+        exact = ExactCounter()
+        for user, item in pairs:
+            exact.update(user, item)
+        assert exact.user_count == 10
+        assert set(exact.cardinalities().values()) == {30}
+
+
+class TestStreamSpec:
+    def test_generate_matches_parameters(self):
+        spec = StreamSpec(name="test", n_users=100, target_total_cardinality=2_000, seed=14)
+        pairs = spec.generate()
+        exact = ExactCounter()
+        for user, item in pairs:
+            exact.update(user, item)
+        assert exact.user_count <= 100
+        assert exact.total_cardinality == pytest.approx(2_000, rel=0.3)
+
+    def test_seed_offset_changes_realisation(self):
+        spec = StreamSpec(name="test", n_users=50, target_total_cardinality=500, seed=15)
+        assert spec.generate(0) != spec.generate(1)
+
+    def test_iter_pairs(self):
+        spec = StreamSpec(name="test", n_users=20, target_total_cardinality=100, seed=16)
+        assert list(spec.iter_pairs()) == spec.generate()

@@ -1,0 +1,153 @@
+"""Unit tests for GraphStream, the dataset registry and edge-file IO."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streams import (
+    DATASETS,
+    Edge,
+    GraphStream,
+    dataset_names,
+    load_dataset,
+    read_edge_file,
+    write_edge_file,
+)
+from repro.streams.io import iter_edge_file
+
+
+class TestEdge:
+    def test_as_pair(self):
+        assert Edge("u", "d", 3).as_pair() == ("u", "d")
+
+    def test_reversed(self):
+        edge = Edge("u", "d", 3).reversed()
+        assert edge.user == "d"
+        assert edge.item == "u"
+        assert edge.timestamp == 3
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Edge("u", "d").user = "x"
+
+
+class TestGraphStream:
+    def test_from_list_and_iteration(self):
+        pairs = [("a", 1), ("a", 2), ("b", 1), ("a", 1)]
+        stream = GraphStream(pairs, name="tiny")
+        assert list(stream) == pairs
+        assert len(stream) == 4
+
+    def test_replayable_from_factory(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return [("a", 1), ("b", 2)]
+
+        stream = GraphStream(factory)
+        assert list(stream) == list(stream)
+        # pairs() caches, so later iterations stop invoking the factory.
+        stream.pairs()
+        before = len(calls)
+        list(stream)
+        assert len(calls) == before
+
+    def test_exact_statistics(self):
+        pairs = [("a", 1), ("a", 2), ("b", 1), ("a", 1)]
+        stream = GraphStream(pairs)
+        assert stream.user_count == 2
+        assert stream.total_cardinality == 3
+        assert stream.max_cardinality == 2
+        assert stream.cardinalities() == {"a": 2, "b": 1}
+        assert stream.duplicate_ratio == pytest.approx(0.25)
+
+    def test_prefix(self):
+        stream = GraphStream([("a", i) for i in range(10)])
+        assert len(stream.prefix(3)) == 3
+
+    def test_empty_stream(self):
+        stream = GraphStream([])
+        assert stream.user_count == 0
+        assert stream.max_cardinality == 0
+        assert stream.duplicate_ratio == 0.0
+
+
+class TestDatasetRegistry:
+    def test_registry_contains_papers_six_datasets(self):
+        assert dataset_names() == [
+            "sanjose",
+            "chicago",
+            "Twitter",
+            "Flickr",
+            "Orkut",
+            "LiveJournal",
+        ]
+
+    def test_load_dataset_scaled(self):
+        stream = load_dataset("chicago", scale=0.05)
+        assert stream.user_count > 50
+        assert stream.total_cardinality > 200
+
+    def test_load_dataset_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("not-a-dataset")
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DATASETS["chicago"].generate(scale=0)
+
+    def test_seed_offset_gives_new_realisation(self):
+        a = DATASETS["chicago"].generate(scale=0.05, seed_offset=0)
+        b = DATASETS["chicago"].generate(scale=0.05, seed_offset=1)
+        assert a != b
+
+    def test_paper_statistics_recorded(self):
+        spec = DATASETS["Orkut"]
+        assert spec.paper_users == 2_997_376
+        assert spec.paper_average_cardinality == pytest.approx(74.6, rel=0.01)
+
+    def test_heavy_tail_shape(self):
+        # Every stand-in must be heavy tailed: max cardinality far above the mean.
+        stream = load_dataset("Twitter", scale=0.05)
+        cards = list(stream.cardinalities().values())
+        assert max(cards) > 10 * (sum(cards) / len(cards))
+
+
+class TestEdgeFileIO:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        pairs = [(1, 10), (2, 20), (1, 10)]
+        count = write_edge_file(path, pairs, header="test file")
+        assert count == 3
+        stream = read_edge_file(path)
+        assert list(stream) == pairs
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# comment\n\n1 2\n3 4\n")
+        assert list(iter_edge_file(path)) == [(1, 2), (3, 4)]
+
+    def test_string_endpoints(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("alice site-a\nbob site-b\n")
+        assert list(iter_edge_file(path, as_int=False)) == [
+            ("alice", "site-a"),
+            ("bob", "site-b"),
+        ]
+
+    def test_non_integer_falls_back_to_string(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("alice 5\n")
+        assert list(iter_edge_file(path)) == [("alice", "5")]
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("only-one-field\n")
+        with pytest.raises(ValueError):
+            list(iter_edge_file(path))
+
+    def test_read_edge_file_names_stream(self, tmp_path):
+        path = tmp_path / "my_trace.tsv"
+        write_edge_file(path, [(1, 2)])
+        assert read_edge_file(path).name == "my_trace"

@@ -1,0 +1,132 @@
+"""Statistical validation of the paper's theorems on controlled workloads.
+
+These tests run many independent repetitions of small controlled streams and
+check that the empirical mean and spread of the FreeBS/FreeRS estimators are
+consistent with Theorem 1 and Theorem 2 (unbiasedness; variance below the
+stated bound, up to sampling noise).  They are the reproduction's first line
+of defence against silent estimator regressions.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+import pytest
+
+from repro.analysis.variance import freebs_variance_bound, freers_variance_bound
+from repro.core import FreeBS, FreeRS
+
+
+def _run_freebs(seed: int, user_cardinality: int, noise_cardinality: int, memory_bits: int) -> float:
+    estimator = FreeBS(memory_bits, seed=seed)
+    for item in range(noise_cardinality):
+        estimator.update("noise", ("n", item))
+    for item in range(user_cardinality):
+        estimator.update("target", item)
+    return estimator.estimate("target")
+
+
+def _run_freers(seed: int, user_cardinality: int, noise_cardinality: int, registers: int) -> float:
+    estimator = FreeRS(registers, seed=seed)
+    for item in range(noise_cardinality):
+        estimator.update("noise", ("n", item))
+    for item in range(user_cardinality):
+        estimator.update("target", item)
+    return estimator.estimate("target")
+
+
+class TestTheorem1FreeBS:
+    REPETITIONS = 40
+    USER_CARDINALITY = 150
+    NOISE_CARDINALITY = 1_500
+    MEMORY_BITS = 1 << 12
+
+    @pytest.fixture(scope="class")
+    def samples(self):
+        return [
+            _run_freebs(seed, self.USER_CARDINALITY, self.NOISE_CARDINALITY, self.MEMORY_BITS)
+            for seed in range(self.REPETITIONS)
+        ]
+
+    def test_unbiased(self, samples):
+        mean = statistics.mean(samples)
+        standard_error = statistics.stdev(samples) / math.sqrt(len(samples))
+        # The empirical mean should be within ~4 standard errors of the truth.
+        assert abs(mean - self.USER_CARDINALITY) < 4 * standard_error + 1.0
+
+    def test_variance_within_theorem_bound(self, samples):
+        empirical_variance = statistics.variance(samples)
+        bound = freebs_variance_bound(
+            self.USER_CARDINALITY,
+            self.USER_CARDINALITY + self.NOISE_CARDINALITY,
+            self.MEMORY_BITS,
+        )
+        # Allow slack for the chi-square spread of a 40-sample variance estimate.
+        assert empirical_variance < 2.0 * bound
+
+    def test_spread_is_nontrivial(self, samples):
+        # Sanity check that the workload actually exercises sharing noise
+        # (otherwise the variance bound test would be vacuous).
+        assert statistics.stdev(samples) > 0.5
+
+
+class TestTheorem2FreeRS:
+    REPETITIONS = 40
+    USER_CARDINALITY = 150
+    NOISE_CARDINALITY = 3_000
+    REGISTERS = 1 << 10
+
+    @pytest.fixture(scope="class")
+    def samples(self):
+        return [
+            _run_freers(seed, self.USER_CARDINALITY, self.NOISE_CARDINALITY, self.REGISTERS)
+            for seed in range(self.REPETITIONS)
+        ]
+
+    def test_unbiased(self, samples):
+        mean = statistics.mean(samples)
+        standard_error = statistics.stdev(samples) / math.sqrt(len(samples))
+        assert abs(mean - self.USER_CARDINALITY) < 4 * standard_error + 1.0
+
+    def test_variance_within_theorem_bound(self, samples):
+        empirical_variance = statistics.variance(samples)
+        bound = freers_variance_bound(
+            self.USER_CARDINALITY,
+            self.USER_CARDINALITY + self.NOISE_CARDINALITY,
+            self.REGISTERS,
+        )
+        assert empirical_variance < 2.0 * bound
+
+
+class TestSectionIVCComparisons:
+    """Qualitative comparisons stated in the paper's Section IV-C."""
+
+    def test_freebs_beats_freers_when_array_sparse(self):
+        # Early / light load: bit sharing should have lower error than
+        # register sharing under equal memory (bits = 5x registers).
+        memory_bits = 1 << 13
+        registers = memory_bits // 5
+        user_cardinality, noise, repetitions = 100, 400, 30
+        bs_errors, rs_errors = [], []
+        for seed in range(repetitions):
+            bs = _run_freebs(seed, user_cardinality, noise, memory_bits)
+            rs = _run_freers(seed, user_cardinality, noise, registers)
+            bs_errors.append((bs - user_cardinality) ** 2)
+            rs_errors.append((rs - user_cardinality) ** 2)
+        assert statistics.mean(bs_errors) < statistics.mean(rs_errors)
+
+    def test_freers_extends_range_beyond_bit_sharing(self):
+        # Heavy load: the bit array saturates (its estimate is capped at
+        # M ln M) while the register array keeps tracking.
+        memory_bits = 1 << 10
+        registers = memory_bits // 5
+        heavy = 30_000
+        bs = FreeBS(memory_bits, seed=1)
+        rs = FreeRS(registers, seed=1)
+        for item in range(heavy):
+            bs.update("u", item)
+            rs.update("u", item)
+        bs_error = abs(bs.estimate("u") - heavy) / heavy
+        rs_error = abs(rs.estimate("u") - heavy) / heavy
+        assert rs_error < bs_error

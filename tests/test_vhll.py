@@ -1,0 +1,87 @@
+"""Unit tests for the vHLL baseline (virtual HLL register sharing)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import VirtualHLL
+from repro.baselines.exact import ExactCounter
+
+
+class TestVirtualHLLBasics:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            VirtualHLL(0)
+        with pytest.raises(ValueError):
+            VirtualHLL(1024, virtual_size=0)
+        with pytest.raises(ValueError):
+            VirtualHLL(256, virtual_size=256)
+
+    def test_unseen_user_estimate_is_zero(self):
+        assert VirtualHLL(1 << 12).estimate("nobody") == 0.0
+        assert VirtualHLL(1 << 12).estimate_fresh("nobody") == 0.0
+
+    def test_duplicates_do_not_grow_estimate(self):
+        estimator = VirtualHLL(1 << 12, virtual_size=64, seed=1)
+        estimator.update("u", "a")
+        first = estimator.estimate("u")
+        for _ in range(50):
+            estimator.update("u", "a")
+        assert estimator.estimate("u") == pytest.approx(first)
+
+    def test_memory_bits_accounts_width(self):
+        assert VirtualHLL(1000, virtual_size=64, register_width=5).memory_bits() == 5000
+
+    def test_estimates_returns_observed_users(self):
+        estimator = VirtualHLL(1 << 12, virtual_size=64, seed=2)
+        estimator.update("a", 1)
+        estimator.update("b", 2)
+        assert set(estimator.estimates()) == {"a", "b"}
+
+    def test_estimate_never_negative(self):
+        estimator = VirtualHLL(1 << 12, virtual_size=128, seed=3)
+        # One tiny user drowned in cross-traffic: the corrected estimate may
+        # be pushed toward zero but must never go negative.
+        estimator.update("victim", "only-item")
+        for user in range(300):
+            for item in range(20):
+                estimator.update(("noise", user), (user, item))
+        assert estimator.estimate_fresh("victim") >= 0.0
+
+
+class TestVirtualHLLAccuracy:
+    def test_heavy_users_estimated_reasonably(self):
+        estimator = VirtualHLL(1 << 15, virtual_size=128, seed=4)
+        exact = ExactCounter()
+        rng = random.Random(9)
+        for _ in range(40_000):
+            user = rng.randint(0, 30)
+            item = rng.randint(0, 3_000)
+            estimator.update(user, item)
+            exact.update(user, item)
+        for user, true_cardinality in exact.cardinalities().items():
+            if true_cardinality >= 400:
+                relative_error = abs(estimator.estimate(user) - true_cardinality) / true_cardinality
+                assert relative_error < 0.5
+
+    def test_large_range_beyond_lpc_limit(self):
+        # vHLL's selling point over CSE: cardinalities far beyond m ln m.
+        estimator = VirtualHLL(1 << 14, virtual_size=128, seed=5)
+        true_cardinality = 30_000
+        for item in range(true_cardinality):
+            estimator.update("heavy", item)
+        relative_error = abs(estimator.estimate("heavy") - true_cardinality) / true_cardinality
+        assert relative_error < 0.4
+
+    def test_global_noise_term_uses_small_range_correction(self):
+        # On a lightly-loaded register array the noise term must not explode
+        # (it would push every light user to zero).
+        estimator = VirtualHLL(1 << 14, virtual_size=64, seed=6)
+        for item in range(60):
+            estimator.update("victim", item)
+        for user in range(100):
+            for item in range(10):
+                estimator.update(("noise", user), (user, item))
+        assert estimator.estimate_fresh("victim") > 10
