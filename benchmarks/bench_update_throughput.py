@@ -2,7 +2,8 @@
 
 These are the numbers a downstream user cares about when sizing a deployment
 of the pure-Python implementation: hash throughput, per-update cost of each
-estimator, and the relative cost of the shared-array substrates.
+estimator under both engines (scalar pair-by-pair vs the engine layer's
+vectorised batch path), and the relative cost of the shared-array substrates.
 """
 
 from __future__ import annotations
@@ -13,15 +14,24 @@ import numpy as np
 
 from repro.baselines import CSE, ExactCounter, PerUserHLLPP, PerUserLPC, VirtualHLL
 from repro.core import FreeBS, FreeRS
+from repro.engine import EncodedBatch
 from repro.hashing import hash64, hash64_array, hash_pair
 from repro.sketches import BitArray, HyperLogLog, LinearProbabilisticCounter, RegisterArray
 
 _PAIRS = [(user, item) for user, item in zip(itertools.cycle(range(100)), range(2_000))]
+_ENCODED = EncodedBatch.from_int_arrays(
+    np.array([user for user, _ in _PAIRS]), np.array([item for _, item in _PAIRS])
+)
 
 
 def _drive(estimator):
     for user, item in _PAIRS:
         estimator.update(user, item)
+    return estimator
+
+
+def _drive_encoded(estimator):
+    estimator.update_encoded(_ENCODED)
     return estimator
 
 
@@ -77,3 +87,30 @@ class TestEstimatorThroughput:
 
     def test_exact_counter_updates(self, benchmark):
         benchmark(lambda: _drive(ExactCounter()))
+
+
+class TestBatchEngineThroughput:
+    """The same six methods through the engine's vectorised batch path.
+
+    One pre-encoded 2k-pair batch per round; results are bit-identical to
+    the scalar loop of :class:`TestEstimatorThroughput`, so the two classes
+    together are the engine-vs-engine comparison.
+    """
+
+    def test_freebs_batch(self, benchmark):
+        benchmark(lambda: _drive_encoded(FreeBS(1 << 18)))
+
+    def test_freers_batch(self, benchmark):
+        benchmark(lambda: _drive_encoded(FreeRS(1 << 15)))
+
+    def test_cse_batch(self, benchmark):
+        benchmark(lambda: _drive_encoded(CSE(1 << 18, virtual_size=128)))
+
+    def test_vhll_batch(self, benchmark):
+        benchmark(lambda: _drive_encoded(VirtualHLL(1 << 15, virtual_size=128)))
+
+    def test_per_user_lpc_batch(self, benchmark):
+        benchmark(lambda: _drive_encoded(PerUserLPC(1 << 18, expected_users=100)))
+
+    def test_per_user_hllpp_batch(self, benchmark):
+        benchmark(lambda: _drive_encoded(PerUserHLLPP(1 << 18, expected_users=100)))

@@ -35,11 +35,20 @@ from typing import Dict
 import numpy as np
 
 from repro.core.base import CardinalityEstimator
+from repro.engine.base import BatchUpdatable
+from repro.engine.encoding import EncodedBatch
+from repro.engine.kernels import (
+    bit_change_events,
+    cached_positions_matrix,
+    event_time_for_index,
+    last_occurrence,
+    touched_query_positions,
+)
 from repro.hashing import HashFamily, hash64
 from repro.sketches.bitarray import BitArray
 
 
-class CSE(CardinalityEstimator):
+class CSE(BatchUpdatable, CardinalityEstimator):
     """Bit-sharing virtual-LPC estimator with ``M`` shared bits, ``m`` per user."""
 
     name = "CSE"
@@ -74,7 +83,15 @@ class CSE(CardinalityEstimator):
         """Recompute the CSE estimate of ``user`` from the shared array (O(m))."""
         positions = self._positions(user)
         virtual_zeros = int(np.count_nonzero(~self._bits.get_bits(positions)))
-        global_zero_fraction = self._bits.zero_fraction
+        return self._estimate_from_counts(virtual_zeros, self._bits.zero_fraction)
+
+    def _estimate_from_counts(self, virtual_zeros: int, global_zero_fraction: float) -> float:
+        """The CSE estimation formula from its two sufficient statistics.
+
+        Shared by the scalar path (current array state) and the batch path
+        (counts reconstructed as of a user's last arrival), so the two always
+        agree bit-for-bit.
+        """
         if virtual_zeros == 0:
             # Virtual sketch saturated: pin at the estimator's maximum range.
             local_term = self.m * math.log(self.m)
@@ -86,6 +103,10 @@ class CSE(CardinalityEstimator):
             correction = self.m * math.log(global_zero_fraction)
         return max(0.0, local_term + correction)
 
+    def _positions_matrix(self, batch: EncodedBatch) -> np.ndarray:
+        """Cache-aware ``(n_users, m)`` position matrix of a batch's users."""
+        return cached_positions_matrix(batch, self._family, self._positions_cache)
+
     # -- streaming API --------------------------------------------------------
 
     def update(self, user: object, item: object) -> float:
@@ -96,6 +117,65 @@ class CSE(CardinalityEstimator):
         estimate = self._estimate_from_sketch(user)
         self._estimates[user] = estimate
         return estimate
+
+    def update_encoded(self, batch: EncodedBatch) -> None:
+        """Vectorised engine path: process a whole encoded batch at once.
+
+        Bit-identical to the scalar loop.  The scalar path refreshes only the
+        *arriving* user's estimate after each pair, so after a batch each
+        user's cached estimate reflects the shared array **as of that user's
+        last arrival** — later pairs of other users are not folded in.  The
+        batch path reproduces this exactly by time-travel: it detects the
+        batch's bit-flip events, then reconstructs each user's virtual-zero
+        count and the global zero count at the user's last arrival position
+        from the event list, and evaluates the same closed-form estimate.
+        """
+        count = len(batch)
+        if count == 0:
+            return
+        positions_matrix = self._positions_matrix(batch)
+        buckets = (
+            batch.item_hashes_with_seed(self.seed ^ 0xD1) % np.uint64(self.m)
+        ).astype(np.int64)
+        bit_indices = positions_matrix[batch.user_codes, buckets]
+
+        events = bit_change_events(bit_indices, ~self._bits.get_bits(bit_indices))
+        event_bits = bit_indices[events]
+
+        # Per-user reconstruction times: the last arrival of each user.
+        last_arrival = last_occurrence(batch.user_codes, batch.n_users)
+
+        # Virtual-zero counts as of each user's last arrival: a queried bit is
+        # zero at time t iff it was zero at batch start and its flip event (if
+        # any) happens strictly after t.  Only positions whose bit flips in
+        # this batch need the flip-time lookup; every other bit keeps its
+        # batch-start state.
+        flat_positions = positions_matrix.ravel()
+        zero_then = ~self._bits.get_bits(flat_positions)
+        touched = touched_query_positions(flat_positions, event_bits, self.M)
+        if touched.size:
+            order = np.argsort(event_bits)
+            flip_times = event_time_for_index(
+                flat_positions[touched], event_bits[order], events[order], missing=count
+            )
+            zero_then[touched] &= flip_times > last_arrival[touched // self.m]
+        virtual_zeros = zero_then.reshape(batch.n_users, self.m).sum(axis=1)
+
+        # Global zero counts as of each user's last arrival: one flip per
+        # event, events ascending in arrival order.
+        flips_so_far = np.searchsorted(events, last_arrival, side="right")
+        zeros_at_start_global = self._bits.zeros
+
+        # Commit the array state, then publish the time-correct estimates.
+        if event_bits.size:
+            self._bits.set_many(event_bits)
+        for code, user in enumerate(batch.users):
+            global_zero_fraction = (
+                zeros_at_start_global - int(flips_so_far[code])
+            ) / self.M
+            self._estimates[user] = self._estimate_from_counts(
+                int(virtual_zeros[code]), global_zero_fraction
+            )
 
     def estimate(self, user: object) -> float:
         """Return the latest cached estimate of ``user`` (0.0 for unseen users)."""

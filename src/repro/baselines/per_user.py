@@ -15,17 +15,30 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
+import numpy as np
+
 from repro.core.base import CardinalityEstimator
+from repro.engine.base import BatchUpdatable
+from repro.engine.encoding import EncodedBatch
+from repro.engine.kernels import grouped_indices
 from repro.sketches.hllpp import HyperLogLogPlusPlus
 from repro.sketches.lpc import LinearProbabilisticCounter
 
 
-class _PerUserSketchEstimator(CardinalityEstimator):
-    """Shared machinery for the per-user sketch baselines."""
+class _PerUserSketchEstimator(BatchUpdatable, CardinalityEstimator):
+    """Shared machinery for the per-user sketch baselines.
 
-    def __init__(self, sketch_factory: Callable[[], object], sketch_bits: int) -> None:
+    ``seed`` must be the hash seed the factory's sketches use for
+    ``add(item)``: the batch path pre-hashes items with it, so a mismatch
+    would silently break the scalar/batch bit-identity contract.
+    """
+
+    def __init__(
+        self, sketch_factory: Callable[[], object], sketch_bits: int, seed: int
+    ) -> None:
         self._sketch_factory = sketch_factory
         self._sketch_bits = sketch_bits
+        self.seed = seed
         self._sketches: Dict[object, object] = {}
         self._estimates: Dict[object, float] = {}
 
@@ -39,6 +52,34 @@ class _PerUserSketchEstimator(CardinalityEstimator):
         estimate = float(sketch.estimate())
         self._estimates[user] = estimate
         return estimate
+
+    def update_encoded(self, batch: EncodedBatch) -> None:
+        """Vectorised engine path: process a whole encoded batch at once.
+
+        Private sketches only ever see their own user's items, so a user's
+        cached estimate after a batch — the estimate at its last arrival —
+        equals the estimate after *all* of its batch items.  The batch path
+        therefore groups pairs by user, bulk-inserts the pre-hashed items,
+        and refreshes each touched user's estimate exactly once instead of
+        once per pair (the scalar path's O(sketch) refresh per update is the
+        dominant cost).  Results are bit-identical to the scalar loop.
+        """
+        if len(batch) == 0:
+            return
+        hashed_items = batch.item_hashes_with_seed(self.seed)
+        for code, positions in grouped_indices(batch.user_codes, batch.n_users):
+            user = batch.users[code]
+            sketch = self._sketches.get(user)
+            if sketch is None:
+                sketch = self._sketch_factory()
+                self._sketches[user] = sketch
+            self._add_hashed_batch(sketch, hashed_items[positions])
+            self._estimates[user] = float(sketch.estimate())
+
+    def _add_hashed_batch(self, sketch: object, hashed_items: np.ndarray) -> None:
+        """Insert pre-hashed items into one private sketch (overridable)."""
+        for value in hashed_items.tolist():
+            sketch.add_hashed(value)
 
     def estimate(self, user: object) -> float:
         """Return the latest estimate for ``user`` (0.0 for unseen users)."""
@@ -86,11 +127,15 @@ class PerUserLPC(_PerUserSketchEstimator):
                 raise ValueError("expected_users must be positive")
             bits_per_user = max(8, memory_bits // expected_users)
         self.bits_per_user = bits_per_user
-        self.seed = seed
         super().__init__(
             sketch_factory=lambda: LinearProbabilisticCounter(bits_per_user, seed=seed),
             sketch_bits=bits_per_user,
+            seed=seed,
         )
+
+    def _add_hashed_batch(self, sketch: object, hashed_items: np.ndarray) -> None:
+        """LPC bitmaps support fully vectorised bulk insertion."""
+        sketch.add_hashed_many(hashed_items)
 
 
 class PerUserHLLPP(_PerUserSketchEstimator):
@@ -123,10 +168,10 @@ class PerUserHLLPP(_PerUserSketchEstimator):
             registers_per_user = max(4, memory_bits // (register_width * expected_users))
         self.registers_per_user = registers_per_user
         self.register_width = register_width
-        self.seed = seed
         super().__init__(
             sketch_factory=lambda: HyperLogLogPlusPlus(
                 registers_per_user, width=register_width, seed=seed
             ),
             sketch_bits=registers_per_user * register_width,
+            seed=seed,
         )

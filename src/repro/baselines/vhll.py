@@ -27,12 +27,22 @@ from typing import Dict
 import numpy as np
 
 from repro.core.base import CardinalityEstimator
-from repro.hashing import HashFamily, geometric_rank, hash64, splitmix64
+from repro.engine.base import BatchUpdatable
+from repro.engine.encoding import EncodedBatch
+from repro.engine.kernels import (
+    cached_positions_matrix,
+    last_occurrence,
+    register_change_events,
+    touched_query_positions,
+    value_after_events,
+)
+from repro.hashing import HashFamily, geometric_rank, hash64, splitmix64, splitmix64_array
+from repro.hashing.geometric import geometric_rank_array
 from repro.sketches.hll import alpha_m
 from repro.sketches.registers import RegisterArray
 
 
-class VirtualHLL(CardinalityEstimator):
+class VirtualHLL(BatchUpdatable, CardinalityEstimator):
     """Register-sharing virtual-HLL estimator: ``M`` shared registers, ``m`` per user."""
 
     name = "vHLL"
@@ -73,13 +83,29 @@ class VirtualHLL(CardinalityEstimator):
         """Recompute the vHLL estimate of ``user`` from the shared array (O(m))."""
         positions = self._positions(user)
         values = self._registers.get_many(positions)
+        return self._estimate_from_values(
+            values, self._registers.harmonic_sum, self._registers.zeros
+        )
+
+    def _estimate_from_values(
+        self, values: np.ndarray, global_harmonic_sum: float, global_zeros: int
+    ) -> float:
+        """The vHLL estimation formula from its sufficient statistics.
+
+        ``values`` are the user's ``m`` register values; the global harmonic
+        sum / zero count describe the whole shared array at the same instant.
+        Shared by the scalar path (current state) and the batch path (state
+        reconstructed as of a user's last arrival), so both agree bit-for-bit.
+        """
         virtual_harmonic = float(np.sum(np.exp2(-values.astype(np.float64))))
         raw_local = self._alpha_m * self.m * self.m / virtual_harmonic
         if raw_local < 2.5 * self.m:
             virtual_zeros = int(np.count_nonzero(values == 0))
             if virtual_zeros > 0:
                 raw_local = self.m * math.log(self.m / virtual_zeros)
-        global_term = (self.m / self.M) * self._global_cardinality_estimate()
+        global_term = (self.m / self.M) * self._global_estimate_from(
+            global_harmonic_sum, global_zeros
+        )
         scale = self.M / (self.M - self.m)
         return max(0.0, scale * (raw_local - global_term))
 
@@ -91,10 +117,20 @@ class VirtualHLL(CardinalityEstimator):
         array the raw harmonic estimator overestimates by several times, which
         would push every light user's corrected estimate to zero.
         """
-        raw_global = self._alpha_M * self.M * self.M / self._registers.harmonic_sum
-        if raw_global < 2.5 * self.M and self._registers.zeros > 0:
-            return self.M * math.log(self.M / self._registers.zeros)
+        return self._global_estimate_from(
+            self._registers.harmonic_sum, self._registers.zeros
+        )
+
+    def _global_estimate_from(self, harmonic_sum: float, zeros: int) -> float:
+        """The whole-array HLL estimate from its two sufficient statistics."""
+        raw_global = self._alpha_M * self.M * self.M / harmonic_sum
+        if raw_global < 2.5 * self.M and zeros > 0:
+            return self.M * math.log(self.M / zeros)
         return raw_global
+
+    def _positions_matrix(self, batch: EncodedBatch) -> np.ndarray:
+        """Cache-aware ``(n_users, m)`` position matrix of a batch's users."""
+        return cached_positions_matrix(batch, self._family, self._positions_cache)
 
     # -- streaming API --------------------------------------------------------
 
@@ -109,6 +145,80 @@ class VirtualHLL(CardinalityEstimator):
         estimate = self._estimate_from_sketch(user)
         self._estimates[user] = estimate
         return estimate
+
+    def update_encoded(self, batch: EncodedBatch) -> None:
+        """Vectorised engine path: process a whole encoded batch at once.
+
+        Bit-identical to the scalar loop.  As with CSE, a user's cached
+        estimate must reflect the shared array **as of that user's last
+        arrival**, so the batch path works by time-travel: it detects the
+        register-raising events with the shared prefix-maximum kernel,
+        replays only those (rare) events through the register array so the
+        incrementally-maintained harmonic sum takes exactly the scalar value
+        trajectory, and reconstructs each user's ``m`` register values at its
+        last arrival from the event list before evaluating the same
+        closed-form estimate.
+        """
+        count = len(batch)
+        if count == 0:
+            return
+        positions_matrix = self._positions_matrix(batch)
+        item_hashes = batch.item_hashes_with_seed(self.seed ^ 0xD2)
+        buckets = (item_hashes % np.uint64(self.m)).astype(np.int64)
+        ranks = geometric_rank_array(
+            splitmix64_array(item_hashes), max_rank=self._registers.max_value
+        )
+        register_indices = positions_matrix[batch.user_codes, buckets]
+
+        # Snapshot everything the reconstruction needs *before* mutating.
+        flat_positions = positions_matrix.ravel()
+        initial_user_values = self._registers.get_many(flat_positions)
+        harmonic_at_start = self._registers.harmonic_sum
+        zeros_at_start = self._registers.zeros
+
+        positions, event_registers, _, event_ranks = register_change_events(
+            register_indices, ranks, self._registers.get_many(register_indices)
+        )
+
+        # Replay the events in arrival order through the shared array.  The
+        # bulk update keeps the incremental harmonic-sum bookkeeping on
+        # exactly the scalar floating-point trajectory; the per-event
+        # snapshots give the global statistics at any arrival position.
+        harmonic_after_event, zeros_after_event = self._registers.apply_max_updates(
+            event_registers, event_ranks
+        )
+
+        # Reconstruct each user's register values at its last arrival.  Only
+        # the queried positions whose register actually changed in this batch
+        # need the time-travel search; every other position keeps its initial
+        # value.
+        last_arrival = last_occurrence(batch.user_codes, batch.n_users)
+        values_then = initial_user_values.copy()
+        touched = touched_query_positions(flat_positions, event_registers, self.M)
+        if touched.size:
+            event_order = np.lexsort((positions, event_registers))
+            values_then[touched] = value_after_events(
+                flat_positions[touched],
+                last_arrival[touched // self.m],
+                event_registers[event_order],
+                positions[event_order],
+                event_ranks[event_order],
+                initial_user_values[touched],
+                horizon=count + 1,
+            )
+        values_then = values_then.reshape(batch.n_users, self.m)
+
+        events_so_far = np.searchsorted(positions, last_arrival, side="right")
+        for code, user in enumerate(batch.users):
+            seen = int(events_so_far[code])
+            if seen == 0:
+                harmonic, zeros = harmonic_at_start, zeros_at_start
+            else:
+                harmonic = float(harmonic_after_event[seen - 1])
+                zeros = int(zeros_after_event[seen - 1])
+            self._estimates[user] = self._estimate_from_values(
+                np.ascontiguousarray(values_then[code]), harmonic, zeros
+            )
 
     def estimate(self, user: object) -> float:
         """Return the latest cached estimate of ``user`` (0.0 for unseen users)."""

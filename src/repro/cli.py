@@ -12,9 +12,20 @@ Three subcommands:
     Materialise a dataset stand-in to an edge-list file (so the same stream
     can be replayed by external tools).
 
-``freesketch estimate <edge-file> [--method FreeRS] [--memory-bits N] [--top K]``
+``freesketch estimate <edge-file> [--method FreeRS] [--memory-bits N] [--top K]
+[--engine {scalar,batch}] [--shards K] [--chunk-size N]``
     Run one estimator over an edge-list file and print the top-K users by
     estimated cardinality — a minimal "use it on your own data" entry point.
+
+    ``--engine`` selects the update path: ``batch`` (default) replays the
+    stream in vectorised chunks through the engine layer, ``scalar`` feeds
+    pairs one by one (the paper's streaming model).  Both produce
+    bit-identical estimates; batch is simply faster.  ``--chunk-size``
+    overrides the batch chunk length (default 8192 pairs).
+
+    ``--shards K`` partitions users across K independent sub-sketches
+    (:class:`repro.engine.ShardedEstimator`), each with 1/K of the memory
+    budget — the scale-out configuration for multi-worker replay.
 """
 
 from __future__ import annotations
@@ -72,14 +83,30 @@ def _cmd_generate_dataset(args: argparse.Namespace) -> int:
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
+    if args.chunk_size is not None and args.chunk_size <= 0:
+        raise SystemExit("--chunk-size must be positive")
     stream = read_edge_file(args.path)
     config = ExperimentConfig(memory_bits=args.memory_bits)
-    estimators = build_estimators(config, expected_users=max(1, stream.user_count), methods=[args.method])
+    try:
+        estimators = build_estimators(
+            config,
+            expected_users=max(1, stream.user_count),
+            methods=[args.method],
+            shards=args.shards,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
     estimator = estimators[args.method]
-    for user, item in stream:
-        estimator.update(user, item)
+    if args.engine == "batch":
+        estimator.process(stream, chunk_size=args.chunk_size)
+    else:
+        for user, item in stream:
+            estimator.update(user, item)
     ranked = sorted(estimator.estimates().items(), key=lambda pair: pair[1], reverse=True)
-    print(f"method={args.method} memory_bits={args.memory_bits} users={stream.user_count}")
+    print(
+        f"method={args.method} engine={args.engine} shards={args.shards} "
+        f"memory_bits={args.memory_bits} users={stream.user_count}"
+    )
     print("user\testimated_cardinality")
     for user, estimate in ranked[: args.top]:
         print(f"{user}\t{estimate:.1f}")
@@ -118,6 +145,26 @@ def build_parser() -> argparse.ArgumentParser:
     estimate_parser.add_argument("--method", default="FreeRS", choices=METHOD_ORDER)
     estimate_parser.add_argument("--memory-bits", type=int, default=1 << 20)
     estimate_parser.add_argument("--top", type=int, default=10)
+    estimate_parser.add_argument(
+        "--engine",
+        default="batch",
+        choices=["scalar", "batch"],
+        help="update path: vectorised chunks (batch, default) or pair-by-pair "
+        "(scalar); estimates are bit-identical either way",
+    )
+    estimate_parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition users across this many independent sub-sketches "
+        "(total memory budget is split evenly)",
+    )
+    estimate_parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="pairs per vectorised chunk for --engine batch (default 8192)",
+    )
     estimate_parser.set_defaults(handler=_cmd_estimate)
 
     return parser

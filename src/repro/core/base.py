@@ -70,11 +70,22 @@ class CardinalityEstimator(ABC):
 
     # -- conveniences shared by all implementations ---------------------------
 
-    def process(self, stream: Iterable[UserItemPair]) -> "CardinalityEstimator":
-        """Consume an entire stream of (user, item) pairs; return ``self``."""
-        for user, item in stream:
-            self.update(user, item)
-        return self
+    def process(
+        self,
+        stream: Iterable[UserItemPair],
+        chunk_size: int | None = None,
+    ) -> "CardinalityEstimator":
+        """Consume an entire stream of (user, item) pairs; return ``self``.
+
+        Batch-capable estimators (everything carrying the engine's
+        :class:`~repro.engine.base.BatchUpdatable` mixin — all six compared
+        methods) consume the stream in vectorised chunks of ``chunk_size``
+        pairs; the result is bit-identical to the scalar loop, just faster.
+        Estimators without a batch path fall back to pair-by-pair updates.
+        """
+        from repro.engine.base import process_stream
+
+        return process_stream(self, stream, chunk_size=chunk_size)
 
     def process_with_snapshots(
         self,

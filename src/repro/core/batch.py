@@ -7,6 +7,11 @@ Python.  High-rate replay — the situation the benchmark harness is in — can
 instead hand the estimator a *batch* of pre-encoded integer pairs and let
 numpy do the heavy lifting.
 
+The encoding pipeline and the change-event kernels now live in the engine
+layer (:mod:`repro.engine.encoding`, :mod:`repro.engine.kernels`) and are
+shared with the CSE/vHLL/per-user batch paths; ``encode_pairs`` and
+``encode_int_pairs`` are re-exported here for backwards compatibility.
+
 The batch implementations are **exactly equivalent** to feeding the same
 pairs one by one to the scalar estimators with the same seed (the test-suite
 asserts this bit-for-bit on random streams).  Equivalence is achieved by
@@ -29,73 +34,26 @@ drop-in replacements implementing :class:`repro.core.base.CardinalityEstimator`.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+from typing import Dict
 
 import numpy as np
 
 from repro.core.base import CardinalityEstimator
 from repro.core.freebs import FreeBS
 from repro.core.freers import FreeRS
-from repro.hashing import MASK64, pair_key, splitmix64, splitmix64_array
+from repro.engine.base import BatchUpdatable
+from repro.engine.encoding import (  # noqa: F401  (re-exported legacy API)
+    EncodedBatch,
+    encode_int_pairs,
+    encode_pairs,
+    seed_mix,
+)
+from repro.engine.kernels import bit_change_events, register_change_events
+from repro.hashing import splitmix64_array
 from repro.hashing.geometric import geometric_rank_array
 
-UserItemPair = Tuple[object, object]
 
-
-def encode_pairs(pairs: Iterable[UserItemPair]) -> Tuple[np.ndarray, np.ndarray, Dict[int, object]]:
-    """Encode arbitrary (user, item) pairs into integer arrays for batch APIs.
-
-    Returns ``(user_codes, pair_hash_keys, decode_table)`` where
-    ``user_codes[i]`` is a dense integer id of the i-th pair's user,
-    ``pair_hash_keys[i]`` is a 64-bit key that identifies the *pair* (equal
-    pairs get equal keys), and ``decode_table`` maps user codes back to the
-    original user objects.
-    """
-    users: list = []
-    user_codes: Dict[object, int] = {}
-    codes = []
-    keys = []
-    for user, item in pairs:
-        code = user_codes.get(user)
-        if code is None:
-            code = len(users)
-            user_codes[user] = code
-            users.append(user)
-        codes.append(code)
-        keys.append(pair_key(user, item))
-    decode = {code: user for user, code in user_codes.items()}
-    return (
-        np.asarray(codes, dtype=np.int64),
-        np.asarray(keys, dtype=np.uint64),
-        decode,
-    )
-
-
-_GOLDEN_GAMMA = np.uint64(0x9E3779B97F4A7C15)
-
-
-def encode_int_pairs(users: np.ndarray, items: np.ndarray) -> Tuple[np.ndarray, np.ndarray, Dict[int, object]]:
-    """Vectorised :func:`encode_pairs` for streams of integer users and items.
-
-    Produces exactly the same keys as the scalar path (``pair_key(u, i)`` for
-    integer ``u``/``i``), but without a Python-level loop — this is the fast
-    path the high-rate benchmarks use.  The decode table maps each user code
-    to the original integer user id.
-    """
-    users = np.asarray(users)
-    items = np.asarray(items)
-    if users.shape != items.shape:
-        raise ValueError("users and items must have the same length")
-    with np.errstate(over="ignore"):
-        keys = splitmix64_array(users.astype(np.uint64) ^ _GOLDEN_GAMMA) ^ splitmix64_array(
-            items.astype(np.uint64)
-        )
-    unique_users, codes = np.unique(users, return_inverse=True)
-    decode = {code: int(user) for code, user in enumerate(unique_users)}
-    return codes.astype(np.int64), keys, decode
-
-
-class _BatchEstimatorBase(CardinalityEstimator):
+class _BatchEstimatorBase(BatchUpdatable, CardinalityEstimator):
     """Shared plumbing of the two batch estimators (user bookkeeping, interface)."""
 
     def __init__(self, seed: int) -> None:
@@ -123,12 +81,21 @@ class _BatchEstimatorBase(CardinalityEstimator):
         """Total number of pairs processed so far (duplicates included)."""
         return self._pairs_processed
 
-    # -- to be provided by subclasses -----------------------------------------
+    # -- engine interface ------------------------------------------------------
 
-    def update_batch(self, pairs: Iterable[UserItemPair]) -> None:  # pragma: no cover - abstract
+    def update_encoded(self, batch: EncodedBatch) -> None:
+        """Process an engine-encoded batch (adapts to the legacy tuple API)."""
+        self.update_batch_encoded(batch.user_codes, batch.pair_keys(), batch.decode_table())
+
+    def update_batch_encoded(
+        self,
+        user_codes: np.ndarray,
+        pair_keys: np.ndarray,
+        decode: Dict[int, object],
+    ) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
-    def _touch_users(self, users: Iterable[object]) -> None:
+    def _touch_users(self, users) -> None:
         for user in users:
             self._estimates.setdefault(user, 0.0)
 
@@ -158,14 +125,6 @@ class FreeBSBatch(_BatchEstimatorBase):
         """Current ``q_B``: probability a new pair changes the array."""
         return self._zero_bits / self.M
 
-    def update_batch(self, pairs: Iterable[UserItemPair]) -> None:
-        """Process a batch of raw (user, item) pairs."""
-        pairs = list(pairs)
-        if not pairs:
-            return
-        user_codes, keys, decode = encode_pairs(pairs)
-        self.update_batch_encoded(user_codes, keys, decode)
-
     def update_batch_encoded(
         self,
         user_codes: np.ndarray,
@@ -184,27 +143,21 @@ class FreeBSBatch(_BatchEstimatorBase):
         if count == 0:
             return
         self._pairs_processed += count
-        seed_mix = np.uint64(splitmix64(self.seed & MASK64))
-        indices = (splitmix64_array(pair_keys ^ seed_mix) % np.uint64(self.M)).astype(np.int64)
+        indices = (splitmix64_array(pair_keys ^ seed_mix(self.seed)) % np.uint64(self.M)).astype(
+            np.int64
+        )
 
         # A pair is a change event iff its bit is still zero at its arrival
         # time, i.e. the bit was zero at batch start AND this is the first
         # occurrence of that bit index within the batch.
-        first_occurrence = np.zeros(count, dtype=bool)
-        unique_indices, first_positions = np.unique(indices, return_index=True)
-        first_occurrence[first_positions] = True
-        zero_at_start = ~self._bit_state[indices]
-        changes = first_occurrence & zero_at_start
-        change_positions = np.nonzero(changes)[0]
+        ordered_positions = bit_change_events(indices, ~self._bit_state[indices])
 
         self._touch_users(decode[int(code)] for code in np.unique(user_codes))
-        if change_positions.size == 0:
+        if ordered_positions.size == 0:
             return
 
         # q before the k-th change event (in arrival order) is
         # (zero_bits_at_batch_start - k) / M.
-        order = np.argsort(change_positions, kind="stable")
-        ordered_positions = change_positions[order]
         zeros_before = self._zero_bits - np.arange(ordered_positions.size)
         increments = self.M / zeros_before
 
@@ -224,8 +177,7 @@ class FreeBSBatch(_BatchEstimatorBase):
         (e.g. the super-spreader detector's ``total_cardinality_estimate``).
         """
         scalar = FreeBS(self.M, seed=self.seed)
-        for index in np.nonzero(self._bit_state)[0]:
-            scalar._bits.set_bit(int(index))
+        scalar._bits.set_many(np.nonzero(self._bit_state)[0])
         scalar._estimates = dict(self._estimates)
         scalar._pairs_processed = self._pairs_processed
         return scalar
@@ -265,14 +217,6 @@ class FreeRSBatch(_BatchEstimatorBase):
         """Current ``q_R``: probability a new pair changes some register."""
         return self._harmonic_sum / self.M
 
-    def update_batch(self, pairs: Iterable[UserItemPair]) -> None:
-        """Process a batch of raw (user, item) pairs."""
-        pairs = list(pairs)
-        if not pairs:
-            return
-        user_codes, keys, decode = encode_pairs(pairs)
-        self.update_batch_encoded(user_codes, keys, decode)
-
     def update_batch_encoded(
         self,
         user_codes: np.ndarray,
@@ -286,60 +230,27 @@ class FreeRSBatch(_BatchEstimatorBase):
         if count == 0:
             return
         self._pairs_processed += count
-        seed_mix = np.uint64(splitmix64(self.seed & MASK64))
-        hashes = splitmix64_array(pair_keys ^ seed_mix)
+        hashes = splitmix64_array(pair_keys ^ seed_mix(self.seed))
         indices = (hashes % np.uint64(self.M)).astype(np.int64)
         ranks = geometric_rank_array(splitmix64_array(hashes), max_rank=self._max_rank)
 
         self._touch_users(decode[int(code)] for code in np.unique(user_codes))
 
-        # Find the change events: sort by (register, position); within each
-        # register segment a pair is an event iff its rank exceeds the running
-        # maximum of (initial register value, earlier in-batch ranks).
-        order = np.lexsort((np.arange(count), indices))
-        sorted_registers = indices[order]
-        sorted_ranks = ranks[order]
-        segment_starts = np.ones(count, dtype=bool)
-        segment_starts[1:] = sorted_registers[1:] != sorted_registers[:-1]
-
-        initial_values = self._register_state[sorted_registers]
-        # Running maximum of ranks *before* each element within its segment.
-        # Compute an inclusive prefix max, then shift it right by one inside
-        # each segment (the first element of a segment sees only the initial
-        # register value).
-        inclusive = np.maximum(sorted_ranks, initial_values)
-        # Segment-aware cumulative maximum via np.maximum.accumulate with
-        # resets: offset each segment so values from previous segments cannot
-        # leak (ranks are bounded by _max_rank, so a per-segment offset of
-        # (_max_rank + 1) is enough).
-        segment_ids = np.cumsum(segment_starts) - 1
-        offset = segment_ids * (self._max_rank + 2)
-        running = np.maximum.accumulate(inclusive + offset) - offset
-        previous_max = np.empty(count, dtype=np.int64)
-        previous_max[0] = initial_values[0]
-        previous_max[1:] = np.where(
-            segment_starts[1:], initial_values[1:], running[:-1]
+        # Find the change events with the shared per-register prefix-maximum
+        # kernel: a pair is an event iff its rank exceeds the running maximum
+        # of (initial register value, earlier in-batch ranks).
+        event_positions, event_registers, event_old, event_new = register_change_events(
+            indices, ranks, self._register_state[indices]
         )
-        is_event_sorted = sorted_ranks > previous_max
-
-        if not np.any(is_event_sorted):
+        if event_positions.size == 0:
             return
 
-        event_positions = order[is_event_sorted]
-        event_old = previous_max[is_event_sorted]
-        event_new = sorted_ranks[is_event_sorted]
-        event_registers = sorted_registers[is_event_sorted]
-        event_users = user_codes[event_positions]
-
         # Replay the events in arrival order to reconstruct q_R's trajectory.
-        arrival = np.argsort(event_positions, kind="stable")
-        deltas = np.exp2(-event_new[arrival].astype(np.float64)) - np.exp2(
-            -event_old[arrival].astype(np.float64)
-        )
+        deltas = np.exp2(-event_new.astype(np.float64)) - np.exp2(-event_old.astype(np.float64))
         harmonic_before = self._harmonic_sum + np.concatenate(([0.0], np.cumsum(deltas)[:-1]))
         increments = self.M / harmonic_before
 
-        for user_code, increment in zip(event_users[arrival], increments):
+        for user_code, increment in zip(user_codes[event_positions], increments):
             user = decode[int(user_code)]
             self._estimates[user] = self._estimates.get(user, 0.0) + float(increment)
 

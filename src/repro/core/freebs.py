@@ -24,12 +24,17 @@ from __future__ import annotations
 
 from typing import Dict
 
+import numpy as np
+
 from repro.core.base import CardinalityEstimator
-from repro.hashing import hash_pair
+from repro.engine.base import BatchUpdatable
+from repro.engine.encoding import EncodedBatch, seed_mix
+from repro.engine.kernels import bit_change_events
+from repro.hashing import hash_pair, splitmix64_array
 from repro.sketches.bitarray import BitArray
 
 
-class FreeBS(CardinalityEstimator):
+class FreeBS(BatchUpdatable, CardinalityEstimator):
     """Parameter-free bit-sharing estimator over a shared ``M``-bit array.
 
     Parameters
@@ -72,6 +77,43 @@ class FreeBS(CardinalityEstimator):
             # were discarded (possible for tiny users late in a full array).
             self._estimates[user] = 0.0
         return self._estimates[user]
+
+    def update_encoded(self, batch: EncodedBatch) -> None:
+        """Vectorised engine path: process a whole encoded batch at once.
+
+        Bit-identical to feeding the batch pair-by-pair through
+        :meth:`update`: change events are detected with one vectorised pass,
+        ``q_B``'s trajectory is reconstructed from the batch-start zero count
+        (it drops by exactly one zero bit per event), and each increment is
+        computed with the same ``1 / (zeros / M)`` expression — same
+        floating-point roundings — before being attributed to the event's
+        user in arrival order.
+        """
+        count = len(batch)
+        if count == 0:
+            return
+        self._pairs_processed += count
+        indices = (
+            splitmix64_array(batch.pair_keys() ^ seed_mix(self.seed)) % np.uint64(self.M)
+        ).astype(np.int64)
+        events = bit_change_events(indices, ~self._bits.get_bits(indices))
+
+        for user in batch.users:
+            self._estimates.setdefault(user, 0.0)
+        if events.size == 0:
+            return
+
+        zeros_before = self._bits.zeros - np.arange(events.size)
+        increments = 1.0 / (zeros_before / self.M)
+        event_codes = batch.user_codes[events]
+        users = batch.users
+        estimates = self._estimates
+        for code, increment in zip(event_codes.tolist(), increments.tolist()):
+            user = users[code]
+            estimates[user] = estimates.get(user, 0.0) + increment
+
+        self._bits.set_many(indices[events])
+        self._pairs_sampled += int(events.size)
 
     def estimate(self, user: object) -> float:
         """Return the current estimate of ``user`` (0.0 for unseen users)."""

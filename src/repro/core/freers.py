@@ -23,12 +23,18 @@ from __future__ import annotations
 
 from typing import Dict
 
+import numpy as np
+
 from repro.core.base import CardinalityEstimator
-from repro.hashing import geometric_rank, hash_pair, splitmix64
+from repro.engine.base import BatchUpdatable
+from repro.engine.encoding import EncodedBatch, seed_mix
+from repro.engine.kernels import register_change_events
+from repro.hashing import geometric_rank, hash_pair, splitmix64, splitmix64_array
+from repro.hashing.geometric import geometric_rank_array
 from repro.sketches.registers import RegisterArray
 
 
-class FreeRS(CardinalityEstimator):
+class FreeRS(BatchUpdatable, CardinalityEstimator):
     """Parameter-free register-sharing estimator over ``M`` shared registers.
 
     Parameters
@@ -72,6 +78,50 @@ class FreeRS(CardinalityEstimator):
         elif user not in self._estimates:
             self._estimates[user] = 0.0
         return self._estimates[user]
+
+    def update_encoded(self, batch: EncodedBatch) -> None:
+        """Vectorised engine path: process a whole encoded batch at once.
+
+        Bit-identical to the scalar loop: hashing, register choice and rank
+        derivation are vectorised, change events are found with the shared
+        per-register prefix-maximum kernel, and the (rare) events themselves
+        are replayed sequentially through :meth:`RegisterArray.update` so the
+        incrementally-maintained harmonic sum — and therefore every
+        ``1 / q_R`` increment — accumulates in exactly the scalar order.
+        """
+        count = len(batch)
+        if count == 0:
+            return
+        self._pairs_processed += count
+        hashes = splitmix64_array(batch.pair_keys() ^ seed_mix(self.seed))
+        indices = (hashes % np.uint64(self.M)).astype(np.int64)
+        ranks = geometric_rank_array(
+            splitmix64_array(hashes), max_rank=self._registers.max_value
+        )
+        positions, event_registers, _, event_ranks = register_change_events(
+            indices, ranks, self._registers.get_many(indices)
+        )
+
+        for user in batch.users:
+            self._estimates.setdefault(user, 0.0)
+        if positions.size == 0:
+            return
+
+        harmonic_before_start = self._registers.harmonic_sum
+        harmonic_trajectory, _ = self._registers.apply_max_updates(
+            event_registers, event_ranks
+        )
+        harmonic_before = [harmonic_before_start] + harmonic_trajectory[:-1].tolist()
+
+        users = batch.users
+        codes = batch.user_codes.tolist()
+        estimates = self._estimates
+        M = self.M
+        for position, harmonic in zip(positions.tolist(), harmonic_before):
+            q_before = harmonic / M
+            user = users[codes[position]]
+            estimates[user] = estimates.get(user, 0.0) + 1.0 / q_before
+        self._pairs_sampled += int(positions.size)
 
     def estimate(self, user: object) -> float:
         """Return the current estimate of ``user`` (0.0 for unseen users)."""

@@ -1,0 +1,235 @@
+"""Vectorised kernels shared by every batch update path.
+
+The paper's shared-memory estimators are all *event driven*: an arriving
+pair either changes the shared array (a "change event") or is discarded.
+The batch paths therefore all reduce to the same three primitives, which
+this module provides independent of any particular estimator:
+
+``bit_change_events``
+    Which pairs of a batch flip a still-zero bit (FreeBS, CSE)?
+
+``register_change_events``
+    Which pairs of a batch raise a register above its running maximum
+    (FreeRS, vHLL)?  Found with a per-register prefix maximum after sorting
+    by (register, arrival position).
+
+``value_after_events`` / ``event_time_for_index`` / ``last_occurrence`` /
+``grouped_indices``
+    Time-travel lookups: reconstruct the state of a cell *as of a given
+    arrival position* from the batch's event list, so per-user estimates can
+    be evaluated at each user's last arrival exactly as the scalar paths do.
+
+All kernels operate on plain numpy arrays; the estimator classes own the
+storage (:class:`~repro.sketches.bitarray.BitArray`,
+:class:`~repro.sketches.registers.RegisterArray`) and the update semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+
+def bit_change_events(indices: np.ndarray, zero_at_start: np.ndarray) -> np.ndarray:
+    """Return the arrival-ordered batch positions that flip a zero bit.
+
+    A pair is a change event iff its bit was zero at batch start AND it is
+    the first occurrence of that bit index within the batch (after the first
+    occurrence the bit is one, so later duplicates are discarded).
+
+    Parameters
+    ----------
+    indices:
+        ``int64`` physical bit index per pair.
+    zero_at_start:
+        Boolean per pair: was the bit zero before the batch?
+    """
+    count = int(indices.shape[0])
+    first_occurrence = np.zeros(count, dtype=bool)
+    _, first_positions = np.unique(indices, return_index=True)
+    first_occurrence[first_positions] = True
+    return np.nonzero(first_occurrence & zero_at_start)[0]
+
+
+def register_change_events(
+    indices: np.ndarray, ranks: np.ndarray, initial_values: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Find the pairs of a batch that raise a register.
+
+    A pair is an event iff its rank exceeds the running maximum of (initial
+    register value, ranks of earlier in-batch events on the same register) —
+    exactly the condition the sequential scalar update applies.
+
+    Parameters
+    ----------
+    indices:
+        ``int64`` register index per pair.
+    ranks:
+        ``int64`` rank per pair, already clipped to the register capacity.
+    initial_values:
+        ``int64`` register value per pair *at batch start*.
+
+    Returns
+    -------
+    (positions, registers, old_values, new_ranks)
+        All in arrival order: the batch position of each event, the register
+        it raises, the register's value just before the event, and the rank
+        it is raised to.
+    """
+    count = int(indices.shape[0])
+    if count == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty, empty
+    order = np.lexsort((np.arange(count), indices))
+    sorted_registers = indices[order]
+    sorted_ranks = ranks[order]
+    sorted_initial = initial_values[order]
+
+    segment_starts = np.ones(count, dtype=bool)
+    segment_starts[1:] = sorted_registers[1:] != sorted_registers[:-1]
+
+    # Running maximum *before* each element within its register segment:
+    # compute an inclusive prefix max, then shift right by one inside each
+    # segment (the first element of a segment sees only the initial value).
+    # Segments are isolated by offsetting each with a stride larger than any
+    # possible value, so np.maximum.accumulate cannot leak across them.
+    inclusive = np.maximum(sorted_ranks, sorted_initial)
+    stride = int(max(int(inclusive.max()), 0)) + 2
+    segment_ids = np.cumsum(segment_starts) - 1
+    offset = segment_ids * stride
+    running = np.maximum.accumulate(inclusive + offset) - offset
+    previous_max = np.empty(count, dtype=np.int64)
+    previous_max[0] = sorted_initial[0]
+    previous_max[1:] = np.where(segment_starts[1:], sorted_initial[1:], running[:-1])
+
+    is_event = sorted_ranks > previous_max
+    positions = order[is_event]
+    arrival = np.argsort(positions, kind="stable")
+    return (
+        positions[arrival],
+        sorted_registers[is_event][arrival],
+        previous_max[is_event][arrival],
+        sorted_ranks[is_event][arrival],
+    )
+
+
+def last_occurrence(codes: np.ndarray, n_codes: int) -> np.ndarray:
+    """Return, per code, the batch position of its last occurrence (-1 if absent)."""
+    last = np.full(n_codes, -1, dtype=np.int64)
+    np.maximum.at(last, codes, np.arange(codes.shape[0], dtype=np.int64))
+    return last
+
+
+def event_time_for_index(
+    query_indices: np.ndarray,
+    event_indices_sorted: np.ndarray,
+    event_times: np.ndarray,
+    missing: int,
+) -> np.ndarray:
+    """Return the event time of each queried index (``missing`` if it has none).
+
+    For event lists where each index occurs at most once (bit flips), sorted
+    ascending by index.
+    """
+    if event_indices_sorted.size == 0:
+        return np.full(query_indices.shape, missing, dtype=np.int64)
+    slot = np.searchsorted(event_indices_sorted, query_indices)
+    clipped = np.minimum(slot, event_indices_sorted.size - 1)
+    found = event_indices_sorted[clipped] == query_indices
+    return np.where(found, event_times[clipped], missing)
+
+
+def value_after_events(
+    query_indices: np.ndarray,
+    query_times: np.ndarray,
+    event_indices: np.ndarray,
+    event_times: np.ndarray,
+    event_values: np.ndarray,
+    initial_values: np.ndarray,
+    horizon: int,
+) -> np.ndarray:
+    """Return the value of each queried cell as of its query time.
+
+    ``event_*`` must be sorted by (index, time); ``horizon`` must exceed
+    every time.  A cell's value at time ``t`` is the value written by the
+    last event on it with time ``<= t``, or its initial value if none.
+    """
+    if event_indices.size == 0:
+        return initial_values.copy()
+    step = np.int64(horizon)
+    event_keys = event_indices.astype(np.int64) * step + event_times.astype(np.int64)
+    query_keys = query_indices.astype(np.int64) * step + query_times.astype(np.int64)
+    slot = np.searchsorted(event_keys, query_keys, side="right")
+    previous = np.maximum(slot - 1, 0)
+    has_event = (slot > 0) & (event_indices[previous] == query_indices)
+    return np.where(has_event, event_values[previous], initial_values)
+
+
+def cached_positions_matrix(batch, family, cache: dict) -> np.ndarray:
+    """Return the ``(n_users, family.m)`` virtual-sketch position matrix.
+
+    Shared by the CSE and vHLL batch paths: cached rows are reused, missing
+    rows are computed in one vectorised family evaluation (bit-identical to
+    the scalar ``family.positions`` path) and written back to ``cache``,
+    exactly as the scalar updates would.
+    """
+    matrix = np.empty((batch.n_users, family.m), dtype=np.int64)
+    missing = []
+    for code, user in enumerate(batch.users):
+        cached = cache.get(user)
+        if cached is not None:
+            matrix[code] = cached
+        else:
+            missing.append(code)
+    if missing:
+        rows = family.positions_from_hashes(
+            batch.user_hashes[np.asarray(missing, dtype=np.int64)]
+        )
+        for row_index, code in enumerate(missing):
+            row = rows[row_index].copy()
+            matrix[code] = row
+            cache[batch.users[code]] = row
+    return matrix
+
+
+def touched_query_positions(
+    query_indices: np.ndarray, event_indices: np.ndarray, domain_size: int
+) -> np.ndarray:
+    """Return the positions of queries whose cell has at least one event.
+
+    Batch estimates typically query far more cells (every user's whole
+    virtual sketch) than the batch actually modified, and untouched cells
+    just keep their initial value — so the per-query time-travel search only
+    needs to run on this subset.  The filter is a dense boolean map over the
+    cell domain (1 byte per cell), which beats a binary search per query as
+    long as the domain is not vastly larger than the query set; above that
+    threshold the filter is skipped and every query position is returned.
+    """
+    total = int(query_indices.shape[0])
+    everything = np.arange(total, dtype=np.int64)
+    if event_indices.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if domain_size > max(1 << 24, 32 * total):
+        return everything
+    present = np.zeros(domain_size, dtype=bool)
+    present[event_indices] = True
+    return np.nonzero(present[query_indices])[0]
+
+
+def grouped_indices(
+    codes: np.ndarray, n_codes: int
+) -> Iterator[Tuple[int, np.ndarray]]:
+    """Yield ``(code, positions)`` for every code present, positions in arrival order.
+
+    The grouping primitive of the per-user batch paths: one stable argsort,
+    then contiguous segments.
+    """
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    boundaries = np.nonzero(np.diff(sorted_codes))[0] + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [sorted_codes.shape[0]]))
+    for start, end in zip(starts, ends):
+        if end > start:
+            yield int(sorted_codes[start]), order[start:end]

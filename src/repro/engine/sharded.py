@@ -1,0 +1,189 @@
+"""User-partitioned sharding with mergeable state.
+
+A :class:`ShardedEstimator` splits the user population across ``K``
+independent sub-sketches by hashing the user id, which is the standard
+scale-out move for the paper's shared-memory estimators: each shard is a
+full estimator over ``1/K``-th of the users, shards never interact, and the
+combined estimates are exactly what each shard would report if it had been
+run alone on its slice of the stream (the test-suite asserts this property).
+
+Because the partition is deterministic in the user id, sharding also gives a
+multi-worker replay story: workers that own disjoint shard ranges can
+process disjoint slices of the stream and later :meth:`~ShardedEstimator.merge`
+their states, reproducing a single-process run bit-for-bit.  This is the
+"mergeable state" the engine layer promises; it works for every estimator
+the factory can build, because merging only ever adopts whole untouched
+shards (no sketch-level interleaving is required).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.core.base import CardinalityEstimator
+from repro.engine.base import BatchUpdatable, supports_batch
+from repro.engine.encoding import EncodedBatch, seed_mix
+from repro.hashing import MASK64, hash64, splitmix64_array
+
+UserItemPair = Tuple[object, object]
+
+#: Salt xor-ed into the routing seed so the shard choice is independent of the
+#: hash functions the sub-estimators draw from the same seed.
+_SHARD_SALT = 0x5AD5
+
+EstimatorFactory = Callable[[int], CardinalityEstimator]
+
+
+class ShardedEstimator(BatchUpdatable, CardinalityEstimator):
+    """Partition users across ``K`` independent sub-estimators.
+
+    Parameters
+    ----------
+    factory:
+        Callable building the estimator of shard ``k`` (called with ``k``).
+        Shards must be independent instances; they may share a seed.
+    shards:
+        Number of shards ``K``.
+    seed:
+        Seed of the user -> shard routing hash.  Two sharded estimators can
+        only be merged if they agree on ``shards`` and ``seed``.
+    """
+
+    name = "Sharded"
+
+    def __init__(self, factory: EstimatorFactory, shards: int, seed: int = 0) -> None:
+        if shards <= 0:
+            raise ValueError("shards must be positive")
+        self.num_shards = shards
+        self.seed = seed
+        self._route_seed = (seed ^ _SHARD_SALT) & MASK64
+        self._route_mix = seed_mix(self._route_seed)
+        self._shards: List[CardinalityEstimator] = [factory(k) for k in range(shards)]
+        self._shard_pairs: List[int] = [0] * shards
+        base_name = getattr(self._shards[0], "name", "estimator")
+        self.name = f"Sharded[{shards}x{base_name}]"
+
+    # -- routing --------------------------------------------------------------
+
+    def shard_of(self, user: object) -> int:
+        """Return the shard index that owns ``user`` (deterministic in the id)."""
+        return hash64(user, seed=self._route_seed) % self.num_shards
+
+    def _shards_from_hashes(self, user_hashes: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`shard_of` over raw user folds (bit-identical)."""
+        mixed = splitmix64_array(user_hashes ^ self._route_mix)
+        return (mixed % np.uint64(self.num_shards)).astype(np.int64)
+
+    # -- streaming API --------------------------------------------------------
+
+    def update(self, user: object, item: object) -> float:
+        """Route one pair to its owner shard; return the user's estimate."""
+        shard = self.shard_of(user)
+        self._shard_pairs[shard] += 1
+        return self._shards[shard].update(user, item)
+
+    def estimate(self, user: object) -> float:
+        """Return the owner shard's estimate of ``user``."""
+        return self._shards[self.shard_of(user)].estimate(user)
+
+    def estimates(self) -> Dict[object, float]:
+        """Union of the shard estimates (user sets are disjoint by routing)."""
+        combined: Dict[object, float] = {}
+        for shard in self._shards:
+            combined.update(shard.estimates())
+        return combined
+
+    def memory_bits(self) -> int:
+        """Total accounted memory across all shards."""
+        return sum(shard.memory_bits() for shard in self._shards)
+
+    # -- batch path -----------------------------------------------------------
+
+    def update_batch(self, pairs: Iterable[UserItemPair]) -> None:
+        """Partition a batch across shards; use sub-batch paths when available."""
+        if not isinstance(pairs, (list, tuple)):
+            pairs = list(pairs)
+        if not pairs:
+            return
+        if all(supports_batch(shard) for shard in self._shards):
+            self.update_encoded(EncodedBatch.from_pairs(pairs))
+            return
+        routed: Dict[int, List[UserItemPair]] = {}
+        for user, item in pairs:
+            routed.setdefault(self.shard_of(user), []).append((user, item))
+        for shard_index, shard_pairs in routed.items():
+            self._shard_pairs[shard_index] += len(shard_pairs)
+            shard = self._shards[shard_index]
+            if supports_batch(shard):
+                shard.update_batch(shard_pairs)
+            else:
+                for user, item in shard_pairs:
+                    shard.update(user, item)
+
+    def update_encoded(self, batch: EncodedBatch) -> None:
+        """Split an encoded batch by shard and delegate to the sub-estimators."""
+        user_shards = self._shards_from_hashes(batch.user_hashes)
+        pair_shards = user_shards[batch.user_codes]
+        for shard_index in np.unique(pair_shards):
+            index = int(shard_index)
+            sub_batch = batch.subset(pair_shards == shard_index)
+            self._shard_pairs[index] += len(sub_batch)
+            self._shards[index].update_encoded(sub_batch)
+
+    # -- mergeable state ------------------------------------------------------
+
+    @property
+    def shards(self) -> List[CardinalityEstimator]:
+        """The sub-estimators, indexed by shard id."""
+        return list(self._shards)
+
+    @property
+    def shard_pair_counts(self) -> List[int]:
+        """Pairs routed to each shard so far (duplicates included)."""
+        return list(self._shard_pairs)
+
+    def touched_shards(self) -> List[int]:
+        """Shard ids that have received at least one pair."""
+        return [k for k, count in enumerate(self._shard_pairs) if count > 0]
+
+    def merge(self, other: "ShardedEstimator") -> "ShardedEstimator":
+        """Absorb the shards ``other`` touched; return ``self``.
+
+        The two runs must share the shard count and routing seed, and must
+        have touched *disjoint* shard sets — the multi-worker contract where
+        each worker filters the stream to the shards it owns.  Under that
+        contract the merged estimator is bit-identical to a single run over
+        the concatenated streams, because every pair lands in a shard that
+        saw exactly the same sub-stream either way.
+
+        Adopted shards are deep-copied, so ``other`` stays independent:
+        a worker that keeps streaming into its local estimator after a
+        coordinator merged it cannot silently mutate the merged state.
+        """
+        if not isinstance(other, ShardedEstimator):
+            raise TypeError("can only merge with another ShardedEstimator")
+        if (other.num_shards, other.seed) != (self.num_shards, self.seed):
+            raise ValueError(
+                "cannot merge: shard count and routing seed must match "
+                f"(self: {self.num_shards}/{self.seed}, other: {other.num_shards}/{other.seed})"
+            )
+        overlap = [
+            k
+            for k in range(self.num_shards)
+            if self._shard_pairs[k] > 0 and other._shard_pairs[k] > 0
+        ]
+        if overlap:
+            raise ValueError(
+                f"cannot merge: shards {overlap} were updated on both sides; "
+                "merge requires workers to own disjoint shard sets"
+            )
+        for k in other.touched_shards():
+            self._shards[k] = copy.deepcopy(other._shards[k])
+            self._shard_pairs[k] = other._shard_pairs[k]
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.name}(pairs={sum(self._shard_pairs)})"

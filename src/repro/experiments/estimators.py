@@ -10,25 +10,64 @@ Implements the paper's equal-memory protocol (Section V-B):
 
 ``expected_users`` is the dataset's user count, mirroring the paper's setup
 where the per-user baselines are dimensioned from the known population.
+
+With ``shards=K`` every method is wrapped in a
+:class:`repro.engine.ShardedEstimator` that partitions users across ``K``
+independent sub-sketches, each dimensioned at ``1/K`` of the memory budget
+(so the total stays ``M``) — the scale-out configuration exposed by the CLI's
+``--shards`` flag.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, Iterable, List
 
 from repro.baselines import CSE, PerUserHLLPP, PerUserLPC, VirtualHLL
 from repro.core import FreeBS, FreeRS
 from repro.core.base import CardinalityEstimator
+from repro.engine import ShardedEstimator
 from repro.experiments.config import ExperimentConfig
 
 #: Order in which methods appear in every table (matches the paper's legends).
 METHOD_ORDER = ["FreeBS", "FreeRS", "CSE", "vHLL", "LPC", "HLL++"]
 
 
+def build_estimator(
+    method: str,
+    config: ExperimentConfig,
+    expected_users: int,
+) -> CardinalityEstimator:
+    """Build one estimator by method name under the configuration's budget."""
+    registers = config.registers
+    virtual_size = min(config.virtual_size, max(16, registers // 4), registers - 1)
+    if method == "FreeBS":
+        return FreeBS(config.memory_bits, seed=config.seed)
+    if method == "FreeRS":
+        return FreeRS(registers, register_width=config.register_width, seed=config.seed)
+    if method == "CSE":
+        # Clamp so heavily-sharded (small per-shard budget) configs stay valid.
+        cse_virtual = min(config.virtual_size, config.memory_bits)
+        return CSE(config.memory_bits, virtual_size=cse_virtual, seed=config.seed)
+    if method == "vHLL":
+        return VirtualHLL(
+            registers,
+            virtual_size=virtual_size,
+            register_width=config.register_width,
+            seed=config.seed,
+        )
+    if method == "LPC":
+        return PerUserLPC(config.memory_bits, expected_users=expected_users, seed=config.seed)
+    if method == "HLL++":
+        return PerUserHLLPP(config.memory_bits, expected_users=expected_users, seed=config.seed)
+    raise ValueError(f"unknown method {method!r}; known: {METHOD_ORDER}")
+
+
 def build_estimators(
     config: ExperimentConfig,
     expected_users: int,
     methods: Iterable[str] | None = None,
+    shards: int = 1,
 ) -> Dict[str, CardinalityEstimator]:
     """Build the requested estimators under the configuration's memory budget.
 
@@ -40,38 +79,35 @@ def build_estimators(
         User population used to dimension the per-user baselines.
     methods:
         Subset of :data:`METHOD_ORDER` to build; defaults to all six.
+    shards:
+        With ``shards > 1`` every estimator is a
+        :class:`~repro.engine.ShardedEstimator` of that many sub-sketches,
+        each with ``1/shards`` of the memory budget and expected users.
     """
     selected: List[str] = list(methods) if methods is not None else list(METHOD_ORDER)
     unknown = set(selected) - set(METHOD_ORDER)
     if unknown:
         raise ValueError(f"unknown methods {sorted(unknown)}; known: {METHOD_ORDER}")
-    registers = config.registers
-    virtual_size = min(config.virtual_size, max(16, registers // 4))
+    if shards <= 0:
+        raise ValueError("shards must be positive")
+    if shards == 1:
+        return {
+            method: build_estimator(method, config, expected_users) for method in selected
+        }
+    shard_memory = config.memory_bits // shards
+    if shard_memory < 64:
+        raise ValueError(
+            f"memory budget of {config.memory_bits} bits is too small for "
+            f"{shards} shards (each shard would get {shard_memory} < 64 bits); "
+            "raise the budget or lower the shard count"
+        )
+    shard_config = replace(config, memory_bits=shard_memory)
+    shard_users = max(1, expected_users // shards)
     estimators: Dict[str, CardinalityEstimator] = {}
     for method in selected:
-        if method == "FreeBS":
-            estimators[method] = FreeBS(config.memory_bits, seed=config.seed)
-        elif method == "FreeRS":
-            estimators[method] = FreeRS(
-                registers, register_width=config.register_width, seed=config.seed
-            )
-        elif method == "CSE":
-            estimators[method] = CSE(
-                config.memory_bits, virtual_size=config.virtual_size, seed=config.seed
-            )
-        elif method == "vHLL":
-            estimators[method] = VirtualHLL(
-                registers,
-                virtual_size=virtual_size,
-                register_width=config.register_width,
-                seed=config.seed,
-            )
-        elif method == "LPC":
-            estimators[method] = PerUserLPC(
-                config.memory_bits, expected_users=expected_users, seed=config.seed
-            )
-        elif method == "HLL++":
-            estimators[method] = PerUserHLLPP(
-                config.memory_bits, expected_users=expected_users, seed=config.seed
-            )
+
+        def factory(_shard_index: int, _method: str = method) -> CardinalityEstimator:
+            return build_estimator(_method, shard_config, shard_users)
+
+        estimators[method] = ShardedEstimator(factory, shards=shards, seed=config.seed)
     return estimators

@@ -30,6 +30,8 @@ The public surface is:
 
 from repro.hashing.mix import (
     MASK64,
+    fold_key,
+    fold_key_array,
     hash64,
     hash_pair,
     hash64_array,
@@ -43,6 +45,8 @@ from repro.hashing.geometric import geometric_rank, geometric_rank_array, rho_fr
 
 __all__ = [
     "MASK64",
+    "fold_key",
+    "fold_key_array",
     "hash64",
     "hash_pair",
     "hash64_array",

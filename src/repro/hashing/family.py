@@ -75,6 +75,17 @@ class HashFamily:
         folded through the same seed-0 hash as the scalar path before mixing
         with the per-function sub-seeds.
         """
-        folded = hash64_array(keys.astype(np.uint64))[:, None]
+        return self.positions_from_hashes(keys.astype(np.uint64))
+
+    def positions_from_hashes(self, folded_keys: np.ndarray) -> np.ndarray:
+        """Return an ``(len(folded_keys), m)`` position matrix for folded keys.
+
+        ``folded_keys`` are raw 64-bit folds (:func:`repro.hashing.fold_key`)
+        — the representation the engine's :class:`~repro.engine.encoding.EncodedBatch`
+        carries for users of any type.  Row ``i`` equals ``positions(key_i)``
+        bit-for-bit, because the scalar path folds its key through exactly the
+        same seed-0 hash before mixing with the per-function sub-seeds.
+        """
+        folded = hash64_array(folded_keys)[:, None]
         mixed = splitmix64_array(self._sub_seeds[None, :] ^ folded)
         return (mixed % np.uint64(self.range_size)).astype(np.int64)

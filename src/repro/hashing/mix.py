@@ -50,7 +50,7 @@ def splitmix64_array(values: np.ndarray) -> np.ndarray:
     return z
 
 
-def _fold_key(key: object) -> int:
+def fold_key(key: object) -> int:
     """Fold an arbitrary hashable key into a 64-bit integer.
 
     Integers are used as-is (modulo 2**64); everything else is serialised and
@@ -72,6 +72,39 @@ def _fold_key(key: object) -> int:
     return struct.unpack("<Q", digest)[0]
 
 
+# Backwards-compatible private alias (the fold was originally module-private).
+_fold_key = fold_key
+
+
+def fold_key_array(values: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`fold_key` for arrays of integer keys.
+
+    Returns ``uint64`` folds that agree with ``fold_key(v)`` for every
+    element, including the untrusted edges of the integer range:
+
+    * negative ids fold to their two's complement (``v & MASK64``), matching
+      the scalar path for signed dtypes;
+    * ids ``>= 2**63`` arrive either as ``uint64`` arrays or as ``object``
+      arrays of Python ints (numpy cannot represent a mix of negative and
+      ``>= 2**63`` values in any fixed dtype) — both are folded per element
+      with the scalar rules, so arbitrarily large Python ints wrap modulo
+      ``2**64`` exactly like ``fold_key`` does.
+
+    A plain ``astype(np.uint64)`` is *not* equivalent: for ``object`` arrays
+    numpy raises ``OverflowError`` on negative values and refuses ints above
+    ``2**64``, and float arrays would silently lose low bits, so those inputs
+    are routed through the scalar fold.
+    """
+    array = np.asarray(values)
+    if array.dtype.kind == "u":
+        return array.astype(np.uint64, copy=False)
+    if array.dtype.kind == "i":
+        # Signed -> unsigned casts wrap modulo 2**64 (two's complement),
+        # which is exactly the scalar `int(key) & MASK64`.
+        return array.astype(np.int64).astype(np.uint64)
+    return np.array([fold_key(value) for value in array.tolist()], dtype=np.uint64)
+
+
 def hash64(key: object, seed: int = 0) -> int:
     """Return a deterministic 64-bit hash of ``key`` under ``seed``.
 
@@ -79,7 +112,7 @@ def hash64(key: object, seed: int = 0) -> int:
     how :class:`repro.hashing.family.HashFamily` builds the ``f_1 .. f_m``
     functions required by CSE and vHLL.
     """
-    folded = _fold_key(key)
+    folded = fold_key(key)
     return splitmix64(folded ^ splitmix64(seed & MASK64))
 
 
@@ -91,8 +124,8 @@ def pair_key(user: object, item: object) -> int:
     pre-compute the key once and re-mix it cheaply for any seed
     (see :mod:`repro.core.batch`).
     """
-    hu = _fold_key(user)
-    hi = _fold_key(item)
+    hu = fold_key(user)
+    hi = fold_key(item)
     return splitmix64(hu ^ _GOLDEN_GAMMA) ^ splitmix64(hi)
 
 

@@ -51,11 +51,27 @@ class BitArray:
         Duplicates inside ``indices`` are handled correctly (each bit is
         counted at most once).
         """
-        flipped = 0
-        for index in np.unique(indices):
-            if self.set_bit(int(index)):
-                flipped += 1
-        return flipped
+        return self.set_many(indices)
+
+    def set_many(self, indices: np.ndarray) -> int:
+        """Vectorised bulk bit-set; return how many bits transitioned 0 -> 1.
+
+        This is the commit step of the engine's batch update paths: the word
+        updates go through ``np.bitwise_or.at`` instead of a Python loop, so
+        committing a batch costs O(unique bits) numpy work rather than one
+        Python-level ``set_bit`` per bit.
+        """
+        idx = np.unique(np.asarray(indices, dtype=np.int64))
+        if idx.size == 0:
+            return 0
+        if idx[0] < 0 or idx[-1] >= self.size:
+            raise IndexError("bit index outside the array")
+        word_indices = idx // 64
+        masks = np.uint64(1) << (idx % 64).astype(np.uint64)
+        newly_set = int(np.count_nonzero((self._words[word_indices] & masks) == 0))
+        np.bitwise_or.at(self._words, word_indices, masks)
+        self._ones += newly_set
+        return newly_set
 
     def clear(self) -> None:
         """Reset every bit to zero."""

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.hashing import hash64
 from repro.sketches.bitarray import BitArray
 
@@ -46,6 +48,19 @@ class LinearProbabilisticCounter:
     def add_hashed(self, hash_value: int) -> bool:
         """Insert a pre-hashed 64-bit value (hot-path variant of :meth:`add`)."""
         return self._bits.set_bit(hash_value % self.m)
+
+    def add_hashed_many(self, hash_values) -> int:
+        """Insert many pre-hashed 64-bit values at once; return bits flipped.
+
+        The vectorised twin of :meth:`add_hashed`, used by the engine's batch
+        path for the per-user LPC baseline.  The final bitmap (and therefore
+        the estimate) is identical to adding the values one by one.
+        """
+        values = np.asarray(hash_values, dtype=np.uint64)
+        if values.size == 0:
+            return 0
+        indices = (values % np.uint64(self.m)).astype(np.int64)
+        return self._bits.set_many(indices)
 
     # -- estimation ---------------------------------------------------------
 

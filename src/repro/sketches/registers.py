@@ -23,7 +23,15 @@ import numpy as np
 class RegisterArray:
     """A fixed-size array of ``count`` registers of ``width`` bits each."""
 
-    __slots__ = ("count", "width", "max_value", "_values", "_harmonic_sum", "_zeros")
+    __slots__ = (
+        "count",
+        "width",
+        "max_value",
+        "_values",
+        "_harmonic_sum",
+        "_zeros",
+        "_pow_neg",
+    )
 
     def __init__(self, count: int, width: int = 5) -> None:
         if count <= 0:
@@ -37,6 +45,10 @@ class RegisterArray:
         # sum_j 2^-R[j]; all registers start at zero so the sum starts at count.
         self._harmonic_sum = float(count)
         self._zeros = count
+        # 2^-r lookup table for the bulk update path; entries are computed
+        # with the exact expression update() uses, so both paths accumulate
+        # identical floats.
+        self._pow_neg = [2.0 ** (-value) for value in range(self.max_value + 1)]
 
     # -- mutation -----------------------------------------------------------
 
@@ -57,6 +69,54 @@ class RegisterArray:
         if current == 0:
             self._zeros -= 1
         return True
+
+    def apply_max_updates(self, indices: np.ndarray, ranks: np.ndarray):
+        """Raise many registers sequentially; return per-event trajectories.
+
+        The bulk twin of :meth:`update` for pre-filtered *change events*:
+        every ``(index, rank)`` must strictly exceed the register's value at
+        its turn (e.g. the output of
+        :func:`repro.engine.kernels.register_change_events`).  The
+        harmonic-sum and zero-count bookkeeping follows exactly the same
+        sequential floating-point trajectory as calling :meth:`update` once
+        per event; the returned arrays hold both statistics *after* each
+        event, which is what the batch estimators need to reconstruct
+        ``q_R`` / the global HLL estimate at any arrival position.
+        """
+        index_array = np.asarray(indices, dtype=np.int64)
+        rank_array = np.minimum(np.asarray(ranks, dtype=np.int64), self.max_value)
+        count = int(index_array.shape[0])
+        harmonic_trajectory = np.empty(count, dtype=np.float64)
+        zeros_trajectory = np.empty(count, dtype=np.int64)
+        if count == 0:
+            return harmonic_trajectory, zeros_trajectory
+        if index_array.min() < 0 or index_array.max() >= self.count:
+            raise IndexError("register index outside the array")
+        table = self._pow_neg
+        harmonic = self._harmonic_sum
+        zeros = self._zeros
+        current_values: dict = {}
+        initial = self._values[index_array].astype(np.int64)
+        position = 0
+        for index, rank, start_value in zip(
+            index_array.tolist(), rank_array.tolist(), initial.tolist()
+        ):
+            current = current_values.get(index, start_value)
+            if rank <= current:
+                raise ValueError(
+                    "apply_max_updates expects strictly register-raising events"
+                )
+            harmonic += table[rank] - table[current]
+            if current == 0:
+                zeros -= 1
+            current_values[index] = rank
+            harmonic_trajectory[position] = harmonic
+            zeros_trajectory[position] = zeros
+            position += 1
+        np.maximum.at(self._values, index_array, rank_array.astype(np.uint8))
+        self._harmonic_sum = harmonic
+        self._zeros = zeros
+        return harmonic_trajectory, zeros_trajectory
 
     def clear(self) -> None:
         """Reset every register to zero."""

@@ -65,6 +65,35 @@ class GraphStream:
         """Return a new stream containing only the first ``length`` pairs."""
         return GraphStream(self.pairs()[:length], name=f"{self.name}[:{length}]")
 
+    def to_int_arrays(self):
+        """Return the stream as two numpy arrays ``(users, items)``.
+
+        Only valid for all-integer streams (the common case for the public
+        edge-list dumps); raises ``TypeError`` otherwise.  This is the input
+        shape of the engine's fully-vectorised encoder
+        (:meth:`repro.engine.EncodedBatch.from_int_arrays`), used by the
+        high-rate replay benchmarks to skip the per-pair Python fold.
+        """
+        import numpy as np
+
+        pairs = self.pairs()
+        users = [user for user, _ in pairs]
+        items = [item for _, item in pairs]
+        if not all(isinstance(user, (int, np.integer)) for user in users) or not all(
+            isinstance(item, (int, np.integer)) for item in items
+        ):
+            raise TypeError("to_int_arrays requires an all-integer stream")
+
+        def as_array(values):
+            array = np.asarray(values)
+            if array.dtype.kind not in "iu":
+                # Mixed negative / >= 2**63 ids coerce to float64 and would
+                # silently merge distinct ids; keep them as exact objects.
+                array = np.array(values, dtype=object)
+            return array
+
+        return as_array(users), as_array(items)
+
     # -- exact statistics ------------------------------------------------------
 
     def _compute_stats(self) -> Dict[str, object]:
