@@ -1,0 +1,114 @@
+"""Overhead of the monitoring subsystem over raw estimator replay.
+
+The monitor adds three costs on top of the engine's batch path: epoch
+rotation bookkeeping, the per-batch sliding-window evaluation (a merge of
+the epoch ring plus a ranking pass), and snapshot writes.  This benchmark
+measures each against the raw ``process()`` replay of the same stream, and
+persists a machine-readable JSON file
+(``benchmarks/results/monitor_ingest.json``) for the perf trajectory.
+
+No hard speed bars: the monitor's evaluation cost is dominated by the
+sliding merge, whose cost is a function of the window size and method, not
+of the code path under regression watch.  The JSON exists so a regression
+is visible in the artifact trail.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import FreeRS
+from repro.monitor import MonitorSpec, WindowedEstimator
+
+RESULTS_PATH = Path(__file__).resolve().parent / "results" / "monitor_ingest.json"
+
+_RNG = np.random.default_rng(23)
+_PAIRS = [
+    (int(user), int(item))
+    for user, item in zip(
+        _RNG.integers(0, 400, size=40_000), _RNG.integers(0, 20_000, size=40_000)
+    )
+]
+_BATCH = 2_048
+
+
+def _raw_replay():
+    estimator = FreeRS((1 << 18) // 5, seed=1)
+    estimator.process(_PAIRS, chunk_size=_BATCH)
+    return estimator
+
+
+def _windowed_replay():
+    window = WindowedEstimator(
+        lambda _k: FreeRS((1 << 18) // 5, seed=1), epoch_pairs=8_192, window_epochs=4
+    )
+    for start in range(0, len(_PAIRS), _BATCH):
+        window.ingest(_PAIRS[start : start + _BATCH])
+    return window
+
+
+def _monitored_replay():
+    monitor = MonitorSpec(
+        method="FreeRS",
+        memory_bits=1 << 18,
+        expected_users=400,
+        epoch_pairs=8_192,
+        window_epochs=4,
+        delta=5e-3,
+        seed=1,
+    ).build()
+    for start in range(0, len(_PAIRS), _BATCH):
+        monitor.observe(_PAIRS[start : start + _BATCH])
+    return monitor
+
+
+def test_raw_estimator_replay(benchmark):
+    """Baseline: the engine's chunked batch replay, no windowing."""
+    benchmark.pedantic(_raw_replay, rounds=1, iterations=1)
+
+
+def test_windowed_ingest(benchmark):
+    """Windowed ingest: rotation bookkeeping on top of the batch path."""
+    benchmark.pedantic(_windowed_replay, rounds=1, iterations=1)
+
+
+def test_monitored_ingest_with_evaluation(benchmark):
+    """Full monitor: ingest + per-batch sliding evaluation and ranking."""
+    benchmark.pedantic(_monitored_replay, rounds=1, iterations=1)
+
+
+def test_overhead_json(benchmark):
+    """Measure all three modes once and persist the overhead ratios."""
+
+    def sweep():
+        timings = {}
+        for name, run in (
+            ("raw", _raw_replay),
+            ("windowed", _windowed_replay),
+            ("monitored", _monitored_replay),
+        ):
+            start = time.perf_counter()
+            run()
+            timings[name] = time.perf_counter() - start
+        return timings
+
+    timings = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    payload = {
+        "pairs": len(_PAIRS),
+        "batch": _BATCH,
+        "seconds": timings,
+        "windowed_overhead": timings["windowed"] / timings["raw"],
+        "monitored_overhead": timings["monitored"] / timings["raw"],
+    }
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {RESULTS_PATH}")
+    for name, seconds in timings.items():
+        print(f"{name:10s} {seconds * 1e6 / len(_PAIRS):8.3f}us/pair")
+    # Sanity only: windowed ingest must stay in the same order of magnitude
+    # as the raw replay (the sketches are identical, only bookkeeping differs).
+    assert payload["windowed_overhead"] < 5.0

@@ -17,6 +17,17 @@ Three subcommands:
     Run one estimator over an edge-list file and print the top-K users by
     estimated cardinality — a minimal "use it on your own data" entry point.
 
+``freesketch monitor <edge-file> [--method ...] [--epoch-pairs N | --epoch-span S]
+[--window W] [--delta D | --threshold T] [--out feed.jsonl]
+[--snapshot-dir DIR] [--snapshot-every N] [--resume] [--rate R]``
+    Replay a dataset through the continuous monitoring subsystem
+    (:mod:`repro.monitor`): epoch-rotating windowed sketches, sliding-window
+    top-k spreader tracking, hysteresis alerts, and periodic state
+    snapshots.  Emits a JSONL feed of window estimates and alert events to
+    stdout and (append-mode) to ``--out``.  ``--resume`` restores the latest
+    snapshot from ``--snapshot-dir`` and fast-forwards the stream past the
+    pairs it already saw — the kill/restore story for long replays.
+
     ``--engine`` selects the update path: ``batch`` (default) replays the
     stream in vectorised chunks through the engine layer, ``scalar`` feeds
     pairs one by one (the paper's streaming model).  Both produce
@@ -113,6 +124,88 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.monitor import MonitorSpec, SnapshotStore, replay_feed
+
+    if (args.epoch_pairs is None) == (args.epoch_span is None):
+        raise SystemExit("set exactly one of --epoch-pairs or --epoch-span")
+    if args.delta is not None and args.threshold is not None:
+        raise SystemExit("set at most one of --delta or --threshold")
+    delta = args.delta
+    if delta is None and args.threshold is None:
+        delta = 5e-3
+    stream = read_edge_file(args.path)
+    timestamps = stream.timestamps() if stream.has_timestamps else None
+    snapshot_store = SnapshotStore(args.snapshot_dir) if args.snapshot_dir else None
+    if args.snapshot_every and snapshot_store is None:
+        raise SystemExit("--snapshot-every requires --snapshot-dir")
+
+    monitor = None
+    skip_pairs = 0
+    if args.resume:
+        if snapshot_store is None:
+            raise SystemExit("--resume requires --snapshot-dir")
+        if snapshot_store.latest() is not None:
+            monitor = snapshot_store.restore()
+            skip_pairs = monitor.window.pairs_ingested
+            print(f"# resumed from {snapshot_store.latest()} at pair {skip_pairs}")
+            print(
+                "# note: monitor configuration comes from the snapshot's spec; "
+                "method/window/threshold flags on this command line are ignored"
+            )
+    if monitor is None:
+        spec = MonitorSpec(
+            method=args.method,
+            memory_bits=args.memory_bits,
+            seed=args.seed,
+            expected_users=max(1, stream.user_count),
+            shards=args.shards,
+            epoch_pairs=args.epoch_pairs,
+            epoch_span=args.epoch_span,
+            window_epochs=args.window,
+            top_k=args.top_k,
+            delta=delta,
+            threshold=args.threshold,
+            hysteresis=args.hysteresis,
+        )
+        monitor = spec.build()
+
+    out_handle = open(args.out, "a", encoding="utf-8") if args.out else None
+    stdout_open = True
+    try:
+        for record in replay_feed(
+            monitor,
+            stream.pairs(),
+            timestamps=timestamps,
+            batch_size=args.batch_size,
+            rate=args.rate,
+            snapshot_store=snapshot_store,
+            snapshot_every=args.snapshot_every,
+            skip_pairs=skip_pairs,
+        ):
+            line = json.dumps(record)
+            if stdout_open:
+                try:
+                    print(line, flush=True)
+                except BrokenPipeError:
+                    # Feed piped into head/grep that stopped reading: keep the
+                    # replay (and the --out file / snapshots) going silently.
+                    # Point stdout at devnull so the interpreter's exit-time
+                    # flush does not trip over the closed pipe again.
+                    stdout_open = False
+                    import os
+
+                    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            if out_handle is not None:
+                out_handle.write(line + "\n")
+    finally:
+        if out_handle is not None:
+            out_handle.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for the CLI tests)."""
     parser = argparse.ArgumentParser(
@@ -166,6 +259,79 @@ def build_parser() -> argparse.ArgumentParser:
         help="pairs per vectorised chunk for --engine batch (default 8192)",
     )
     estimate_parser.set_defaults(handler=_cmd_estimate)
+
+    monitor_parser = subparsers.add_parser(
+        "monitor",
+        help="replay an edge-list file through the continuous monitoring subsystem",
+    )
+    monitor_parser.add_argument("path")
+    monitor_parser.add_argument("--method", default="FreeRS", choices=METHOD_ORDER)
+    monitor_parser.add_argument("--memory-bits", type=int, default=1 << 18)
+    monitor_parser.add_argument("--seed", type=int, default=7)
+    monitor_parser.add_argument(
+        "--shards", type=int, default=1, help="user-partitioned shards per epoch"
+    )
+    monitor_parser.add_argument(
+        "--epoch-pairs",
+        type=int,
+        default=None,
+        help="close an epoch after this many pairs (event-count rotation)",
+    )
+    monitor_parser.add_argument(
+        "--epoch-span",
+        type=float,
+        default=None,
+        help="close an epoch after this span of the arrival clock "
+        "(timestamp rotation; files without a timestamp column use the event index)",
+    )
+    monitor_parser.add_argument(
+        "--window", type=int, default=8, help="epochs retained for sliding-window queries"
+    )
+    monitor_parser.add_argument("--top-k", type=int, default=10)
+    monitor_parser.add_argument(
+        "--delta",
+        type=float,
+        default=None,
+        help="relative spreader threshold on the window total "
+        "(default 5e-3 when --threshold is not given)",
+    )
+    monitor_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="absolute spreader threshold (mutually exclusive with --delta)",
+    )
+    monitor_parser.add_argument(
+        "--hysteresis",
+        type=float,
+        default=0.2,
+        help="exit threshold sits this fraction below the enter threshold",
+    )
+    monitor_parser.add_argument("--batch-size", type=int, default=2048)
+    monitor_parser.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="throttle the replay to roughly this many pairs per second",
+    )
+    monitor_parser.add_argument(
+        "--out", default=None, help="also append the JSONL feed to this file"
+    )
+    monitor_parser.add_argument(
+        "--snapshot-dir", default=None, help="directory for monitor state snapshots"
+    )
+    monitor_parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=0,
+        help="checkpoint every N batches (requires --snapshot-dir)",
+    )
+    monitor_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore the latest snapshot from --snapshot-dir and continue",
+    )
+    monitor_parser.set_defaults(handler=_cmd_monitor)
 
     return parser
 

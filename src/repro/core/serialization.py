@@ -1,14 +1,21 @@
-"""Snapshot serialization for the FreeBS / FreeRS estimators.
+"""Snapshot serialization for every compared estimator.
 
 Monitoring deployments need to checkpoint sketch state: a monitor restarts,
 a snapshot is shipped to an analysis box, or an operator wants yesterday's
-state next to today's.  This module serialises the two proposed estimators
-(scalar and batch variants) to a compact, versioned, self-describing JSON +
-base85 payload and restores them exactly — estimates, shared-array state and
-seed — so a restored estimator continues the stream as if nothing happened.
+state next to today's.  This module serialises all six compared methods —
+FreeBS / FreeRS (scalar and batch variants), CSE, vHLL and the per-user LPC
+/ HLL++ baselines — plus :class:`repro.engine.ShardedEstimator` compositions
+of any of them, to a compact, versioned, self-describing JSON + base85
+payload, and restores them exactly: estimates, shared-array state and seeds
+round-trip so a restored estimator continues the stream as if nothing
+happened.
 
-Only the estimators the paper proposes are covered: the baselines exist for
-comparison experiments, which never need checkpointing.
+Format history:
+
+* version 1 — FreeBS / FreeRS (scalar and batch) only;
+* version 2 — adds the ``CSE``, ``vHLL``, ``LPC``, ``HLL++`` and ``Sharded``
+  kinds (sharded envelopes nest one sub-envelope per shard).  Version-1
+  payloads still load.
 
 The format intentionally favours debuggability (a JSON envelope with the
 array payload base85-encoded) over minimum size; the arrays dominate and are
@@ -30,7 +37,10 @@ from repro.core.freers import FreeRS
 
 PathLike = Union[str, Path]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+#: Payload versions this loader understands (older versions stay readable).
+_ACCEPTED_VERSIONS = frozenset({1, 2})
 
 SerializableEstimator = Union[FreeBS, FreeRS, FreeBSBatch, FreeRSBatch]
 
@@ -44,94 +54,197 @@ def _decode_array(payload: str, dtype: np.dtype, count: int) -> np.ndarray:
     return np.frombuffer(raw, dtype=dtype, count=count).copy()
 
 
+def _key_to_json(key: object) -> list:
+    # JSON object keys must be strings; store (repr-tag, key) so integer and
+    # string users round-trip without collision.
+    if isinstance(key, (int, np.integer)):
+        return ["int", str(int(key))]
+    return ["str", str(key)]
+
+
+def _key_from_json(kind: str, key: str) -> object:
+    return int(key) if kind == "int" else key
+
+
 def _estimates_to_json(estimates: dict) -> list:
-    # JSON object keys must be strings; store (repr-tag, key, value) triples
-    # so integer and string users round-trip without collision.
-    triples = []
-    for user, value in estimates.items():
-        if isinstance(user, int):
-            triples.append(["int", str(user), value])
-        else:
-            triples.append(["str", str(user), value])
-    return triples
+    return [[*_key_to_json(user), value] for user, value in estimates.items()]
 
 
 def _estimates_from_json(triples: list) -> dict:
-    estimates = {}
-    for kind, key, value in triples:
-        estimates[int(key) if kind == "int" else key] = float(value)
-    return estimates
+    return {_key_from_json(kind, key): float(value) for kind, key, value in triples}
 
 
-def dumps(estimator: SerializableEstimator) -> str:
-    """Serialise a FreeBS/FreeRS estimator (scalar or batch) to a JSON string."""
+def _dump_body(estimator) -> tuple:
+    """Return ``(kind, body)`` for one estimator, dispatching on its type."""
+    from repro.baselines.cse import CSE
+    from repro.baselines.per_user import PerUserHLLPP, PerUserLPC
+    from repro.baselines.vhll import VirtualHLL
+    from repro.engine.sharded import ShardedEstimator
+
+    if isinstance(estimator, ShardedEstimator):
+        return "Sharded", {
+            "shards": estimator.num_shards,
+            "seed": estimator.seed,
+            "shard_pairs": list(estimator.shard_pair_counts),
+            "sub": [json.loads(dumps(shard)) for shard in estimator.shards],
+        }
     if isinstance(estimator, FreeBS):
-        kind = "FreeBS"
-        body = {
+        return "FreeBS", {
             "memory_bits": estimator.M,
             "seed": estimator.seed,
             "pairs_processed": estimator.pairs_processed,
             "words": _encode_array(estimator._bits._words),
             "ones": estimator._bits.ones,
         }
-    elif isinstance(estimator, FreeBSBatch):
-        kind = "FreeBSBatch"
-        body = {
+    if isinstance(estimator, FreeBSBatch):
+        return "FreeBSBatch", {
             "memory_bits": estimator.M,
             "seed": estimator.seed,
             "pairs_processed": estimator.pairs_processed,
             "bits": _encode_array(estimator._bit_state),
             "zero_bits": estimator._zero_bits,
         }
-    elif isinstance(estimator, FreeRS):
-        kind = "FreeRS"
-        body = {
+    if isinstance(estimator, FreeRS):
+        return "FreeRS", {
             "registers": estimator.M,
             "register_width": estimator._registers.width,
             "seed": estimator.seed,
             "pairs_processed": estimator.pairs_processed,
             "values": _encode_array(estimator._registers.values),
         }
-    elif isinstance(estimator, FreeRSBatch):
-        kind = "FreeRSBatch"
-        body = {
+    if isinstance(estimator, FreeRSBatch):
+        return "FreeRSBatch", {
             "registers": estimator.M,
             "register_width": estimator.register_width,
             "seed": estimator.seed,
             "pairs_processed": estimator.pairs_processed,
             "values": _encode_array(estimator._register_state),
         }
+    if isinstance(estimator, CSE):
+        return "CSE", {
+            "memory_bits": estimator.M,
+            "virtual_size": estimator.m,
+            "seed": estimator.seed,
+            "words": _encode_array(estimator._bits._words),
+            "ones": estimator._bits.ones,
+        }
+    if isinstance(estimator, VirtualHLL):
+        return "vHLL", {
+            "registers": estimator.M,
+            "virtual_size": estimator.m,
+            "register_width": estimator._registers.width,
+            "seed": estimator.seed,
+            "values": _encode_array(estimator._registers.values),
+        }
+    if isinstance(estimator, PerUserLPC):
+        return "LPC", {
+            "bits_per_user": estimator.bits_per_user,
+            "seed": estimator.seed,
+            "users": [
+                [
+                    *_key_to_json(user),
+                    _encode_array(sketch._bits._words),
+                    sketch._bits.ones,
+                ]
+                for user, sketch in estimator._sketches.items()
+            ],
+        }
+    if isinstance(estimator, PerUserHLLPP):
+        return "HLL++", {
+            "registers_per_user": estimator.registers_per_user,
+            "register_width": estimator.register_width,
+            "seed": estimator.seed,
+            "users": [
+                [*_key_to_json(user), _hllpp_state(sketch)]
+                for user, sketch in estimator._sketches.items()
+            ],
+        }
+    raise TypeError(
+        f"cannot serialise {type(estimator).__name__}; supported kinds: "
+        "FreeBS/FreeRS (scalar or batch), CSE, vHLL, LPC, HLL++ and "
+        "Sharded compositions of them"
+    )
+
+
+def _hllpp_state(sketch) -> dict:
+    """State of one private HLL++ sketch, preserving its representation."""
+    if sketch._sparse is not None:
+        # Entry order is preserved so densification (which replays the dict
+        # in insertion order) happens on the same trajectory after a restore.
+        return {
+            "mode": "sparse",
+            "entries": [[int(bucket), int(rank)] for bucket, rank in sketch._sparse.items()],
+        }
+    return {"mode": "dense", "values": _encode_array(sketch._registers.values)}
+
+
+def _restore_hllpp(sketch, state: dict) -> None:
+    if state["mode"] == "sparse":
+        for bucket, rank in state["entries"]:
+            sketch._sparse[int(bucket)] = int(rank)
+        if len(sketch._sparse) > sketch._sparse_limit:
+            sketch._densify()
     else:
-        raise TypeError(
-            f"cannot serialise {type(estimator).__name__}; "
-            "only FreeBS/FreeRS (scalar or batch) snapshots are supported"
-        )
+        values = _decode_array(state["values"], np.uint8, sketch.m)
+        sketch._sparse = None
+        from repro.sketches.registers import RegisterArray
+
+        registers = RegisterArray(sketch.m, width=sketch.width)
+        for index in np.nonzero(values)[0]:
+            registers.update(int(index), int(values[index]))
+        sketch._registers = registers
+
+
+def dumps(estimator) -> str:
+    """Serialise an estimator to a JSON string (see module doc for coverage)."""
+    kind, body = _dump_body(estimator)
     envelope = {
         "format": "freesketch-snapshot",
         "version": _FORMAT_VERSION,
         "kind": kind,
-        "estimates": _estimates_to_json(estimator.estimates()),
+        "estimates": (
+            [] if kind == "Sharded" else _estimates_to_json(estimator.estimates())
+        ),
         "body": body,
     }
     return json.dumps(envelope)
 
 
-def loads(payload: str) -> SerializableEstimator:
-    """Restore an estimator previously serialised with :func:`dumps`."""
-    envelope = json.loads(payload)
-    if envelope.get("format") != "freesketch-snapshot":
-        raise ValueError("not a freesketch snapshot payload")
-    if envelope.get("version") != _FORMAT_VERSION:
-        raise ValueError(f"unsupported snapshot version {envelope.get('version')!r}")
+def _restore_bitarray(bits, words_payload: str, ones: int) -> None:
+    bits._words[:] = _decode_array(words_payload, np.uint64, len(bits._words))
+    bits._ones = int(ones)
+
+
+def _restore_registers(registers, values_payload: str, count: int) -> None:
+    # Replaying through update() keeps the incremental harmonic-sum and
+    # zero-count bookkeeping on a clean trajectory (see RegisterArray).
+    values = _decode_array(values_payload, np.uint8, count)
+    for index in np.nonzero(values)[0]:
+        registers.update(int(index), int(values[index]))
+
+
+def _load_envelope(envelope: dict):
+    from repro.baselines.cse import CSE
+    from repro.baselines.per_user import PerUserHLLPP, PerUserLPC
+    from repro.baselines.vhll import VirtualHLL
+    from repro.engine.sharded import ShardedEstimator
+    from repro.sketches.hllpp import HyperLogLogPlusPlus
+    from repro.sketches.lpc import LinearProbabilisticCounter
+
     kind = envelope["kind"]
     body = envelope["body"]
     estimates = _estimates_from_json(envelope["estimates"])
 
+    if kind == "Sharded":
+        shards = [_load_envelope(sub) for sub in body["sub"]]
+        estimator = ShardedEstimator(
+            lambda k: shards[k], shards=int(body["shards"]), seed=int(body["seed"])
+        )
+        estimator._shard_pairs = [int(count) for count in body["shard_pairs"]]
+        return estimator
     if kind == "FreeBS":
         estimator = FreeBS(body["memory_bits"], seed=body["seed"])
-        words = _decode_array(body["words"], np.uint64, len(estimator._bits._words))
-        estimator._bits._words[:] = words
-        estimator._bits._ones = int(body["ones"])
+        _restore_bitarray(estimator._bits, body["words"], body["ones"])
         estimator._pairs_processed = int(body["pairs_processed"])
     elif kind == "FreeBSBatch":
         estimator = FreeBSBatch(body["memory_bits"], seed=body["seed"])
@@ -143,9 +256,7 @@ def loads(payload: str) -> SerializableEstimator:
         estimator = FreeRS(
             body["registers"], register_width=body["register_width"], seed=body["seed"]
         )
-        values = _decode_array(body["values"], np.uint8, estimator.M)
-        for index in np.nonzero(values)[0]:
-            estimator._registers.update(int(index), int(values[index]))
+        _restore_registers(estimator._registers, body["values"], estimator.M)
         estimator._pairs_processed = int(body["pairs_processed"])
     elif kind == "FreeRSBatch":
         estimator = FreeRSBatch(
@@ -155,6 +266,46 @@ def loads(payload: str) -> SerializableEstimator:
         estimator._register_state[:] = values
         estimator._harmonic_sum = float(np.sum(np.exp2(-values.astype(np.float64))))
         estimator._pairs_processed = int(body["pairs_processed"])
+    elif kind == "CSE":
+        estimator = CSE(
+            body["memory_bits"], virtual_size=body["virtual_size"], seed=body["seed"]
+        )
+        _restore_bitarray(estimator._bits, body["words"], body["ones"])
+    elif kind == "vHLL":
+        estimator = VirtualHLL(
+            body["registers"],
+            virtual_size=body["virtual_size"],
+            register_width=body["register_width"],
+            seed=body["seed"],
+        )
+        _restore_registers(estimator._registers, body["values"], estimator.M)
+    elif kind == "LPC":
+        estimator = PerUserLPC(
+            memory_bits=0,
+            expected_users=1,
+            bits_per_user=int(body["bits_per_user"]),
+            seed=int(body["seed"]),
+        )
+        for key_kind, key, words, ones in body["users"]:
+            sketch = LinearProbabilisticCounter(estimator.bits_per_user, seed=estimator.seed)
+            _restore_bitarray(sketch._bits, words, ones)
+            estimator._sketches[_key_from_json(key_kind, key)] = sketch
+    elif kind == "HLL++":
+        estimator = PerUserHLLPP(
+            memory_bits=0,
+            expected_users=1,
+            registers_per_user=int(body["registers_per_user"]),
+            register_width=int(body["register_width"]),
+            seed=int(body["seed"]),
+        )
+        for key_kind, key, state in body["users"]:
+            sketch = HyperLogLogPlusPlus(
+                estimator.registers_per_user,
+                width=estimator.register_width,
+                seed=estimator.seed,
+            )
+            _restore_hllpp(sketch, state)
+            estimator._sketches[_key_from_json(key_kind, key)] = sketch
     else:
         raise ValueError(f"unknown snapshot kind {kind!r}")
 
@@ -162,11 +313,21 @@ def loads(payload: str) -> SerializableEstimator:
     return estimator
 
 
-def save(estimator: SerializableEstimator, path: PathLike) -> None:
+def loads(payload: str):
+    """Restore an estimator previously serialised with :func:`dumps`."""
+    envelope = json.loads(payload)
+    if envelope.get("format") != "freesketch-snapshot":
+        raise ValueError("not a freesketch snapshot payload")
+    if envelope.get("version") not in _ACCEPTED_VERSIONS:
+        raise ValueError(f"unsupported snapshot version {envelope.get('version')!r}")
+    return _load_envelope(envelope)
+
+
+def save(estimator, path: PathLike) -> None:
     """Serialise ``estimator`` to a file."""
     Path(path).write_text(dumps(estimator), encoding="utf-8")
 
 
-def load(path: PathLike) -> SerializableEstimator:
+def load(path: PathLike):
     """Restore an estimator from a file written by :func:`save`."""
     return loads(Path(path).read_text(encoding="utf-8"))

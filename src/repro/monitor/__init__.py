@@ -1,0 +1,60 @@
+"""Real-time windowed monitoring subsystem.
+
+The paper's headline use case is detecting super spreaders in *live*
+traffic; this package adds the missing notion of time to the repository's
+one-shot estimators:
+
+* :mod:`repro.monitor.window` — :class:`WindowedEstimator`, a ring of
+  per-epoch sketches rotated on event-count or arrival-clock boundaries,
+  answering tumbling and sliding window queries;
+* :mod:`repro.monitor.merge` — the sketch-level union merges the sliding
+  queries are built from (exact for CSE/vHLL/LPC/HLL++, additive for
+  FreeBS/FreeRS);
+* :mod:`repro.monitor.spreader` — :class:`SpreaderMonitor`, continuous
+  top-k spreader tracking with hysteresis threshold-crossing alerts;
+* :mod:`repro.monitor.snapshot` — :class:`SnapshotStore`, checkpoint and
+  recovery of the full monitor state (all epochs + detector state);
+* :mod:`repro.monitor.replay` — :func:`replay_feed`, rate-controlled replay
+  of a dataset producing a JSONL feed of window estimates and alerts;
+* :mod:`repro.monitor.config` — :class:`MonitorSpec`, the declarative
+  configuration embedded in every snapshot.
+
+See ``docs/monitoring.md`` for the epoch/window semantics and the snapshot
+format, and the CLI's ``monitor`` subcommand for the turnkey entry point.
+"""
+
+from repro.monitor.config import MonitorSpec
+from repro.monitor.merge import (
+    ADDITIVE,
+    EXACT,
+    fresh_estimates,
+    merge_exactness,
+    merge_into,
+    merged_copy,
+    merged_estimates,
+    refresh_estimates_from_state,
+)
+from repro.monitor.replay import replay_feed
+from repro.monitor.snapshot import SnapshotStore, monitor_from_json, monitor_to_json
+from repro.monitor.spreader import AlertEvent, SpreaderMonitor
+from repro.monitor.window import Epoch, WindowedEstimator
+
+__all__ = [
+    "ADDITIVE",
+    "EXACT",
+    "AlertEvent",
+    "Epoch",
+    "MonitorSpec",
+    "SnapshotStore",
+    "SpreaderMonitor",
+    "WindowedEstimator",
+    "fresh_estimates",
+    "merge_exactness",
+    "merge_into",
+    "merged_copy",
+    "merged_estimates",
+    "monitor_from_json",
+    "monitor_to_json",
+    "refresh_estimates_from_state",
+    "replay_feed",
+]

@@ -1,0 +1,114 @@
+"""Declarative monitor configuration.
+
+A :class:`MonitorSpec` pins down everything needed to (re)build a
+:class:`~repro.monitor.spreader.SpreaderMonitor`: the estimation method and
+its dimensioning (reusing the experiment factory so the monitor and the
+experiments agree on the equal-memory protocol), the epoching mode, the
+window size, and the alerting thresholds.  Because it is a plain dataclass
+with a JSON round-trip, the snapshot store embeds it in every checkpoint and
+can rebuild an identical monitor on restore without any caller-supplied
+factories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict
+
+from repro.core.base import CardinalityEstimator
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.estimators import METHOD_ORDER, build_estimators
+
+
+@dataclass(frozen=True)
+class MonitorSpec:
+    """Everything needed to build (or rebuild) a spreader monitor."""
+
+    #: Estimation method (one of :data:`repro.experiments.estimators.METHOD_ORDER`).
+    method: str = "FreeRS"
+    #: Shared memory budget in bits (split across shards when ``shards > 1``).
+    memory_bits: int = 1 << 18
+    #: Virtual sketch size for CSE / vHLL.
+    virtual_size: int = 128
+    #: Register width in bits for the register-sharing methods.
+    register_width: int = 5
+    #: Master seed; every epoch derives the same hash seeds from it, which is
+    #: what makes the sliding-window merges legal.
+    seed: int = 7
+    #: Expected user population (dimensioning of the per-user baselines).
+    expected_users: int = 1000
+    #: User-partitioned shards per epoch (1 = unsharded).
+    shards: int = 1
+    #: Event-count epoch boundary (mutually exclusive with ``epoch_span``).
+    epoch_pairs: int | None = 4096
+    #: Arrival-clock epoch boundary in clock units.
+    epoch_span: float | None = None
+    #: Ring capacity: epochs retained for sliding queries.
+    window_epochs: int = 8
+    #: Size of the continuous top-k spreader set.
+    top_k: int = 10
+    #: Relative enter threshold (``delta * window total``); mutually
+    #: exclusive with ``threshold``.
+    delta: float | None = 5e-3
+    #: Absolute enter threshold on the windowed estimate.
+    threshold: float | None = None
+    #: Hysteresis fraction between enter and exit thresholds.
+    hysteresis: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.method not in METHOD_ORDER:
+            raise ValueError(f"unknown method {self.method!r}; known: {METHOD_ORDER}")
+
+    # -- factories -------------------------------------------------------------
+
+    def estimator_factory(self):
+        """Per-epoch estimator factory (same configuration for every epoch)."""
+        config = ExperimentConfig(
+            memory_bits=self.memory_bits,
+            virtual_size=self.virtual_size,
+            register_width=self.register_width,
+            seed=self.seed,
+        )
+
+        def factory(_epoch_index: int) -> CardinalityEstimator:
+            built = build_estimators(
+                config,
+                expected_users=self.expected_users,
+                methods=[self.method],
+                shards=self.shards,
+            )
+            return built[self.method]
+
+        return factory
+
+    def build(self):
+        """Build a fresh :class:`~repro.monitor.spreader.SpreaderMonitor`."""
+        from repro.monitor.spreader import SpreaderMonitor
+        from repro.monitor.window import WindowedEstimator
+
+        window = WindowedEstimator(
+            self.estimator_factory(),
+            epoch_pairs=self.epoch_pairs,
+            epoch_span=self.epoch_span,
+            window_epochs=self.window_epochs,
+        )
+        monitor = SpreaderMonitor(
+            window,
+            top_k=self.top_k,
+            threshold=self.threshold,
+            delta=self.delta,
+            hysteresis=self.hysteresis,
+        )
+        monitor.spec = self
+        return monitor
+
+    # -- JSON round-trip -------------------------------------------------------
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-ready dict (embedded in every snapshot)."""
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "MonitorSpec":
+        """Rebuild a spec from :meth:`to_json` output."""
+        return cls(**payload)

@@ -1,0 +1,154 @@
+"""Checkpoint and recovery of full monitor state.
+
+A :class:`SnapshotStore` extends the estimator-level serialization of
+:mod:`repro.core.serialization` to the composed state of a running
+:class:`~repro.monitor.spreader.SpreaderMonitor`: every retained epoch's
+estimator (any of the six methods, sharded or not), the window's rotation
+bookkeeping, and the detector's hysteresis state.  A replay that is killed
+mid-stream restores the latest snapshot and continues exactly where it left
+off: the restored monitor produces the same window estimates and the same
+alert feed as an uninterrupted run (the test-suite asserts this).
+
+Snapshot format: one JSON document per checkpoint, written atomically
+(temp file + rename), named ``snapshot-<pairs_ingested>.json`` so the
+resume offset is visible in a directory listing.  The envelope is versioned
+independently of the estimator envelopes it embeds; see
+``docs/monitoring.md`` for the compatibility rules.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core import serialization
+from repro.monitor.config import MonitorSpec
+from repro.monitor.spreader import SpreaderMonitor
+from repro.monitor.window import Epoch
+
+PathLike = Union[str, Path]
+
+_FORMAT = "freesketch-monitor-snapshot"
+_FORMAT_VERSION = 1
+
+
+def monitor_to_json(monitor: SpreaderMonitor) -> Dict[str, object]:
+    """Serialise a monitor (spec + window + detector state) to a JSON dict."""
+    spec = getattr(monitor, "spec", None)
+    if spec is None:
+        raise ValueError(
+            "monitor has no spec; build it via MonitorSpec.build() so snapshots "
+            "can rebuild it on restore"
+        )
+    window = monitor.window
+    return {
+        "format": _FORMAT,
+        "version": _FORMAT_VERSION,
+        "spec": spec.to_json(),
+        "window": {
+            "epochs_started": window.epochs_started,
+            "pairs_ingested": window.pairs_ingested,
+            "last_timestamp": window.last_timestamp,
+            "epochs": [
+                {
+                    **epoch.summary(),
+                    "estimator": json.loads(serialization.dumps(epoch.estimator)),
+                }
+                for epoch in window.epochs
+            ],
+        },
+        "spreader": monitor.state_to_json(),
+    }
+
+
+def monitor_from_json(payload: Dict[str, object]) -> SpreaderMonitor:
+    """Rebuild a monitor from :func:`monitor_to_json` output."""
+    if payload.get("format") != _FORMAT:
+        raise ValueError("not a monitor snapshot payload")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported monitor snapshot version {payload.get('version')!r}")
+    spec = MonitorSpec.from_json(payload["spec"])
+    monitor = spec.build()
+    window = monitor.window
+    state = payload["window"]
+    ring = []
+    for record in state["epochs"]:
+        epoch = Epoch(
+            index=int(record["epoch"]),
+            estimator=serialization.loads(json.dumps(record["estimator"])),
+            start_time=record["start_time"],
+            end_time=record["end_time"],
+            pairs=int(record["pairs"]),
+            closed=bool(record["closed"]),
+        )
+        ring.append(epoch)
+    window._ring.clear()
+    window._ring.extend(ring)
+    window._epochs_started = int(state["epochs_started"])
+    window._pairs_ingested = int(state["pairs_ingested"])
+    window._last_timestamp = state["last_timestamp"]
+    monitor.state_from_json(payload["spreader"])
+    return monitor
+
+
+class SnapshotStore:
+    """Directory of monitor checkpoints with atomic writes and retention.
+
+    Parameters
+    ----------
+    directory:
+        Where snapshots live; created on first save.
+    keep:
+        How many most-recent snapshots to retain (older ones are deleted on
+        save); ``0`` disables pruning.
+    """
+
+    def __init__(self, directory: PathLike, keep: int = 3) -> None:
+        if keep < 0:
+            raise ValueError("keep must be non-negative")
+        self.directory = Path(directory)
+        self.keep = keep
+
+    def paths(self) -> List[Path]:
+        """Existing snapshot files, oldest first (by resume offset)."""
+        if not self.directory.is_dir():
+            return []
+        files = self.directory.glob("snapshot-*.json")
+        return sorted(files, key=lambda path: self._offset(path))
+
+    @staticmethod
+    def _offset(path: Path) -> int:
+        stem = path.stem  # snapshot-<pairs>
+        try:
+            return int(stem.split("-", 1)[1])
+        except (IndexError, ValueError):
+            return -1
+
+    def latest(self) -> Optional[Path]:
+        """Path of the most recent snapshot, or None when the store is empty."""
+        paths = self.paths()
+        return paths[-1] if paths else None
+
+    def save(self, monitor: SpreaderMonitor) -> Path:
+        """Checkpoint the monitor; return the snapshot path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = monitor_to_json(monitor)
+        path = self.directory / f"snapshot-{monitor.window.pairs_ingested:012d}.json"
+        temp = path.with_suffix(".json.tmp")
+        temp.write_text(json.dumps(payload), encoding="utf-8")
+        os.replace(temp, path)
+        if self.keep:
+            for stale in self.paths()[: -self.keep]:
+                stale.unlink()
+        return path
+
+    def restore(self, path: PathLike | None = None) -> SpreaderMonitor:
+        """Rebuild a monitor from a snapshot (default: the latest one)."""
+        if path is None:
+            path = self.latest()
+            if path is None:
+                raise FileNotFoundError(f"no snapshots in {self.directory}")
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        return monitor_from_json(payload)

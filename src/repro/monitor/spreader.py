@@ -1,0 +1,226 @@
+"""Continuous top-k super-spreader monitoring with hysteresis alerts.
+
+The one-shot detector (:mod:`repro.detection.super_spreader`) answers "who
+is a super spreader *right now*" for a whole-stream estimate.  The monitor
+answers the live-traffic question: after every ingested batch it re-ranks
+the sliding-window estimates, maintains the continuous top-k spreader set,
+and emits *threshold-crossing events* instead of set snapshots — a user
+produces one ``start`` alert when its windowed estimate first reaches the
+enter threshold and one ``end`` alert when it decays below the exit
+threshold, no matter how many batches it stays above.
+
+Flapping is suppressed with hysteresis: the exit threshold is
+``enter * (1 - hysteresis)``, so an estimate oscillating around the enter
+threshold does not generate an alert storm.  The enter threshold is either
+absolute (``threshold``) or relative (``delta``) to the window's total
+estimated cardinality, mirroring the paper's ``Delta * n(t)`` rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.monitor.window import WindowedEstimator
+
+UserItemPair = Tuple[object, object]
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One threshold-crossing of one user's sliding-window estimate."""
+
+    kind: str  #: "start" (crossed the enter threshold) or "end" (decayed below exit)
+    user: object
+    estimate: float
+    threshold: float
+    epoch: int  #: index of the live epoch at evaluation time
+    timestamp: Optional[float]  #: arrival-clock position at evaluation time
+    sequence: int  #: monotonically increasing alert id
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-ready representation (used by the replay feed)."""
+        return {
+            "type": "alert",
+            "kind": self.kind,
+            "user": self.user if isinstance(self.user, (int, str)) else str(self.user),
+            "estimate": round(self.estimate, 3),
+            "threshold": round(self.threshold, 3),
+            "epoch": self.epoch,
+            "timestamp": self.timestamp,
+            "sequence": self.sequence,
+        }
+
+
+class SpreaderMonitor:
+    """Continuous spreader detection over a :class:`WindowedEstimator`.
+
+    Parameters
+    ----------
+    window:
+        The windowed estimator that owns the epoch ring.
+    top_k:
+        Size of the continuously maintained top-k spreader set.
+    threshold:
+        Absolute enter threshold on the windowed estimate.  Mutually
+        exclusive with ``delta``.
+    delta:
+        Relative enter threshold: ``delta * n(t)`` where ``n(t)`` is the sum
+        of the window's per-user estimates (the paper's rule with the window
+        total standing in for the stream total).
+    hysteresis:
+        Fraction by which the exit threshold sits below the enter threshold
+        (0 <= hysteresis < 1); 0 disables the band.
+    """
+
+    def __init__(
+        self,
+        window: WindowedEstimator,
+        top_k: int = 10,
+        threshold: float | None = None,
+        delta: float | None = None,
+        hysteresis: float = 0.2,
+    ) -> None:
+        if (threshold is None) == (delta is None):
+            raise ValueError("set exactly one of threshold or delta")
+        if threshold is not None and threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if delta is not None and not 0 < delta < 1:
+            raise ValueError("delta must be in (0, 1)")
+        if not 0 <= hysteresis < 1:
+            raise ValueError("hysteresis must be in [0, 1)")
+        if top_k <= 0:
+            raise ValueError("top_k must be positive")
+        self.window = window
+        self.top_k = top_k
+        self.threshold = threshold
+        self.delta = delta
+        self.hysteresis = hysteresis
+        self._active: Dict[object, bool] = {}
+        self._sequence = 0
+        self._last_enter_threshold = 0.0
+        self._top: List[Tuple[object, float]] = []
+        self._last_window_estimates: Optional[Dict[object, float]] = None
+
+    # -- ingestion + evaluation ------------------------------------------------
+
+    def observe(
+        self,
+        pairs: Sequence[UserItemPair],
+        timestamps: Sequence[float] | None = None,
+    ) -> List[AlertEvent]:
+        """Ingest one batch, re-evaluate the window, return new alert events."""
+        self.window.ingest(pairs, timestamps)
+        return self.evaluate()
+
+    def evaluate(self) -> List[AlertEvent]:
+        """Re-rank the sliding window and emit threshold-crossing events."""
+        estimates = self.window.window_estimates()
+        # Cache for same-state readers (e.g. the replay feed's window
+        # records): the sliding merge deep-copies a sketch, so recomputing
+        # it per reader would double the dominant per-batch cost.
+        self._last_window_estimates = estimates
+        enter = self._enter_threshold(estimates)
+        exit_threshold = enter * (1.0 - self.hysteresis)
+        epoch = self.window.live_epoch.index
+        timestamp = self.window.last_timestamp
+        alerts: List[AlertEvent] = []
+        for user, estimate in estimates.items():
+            if estimate >= enter and user not in self._active:
+                self._active[user] = True
+                alerts.append(self._emit("start", user, estimate, enter, epoch, timestamp))
+        for user in [user for user in self._active if estimates.get(user, 0.0) < exit_threshold]:
+            del self._active[user]
+            alerts.append(
+                self._emit(
+                    "end", user, estimates.get(user, 0.0), exit_threshold, epoch, timestamp
+                )
+            )
+        ranked = sorted(estimates.items(), key=lambda pair: pair[1], reverse=True)
+        self._top = ranked[: self.top_k]
+        self._last_enter_threshold = enter
+        return alerts
+
+    def _enter_threshold(self, estimates: Dict[object, float]) -> float:
+        if self.threshold is not None:
+            return self.threshold
+        total = float(sum(estimates.values()))
+        return self.delta * total
+
+    def _emit(
+        self,
+        kind: str,
+        user: object,
+        estimate: float,
+        threshold: float,
+        epoch: int,
+        timestamp: Optional[float],
+    ) -> AlertEvent:
+        event = AlertEvent(
+            kind=kind,
+            user=user,
+            estimate=float(estimate),
+            threshold=float(threshold),
+            epoch=epoch,
+            timestamp=timestamp,
+            sequence=self._sequence,
+        )
+        self._sequence += 1
+        return event
+
+    # -- continuous state ------------------------------------------------------
+
+    @property
+    def active_spreaders(self) -> List[object]:
+        """Users currently inside the alert band (start emitted, no end yet)."""
+        return list(self._active)
+
+    @property
+    def current_top(self) -> List[Tuple[object, float]]:
+        """The continuously maintained top-k (user, estimate) ranking."""
+        return list(self._top)
+
+    @property
+    def last_enter_threshold(self) -> float:
+        """The enter threshold used by the most recent evaluation."""
+        return self._last_enter_threshold
+
+    def last_window_estimates(self) -> Dict[object, float]:
+        """The sliding-window estimates from the most recent evaluation.
+
+        Falls back to a fresh merge when nothing was ingested since the
+        monitor was built or restored.
+        """
+        if self._last_window_estimates is None:
+            self._last_window_estimates = self.window.window_estimates()
+        return self._last_window_estimates
+
+    @property
+    def alerts_emitted(self) -> int:
+        """Total number of alert events emitted so far."""
+        return self._sequence
+
+    # -- snapshot plumbing -----------------------------------------------------
+
+    def state_to_json(self) -> Dict[str, object]:
+        """Detector state for :mod:`repro.monitor.snapshot` (keys tagged)."""
+        from repro.core.serialization import _estimates_to_json, _key_to_json
+
+        return {
+            "active": [_key_to_json(user) for user in self._active],
+            "sequence": self._sequence,
+            "last_enter_threshold": self._last_enter_threshold,
+            "top": _estimates_to_json(dict(self._top)),
+        }
+
+    def state_from_json(self, state: Dict[str, object]) -> None:
+        """Restore detector state written by :meth:`state_to_json`."""
+        from repro.core.serialization import _estimates_from_json, _key_from_json
+
+        self._active = {_key_from_json(kind, key): True for kind, key in state["active"]}
+        self._sequence = int(state["sequence"])
+        self._last_enter_threshold = float(state["last_enter_threshold"])
+        restored = _estimates_from_json(state["top"])
+        self._top = sorted(restored.items(), key=lambda pair: pair[1], reverse=True)[
+            : self.top_k
+        ]

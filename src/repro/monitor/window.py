@@ -1,0 +1,292 @@
+"""Epoch-rotating windowed estimation over unbounded streams.
+
+A :class:`WindowedEstimator` owns a ring of per-epoch estimator instances,
+all built by the same factory (same method, dimensioning and seed).  The
+live epoch absorbs arriving pairs; when the epoch boundary is crossed — a
+fixed number of pairs (``epoch_pairs``) or a fixed span of the arrival clock
+(``epoch_span``) — the epoch is closed and a fresh estimator starts the next
+one.  The ring keeps the most recent ``window_epochs`` epochs, so the
+estimator answers two query shapes over an unbounded stream with bounded
+memory:
+
+* **tumbling** — one epoch's estimates, exactly what a fresh estimator fed
+  only that epoch's pairs reports (each epoch *is* such an estimator);
+* **sliding** — the union of the last ``k`` epochs, combined with the
+  sketch-level merges of :mod:`repro.monitor.merge` (exact for the
+  mergeable methods, additive for FreeBS/FreeRS — see there).
+
+Timestamps are optional everywhere: when none are supplied the arrival
+clock is the monotonic event index, which makes ``epoch_span=n`` equivalent
+to ``epoch_pairs=n`` on a gap-free stream.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.base import CardinalityEstimator
+from repro.engine.base import supports_batch
+from repro.monitor.merge import merge_exactness, merged_copy, merged_estimates
+
+UserItemPair = Tuple[object, object]
+
+EstimatorFactory = Callable[[int], CardinalityEstimator]
+
+
+@dataclass
+class Epoch:
+    """One epoch of the ring: a fresh estimator plus its slice's metadata."""
+
+    index: int
+    estimator: CardinalityEstimator
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    pairs: int = 0
+    closed: bool = False
+
+    def estimates(self) -> Dict[object, float]:
+        """The epoch's per-user estimates (a tumbling-window query)."""
+        return self.estimator.estimates()
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-ready metadata of the epoch (no estimates)."""
+        return {
+            "epoch": self.index,
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+            "pairs": self.pairs,
+            "closed": self.closed,
+        }
+
+
+class WindowedEstimator:
+    """Ring of per-epoch sketches answering tumbling and sliding queries.
+
+    Parameters
+    ----------
+    factory:
+        Builds the estimator of epoch ``i`` (called with ``i``).  Every call
+        must produce the same configuration and seed, otherwise the sliding
+        merges are refused.
+    epoch_pairs:
+        Close the live epoch after exactly this many pairs (event-count
+        rotation).  Mutually exclusive with ``epoch_span``.
+    epoch_span:
+        Close the live epoch when a pair arrives at or past
+        ``epoch_start + epoch_span`` on the arrival clock (timestamp
+        rotation on a grid anchored at the first pair's timestamp).  Gaps
+        longer than one span emit empty epochs, so a silent stream ages out
+        of the sliding window like it should.
+    window_epochs:
+        Ring capacity: how many epochs (including the live one) are kept for
+        sliding queries.
+    """
+
+    def __init__(
+        self,
+        factory: EstimatorFactory,
+        epoch_pairs: int | None = None,
+        epoch_span: float | None = None,
+        window_epochs: int = 8,
+    ) -> None:
+        if (epoch_pairs is None) == (epoch_span is None):
+            raise ValueError("set exactly one of epoch_pairs or epoch_span")
+        if epoch_pairs is not None and epoch_pairs <= 0:
+            raise ValueError("epoch_pairs must be positive")
+        if epoch_span is not None and epoch_span <= 0:
+            raise ValueError("epoch_span must be positive")
+        if window_epochs <= 0:
+            raise ValueError("window_epochs must be positive")
+        self._factory = factory
+        self.epoch_pairs = epoch_pairs
+        self.epoch_span = epoch_span
+        self.window_epochs = window_epochs
+        self._ring: Deque[Epoch] = deque(maxlen=window_epochs)
+        self._epochs_started = 0
+        self._pairs_ingested = 0
+        self._last_timestamp: Optional[float] = None
+        self._ring.append(self._new_epoch())
+
+    # -- construction helpers --------------------------------------------------
+
+    def _new_epoch(self) -> Epoch:
+        epoch = Epoch(index=self._epochs_started, estimator=self._factory(self._epochs_started))
+        self._epochs_started += 1
+        return epoch
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def epochs(self) -> List[Epoch]:
+        """The retained epochs, oldest first; the last one is live."""
+        return list(self._ring)
+
+    @property
+    def live_epoch(self) -> Epoch:
+        """The epoch currently absorbing pairs."""
+        return self._ring[-1]
+
+    @property
+    def epochs_started(self) -> int:
+        """Total number of epochs ever started (>= len(ring))."""
+        return self._epochs_started
+
+    @property
+    def pairs_ingested(self) -> int:
+        """Total pairs ingested over the stream's lifetime."""
+        return self._pairs_ingested
+
+    @property
+    def last_timestamp(self) -> Optional[float]:
+        """Arrival-clock position of the most recent pair."""
+        return self._last_timestamp
+
+    def window_exactness(self) -> str:
+        """Merge guarantee of sliding queries ("exact" or "additive")."""
+        return merge_exactness(self._ring[-1].estimator)
+
+    # -- ingestion -------------------------------------------------------------
+
+    def ingest(
+        self,
+        pairs: Sequence[UserItemPair],
+        timestamps: Sequence[float] | None = None,
+    ) -> List[Epoch]:
+        """Absorb a batch of pairs; return the epochs closed along the way.
+
+        ``timestamps`` must be non-decreasing and not precede previously
+        ingested pairs; when omitted, the monotonic event index is used.
+        """
+        pairs = list(pairs)
+        if timestamps is None:
+            base = self._pairs_ingested
+            timestamps = [float(base + offset) for offset in range(len(pairs))]
+        else:
+            timestamps = [float(value) for value in timestamps]
+            if len(timestamps) != len(pairs):
+                raise ValueError("timestamps must have one entry per pair")
+            previous = self._last_timestamp
+            for value in timestamps:
+                if previous is not None and value < previous:
+                    raise ValueError(
+                        "timestamps must be non-decreasing across the stream "
+                        f"(got {value} after {previous})"
+                    )
+                previous = value
+        if not pairs:
+            return []
+        if self.epoch_span is not None and self._ring[-1].start_time is None:
+            # Anchor the epoch grid at the stream's first timestamp.
+            self._ring[-1].start_time = timestamps[0]
+        closed: List[Epoch] = []
+        position = 0
+        while position < len(pairs):
+            take = self._pairs_until_rotation(timestamps, position)
+            if take == 0:
+                closed.extend(self._rotate(timestamps[position]))
+                continue
+            self._feed(
+                pairs[position : position + take],
+                timestamps[position : position + take],
+            )
+            position += take
+        return closed
+
+    def _pairs_until_rotation(self, timestamps: Sequence[float], position: int) -> int:
+        """How many pairs from ``position`` still fit in the live epoch."""
+        live = self._ring[-1]
+        remaining = len(timestamps) - position
+        if self.epoch_pairs is not None:
+            return min(remaining, self.epoch_pairs - live.pairs)
+        boundary = live.start_time + self.epoch_span
+        return bisect_left(timestamps, boundary, position) - position
+
+    def _feed(self, chunk: Sequence[UserItemPair], chunk_times: Sequence[float]) -> None:
+        live = self._ring[-1]
+        if live.start_time is None:
+            live.start_time = chunk_times[0]
+        estimator = live.estimator
+        if supports_batch(estimator):
+            estimator.update_batch(list(chunk))
+        else:
+            for user, item in chunk:
+                estimator.update(user, item)
+        live.pairs += len(chunk)
+        live.end_time = chunk_times[-1]
+        self._pairs_ingested += len(chunk)
+        self._last_timestamp = chunk_times[-1]
+
+    def _rotate(self, next_timestamp: float) -> List[Epoch]:
+        """Close the live epoch (plus any empty grid epochs) and start a new one."""
+        closed: List[Epoch] = []
+        live = self._ring[-1]
+        live.closed = True
+        if self.epoch_span is None:
+            closed.append(live)
+            self._ring.append(self._new_epoch())
+            return closed
+        live.end_time = live.start_time + self.epoch_span
+        closed.append(live)
+        # Grid cell immediately after the closed epoch, then the number of
+        # *fully empty* cells before the cell containing next_timestamp.
+        next_start = live.end_time
+        cells_behind = max(0, int(math.floor((next_timestamp - next_start) / self.epoch_span)))
+        # Materialise at most a window's worth of empty epochs: anything older
+        # would be evicted from the ring immediately anyway.
+        emit = min(cells_behind, self.window_epochs)
+        first_empty_start = next_start + (cells_behind - emit) * self.epoch_span
+        for cell in range(emit):
+            empty = self._new_epoch()
+            empty.start_time = first_empty_start + cell * self.epoch_span
+            empty.end_time = empty.start_time + self.epoch_span
+            empty.closed = True
+            closed.append(empty)
+            self._ring.append(empty)
+        fresh = self._new_epoch()
+        fresh.start_time = next_start + cells_behind * self.epoch_span
+        self._ring.append(fresh)
+        return closed
+
+    # -- queries ---------------------------------------------------------------
+
+    def epoch_estimates(self, position: int = -1) -> Dict[object, float]:
+        """Tumbling-window query: the estimates of one retained epoch.
+
+        ``position`` indexes the ring (default -1, the live epoch).
+        """
+        return self._ring[position].estimates()
+
+    def window_estimates(self, last: int | None = None) -> Dict[object, float]:
+        """Sliding-window query: merged estimates of the last ``last`` epochs.
+
+        Defaults to the whole ring (up to ``window_epochs`` epochs, live
+        included).  See :mod:`repro.monitor.merge` for the exactness contract
+        per method.
+        """
+        return merged_estimates([epoch.estimator for epoch in self._window_slice(last)])
+
+    def window_merged(self, last: int | None = None) -> CardinalityEstimator:
+        """Return a merged estimator copy over the last ``last`` epochs."""
+        return merged_copy([epoch.estimator for epoch in self._window_slice(last)])
+
+    def _window_slice(self, last: int | None) -> List[Epoch]:
+        if last is None:
+            last = self.window_epochs
+        if last <= 0:
+            raise ValueError("last must be positive")
+        return list(self._ring)[-last:]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = (
+            f"epoch_pairs={self.epoch_pairs}"
+            if self.epoch_pairs is not None
+            else f"epoch_span={self.epoch_span}"
+        )
+        return (
+            f"WindowedEstimator({mode}, window={self.window_epochs}, "
+            f"epochs={self._epochs_started}, pairs={self._pairs_ingested})"
+        )

@@ -15,9 +15,10 @@ provides
 
 from repro.streams.edge import Edge
 from repro.streams.stream import GraphStream, materialize
-from repro.streams.io import read_edge_file, write_edge_file
+from repro.streams.io import iter_timed_edge_file, read_edge_file, write_edge_file
 from repro.streams.generators import (
     StreamSpec,
+    assign_timestamps,
     interleaved_stream,
     uniform_bipartite_stream,
     zipf_bipartite_stream,
@@ -31,7 +32,9 @@ __all__ = [
     "materialize",
     "read_edge_file",
     "write_edge_file",
+    "iter_timed_edge_file",
     "StreamSpec",
+    "assign_timestamps",
     "zipf_cardinalities",
     "zipf_bipartite_stream",
     "uniform_bipartite_stream",

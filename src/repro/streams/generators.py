@@ -62,6 +62,31 @@ def zipf_cardinalities(
     return np.clip(samples.astype(np.int64), min_cardinality, max_cardinality)
 
 
+def assign_timestamps(
+    pairs: Sequence[Tuple[object, object]],
+    rate: float | None = None,
+    start: float = 0.0,
+    seed: int = 0,
+) -> List[float]:
+    """Assign one arrival timestamp per pair.
+
+    With ``rate=None`` (the default) timestamps are the monotonic event index
+    offset by ``start`` — the convention every timestamp-less dataset uses, so
+    event-count and time-based epoching coincide.  With a positive ``rate``
+    the arrivals follow a Poisson process of that many pairs per second
+    (i.i.d. exponential gaps), which is the realistic shape for replaying a
+    dataset "at R pairs/sec" through the monitoring subsystem.
+    """
+    count = len(pairs)
+    if rate is None:
+        return [start + float(index) for index in range(count)]
+    if rate <= 0:
+        raise ValueError("rate must be positive (or None for event-index timestamps)")
+    rng = np.random.default_rng(seed ^ 0x71ED)
+    gaps = rng.exponential(scale=1.0 / rate, size=count)
+    return (start + np.cumsum(gaps)).tolist()
+
+
 def _pairs_for_cardinalities(
     cardinalities: Sequence[int],
     duplicate_factor: float,

@@ -5,17 +5,40 @@ line, ``user<sep>item``, with ``#``-prefixed comment lines ignored.  This is
 the format of the SNAP / KONECT edge lists the paper's social-graph datasets
 ship in, so a user of this library can drop in the real Twitter / Flickr /
 Orkut / LiveJournal files if they have them.
+
+An optional third column carries the edge's arrival timestamp (a float),
+which the continuous-monitoring subsystem uses for time-based epoching.
+Files without the column keep working everywhere: readers fall back to the
+monotonic event index, matching :meth:`repro.streams.GraphStream.timestamps`.
+Because real edge dumps sometimes carry *other* third columns (weights,
+labels), :func:`read_edge_file` only attaches an explicit arrival clock
+when every line has a numeric third field and the sequence is
+non-decreasing — the property actual timestamps have and weights almost
+never do; anything else is ignored, preserving the historical "extra
+fields are ignored" behaviour.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, Iterator, Tuple, Union
+from typing import Iterable, Iterator, Sequence, Tuple, Union
 
 from repro.streams.stream import GraphStream
 
 UserItemPair = Tuple[object, object]
+TimedPair = Tuple[object, object, float]
 PathLike = Union[str, Path]
+
+
+def _parse_endpoints(user_raw: str, item_raw: str, as_int: bool) -> UserItemPair:
+    # Both endpoints parse as integers or neither does, preserving the
+    # historical "homogeneous line" behaviour of this reader.
+    if as_int:
+        try:
+            return int(user_raw), int(item_raw)
+        except ValueError:
+            pass
+    return user_raw, item_raw
 
 
 def iter_edge_file(
@@ -35,6 +58,16 @@ def iter_edge_file(
         Parse endpoints as integers when possible (the common case for the
         public social-graph dumps); otherwise keep them as strings.
     """
+    for user, item, _ in iter_timed_edge_file(path, separator=separator, as_int=as_int):
+        yield user, item
+
+
+def _iter_rows(
+    path: PathLike,
+    separator: str | None,
+    as_int: bool,
+) -> Iterator[tuple]:
+    """Yield ``(user, item, timestamp_or_None)`` rows; None = no numeric third field."""
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             stripped = line.strip()
@@ -45,14 +78,30 @@ def iter_edge_file(
                 raise ValueError(
                     f"{path}:{line_number}: expected at least two fields, got {stripped!r}"
                 )
-            user_raw, item_raw = fields[0], fields[1]
-            if as_int:
+            timestamp = None
+            if len(fields) >= 3:
                 try:
-                    yield int(user_raw), int(item_raw)
-                    continue
+                    timestamp = float(fields[2])
                 except ValueError:
                     pass
-            yield user_raw, item_raw
+            user, item = _parse_endpoints(fields[0], fields[1], as_int)
+            yield user, item, timestamp
+
+
+def iter_timed_edge_file(
+    path: PathLike,
+    separator: str | None = None,
+    as_int: bool = True,
+) -> Iterator[TimedPair]:
+    """Yield (user, item, timestamp) triples from an edge-list file.
+
+    The timestamp is the line's third field when present and numeric, and the
+    zero-based event index otherwise (non-numeric third fields are treated as
+    unrelated extra columns and ignored), so timestamp-less files replay with
+    the default monotonic clock.
+    """
+    for index, (user, item, timestamp) in enumerate(_iter_rows(path, separator, as_int)):
+        yield user, item, float(index) if timestamp is None else timestamp
 
 
 def read_edge_file(
@@ -61,9 +110,29 @@ def read_edge_file(
     as_int: bool = True,
     name: str | None = None,
 ) -> GraphStream:
-    """Read an edge-list file into a replayable :class:`GraphStream`."""
-    pairs = list(iter_edge_file(path, separator=separator, as_int=as_int))
-    return GraphStream(pairs, name=name or Path(path).stem)
+    """Read an edge-list file into a replayable :class:`GraphStream`.
+
+    When the file carries a timestamp column — a numeric, non-decreasing
+    third field on every line — the timestamps are attached to the stream
+    (``stream.has_timestamps``).  Two-column files, and files whose third
+    column is some other attribute (a weight, a label), produce a plain
+    stream whose :meth:`~GraphStream.timestamps` default to the event index.
+    """
+    pairs = []
+    timestamps = []
+    attach = True
+    previous = None
+    for user, item, timestamp in _iter_rows(path, separator, as_int):
+        pairs.append((user, item))
+        if timestamp is None or (previous is not None and timestamp < previous):
+            attach = False
+        previous = timestamp
+        timestamps.append(timestamp)
+    return GraphStream(
+        pairs,
+        name=name or Path(path).stem,
+        timestamps=timestamps if attach and timestamps else None,
+    )
 
 
 def write_edge_file(
@@ -71,14 +140,31 @@ def write_edge_file(
     pairs: Iterable[UserItemPair],
     separator: str = "\t",
     header: str | None = None,
+    timestamps: Sequence[float] | None = None,
 ) -> int:
-    """Write (user, item) pairs to an edge-list file; return the edge count."""
+    """Write (user, item) pairs to an edge-list file; return the edge count.
+
+    With ``timestamps`` (one per pair, or a timestamped
+    :class:`GraphStream`'s :meth:`~GraphStream.timestamps`), a third column is
+    written so the arrival clock survives the file round-trip.
+    """
+    if timestamps is None and isinstance(pairs, GraphStream) and pairs.has_timestamps:
+        timestamps = pairs.timestamps()
     count = 0
     with open(path, "w", encoding="utf-8") as handle:
         if header:
             for line in header.splitlines():
                 handle.write(f"# {line}\n")
-        for user, item in pairs:
-            handle.write(f"{user}{separator}{item}\n")
-            count += 1
+        if timestamps is None:
+            for user, item in pairs:
+                handle.write(f"{user}{separator}{item}\n")
+                count += 1
+        else:
+            timestamps = [float(value) for value in timestamps]
+            # strict zip: a length mismatch in either direction is an error,
+            # never a silent truncation.  repr() keeps full float precision
+            # (Unix-epoch timestamps need more than %g's 6 digits).
+            for (user, item), timestamp in zip(pairs, timestamps, strict=True):
+                handle.write(f"{user}{separator}{item}{separator}{timestamp!r}\n")
+                count += 1
     return count

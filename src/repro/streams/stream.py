@@ -10,9 +10,10 @@ cardinalities, total cardinality) computed on demand and cached.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 UserItemPair = Tuple[object, object]
+TimedPair = Tuple[object, object, float]
 
 
 def materialize(pairs: Iterable[UserItemPair]) -> List[UserItemPair]:
@@ -27,6 +28,7 @@ class GraphStream:
         self,
         source: Callable[[], Iterable[UserItemPair]] | List[UserItemPair],
         name: str = "stream",
+        timestamps: Optional[Sequence[float]] = None,
     ) -> None:
         if callable(source):
             self._factory: Callable[[], Iterable[UserItemPair]] = source
@@ -36,6 +38,12 @@ class GraphStream:
             self._pairs = pairs
             self._factory = lambda: pairs
         self.name = name
+        self._timestamps: Optional[List[float]] = (
+            None if timestamps is None else [float(value) for value in timestamps]
+        )
+        if self._timestamps is not None and self._pairs is not None:
+            if len(self._timestamps) != len(self._pairs):
+                raise ValueError("timestamps must have one entry per pair")
         self._stats: Optional[Dict[str, object]] = None
 
     # -- construction helpers -------------------------------------------------
@@ -63,7 +71,40 @@ class GraphStream:
 
     def prefix(self, length: int) -> "GraphStream":
         """Return a new stream containing only the first ``length`` pairs."""
-        return GraphStream(self.pairs()[:length], name=f"{self.name}[:{length}]")
+        timestamps = None if self._timestamps is None else self._timestamps[:length]
+        return GraphStream(
+            self.pairs()[:length], name=f"{self.name}[:{length}]", timestamps=timestamps
+        )
+
+    # -- timestamps ------------------------------------------------------------
+
+    @property
+    def has_timestamps(self) -> bool:
+        """True when explicit arrival timestamps were attached to this stream."""
+        return self._timestamps is not None
+
+    def timestamps(self) -> List[float]:
+        """Arrival timestamps, one per pair.
+
+        Defaults to the monotonic event index (0, 1, 2, ...) when no explicit
+        timestamps were attached, so every existing dataset works unchanged
+        with time-based consumers such as the monitoring subsystem.
+        """
+        if self._timestamps is not None:
+            if len(self._timestamps) != len(self.pairs()):
+                raise ValueError("timestamps must have one entry per pair")
+            return list(self._timestamps)
+        return [float(index) for index in range(len(self.pairs()))]
+
+    def with_timestamps(self, timestamps: Sequence[float]) -> "GraphStream":
+        """Return a copy of this stream with explicit arrival timestamps."""
+        return GraphStream(self.pairs(), name=self.name, timestamps=timestamps)
+
+    def iter_timed(self) -> Iterator[TimedPair]:
+        """Iterate ``(user, item, timestamp)`` triples."""
+        return iter(
+            [(user, item, ts) for (user, item), ts in zip(self.pairs(), self.timestamps())]
+        )
 
     def to_int_arrays(self):
         """Return the stream as two numpy arrays ``(users, items)``.

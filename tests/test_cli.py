@@ -66,3 +66,99 @@ class TestCommands:
         write_edge_file(path, [(1, 2)])
         with pytest.raises(SystemExit):
             main(["estimate", str(path), "--method", "NotAMethod"])
+
+
+class TestMonitorCommand:
+    def _dataset(self, tmp_path):
+        path = tmp_path / "chicago.tsv"
+        assert main(["generate-dataset", "chicago", str(path), "--scale", "0.02"]) == 0
+        return path
+
+    def test_monitor_emits_windows_and_alerts(self, tmp_path, capsys):
+        import json
+
+        path = self._dataset(tmp_path)
+        capsys.readouterr()
+        feed_path = tmp_path / "feed.jsonl"
+        assert (
+            main(
+                [
+                    "monitor",
+                    str(path),
+                    "--method",
+                    "FreeRS",
+                    "--memory-bits",
+                    str(1 << 15),
+                    "--epoch-pairs",
+                    "500",
+                    "--window",
+                    "3",
+                    "--out",
+                    str(feed_path),
+                ]
+            )
+            == 0
+        )
+        lines = [json.loads(line) for line in feed_path.read_text().splitlines()]
+        kinds = {record["type"] for record in lines}
+        assert {"window", "alert", "summary"} <= kinds
+        stdout_lines = capsys.readouterr().out.strip().splitlines()
+        assert len(stdout_lines) == len(lines)
+
+    def test_monitor_snapshot_and_resume(self, tmp_path, capsys):
+        path = self._dataset(tmp_path)
+        snapshot_dir = tmp_path / "snaps"
+        args = [
+            "monitor",
+            str(path),
+            "--epoch-pairs",
+            "400",
+            "--memory-bits",
+            str(1 << 14),
+            "--snapshot-dir",
+            str(snapshot_dir),
+            "--snapshot-every",
+            "2",
+        ]
+        assert main(args) == 0
+        assert list(snapshot_dir.glob("snapshot-*.json"))
+        capsys.readouterr()
+        assert main(args + ["--resume"]) == 0
+        output = capsys.readouterr().out
+        assert "# resumed from" in output
+
+    def test_monitor_requires_one_epoch_mode(self, tmp_path):
+        path = self._dataset(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["monitor", str(path)])
+        with pytest.raises(SystemExit):
+            main(["monitor", str(path), "--epoch-pairs", "10", "--epoch-span", "5"])
+
+    def test_monitor_absolute_threshold_flag(self, tmp_path, capsys):
+        import json
+
+        path = self._dataset(tmp_path)
+        capsys.readouterr()
+        assert (
+            main(["monitor", str(path), "--epoch-pairs", "500", "--threshold", "8"]) == 0
+        )
+        records = [
+            json.loads(line) for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        windows = [record for record in records if record["type"] == "window"]
+        assert windows and all(record["enter_threshold"] == 8.0 for record in windows)
+        with pytest.raises(SystemExit):
+            main(["monitor", str(path), "--epoch-pairs", "500",
+                  "--threshold", "8", "--delta", "0.01"])
+
+    def test_monitor_epoch_span_uses_event_index_clock(self, tmp_path, capsys):
+        import json
+
+        path = self._dataset(tmp_path)
+        capsys.readouterr()
+        assert main(["monitor", str(path), "--epoch-span", "600", "--window", "2"]) == 0
+        records = [
+            json.loads(line) for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        windows = [record for record in records if record["type"] == "window"]
+        assert windows and windows[0]["end_time"] == 600.0

@@ -1,0 +1,158 @@
+"""Tests for monitor checkpoint / recovery and the replay feed.
+
+The acceptance property: a replay killed mid-stream and restored from the
+latest snapshot produces exactly the same window estimates and the same
+alert feed as an uninterrupted run — for every method, sharded or not.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.monitor import MonitorSpec, SnapshotStore, monitor_to_json, replay_feed
+from repro.streams import zipf_bipartite_stream
+
+METHODS = ["FreeBS", "FreeRS", "CSE", "vHLL", "LPC", "HLL++"]
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return zipf_bipartite_stream(
+        n_users=100, n_pairs=6_000, max_cardinality=600, duplicate_factor=0.3, seed=21
+    )
+
+
+def _spec(method, shards=1):
+    return MonitorSpec(
+        method=method,
+        memory_bits=1 << 15,
+        virtual_size=64,
+        expected_users=100,
+        shards=shards,
+        epoch_pairs=1_500,
+        window_epochs=3,
+        delta=5e-3,
+    )
+
+
+def _run(monitor, pairs, **kwargs):
+    return list(replay_feed(monitor, pairs, batch_size=700, **kwargs))
+
+
+class TestKillRestore:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_restored_monitor_continues_identically(self, stream, method, tmp_path):
+        spec = _spec(method)
+        store = SnapshotStore(tmp_path / method)
+        # Kill on a batch boundary — the only place the replay driver ever
+        # snapshots — so the resumed run's evaluation points line up with the
+        # uninterrupted reference run.
+        half = 2_800  # 4 batches of 700
+
+        # Uninterrupted reference run.
+        reference = spec.build()
+        reference_records = _run(reference, stream)
+
+        # Killed run: first half, snapshot, restore, second half.
+        killed = spec.build()
+        _run(killed, stream[:half], snapshot_store=store)
+        restored = store.restore()
+        assert restored.window.pairs_ingested == killed.window.pairs_ingested
+        resumed_records = _run(restored, stream, skip_pairs=restored.window.pairs_ingested)
+
+        assert restored.window.pairs_ingested == len(stream)
+        assert restored.window.window_estimates() == reference.window.window_estimates()
+        reference_alerts = [r for r in reference_records if r["type"] == "alert"]
+        resumed_alerts = [r for r in resumed_records if r["type"] == "alert"]
+        # The resumed feed replays only the second half; its alerts must be
+        # exactly the reference alerts emitted after the snapshot point.
+        after_snapshot = [
+            record for record in reference_alerts if record["timestamp"] >= half
+        ]
+        assert resumed_alerts == after_snapshot
+        assert sorted(restored.active_spreaders, key=str) == sorted(
+            reference.active_spreaders, key=str
+        )
+        assert restored.current_top == reference.current_top
+
+    def test_sharded_monitor_round_trips(self, stream, tmp_path):
+        spec = _spec("FreeRS", shards=3)
+        store = SnapshotStore(tmp_path)
+        monitor = spec.build()
+        _run(monitor, stream[:3_000], snapshot_store=store)
+        restored = store.restore()
+        assert restored.window.window_estimates() == monitor.window.window_estimates()
+        # Both continue identically.
+        tail = stream[3_000:]
+        monitor.observe(tail)
+        restored.observe(tail)
+        assert restored.window.window_estimates() == monitor.window.window_estimates()
+
+
+class TestStore:
+    def test_retention_keeps_newest(self, stream, tmp_path):
+        store = SnapshotStore(tmp_path, keep=2)
+        monitor = _spec("FreeBS").build()
+        for start in range(0, 5_000, 1_000):
+            monitor.observe(stream[start : start + 1_000])
+            store.save(monitor)
+        paths = store.paths()
+        assert len(paths) == 2
+        assert store.latest() == paths[-1]
+        assert store._offset(paths[-1]) == 5_000
+
+    def test_restore_empty_store_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            SnapshotStore(tmp_path / "nothing").restore()
+
+    def test_snapshot_payload_is_versioned_json(self, stream, tmp_path):
+        monitor = _spec("vHLL").build()
+        monitor.observe(stream[:2_000])
+        payload = monitor_to_json(monitor)
+        assert payload["format"] == "freesketch-monitor-snapshot"
+        assert payload["version"] == 1
+        assert payload["spec"]["method"] == "vHLL"
+        # Round-trips through plain JSON text.
+        text = json.dumps(payload)
+        assert json.loads(text) == payload
+
+    def test_monitor_without_spec_is_rejected(self, stream):
+        from repro.baselines import PerUserLPC
+        from repro.monitor import SpreaderMonitor, WindowedEstimator
+
+        window = WindowedEstimator(
+            lambda _k: PerUserLPC(1 << 12, expected_users=10, seed=1),
+            epoch_pairs=100,
+            window_epochs=2,
+        )
+        monitor = SpreaderMonitor(window, threshold=10.0)
+        with pytest.raises(ValueError):
+            monitor_to_json(monitor)
+
+
+class TestReplayFeed:
+    def test_feed_shape_and_counts(self, stream):
+        monitor = _spec("FreeRS").build()
+        records = _run(monitor, stream)
+        kinds = {record["type"] for record in records}
+        assert {"window", "alert", "summary"} <= kinds
+        summary = records[-1]
+        assert summary["type"] == "summary"
+        assert summary["pairs_ingested"] == len(stream)
+        assert summary["alerts_emitted"] == sum(
+            1 for record in records if record["type"] == "alert"
+        )
+        window_records = [record for record in records if record["type"] == "window"]
+        assert all("sliding_top" in record for record in window_records)
+        assert all(record["exactness"] == "additive" for record in window_records)
+
+    def test_rate_throttles(self, stream):
+        import time
+
+        monitor = _spec("FreeBS").build()
+        begin = time.perf_counter()
+        _run(monitor, stream[:1_400], rate=20_000.0)
+        elapsed = time.perf_counter() - begin
+        assert elapsed >= 1_400 / 20_000.0

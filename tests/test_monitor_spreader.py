@@ -1,0 +1,138 @@
+"""Tests for continuous top-k spreader monitoring with hysteresis alerts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ExactCounter
+from repro.monitor import MonitorSpec, SpreaderMonitor, WindowedEstimator
+from repro.streams import zipf_bipartite_stream
+
+
+def _window(epoch_pairs=100, window_epochs=2):
+    # LPC keeps the test dependent only on bitmap state, deterministic and
+    # cheap; the estimator choice is orthogonal to the alerting logic.
+    from repro.baselines import PerUserLPC
+
+    return WindowedEstimator(
+        lambda _k: PerUserLPC(1 << 14, expected_users=16, seed=5),
+        epoch_pairs=epoch_pairs,
+        window_epochs=window_epochs,
+    )
+
+
+def _heavy_batch(user, start, count):
+    return [(user, start + offset) for offset in range(count)]
+
+
+class TestValidation:
+    def test_requires_exactly_one_threshold(self):
+        with pytest.raises(ValueError):
+            SpreaderMonitor(_window())
+        with pytest.raises(ValueError):
+            SpreaderMonitor(_window(), threshold=5.0, delta=0.1)
+
+    def test_rejects_bad_hysteresis(self):
+        with pytest.raises(ValueError):
+            SpreaderMonitor(_window(), threshold=5.0, hysteresis=1.0)
+
+
+class TestAlertLifecycle:
+    def test_start_emitted_once_then_end_on_decay(self):
+        monitor = SpreaderMonitor(
+            _window(epoch_pairs=100, window_epochs=2), threshold=50.0, hysteresis=0.2
+        )
+        # Ramp one heavy user over several batches; it must alert exactly once.
+        starts = []
+        for round_index in range(4):
+            alerts = monitor.observe(_heavy_batch("heavy", round_index * 100, 100))
+            starts.extend(a for a in alerts if a.kind == "start" and a.user == "heavy")
+        assert len(starts) == 1
+        assert "heavy" in monitor.active_spreaders
+
+        # Silence the heavy user; after the window rolls past its epochs the
+        # windowed estimate collapses and an end event fires.
+        ends = []
+        for round_index in range(4):
+            alerts = monitor.observe(_heavy_batch("noise", round_index * 100, 100))
+            ends.extend(a for a in alerts if a.kind == "end" and a.user == "heavy")
+        assert len(ends) == 1
+        assert "heavy" not in monitor.active_spreaders
+
+    def test_hysteresis_suppresses_flapping(self):
+        # Enter at 50; exit at 25 (hysteresis 0.5).  An estimate oscillating
+        # between ~30 and ~60 must produce exactly one start and no end.
+        monitor = SpreaderMonitor(
+            _window(epoch_pairs=60, window_epochs=2), threshold=50.0, hysteresis=0.5
+        )
+        events = []
+        # Alternate heavy epochs (60 distinct) and light epochs (30 distinct):
+        # the two-epoch window estimate swings between ~60 and ~90 and never
+        # drops below the exit threshold.
+        for round_index in range(6):
+            count = 60 if round_index % 2 == 0 else 30
+            batch = _heavy_batch("flappy", round_index * 1000, count)
+            batch += _heavy_batch("pad", round_index * 1000, 60 - count + 30)
+            events.extend(a for a in monitor.observe(batch) if a.user == "flappy")
+        kinds = [event.kind for event in events]
+        assert kinds == ["start"], f"expected one start, got {kinds}"
+
+    def test_sequence_numbers_are_monotonic(self):
+        monitor = SpreaderMonitor(_window(), threshold=10.0)
+        sequences = []
+        for round_index in range(3):
+            for alert in monitor.observe(_heavy_batch(round_index, round_index * 100, 50)):
+                sequences.append(alert.sequence)
+        assert sequences == sorted(sequences)
+        assert monitor.alerts_emitted == len(sequences)
+
+
+class TestRelativeThreshold:
+    def test_delta_threshold_tracks_window_total(self):
+        pairs = zipf_bipartite_stream(
+            n_users=150, n_pairs=8_000, max_cardinality=800, duplicate_factor=0.3, seed=9
+        )
+        spec = MonitorSpec(
+            method="FreeRS",
+            memory_bits=1 << 16,
+            expected_users=150,
+            epoch_pairs=2_000,
+            window_epochs=4,
+            delta=5e-3,
+        )
+        monitor = spec.build()
+        alerts = []
+        for start in range(0, len(pairs), 1_000):
+            alerts.extend(monitor.observe(pairs[start : start + 1_000]))
+        assert any(alert.kind == "start" for alert in alerts)
+        assert monitor.last_enter_threshold > 0
+        # Continuous top-k: ranked descending, bounded by k.
+        top = monitor.current_top
+        assert len(top) == spec.top_k
+        estimates = [estimate for _user, estimate in top]
+        assert estimates == sorted(estimates, reverse=True)
+        # Every active spreader currently above the enter threshold is in the
+        # window estimates with estimate >= exit threshold.
+        window_estimates = monitor.window.window_estimates()
+        exit_threshold = monitor.last_enter_threshold * (1 - spec.hysteresis)
+        for user in monitor.active_spreaders:
+            assert window_estimates.get(user, 0.0) >= exit_threshold
+
+
+class TestTopKExactSanity:
+    def test_topk_matches_exact_heavy_hitters(self):
+        """With an exact counter per epoch the top-k must be the true top-k
+        of the window (ExactCounter is not mergeable, so compare per epoch)."""
+        pairs = zipf_bipartite_stream(
+            n_users=80, n_pairs=4_000, max_cardinality=500, duplicate_factor=0.2, seed=4
+        )
+        window = WindowedEstimator(
+            lambda _k: ExactCounter(), epoch_pairs=len(pairs) + 1, window_epochs=1
+        )
+        monitor = SpreaderMonitor(window, threshold=1e12, top_k=5)
+        monitor.observe(pairs)
+        exact = {}
+        for user, item in pairs:
+            exact.setdefault(user, set()).add(item)
+        true_top = sorted(exact, key=lambda user: len(exact[user]), reverse=True)[:5]
+        assert [user for user, _ in monitor.current_top] == true_top

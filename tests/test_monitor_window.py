@@ -1,0 +1,219 @@
+"""Tests for the epoch-rotating windowed estimator.
+
+The load-bearing contracts:
+
+* a tumbling window's estimates are bit-identical to a fresh estimator fed
+  only that window's pairs, for all six methods (each epoch *is* such an
+  estimator — the test guards the rotation bookkeeping);
+* sliding-window merges are exact for the mergeable methods (CSE, vHLL,
+  LPC, HLL++) and additive (sum of per-epoch estimates) for FreeBS/FreeRS;
+* timestamp rotation follows the epoch grid, including empty epochs for
+  gaps and ring flushes for gaps longer than the window.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines import CSE, PerUserHLLPP, PerUserLPC, VirtualHLL
+from repro.core import FreeBS, FreeRS
+from repro.engine import ShardedEstimator
+from repro.monitor import ADDITIVE, EXACT, WindowedEstimator, merge_exactness
+from repro.streams import zipf_bipartite_stream
+
+SEED = 11
+
+METHOD_FACTORIES = {
+    "FreeBS": lambda: FreeBS(1 << 14, seed=SEED),
+    "FreeRS": lambda: FreeRS(1 << 11, seed=SEED),
+    "CSE": lambda: CSE(1 << 14, virtual_size=64, seed=SEED),
+    "vHLL": lambda: VirtualHLL(1 << 11, virtual_size=64, seed=SEED),
+    "LPC": lambda: PerUserLPC(1 << 14, expected_users=120, seed=SEED),
+    "HLL++": lambda: PerUserHLLPP(1 << 15, expected_users=120, seed=SEED),
+}
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return zipf_bipartite_stream(
+        n_users=120, n_pairs=9_000, max_cardinality=900, duplicate_factor=0.4, seed=3
+    )
+
+
+def _windowed(method, epoch_pairs=2_000, window_epochs=4):
+    factory = METHOD_FACTORIES[method]
+    return WindowedEstimator(
+        lambda _k: factory(), epoch_pairs=epoch_pairs, window_epochs=window_epochs
+    )
+
+
+class TestRotation:
+    def test_requires_exactly_one_mode(self):
+        with pytest.raises(ValueError):
+            WindowedEstimator(lambda _k: FreeBS(64))
+        with pytest.raises(ValueError):
+            WindowedEstimator(lambda _k: FreeBS(64), epoch_pairs=10, epoch_span=1.0)
+
+    def test_event_count_rotation(self, stream):
+        window = _windowed("FreeBS", epoch_pairs=2_000)
+        closed = window.ingest(stream)
+        assert window.pairs_ingested == len(stream)
+        assert all(epoch.pairs == 2_000 for epoch in closed)
+        assert window.live_epoch.pairs == len(stream) % 2_000
+        assert window.epochs_started == len(stream) // 2_000 + 1
+
+    def test_ring_keeps_only_window_epochs(self, stream):
+        window = _windowed("FreeBS", epoch_pairs=1_000, window_epochs=3)
+        window.ingest(stream)
+        assert len(window.epochs) == 3
+        indices = [epoch.index for epoch in window.epochs]
+        assert indices == sorted(indices)
+        assert indices[-1] == window.epochs_started - 1
+
+    @pytest.mark.parametrize("method", sorted(METHOD_FACTORIES))
+    def test_tumbling_epoch_bit_identical_to_fresh_run(self, stream, method):
+        """Satellite: every closed epoch equals a fresh estimator fed its slice."""
+        epoch_pairs = 2_500
+        window = _windowed(method, epoch_pairs=epoch_pairs, window_epochs=8)
+        # Ingest in awkward batch sizes so rotations split mid-batch.
+        for start in range(0, len(stream), 733):
+            window.ingest(stream[start : start + 733])
+        for position, epoch in enumerate(window.epochs):
+            begin = epoch.index * epoch_pairs
+            fresh = METHOD_FACTORIES[method]()
+            fresh.process(stream[begin : begin + epoch.pairs])
+            assert window.epoch_estimates(position) == fresh.estimates(), (
+                f"epoch {epoch.index} of {method} diverged from a fresh run"
+            )
+
+
+class TestSlidingMerge:
+    @pytest.mark.parametrize("method", ["CSE", "vHLL", "LPC", "HLL++"])
+    def test_mergeable_methods_match_single_run(self, stream, method):
+        """Sliding merge == one estimator fed the window, re-estimated fresh."""
+        epoch_pairs = 2_000
+        window = _windowed(method, epoch_pairs=epoch_pairs, window_epochs=4)
+        window.ingest(stream)
+        assert window.window_exactness() == EXACT
+        merged = window.window_estimates()
+
+        oldest = window.epochs[0]
+        begin = oldest.index * epoch_pairs
+        single = METHOD_FACTORIES[method]()
+        single.process(stream[begin:])
+        for user, estimate in merged.items():
+            if hasattr(single, "estimate_fresh"):
+                expected = single.estimate_fresh(user)
+            else:
+                expected = single.estimate(user)
+            assert estimate == pytest.approx(expected, rel=1e-9, abs=1e-9), (
+                f"{method} merged estimate for {user} diverged"
+            )
+
+    @pytest.mark.parametrize("method", ["FreeBS", "FreeRS"])
+    def test_additive_methods_sum_epoch_estimates(self, stream, method):
+        window = _windowed(method, epoch_pairs=2_000, window_epochs=4)
+        window.ingest(stream)
+        assert window.window_exactness() == ADDITIVE
+        merged = window.window_estimates()
+        expected: dict = {}
+        for epoch in window.epochs:
+            for user, value in epoch.estimates().items():
+                expected[user] = expected.get(user, 0.0) + value
+        assert merged.keys() == expected.keys()
+        for user, value in expected.items():
+            assert merged[user] == pytest.approx(value, rel=1e-12)
+
+    def test_additive_window_total_tracks_exact_total(self, stream):
+        """The documented tolerance: the additive window total is a sane
+        estimate of the window's distinct pairs (cross-epoch duplicates are
+        counted once per epoch they appear in, so it overshoots slightly)."""
+        window = _windowed("FreeRS", epoch_pairs=2_000, window_epochs=4)
+        window.ingest(stream)
+        begin = window.epochs[0].index * 2_000
+        exact = {}
+        for user, item in stream[begin:]:
+            exact.setdefault(user, set()).add(item)
+        exact_total = sum(len(items) for items in exact.values())
+        merged_total = sum(window.window_estimates().values())
+        assert merged_total == pytest.approx(exact_total, rel=0.25)
+
+    def test_sharded_epochs_merge_per_shard(self, stream):
+        window = WindowedEstimator(
+            lambda _k: ShardedEstimator(
+                lambda _s: VirtualHLL(1 << 10, virtual_size=64, seed=SEED),
+                shards=3,
+                seed=SEED,
+            ),
+            epoch_pairs=2_000,
+            window_epochs=4,
+        )
+        window.ingest(stream)
+        assert merge_exactness(window.live_epoch.estimator) == EXACT
+        merged = window.window_estimates()
+        assert len(merged) > 50
+
+    def test_window_last_restricts_the_slice(self, stream):
+        window = _windowed("LPC", epoch_pairs=2_000, window_epochs=4)
+        window.ingest(stream)
+        live_only = window.window_estimates(last=1)
+        assert live_only == window.epoch_estimates(-1)
+
+    def test_single_epoch_window_uses_fresh_semantics(self, stream):
+        """A one-epoch sliding query must answer with the same (fresh)
+        semantics as a multi-epoch merge — no discontinuity at the first
+        rotation for the shared-sketch methods, whose cached estimates are
+        last-arrival snapshots."""
+        window = _windowed("CSE", epoch_pairs=len(stream) + 1, window_epochs=4)
+        window.ingest(stream)
+        estimator = window.live_epoch.estimator
+        merged = window.window_estimates()
+        assert merged.keys() == estimator.estimates().keys()
+        for user, value in merged.items():
+            assert value == estimator.estimate_fresh(user)
+
+
+class TestTimestampRotation:
+    def test_grid_rotation_with_gaps(self):
+        pairs = [(1, i) for i in range(6)]
+        times = [0.0, 0.5, 1.5, 1.7, 5.2, 5.9]
+        window = WindowedEstimator(
+            lambda _k: FreeBS(1 << 10, seed=1), epoch_span=1.0, window_epochs=8
+        )
+        closed = window.ingest(pairs, times)
+        # Cells: [0,1) 2 pairs, [1,2) 2 pairs, [2,3)(3,4)(4,5) empty, [5,6) live.
+        assert [epoch.pairs for epoch in closed] == [2, 2, 0, 0, 0]
+        assert [epoch.start_time for epoch in closed] == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert window.live_epoch.start_time == 5.0
+        assert window.live_epoch.pairs == 2
+
+    def test_gap_longer_than_window_flushes_the_ring(self):
+        window = WindowedEstimator(
+            lambda _k: FreeBS(1 << 10, seed=1), epoch_span=1.0, window_epochs=3
+        )
+        window.ingest([(1, 1), (1, 2)], [0.0, 0.1])
+        window.ingest([(2, 1)], [100.0])
+        # Every retained epoch except the live one must be empty: the old
+        # traffic is far outside the window.
+        ring = window.epochs
+        assert ring[-1].pairs == 1
+        assert all(epoch.pairs == 0 for epoch in ring[:-1])
+        assert ring[-1].start_time == math.floor(100.0)
+
+    def test_decreasing_timestamps_rejected(self):
+        window = WindowedEstimator(
+            lambda _k: FreeBS(1 << 10, seed=1), epoch_span=1.0, window_epochs=3
+        )
+        window.ingest([(1, 1)], [5.0])
+        with pytest.raises(ValueError):
+            window.ingest([(1, 2)], [4.0])
+
+    def test_default_clock_is_event_index(self):
+        window = WindowedEstimator(
+            lambda _k: FreeBS(1 << 10, seed=1), epoch_span=10.0, window_epochs=4
+        )
+        window.ingest([(1, i) for i in range(25)])
+        assert window.epochs_started == 3
+        assert window.last_timestamp == 24.0

@@ -8,7 +8,8 @@ import pytest
 
 from repro.core import FreeBS, FreeBSBatch, FreeRS, FreeRSBatch
 from repro.core import serialization
-from repro.baselines import ExactCounter
+from repro.baselines import CSE, ExactCounter, PerUserHLLPP, PerUserLPC, VirtualHLL
+from repro.engine import ShardedEstimator
 
 
 def _feed(estimator, pairs):
@@ -69,7 +70,7 @@ class TestErrorsAndFormat:
 
     def test_rejects_unknown_version(self):
         payload = serialization.dumps(FreeBS(1 << 10))
-        tampered = payload.replace('"version": 1', '"version": 99')
+        tampered = payload.replace('"version": 2', '"version": 99')
         with pytest.raises(ValueError):
             serialization.loads(tampered)
 
@@ -85,3 +86,64 @@ class TestErrorsAndFormat:
         estimator.update("u", "i")
         restored = serialization.loads(serialization.dumps(estimator))
         assert restored.seed == 77
+
+
+class TestVersion2Kinds:
+    """Round-trips of the kinds added in format version 2."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: CSE(1 << 12, virtual_size=64, seed=3),
+            lambda: VirtualHLL(1 << 10, virtual_size=64, seed=3),
+            lambda: PerUserLPC(1 << 12, expected_users=30, seed=3),
+            lambda: PerUserHLLPP(1 << 13, expected_users=30, seed=3),
+        ],
+        ids=["CSE", "vHLL", "LPC", "HLL++"],
+    )
+    def test_baseline_round_trip_and_continue(self, factory):
+        first_half = _pairs(1_500, seed=6)
+        second_half = _pairs(1_500, seed=7)
+        original = _feed(factory(), first_half)
+        restored = serialization.loads(serialization.dumps(original))
+        assert restored.estimates() == original.estimates()
+        _feed(original, second_half)
+        _feed(restored, second_half)
+        assert restored.estimates() == original.estimates()
+
+    def test_sharded_round_trip_with_multiple_shards(self):
+        estimator = ShardedEstimator(
+            lambda _k: FreeRS(1 << 8, seed=5), shards=4, seed=5
+        )
+        _feed(estimator, _pairs(2_000, seed=8))
+        restored = serialization.loads(serialization.dumps(estimator))
+        assert isinstance(restored, ShardedEstimator)
+        assert restored.num_shards == 4
+        assert restored.shard_pair_counts == estimator.shard_pair_counts
+        assert restored.estimates() == estimator.estimates()
+        # Both continue identically through the batch path.
+        tail = _pairs(1_000, seed=9)
+        estimator.update_batch(tail)
+        restored.update_batch(tail)
+        assert restored.estimates() == estimator.estimates()
+
+    def test_sharded_of_baselines_round_trips(self):
+        estimator = ShardedEstimator(
+            lambda _k: CSE(1 << 10, virtual_size=64, seed=2), shards=3, seed=2
+        )
+        _feed(estimator, _pairs(1_000, seed=10))
+        restored = serialization.loads(serialization.dumps(estimator))
+        assert restored.estimates() == estimator.estimates()
+
+    def test_hllpp_sparse_and_dense_representations_survive(self):
+        estimator = PerUserHLLPP(1 << 14, expected_users=2, seed=1)
+        # One light user (stays sparse) and one heavy user (densifies).
+        estimator.update("light", 1)
+        for item in range(5_000):
+            estimator.update("heavy", item)
+        sketches = estimator._sketches
+        assert sketches["light"].is_sparse and not sketches["heavy"].is_sparse
+        restored = serialization.loads(serialization.dumps(estimator))
+        assert restored._sketches["light"].is_sparse
+        assert not restored._sketches["heavy"].is_sparse
+        assert restored.estimates() == estimator.estimates()

@@ -151,3 +151,105 @@ class TestEdgeFileIO:
         path = tmp_path / "my_trace.tsv"
         write_edge_file(path, [(1, 2)])
         assert read_edge_file(path).name == "my_trace"
+
+
+class TestTimestamps:
+    """Optional arrival timestamps on streams, generators and edge files."""
+
+    def test_default_timestamps_are_event_index(self):
+        stream = GraphStream([(1, 2), (3, 4), (5, 6)])
+        assert not stream.has_timestamps
+        assert stream.timestamps() == [0.0, 1.0, 2.0]
+
+    def test_with_timestamps_round_trip(self):
+        stream = GraphStream([(1, 2), (3, 4)]).with_timestamps([10.5, 11.0])
+        assert stream.has_timestamps
+        assert stream.timestamps() == [10.5, 11.0]
+        assert list(stream.iter_timed()) == [(1, 2, 10.5), (3, 4, 11.0)]
+
+    def test_prefix_slices_timestamps(self):
+        stream = GraphStream([(1, 2), (3, 4), (5, 6)]).with_timestamps([1.0, 2.0, 3.0])
+        assert stream.prefix(2).timestamps() == [1.0, 2.0]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            GraphStream([(1, 2)], timestamps=[1.0, 2.0])
+
+    def test_assign_timestamps_event_index(self):
+        from repro.streams import assign_timestamps
+
+        pairs = [(1, 2), (3, 4), (5, 6)]
+        assert assign_timestamps(pairs) == [0.0, 1.0, 2.0]
+        assert assign_timestamps(pairs, start=5.0) == [5.0, 6.0, 7.0]
+
+    def test_assign_timestamps_poisson_rate(self):
+        from repro.streams import assign_timestamps
+
+        pairs = [(1, index) for index in range(2_000)]
+        times = assign_timestamps(pairs, rate=100.0, seed=3)
+        assert times == sorted(times)
+        # ~2000 pairs at 100/s should span roughly 20 seconds.
+        assert 10.0 < times[-1] < 40.0
+        with pytest.raises(ValueError):
+            assign_timestamps(pairs, rate=-1.0)
+
+    def test_edge_file_timestamp_column_round_trip(self, tmp_path):
+        path = tmp_path / "timed.tsv"
+        pairs = [(1, 2), (3, 4)]
+        write_edge_file(path, pairs, timestamps=[100.5, 200.0])
+        stream = read_edge_file(path)
+        assert stream.has_timestamps
+        assert stream.timestamps() == [100.5, 200.0]
+        assert stream.pairs() == pairs
+
+    def test_timestamped_stream_writes_third_column_automatically(self, tmp_path):
+        path = tmp_path / "timed.tsv"
+        stream = GraphStream([(1, 2), (3, 4)]).with_timestamps([7.0, 8.0])
+        write_edge_file(path, stream)
+        assert read_edge_file(path).timestamps() == [7.0, 8.0]
+
+    def test_two_column_file_has_no_explicit_timestamps(self, tmp_path):
+        path = tmp_path / "plain.tsv"
+        write_edge_file(path, [(1, 2), (3, 4)])
+        stream = read_edge_file(path)
+        assert not stream.has_timestamps
+        assert stream.timestamps() == [0.0, 1.0]
+
+    def test_non_numeric_third_column_is_ignored(self, tmp_path):
+        # Historical behaviour: extra non-timestamp columns are ignored.
+        path = tmp_path / "labels.tsv"
+        path.write_text("1\t2\tsome-label\n3\t4\tother-label\n")
+        stream = read_edge_file(path)
+        assert stream.pairs() == [(1, 2), (3, 4)]
+        assert not stream.has_timestamps
+
+    def test_partially_timestamped_file_is_not_attached(self, tmp_path):
+        # A numeric third field on only some lines is an attribute, not an
+        # arrival clock — never attach a half-real clock.
+        path = tmp_path / "mixed.tsv"
+        path.write_text("1\t2\n3\t4\t7.5\n")
+        stream = read_edge_file(path)
+        assert stream.pairs() == [(1, 2), (3, 4)]
+        assert not stream.has_timestamps
+
+    def test_non_monotonic_numeric_third_column_is_ignored(self, tmp_path):
+        # A numeric third column that is not non-decreasing is a weight or
+        # some other attribute, not an arrival clock — do not attach it.
+        path = tmp_path / "weights.tsv"
+        path.write_text("1\t2\t0.9\n3\t4\t0.1\n")
+        stream = read_edge_file(path)
+        assert stream.pairs() == [(1, 2), (3, 4)]
+        assert not stream.has_timestamps
+
+    def test_full_float_precision_survives_round_trip(self, tmp_path):
+        path = tmp_path / "epoch.tsv"
+        times = [1721894400.5, 1721894401.25]
+        write_edge_file(path, [(1, 2), (3, 4)], timestamps=times)
+        assert read_edge_file(path).timestamps() == times
+
+    def test_timestamp_length_mismatch_raises_not_truncates(self, tmp_path):
+        path = tmp_path / "short.tsv"
+        with pytest.raises(ValueError):
+            write_edge_file(path, [(1, 2), (3, 4), (5, 6)], timestamps=[1.0])
+        with pytest.raises(ValueError):
+            write_edge_file(path, [(1, 2)], timestamps=[1.0, 2.0])
