@@ -17,6 +17,17 @@ Three subcommands:
     Run one estimator over an edge-list file and print the top-K users by
     estimated cardinality — a minimal "use it on your own data" entry point.
 
+``freesketch run <edge-file> [--method FreeRS] [--memory-bits N] [--workers W]
+[--shards K] [--chunk-size N] [--top K] [--json out.json]``
+    Ingest an edge-list file through the parallel runtime
+    (:mod:`repro.runtime`): users are partitioned across ``--workers``
+    processes, each replaying the vectorised batch path over its shard set,
+    and the per-worker sketches are merged into one estimator.  For a fixed
+    ``--shards K`` the estimates are **bit-identical** for every worker
+    count (``--workers 4`` reproduces the single-process ``--workers 1
+    --shards 4`` run exactly); ``--json`` writes the full-precision estimate
+    map so two runs can be diffed.
+
 ``freesketch monitor <edge-file> [--method ...] [--epoch-pairs N | --epoch-span S]
 [--window W] [--delta D | --threshold T] [--out feed.jsonl]
 [--snapshot-dir DIR] [--snapshot-every N] [--resume] [--rate R]``
@@ -46,8 +57,8 @@ import sys
 from typing import List, Optional
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.estimators import METHOD_ORDER, build_estimators
 from repro.experiments.runner import DESCRIPTIONS, list_experiments, run_experiment
+from repro.registry import METHOD_ORDER, build
 from repro.streams.datasets import DATASETS, dataset_names
 from repro.streams.io import read_edge_file, write_edge_file
 
@@ -99,15 +110,14 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     stream = read_edge_file(args.path)
     config = ExperimentConfig(memory_bits=args.memory_bits)
     try:
-        estimators = build_estimators(
+        estimator = build(
+            args.method,
             config,
             expected_users=max(1, stream.user_count),
-            methods=[args.method],
             shards=args.shards,
         )
     except ValueError as error:
         raise SystemExit(str(error)) from None
-    estimator = estimators[args.method]
     if args.engine == "batch":
         estimator.process(stream, chunk_size=args.chunk_size)
     else:
@@ -118,6 +128,47 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         f"method={args.method} engine={args.engine} shards={args.shards} "
         f"memory_bits={args.memory_bits} users={stream.user_count}"
     )
+    print("user\testimated_cardinality")
+    for user, estimate in ranked[: args.top]:
+        print(f"{user}\t{estimate:.1f}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.runtime import parallel_ingest
+
+    if args.chunk_size is not None and args.chunk_size <= 0:
+        raise SystemExit("--chunk-size must be positive")
+    stream = read_edge_file(args.path)
+    config = ExperimentConfig(memory_bits=args.memory_bits, seed=args.seed)
+    try:
+        report = parallel_ingest(
+            stream,
+            method=args.method,
+            config=config,
+            expected_users=max(1, stream.user_count),
+            workers=args.workers,
+            shards=args.shards,
+            chunk_size=args.chunk_size,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    estimates = report.estimates()
+    if args.json:
+        # Full-precision payload keyed by stringified user id, sorted, so two
+        # runs of equal (config, shards) diff clean regardless of --workers.
+        payload = {str(user): estimate for user, estimate in estimates.items()}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+    print(
+        f"method={args.method} workers={report.workers} shards={report.shards} "
+        f"memory_bits={args.memory_bits} pairs={report.pairs} "
+        f"seconds={report.seconds:.3f} pairs_per_sec={report.pairs_per_second:.0f}"
+    )
+    ranked = sorted(estimates.items(), key=lambda pair: pair[1], reverse=True)
     print("user\testimated_cardinality")
     for user, estimate in ranked[: args.top]:
         print(f"{user}\t{estimate:.1f}")
@@ -259,6 +310,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="pairs per vectorised chunk for --engine batch (default 8192)",
     )
     estimate_parser.set_defaults(handler=_cmd_estimate)
+
+    run_ingest_parser = subparsers.add_parser(
+        "run",
+        help="ingest an edge-list file with the parallel runtime "
+        "(multiprocess shard workers; bit-identical to a single-process run)",
+    )
+    run_ingest_parser.add_argument("path")
+    run_ingest_parser.add_argument("--method", default="FreeRS", choices=METHOD_ORDER)
+    run_ingest_parser.add_argument("--memory-bits", type=int, default=1 << 20)
+    run_ingest_parser.add_argument("--seed", type=int, default=7)
+    run_ingest_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="ingest processes; users are partitioned across the workers' "
+        "shard sets and the per-worker sketches are merged at the end",
+    )
+    run_ingest_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count of the underlying sharded estimator "
+        "(default: the worker count; must be >= --workers).  Runs with the "
+        "same shard count produce bit-identical estimates for any --workers",
+    )
+    run_ingest_parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="pairs per encoded chunk streamed to the workers (default 8192)",
+    )
+    run_ingest_parser.add_argument("--top", type=int, default=10)
+    run_ingest_parser.add_argument(
+        "--json",
+        default=None,
+        help="also write the full-precision {user: estimate} map to this file",
+    )
+    run_ingest_parser.set_defaults(handler=_cmd_run)
 
     monitor_parser = subparsers.add_parser(
         "monitor",

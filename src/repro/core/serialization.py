@@ -10,6 +10,14 @@ payload, and restores them exactly: estimates, shared-array state and seeds
 round-trip so a restored estimator continues the stream as if nothing
 happened.
 
+Dispatch is codec-table driven: each estimator kind has one
+:class:`_Codec` (kind tag, estimator class, dump/load functions).  The six
+compared methods take their tag and class from the central method registry
+(:mod:`repro.registry` — the ``MethodSpec.tag`` field), so the snapshot
+format and the method layer cannot drift apart; the engine-level
+``Sharded`` envelope and the legacy ``FreeBSBatch`` / ``FreeRSBatch``
+variants are registered locally.
+
 Format history:
 
 * version 1 — FreeBS / FreeRS (scalar and batch) only;
@@ -26,8 +34,9 @@ from __future__ import annotations
 
 import base64
 import json
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Union
+from typing import Callable, Dict, List, Union
 
 import numpy as np
 
@@ -74,91 +83,268 @@ def _estimates_from_json(triples: list) -> dict:
     return {_key_from_json(kind, key): float(value) for kind, key, value in triples}
 
 
-def _dump_body(estimator) -> tuple:
-    """Return ``(kind, body)`` for one estimator, dispatching on its type."""
-    from repro.baselines.cse import CSE
-    from repro.baselines.per_user import PerUserHLLPP, PerUserLPC
-    from repro.baselines.vhll import VirtualHLL
+@dataclass(frozen=True)
+class _Codec:
+    """One snapshot kind: its tag, estimator class and state dump/load."""
+
+    tag: str
+    cls: type
+    dump: Callable[[object], dict]
+    load: Callable[[dict], object]
+    #: The generic loader attaches the envelope's cached estimates after
+    #: ``load``; the sharded envelope carries them inside its sub-envelopes.
+    attach_estimates: bool = True
+
+
+# -- per-kind state codecs -----------------------------------------------------
+
+
+def _dump_sharded(estimator) -> dict:
+    return {
+        "shards": estimator.num_shards,
+        "seed": estimator.seed,
+        "shard_pairs": list(estimator.shard_pair_counts),
+        "sub": [json.loads(dumps(shard)) for shard in estimator.shards],
+    }
+
+
+def _load_sharded(body: dict):
     from repro.engine.sharded import ShardedEstimator
 
-    if isinstance(estimator, ShardedEstimator):
-        return "Sharded", {
-            "shards": estimator.num_shards,
-            "seed": estimator.seed,
-            "shard_pairs": list(estimator.shard_pair_counts),
-            "sub": [json.loads(dumps(shard)) for shard in estimator.shards],
-        }
-    if isinstance(estimator, FreeBS):
-        return "FreeBS", {
-            "memory_bits": estimator.M,
-            "seed": estimator.seed,
-            "pairs_processed": estimator.pairs_processed,
-            "words": _encode_array(estimator._bits._words),
-            "ones": estimator._bits.ones,
-        }
-    if isinstance(estimator, FreeBSBatch):
-        return "FreeBSBatch", {
-            "memory_bits": estimator.M,
-            "seed": estimator.seed,
-            "pairs_processed": estimator.pairs_processed,
-            "bits": _encode_array(estimator._bit_state),
-            "zero_bits": estimator._zero_bits,
-        }
-    if isinstance(estimator, FreeRS):
-        return "FreeRS", {
-            "registers": estimator.M,
-            "register_width": estimator._registers.width,
-            "seed": estimator.seed,
-            "pairs_processed": estimator.pairs_processed,
-            "values": _encode_array(estimator._registers.values),
-        }
-    if isinstance(estimator, FreeRSBatch):
-        return "FreeRSBatch", {
-            "registers": estimator.M,
-            "register_width": estimator.register_width,
-            "seed": estimator.seed,
-            "pairs_processed": estimator.pairs_processed,
-            "values": _encode_array(estimator._register_state),
-        }
-    if isinstance(estimator, CSE):
-        return "CSE", {
-            "memory_bits": estimator.M,
-            "virtual_size": estimator.m,
-            "seed": estimator.seed,
-            "words": _encode_array(estimator._bits._words),
-            "ones": estimator._bits.ones,
-        }
-    if isinstance(estimator, VirtualHLL):
-        return "vHLL", {
-            "registers": estimator.M,
-            "virtual_size": estimator.m,
-            "register_width": estimator._registers.width,
-            "seed": estimator.seed,
-            "values": _encode_array(estimator._registers.values),
-        }
-    if isinstance(estimator, PerUserLPC):
-        return "LPC", {
-            "bits_per_user": estimator.bits_per_user,
-            "seed": estimator.seed,
-            "users": [
-                [
-                    *_key_to_json(user),
-                    _encode_array(sketch._bits._words),
-                    sketch._bits.ones,
-                ]
-                for user, sketch in estimator._sketches.items()
-            ],
-        }
-    if isinstance(estimator, PerUserHLLPP):
-        return "HLL++", {
-            "registers_per_user": estimator.registers_per_user,
-            "register_width": estimator.register_width,
-            "seed": estimator.seed,
-            "users": [
-                [*_key_to_json(user), _hllpp_state(sketch)]
-                for user, sketch in estimator._sketches.items()
-            ],
-        }
+    shards = [_load_envelope(sub) for sub in body["sub"]]
+    estimator = ShardedEstimator(
+        lambda k: shards[k], shards=int(body["shards"]), seed=int(body["seed"])
+    )
+    estimator._shard_pairs = [int(count) for count in body["shard_pairs"]]
+    return estimator
+
+
+def _dump_freebs(estimator) -> dict:
+    return {
+        "memory_bits": estimator.M,
+        "seed": estimator.seed,
+        "pairs_processed": estimator.pairs_processed,
+        "words": _encode_array(estimator._bits._words),
+        "ones": estimator._bits.ones,
+    }
+
+
+def _load_freebs(body: dict):
+    estimator = FreeBS(body["memory_bits"], seed=body["seed"])
+    _restore_bitarray(estimator._bits, body["words"], body["ones"])
+    estimator._pairs_processed = int(body["pairs_processed"])
+    return estimator
+
+
+def _dump_freebs_batch(estimator) -> dict:
+    return {
+        "memory_bits": estimator.M,
+        "seed": estimator.seed,
+        "pairs_processed": estimator.pairs_processed,
+        "bits": _encode_array(estimator._bit_state),
+        "zero_bits": estimator._zero_bits,
+    }
+
+
+def _load_freebs_batch(body: dict):
+    estimator = FreeBSBatch(body["memory_bits"], seed=body["seed"])
+    bits = _decode_array(body["bits"], np.bool_, estimator.M)
+    estimator._bit_state[:] = bits
+    estimator._zero_bits = int(body["zero_bits"])
+    estimator._pairs_processed = int(body["pairs_processed"])
+    return estimator
+
+
+def _dump_freers(estimator) -> dict:
+    return {
+        "registers": estimator.M,
+        "register_width": estimator._registers.width,
+        "seed": estimator.seed,
+        "pairs_processed": estimator.pairs_processed,
+        "values": _encode_array(estimator._registers.values),
+    }
+
+
+def _load_freers(body: dict):
+    estimator = FreeRS(
+        body["registers"], register_width=body["register_width"], seed=body["seed"]
+    )
+    _restore_registers(estimator._registers, body["values"], estimator.M)
+    estimator._pairs_processed = int(body["pairs_processed"])
+    return estimator
+
+
+def _dump_freers_batch(estimator) -> dict:
+    return {
+        "registers": estimator.M,
+        "register_width": estimator.register_width,
+        "seed": estimator.seed,
+        "pairs_processed": estimator.pairs_processed,
+        "values": _encode_array(estimator._register_state),
+    }
+
+
+def _load_freers_batch(body: dict):
+    estimator = FreeRSBatch(
+        body["registers"], register_width=body["register_width"], seed=body["seed"]
+    )
+    values = _decode_array(body["values"], np.int64, estimator.M)
+    estimator._register_state[:] = values
+    estimator._harmonic_sum = float(np.sum(np.exp2(-values.astype(np.float64))))
+    estimator._pairs_processed = int(body["pairs_processed"])
+    return estimator
+
+
+def _dump_cse(estimator) -> dict:
+    return {
+        "memory_bits": estimator.M,
+        "virtual_size": estimator.m,
+        "seed": estimator.seed,
+        "words": _encode_array(estimator._bits._words),
+        "ones": estimator._bits.ones,
+    }
+
+
+def _load_cse(body: dict):
+    from repro.baselines.cse import CSE
+
+    estimator = CSE(
+        body["memory_bits"], virtual_size=body["virtual_size"], seed=body["seed"]
+    )
+    _restore_bitarray(estimator._bits, body["words"], body["ones"])
+    return estimator
+
+
+def _dump_vhll(estimator) -> dict:
+    return {
+        "registers": estimator.M,
+        "virtual_size": estimator.m,
+        "register_width": estimator._registers.width,
+        "seed": estimator.seed,
+        "values": _encode_array(estimator._registers.values),
+    }
+
+
+def _load_vhll(body: dict):
+    from repro.baselines.vhll import VirtualHLL
+
+    estimator = VirtualHLL(
+        body["registers"],
+        virtual_size=body["virtual_size"],
+        register_width=body["register_width"],
+        seed=body["seed"],
+    )
+    _restore_registers(estimator._registers, body["values"], estimator.M)
+    return estimator
+
+
+def _dump_lpc(estimator) -> dict:
+    return {
+        "bits_per_user": estimator.bits_per_user,
+        "seed": estimator.seed,
+        "users": [
+            [
+                *_key_to_json(user),
+                _encode_array(sketch._bits._words),
+                sketch._bits.ones,
+            ]
+            for user, sketch in estimator._sketches.items()
+        ],
+    }
+
+
+def _load_lpc(body: dict):
+    from repro.baselines.per_user import PerUserLPC
+    from repro.sketches.lpc import LinearProbabilisticCounter
+
+    estimator = PerUserLPC(
+        memory_bits=0,
+        expected_users=1,
+        bits_per_user=int(body["bits_per_user"]),
+        seed=int(body["seed"]),
+    )
+    for key_kind, key, words, ones in body["users"]:
+        sketch = LinearProbabilisticCounter(estimator.bits_per_user, seed=estimator.seed)
+        _restore_bitarray(sketch._bits, words, ones)
+        estimator._sketches[_key_from_json(key_kind, key)] = sketch
+    return estimator
+
+
+def _dump_hllpp(estimator) -> dict:
+    return {
+        "registers_per_user": estimator.registers_per_user,
+        "register_width": estimator.register_width,
+        "seed": estimator.seed,
+        "users": [
+            [*_key_to_json(user), _hllpp_state(sketch)]
+            for user, sketch in estimator._sketches.items()
+        ],
+    }
+
+
+def _load_hllpp(body: dict):
+    from repro.baselines.per_user import PerUserHLLPP
+    from repro.sketches.hllpp import HyperLogLogPlusPlus
+
+    estimator = PerUserHLLPP(
+        memory_bits=0,
+        expected_users=1,
+        registers_per_user=int(body["registers_per_user"]),
+        register_width=int(body["register_width"]),
+        seed=int(body["seed"]),
+    )
+    for key_kind, key, state in body["users"]:
+        sketch = HyperLogLogPlusPlus(
+            estimator.registers_per_user,
+            width=estimator.register_width,
+            seed=estimator.seed,
+        )
+        _restore_hllpp(sketch, state)
+        estimator._sketches[_key_from_json(key_kind, key)] = sketch
+    return estimator
+
+
+#: Dump/load state functions per registry method name; tag and class come
+#: from the registry spec itself so the two layers cannot disagree.
+_METHOD_STATE_CODECS: Dict[str, tuple] = {
+    "FreeBS": (_dump_freebs, _load_freebs),
+    "FreeRS": (_dump_freers, _load_freers),
+    "CSE": (_dump_cse, _load_cse),
+    "vHLL": (_dump_vhll, _load_vhll),
+    "LPC": (_dump_lpc, _load_lpc),
+    "HLL++": (_dump_hllpp, _load_hllpp),
+}
+
+_CODECS: List[_Codec] = []
+_CODEC_BY_TAG: Dict[str, _Codec] = {}
+
+
+def _codecs() -> List[_Codec]:
+    """Build (once) the codec table from the method registry + local kinds."""
+    if _CODECS:
+        return _CODECS
+    # Imported lazily: repro.core.__init__ loads this module, and the
+    # registry imports repro.core — a module-level import would cycle.
+    from repro.engine.sharded import ShardedEstimator
+    from repro.registry import REGISTRY
+
+    # The Sharded envelope is checked first: it composes the other kinds.
+    table = [_Codec("Sharded", ShardedEstimator, _dump_sharded, _load_sharded, False)]
+    for name, spec in REGISTRY.items():
+        dump, load = _METHOD_STATE_CODECS[name]
+        table.append(_Codec(spec.tag, spec.estimator_cls, dump, load))
+    table.append(_Codec("FreeBSBatch", FreeBSBatch, _dump_freebs_batch, _load_freebs_batch))
+    table.append(_Codec("FreeRSBatch", FreeRSBatch, _dump_freers_batch, _load_freers_batch))
+    _CODECS.extend(table)
+    _CODEC_BY_TAG.update({codec.tag: codec for codec in table})
+    return _CODECS
+
+
+def _dump_body(estimator) -> tuple:
+    """Return ``(kind, body)`` for one estimator via the codec table."""
+    for codec in _codecs():
+        if isinstance(estimator, codec.cls):
+            return codec.tag, codec.dump(estimator)
     raise TypeError(
         f"cannot serialise {type(estimator).__name__}; supported kinds: "
         "FreeBS/FreeRS (scalar or batch), CSE, vHLL, LPC, HLL++ and "
@@ -224,92 +410,14 @@ def _restore_registers(registers, values_payload: str, count: int) -> None:
 
 
 def _load_envelope(envelope: dict):
-    from repro.baselines.cse import CSE
-    from repro.baselines.per_user import PerUserHLLPP, PerUserLPC
-    from repro.baselines.vhll import VirtualHLL
-    from repro.engine.sharded import ShardedEstimator
-    from repro.sketches.hllpp import HyperLogLogPlusPlus
-    from repro.sketches.lpc import LinearProbabilisticCounter
-
     kind = envelope["kind"]
-    body = envelope["body"]
-    estimates = _estimates_from_json(envelope["estimates"])
-
-    if kind == "Sharded":
-        shards = [_load_envelope(sub) for sub in body["sub"]]
-        estimator = ShardedEstimator(
-            lambda k: shards[k], shards=int(body["shards"]), seed=int(body["seed"])
-        )
-        estimator._shard_pairs = [int(count) for count in body["shard_pairs"]]
-        return estimator
-    if kind == "FreeBS":
-        estimator = FreeBS(body["memory_bits"], seed=body["seed"])
-        _restore_bitarray(estimator._bits, body["words"], body["ones"])
-        estimator._pairs_processed = int(body["pairs_processed"])
-    elif kind == "FreeBSBatch":
-        estimator = FreeBSBatch(body["memory_bits"], seed=body["seed"])
-        bits = _decode_array(body["bits"], np.bool_, estimator.M)
-        estimator._bit_state[:] = bits
-        estimator._zero_bits = int(body["zero_bits"])
-        estimator._pairs_processed = int(body["pairs_processed"])
-    elif kind == "FreeRS":
-        estimator = FreeRS(
-            body["registers"], register_width=body["register_width"], seed=body["seed"]
-        )
-        _restore_registers(estimator._registers, body["values"], estimator.M)
-        estimator._pairs_processed = int(body["pairs_processed"])
-    elif kind == "FreeRSBatch":
-        estimator = FreeRSBatch(
-            body["registers"], register_width=body["register_width"], seed=body["seed"]
-        )
-        values = _decode_array(body["values"], np.int64, estimator.M)
-        estimator._register_state[:] = values
-        estimator._harmonic_sum = float(np.sum(np.exp2(-values.astype(np.float64))))
-        estimator._pairs_processed = int(body["pairs_processed"])
-    elif kind == "CSE":
-        estimator = CSE(
-            body["memory_bits"], virtual_size=body["virtual_size"], seed=body["seed"]
-        )
-        _restore_bitarray(estimator._bits, body["words"], body["ones"])
-    elif kind == "vHLL":
-        estimator = VirtualHLL(
-            body["registers"],
-            virtual_size=body["virtual_size"],
-            register_width=body["register_width"],
-            seed=body["seed"],
-        )
-        _restore_registers(estimator._registers, body["values"], estimator.M)
-    elif kind == "LPC":
-        estimator = PerUserLPC(
-            memory_bits=0,
-            expected_users=1,
-            bits_per_user=int(body["bits_per_user"]),
-            seed=int(body["seed"]),
-        )
-        for key_kind, key, words, ones in body["users"]:
-            sketch = LinearProbabilisticCounter(estimator.bits_per_user, seed=estimator.seed)
-            _restore_bitarray(sketch._bits, words, ones)
-            estimator._sketches[_key_from_json(key_kind, key)] = sketch
-    elif kind == "HLL++":
-        estimator = PerUserHLLPP(
-            memory_bits=0,
-            expected_users=1,
-            registers_per_user=int(body["registers_per_user"]),
-            register_width=int(body["register_width"]),
-            seed=int(body["seed"]),
-        )
-        for key_kind, key, state in body["users"]:
-            sketch = HyperLogLogPlusPlus(
-                estimator.registers_per_user,
-                width=estimator.register_width,
-                seed=estimator.seed,
-            )
-            _restore_hllpp(sketch, state)
-            estimator._sketches[_key_from_json(key_kind, key)] = sketch
-    else:
+    _codecs()
+    codec = _CODEC_BY_TAG.get(kind)
+    if codec is None:
         raise ValueError(f"unknown snapshot kind {kind!r}")
-
-    estimator._estimates = estimates
+    estimator = codec.load(envelope["body"])
+    if codec.attach_estimates:
+        estimator._estimates = _estimates_from_json(envelope["estimates"])
     return estimator
 
 

@@ -35,7 +35,7 @@ from repro.engine.encoding import (
     encode_pairs,
     seed_mix,
 )
-from repro.engine.sharded import ShardedEstimator
+from repro.engine.sharded import ShardedEstimator, route_pair_shards, route_user_hashes
 
 __all__ = [
     "DEFAULT_CHUNK_PAIRS",
@@ -45,6 +45,8 @@ __all__ = [
     "encode_int_pairs",
     "encode_pairs",
     "process_stream",
+    "route_pair_shards",
+    "route_user_hashes",
     "seed_mix",
     "supports_batch",
 ]

@@ -37,6 +37,24 @@ _SHARD_SALT = 0x5AD5
 EstimatorFactory = Callable[[int], CardinalityEstimator]
 
 
+def route_user_hashes(user_hashes: np.ndarray, shards: int, seed: int) -> np.ndarray:
+    """Shard ids for raw 64-bit user folds under the estimator's routing.
+
+    This is the one routing function: :meth:`ShardedEstimator.shard_of`, the
+    estimator's internal batch splitting and the parallel-ingest runtime's
+    coordinator all derive shard ownership from it, which is what makes
+    multi-worker runs bit-identical to a single sharded estimator.
+    """
+    route_seed = (seed ^ _SHARD_SALT) & MASK64
+    mixed = splitmix64_array(user_hashes ^ seed_mix(route_seed))
+    return (mixed % np.uint64(shards)).astype(np.int64)
+
+
+def route_pair_shards(batch: EncodedBatch, shards: int, seed: int) -> np.ndarray:
+    """Per-pair shard ids of an encoded batch (vectorised, bit-identical)."""
+    return route_user_hashes(batch.user_hashes, shards, seed)[batch.user_codes]
+
+
 class ShardedEstimator(BatchUpdatable, CardinalityEstimator):
     """Partition users across ``K`` independent sub-estimators.
 
@@ -60,7 +78,6 @@ class ShardedEstimator(BatchUpdatable, CardinalityEstimator):
         self.num_shards = shards
         self.seed = seed
         self._route_seed = (seed ^ _SHARD_SALT) & MASK64
-        self._route_mix = seed_mix(self._route_seed)
         self._shards: List[CardinalityEstimator] = [factory(k) for k in range(shards)]
         self._shard_pairs: List[int] = [0] * shards
         base_name = getattr(self._shards[0], "name", "estimator")
@@ -74,8 +91,7 @@ class ShardedEstimator(BatchUpdatable, CardinalityEstimator):
 
     def _shards_from_hashes(self, user_hashes: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`shard_of` over raw user folds (bit-identical)."""
-        mixed = splitmix64_array(user_hashes ^ self._route_mix)
-        return (mixed % np.uint64(self.num_shards)).astype(np.int64)
+        return route_user_hashes(user_hashes, self.num_shards, self.seed)
 
     # -- streaming API --------------------------------------------------------
 

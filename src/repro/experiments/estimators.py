@@ -1,113 +1,43 @@
-"""Factory that builds the six compared estimators under one memory budget.
+"""Facade over :mod:`repro.registry` kept for the historical import path.
 
-Implements the paper's equal-memory protocol (Section V-B):
-
-* FreeBS and CSE get ``M`` bits;
-* FreeRS and vHLL get ``M / w`` registers of ``w`` bits;
-* per-user LPC gets ``M / |S|`` bits per user;
-* per-user HLL++ gets ``M / (6 |S|)`` six-bit registers per user;
-* CSE and vHLL share the same virtual sketch size ``m``.
-
-``expected_users`` is the dataset's user count, mirroring the paper's setup
-where the per-user baselines are dimensioned from the known population.
-
-With ``shards=K`` every method is wrapped in a
-:class:`repro.engine.ShardedEstimator` that partitions users across ``K``
-independent sub-sketches, each dimensioned at ``1/K`` of the memory budget
-(so the total stays ``M``) — the scale-out configuration exposed by the CLI's
-``--shards`` flag.
+The six compared estimators used to be constructed here by an if/elif chain
+implementing the paper's equal-memory protocol (Section V-B).  Construction
+now lives in the central method registry — one documented
+:class:`~repro.registry.MethodSpec` per method, including the unified
+``virtual_size`` clamp — and this module simply re-exports the factory under
+its original names so experiments, tests and downstream scripts keep working
+unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable
 
-from repro.baselines import CSE, PerUserHLLPP, PerUserLPC, VirtualHLL
-from repro.core import FreeBS, FreeRS
 from repro.core.base import CardinalityEstimator
-from repro.engine import ShardedEstimator
-from repro.experiments.config import ExperimentConfig
+from repro.registry import METHOD_ORDER, build, build_many
 
-#: Order in which methods appear in every table (matches the paper's legends).
-METHOD_ORDER = ["FreeBS", "FreeRS", "CSE", "vHLL", "LPC", "HLL++"]
+__all__ = ["METHOD_ORDER", "build_estimator", "build_estimators"]
 
 
 def build_estimator(
     method: str,
-    config: ExperimentConfig,
+    config,
     expected_users: int,
 ) -> CardinalityEstimator:
-    """Build one estimator by method name under the configuration's budget."""
-    registers = config.registers
-    virtual_size = min(config.virtual_size, max(16, registers // 4), registers - 1)
-    if method == "FreeBS":
-        return FreeBS(config.memory_bits, seed=config.seed)
-    if method == "FreeRS":
-        return FreeRS(registers, register_width=config.register_width, seed=config.seed)
-    if method == "CSE":
-        # Clamp so heavily-sharded (small per-shard budget) configs stay valid.
-        cse_virtual = min(config.virtual_size, config.memory_bits)
-        return CSE(config.memory_bits, virtual_size=cse_virtual, seed=config.seed)
-    if method == "vHLL":
-        return VirtualHLL(
-            registers,
-            virtual_size=virtual_size,
-            register_width=config.register_width,
-            seed=config.seed,
-        )
-    if method == "LPC":
-        return PerUserLPC(config.memory_bits, expected_users=expected_users, seed=config.seed)
-    if method == "HLL++":
-        return PerUserHLLPP(config.memory_bits, expected_users=expected_users, seed=config.seed)
-    raise ValueError(f"unknown method {method!r}; known: {METHOD_ORDER}")
+    """Build one estimator by method name (delegates to :func:`repro.registry.build`)."""
+    return build(method, config, expected_users)
 
 
 def build_estimators(
-    config: ExperimentConfig,
+    config,
     expected_users: int,
     methods: Iterable[str] | None = None,
     shards: int = 1,
 ) -> Dict[str, CardinalityEstimator]:
-    """Build the requested estimators under the configuration's memory budget.
+    """Build the requested estimators under one shared memory budget.
 
-    Parameters
-    ----------
-    config:
-        Experiment configuration (memory budget, virtual sketch size, seed).
-    expected_users:
-        User population used to dimension the per-user baselines.
-    methods:
-        Subset of :data:`METHOD_ORDER` to build; defaults to all six.
-    shards:
-        With ``shards > 1`` every estimator is a
-        :class:`~repro.engine.ShardedEstimator` of that many sub-sketches,
-        each with ``1/shards`` of the memory budget and expected users.
+    Delegates to :func:`repro.registry.build_many`; with ``shards > 1`` every
+    estimator is a :class:`~repro.engine.ShardedEstimator` of that many
+    sub-sketches, each with ``1/shards`` of the memory budget.
     """
-    selected: List[str] = list(methods) if methods is not None else list(METHOD_ORDER)
-    unknown = set(selected) - set(METHOD_ORDER)
-    if unknown:
-        raise ValueError(f"unknown methods {sorted(unknown)}; known: {METHOD_ORDER}")
-    if shards <= 0:
-        raise ValueError("shards must be positive")
-    if shards == 1:
-        return {
-            method: build_estimator(method, config, expected_users) for method in selected
-        }
-    shard_memory = config.memory_bits // shards
-    if shard_memory < 64:
-        raise ValueError(
-            f"memory budget of {config.memory_bits} bits is too small for "
-            f"{shards} shards (each shard would get {shard_memory} < 64 bits); "
-            "raise the budget or lower the shard count"
-        )
-    shard_config = replace(config, memory_bits=shard_memory)
-    shard_users = max(1, expected_users // shards)
-    estimators: Dict[str, CardinalityEstimator] = {}
-    for method in selected:
-
-        def factory(_shard_index: int, _method: str = method) -> CardinalityEstimator:
-            return build_estimator(_method, shard_config, shard_users)
-
-        estimators[method] = ShardedEstimator(factory, shards=shards, seed=config.seed)
-    return estimators
+    return build_many(config, expected_users, methods=methods, shards=shards)

@@ -1,0 +1,78 @@
+"""Experiment — parallel-ingest runtime scaling and consistency.
+
+Not a paper artefact: the paper's Section VI argues FreeBS/FreeRS sustain
+line-rate ingest under a fixed memory budget; this experiment exercises the
+reproduction's scale-out path (:mod:`repro.runtime`) on a dataset stand-in.
+For each worker count it reports wall-clock ingest time and throughput, plus
+whether the merged estimates are *bit-identical* to the single-process run
+with the same shard count — the runtime's correctness contract.
+
+Speedup numbers are hardware-dependent (worker processes must fit on real
+cores); the ``estimates_match`` column must be ``True`` everywhere on any
+machine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import Table
+from repro.runtime import parallel_ingest
+from repro.streams.datasets import DATASETS
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    dataset: str = "chicago",
+    method: str = "vHLL",
+    workers: Iterable[int] = (1, 2),
+    chunk_size: int | None = None,
+) -> Table:
+    """Sweep worker counts over one dataset; verify single-process parity."""
+    config = config or ExperimentConfig()
+    worker_counts: List[int] = sorted(set(int(count) for count in workers))
+    if not worker_counts or worker_counts[0] <= 0:
+        raise ValueError("workers must be a non-empty iterable of positive counts")
+    stream = DATASETS[dataset].load(scale=config.dataset_scale)
+    stream.pairs()  # materialise once so every run replays identical input
+    shards = max(worker_counts)
+    table = Table(
+        title=f"Parallel ingest — {method} on {dataset} ({shards} shards)",
+        columns=[
+            "workers",
+            "shards",
+            "pairs",
+            "seconds",
+            "pairs_per_sec",
+            "speedup",
+            "estimates_match",
+        ],
+    )
+    reference = None
+    for count in worker_counts:
+        report = parallel_ingest(
+            stream,
+            method=method,
+            config=config,
+            expected_users=max(1, stream.user_count),
+            workers=count,
+            shards=shards,
+            chunk_size=chunk_size,
+        )
+        if reference is None:
+            reference = report
+        table.add_row(
+            count,
+            shards,
+            report.pairs,
+            round(report.seconds, 4),
+            round(report.pairs_per_second),
+            round(reference.seconds / report.seconds, 2) if report.seconds else 0.0,
+            report.estimates() == reference.estimates(),
+        )
+    table.add_note(
+        "estimates_match must be True on every row (bit-identical merge contract); "
+        "speedup depends on available cores"
+    )
+    return table

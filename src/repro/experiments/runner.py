@@ -8,6 +8,7 @@ described in DESIGN.md.
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Dict, List
 
 from repro.experiments import (
@@ -20,6 +21,7 @@ from repro.experiments import (
     figure4_scatter,
     figure5_rse,
     figure6_spreaders_time,
+    parallel_ingest,
     table1_datasets,
     table2_spreaders,
 )
@@ -41,6 +43,7 @@ EXPERIMENTS: Dict[str, ExperimentFunction] = {
     "ablation_bs_vs_rs": ablation_bs_vs_rs.run,
     "ablation_memory": ablation_memory.run,
     "ablation_register_width": ablation_register_width.run,
+    "parallel_ingest": parallel_ingest.run,
 }
 
 #: Short human-readable description per experiment id (shown by the CLI).
@@ -56,6 +59,7 @@ DESCRIPTIONS: Dict[str, str] = {
     "ablation_bs_vs_rs": "Ablation — FreeBS vs FreeRS cross-over",
     "ablation_memory": "Ablation — accuracy vs memory budget",
     "ablation_register_width": "Ablation — FreeRS register width under fixed memory",
+    "parallel_ingest": "Runtime — multiprocess parallel-ingest scaling and parity",
 }
 
 
@@ -65,10 +69,27 @@ def list_experiments() -> List[str]:
 
 
 def run_experiment(name: str, config: ExperimentConfig | None = None, **kwargs) -> Table:
-    """Run one experiment by identifier and return its result table."""
+    """Run one experiment by identifier and return its result table.
+
+    Keyword arguments are validated against the experiment function's
+    signature *before* the run starts, so a typo fails immediately with the
+    accepted names instead of exploding minutes into a sweep.
+    """
     try:
         function = EXPERIMENTS[name]
     except KeyError:
         known = ", ".join(EXPERIMENTS)
         raise KeyError(f"unknown experiment {name!r}; known experiments: {known}") from None
+    parameters = inspect.signature(function).parameters
+    accepts_any = any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD for parameter in parameters.values()
+    )
+    if not accepts_any:
+        accepted = list(parameters)[1:]  # first parameter is the config
+        unknown = sorted(set(kwargs) - set(accepted))
+        if unknown:
+            raise TypeError(
+                f"experiment {name!r} got unexpected keyword arguments {unknown}; "
+                f"accepted keywords: {accepted}"
+            )
     return function(config, **kwargs)

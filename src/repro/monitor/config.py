@@ -2,7 +2,7 @@
 
 A :class:`MonitorSpec` pins down everything needed to (re)build a
 :class:`~repro.monitor.spreader.SpreaderMonitor`: the estimation method and
-its dimensioning (reusing the experiment factory so the monitor and the
+its dimensioning (reusing the central method registry so the monitor and the
 experiments agree on the equal-memory protocol), the epoching mode, the
 window size, and the alerting thresholds.  Because it is a plain dataclass
 with a JSON round-trip, the snapshot store embeds it in every checkpoint and
@@ -17,7 +17,7 @@ from typing import Dict
 
 from repro.core.base import CardinalityEstimator
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.estimators import METHOD_ORDER, build_estimators
+from repro.registry import METHOD_ORDER, build
 
 
 @dataclass(frozen=True)
@@ -71,13 +71,12 @@ class MonitorSpec:
         )
 
         def factory(_epoch_index: int) -> CardinalityEstimator:
-            built = build_estimators(
+            return build(
+                self.method,
                 config,
                 expected_users=self.expected_users,
-                methods=[self.method],
                 shards=self.shards,
             )
-            return built[self.method]
 
         return factory
 

@@ -1,0 +1,227 @@
+"""Method specifications: the single authoritative description of each method.
+
+Every construction site in the repository — the experiments factory, the CLI,
+the monitor configuration and the snapshot serialiser — used to carry its own
+if/elif chain over method names, with subtly different ``virtual_size``
+clamping between them.  This module replaces all of that with one
+:class:`MethodSpec` per method, pinning down:
+
+* the **constructor** (``estimator_cls``) and how to call it;
+* the **equal-memory dimensioning rule** (``dimension``) implementing the
+  paper's protocol (Section V-B): FreeBS and CSE get ``M`` bits, FreeRS and
+  vHLL get ``M / w`` registers of ``w`` bits, the per-user baselines are
+  dimensioned from the expected user population;
+* the **merge capability** (``mergeable``): whether sketch-level union
+  merges are *exact* (CSE / vHLL / LPC / HLL++ — estimates are pure
+  functions of order-independent sketch state) or only *additive*
+  (FreeBS / FreeRS — Horvitz–Thompson sums depend on the fill trajectory);
+  this mirrors :func:`repro.monitor.merge.merge_exactness`;
+* the **serialization tag** (``tag``): the ``kind`` string used by
+  :mod:`repro.core.serialization` snapshot envelopes;
+* **batch-engine support** (``batch_engine``): whether the estimator
+  implements the engine's vectorised ``update_encoded`` path.
+
+The virtual-sketch methods share one documented clamp,
+:func:`clamp_virtual_size`; the historical divergence (CSE clamped only to
+``memory_bits`` while vHLL clamped to a quarter of the register capacity) is
+gone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping
+
+from repro.baselines import CSE, PerUserHLLPP, PerUserLPC, VirtualHLL
+from repro.core import FreeBS, FreeRS
+from repro.core.base import CardinalityEstimator
+
+#: Floor of the virtual sketch size: below this the LC/HLL estimators are
+#: meaningless, so the clamp never dimensions a virtual sketch smaller.
+MIN_VIRTUAL_SIZE = 16
+
+#: Upper clamp fraction: a virtual sketch larger than a quarter of the shared
+#: physical capacity leaves too little head-room for the noise-subtraction
+#: terms of CSE/vHLL to work (almost every physical cell would belong to
+#: every user), so the requested size is capped at ``capacity // 4``.
+CAPACITY_FRACTION = 4
+
+#: Rule mapping ``(config, expected_users) -> constructor kwargs``.  The
+#: config is duck-typed: anything exposing ``memory_bits``, ``virtual_size``,
+#: ``register_width`` and ``seed`` works (``ExperimentConfig`` in practice).
+DimensionRule = Callable[[object, int], Dict[str, object]]
+
+
+def shared_registers(config) -> int:
+    """Register count under the equal-memory protocol: ``max(16, M // w)``.
+
+    Matches :attr:`repro.experiments.config.ExperimentConfig.registers` so
+    duck-typed configs without that property dimension identically.
+    """
+    return max(16, config.memory_bits // config.register_width)
+
+
+def clamp_virtual_size(requested: int, capacity: int, *, strict: bool = False) -> int:
+    """The one shared virtual-sketch dimensioning rule for CSE and vHLL.
+
+    ``m = min(requested, max(MIN_VIRTUAL_SIZE, capacity // 4), upper)`` where
+    ``capacity`` is the shared physical capacity (bits for CSE, registers for
+    vHLL) and ``upper`` keeps the constructor invariants satisfiable:
+    ``capacity`` for CSE (``m <= M`` bits), ``capacity - 1`` for vHLL
+    (``m < M`` registers, ``strict=True``).  Heavily-sharded configurations
+    (small per-shard capacity) therefore always stay valid, and both methods
+    degrade the same way instead of CSE silently keeping an oversized virtual
+    sketch.
+    """
+    if requested <= 0:
+        raise ValueError("virtual_size must be positive")
+    upper = capacity - 1 if strict else capacity
+    return min(requested, max(MIN_VIRTUAL_SIZE, capacity // CAPACITY_FRACTION), upper)
+
+
+def _dimension_freebs(config, expected_users: int) -> Dict[str, object]:
+    """FreeBS gets the full memory budget as one shared bit array."""
+    return {"memory_bits": config.memory_bits, "seed": config.seed}
+
+
+def _dimension_freers(config, expected_users: int) -> Dict[str, object]:
+    """FreeRS gets ``M / w`` shared registers of ``w`` bits."""
+    return {
+        "registers": shared_registers(config),
+        "register_width": config.register_width,
+        "seed": config.seed,
+    }
+
+
+def _dimension_cse(config, expected_users: int) -> Dict[str, object]:
+    """CSE gets ``M`` shared bits; the virtual sketch follows the shared clamp."""
+    return {
+        "memory_bits": config.memory_bits,
+        "virtual_size": clamp_virtual_size(config.virtual_size, config.memory_bits),
+        "seed": config.seed,
+    }
+
+
+def _dimension_vhll(config, expected_users: int) -> Dict[str, object]:
+    """vHLL gets ``M / w`` shared registers; the virtual sketch must stay smaller."""
+    registers = shared_registers(config)
+    return {
+        "registers": registers,
+        "virtual_size": clamp_virtual_size(config.virtual_size, registers, strict=True),
+        "register_width": config.register_width,
+        "seed": config.seed,
+    }
+
+
+def _dimension_lpc(config, expected_users: int) -> Dict[str, object]:
+    """Per-user LPC splits the budget into ``M / |S|`` bits per expected user."""
+    return {
+        "memory_bits": config.memory_bits,
+        "expected_users": expected_users,
+        "seed": config.seed,
+    }
+
+
+def _dimension_hllpp(config, expected_users: int) -> Dict[str, object]:
+    """Per-user HLL++ splits the budget into ``M / (6 |S|)`` six-bit registers."""
+    return {
+        "memory_bits": config.memory_bits,
+        "expected_users": expected_users,
+        "seed": config.seed,
+    }
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """Everything the rest of the system needs to know about one method."""
+
+    #: Canonical method name (the key of :data:`REGISTRY`, shown in tables).
+    name: str
+    #: ``kind`` tag of :mod:`repro.core.serialization` snapshot envelopes.
+    tag: str
+    #: Estimator class the spec constructs.
+    estimator_cls: type
+    #: Equal-memory dimensioning rule (see module docstring).
+    dimension: DimensionRule
+    #: True when sketch-level union merges are *exact* (estimates are pure
+    #: functions of order-independent sketch state); False for the additive
+    #: FreeBS/FreeRS semantics.  Mirrors :mod:`repro.monitor.merge`.
+    mergeable: bool
+    #: True when the estimator implements the engine's vectorised
+    #: ``update_encoded`` batch path.
+    batch_engine: bool
+    #: One-line description for docs and ``--help`` output.
+    summary: str
+
+    def dimensions(self, config, expected_users: int) -> Dict[str, object]:
+        """Constructor kwargs for this method under ``config``'s budget."""
+        return self.dimension(config, expected_users)
+
+    def build(self, config, expected_users: int) -> CardinalityEstimator:
+        """Construct the estimator under the configuration's memory budget."""
+        return self.estimator_cls(**self.dimensions(config, expected_users))
+
+
+#: The central registry, in the order every table and legend uses.
+REGISTRY: Mapping[str, MethodSpec] = {
+    spec.name: spec
+    for spec in (
+        MethodSpec(
+            name="FreeBS",
+            tag="FreeBS",
+            estimator_cls=FreeBS,
+            dimension=_dimension_freebs,
+            mergeable=False,
+            batch_engine=True,
+            summary="bit-sharing estimator with Horvitz-Thompson updates (the paper's)",
+        ),
+        MethodSpec(
+            name="FreeRS",
+            tag="FreeRS",
+            estimator_cls=FreeRS,
+            dimension=_dimension_freers,
+            mergeable=False,
+            batch_engine=True,
+            summary="register-sharing estimator with HT updates (the paper's)",
+        ),
+        MethodSpec(
+            name="CSE",
+            tag="CSE",
+            estimator_cls=CSE,
+            dimension=_dimension_cse,
+            mergeable=True,
+            batch_engine=True,
+            summary="compact spread estimator: virtual LPC over shared bits",
+        ),
+        MethodSpec(
+            name="vHLL",
+            tag="vHLL",
+            estimator_cls=VirtualHLL,
+            dimension=_dimension_vhll,
+            mergeable=True,
+            batch_engine=True,
+            summary="virtual HyperLogLog over shared registers",
+        ),
+        MethodSpec(
+            name="LPC",
+            tag="LPC",
+            estimator_cls=PerUserLPC,
+            dimension=_dimension_lpc,
+            mergeable=True,
+            batch_engine=True,
+            summary="per-user linear probabilistic counting baseline",
+        ),
+        MethodSpec(
+            name="HLL++",
+            tag="HLL++",
+            estimator_cls=PerUserHLLPP,
+            dimension=_dimension_hllpp,
+            mergeable=True,
+            batch_engine=True,
+            summary="per-user HyperLogLog++ baseline",
+        ),
+    )
+}
+
+#: Order in which methods appear in every table (matches the paper's legends).
+METHOD_ORDER = list(REGISTRY)

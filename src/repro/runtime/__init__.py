@@ -1,0 +1,25 @@
+"""Parallel ingest runtime: multiprocess scale-out over sharded estimators.
+
+:func:`parallel_ingest` partitions users across a pool of shard workers
+(each replaying the engine's vectorised batch path over its slice of the
+stream) and merges the per-worker sketches into one estimator whose
+estimates are bit-identical to a single-process sharded run.  Exposed
+through ``repro.cli run --workers N``, the ``parallel_ingest`` experiment
+and ``benchmarks/bench_parallel_ingest.py``.
+"""
+
+from repro.runtime.parallel import (
+    QUEUE_DEPTH,
+    IngestReport,
+    owned_shards,
+    parallel_ingest,
+    worker_for_shards,
+)
+
+__all__ = [
+    "IngestReport",
+    "QUEUE_DEPTH",
+    "owned_shards",
+    "parallel_ingest",
+    "worker_for_shards",
+]

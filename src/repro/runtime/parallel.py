@@ -1,0 +1,307 @@
+"""Multiprocess parallel ingest: partition users across shard workers.
+
+The paper's scale-out story: a :class:`~repro.engine.ShardedEstimator`
+partitions users across ``K`` independent sub-sketches, and workers owning
+disjoint shard sets can ingest disjoint slices of the stream and later merge
+their states into exactly the estimator a single process would have built.
+This module turns that property into an execution path:
+
+1. the **coordinator** reads the stream in chunks, derives per-pair shard
+   ids with the engine's routing hash, and streams each worker the slice of
+   pairs whose shards it owns (worker ``w`` owns shards ``{k : k % W == w}``).
+   For all-integer streams only the user folds are computed serially — the
+   raw id slices ship to the workers, which run the full vectorised encode
+   themselves, keeping the coordinator's serial fraction small; other
+   streams are encoded once by the coordinator
+   (:class:`~repro.engine.EncodedBatch`) and split with
+   :meth:`~repro.engine.EncodedBatch.subset`;
+2. each **worker** — a long-lived task on a ``ProcessPoolExecutor`` — builds
+   the same ``K``-shard estimator from the central method registry, replays
+   its sub-batches through the vectorised ``update_encoded`` path, and
+   returns its serialised state;
+3. the coordinator restores the worker states and folds them into one final
+   estimator via the sketch-level :meth:`~repro.engine.ShardedEstimator.merge`
+   (legal because the touched shard sets are disjoint by construction).
+
+Because shard routing is deterministic in the user id, each shard sees
+exactly the pair sub-sequence it would have seen in a single-process run with
+the same chunking, and the batch paths are bit-identical to the scalar paths
+— so the merged estimator's estimates are **bit-identical** to the
+single-process ``shards=K`` run (asserted by the test-suite and the CI smoke
+job).  ``workers=1`` runs the identical chunk/encode/route loop in-process,
+which is the fair baseline the speedup benchmark measures against.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.base import CardinalityEstimator
+from repro.engine.base import DEFAULT_CHUNK_PAIRS
+from repro.engine.encoding import EncodedBatch
+from repro.engine.sharded import ShardedEstimator, route_pair_shards, route_user_hashes
+from repro.hashing import fold_key_array
+from repro.registry import build
+
+UserItemPair = Tuple[object, object]
+
+#: Encoded chunks buffered per worker queue before the coordinator blocks —
+#: enough to keep workers busy, small enough to bound coordinator memory.
+QUEUE_DEPTH = 4
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """Outcome of one (possibly parallel) ingest run."""
+
+    #: The merged estimator (a ``K``-shard :class:`ShardedEstimator`).
+    estimator: CardinalityEstimator
+    method: str
+    workers: int
+    shards: int
+    #: Pairs ingested (duplicates included).
+    pairs: int
+    #: Wall-clock seconds of the ingest (encode + route + update + merge).
+    seconds: float
+
+    @property
+    def pairs_per_second(self) -> float:
+        """Ingest throughput; 0.0 for an empty or instantaneous run."""
+        return self.pairs / self.seconds if self.seconds > 0 else 0.0
+
+    def estimates(self) -> Dict[object, float]:
+        """Per-user estimates of the merged estimator."""
+        return self.estimator.estimates()
+
+
+def worker_for_shards(shard_ids: np.ndarray, workers: int) -> np.ndarray:
+    """Owning worker of each shard id: the round-robin rule ``shard % W``.
+
+    The single definition of the partition — the coordinator's routing and
+    :func:`owned_shards` both derive from it, so they cannot drift apart
+    (drift would break the disjoint-shard merge contract).
+    """
+    return shard_ids % workers
+
+
+def owned_shards(worker: int, workers: int, shards: int) -> List[int]:
+    """Shard ids owned by ``worker`` (the inverse view of the same rule)."""
+    all_shards = np.arange(shards)
+    return all_shards[worker_for_shards(all_shards, workers) == worker].tolist()
+
+
+def _raw_int_arrays(stream):
+    """The stream as two integer arrays, or None when not representable."""
+    if hasattr(stream, "to_int_arrays"):
+        try:
+            return stream.to_int_arrays()
+        except TypeError:
+            return None
+    return None
+
+
+def _encoded_chunks(stream, chunk_size: int) -> Iterator[EncodedBatch]:
+    """Encode a stream into :class:`EncodedBatch` chunks of ``chunk_size`` pairs.
+
+    All-integer :class:`~repro.streams.GraphStream` inputs take the fully
+    vectorised array encoder (no per-pair Python fold); everything else falls
+    back to the generic pair encoder.  Both produce bit-identical folds, and
+    the chunk boundaries match :func:`repro.engine.base.process_stream`'s, so
+    the resulting estimator state is independent of the path taken.
+    """
+    arrays = _raw_int_arrays(stream)
+    if arrays is not None:
+        users, items = arrays
+        for start in range(0, len(users), chunk_size):
+            yield EncodedBatch.from_int_arrays(
+                users[start : start + chunk_size], items[start : start + chunk_size]
+            )
+        return
+    buffer: List[UserItemPair] = []
+    for pair in stream:
+        buffer.append(pair)
+        if len(buffer) >= chunk_size:
+            yield EncodedBatch.from_pairs(buffer)
+            buffer = []
+    if buffer:
+        yield EncodedBatch.from_pairs(buffer)
+
+
+def _worker_ingest(method: str, config, expected_users: int, shards: int, chunk_queue) -> str:
+    """Worker body: replay queued sub-batches, return serialised state.
+
+    Runs on a pool process.  The estimator is rebuilt from the registry with
+    the exact configuration the coordinator uses, so its per-shard
+    sub-sketches (hash seeds included) match the single-process run's.
+    Queue items are either pre-encoded batches or raw ``(users, items)``
+    array slices (the coordinator's fast path for integer streams), which
+    the worker encodes itself — folds are bit-identical either way.
+    """
+    from repro.core import serialization
+
+    estimator = build(method, config, expected_users, shards=shards)
+    while True:
+        item = chunk_queue.get()
+        if item is None:
+            break
+        batch = item if isinstance(item, EncodedBatch) else EncodedBatch.from_int_arrays(*item)
+        estimator.update_encoded(batch)
+    return serialization.dumps(estimator)
+
+
+def _put_with_backpressure(chunk_queue, item, futures) -> None:
+    """Enqueue one chunk, surfacing worker crashes instead of blocking forever."""
+    while True:
+        try:
+            chunk_queue.put(item, timeout=1.0)
+            return
+        except queue_module.Full:
+            for future in futures:
+                if future.done() and future.exception() is not None:
+                    raise future.exception()
+
+
+def parallel_ingest(
+    stream: Iterable[UserItemPair],
+    method: str = "FreeRS",
+    config=None,
+    expected_users: int = 1000,
+    workers: int = 1,
+    shards: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> IngestReport:
+    """Ingest a stream with ``workers`` processes; return the merged estimator.
+
+    Parameters
+    ----------
+    stream:
+        Iterable of (user, item) pairs; a :class:`~repro.streams.GraphStream`
+        of integer ids takes the fully vectorised encode path.
+    method:
+        Method name from the central registry.
+    config:
+        Dimensioning configuration (defaults to
+        :class:`~repro.experiments.config.ExperimentConfig`); the seed also
+        seeds the shard routing, so runs with equal configs are comparable.
+    expected_users:
+        Population used to dimension the per-user baselines.
+    workers:
+        Ingest processes.  ``1`` runs the same chunk/encode/route loop
+        in-process (no pool) — the baseline the benchmark compares against.
+    shards:
+        Shard count ``K`` of the underlying :class:`ShardedEstimator`;
+        defaults to ``workers`` and must be ``>= workers``.  Runs with equal
+        ``(config, shards)`` are bit-identical for any worker count.
+    chunk_size:
+        Pairs per encoded chunk (default
+        :data:`~repro.engine.base.DEFAULT_CHUNK_PAIRS`).
+    """
+    if workers <= 0:
+        raise ValueError("workers must be positive")
+    if shards is None:
+        shards = max(workers, 1)
+    if shards < workers:
+        raise ValueError(
+            f"shards ({shards}) must be at least the worker count ({workers}); "
+            "each worker needs at least one shard to own"
+        )
+    if chunk_size is None:
+        chunk_size = DEFAULT_CHUNK_PAIRS
+    elif chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    if config is None:
+        from repro.experiments.config import ExperimentConfig
+
+        config = ExperimentConfig()
+
+    start = time.perf_counter()
+    if workers == 1:
+        estimator = build(method, config, expected_users, shards=shards)
+        pairs = 0
+        for batch in _encoded_chunks(stream, chunk_size):
+            pairs += len(batch)
+            estimator.update_encoded(batch)
+        return IngestReport(
+            estimator=estimator,
+            method=method,
+            workers=1,
+            shards=shards,
+            pairs=pairs,
+            seconds=time.perf_counter() - start,
+        )
+
+    import multiprocessing
+
+    context = multiprocessing.get_context()
+    pairs = 0
+    with multiprocessing.Manager() as manager:
+        queues = [manager.Queue(maxsize=QUEUE_DEPTH) for _ in range(workers)]
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as executor:
+            futures = [
+                executor.submit(
+                    _worker_ingest, method, config, expected_users, shards, queues[w]
+                )
+                for w in range(workers)
+            ]
+            try:
+                arrays = _raw_int_arrays(stream)
+                if arrays is not None:
+                    # Fast path: route on the user folds alone and ship raw
+                    # id slices; the workers run the full encode in parallel.
+                    users, items = arrays
+                    for offset in range(0, len(users), chunk_size):
+                        chunk_users = users[offset : offset + chunk_size]
+                        chunk_items = items[offset : offset + chunk_size]
+                        pairs += len(chunk_users)
+                        folds = fold_key_array(chunk_users)
+                        pair_workers = worker_for_shards(
+                            route_user_hashes(folds, shards, config.seed), workers
+                        )
+                        for w in np.unique(pair_workers):
+                            mask = pair_workers == w
+                            _put_with_backpressure(
+                                queues[int(w)], (chunk_users[mask], chunk_items[mask]), futures
+                            )
+                else:
+                    for batch in _encoded_chunks(stream, chunk_size):
+                        pairs += len(batch)
+                        pair_shards = route_pair_shards(batch, shards, config.seed)
+                        pair_workers = worker_for_shards(pair_shards, workers)
+                        for w in np.unique(pair_workers):
+                            sub = batch.subset(pair_workers == w)
+                            _put_with_backpressure(queues[int(w)], sub, futures)
+            finally:
+                # Always deliver the sentinels: a worker blocked on get()
+                # would otherwise hang the pool shutdown on coordinator
+                # errors.  A finished future means the worker crashed (it
+                # only returns after seeing a sentinel), so skip its queue
+                # rather than blocking on it.
+                for future, chunk_queue in zip(futures, queues):
+                    while not future.done():
+                        try:
+                            chunk_queue.put(None, timeout=0.5)
+                            break
+                        except queue_module.Full:
+                            continue
+            payloads = [future.result() for future in futures]
+
+    from repro.core import serialization
+
+    merged = build(method, config, expected_users, shards=shards)
+    assert isinstance(merged, ShardedEstimator)
+    for payload in payloads:
+        merged.merge(serialization.loads(payload))
+    return IngestReport(
+        estimator=merged,
+        method=method,
+        workers=workers,
+        shards=shards,
+        pairs=pairs,
+        seconds=time.perf_counter() - start,
+    )

@@ -117,6 +117,14 @@ class TestRegistry:
     def test_registry_values_are_callables(self):
         assert all(callable(function) for function in EXPERIMENTS.values())
 
+    def test_unknown_kwargs_rejected_eagerly(self):
+        with pytest.raises(TypeError, match="unexpected keyword arguments"):
+            run_experiment("table1", _tiny_config(), bogus=True)
+
+    def test_known_kwargs_still_pass_through(self):
+        table = run_experiment("figure5", _tiny_config(), datasets=["chicago"])
+        assert len(table.rows) > 0
+
 
 class TestExperimentRuns:
     def test_table1(self):
@@ -167,6 +175,14 @@ class TestExperimentRuns:
             "ablation_memory", _tiny_config(), dataset="chicago", multipliers=[0.5, 1.0]
         )
         assert len(table.rows) == 8
+
+    def test_parallel_ingest(self):
+        table = run_experiment(
+            "parallel_ingest", _tiny_config(), dataset="chicago", workers=[1, 2]
+        )
+        rows = table.row_dicts()
+        assert [row["workers"] for row in rows] == [1, 2]
+        assert all(row["estimates_match"] for row in rows)
 
     def test_ablation_m_sensitivity(self):
         table = run_experiment(

@@ -1,0 +1,118 @@
+"""Tests for the multiprocess parallel-ingest runtime.
+
+The load-bearing property: for a fixed shard count, the merged estimator of
+a multi-worker run is **bit-identical** to the single-process sharded run —
+same shard partitioning, same seeds, exact float equality on every user's
+estimate.  Multiprocess spin-up costs a few hundred milliseconds per run, so
+the suite keeps the streams small and the worker sweeps short.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.registry import build
+from repro.runtime import IngestReport, owned_shards, parallel_ingest
+from repro.streams.generators import zipf_bipartite_stream
+from repro.streams.stream import GraphStream
+
+_CONFIG = ExperimentConfig(memory_bits=1 << 17, seed=7)
+_USERS = 250
+
+
+@pytest.fixture(scope="module")
+def stream():
+    pairs = list(zipf_bipartite_stream(n_users=_USERS, n_pairs=12_000, seed=3))
+    return GraphStream(pairs)
+
+
+class TestSingleProcessPath:
+    def test_workers_one_matches_plain_sharded_process(self, stream):
+        reference = build("vHLL", _CONFIG, _USERS, shards=2)
+        reference.process(stream)
+        report = parallel_ingest(
+            stream, method="vHLL", config=_CONFIG, expected_users=_USERS,
+            workers=1, shards=2,
+        )
+        assert report.estimates() == reference.estimates()
+
+    def test_report_accounting(self, stream):
+        report = parallel_ingest(
+            stream, method="FreeRS", config=_CONFIG, expected_users=_USERS, workers=1
+        )
+        assert isinstance(report, IngestReport)
+        assert report.pairs == len(stream)
+        assert report.workers == 1 and report.shards == 1
+        assert report.pairs_per_second > 0
+
+
+class TestMultiprocessBitIdentity:
+    @pytest.mark.parametrize("method", ["FreeRS", "CSE"])
+    def test_two_workers_match_single_process(self, method, stream):
+        single = parallel_ingest(
+            stream, method=method, config=_CONFIG, expected_users=_USERS,
+            workers=1, shards=2,
+        )
+        parallel = parallel_ingest(
+            stream, method=method, config=_CONFIG, expected_users=_USERS,
+            workers=2, shards=2,
+        )
+        assert parallel.estimates() == single.estimates()
+        assert parallel.pairs == single.pairs == len(stream)
+
+    def test_more_shards_than_workers(self, stream):
+        single = parallel_ingest(
+            stream, method="vHLL", config=_CONFIG, expected_users=_USERS,
+            workers=1, shards=5,
+        )
+        parallel = parallel_ingest(
+            stream, method="vHLL", config=_CONFIG, expected_users=_USERS,
+            workers=2, shards=5,
+        )
+        assert parallel.estimates() == single.estimates()
+
+    def test_generic_pair_streams_use_the_subset_path(self):
+        pairs = [(f"u{u}", f"i{i}") for u, i in
+                 zipf_bipartite_stream(n_users=80, n_pairs=3000, seed=9)]
+        stream = GraphStream(pairs)
+        single = parallel_ingest(
+            stream, method="FreeBS", config=_CONFIG, expected_users=80,
+            workers=1, shards=2,
+        )
+        parallel = parallel_ingest(
+            stream, method="FreeBS", config=_CONFIG, expected_users=80,
+            workers=2, shards=2,
+        )
+        assert parallel.estimates() == single.estimates()
+
+    def test_chunking_does_not_change_the_result(self, stream):
+        coarse = parallel_ingest(
+            stream, method="FreeRS", config=_CONFIG, expected_users=_USERS,
+            workers=2, shards=2, chunk_size=4096,
+        )
+        fine = parallel_ingest(
+            stream, method="FreeRS", config=_CONFIG, expected_users=_USERS,
+            workers=2, shards=2, chunk_size=1000,
+        )
+        assert coarse.estimates() == fine.estimates()
+
+
+class TestValidation:
+    def test_rejects_nonpositive_workers(self, stream):
+        with pytest.raises(ValueError, match="workers must be positive"):
+            parallel_ingest(stream, workers=0)
+
+    def test_rejects_fewer_shards_than_workers(self, stream):
+        with pytest.raises(ValueError, match="at least the worker count"):
+            parallel_ingest(stream, workers=4, shards=2)
+
+    def test_rejects_nonpositive_chunk_size(self, stream):
+        with pytest.raises(ValueError, match="chunk_size must be positive"):
+            parallel_ingest(stream, workers=1, chunk_size=0)
+
+    def test_owned_shards_round_robin(self):
+        assert owned_shards(0, 2, 5) == [0, 2, 4]
+        assert owned_shards(1, 2, 5) == [1, 3]
+        covered = owned_shards(0, 3, 3) + owned_shards(1, 3, 3) + owned_shards(2, 3, 3)
+        assert sorted(covered) == [0, 1, 2]
