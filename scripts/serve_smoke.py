@@ -1,0 +1,209 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the estimate-serving layer (the CI ``serve-smoke`` job).
+
+Drives the real ``repro.cli serve`` process over a generated dataset and
+asserts the acceptance contract of the service layer:
+
+1. client ``batch_spread`` / ``topk`` answers received *while ingest is
+   running* are identical to a direct :class:`SpreaderMonitor` replayed to
+   the exact ingest offset each response was stamped with — including at
+   least one answer before and one after an epoch rotation;
+2. after the server is hard-killed (SIGKILL), a second server resumed from
+   its snapshot directory answers identically to a direct restore of the
+   same checkpoint.
+
+Run from the repository root: ``python scripts/serve_smoke.py [workdir]``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.monitor import MonitorSpec, SnapshotStore  # noqa: E402
+from repro.runtime import batch_slices  # noqa: E402
+from repro.service import ServiceClient  # noqa: E402
+from repro.streams.io import read_edge_file  # noqa: E402
+
+BATCH_SIZE = 200
+EPOCH_PAIRS = 400
+MEMORY_BITS = 1 << 14
+WINDOW_EPOCHS = 4
+TOP_K = 10
+RATE = 4000.0  # pairs/second: slow enough to query mid-ingest, fast enough for CI
+
+SERVE_FLAGS = [
+    "--method", "FreeRS",
+    "--memory-bits", str(MEMORY_BITS),
+    "--epoch-pairs", str(EPOCH_PAIRS),
+    "--window", str(WINDOW_EPOCHS),
+    "--top-k", str(TOP_K),
+    "--batch-size", str(BATCH_SIZE),
+]
+
+
+def _spawn_serve(args, cwd):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", *args],
+        stdout=subprocess.PIPE,
+        text=True,
+        cwd=cwd,
+        env=env,
+    )
+    deadline = time.monotonic() + 60.0
+    while True:
+        line = process.stdout.readline()
+        if not line:
+            raise SystemExit("serve process exited before announcing readiness")
+        if line.startswith("#"):
+            continue
+        record = json.loads(line)
+        if record.get("type") == "serving":
+            return process, record["port"]
+        if time.monotonic() > deadline:
+            raise SystemExit("timed out waiting for the serving announcement")
+
+
+def _replica_at(stream, offset):
+    """A direct monitor replayed to ``offset`` pairs — the ground truth."""
+    timestamps = stream.timestamps() if stream.has_timestamps else None
+    monitor = MonitorSpec(
+        method="FreeRS",
+        memory_bits=MEMORY_BITS,
+        expected_users=max(1, stream.user_count),
+        epoch_pairs=EPOCH_PAIRS,
+        window_epochs=WINDOW_EPOCHS,
+        top_k=TOP_K,
+        delta=5e-3,
+    ).build()
+    pairs = stream.pairs()
+    times = None if timestamps is None else timestamps[:offset]
+    for chunk, chunk_times in batch_slices(pairs[:offset], times, BATCH_SIZE):
+        monitor.observe(chunk, chunk_times)
+    return monitor
+
+
+def _check(condition, message):
+    if not condition:
+        raise SystemExit(f"serve-smoke FAILED: {message}")
+
+
+def main() -> int:
+    workdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(tempfile.mkdtemp())
+    workdir.mkdir(parents=True, exist_ok=True)
+    dataset = workdir / "serve-smoke.tsv"
+    snapshot_dir = workdir / "snaps"
+
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    subprocess.run(
+        [sys.executable, "-m", "repro.cli", "generate-dataset", "chicago",
+         str(dataset), "--scale", "0.02"],
+        check=True,
+        env=env,
+    )
+    stream = read_edge_file(dataset)
+    print(f"dataset: {len(stream)} pairs, {stream.user_count} users")
+
+    process, port = _spawn_serve(
+        [str(dataset), *SERVE_FLAGS, "--rate", str(RATE),
+         "--snapshot-dir", str(snapshot_dir), "--snapshot-every", "2"],
+        cwd=workdir,
+    )
+    try:
+        observed = []  # (offset, probe answers, topk answer)
+        probe_users = sorted({user for user, _ in stream.pairs()[:400]})[:8]
+        with ServiceClient(port=port, timeout=30.0) as client:
+            while True:
+                values = client.batch_spread(probe_users)
+                offset = client.last_pairs_ingested
+                top = client.topk(TOP_K)
+                top_offset = client.last_pairs_ingested
+                if offset == top_offset:  # same snapshot answered both
+                    observed.append((offset, values, top))
+                stats = client.stats()
+                if stats.get("ingest", {}).get("finished"):
+                    break
+                time.sleep(0.05)
+            final = client.stats()
+            print(
+                f"queried {len(observed)} consistent states during ingest; "
+                f"final: {final['pairs_ingested']} pairs, "
+                f"{final['epochs_started']} epochs"
+            )
+        # Deduplicate by offset; ground-truth each observed state.
+        states = {offset: (values, top) for offset, values, top in observed}
+        epochs_seen = set()
+        for offset, (values, top) in sorted(states.items()):
+            replica = _replica_at(stream, offset)
+            epochs_seen.add(replica.window.epochs_started)
+            estimates = replica.last_window_estimates()
+            expected = [float(estimates.get(user, 0.0)) for user in probe_users]
+            _check(
+                values == expected,
+                f"batch_spread diverged from the direct monitor at offset {offset}",
+            )
+            _check(
+                top == [(user, value) for user, value in replica.current_top],
+                f"topk diverged from the direct monitor at offset {offset}",
+            )
+        _check(
+            len(epochs_seen) >= 2,
+            "never caught answers on both sides of an epoch rotation "
+            f"(epochs seen: {sorted(epochs_seen)}); lower RATE",
+        )
+        print(f"states verified at offsets {sorted(states)}; epochs {sorted(epochs_seen)}")
+    finally:
+        process.kill()  # SIGKILL: the resume below must rely on snapshots alone
+        process.wait()
+
+    # -- killed server resumes from its snapshot and answers identically ------
+    store = SnapshotStore(snapshot_dir)
+    latest = store.latest()
+    _check(latest is not None, "no snapshot was written before the kill")
+    direct = store.restore()
+    estimates = direct.last_window_estimates()
+    probe = list(estimates)[:8]
+
+    process, port = _spawn_serve(
+        ["--snapshot-dir", str(snapshot_dir), "--resume"], cwd=workdir
+    )
+    try:
+        with ServiceClient(port=port, timeout=30.0) as client:
+            resumed_stats = client.stats()
+            _check(
+                resumed_stats["pairs_ingested"] == direct.window.pairs_ingested,
+                "resumed server is at a different ingest offset than the snapshot",
+            )
+            _check(
+                client.batch_spread(probe) == [float(estimates[user]) for user in probe],
+                "resumed batch_spread diverged from the direct snapshot restore",
+            )
+            ranked = sorted(estimates.items(), key=lambda pair: pair[1], reverse=True)
+            _check(
+                client.topk(TOP_K) == [(u, float(v)) for u, v in ranked[:TOP_K]],
+                "resumed topk diverged from the direct snapshot restore",
+            )
+        print(
+            f"kill/resume verified from {latest.name} at pair "
+            f"{direct.window.pairs_ingested}"
+        )
+    finally:
+        process.kill()
+        process.wait()
+
+    print("serve-smoke PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

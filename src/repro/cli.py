@@ -48,6 +48,20 @@ Three subcommands:
     ``--shards K`` partitions users across K independent sub-sketches
     (:class:`repro.engine.ShardedEstimator`), each with 1/K of the memory
     budget — the scale-out configuration for multi-worker replay.
+
+``freesketch serve [edge-file] [--port P] [--refresh-every N] [monitor flags]
+[--snapshot-dir DIR] [--snapshot-every N] [--resume] [--rate R]``
+    Serve live spread-estimate queries (``spread`` / ``batch_spread`` /
+    ``topk`` / ``sliding`` / ``stats``) over a newline-delimited-JSON TCP
+    protocol (:mod:`repro.service`) while a background thread ingests the
+    edge-list file through a :class:`~repro.monitor.spreader.SpreaderMonitor`.
+    Queries answer from a versioned read snapshot refreshed every
+    ``--refresh-every`` batches, so concurrent readers never block ingest.
+    With ``--snapshot-dir --resume`` the monitor is restored from the latest
+    checkpoint first; without an edge file the restored state is served
+    statically.  Readiness (and the bound port, with the default ``--port
+    0``) is announced as a ``{"type": "serving", ...}`` JSONL record on
+    stdout.
 """
 
 from __future__ import annotations
@@ -175,10 +189,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_monitor(args: argparse.Namespace) -> int:
-    import json
+def _monitor_spec_from_args(args: argparse.Namespace, stream) -> "object":
+    """Build the MonitorSpec shared by the ``monitor`` and ``serve`` commands.
 
-    from repro.monitor import MonitorSpec, SnapshotStore, replay_feed
+    One home for the epoch-mode and threshold validation and the delta
+    default, so the two commands cannot drift apart.
+    """
+    from repro.monitor import MonitorSpec
 
     if (args.epoch_pairs is None) == (args.epoch_span is None):
         raise SystemExit("set exactly one of --epoch-pairs or --epoch-span")
@@ -187,6 +204,53 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     delta = args.delta
     if delta is None and args.threshold is None:
         delta = 5e-3
+    return MonitorSpec(
+        method=args.method,
+        memory_bits=args.memory_bits,
+        seed=args.seed,
+        expected_users=max(1, stream.user_count),
+        shards=args.shards,
+        epoch_pairs=args.epoch_pairs,
+        epoch_span=args.epoch_span,
+        window_epochs=args.window,
+        top_k=args.top_k,
+        delta=delta,
+        threshold=args.threshold,
+        hysteresis=args.hysteresis,
+    )
+
+
+def _restore_monitor_for_resume(args: argparse.Namespace, snapshot_store):
+    """Shared ``--resume`` path: restore the latest checkpoint or exit clearly."""
+    from repro.monitor import SnapshotError
+
+    if snapshot_store is None:
+        raise SystemExit("--resume requires --snapshot-dir")
+    try:
+        monitor = snapshot_store.restore()
+    except SnapshotError as error:
+        # A missing or truncated checkpoint must not start a silent fresh
+        # replay (double-counting the stream) or dump a JSON-layer
+        # traceback; name the file and the way out, exit non-zero.
+        raise SystemExit(f"--resume failed: {error}") from None
+    print(
+        f"# resumed from {snapshot_store.latest()} at pair "
+        f"{monitor.window.pairs_ingested}",
+        flush=True,
+    )
+    print(
+        "# note: monitor configuration comes from the snapshot's spec; "
+        "method/window/threshold flags on this command line are ignored",
+        flush=True,
+    )
+    return monitor
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.monitor import SnapshotStore, replay_feed
+
     stream = read_edge_file(args.path)
     timestamps = stream.timestamps() if stream.has_timestamps else None
     snapshot_store = SnapshotStore(args.snapshot_dir) if args.snapshot_dir else None
@@ -196,32 +260,10 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     monitor = None
     skip_pairs = 0
     if args.resume:
-        if snapshot_store is None:
-            raise SystemExit("--resume requires --snapshot-dir")
-        if snapshot_store.latest() is not None:
-            monitor = snapshot_store.restore()
-            skip_pairs = monitor.window.pairs_ingested
-            print(f"# resumed from {snapshot_store.latest()} at pair {skip_pairs}")
-            print(
-                "# note: monitor configuration comes from the snapshot's spec; "
-                "method/window/threshold flags on this command line are ignored"
-            )
+        monitor = _restore_monitor_for_resume(args, snapshot_store)
+        skip_pairs = monitor.window.pairs_ingested
     if monitor is None:
-        spec = MonitorSpec(
-            method=args.method,
-            memory_bits=args.memory_bits,
-            seed=args.seed,
-            expected_users=max(1, stream.user_count),
-            shards=args.shards,
-            epoch_pairs=args.epoch_pairs,
-            epoch_span=args.epoch_span,
-            window_epochs=args.window,
-            top_k=args.top_k,
-            delta=delta,
-            threshold=args.threshold,
-            hysteresis=args.hysteresis,
-        )
-        monitor = spec.build()
+        monitor = _monitor_spec_from_args(args, stream).build()
 
     out_handle = open(args.out, "a", encoding="utf-8") if args.out else None
     stdout_open = True
@@ -254,6 +296,61 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     finally:
         if out_handle is not None:
             out_handle.close()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.monitor import SnapshotStore
+    from repro.service import serve_monitor
+
+    if args.path is None and not args.resume:
+        raise SystemExit(
+            "serve needs a stream to ingest (an edge-list file) and/or a "
+            "checkpoint to restore (--snapshot-dir with --resume)"
+        )
+    if args.refresh_every <= 0:
+        raise SystemExit("--refresh-every must be positive")
+    snapshot_store = SnapshotStore(args.snapshot_dir) if args.snapshot_dir else None
+    if args.snapshot_every and snapshot_store is None:
+        raise SystemExit("--snapshot-every requires --snapshot-dir")
+
+    monitor = None
+    if args.resume:
+        monitor = _restore_monitor_for_resume(args, snapshot_store)
+
+    pairs = None
+    timestamps = None
+    if args.path is not None:
+        stream = read_edge_file(args.path)
+        pairs = stream.pairs()
+        timestamps = stream.timestamps() if stream.has_timestamps else None
+        if monitor is None:
+            monitor = _monitor_spec_from_args(args, stream).build()
+
+    def announce(record):
+        print(json.dumps(record), flush=True)
+
+    try:
+        asyncio.run(
+            serve_monitor(
+                monitor,
+                pairs=pairs,
+                timestamps=timestamps,
+                host=args.host,
+                port=args.port,
+                batch_size=args.batch_size,
+                rate=args.rate,
+                refresh_every=args.refresh_every,
+                snapshot_store=snapshot_store,
+                snapshot_every=args.snapshot_every,
+                announce=announce,
+            )
+        )
+    except KeyboardInterrupt:
+        print("# interrupted; server closed", flush=True)
     return 0
 
 
@@ -354,49 +451,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay an edge-list file through the continuous monitoring subsystem",
     )
     monitor_parser.add_argument("path")
-    monitor_parser.add_argument("--method", default="FreeRS", choices=METHOD_ORDER)
-    monitor_parser.add_argument("--memory-bits", type=int, default=1 << 18)
-    monitor_parser.add_argument("--seed", type=int, default=7)
-    monitor_parser.add_argument(
-        "--shards", type=int, default=1, help="user-partitioned shards per epoch"
-    )
-    monitor_parser.add_argument(
-        "--epoch-pairs",
-        type=int,
-        default=None,
-        help="close an epoch after this many pairs (event-count rotation)",
-    )
-    monitor_parser.add_argument(
-        "--epoch-span",
-        type=float,
-        default=None,
-        help="close an epoch after this span of the arrival clock "
-        "(timestamp rotation; files without a timestamp column use the event index)",
-    )
-    monitor_parser.add_argument(
-        "--window", type=int, default=8, help="epochs retained for sliding-window queries"
-    )
-    monitor_parser.add_argument("--top-k", type=int, default=10)
-    monitor_parser.add_argument(
-        "--delta",
-        type=float,
-        default=None,
-        help="relative spreader threshold on the window total "
-        "(default 5e-3 when --threshold is not given)",
-    )
-    monitor_parser.add_argument(
-        "--threshold",
-        type=float,
-        default=None,
-        help="absolute spreader threshold (mutually exclusive with --delta)",
-    )
-    monitor_parser.add_argument(
-        "--hysteresis",
-        type=float,
-        default=0.2,
-        help="exit threshold sits this fraction below the enter threshold",
-    )
-    monitor_parser.add_argument("--batch-size", type=int, default=2048)
+    _add_monitor_flags(monitor_parser)
     monitor_parser.add_argument(
         "--rate",
         type=float,
@@ -406,23 +461,105 @@ def build_parser() -> argparse.ArgumentParser:
     monitor_parser.add_argument(
         "--out", default=None, help="also append the JSONL feed to this file"
     )
-    monitor_parser.add_argument(
+    monitor_parser.set_defaults(handler=_cmd_monitor)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="serve live spread-estimate queries over newline-delimited-JSON TCP "
+        "while ingesting a stream in the background",
+    )
+    serve_parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="edge-list file to ingest while serving; omit to serve a restored "
+        "checkpoint statically (requires --snapshot-dir --resume)",
+    )
+    _add_monitor_flags(serve_parser)
+    serve_parser.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="throttle background ingest to roughly this many pairs per second",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port to bind (default 0: pick a free port, announced on stdout)",
+    )
+    serve_parser.add_argument(
+        "--refresh-every",
+        type=int,
+        default=1,
+        help="re-export the read snapshot every N ingest batches (default 1; "
+        "larger values trade answer freshness for ingest throughput)",
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    return parser
+
+
+def _add_monitor_flags(parser: argparse.ArgumentParser) -> None:
+    """Spec/replay/snapshot flags shared by ``monitor`` and ``serve``."""
+    parser.add_argument("--method", default="FreeRS", choices=METHOD_ORDER)
+    parser.add_argument("--memory-bits", type=int, default=1 << 18)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--shards", type=int, default=1, help="user-partitioned shards per epoch"
+    )
+    parser.add_argument(
+        "--epoch-pairs",
+        type=int,
+        default=None,
+        help="close an epoch after this many pairs (event-count rotation)",
+    )
+    parser.add_argument(
+        "--epoch-span",
+        type=float,
+        default=None,
+        help="close an epoch after this span of the arrival clock "
+        "(timestamp rotation; files without a timestamp column use the event index)",
+    )
+    parser.add_argument(
+        "--window", type=int, default=8, help="epochs retained for sliding-window queries"
+    )
+    parser.add_argument("--top-k", type=int, default=10)
+    parser.add_argument(
+        "--delta",
+        type=float,
+        default=None,
+        help="relative spreader threshold on the window total "
+        "(default 5e-3 when --threshold is not given)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="absolute spreader threshold (mutually exclusive with --delta)",
+    )
+    parser.add_argument(
+        "--hysteresis",
+        type=float,
+        default=0.2,
+        help="exit threshold sits this fraction below the enter threshold",
+    )
+    parser.add_argument("--batch-size", type=int, default=2048)
+    parser.add_argument(
         "--snapshot-dir", default=None, help="directory for monitor state snapshots"
     )
-    monitor_parser.add_argument(
+    parser.add_argument(
         "--snapshot-every",
         type=int,
         default=0,
         help="checkpoint every N batches (requires --snapshot-dir)",
     )
-    monitor_parser.add_argument(
+    parser.add_argument(
         "--resume",
         action="store_true",
         help="restore the latest snapshot from --snapshot-dir and continue",
     )
-    monitor_parser.set_defaults(handler=_cmd_monitor)
-
-    return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -17,7 +17,10 @@ one-shot estimators:
 * :mod:`repro.monitor.replay` — :func:`replay_feed`, rate-controlled replay
   of a dataset producing a JSONL feed of window estimates and alerts;
 * :mod:`repro.monitor.config` — :class:`MonitorSpec`, the declarative
-  configuration embedded in every snapshot.
+  configuration embedded in every snapshot;
+* :mod:`repro.monitor.view` — :class:`ReadSnapshot` and
+  :class:`SlidingMergeCache`, the versioned read-only exports the
+  query-serving layer (:mod:`repro.service`) answers from.
 
 See ``docs/monitoring.md`` for the epoch/window semantics and the snapshot
 format, and the CLI's ``monitor`` subcommand for the turnkey entry point.
@@ -35,8 +38,19 @@ from repro.monitor.merge import (
     refresh_estimates_from_state,
 )
 from repro.monitor.replay import replay_feed
-from repro.monitor.snapshot import SnapshotStore, monitor_from_json, monitor_to_json
+from repro.monitor.snapshot import (
+    SnapshotError,
+    SnapshotStore,
+    monitor_from_json,
+    monitor_to_json,
+)
 from repro.monitor.spreader import AlertEvent, SpreaderMonitor
+from repro.monitor.view import (
+    ReadSnapshot,
+    SlidingMergeCache,
+    export_read_snapshot,
+    normalize_user_key,
+)
 from repro.monitor.window import Epoch, WindowedEstimator
 
 __all__ = [
@@ -45,10 +59,15 @@ __all__ = [
     "AlertEvent",
     "Epoch",
     "MonitorSpec",
+    "ReadSnapshot",
+    "SlidingMergeCache",
+    "SnapshotError",
     "SnapshotStore",
     "SpreaderMonitor",
     "WindowedEstimator",
+    "export_read_snapshot",
     "fresh_estimates",
+    "normalize_user_key",
     "merge_exactness",
     "merge_into",
     "merged_copy",

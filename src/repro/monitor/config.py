@@ -54,6 +54,9 @@ class MonitorSpec:
     threshold: float | None = None
     #: Hysteresis fraction between enter and exit thresholds.
     hysteresis: float = 0.2
+    #: Raise on regressed (non-monotonic) arrival timestamps instead of
+    #: clamping them to the live epoch (see ``WindowedEstimator``).
+    strict_timestamps: bool = False
 
     def __post_init__(self) -> None:
         if self.method not in METHOD_ORDER:
@@ -90,6 +93,7 @@ class MonitorSpec:
             epoch_pairs=self.epoch_pairs,
             epoch_span=self.epoch_span,
             window_epochs=self.window_epochs,
+            strict_timestamps=self.strict_timestamps,
         )
         monitor = SpreaderMonitor(
             window,

@@ -34,6 +34,22 @@ _FORMAT = "freesketch-monitor-snapshot"
 _FORMAT_VERSION = 1
 
 
+class SnapshotError(RuntimeError):
+    """A snapshot file could not be restored.
+
+    Raised with the offending path and the operator's recovery options in
+    the message, so ``repro.cli monitor --resume`` (and anything else
+    restoring checkpoints) can fail with a actionable one-liner instead of
+    an opaque traceback from the JSON layer.
+    """
+
+    def __init__(self, path: Optional[PathLike], reason: str, recovery: str) -> None:
+        location = f"snapshot {Path(path)}" if path is not None else "snapshot"
+        super().__init__(f"{location}: {reason}.  Recovery options: {recovery}")
+        self.path = None if path is None else Path(path)
+        self.reason = reason
+
+
 def monitor_to_json(monitor: SpreaderMonitor) -> Dict[str, object]:
     """Serialise a monitor (spec + window + detector state) to a JSON dict."""
     spec = getattr(monitor, "spec", None)
@@ -50,6 +66,7 @@ def monitor_to_json(monitor: SpreaderMonitor) -> Dict[str, object]:
         "window": {
             "epochs_started": window.epochs_started,
             "pairs_ingested": window.pairs_ingested,
+            "regressions": window.regressions,
             "last_timestamp": window.last_timestamp,
             "epochs": [
                 {
@@ -88,6 +105,8 @@ def monitor_from_json(payload: Dict[str, object]) -> SpreaderMonitor:
     window._ring.extend(ring)
     window._epochs_started = int(state["epochs_started"])
     window._pairs_ingested = int(state["pairs_ingested"])
+    # Older snapshots (pre regression-counting) lack the key; start at zero.
+    window._regressions = int(state.get("regressions", 0))
     window._last_timestamp = state["last_timestamp"]
     monitor.state_from_json(payload["spreader"])
     return monitor
@@ -145,10 +164,40 @@ class SnapshotStore:
         return path
 
     def restore(self, path: PathLike | None = None) -> SpreaderMonitor:
-        """Rebuild a monitor from a snapshot (default: the latest one)."""
+        """Rebuild a monitor from a snapshot (default: the latest one).
+
+        Raises :class:`SnapshotError` — naming the path and the recovery
+        options — when the file is missing, truncated, or not a monitor
+        snapshot.
+        """
         if path is None:
             path = self.latest()
             if path is None:
-                raise FileNotFoundError(f"no snapshots in {self.directory}")
-        payload = json.loads(Path(path).read_text(encoding="utf-8"))
-        return monitor_from_json(payload)
+                raise SnapshotError(
+                    None,
+                    f"no snapshot files found in {self.directory}",
+                    "start a fresh run without --resume (snapshots are written "
+                    "there once --snapshot-every is set), or point --snapshot-dir "
+                    "at the directory that holds them",
+                )
+        path = Path(path)
+        recovery = (
+            "delete the file to fall back to the previous retained snapshot, "
+            "or start a fresh run without --resume"
+        )
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise SnapshotError(path, f"cannot read the file ({error})", recovery) from error
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SnapshotError(
+                path, f"file is truncated or corrupt (JSON parse failed: {error})", recovery
+            ) from error
+        try:
+            return monitor_from_json(payload)
+        except (KeyError, TypeError, ValueError) as error:
+            raise SnapshotError(
+                path, f"payload is not a loadable monitor snapshot ({error})", recovery
+            ) from error

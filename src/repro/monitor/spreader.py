@@ -98,6 +98,7 @@ class SpreaderMonitor:
         self.hysteresis = hysteresis
         self._active: Dict[object, bool] = {}
         self._sequence = 0
+        self._version = 0
         self._last_enter_threshold = 0.0
         self._top: List[Tuple[object, float]] = []
         self._last_window_estimates: Optional[Dict[object, float]] = None
@@ -139,6 +140,7 @@ class SpreaderMonitor:
         ranked = sorted(estimates.items(), key=lambda pair: pair[1], reverse=True)
         self._top = ranked[: self.top_k]
         self._last_enter_threshold = enter
+        self._version += 1
         return alerts
 
     def _enter_threshold(self, estimates: Dict[object, float]) -> float:
@@ -200,6 +202,26 @@ class SpreaderMonitor:
         """Total number of alert events emitted so far."""
         return self._sequence
 
+    @property
+    def version(self) -> int:
+        """Monotonically increasing state version (bumped per evaluation).
+
+        The service layer stamps every response with the version of the
+        read snapshot that answered it, so a client can correlate answers
+        with ingest progress.
+        """
+        return self._version
+
+    def read_snapshot(self):
+        """Export an immutable, versioned view for concurrent readers.
+
+        See :mod:`repro.monitor.view`; call while the monitor is quiescent
+        (the service layer holds its ingest lock around this).
+        """
+        from repro.monitor.view import export_read_snapshot
+
+        return export_read_snapshot(self)
+
     # -- snapshot plumbing -----------------------------------------------------
 
     def state_to_json(self) -> Dict[str, object]:
@@ -209,6 +231,7 @@ class SpreaderMonitor:
         return {
             "active": [_key_to_json(user) for user in self._active],
             "sequence": self._sequence,
+            "version": self._version,
             "last_enter_threshold": self._last_enter_threshold,
             "top": _estimates_to_json(dict(self._top)),
         }
@@ -219,6 +242,8 @@ class SpreaderMonitor:
 
         self._active = {_key_from_json(kind, key): True for kind, key in state["active"]}
         self._sequence = int(state["sequence"])
+        # Older snapshots predate the version counter; resume from zero.
+        self._version = int(state.get("version", 0))
         self._last_enter_threshold = float(state["last_enter_threshold"])
         restored = _estimates_from_json(state["top"])
         self._top = sorted(restored.items(), key=lambda pair: pair[1], reverse=True)[

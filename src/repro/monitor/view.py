@@ -1,0 +1,211 @@
+"""Versioned read-only views of a live monitor: the query-serving seam.
+
+The service layer (:mod:`repro.service`) answers thousands of concurrent
+readers while ingest keeps mutating the monitor.  Two pieces make that safe
+and cheap:
+
+* :class:`ReadSnapshot` — an immutable export of everything the hot query
+  ops (``spread`` / ``batch_spread`` / ``topk`` / ``stats``) need, stamped
+  with the monitor's :attr:`~repro.monitor.spreader.SpreaderMonitor.version`.
+  Building one costs a dict copy plus one ranking sort; it reuses the
+  sliding-window merge the monitor's own evaluation already cached, so the
+  export adds no sketch work.  Readers hold a reference and never touch the
+  live monitor — ingest proceeds regardless of reader count.
+* :class:`SlidingMergeCache` — sketch-level merges for the cold
+  ``sliding(k_epochs)`` op, cached by the *closed-epoch prefix* of the
+  window slice.  Closed epochs are immutable, so a prefix merge stays valid
+  until rotation evicts one of its epochs from the ring
+  (:meth:`SlidingMergeCache.invalidate` drops it then); only the live
+  epoch's state is merged per query.  The cached path is bit-identical to
+  :meth:`~repro.monitor.window.WindowedEstimator.window_estimates` because
+  it replays the exact same left-fold merge order.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.monitor.merge import (
+    fresh_estimates,
+    merge_into,
+    merged_copy,
+    refresh_estimates_from_state,
+)
+from repro.monitor.window import WindowedEstimator
+
+
+def normalize_user_key(estimates: Mapping[object, float], user: object) -> object:
+    """Map a wire-format user id onto the estimate table's key.
+
+    JSON carries user ids as strings or ints; streams may use either.  A
+    direct hit wins; otherwise a digit string falls back to its int form
+    (and an int to its string form), so a client querying ``"42"`` finds
+    the user ingested as ``42``.
+    """
+    if user in estimates:
+        return user
+    if isinstance(user, str):
+        try:
+            as_int = int(user)
+        except ValueError:  # not an integer-shaped string: no fallback
+            return user
+        if as_int in estimates:
+            return as_int
+    elif isinstance(user, int) and str(user) in estimates:
+        return str(user)
+    return user
+
+
+@dataclass(frozen=True)
+class ReadSnapshot:
+    """Immutable, versioned export of a monitor's queryable state."""
+
+    #: Monotonically increasing state version (bumped per evaluation).
+    version: int
+    #: Method name from the monitor's spec (None for spec-less monitors).
+    method: Optional[str]
+    pairs_ingested: int
+    epochs_started: int
+    #: Index of the live epoch at export time.
+    live_epoch: int
+    last_timestamp: Optional[float]
+    window_epochs: int
+    #: Merge guarantee of the sliding estimates ("exact" or "additive").
+    exactness: str
+    #: Clamped timestamp regressions observed so far.
+    regressions: int
+    enter_threshold: float
+    active_spreaders: Tuple[object, ...]
+    #: Metadata of every retained epoch, oldest first.
+    epoch_summaries: Tuple[Dict[str, object], ...]
+    #: Full sliding-window per-user estimates (the monitor's last evaluation).
+    estimates: Mapping[object, float]
+    #: ``estimates`` ranked by estimate, descending (ties keep dict order).
+    ranked: Tuple[Tuple[object, float], ...] = field(repr=False)
+
+    # -- query ops -------------------------------------------------------------
+
+    def spread(self, user: object) -> float:
+        """One user's sliding-window estimate (0.0 for unseen users)."""
+        return float(self.estimates.get(normalize_user_key(self.estimates, user), 0.0))
+
+    def batch_spread(self, users: Sequence[object]) -> List[float]:
+        """Estimates for many users, in input order."""
+        return [self.spread(user) for user in users]
+
+    def topk(self, k: int) -> List[Tuple[object, float]]:
+        """The top-``k`` (user, estimate) ranking of the sliding window."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        return [(user, float(value)) for user, value in self.ranked[:k]]
+
+    def total_estimate(self) -> float:
+        """Sum of the sliding-window estimates (the paper's ``n(t)``)."""
+        return float(sum(self.estimates.values()))
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-ready summary of the snapshot (the ``stats`` op's core)."""
+        return {
+            "version": self.version,
+            "method": self.method,
+            "pairs_ingested": self.pairs_ingested,
+            "epochs_started": self.epochs_started,
+            "live_epoch": self.live_epoch,
+            "last_timestamp": self.last_timestamp,
+            "window_epochs": self.window_epochs,
+            "exactness": self.exactness,
+            "regressions": self.regressions,
+            "users_tracked": len(self.estimates),
+            "total_estimate": self.total_estimate(),
+            "enter_threshold": self.enter_threshold,
+            "active_spreaders": len(self.active_spreaders),
+            "epochs": list(self.epoch_summaries),
+        }
+
+
+def export_read_snapshot(monitor) -> ReadSnapshot:
+    """Build a :class:`ReadSnapshot` from a monitor's current state.
+
+    Must run while the monitor is quiescent (between batches — the service
+    layer holds the ingest lock).  Reuses the sliding merge of the last
+    evaluation, so the cost is one dict copy and one ranking sort.
+    """
+    estimates = dict(monitor.last_window_estimates())
+    ranked = tuple(sorted(estimates.items(), key=lambda pair: pair[1], reverse=True))
+    window = monitor.window
+    spec = getattr(monitor, "spec", None)
+    return ReadSnapshot(
+        version=monitor.version,
+        method=None if spec is None else spec.method,
+        pairs_ingested=window.pairs_ingested,
+        epochs_started=window.epochs_started,
+        live_epoch=window.live_epoch.index,
+        last_timestamp=window.last_timestamp,
+        window_epochs=window.window_epochs,
+        exactness=window.window_exactness(),
+        regressions=window.regressions,
+        enter_threshold=monitor.last_enter_threshold,
+        active_spreaders=tuple(monitor.active_spreaders),
+        epoch_summaries=tuple(epoch.summary() for epoch in window.epochs),
+        estimates=estimates,
+        ranked=ranked,
+    )
+
+
+class SlidingMergeCache:
+    """Closed-epoch prefix merges for ``sliding(k_epochs)`` queries.
+
+    A ``k``-epoch sliding query merges the last ``k`` retained epochs.  All
+    but the last of those are closed (immutable), so their union is cached
+    keyed by the tuple of epoch indices; per query only the live epoch is
+    merged on top.  The merge order — left fold over the slice, one
+    estimate refresh at the end — replays
+    :func:`repro.monitor.merge.merged_copy` exactly, which keeps the cached
+    path bit-identical for the additive methods too (float addition order
+    is preserved).
+    """
+
+    def __init__(self, max_entries: int = 16) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self._max_entries = max_entries
+        self._prefixes: Dict[Tuple[int, ...], object] = {}
+
+    def invalidate(self, window: WindowedEstimator) -> None:
+        """Drop prefixes referencing epochs no longer retained by the ring."""
+        retained = {epoch.index for epoch in window.epochs}
+        stale = [key for key in self._prefixes if not set(key) <= retained]
+        for key in stale:
+            del self._prefixes[key]
+
+    def sliding_estimates(self, window: WindowedEstimator, last: int | None = None):
+        """``window.window_estimates(last)`` with the closed prefix cached.
+
+        Must run under the ingest lock (reads live epoch state).
+        """
+        epochs = window.epochs
+        if last is None:
+            last = window.window_epochs
+        if last <= 0:
+            raise ValueError("last must be positive")
+        slice_ = epochs[-last:]
+        if len(slice_) == 1:
+            return fresh_estimates(slice_[0].estimator)
+        self.invalidate(window)
+        prefix, tail = slice_[:-1], slice_[-1]
+        key = tuple(epoch.index for epoch in prefix)
+        merged_prefix = self._prefixes.get(key)
+        if merged_prefix is None:
+            # Deferred refresh: the cached prefix carries raw merged state;
+            # estimates are refreshed once per query, after the tail merge,
+            # exactly as merged_copy does over the full slice.
+            merged_prefix = merged_copy([epoch.estimator for epoch in prefix])
+            if len(self._prefixes) >= self._max_entries:
+                self._prefixes.clear()
+            self._prefixes[key] = merged_prefix
+        combined = copy.deepcopy(merged_prefix)
+        merge_into(combined, tail.estimator, refresh_estimates=False)
+        refresh_estimates_from_state(combined)
+        return combined.estimates()

@@ -84,6 +84,14 @@ class WindowedEstimator:
     window_epochs:
         Ring capacity: how many epochs (including the live one) are kept for
         sliding queries.
+    strict_timestamps:
+        How to treat a pair whose timestamp precedes the latest one already
+        ingested (a *regression* — out-of-order delivery, clock skew, or a
+        mix of timestamped and untimestamped batches).  ``False`` (default)
+        clamps the regressed timestamp to the newest one seen, so the pair
+        lands in the **live** epoch instead of silently mis-rotating the
+        ring, and counts it in :attr:`regressions`.  ``True`` raises
+        ``ValueError`` instead.
     """
 
     def __init__(
@@ -92,6 +100,7 @@ class WindowedEstimator:
         epoch_pairs: int | None = None,
         epoch_span: float | None = None,
         window_epochs: int = 8,
+        strict_timestamps: bool = False,
     ) -> None:
         if (epoch_pairs is None) == (epoch_span is None):
             raise ValueError("set exactly one of epoch_pairs or epoch_span")
@@ -105,9 +114,11 @@ class WindowedEstimator:
         self.epoch_pairs = epoch_pairs
         self.epoch_span = epoch_span
         self.window_epochs = window_epochs
+        self.strict_timestamps = strict_timestamps
         self._ring: Deque[Epoch] = deque(maxlen=window_epochs)
         self._epochs_started = 0
         self._pairs_ingested = 0
+        self._regressions = 0
         self._last_timestamp: Optional[float] = None
         self._ring.append(self._new_epoch())
 
@@ -145,6 +156,11 @@ class WindowedEstimator:
         """Arrival-clock position of the most recent pair."""
         return self._last_timestamp
 
+    @property
+    def regressions(self) -> int:
+        """Pairs whose timestamp regressed and was clamped to the live epoch."""
+        return self._regressions
+
     def window_exactness(self) -> str:
         """Merge guarantee of sliding queries ("exact" or "additive")."""
         return merge_exactness(self._ring[-1].estimator)
@@ -158,8 +174,13 @@ class WindowedEstimator:
     ) -> List[Epoch]:
         """Absorb a batch of pairs; return the epochs closed along the way.
 
-        ``timestamps`` must be non-decreasing and not precede previously
-        ingested pairs; when omitted, the monotonic event index is used.
+        ``timestamps`` should be non-decreasing and not precede previously
+        ingested pairs; when omitted, the monotonic event index is used.  A
+        timestamp that regresses — within the batch, against an earlier
+        batch, or because a timestamped batch preceded an untimestamped one —
+        is clamped to the newest timestamp already seen (so the pair lands
+        in the live epoch) and counted in :attr:`regressions`; with
+        ``strict_timestamps=True`` it raises ``ValueError`` instead.
         """
         pairs = list(pairs)
         if timestamps is None:
@@ -169,14 +190,7 @@ class WindowedEstimator:
             timestamps = [float(value) for value in timestamps]
             if len(timestamps) != len(pairs):
                 raise ValueError("timestamps must have one entry per pair")
-            previous = self._last_timestamp
-            for value in timestamps:
-                if previous is not None and value < previous:
-                    raise ValueError(
-                        "timestamps must be non-decreasing across the stream "
-                        f"(got {value} after {previous})"
-                    )
-                previous = value
+        timestamps = self._normalize_timestamps(timestamps)
         if not pairs:
             return []
         if self.epoch_span is not None and self._ring[-1].start_time is None:
@@ -195,6 +209,31 @@ class WindowedEstimator:
             )
             position += take
         return closed
+
+    def _normalize_timestamps(self, timestamps: List[float]) -> List[float]:
+        """Clamp (or, in strict mode, reject) regressed arrival timestamps.
+
+        The rotation logic (`bisect_left` over the batch, the live-epoch
+        boundary test) assumes a non-decreasing arrival clock; a regressed
+        timestamp would silently land its pair in the wrong epoch, so it is
+        pinned to the newest timestamp already seen — time stands still and
+        the pair stays in the live epoch.
+        """
+        previous = self._last_timestamp
+        clamped = 0
+        for position, value in enumerate(timestamps):
+            if previous is not None and value < previous:
+                if self.strict_timestamps:
+                    raise ValueError(
+                        "timestamps must be non-decreasing across the stream "
+                        f"(got {value} after {previous})"
+                    )
+                timestamps[position] = previous
+                clamped += 1
+            else:
+                previous = value
+        self._regressions += clamped
+        return timestamps
 
     def _pairs_until_rotation(self, timestamps: Sequence[float], position: int) -> int:
         """How many pairs from ``position`` still fit in the live epoch."""

@@ -157,6 +157,22 @@ class MethodSpec:
         """Constructor kwargs for this method under ``config``'s budget."""
         return self.dimension(config, expected_users)
 
+    def describe(self) -> Dict[str, object]:
+        """JSON-ready description of the spec.
+
+        The service layer's ``stats`` op embeds this so a remote client can
+        learn the served method's capabilities (merge exactness, batch
+        support) without importing the registry.
+        """
+        return {
+            "name": self.name,
+            "tag": self.tag,
+            "estimator": self.estimator_cls.__name__,
+            "mergeable": self.mergeable,
+            "batch_engine": self.batch_engine,
+            "summary": self.summary,
+        }
+
     def build(self, config, expected_users: int) -> CardinalityEstimator:
         """Construct the estimator under the configuration's memory budget."""
         return self.estimator_cls(**self.dimensions(config, expected_users))

@@ -3,22 +3,36 @@
 :func:`parallel_ingest` partitions users across a pool of shard workers
 (each replaying the engine's vectorised batch path over its slice of the
 stream) and merges the per-worker sketches into one estimator whose
-estimates are bit-identical to a single-process sharded run.  Exposed
-through ``repro.cli run --workers N``, the ``parallel_ingest`` experiment
-and ``benchmarks/bench_parallel_ingest.py``.
+estimates are bit-identical to a single-process sharded run.  A worker
+crash aborts the run promptly with :class:`WorkerIngestError` (worker id +
+remote traceback) instead of blocking the coordinator on the bounded
+queues.  Exposed through ``repro.cli run --workers N``, the
+``parallel_ingest`` experiment and ``benchmarks/bench_parallel_ingest.py``.
+
+:class:`IngestHandle` is the non-blocking counterpart for live serving: it
+drives batches into a sink (typically a
+:class:`~repro.monitor.spreader.SpreaderMonitor`) on a daemon thread under
+a shared lock, so the query-serving layer (:mod:`repro.service`) can read
+consistent state between batches without ever stalling ingest.
 """
 
+from repro.runtime.handle import IngestHandle, batch_slices, ingest_handle_for_monitor
 from repro.runtime.parallel import (
     QUEUE_DEPTH,
     IngestReport,
+    WorkerIngestError,
     owned_shards,
     parallel_ingest,
     worker_for_shards,
 )
 
 __all__ = [
+    "IngestHandle",
     "IngestReport",
     "QUEUE_DEPTH",
+    "WorkerIngestError",
+    "batch_slices",
+    "ingest_handle_for_monitor",
     "owned_shards",
     "parallel_ingest",
     "worker_for_shards",

@@ -1,0 +1,187 @@
+"""Non-blocking ingest: drive batches into a sink on a background thread.
+
+The query-serving layer (:mod:`repro.service`) needs ingest that keeps
+running while thousands of readers are answered.  :class:`IngestHandle`
+owns that seam: a daemon thread feeds ``(pairs, timestamps)`` batches to a
+sink callable, mutating shared state only while holding :attr:`lock`, so a
+reader that takes the same lock between batches always sees a consistent
+monitor.  Errors raised by the sink (or the batch source) are captured and
+re-raised on :meth:`join` / :meth:`raise_if_failed` instead of dying
+silently on the thread; :meth:`stop` is cooperative and takes effect at the
+next batch boundary.
+
+Throttling happens *outside* the lock: a rate-limited replay must not hold
+the monitor lock while sleeping, or every sliding-window query would stall
+behind the pacing sleep rather than behind real work.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+UserItemPair = Tuple[object, object]
+
+#: One ingest batch: the pairs plus their (optional) arrival timestamps.
+IngestBatch = Tuple[Sequence[UserItemPair], Optional[Sequence[float]]]
+
+
+def batch_slices(
+    pairs: Sequence[UserItemPair],
+    timestamps: Sequence[float] | None = None,
+    batch_size: int = 2048,
+) -> Iterator[IngestBatch]:
+    """Slice a materialised stream into ``(pairs, timestamps)`` ingest batches."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    if timestamps is not None and len(timestamps) != len(pairs):
+        raise ValueError("timestamps must have one entry per pair")
+    for start in range(0, len(pairs), batch_size):
+        chunk = pairs[start : start + batch_size]
+        times = None if timestamps is None else timestamps[start : start + batch_size]
+        yield chunk, times
+
+
+class IngestHandle:
+    """Feed batches to a sink on a daemon thread, under a shared lock.
+
+    Parameters
+    ----------
+    batches:
+        Iterable of ``(pairs, timestamps)`` batches (see :func:`batch_slices`).
+    sink:
+        Called with each batch's ``(pairs, timestamps)`` while :attr:`lock`
+        is held — typically ``SpreaderMonitor.observe``.
+    lock:
+        The mutual-exclusion lock between ingest and state readers; a fresh
+        ``threading.Lock`` when omitted.  Exposed so readers can hold it for
+        consistent multi-step reads.
+    on_batch:
+        Optional callback fired after each batch **still under the lock** —
+        the service layer refreshes its read snapshot here, guaranteeing the
+        exported state is a batch-boundary state.
+    rate:
+        Optional throttle in pairs per second, slept off outside the lock.
+    """
+
+    def __init__(
+        self,
+        batches: Iterable[IngestBatch],
+        sink: Callable[[Sequence[UserItemPair], Optional[Sequence[float]]], object],
+        lock: threading.Lock | None = None,
+        on_batch: Callable[[int], None] | None = None,
+        rate: float | None = None,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive (or None for full speed)")
+        self._batches = iter(batches)
+        self._sink = sink
+        self.lock = lock if lock is not None else threading.Lock()
+        self._on_batch = on_batch
+        self._rate = rate
+        self._stop = threading.Event()
+        self._finished = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._batches_done = 0
+        self._pairs_done = 0
+        self._thread = threading.Thread(target=self._run, name="repro-ingest", daemon=True)
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "IngestHandle":
+        """Start the ingest thread (idempotent); return self for chaining."""
+        if not self._started:
+            self._started = True
+            self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        try:
+            for pairs, timestamps in self._batches:
+                if self._stop.is_set():
+                    break
+                with self.lock:
+                    self._sink(pairs, timestamps)
+                    self._batches_done += 1
+                    self._pairs_done += len(pairs)
+                    if self._on_batch is not None:
+                        self._on_batch(self._batches_done)
+                if self._rate is not None:
+                    time.sleep(len(pairs) / self._rate)
+        except BaseException as error:  # surfaced via join()/raise_if_failed()
+            self._error = error
+        finally:
+            self._finished.set()
+
+    def stop(self) -> None:
+        """Request a cooperative stop at the next batch boundary."""
+        self._stop.set()
+
+    def join(self, timeout: float | None = None) -> bool:
+        """Wait for the ingest thread; re-raise its error; True when finished."""
+        if self._started:
+            self._thread.join(timeout)
+        self.raise_if_failed()
+        return self.finished
+
+    def raise_if_failed(self) -> None:
+        """Re-raise the ingest thread's captured exception, if any."""
+        if self._error is not None:
+            raise RuntimeError("background ingest failed") from self._error
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """True while the ingest thread is alive and not finished."""
+        return self._started and not self._finished.is_set()
+
+    @property
+    def finished(self) -> bool:
+        """True once the batch source is exhausted, stopped, or failed."""
+        return self._finished.is_set()
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        """The captured ingest error (None while healthy)."""
+        return self._error
+
+    @property
+    def batches_done(self) -> int:
+        """Batches fully ingested so far."""
+        return self._batches_done
+
+    @property
+    def pairs_done(self) -> int:
+        """Pairs fully ingested so far."""
+        return self._pairs_done
+
+    def describe(self) -> dict:
+        """JSON-ready ingest state (embedded in the service's ``stats`` op)."""
+        return {
+            "running": self.running,
+            "finished": self.finished,
+            "batches_done": self._batches_done,
+            "pairs_done": self._pairs_done,
+            "error": None if self._error is None else repr(self._error),
+        }
+
+
+def ingest_handle_for_monitor(
+    monitor,
+    pairs: Sequence[UserItemPair],
+    timestamps: Sequence[float] | None = None,
+    batch_size: int = 2048,
+    rate: float | None = None,
+    on_batch: Callable[[int], None] | None = None,
+    lock: threading.Lock | None = None,
+) -> IngestHandle:
+    """Build (without starting) a handle replaying a stream into a monitor."""
+    batches: List[IngestBatch] = list(batch_slices(pairs, timestamps, batch_size))
+
+    def sink(batch_pairs, batch_times):
+        monitor.observe(batch_pairs, batch_times)
+
+    return IngestHandle(batches, sink, lock=lock, on_batch=on_batch, rate=rate)

@@ -56,6 +56,66 @@ UserItemPair = Tuple[object, object]
 QUEUE_DEPTH = 4
 
 
+class WorkerIngestError(RuntimeError):
+    """A shard worker failed mid-ingest.
+
+    Raised by the coordinator as soon as a worker's death is observed —
+    during routing, while blocked on a bounded queue, or at result
+    collection — instead of leaving the run to grind on (or, worse, block
+    forever on a queue the dead worker will never drain).  Carries the
+    failing worker's index and the worker-side traceback text; the original
+    exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, worker: int, cause: BaseException, remote_traceback: str = ""):
+        detail = f": {cause}" if str(cause) else ""
+        message = f"ingest worker {worker} failed with {type(cause).__name__}{detail}"
+        if remote_traceback:
+            message += f"\n--- worker {worker} traceback ---\n{remote_traceback}"
+        super().__init__(message)
+        self.worker = worker
+        self.remote_traceback = remote_traceback
+
+
+def _raise_worker_error(worker: int, error: BaseException) -> None:
+    """Re-raise a worker's exception as :class:`WorkerIngestError`.
+
+    ``concurrent.futures`` ships the worker-side traceback back as a
+    ``_RemoteTraceback`` chained under the exception; surface its text so the
+    coordinator's error names the real crash site inside the worker.
+    """
+    remote = ""
+    cause = getattr(error, "__cause__", None)
+    if cause is not None and type(cause).__name__ == "_RemoteTraceback":
+        remote = str(cause)
+    raise WorkerIngestError(worker, error, remote) from error
+
+
+def _check_workers(futures) -> None:
+    """Raise promptly if any worker future has already failed."""
+    for worker, future in enumerate(futures):
+        if future.done() and future.exception() is not None:
+            _raise_worker_error(worker, future.exception())
+
+
+def _drain_queues(queues) -> None:
+    """Discard buffered chunks so surviving workers stop at the next get().
+
+    Called on the abort path: live siblings should see their sentinel on the
+    next queue read instead of first chewing through a backlog of chunks
+    whose merged result will never be used, and the manager should not shut
+    down with megabytes of arrays still parked in its queues.
+    """
+    for chunk_queue in queues:
+        while True:
+            try:
+                chunk_queue.get_nowait()
+            except queue_module.Empty:
+                break
+            except (EOFError, BrokenPipeError, ConnectionError):  # manager gone
+                break
+
+
 @dataclass(frozen=True)
 class IngestReport:
     """Outcome of one (possibly parallel) ingest run."""
@@ -162,9 +222,7 @@ def _put_with_backpressure(chunk_queue, item, futures) -> None:
             chunk_queue.put(item, timeout=1.0)
             return
         except queue_module.Full:
-            for future in futures:
-                if future.done() and future.exception() is not None:
-                    raise future.exception()
+            _check_workers(futures)
 
 
 def parallel_ingest(
@@ -256,6 +314,10 @@ def parallel_ingest(
                     # id slices; the workers run the full encode in parallel.
                     users, items = arrays
                     for offset in range(0, len(users), chunk_size):
+                        # Per-chunk liveness check: a dead worker whose queue
+                        # never fills (few pairs route to it) must still
+                        # abort the run now, not at result collection.
+                        _check_workers(futures)
                         chunk_users = users[offset : offset + chunk_size]
                         chunk_items = items[offset : offset + chunk_size]
                         pairs += len(chunk_users)
@@ -270,12 +332,20 @@ def parallel_ingest(
                             )
                 else:
                     for batch in _encoded_chunks(stream, chunk_size):
+                        _check_workers(futures)
                         pairs += len(batch)
                         pair_shards = route_pair_shards(batch, shards, config.seed)
                         pair_workers = worker_for_shards(pair_shards, workers)
                         for w in np.unique(pair_workers):
                             sub = batch.subset(pair_workers == w)
                             _put_with_backpressure(queues[int(w)], sub, futures)
+            except WorkerIngestError:
+                # Cancel the siblings: discard their buffered chunks so the
+                # sentinels delivered below are the next thing they read.
+                for future in futures:
+                    future.cancel()
+                _drain_queues(queues)
+                raise
             finally:
                 # Always deliver the sentinels: a worker blocked on get()
                 # would otherwise hang the pool shutdown on coordinator
@@ -289,7 +359,12 @@ def parallel_ingest(
                             break
                         except queue_module.Full:
                             continue
-            payloads = [future.result() for future in futures]
+            payloads = []
+            for worker, future in enumerate(futures):
+                try:
+                    payloads.append(future.result())
+                except Exception as error:  # worker died after routing finished
+                    _raise_worker_error(worker, error)
 
     from repro.core import serialization
 

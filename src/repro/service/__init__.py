@@ -1,0 +1,35 @@
+"""Async estimate-serving subsystem: query a live monitor over TCP.
+
+The missing piece between "a monitor runs in this process" and "an
+operator asks questions while the stream is live".  A newline-delimited
+JSON protocol (:mod:`repro.service.protocol`) exposes the monitor's
+sliding-window state — ``spread`` / ``batch_spread`` / ``topk`` /
+``sliding`` / ``stats``, described once in the op registry
+(:mod:`repro.service.ops`) — over an asyncio TCP server
+(:mod:`repro.service.server`).  Queries are answered from a versioned
+:class:`~repro.monitor.view.ReadSnapshot` refreshed at ingest batch
+boundaries, so concurrent readers never block ingest; every response is
+stamped with the snapshot's version and ingest offset.
+
+Entry points: ``repro.cli serve`` (turnkey), :func:`serve_monitor`
+(programmatic orchestration), :class:`ServiceClient` (blocking client).
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.ops import OPS, OpSpec
+from repro.service.protocol import MAX_LINE_BYTES, ProtocolError
+from repro.service.run import serve_monitor
+from repro.service.server import DEFAULT_PORT, EstimateServer, EstimateService
+
+__all__ = [
+    "DEFAULT_PORT",
+    "EstimateServer",
+    "EstimateService",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "OpSpec",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceError",
+    "serve_monitor",
+]

@@ -1,0 +1,161 @@
+"""A small synchronous client for the estimate-serving protocol.
+
+One TCP connection, blocking request/response in order — the shape an
+operator script or a smoke test wants.  Every convenience method returns
+the parsed result; the full envelope of the most recent exchange (with its
+``version`` and ``pairs_ingested`` consistency stamp) stays available as
+:attr:`ServiceClient.last_response`, which is how the CI smoke correlates a
+mid-ingest answer with the exact monitor state that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.service.server import DEFAULT_PORT
+
+#: Ceiling on one response line (64 MiB).  Responses are not bounded by the
+#: request-side MAX_LINE_BYTES — a ``sliding`` reply enumerates every
+#: tracked user — so the client accumulates chunks up to this cap instead
+#: of truncating (a truncated line would desync the whole connection).
+MAX_RESPONSE_BYTES = 64 << 20
+
+#: Bytes requested per buffered read while assembling one response line.
+_READ_CHUNK_BYTES = 1 << 20
+
+
+class ServiceError(RuntimeError):
+    """The server answered with an error envelope."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+class ServiceClient:
+    """Blocking NDJSON client; usable as a context manager."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = DEFAULT_PORT, timeout: float = 10.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._socket.makefile("rb")
+        self._next_id = 0
+        #: Full envelope of the most recent successful exchange.
+        self.last_response: Optional[Dict[str, object]] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._reader.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- request plumbing ------------------------------------------------------
+
+    def request(self, op: str, **params: object) -> Dict[str, object]:
+        """Send one request; return the response envelope.
+
+        Raises :class:`ServiceError` on an error envelope and
+        ``ConnectionError`` when the server goes away mid-exchange.
+        """
+        self._next_id += 1
+        request_id = self._next_id
+        payload = {"id": request_id, "op": op, **params}
+        self._socket.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+        line = self._read_line()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(line.decode("utf-8"))
+        if response.get("id") not in (request_id, None):
+            raise ConnectionError(
+                f"response id {response.get('id')!r} does not match request {request_id}"
+            )
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServiceError(
+                str(error.get("code", "unknown")), str(error.get("message", ""))
+            )
+        self.last_response = response
+        return response
+
+    def _read_line(self) -> bytes:
+        """Read one full response line, however long (up to the ceiling).
+
+        A buffered ``readline(n)`` returns a partial line only when it hits
+        ``n``, so long lines arrive as full-sized newline-less chunks that
+        must be reassembled — truncating instead would feed half a JSON
+        document to the parser and desync every later exchange.
+        """
+        chunks = []
+        total = 0
+        while True:
+            budget = MAX_RESPONSE_BYTES - total
+            if budget <= 0:
+                raise ConnectionError(
+                    f"response line exceeds {MAX_RESPONSE_BYTES} bytes"
+                )
+            chunk = self._reader.readline(min(budget, _READ_CHUNK_BYTES))
+            if not chunk:  # EOF mid-line or before any data
+                break
+            chunks.append(chunk)
+            total += len(chunk)
+            if chunk.endswith(b"\n"):
+                break
+        return b"".join(chunks)
+
+    @property
+    def last_version(self) -> Optional[int]:
+        """Version stamp of the most recent successful response."""
+        if self.last_response is None:
+            return None
+        return self.last_response.get("version")
+
+    @property
+    def last_pairs_ingested(self) -> Optional[int]:
+        """Ingest offset stamp of the most recent successful response."""
+        if self.last_response is None:
+            return None
+        return self.last_response.get("pairs_ingested")
+
+    # -- query ops -------------------------------------------------------------
+
+    def spread(self, user: object) -> float:
+        """One user's sliding-window spread estimate."""
+        return float(self.request("spread", user=user)["result"]["estimate"])
+
+    def batch_spread(self, users: Sequence[object]) -> List[float]:
+        """Estimates for many users, in input order."""
+        return [
+            float(value)
+            for value in self.request("batch_spread", users=list(users))["result"][
+                "estimates"
+            ]
+        ]
+
+    def topk(self, k: int = 10) -> List[Tuple[object, float]]:
+        """The sliding window's top-k (user, estimate) ranking."""
+        result = self.request("topk", k=k)["result"]
+        return [(user, float(value)) for user, value in result["top"]]
+
+    def sliding(self, k_epochs: int | None = None) -> Dict[object, float]:
+        """Merged estimates over the last ``k_epochs`` epochs (None = all)."""
+        params = {} if k_epochs is None else {"k_epochs": k_epochs}
+        result = self.request("sliding", **params)["result"]
+        return {user: float(value) for user, value in result["estimates"]}
+
+    def stats(self) -> Dict[str, object]:
+        """Server-side monitor state, ingest progress and the op table."""
+        return self.request("stats")["result"]

@@ -1,0 +1,116 @@
+"""Service operation registry: one :class:`OpSpec` per query op.
+
+The same pattern as the central method registry
+(:mod:`repro.registry.specs`): instead of an if/elif chain in the request
+handler, each operation is described once — its name, required and
+optional parameters, a validator per parameter, and whether it can be
+answered from the lock-free read snapshot or needs the ingest lock (the
+sketch-merging ``sliding`` op).  The dispatcher and the ``stats`` op's
+self-description both derive from this table, so the protocol surface and
+its documentation cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Tuple
+
+from repro.service.protocol import BAD_REQUEST, ProtocolError
+
+#: Parameter validator: raises ProtocolError, returns the coerced value.
+Validator = Callable[[object], object]
+
+
+def _positive_int(name: str) -> Validator:
+    def validate(value: object) -> int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ProtocolError(BAD_REQUEST, f"{name!r} must be an integer")
+        if value <= 0:
+            raise ProtocolError(BAD_REQUEST, f"{name!r} must be positive")
+        return value
+
+    return validate
+
+
+def _user_id(value: object) -> object:
+    if not isinstance(value, (int, str)) or isinstance(value, bool):
+        raise ProtocolError(BAD_REQUEST, "'user' must be an integer or a string")
+    return value
+
+
+def _user_list(value: object) -> list:
+    if not isinstance(value, list):
+        raise ProtocolError(BAD_REQUEST, "'users' must be a list of user ids")
+    return [_user_id(user) for user in value]
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Everything the dispatcher needs to know about one operation."""
+
+    #: Operation name on the wire (the request's ``op`` field).
+    name: str
+    #: Required parameters: field name -> validator.
+    required: Mapping[str, Validator] = field(default_factory=dict)
+    #: Optional parameters: field name -> (default, validator).
+    optional: Mapping[str, Tuple[object, Validator]] = field(default_factory=dict)
+    #: False when the op reads the immutable snapshot (never blocks ingest);
+    #: True when it must briefly hold the ingest lock (sketch merges).
+    needs_lock: bool = False
+    #: One-line description (surfaced by the ``stats`` op and the docs).
+    summary: str = ""
+
+    def extract_params(self, request: Mapping[str, object]) -> Dict[str, object]:
+        """Validate and coerce the request's parameters for this op."""
+        params: Dict[str, object] = {}
+        for name, validate in self.required.items():
+            if name not in request:
+                raise ProtocolError(
+                    BAD_REQUEST, f"op {self.name!r} requires parameter {name!r}"
+                )
+            params[name] = validate(request[name])
+        for name, (default, validate) in self.optional.items():
+            params[name] = validate(request[name]) if name in request else default
+        return params
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-ready description (embedded in the ``stats`` op)."""
+        return {
+            "op": self.name,
+            "required": sorted(self.required),
+            "optional": {name: default for name, (default, _) in self.optional.items()},
+            "summary": self.summary,
+        }
+
+
+#: The operation registry, in documentation order.
+OPS: Mapping[str, OpSpec] = {
+    spec.name: spec
+    for spec in (
+        OpSpec(
+            name="spread",
+            required={"user": _user_id},
+            summary="one user's sliding-window spread estimate",
+        ),
+        OpSpec(
+            name="batch_spread",
+            required={"users": _user_list},
+            summary="spread estimates for a list of users, in input order",
+        ),
+        OpSpec(
+            name="topk",
+            optional={"k": (10, _positive_int("k"))},
+            summary="the top-k spreaders of the sliding window",
+        ),
+        OpSpec(
+            name="sliding",
+            optional={"k_epochs": (None, _positive_int("k_epochs"))},
+            needs_lock=True,
+            summary="full sliding estimates merged over the last k_epochs epochs",
+        ),
+        OpSpec(
+            name="stats",
+            summary="monitor state, ingest progress, method spec and this op table",
+        ),
+    )
+}

@@ -1,0 +1,91 @@
+"""The wire protocol: newline-delimited JSON over a plain TCP stream.
+
+One request per line, one response per line, in order.  A request is a JSON
+object with an ``op`` field naming the operation (see
+:mod:`repro.service.ops`), an optional ``id`` echoed back verbatim, and the
+op's parameters as top-level fields:
+
+.. code-block:: json
+
+    {"id": 7, "op": "batch_spread", "users": [3, 19, "alice"]}
+
+Responses carry the answer plus the *consistency stamp* of the read
+snapshot that produced it — the monitor state version and its ingest
+offset — so a client can correlate concurrent answers with ingest
+progress (and a smoke test can rebuild the exact state offline):
+
+.. code-block:: json
+
+    {"id": 7, "ok": true, "version": 42, "pairs_ingested": 86016,
+     "result": {"estimates": [...]}}
+    {"id": 8, "ok": false, "error": {"code": "unknown_op", "message": "..."}}
+
+The framing is deliberately primitive — length-free, human-typable via
+``nc``, debuggable with ``tee`` — matching the repository's JSONL feed
+format.  Lines are capped at :data:`MAX_LINE_BYTES` to bound a hostile or
+confused client's memory use.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+#: Upper bound on one request/response line (1 MiB covers thousands of
+#: users in one batch_spread while bounding a garbage client's damage).
+MAX_LINE_BYTES = 1 << 20
+
+#: Error codes emitted by the server (stable, part of the protocol).
+BAD_REQUEST = "bad_request"
+UNKNOWN_OP = "unknown_op"
+INTERNAL = "internal"
+
+
+class ProtocolError(ValueError):
+    """A malformed request line (not JSON, not an object, or too long)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def encode(payload: Dict[str, object]) -> bytes:
+    """Serialise one message to its wire form (compact JSON + newline)."""
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_request(line: bytes) -> Dict[str, object]:
+    """Parse one request line; raise :class:`ProtocolError` when malformed."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(BAD_REQUEST, f"request line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(BAD_REQUEST, f"request is not valid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise ProtocolError(BAD_REQUEST, "request must be a JSON object")
+    return payload
+
+
+def ok_response(
+    request_id: Optional[object],
+    version: int,
+    pairs_ingested: int,
+    result: Dict[str, object],
+) -> Dict[str, object]:
+    """Build a success envelope stamped with the answering snapshot's state."""
+    response: Dict[str, object] = {
+        "id": request_id,
+        "ok": True,
+        "version": version,
+        "pairs_ingested": pairs_ingested,
+        "result": result,
+    }
+    return response
+
+
+def error_response(
+    request_id: Optional[object], code: str, message: str
+) -> Dict[str, object]:
+    """Build an error envelope (the connection stays usable afterwards)."""
+    return {"id": request_id, "ok": False, "error": {"code": code, "message": message}}

@@ -1,0 +1,149 @@
+"""Orchestration: one call that wires monitor, ingest thread and server.
+
+:func:`serve_monitor` is the programmatic face of ``repro.cli serve``: it
+starts the asyncio TCP server over an :class:`EstimateService`, optionally
+drives a recorded stream into the monitor on a background
+:class:`~repro.runtime.handle.IngestHandle` (refreshing the read snapshot
+every ``refresh_every`` batches, checkpointing every ``snapshot_every``
+batches), announces readiness as a JSONL record on the feed callback, and
+serves until cancelled.  After the stream is exhausted the server stays up
+— a drained monitor is still queryable, which is also what the smoke test
+relies on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.monitor.snapshot import SnapshotStore
+from repro.monitor.spreader import SpreaderMonitor
+from repro.runtime.handle import ingest_handle_for_monitor
+from repro.service.server import EstimateServer, EstimateService
+
+UserItemPair = Tuple[object, object]
+
+#: Callback receiving JSONL-ready lifecycle records (serving, ingest end).
+Announcer = Callable[[Dict[str, object]], None]
+
+
+def _null_announce(_record: Dict[str, object]) -> None:
+    return None
+
+
+async def serve_monitor(
+    monitor: SpreaderMonitor,
+    pairs: Optional[Sequence[UserItemPair]] = None,
+    timestamps: Optional[Sequence[float]] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    batch_size: int = 2048,
+    rate: Optional[float] = None,
+    refresh_every: int = 1,
+    snapshot_store: Optional[SnapshotStore] = None,
+    snapshot_every: int = 0,
+    announce: Optional[Announcer] = None,
+    ready: Optional[asyncio.Event] = None,
+) -> None:
+    """Serve ``monitor`` over TCP, optionally ingesting ``pairs`` meanwhile.
+
+    Runs until cancelled.  On cancellation the ingest thread is stopped, a
+    final checkpoint is written when a ``snapshot_store`` is configured,
+    and the server sockets are closed.
+    """
+    if refresh_every <= 0:
+        raise ValueError("refresh_every must be positive")
+    if snapshot_every < 0:
+        raise ValueError("snapshot_every must be non-negative")
+    if snapshot_every and snapshot_store is None:
+        raise ValueError("snapshot_every requires a snapshot_store")
+    announce = announce or _null_announce
+
+    service = EstimateService(monitor)
+    handle = None
+    # Ingest offset of the newest checkpoint written; a statically served
+    # monitor (no stream) never changes, so its restored state counts as
+    # already checkpointed.
+    last_checkpoint = [monitor.window.pairs_ingested if pairs is None else -1]
+
+    def checkpoint() -> None:
+        """Save unless the current offset is already checkpointed."""
+        if snapshot_store is None:
+            return
+        offset = monitor.window.pairs_ingested
+        if offset != last_checkpoint[0]:
+            snapshot_store.save(monitor)
+            last_checkpoint[0] = offset
+
+    if pairs is not None:
+        skip = monitor.window.pairs_ingested  # resume offset of a restored monitor
+
+        def on_batch(batches_done: int) -> None:
+            # Runs on the ingest thread, under the service lock: the
+            # exported snapshot is always a batch-boundary state.
+            if batches_done % refresh_every == 0:
+                service.refresh()
+            if snapshot_every and batches_done % snapshot_every == 0:
+                checkpoint()
+
+        handle = ingest_handle_for_monitor(
+            monitor,
+            pairs[skip:],
+            timestamps=None if timestamps is None else timestamps[skip:],
+            batch_size=batch_size,
+            rate=rate,
+            on_batch=on_batch,
+            lock=service.lock,
+        )
+        service.attach_ingest(handle)
+
+    server = EstimateServer(service, host=host, port=port)
+    await server.start()
+    announce(
+        {
+            "type": "serving",
+            "host": server.host,
+            "port": server.port,
+            "pairs_ingested": monitor.window.pairs_ingested,
+            "ingesting": handle is not None,
+        }
+    )
+    if ready is not None:
+        ready.set()
+
+    async def watch_ingest() -> None:
+        if handle is None:
+            return
+        handle.start()
+        while not handle.finished:
+            await asyncio.sleep(0.05)
+        with service.lock:
+            service.refresh()
+            checkpoint()
+        record: Dict[str, object] = {
+            "type": "ingest-finished",
+            "pairs_ingested": monitor.window.pairs_ingested,
+            "batches": handle.batches_done,
+        }
+        if handle.error is not None:
+            record["type"] = "ingest-failed"
+            record["error"] = repr(handle.error)
+        announce(record)
+
+    watcher = asyncio.ensure_future(watch_ingest())
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        if handle is not None:
+            handle.stop()
+            try:
+                handle.join(timeout=10.0)
+            except RuntimeError:
+                pass  # ingest failure was already announced / is in stats
+        watcher.cancel()
+        if snapshot_store is not None:
+            with service.lock:
+                checkpoint()
+        await server.close()

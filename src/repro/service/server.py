@@ -1,0 +1,278 @@
+"""The asyncio query server: live estimates over NDJSON TCP.
+
+Two layers:
+
+* :class:`EstimateService` — transport-free request handling.  The hot ops
+  (``spread`` / ``batch_spread`` / ``topk`` / ``stats``) answer from the
+  monitor's immutable :class:`~repro.monitor.view.ReadSnapshot`, refreshed
+  at batch boundaries by the ingest thread — readers never take a lock, so
+  any number of concurrent queries cannot stall ingest.  The cold
+  ``sliding`` op performs sketch merges, so it briefly holds the ingest
+  lock and memoises closed-epoch prefixes in a
+  :class:`~repro.monitor.view.SlidingMergeCache` (invalidated on epoch
+  rotation).
+* :class:`EstimateServer` — the asyncio TCP front end.  One task per
+  connection, requests answered in order per connection; lock-taking ops
+  run on the default executor so a long merge never blocks the event loop.
+
+Ingest runs beside the server on a
+:class:`~repro.runtime.handle.IngestHandle` daemon thread (the runtime's
+non-blocking ingest seam), feeding the monitor batch by batch and
+refreshing the service's snapshot every ``refresh_every`` batches — every
+response is therefore a *consistent batch-boundary state*, stamped with its
+version and ingest offset.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Dict, Optional
+
+from repro.monitor.spreader import SpreaderMonitor
+from repro.monitor.view import ReadSnapshot, SlidingMergeCache
+from repro.service import protocol
+from repro.service.ops import OPS
+from repro.service.protocol import ProtocolError
+
+#: Default TCP port (freesketch "FS" on a phone keypad, more or less).
+DEFAULT_PORT = 7373
+
+
+def _json_user(user: object) -> object:
+    return user if isinstance(user, (int, str)) else str(user)
+
+
+def _estimates_payload(estimates: Dict[object, float]) -> list:
+    return [[_json_user(user), float(value)] for user, value in estimates.items()]
+
+
+class EstimateService:
+    """Request handling over a live monitor (transport-free, thread-safe)."""
+
+    def __init__(
+        self,
+        monitor: SpreaderMonitor,
+        lock: threading.Lock | None = None,
+        ingest_handle=None,
+    ) -> None:
+        self._monitor = monitor
+        #: Mutual exclusion between ingest and lock-taking readers; shared
+        #: with the IngestHandle driving this monitor.
+        self.lock = lock if lock is not None else threading.Lock()
+        self._ingest_handle = ingest_handle
+        self._sliding_cache = SlidingMergeCache()
+        self._queries_served = 0
+        with self.lock:
+            self._snapshot = monitor.read_snapshot()
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def snapshot(self) -> ReadSnapshot:
+        """The read snapshot answering the hot ops right now."""
+        return self._snapshot
+
+    @property
+    def queries_served(self) -> int:
+        """Requests answered since the service started."""
+        return self._queries_served
+
+    def attach_ingest(self, handle) -> None:
+        """Attach the ingest handle once it exists (surfaced via ``stats``)."""
+        self._ingest_handle = handle
+
+    def refresh(self) -> ReadSnapshot:
+        """Re-export the read snapshot; caller must hold :attr:`lock`.
+
+        Designed as the :class:`~repro.runtime.handle.IngestHandle`'s
+        ``on_batch`` callback, which fires under the lock — the exported
+        state is always a batch-boundary state.
+        """
+        self._snapshot = self._monitor.read_snapshot()
+        return self._snapshot
+
+    # -- request handling ------------------------------------------------------
+
+    def handle(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Answer one decoded request; always returns a response envelope."""
+        request_id = request.get("id")
+        op_name = request.get("op")
+        spec = OPS.get(op_name) if isinstance(op_name, str) else None
+        if spec is None:
+            return protocol.error_response(
+                request_id,
+                protocol.UNKNOWN_OP,
+                f"unknown op {op_name!r}; supported: {', '.join(OPS)}",
+            )
+        try:
+            params = spec.extract_params(request)
+            handler = getattr(self, f"_op_{spec.name}")
+            snapshot, result = handler(params)
+        except ProtocolError as error:
+            return protocol.error_response(request_id, error.code, str(error))
+        except Exception as error:  # pragma: no cover - defensive backstop
+            return protocol.error_response(
+                request_id, protocol.INTERNAL, f"{type(error).__name__}: {error}"
+            )
+        self._queries_served += 1
+        return protocol.ok_response(
+            request_id, snapshot.version, snapshot.pairs_ingested, result
+        )
+
+    # -- op implementations (return (answering snapshot, result dict)) --------
+
+    def _op_spread(self, params):
+        snapshot = self._snapshot
+        user = params["user"]
+        return snapshot, {"user": user, "estimate": snapshot.spread(user)}
+
+    def _op_batch_spread(self, params):
+        snapshot = self._snapshot
+        users = params["users"]
+        return snapshot, {"estimates": snapshot.batch_spread(users)}
+
+    def _op_topk(self, params):
+        snapshot = self._snapshot
+        top = snapshot.topk(params["k"])
+        return snapshot, {"top": [[_json_user(user), value] for user, value in top]}
+
+    def _op_sliding(self, params):
+        k_epochs = params["k_epochs"]
+        with self.lock:
+            # Stamp with a snapshot exported under the same lock as the
+            # merge: with refresh_every > 1 the *published* snapshot may lag
+            # the window state by several batches, and a stale stamp would
+            # break the contract that (version, pairs_ingested) names the
+            # exact state behind the answer.  The local export is not
+            # published, so the hot ops keep their refresh cadence.
+            snapshot = (
+                self._snapshot
+                if self._snapshot.version == self._monitor.version
+                else self._monitor.read_snapshot()
+            )
+            estimates = self._sliding_cache.sliding_estimates(
+                self._monitor.window, k_epochs
+            )
+        retained = len(snapshot.epoch_summaries)
+        k = retained if k_epochs is None else min(k_epochs, retained)
+        return snapshot, {
+            "k_epochs": k,
+            "exactness": snapshot.exactness,
+            "estimates": _estimates_payload(estimates),
+        }
+
+    def _op_stats(self, params):
+        snapshot = self._snapshot
+        stats = snapshot.stats()
+        stats["queries_served"] = self._queries_served
+        stats["ops"] = [spec.describe() for spec in OPS.values()]
+        if snapshot.method is not None:
+            from repro.registry import REGISTRY
+
+            stats["method_spec"] = REGISTRY[snapshot.method].describe()
+        if self._ingest_handle is not None:
+            stats["ingest"] = self._ingest_handle.describe()
+        return snapshot, stats
+
+
+class EstimateServer:
+    """Asyncio TCP front end for an :class:`EstimateService`."""
+
+    def __init__(
+        self,
+        service: EstimateService,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.connections_served = 0
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> "EstimateServer":
+        """Bind and start accepting connections; returns self."""
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            self.host,
+            self._requested_port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        return self
+
+    async def close(self) -> None:
+        """Stop accepting connections and close the listening sockets."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        """Block serving connections until cancelled."""
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_served += 1
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Line exceeded the stream limit: report and drop the
+                    # connection (mid-line resync is not possible).
+                    writer.write(
+                        protocol.encode(
+                            protocol.error_response(
+                                None,
+                                protocol.BAD_REQUEST,
+                                f"request line exceeds {protocol.MAX_LINE_BYTES} bytes",
+                            )
+                        )
+                    )
+                    break
+                except ConnectionResetError:
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    request = protocol.decode_request(line)
+                except ProtocolError as error:
+                    response = protocol.error_response(None, error.code, str(error))
+                else:
+                    op = request.get("op")
+                    spec = OPS.get(op) if isinstance(op, str) else None
+                    if spec is not None and spec.needs_lock:
+                        # Sketch merges block on the ingest lock: push them
+                        # off the event loop so snapshot readers on other
+                        # connections keep streaming answers meanwhile.
+                        response = await loop.run_in_executor(
+                            None, self.service.handle, request
+                        )
+                    else:
+                        response = self.service.handle(request)
+                writer.write(protocol.encode(response))
+                try:
+                    await writer.drain()
+                except (ConnectionResetError, BrokenPipeError):
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass

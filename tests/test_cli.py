@@ -27,6 +27,23 @@ class TestParser:
         assert args.method == "FreeRS"
         assert args.top == 10
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "some.tsv"])
+        assert args.port == 0  # pick a free port, announced on stdout
+        assert args.refresh_every == 1
+        assert args.host == "127.0.0.1"
+        assert args.resume is False
+
+    def test_serve_without_stream_or_resume_rejected(self):
+        with pytest.raises(SystemExit, match="needs a stream"):
+            main(["serve"])
+
+    def test_serve_epoch_mode_required_for_fresh_monitor(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        write_edge_file(path, [(1, 2), (1, 3)])
+        with pytest.raises(SystemExit, match="epoch-pairs"):
+            main(["serve", str(path)])
+
 
 class TestCommands:
     def test_list_experiments(self, capsys):
@@ -150,6 +167,38 @@ class TestMonitorCommand:
         assert main(args + ["--resume"]) == 0
         output = capsys.readouterr().out
         assert "# resumed from" in output
+
+    def test_monitor_resume_without_snapshots_exits_with_clear_error(self, tmp_path):
+        path = self._dataset(tmp_path)
+        snapshot_dir = tmp_path / "empty-snaps"
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["monitor", str(path), "--epoch-pairs", "400",
+                 "--snapshot-dir", str(snapshot_dir), "--resume"]
+            )
+        message = str(excinfo.value)
+        assert "--resume failed" in message
+        assert "no snapshot files found" in message
+        assert str(snapshot_dir) in message
+
+    def test_monitor_resume_truncated_snapshot_exits_with_clear_error(self, tmp_path):
+        path = self._dataset(tmp_path)
+        snapshot_dir = tmp_path / "snaps"
+        args = [
+            "monitor", str(path), "--epoch-pairs", "400",
+            "--memory-bits", str(1 << 14),
+            "--snapshot-dir", str(snapshot_dir), "--snapshot-every", "2",
+        ]
+        assert main(args) == 0
+        latest = sorted(snapshot_dir.glob("snapshot-*.json"))[-1]
+        text = latest.read_text(encoding="utf-8")
+        latest.write_text(text[: len(text) // 3], encoding="utf-8")
+        with pytest.raises(SystemExit) as excinfo:
+            main(args + ["--resume"])
+        message = str(excinfo.value)
+        assert str(latest) in message
+        assert "truncated or corrupt" in message
+        assert "Recovery options" in message
 
     def test_monitor_requires_one_epoch_mode(self, tmp_path):
         path = self._dataset(tmp_path)

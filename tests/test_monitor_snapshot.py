@@ -104,8 +104,39 @@ class TestStore:
         assert store._offset(paths[-1]) == 5_000
 
     def test_restore_empty_store_raises(self, tmp_path):
-        with pytest.raises(FileNotFoundError):
+        from repro.monitor import SnapshotError
+
+        with pytest.raises(SnapshotError, match="no snapshot files found"):
             SnapshotStore(tmp_path / "nothing").restore()
+
+    def test_restore_truncated_snapshot_names_path_and_recovery(self, stream, tmp_path):
+        from repro.monitor import SnapshotError
+
+        store = SnapshotStore(tmp_path)
+        monitor = _spec("FreeBS").build()
+        monitor.observe(stream[:1_000])
+        path = store.save(monitor)
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[: len(text) // 2], encoding="utf-8")
+        with pytest.raises(SnapshotError) as excinfo:
+            store.restore()
+        message = str(excinfo.value)
+        assert str(path) in message
+        assert "truncated or corrupt" in message
+        assert "Recovery options" in message
+        assert excinfo.value.path == path
+
+    def test_restore_wrong_payload_raises_snapshot_error(self, tmp_path):
+        import json as json_module
+
+        from repro.monitor import SnapshotError
+
+        store = SnapshotStore(tmp_path)
+        tmp_path.mkdir(parents=True, exist_ok=True)
+        path = tmp_path / "snapshot-000000000001.json"
+        path.write_text(json_module.dumps({"format": "something-else"}), encoding="utf-8")
+        with pytest.raises(SnapshotError, match="not a loadable monitor snapshot"):
+            store.restore()
 
     def test_snapshot_payload_is_versioned_json(self, stream, tmp_path):
         monitor = _spec("vHLL").build()

@@ -1,0 +1,129 @@
+"""Tests for the versioned read-snapshot export and the sliding merge cache.
+
+The load-bearing contracts:
+
+* a :class:`ReadSnapshot`'s spread / batch_spread / topk answers are
+  identical to the direct monitor calls on the same state — this is what
+  the service layer's acceptance smoke relies on;
+* the :class:`SlidingMergeCache` path is bit-identical to
+  ``WindowedEstimator.window_estimates`` for every method, across epoch
+  rotations (cache invalidation included).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.monitor import MonitorSpec, ReadSnapshot, SlidingMergeCache, normalize_user_key
+from repro.streams import zipf_bipartite_stream
+
+_METHODS = ["FreeBS", "FreeRS", "CSE", "vHLL", "LPC", "HLL++"]
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return zipf_bipartite_stream(
+        n_users=80, n_pairs=6_000, max_cardinality=500, duplicate_factor=0.4, seed=5
+    )
+
+
+def _monitor(method="FreeRS", epoch_pairs=1_500, window_epochs=4):
+    return MonitorSpec(
+        method=method,
+        memory_bits=1 << 14,
+        expected_users=80,
+        epoch_pairs=epoch_pairs,
+        window_epochs=window_epochs,
+        delta=5e-3,
+    ).build()
+
+
+class TestReadSnapshot:
+    def test_matches_direct_monitor_calls(self, stream):
+        monitor = _monitor()
+        monitor.observe(stream[:4_000])
+        snapshot = monitor.read_snapshot()
+        assert isinstance(snapshot, ReadSnapshot)
+        estimates = monitor.last_window_estimates()
+        for user in list(estimates)[:20]:
+            assert snapshot.spread(user) == estimates[user]
+        assert snapshot.batch_spread(list(estimates)[:5]) == [
+            estimates[user] for user in list(estimates)[:5]
+        ]
+        assert snapshot.topk(monitor.top_k) == monitor.current_top
+        assert snapshot.spread("no-such-user") == 0.0
+        assert snapshot.pairs_ingested == 4_000
+        assert snapshot.exactness in ("exact", "additive")
+
+    def test_snapshot_is_stable_while_monitor_moves_on(self, stream):
+        monitor = _monitor()
+        monitor.observe(stream[:2_000])
+        snapshot = monitor.read_snapshot()
+        before = dict(snapshot.estimates)
+        monitor.observe(stream[2_000:4_000])
+        assert dict(snapshot.estimates) == before  # old snapshot untouched
+        newer = monitor.read_snapshot()
+        assert newer.version > snapshot.version
+        assert newer.pairs_ingested == 4_000
+
+    def test_version_bumps_per_evaluation(self, stream):
+        monitor = _monitor()
+        assert monitor.version == 0
+        monitor.observe(stream[:1_000])
+        monitor.observe(stream[1_000:2_000])
+        assert monitor.version == 2
+
+    def test_stats_shape(self, stream):
+        monitor = _monitor()
+        monitor.observe(stream[:2_000])
+        stats = monitor.read_snapshot().stats()
+        for key in (
+            "version", "method", "pairs_ingested", "epochs_started", "live_epoch",
+            "exactness", "regressions", "users_tracked", "total_estimate", "epochs",
+        ):
+            assert key in stats
+        assert stats["method"] == "FreeRS"
+        assert stats["pairs_ingested"] == 2_000
+
+    def test_user_key_normalization(self):
+        estimates = {42: 1.0, "alice": 2.0}
+        assert normalize_user_key(estimates, "42") == 42
+        assert normalize_user_key(estimates, 42) == 42
+        assert normalize_user_key(estimates, "alice") == "alice"
+        assert normalize_user_key(estimates, "7") == "7"  # unseen stays as-is
+
+
+class TestSlidingMergeCache:
+    @pytest.mark.parametrize("method", _METHODS)
+    def test_bit_identical_to_uncached_window_estimates(self, stream, method):
+        monitor = _monitor(method=method)
+        cache = SlidingMergeCache()
+        window = monitor.window
+        for start in range(0, len(stream), 900):
+            monitor.observe(stream[start : start + 900])
+            for last in (1, 2, window.window_epochs):
+                assert cache.sliding_estimates(window, last) == window.window_estimates(
+                    last
+                ), f"{method} sliding({last}) diverged at pair {start + 900}"
+
+    def test_prefix_reuse_across_queries(self, stream):
+        monitor = _monitor()
+        cache = SlidingMergeCache()
+        monitor.observe(stream[:4_500])  # 3 epochs
+        window = monitor.window
+        first = cache.sliding_estimates(window)
+        assert len(cache._prefixes) == 1
+        second = cache.sliding_estimates(window)
+        assert first == second
+        assert len(cache._prefixes) == 1  # reused, not rebuilt
+
+    def test_invalidation_on_rotation(self, stream):
+        monitor = _monitor(epoch_pairs=1_000, window_epochs=3)
+        cache = SlidingMergeCache()
+        monitor.observe(stream[:3_500])
+        window = monitor.window
+        cache.sliding_estimates(window, 3)
+        old_keys = set(cache._prefixes)
+        monitor.observe(stream[3_500:5_500])  # rotates epochs out of the ring
+        cache.sliding_estimates(window, 3)
+        assert not (old_keys & set(cache._prefixes))  # stale prefixes evicted

@@ -202,14 +202,6 @@ class TestTimestampRotation:
         assert all(epoch.pairs == 0 for epoch in ring[:-1])
         assert ring[-1].start_time == math.floor(100.0)
 
-    def test_decreasing_timestamps_rejected(self):
-        window = WindowedEstimator(
-            lambda _k: FreeBS(1 << 10, seed=1), epoch_span=1.0, window_epochs=3
-        )
-        window.ingest([(1, 1)], [5.0])
-        with pytest.raises(ValueError):
-            window.ingest([(1, 2)], [4.0])
-
     def test_default_clock_is_event_index(self):
         window = WindowedEstimator(
             lambda _k: FreeBS(1 << 10, seed=1), epoch_span=10.0, window_epochs=4
@@ -217,3 +209,85 @@ class TestTimestampRotation:
         window.ingest([(1, i) for i in range(25)])
         assert window.epochs_started == 3
         assert window.last_timestamp == 24.0
+
+
+class TestTimestampRegressions:
+    """Non-monotonic arrival clocks: clamp to the live epoch, never mis-rotate.
+
+    A regressed timestamp used to either raise mid-stream (provided
+    timestamps) or silently land pairs in the wrong epoch (event-index
+    timestamps generated below an earlier real clock).  The contract now:
+    the pair stays in the live epoch, the regression is counted, and a
+    strict mode restores the old raise for callers that want it.
+    """
+
+    def _span_window(self, strict=False):
+        return WindowedEstimator(
+            lambda _k: FreeBS(1 << 10, seed=1),
+            epoch_span=1.0,
+            window_epochs=4,
+            strict_timestamps=strict,
+        )
+
+    def test_regressed_pair_lands_in_the_live_epoch(self):
+        window = self._span_window()
+        window.ingest([(1, 1), (1, 2)], [5.0, 5.5])
+        started = window.epochs_started
+        window.ingest([(2, 1)], [4.0])  # regresses below 5.5
+        assert window.epochs_started == started  # no rotation happened
+        assert window.live_epoch.pairs == 3
+        assert window.regressions == 1
+        assert window.last_timestamp == 5.5  # the clock never moves backwards
+
+    def test_intra_batch_regression_is_clamped(self):
+        window = self._span_window()
+        closed = window.ingest([(1, 1), (1, 2), (1, 3)], [0.2, 0.1, 0.3])
+        assert closed == []
+        assert window.regressions == 1
+        assert window.live_epoch.pairs == 3
+
+    def test_strict_mode_raises(self):
+        window = self._span_window(strict=True)
+        window.ingest([(1, 1)], [5.0])
+        with pytest.raises(ValueError):
+            window.ingest([(1, 2)], [4.0])
+        assert window.regressions == 0
+
+    def test_mixing_timestamped_then_untimestamped_batches(self):
+        # The event-index clock starts at pairs_ingested, far below the real
+        # clock of the first batch; every generated timestamp regresses and
+        # must be clamped instead of silently rotating the ring backwards.
+        window = self._span_window()
+        window.ingest([(1, 1), (1, 2)], [50.0, 50.5])
+        started = window.epochs_started
+        window.ingest([(2, 1), (2, 2)])  # event-index clock: 2.0, 3.0
+        assert window.epochs_started == started
+        assert window.live_epoch.pairs == 4
+        assert window.regressions == 2
+        assert window.last_timestamp == 50.5
+
+    def test_event_count_mode_counts_regressions_too(self):
+        window = WindowedEstimator(
+            lambda _k: FreeBS(1 << 10, seed=1), epoch_pairs=10, window_epochs=4
+        )
+        window.ingest([(1, 1), (1, 2)], [3.0, 2.0])
+        assert window.regressions == 1
+        assert window.last_timestamp == 3.0
+
+    def test_regressions_survive_snapshot_round_trip(self):
+        from repro.monitor import MonitorSpec, monitor_from_json, monitor_to_json
+
+        spec = MonitorSpec(
+            method="FreeBS",
+            memory_bits=1 << 12,
+            epoch_pairs=None,
+            epoch_span=1.0,
+            threshold=5.0,
+            delta=None,
+        )
+        monitor = spec.build()
+        monitor.observe([(1, 1), (1, 2)], [5.0, 4.0])
+        assert monitor.window.regressions == 1
+        restored = monitor_from_json(monitor_to_json(monitor))
+        assert restored.window.regressions == 1
+        assert restored.window.strict_timestamps is False

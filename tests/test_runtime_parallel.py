@@ -116,3 +116,81 @@ class TestValidation:
         assert owned_shards(1, 2, 5) == [1, 3]
         covered = owned_shards(0, 3, 3) + owned_shards(1, 3, 3) + owned_shards(2, 3, 3)
         assert sorted(covered) == [0, 1, 2]
+
+
+class TestWorkerFailure:
+    """A dying worker (or a poisoned stream) must abort the run, not hang it.
+
+    The coordinator checks worker liveness every chunk and every time a
+    bounded queue blocks, drains the queues, cancels the siblings, and
+    re-raises the worker error as WorkerIngestError with the worker-side
+    traceback attached.
+    """
+
+    def test_poisoned_stream_raises_within_the_run(self):
+        import time
+
+        class PoisonedStream:
+            def __iter__(self):
+                for index in range(30_000):
+                    yield (index % 40, index)
+                raise RuntimeError("poisoned pair")
+
+        start = time.perf_counter()
+        with pytest.raises(RuntimeError, match="poisoned pair"):
+            parallel_ingest(
+                PoisonedStream(), method="vHLL", config=_CONFIG,
+                expected_users=_USERS, workers=2, chunk_size=512,
+            )
+        assert time.perf_counter() - start < 30.0
+
+    def test_worker_exception_raises_worker_ingest_error(self, monkeypatch):
+        import multiprocessing
+        import time
+
+        import repro.runtime.parallel as parallel_module
+        from repro.runtime import WorkerIngestError
+
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("worker-failure injection relies on fork inheriting the patch")
+
+        monkeypatch.setattr(parallel_module, "_worker_ingest", _exploding_worker)
+        pairs = [(index % 40, index) for index in range(60_000)]
+        start = time.perf_counter()
+        with pytest.raises(WorkerIngestError) as excinfo:
+            parallel_ingest(
+                GraphStream(pairs), method="vHLL", config=_CONFIG,
+                expected_users=_USERS, workers=2, chunk_size=512,
+            )
+        # Raised mid-run (not after an end-of-stream timeout), names the
+        # worker, and carries the worker-side traceback.
+        assert time.perf_counter() - start < 30.0
+        assert excinfo.value.worker in (0, 1)
+        assert "worker exploded" in str(excinfo.value)
+        assert "_exploding_worker" in excinfo.value.remote_traceback
+
+    def test_instantly_dead_worker_detected_before_result_collection(self, monkeypatch):
+        import multiprocessing
+
+        import repro.runtime.parallel as parallel_module
+        from repro.runtime import WorkerIngestError
+
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("worker-failure injection relies on fork inheriting the patch")
+
+        monkeypatch.setattr(parallel_module, "_worker_ingest", _instantly_dead_worker)
+        pairs = [(index % 40, index) for index in range(20_000)]
+        with pytest.raises(WorkerIngestError):
+            parallel_ingest(
+                GraphStream(pairs), method="FreeRS", config=_CONFIG,
+                expected_users=_USERS, workers=2, chunk_size=256,
+            )
+
+
+def _exploding_worker(method, config, expected_users, shards, chunk_queue):
+    chunk_queue.get()
+    raise ValueError("worker exploded")
+
+
+def _instantly_dead_worker(method, config, expected_users, shards, chunk_queue):
+    raise ValueError("worker dead on arrival")

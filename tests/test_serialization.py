@@ -147,3 +147,80 @@ class TestVersion2Kinds:
         assert restored._sketches["light"].is_sparse
         assert not restored._sketches["heavy"].is_sparse
         assert restored.estimates() == estimator.estimates()
+
+
+class TestCrossVersionLoads:
+    """Version-1 envelopes must stay loadable by the version-2 codec table.
+
+    The loader accepts every version in ``_ACCEPTED_VERSIONS``; a payload
+    whose envelope says ``version: 1`` differs from today's only in that
+    number, so for every registry tag we rewrite the header and assert the
+    load is byte-for-byte equivalent to the current-version load.  A
+    corrupted header (wrong format string, unknown kind, truncated body)
+    must be rejected with a clear error, never half-loaded.
+    """
+
+    def _registry_estimators(self):
+        from repro.experiments.config import ExperimentConfig
+        from repro.registry import REGISTRY, build
+
+        config = ExperimentConfig(memory_bits=1 << 12, seed=3)
+        for name, spec in REGISTRY.items():
+            estimator = _feed(build(name, config, expected_users=40), _pairs(1_200, seed=5))
+            yield spec.tag, estimator
+
+    def test_v1_payloads_load_for_every_registry_tag(self):
+        import json
+
+        seen_tags = []
+        for tag, estimator in self._registry_estimators():
+            envelope = json.loads(serialization.dumps(estimator))
+            assert envelope["kind"] == tag
+            envelope["version"] = 1
+            restored = serialization.loads(json.dumps(envelope))
+            assert restored.estimates() == estimator.estimates(), (
+                f"v1 payload of kind {tag} did not restore identically"
+            )
+            seen_tags.append(tag)
+        from repro.registry import REGISTRY
+
+        assert seen_tags == [spec.tag for spec in REGISTRY.values()]
+
+    def test_v1_sharded_envelope_loads(self):
+        import json
+
+        estimator = _feed(
+            ShardedEstimator(lambda _k: VirtualHLL(1 << 9, virtual_size=64, seed=3), shards=2),
+            _pairs(1_500, seed=6),
+        )
+        envelope = json.loads(serialization.dumps(estimator))
+        envelope["version"] = 1
+        for sub in envelope["body"]["sub"]:
+            sub["version"] = 1
+        restored = serialization.loads(json.dumps(envelope))
+        assert restored.estimates() == estimator.estimates()
+
+    def test_corrupted_header_rejections(self):
+        import json
+
+        estimator = _feed(FreeBS(1 << 10, seed=3), _pairs(400, seed=7))
+        envelope = json.loads(serialization.dumps(estimator))
+
+        wrong_format = dict(envelope, format="not-a-freesketch-snapshot")
+        with pytest.raises(ValueError, match="not a freesketch snapshot"):
+            serialization.loads(json.dumps(wrong_format))
+
+        future_version = dict(envelope, version=99)
+        with pytest.raises(ValueError, match="unsupported snapshot version"):
+            serialization.loads(json.dumps(future_version))
+
+        unknown_kind = dict(envelope, kind="MysterySketch")
+        with pytest.raises(ValueError, match="unknown snapshot kind"):
+            serialization.loads(json.dumps(unknown_kind))
+
+    def test_truncated_payload_rejected(self):
+        payload = serialization.dumps(_feed(FreeRS(1 << 9, seed=3), _pairs(400, seed=8)))
+        import json
+
+        with pytest.raises(json.JSONDecodeError):
+            serialization.loads(payload[: len(payload) // 2])

@@ -1,0 +1,303 @@
+"""Tests for the async estimate-serving subsystem.
+
+The load-bearing contracts (mirroring the CI ``serve-smoke`` job):
+
+* every client answer (``spread`` / ``batch_spread`` / ``topk`` /
+  ``sliding``) is identical to the direct monitor call on the state the
+  response's ``(version, pairs_ingested)`` stamp names — before and after
+  epoch rotations, and while ingest is running concurrently;
+* a monitor recovered from a snapshot serves identical answers;
+* protocol errors (unknown op, bad params, malformed JSON) answer with
+  error envelopes and keep the connection usable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.monitor import MonitorSpec, SnapshotStore
+from repro.runtime import IngestHandle, batch_slices, ingest_handle_for_monitor
+from repro.service import OPS, EstimateServer, EstimateService, ServiceClient, ServiceError
+from repro.streams import zipf_bipartite_stream
+
+_USERS = 80
+_BATCH = 500
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return zipf_bipartite_stream(
+        n_users=_USERS, n_pairs=6_000, max_cardinality=500, duplicate_factor=0.4, seed=9
+    )
+
+
+def _spec(method="FreeRS"):
+    return MonitorSpec(
+        method=method,
+        memory_bits=1 << 14,
+        expected_users=_USERS,
+        epoch_pairs=1_500,
+        window_epochs=4,
+        delta=5e-3,
+    )
+
+
+class _ServerThread:
+    """Run an EstimateServer on its own event loop thread for sync clients."""
+
+    def __init__(self, service: EstimateService):
+        self.service = service
+        self.port = None
+        self._loop = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._ready.wait(10.0), "server did not come up"
+
+    def _run(self):
+        async def main():
+            server = EstimateServer(self.service, port=0)
+            await server.start()
+            self.port = server.port
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            self._ready.set()
+            await self._stop.wait()
+            await server.close()
+
+        asyncio.run(main())
+
+    def close(self):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10.0)
+
+
+@pytest.fixture()
+def served(stream):
+    monitor = _spec().build()
+    monitor.observe(stream[:4_000])
+    service = EstimateService(monitor)
+    server = _ServerThread(service)
+    try:
+        yield monitor, service, server
+    finally:
+        server.close()
+
+
+class TestQueryIdentity:
+    def test_hot_ops_match_direct_monitor_calls(self, served, stream):
+        monitor, _service, server = served
+        estimates = monitor.last_window_estimates()
+        some_users = list(estimates)[:8]
+        with ServiceClient(port=server.port) as client:
+            assert client.batch_spread(some_users) == [
+                estimates[user] for user in some_users
+            ]
+            assert client.spread(some_users[0]) == estimates[some_users[0]]
+            assert client.topk(monitor.top_k) == [
+                (user, value) for user, value in monitor.current_top
+            ]
+            assert client.spread(10**9) == 0.0
+
+    def test_sliding_matches_window_estimates(self, served):
+        monitor, _service, server = served
+        with ServiceClient(port=server.port) as client:
+            for k in (1, 2, None):
+                expected = monitor.window.window_estimates(k)
+                assert client.sliding(k) == expected
+
+    def test_sliding_stamp_names_the_merged_state_even_when_snapshot_lags(
+        self, served, stream
+    ):
+        """With refresh_every > 1 the published snapshot lags the window;
+        the sliding response must still be stamped with the state it merged,
+        not the stale snapshot (the offline-reproducibility contract)."""
+        monitor, service, server = served
+        monitor.observe(stream[4_000:5_000])  # published snapshot NOT refreshed
+        with ServiceClient(port=server.port) as client:
+            estimates = client.sliding(2)
+            assert client.last_pairs_ingested == 5_000
+            assert estimates == monitor.window.window_estimates(2)
+            # The hot path still answers from the published (older) snapshot.
+            client.topk(3)
+            assert client.last_pairs_ingested == 4_000
+
+    def test_answers_identical_before_and_after_rotation(self, served, stream):
+        monitor, service, server = served
+        with ServiceClient(port=server.port) as client:
+            before = client.topk(5)
+            assert before == monitor.current_top[:5]
+            # Rotate: ingesting the rest crosses several 1500-pair epochs.
+            epochs_before = monitor.window.epochs_started
+            monitor.observe(stream[4_000:])
+            assert monitor.window.epochs_started > epochs_before
+            with service.lock:
+                service.refresh()
+            after = client.topk(5)
+            assert after == monitor.current_top[:5]
+            assert client.last_pairs_ingested == len(stream)
+
+    def test_stats_reports_state_and_op_table(self, served, stream):
+        monitor, _service, server = served
+        with ServiceClient(port=server.port) as client:
+            client.topk(3)
+            stats = client.stats()
+        assert stats["pairs_ingested"] == 4_000
+        assert stats["method"] == "FreeRS"
+        assert stats["method_spec"]["tag"] == "FreeRS"
+        assert {op["op"] for op in stats["ops"]} == set(OPS)
+        assert stats["queries_served"] >= 1
+
+
+class TestSnapshotRecovery:
+    def test_recovered_monitor_serves_identical_answers(self, served, stream, tmp_path):
+        monitor, _service, server = served
+        store = SnapshotStore(tmp_path / "snaps")
+        store.save(monitor)
+        with ServiceClient(port=server.port) as client:
+            users = [user for user, _ in client.topk(10)]
+            original = client.batch_spread(users)
+            original_top = client.topk(10)
+
+        recovered = store.restore()
+        recovered_service = EstimateService(recovered)
+        recovered_server = _ServerThread(recovered_service)
+        try:
+            with ServiceClient(port=recovered_server.port) as client:
+                assert client.batch_spread(users) == original
+                assert client.topk(10) == original_top
+        finally:
+            recovered_server.close()
+
+
+class TestConcurrentIngest:
+    def test_queries_never_block_ingest_and_stay_consistent(self, stream):
+        """Readers during live ingest see exact batch-boundary states."""
+        monitor = _spec().build()
+        service = EstimateService(monitor)
+        handle = ingest_handle_for_monitor(
+            monitor,
+            stream,
+            batch_size=_BATCH,
+            on_batch=lambda _n: service.refresh(),
+            lock=service.lock,
+        )
+        service.attach_ingest(handle)
+        server = _ServerThread(service)
+        probe_users = sorted({user for user, _item in stream[:200]})[:6]
+        observed = {}
+        try:
+            with ServiceClient(port=server.port) as client:
+                handle.start()
+                while True:
+                    values = client.batch_spread(probe_users)
+                    observed[client.last_pairs_ingested] = values
+                    stats = client.stats()
+                    if stats.get("ingest", {}).get("finished"):
+                        break
+                handle.join(10.0)
+                values = client.batch_spread(probe_users)
+                observed[client.last_pairs_ingested] = values
+        finally:
+            server.close()
+        assert len(observed) >= 2, "expected answers at several ingest offsets"
+        # Replay each observed offset offline: answers must match exactly.
+        for offset, values in observed.items():
+            assert offset % _BATCH == 0 or offset == len(stream)
+            replica = _spec().build()
+            for chunk, times in batch_slices(stream[:offset], batch_size=_BATCH):
+                replica.observe(chunk, times)
+            estimates = replica.last_window_estimates()
+            assert values == [float(estimates.get(user, 0.0)) for user in probe_users], (
+                f"served answer diverged from direct monitor state at pair {offset}"
+            )
+
+    def test_ingest_error_is_captured_and_surfaced(self):
+        monitor = _spec().build()
+        service = EstimateService(monitor)
+
+        def poisoned_batches():
+            yield [(1, 1), (1, 2)], None
+            raise RuntimeError("poisoned batch")
+
+        handle = IngestHandle(
+            poisoned_batches(),
+            lambda pairs, times: monitor.observe(pairs, times),
+            lock=service.lock,
+            on_batch=lambda _n: service.refresh(),
+        )
+        service.attach_ingest(handle)
+        handle.start()
+        for _ in range(200):
+            if handle.finished:
+                break
+            time.sleep(0.02)
+        assert handle.finished
+        with pytest.raises(RuntimeError, match="background ingest failed"):
+            handle.raise_if_failed()
+        stats = service.handle({"op": "stats"})["result"]
+        assert "poisoned batch" in stats["ingest"]["error"]
+
+
+class TestProtocolErrors:
+    def test_error_envelopes_keep_the_connection_usable(self, served):
+        _monitor, _service, server = served
+        with ServiceClient(port=server.port) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.request("no_such_op")
+            assert excinfo.value.code == "unknown_op"
+            with pytest.raises(ServiceError) as excinfo:
+                client.request("spread")  # missing 'user'
+            assert excinfo.value.code == "bad_request"
+            with pytest.raises(ServiceError) as excinfo:
+                client.request("topk", k=-3)
+            assert excinfo.value.code == "bad_request"
+            # Connection still answers after three errors.
+            assert isinstance(client.stats()["pairs_ingested"], int)
+
+    def test_malformed_json_line_answers_bad_request(self, served):
+        _monitor, _service, server = served
+        with socket.create_connection(("127.0.0.1", server.port), timeout=5.0) as raw:
+            raw.sendall(b"this is not json\n")
+            line = raw.makefile("rb").readline()
+        response = json.loads(line)
+        assert response["ok"] is False
+        assert response["error"]["code"] == "bad_request"
+
+    def test_responses_longer_than_one_chunk_are_reassembled(
+        self, served, monkeypatch
+    ):
+        """The client must never truncate a long response line: a partial
+        read followed by json.loads would desync the whole connection."""
+        import repro.service.client as client_module
+
+        monitor, _service, server = served
+        monkeypatch.setattr(client_module, "_READ_CHUNK_BYTES", 64)
+        with ServiceClient(port=server.port) as client:
+            # A sliding reply enumerates ~80 users (a few KB): dozens of
+            # 64-byte chunks that must reassemble to the exact answer.
+            assert client.sliding() == monitor.window.window_estimates()
+            # And the connection is still in sync afterwards.
+            assert client.topk(3) == monitor.current_top[:3]
+
+    def test_response_ceiling_is_enforced(self, served, monkeypatch):
+        import repro.service.client as client_module
+
+        _monitor, _service, server = served
+        monkeypatch.setattr(client_module, "MAX_RESPONSE_BYTES", 256)
+        with ServiceClient(port=server.port) as client:
+            with pytest.raises(ConnectionError, match="exceeds"):
+                client.sliding()  # enumerates every user: far over 256 B
+
+    def test_blank_lines_are_ignored(self, served):
+        _monitor, _service, server = served
+        with socket.create_connection(("127.0.0.1", server.port), timeout=5.0) as raw:
+            raw.sendall(b"\n\n" + json.dumps({"op": "stats", "id": 1}).encode() + b"\n")
+            response = json.loads(raw.makefile("rb").readline())
+        assert response["ok"] is True and response["id"] == 1
