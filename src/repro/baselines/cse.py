@@ -181,11 +181,51 @@ class CSE(BatchUpdatable, CardinalityEstimator):
         """Return the latest cached estimate of ``user`` (0.0 for unseen users)."""
         return self._estimates.get(user, 0.0)
 
+    def estimate_many(self, users):
+        """Batch cached estimates in input order (the ``estimate`` semantics)."""
+        from repro.engine.query import gather_cached_estimates
+
+        return gather_cached_estimates(self._estimates, users)
+
+    def _tracked(self, user: object) -> bool:
+        """Whether ``user`` has per-user state (positions cache or estimate).
+
+        Both sets are consulted: a snapshot-restored estimator carries its
+        users in ``_estimates`` with an empty positions cache, and the cache
+        is lazily rebuilt on demand — membership in either means the user's
+        bits are in the shared array.
+        """
+        return user in self._positions_cache or user in self._estimates
+
     def estimate_fresh(self, user: object) -> float:
         """Recompute the estimate of ``user`` from the shared array right now."""
-        if user not in self._positions_cache:
+        if not self._tracked(user):
             return 0.0
         return self._estimate_from_sketch(user)
+
+    def estimate_fresh_many(self, users):
+        """Batch :meth:`estimate_fresh` in input order, decoded vectorised.
+
+        One ``(n_users, m)`` position gather and one axis-1 zero count
+        replace the per-user O(m) scans; the closed-form formula is the same
+        scalar :meth:`_estimate_from_counts`, so the results are bit-identical
+        to calling :meth:`estimate_fresh` per user.
+        """
+        from repro.engine.query import positions_matrix_for_users, row_zero_bit_counts
+
+        users = list(users)
+        results = [0.0] * len(users)
+        tracked = [index for index, user in enumerate(users) if self._tracked(user)]
+        if not tracked:
+            return results
+        matrix = positions_matrix_for_users(
+            self._family, self._positions_cache, [users[index] for index in tracked]
+        )
+        virtual_zeros = row_zero_bit_counts(self._bits, matrix)
+        global_zero_fraction = self._bits.zero_fraction
+        for index, zeros in zip(tracked, virtual_zeros.tolist()):
+            results[index] = self._estimate_from_counts(int(zeros), global_zero_fraction)
+        return results
 
     def estimates(self) -> Dict[object, float]:
         """Return the latest cached estimate of every observed user."""

@@ -85,6 +85,16 @@ class _PerUserSketchEstimator(BatchUpdatable, CardinalityEstimator):
         """Return the latest estimate for ``user`` (0.0 for unseen users)."""
         return self._estimates.get(user, 0.0)
 
+    def estimate_many(self, users):
+        """Batch estimates in input order, served from the per-user cache.
+
+        Private sketches refresh their user's cached estimate on every
+        insert, so the cache *is* the fresh estimate — one gather suffices.
+        """
+        from repro.engine.query import gather_cached_estimates
+
+        return gather_cached_estimates(self._estimates, users)
+
     def estimates(self) -> Dict[object, float]:
         """Return the latest estimate of every observed user."""
         return dict(self._estimates)

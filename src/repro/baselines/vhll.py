@@ -98,14 +98,24 @@ class VirtualHLL(BatchUpdatable, CardinalityEstimator):
         reconstructed as of a user's last arrival), so both agree bit-for-bit.
         """
         virtual_harmonic = float(np.sum(np.exp2(-values.astype(np.float64))))
-        raw_local = self._alpha_m * self.m * self.m / virtual_harmonic
-        if raw_local < 2.5 * self.m:
-            virtual_zeros = int(np.count_nonzero(values == 0))
-            if virtual_zeros > 0:
-                raw_local = self.m * math.log(self.m / virtual_zeros)
+        virtual_zeros = int(np.count_nonzero(values == 0))
         global_term = (self.m / self.M) * self._global_estimate_from(
             global_harmonic_sum, global_zeros
         )
+        return self._estimate_from_stats(virtual_harmonic, virtual_zeros, global_term)
+
+    def _estimate_from_stats(
+        self, virtual_harmonic: float, virtual_zeros: int, global_term: float
+    ) -> float:
+        """The closed-form estimate from already-reduced per-user statistics.
+
+        Split out so the vectorised query path (which reduces all users'
+        harmonic sums and zero counts in one numpy pass) evaluates exactly
+        the same scalar arithmetic as the per-user path.
+        """
+        raw_local = self._alpha_m * self.m * self.m / virtual_harmonic
+        if raw_local < 2.5 * self.m and virtual_zeros > 0:
+            raw_local = self.m * math.log(self.m / virtual_zeros)
         scale = self.M / (self.M - self.m)
         return max(0.0, scale * (raw_local - global_term))
 
@@ -224,11 +234,64 @@ class VirtualHLL(BatchUpdatable, CardinalityEstimator):
         """Return the latest cached estimate of ``user`` (0.0 for unseen users)."""
         return self._estimates.get(user, 0.0)
 
+    def estimate_many(self, users):
+        """Batch cached estimates in input order (the ``estimate`` semantics)."""
+        from repro.engine.query import gather_cached_estimates
+
+        return gather_cached_estimates(self._estimates, users)
+
+    def _tracked(self, user: object) -> bool:
+        """Whether ``user`` has per-user state (positions cache or estimate).
+
+        Both sets are consulted: a snapshot-restored estimator carries its
+        users in ``_estimates`` with an empty positions cache, which is
+        lazily rebuilt on demand.
+        """
+        return user in self._positions_cache or user in self._estimates
+
     def estimate_fresh(self, user: object) -> float:
         """Recompute the estimate of ``user`` from the shared array right now."""
-        if user not in self._positions_cache:
+        if not self._tracked(user):
             return 0.0
         return self._estimate_from_sketch(user)
+
+    def estimate_fresh_many(self, users):
+        """Batch :meth:`estimate_fresh` in input order, decoded vectorised.
+
+        One ``(n_users, m)`` register gather plus axis-1 harmonic-sum and
+        zero-count reductions replace the per-user O(m) scans; the shared
+        global correction term is evaluated once (it is user-independent)
+        and the closed-form formula is the scalar :meth:`_estimate_from_stats`,
+        so results are bit-identical to per-user :meth:`estimate_fresh`.
+        """
+        from repro.engine.query import (
+            positions_matrix_for_users,
+            row_harmonic_sums,
+            row_register_values,
+            row_zero_counts,
+        )
+
+        users = list(users)
+        results = [0.0] * len(users)
+        tracked = [index for index, user in enumerate(users) if self._tracked(user)]
+        if not tracked:
+            return results
+        matrix = positions_matrix_for_users(
+            self._family, self._positions_cache, [users[index] for index in tracked]
+        )
+        values = row_register_values(self._registers, matrix)
+        harmonics = row_harmonic_sums(values)
+        zeros = row_zero_counts(values)
+        global_term = (self.m / self.M) * self._global_estimate_from(
+            self._registers.harmonic_sum, self._registers.zeros
+        )
+        for index, harmonic, zero_count in zip(
+            tracked, harmonics.tolist(), zeros.tolist()
+        ):
+            results[index] = self._estimate_from_stats(
+                harmonic, int(zero_count), global_term
+            )
+        return results
 
     def estimates(self) -> Dict[object, float]:
         """Return the latest cached estimate of every observed user."""

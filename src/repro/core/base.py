@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 UserItemPair = Tuple[object, object]
 
@@ -63,6 +63,15 @@ class CardinalityEstimator(ABC):
     @abstractmethod
     def estimates(self) -> Dict[object, float]:
         """Return a mapping of every observed user to its current estimate."""
+
+    def estimate_many(self, users: Sequence[object]) -> List[float]:
+        """Estimates for many users in input order (0.0 for unseen users).
+
+        Bit-identical to ``[self.estimate(user) for user in users]`` — the
+        query-engine contract asserted by the test-suite.  Implementations
+        override this with a vectorised path; the default is the scalar loop.
+        """
+        return [self.estimate(user) for user in users]
 
     @abstractmethod
     def memory_bits(self) -> int:

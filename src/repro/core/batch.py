@@ -72,6 +72,12 @@ class _BatchEstimatorBase(BatchUpdatable, CardinalityEstimator):
         """Return the current estimate of ``user`` (0.0 for unseen users)."""
         return self._estimates.get(user, 0.0)
 
+    def estimate_many(self, users):
+        """Batch estimates in input order, served from the running HT sums."""
+        from repro.engine.query import gather_cached_estimates
+
+        return gather_cached_estimates(self._estimates, users)
+
     def estimates(self) -> Dict[object, float]:
         """Return the current estimate of every observed user."""
         return dict(self._estimates)

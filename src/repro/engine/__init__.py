@@ -35,6 +35,14 @@ from repro.engine.encoding import (
     encode_pairs,
     seed_mix,
 )
+from repro.engine.query import (
+    gather_cached_estimates,
+    positions_matrix_for_users,
+    row_harmonic_sums,
+    row_register_values,
+    row_zero_bit_counts,
+    row_zero_counts,
+)
 from repro.engine.sharded import ShardedEstimator, route_pair_shards, route_user_hashes
 
 __all__ = [
@@ -44,9 +52,15 @@ __all__ = [
     "ShardedEstimator",
     "encode_int_pairs",
     "encode_pairs",
+    "gather_cached_estimates",
+    "positions_matrix_for_users",
     "process_stream",
     "route_pair_shards",
     "route_user_hashes",
+    "row_harmonic_sums",
+    "row_register_values",
+    "row_zero_bit_counts",
+    "row_zero_counts",
     "seed_mix",
     "supports_batch",
 ]

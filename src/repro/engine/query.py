@@ -1,0 +1,100 @@
+"""Vectorised query-side kernels: batch estimation over many users at once.
+
+PR 1 vectorised the *update* side of every method; this module is the
+query-side twin.  The expensive per-user work when answering
+``estimate_many`` / ``estimate_fresh_many`` queries is always one of two
+shapes:
+
+* **virtual-sketch decode** (CSE, vHLL) — gather each user's ``m`` physical
+  cells from the shared array and reduce them (zero counts, harmonic sums).
+  Done per user this is an O(m) Python round-trip; done for a batch it is a
+  single ``(n_users, m)`` gather plus one axis-1 numpy reduction.
+* **cache gather** (FreeBS, FreeRS, the per-user baselines and every cached
+  ``estimate()``) — one dict lookup per user, which only needs a tight
+  bound-method loop rather than a method call per user.
+
+Every helper here is *bit-identical* to the scalar loop it replaces: the
+reductions produce exactly the integer counts / float sums the scalar
+``estimate`` path computes (numpy's axis-1 reduction of a C-contiguous row
+matches the 1-D reduction of that row), and the final closed-form formulas
+stay in the estimator classes so both paths share one implementation.  The
+property suite (``tests/test_query_engine.py``) enforces this per method.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.hashing import fold_key
+
+
+def gather_cached_estimates(cache: Dict[object, float], users: Sequence[object]) -> List[float]:
+    """Per-user cached estimates in input order (0.0 for unseen users).
+
+    The batch twin of ``cache.get(user, 0.0)``: one bound-method loop, no
+    per-user method dispatch.  Trivially bit-identical to the scalar path.
+    """
+    get = cache.get
+    return [get(user, 0.0) for user in users]
+
+
+def positions_matrix_for_users(family, cache: Dict[object, np.ndarray], users: Sequence[object]) -> np.ndarray:
+    """Return the ``(len(users), family.m)`` virtual-sketch position matrix.
+
+    The query-side sibling of :func:`repro.engine.kernels.cached_positions_matrix`
+    for plain user sequences (no :class:`~repro.engine.encoding.EncodedBatch`
+    in hand): cached rows are reused, missing rows are folded and evaluated
+    in one vectorised family pass — bit-identical to ``family.positions`` —
+    and written back to ``cache``.
+    """
+    matrix = np.empty((len(users), family.m), dtype=np.int64)
+    missing: List[int] = []
+    for row, user in enumerate(users):
+        cached = cache.get(user)
+        if cached is not None:
+            matrix[row] = cached
+        else:
+            missing.append(row)
+    if missing:
+        folds = np.array([fold_key(users[row]) for row in missing], dtype=np.uint64)
+        rows = family.positions_from_hashes(folds)
+        for row_index, row in enumerate(missing):
+            computed = rows[row_index].copy()
+            matrix[row] = computed
+            cache[users[row]] = computed
+    return matrix
+
+
+def row_zero_bit_counts(bits, positions_matrix: np.ndarray) -> np.ndarray:
+    """Per-row count of *zero* bits at the given positions of a ``BitArray``.
+
+    One flat gather plus an axis-1 count; row ``i`` equals the scalar
+    ``int(np.count_nonzero(~bits.get_bits(positions_matrix[i])))`` exactly
+    (integer counting has no rounding to disagree on).
+    """
+    flat = positions_matrix.ravel()
+    zero = ~bits.get_bits(flat)
+    return zero.reshape(positions_matrix.shape).sum(axis=1)
+
+
+def row_register_values(registers, positions_matrix: np.ndarray) -> np.ndarray:
+    """Gather the register values at every position of a ``(n, m)`` matrix."""
+    flat = positions_matrix.ravel()
+    return registers.get_many(flat).reshape(positions_matrix.shape)
+
+
+def row_harmonic_sums(values_matrix: np.ndarray) -> np.ndarray:
+    """Per-row ``sum_j 2^-values[j]`` of a register-value matrix.
+
+    Row ``i`` equals ``float(np.sum(np.exp2(-values_matrix[i].astype(f8))))``
+    bit-for-bit: numpy reduces the last axis of a C-contiguous float64 array
+    with the same pairwise algorithm it applies to the standalone row.
+    """
+    return np.sum(np.exp2(-values_matrix.astype(np.float64)), axis=1)
+
+
+def row_zero_counts(values_matrix: np.ndarray) -> np.ndarray:
+    """Per-row count of zero-valued registers of a register-value matrix."""
+    return np.count_nonzero(values_matrix == 0, axis=1)

@@ -45,11 +45,13 @@ from repro.monitor.snapshot import (
     monitor_to_json,
 )
 from repro.monitor.spreader import AlertEvent, SpreaderMonitor
+from repro.monitor.topk import TopKTracker
 from repro.monitor.view import (
     ReadSnapshot,
     SlidingMergeCache,
     export_read_snapshot,
     normalize_user_key,
+    wire_user,
 )
 from repro.monitor.window import Epoch, WindowedEstimator
 
@@ -64,7 +66,9 @@ __all__ = [
     "SnapshotError",
     "SnapshotStore",
     "SpreaderMonitor",
+    "TopKTracker",
     "WindowedEstimator",
+    "wire_user",
     "export_read_snapshot",
     "fresh_estimates",
     "normalize_user_key",

@@ -74,21 +74,34 @@ def _require(condition: bool, what: str) -> None:
 
 
 def _merge_bitarray(target_bits, source_bits) -> None:
-    np.bitwise_or(target_bits._words, source_bits._words, out=target_bits._words)
-    target_bits._ones = target_bits.recount()
+    target_bits.union_update(source_bits)
 
 
 def _merge_registers(target_registers, source_registers) -> None:
-    np.maximum(
-        target_registers._values, source_registers._values, out=target_registers._values
-    )
-    target_registers._harmonic_sum = target_registers.recompute_harmonic_sum()
-    target_registers._zeros = target_registers.recount_zeros()
+    target_registers.merge_max(source_registers)
 
 
 def _sum_estimates(target, source) -> None:
     for user, value in source._estimates.items():
         target._estimates[user] = target._estimates.get(user, 0.0) + value
+
+
+def tracked_users(estimator) -> list:
+    """Every user the estimator carries per-user state for, in stable order.
+
+    The authoritative user set of the shared-sketch methods is the union of
+    the estimate cache and the positions cache: a snapshot-restored
+    estimator has users only in ``_estimates`` (the positions cache rebuilds
+    lazily), while a user whose estimate was never published would appear
+    only in ``_positions_cache``.  Enumerating just one of the two — the bug
+    this helper replaces — dropped users from sliding estimates.
+    """
+    users = list(estimator._estimates)
+    cache = getattr(estimator, "_positions_cache", None)
+    if cache:
+        seen = estimator._estimates
+        users.extend(user for user in cache if user not in seen)
+    return users
 
 
 def merge_into(target, source, refresh_estimates: bool = True):
@@ -222,8 +235,9 @@ def refresh_estimates_from_state(estimator) -> None:
             refresh_estimates_from_state(shard)
         return
     if isinstance(estimator, (CSE, VirtualHLL)):
-        for user in estimator._estimates:
-            estimator._estimates[user] = estimator._estimate_from_sketch(user)
+        users = tracked_users(estimator)
+        for user, value in zip(users, estimator.estimate_fresh_many(users)):
+            estimator._estimates[user] = value
         return
     if isinstance(estimator, (PerUserLPC, PerUserHLLPP)):
         for user, sketch in estimator._sketches.items():
@@ -246,12 +260,21 @@ def fresh_estimates(estimator) -> Dict[object, float]:
             combined.update(fresh_estimates(shard))
         return combined
     if isinstance(estimator, (CSE, VirtualHLL)):
-        return {user: estimator._estimate_from_sketch(user) for user in estimator._estimates}
+        users = tracked_users(estimator)
+        return dict(zip(users, estimator.estimate_fresh_many(users)))
     return estimator.estimates()
 
 
 def merged_copy(estimators: Sequence):
-    """Return a new estimator holding the union of the given epoch states."""
+    """Return a new estimator holding the union of the given epoch states.
+
+    The copy's cached estimates are always refreshed from the merged state,
+    *including* for a single-element input: a one-epoch "merge" of CSE/vHLL
+    previously kept the as-of-last-arrival cached estimates, so
+    ``window_merged(1).estimates()`` disagreed with ``window_estimates(1)``
+    (which re-evaluates freshly) — stale values for every user not in the
+    live epoch's latest batch.
+    """
     if not estimators:
         raise ValueError("need at least one estimator to merge")
     merged = copy.deepcopy(estimators[0])
@@ -259,8 +282,7 @@ def merged_copy(estimators: Sequence):
         # Defer the exact methods' O(users x m) estimate re-evaluation to a
         # single pass after the last merge.
         merge_into(merged, source, refresh_estimates=False)
-    if len(estimators) > 1:
-        refresh_estimates_from_state(merged)
+    refresh_estimates_from_state(merged)
     return merged
 
 

@@ -27,13 +27,10 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.monitor.snapshot import SnapshotStore
 from repro.monitor.spreader import SpreaderMonitor
+from repro.monitor.view import wire_user as _json_user
 from repro.monitor.window import Epoch
 
 UserItemPair = Tuple[object, object]
-
-
-def _json_user(user: object) -> object:
-    return user if isinstance(user, (int, str)) else str(user)
 
 
 def _top_to_json(ranked: Sequence[Tuple[object, float]]) -> List[List[object]]:

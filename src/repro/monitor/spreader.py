@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.monitor.merge import ADDITIVE, merge_exactness
+from repro.monitor.topk import TopKTracker
 from repro.monitor.window import WindowedEstimator
 
 UserItemPair = Tuple[object, object]
@@ -40,10 +42,12 @@ class AlertEvent:
 
     def to_json(self) -> Dict[str, object]:
         """JSON-ready representation (used by the replay feed)."""
+        from repro.monitor.view import wire_user
+
         return {
             "type": "alert",
             "kind": self.kind,
-            "user": self.user if isinstance(self.user, (int, str)) else str(self.user),
+            "user": wire_user(self.user),
             "estimate": round(self.estimate, 3),
             "threshold": round(self.threshold, 3),
             "epoch": self.epoch,
@@ -100,8 +104,21 @@ class SpreaderMonitor:
         self._sequence = 0
         self._version = 0
         self._last_enter_threshold = 0.0
-        self._top: List[Tuple[object, float]] = []
+        self._tracker = TopKTracker(top_k)
+        # Closed-epoch prefix merges are immutable until rotation: caching
+        # them makes the per-batch full evaluation cost one live-epoch merge
+        # instead of a whole-ring merge (bit-identical — see view.py).
+        from repro.monitor.view import SlidingMergeCache
+
+        self._merge_cache = SlidingMergeCache()
         self._last_window_estimates: Optional[Dict[object, float]] = None
+        #: None until the first evaluation decides whether the method's
+        #: sliding estimates can be maintained incrementally (additive merge).
+        self._incremental_capable: Optional[bool] = None
+        self._primed = False
+        self._pairs_seen = 0
+        self._incremental_evaluations = 0
+        self._full_evaluations = 0
 
     # -- ingestion + evaluation ------------------------------------------------
 
@@ -110,44 +127,129 @@ class SpreaderMonitor:
         pairs: Sequence[UserItemPair],
         timestamps: Sequence[float] | None = None,
     ) -> List[AlertEvent]:
-        """Ingest one batch, re-evaluate the window, return new alert events."""
-        self.window.ingest(pairs, timestamps)
+        """Ingest one batch, re-evaluate the window, return new alert events.
+
+        Between epoch rotations, methods with *additive* sliding merges
+        (FreeBS/FreeRS, sharded included) take the incremental path: only
+        the users touched by this batch are re-scored (their windowed
+        estimate is the left-fold sum of their per-epoch estimates — plain
+        dict lookups), and the continuous top-k absorbs just those updates.
+        Any rotation, and every exact-merge method, falls back to the full
+        re-evaluation in :meth:`evaluate`.  Both paths produce bit-identical
+        estimates and top-k (asserted by the property suite).
+        """
+        pairs = list(pairs)  # may be a generator; it is iterated twice below
+        touched = dict.fromkeys(user for user, _item in pairs)
+        # Ingest that bypassed observe() (direct window.ingest calls) makes
+        # the tracker's score table stale for users this batch did not touch;
+        # detect it and fall back to a full re-evaluation.
+        stale = self.window.pairs_ingested != self._pairs_seen
+        closed = self.window.ingest(pairs, timestamps)
+        if not closed and not stale and self._primed and self._can_increment():
+            return self._evaluate_incremental(touched)
         return self.evaluate()
 
+    def _can_increment(self) -> bool:
+        if self._incremental_capable is None:
+            try:
+                exactness = merge_exactness(self.window.live_epoch.estimator)
+            except TypeError:  # estimator without monitor merge support
+                exactness = None
+            self._incremental_capable = exactness == ADDITIVE
+        return self._incremental_capable
+
     def evaluate(self) -> List[AlertEvent]:
-        """Re-rank the sliding window and emit threshold-crossing events."""
-        estimates = self.window.window_estimates()
+        """Fully re-rank the sliding window and emit threshold-crossing events."""
+        estimates = self._merge_cache.sliding_estimates(self.window)
+        self._tracker.full_refresh(estimates)
+        self._full_evaluations += 1
+        self._primed = True
+        self._pairs_seen = self.window.pairs_ingested
         # Cache for same-state readers (e.g. the replay feed's window
         # records): the sliding merge deep-copies a sketch, so recomputing
-        # it per reader would double the dominant per-batch cost.
-        self._last_window_estimates = estimates
-        enter = self._enter_threshold(estimates)
+        # it per reader would double the dominant per-batch cost.  The
+        # tracker's score table *is* the window estimates (updated in
+        # place, first-seen key order).
+        scores = self._tracker.scores
+        self._last_window_estimates = scores
+        enter = self._enter_threshold()
         exit_threshold = enter * (1.0 - self.hysteresis)
         epoch = self.window.live_epoch.index
         timestamp = self.window.last_timestamp
         alerts: List[AlertEvent] = []
-        for user, estimate in estimates.items():
+        for user, estimate in scores.items():
             if estimate >= enter and user not in self._active:
                 self._active[user] = True
                 alerts.append(self._emit("start", user, estimate, enter, epoch, timestamp))
-        for user in [user for user in self._active if estimates.get(user, 0.0) < exit_threshold]:
-            del self._active[user]
-            alerts.append(
-                self._emit(
-                    "end", user, estimates.get(user, 0.0), exit_threshold, epoch, timestamp
-                )
-            )
-        ranked = sorted(estimates.items(), key=lambda pair: pair[1], reverse=True)
-        self._top = ranked[: self.top_k]
+        alerts.extend(self._end_alerts(scores, exit_threshold, epoch, timestamp))
         self._last_enter_threshold = enter
         self._version += 1
         return alerts
 
-    def _enter_threshold(self, estimates: Dict[object, float]) -> float:
+    def _evaluate_incremental(self, touched: Dict[object, None]) -> List[AlertEvent]:
+        """Re-score only the batch's users (additive methods, no rotation).
+
+        A touched user's windowed estimate is the sum of its per-epoch
+        cached estimates in ring order — exactly the left fold the sliding
+        merge's ``_sum_estimates`` performs, so the value is bit-identical
+        to a full merge.  Untouched users' additive estimates cannot change
+        without a rotation, and the enter threshold is non-decreasing while
+        scores only grow, so scanning the touched users (for start alerts)
+        plus the active set (for end alerts) sees every possible crossing.
+        """
+        epoch_estimators = [epoch.estimator for epoch in self.window.epochs]
+        changed: Dict[object, float] = {}
+        for user in touched:
+            value = 0.0
+            for estimator in epoch_estimators:
+                value += estimator.estimate(user)
+            changed[user] = value
+        self._tracker.apply_updates(changed)
+        self._incremental_evaluations += 1
+        self._pairs_seen = self.window.pairs_ingested
+        scores = self._tracker.scores
+        self._last_window_estimates = scores
+        enter = self._enter_threshold()
+        exit_threshold = enter * (1.0 - self.hysteresis)
+        epoch = self.window.live_epoch.index
+        timestamp = self.window.last_timestamp
+        alerts: List[AlertEvent] = []
+        # Scan the dirty set in first-seen (score-table) order so alert
+        # emission order and sequence numbers match what a full evaluation
+        # of the same state emits — the snapshot-resume identity contract.
+        for user in self._tracker.rank_order(changed):
+            estimate = changed[user]
+            if estimate >= enter and user not in self._active:
+                self._active[user] = True
+                alerts.append(self._emit("start", user, estimate, enter, epoch, timestamp))
+        alerts.extend(self._end_alerts(scores, exit_threshold, epoch, timestamp))
+        self._last_enter_threshold = enter
+        self._version += 1
+        return alerts
+
+    def _end_alerts(
+        self,
+        scores: Dict[object, float],
+        exit_threshold: float,
+        epoch: int,
+        timestamp: Optional[float],
+    ) -> List[AlertEvent]:
+        alerts: List[AlertEvent] = []
+        for user in [
+            user for user in self._active if scores.get(user, 0.0) < exit_threshold
+        ]:
+            del self._active[user]
+            alerts.append(
+                self._emit(
+                    "end", user, scores.get(user, 0.0), exit_threshold, epoch, timestamp
+                )
+            )
+        return alerts
+
+    def _enter_threshold(self) -> float:
         if self.threshold is not None:
             return self.threshold
-        total = float(sum(estimates.values()))
-        return self.delta * total
+        return self.delta * self._tracker.total()
 
     def _emit(
         self,
@@ -180,7 +282,17 @@ class SpreaderMonitor:
     @property
     def current_top(self) -> List[Tuple[object, float]]:
         """The continuously maintained top-k (user, estimate) ranking."""
-        return list(self._top)
+        return self._tracker.head
+
+    @property
+    def incremental_evaluations(self) -> int:
+        """Batches absorbed through the dirty-set incremental path."""
+        return self._incremental_evaluations
+
+    @property
+    def full_evaluations(self) -> int:
+        """Batches that required a full sliding-window re-evaluation."""
+        return self._full_evaluations
 
     @property
     def last_enter_threshold(self) -> float:
@@ -190,12 +302,16 @@ class SpreaderMonitor:
     def last_window_estimates(self) -> Dict[object, float]:
         """The sliding-window estimates from the most recent evaluation.
 
-        Falls back to a fresh merge when nothing was ingested since the
-        monitor was built or restored.
+        Returns a fresh copy: the backing table is the monitor's live score
+        state, mutated in place by later evaluations — handing it out would
+        let a reader race a concurrent ingest thread mid-iteration (or
+        corrupt the top-k tracker by mutating it).  Falls back to a fresh
+        merge when nothing was ingested since the monitor was built or
+        restored.
         """
         if self._last_window_estimates is None:
             self._last_window_estimates = self.window.window_estimates()
-        return self._last_window_estimates
+        return dict(self._last_window_estimates)
 
     @property
     def alerts_emitted(self) -> int:
@@ -233,7 +349,7 @@ class SpreaderMonitor:
             "sequence": self._sequence,
             "version": self._version,
             "last_enter_threshold": self._last_enter_threshold,
-            "top": _estimates_to_json(dict(self._top)),
+            "top": _estimates_to_json(dict(self._tracker.head)),
         }
 
     def state_from_json(self, state: Dict[str, object]) -> None:
@@ -246,6 +362,8 @@ class SpreaderMonitor:
         self._version = int(state.get("version", 0))
         self._last_enter_threshold = float(state["last_enter_threshold"])
         restored = _estimates_from_json(state["top"])
-        self._top = sorted(restored.items(), key=lambda pair: pair[1], reverse=True)[
-            : self.top_k
-        ]
+        self._tracker.restore_head(
+            sorted(restored.items(), key=lambda pair: pair[1], reverse=True)
+        )
+        # The score table is rebuilt by the first full evaluation.
+        self._primed = False

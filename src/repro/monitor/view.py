@@ -24,7 +24,8 @@ and cheap:
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
+import operator
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.monitor.merge import (
@@ -34,6 +35,18 @@ from repro.monitor.merge import (
     refresh_estimates_from_state,
 )
 from repro.monitor.window import WindowedEstimator
+
+
+def wire_user(user: object) -> object:
+    """Coerce a user key to its JSON-safe wire form.
+
+    Ints and strings pass through; everything else (tuples, bytes, ...) is
+    stringified.  This is the *one* coercion every serialised surface uses —
+    ``topk`` / ``sliding`` responses, alert feeds — and
+    :meth:`ReadSnapshot.spread` resolves the same form back to the original
+    key, so a key read from any response can be fed into any query op.
+    """
+    return user if isinstance(user, (int, str)) else str(user)
 
 
 def normalize_user_key(estimates: Mapping[object, float], user: object) -> object:
@@ -80,25 +93,86 @@ class ReadSnapshot:
     active_spreaders: Tuple[object, ...]
     #: Metadata of every retained epoch, oldest first.
     epoch_summaries: Tuple[Dict[str, object], ...]
-    #: Full sliding-window per-user estimates (the monitor's last evaluation).
+    #: Full sliding-window per-user estimates, in first-seen key order (the
+    #: canonical tie-break of every ranking).
     estimates: Mapping[object, float]
-    #: ``estimates`` ranked by estimate, descending (ties keep dict order).
-    ranked: Tuple[Tuple[object, float], ...] = field(repr=False)
+    #: Head of the ranking, precomputed by the monitor's continuous top-k
+    #: tracker (up to the monitor's ``top_k`` entries).
+    top: Tuple[Tuple[object, float], ...] = ()
+
+    # -- lazy derived structures ----------------------------------------------
+    # The snapshot is frozen; caches are attached via object.__setattr__ so
+    # exporting one (done at every ingest batch boundary) costs two dict
+    # copies, not a full sort or index build.
+
+    @property
+    def ranked(self) -> Tuple[Tuple[object, float], ...]:
+        """``estimates`` ranked descending, ties in first-seen order.
+
+        Built on first use: the hot refresh path never ranks more than the
+        tracker's head, and most snapshots are never asked for a deep
+        ``topk``.
+        """
+        cached = self.__dict__.get("_ranked")
+        if cached is None:
+            cached = tuple(
+                sorted(self.estimates.items(), key=lambda item: item[1], reverse=True)
+            )
+            object.__setattr__(self, "_ranked", cached)
+        return cached
+
+    def _wire_aliases(self) -> Dict[str, object]:
+        """Map ``wire_user`` forms back to the original non-JSON-safe keys."""
+        cached = self.__dict__.get("_aliases")
+        if cached is None:
+            cached = {}
+            for user in self.estimates:
+                if not isinstance(user, (int, str)):
+                    cached.setdefault(str(user), user)
+            object.__setattr__(self, "_aliases", cached)
+        return cached
 
     # -- query ops -------------------------------------------------------------
 
     def spread(self, user: object) -> float:
         """One user's sliding-window estimate (0.0 for unseen users)."""
-        return float(self.estimates.get(normalize_user_key(self.estimates, user), 0.0))
+        estimates = self.estimates
+        key = normalize_user_key(estimates, user)
+        value = estimates.get(key)
+        if value is None and isinstance(user, str):
+            # Symmetric wire coercion: a key that was stringified on the way
+            # out (tuple/bytes users) resolves back to the original.
+            alias = self._wire_aliases().get(user)
+            if alias is not None:
+                value = estimates.get(alias)
+        return float(value) if value is not None else 0.0
 
     def batch_spread(self, users: Sequence[object]) -> List[float]:
-        """Estimates for many users, in input order."""
+        """Estimates for many users, in input order.
+
+        All-hit batches — the service hot path — resolve with a single
+        C-level ``itemgetter`` call over the estimate table (one dict probe
+        per user, no Python-level loop); any miss falls back to the
+        per-user :meth:`spread` loop with its normalization semantics
+        (int/str duality, wire aliases), so results are identical either
+        way.  (A sorted-column ``searchsorted`` index was measured slower
+        here: random integer probes make binary search cache-miss bound,
+        while a dict probe is one hash lookup.)
+        """
+        users = list(users)
+        if len(users) > 1:
+            try:
+                return list(operator.itemgetter(*users)(self.estimates))
+            except (KeyError, TypeError):
+                pass
         return [self.spread(user) for user in users]
 
     def topk(self, k: int) -> List[Tuple[object, float]]:
         """The top-``k`` (user, estimate) ranking of the sliding window."""
         if k <= 0:
             raise ValueError("k must be positive")
+        if k <= len(self.top) or len(self.top) >= len(self.estimates):
+            return [(user, float(value)) for user, value in self.top[:k]]
         return [(user, float(value)) for user, value in self.ranked[:k]]
 
     def total_estimate(self) -> float:
@@ -130,10 +204,11 @@ def export_read_snapshot(monitor) -> ReadSnapshot:
 
     Must run while the monitor is quiescent (between batches — the service
     layer holds the ingest lock).  Reuses the sliding merge of the last
-    evaluation, so the cost is one dict copy and one ranking sort.
+    evaluation and the continuous top-k tracker's head, so the cost is one
+    dict copy — no sorting; the full ranking is materialised lazily only if
+    a deep ``topk`` asks for it.
     """
-    estimates = dict(monitor.last_window_estimates())
-    ranked = tuple(sorted(estimates.items(), key=lambda pair: pair[1], reverse=True))
+    estimates = monitor.last_window_estimates()  # already a per-call copy
     window = monitor.window
     spec = getattr(monitor, "spec", None)
     return ReadSnapshot(
@@ -150,7 +225,7 @@ def export_read_snapshot(monitor) -> ReadSnapshot:
         active_spreaders=tuple(monitor.active_spreaders),
         epoch_summaries=tuple(epoch.summary() for epoch in window.epochs),
         estimates=estimates,
-        ranked=ranked,
+        top=tuple((user, float(value)) for user, value in monitor.current_top),
     )
 
 

@@ -39,6 +39,11 @@ MAX_LINE_BYTES = 1 << 20
 BAD_REQUEST = "bad_request"
 UNKNOWN_OP = "unknown_op"
 INTERNAL = "internal"
+#: The *response* would exceed :data:`MAX_LINE_BYTES`.  The line cap is
+#: symmetric: a conforming client may reject any longer line, so instead of
+#: emitting one the server answers with this error and the client should
+#: narrow the query (smaller ``k``, fewer users, chunked ``batch_spread``).
+RESPONSE_TOO_LARGE = "response_too_large"
 
 
 class ProtocolError(ValueError):

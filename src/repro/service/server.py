@@ -30,7 +30,7 @@ import threading
 from typing import Dict, Optional
 
 from repro.monitor.spreader import SpreaderMonitor
-from repro.monitor.view import ReadSnapshot, SlidingMergeCache
+from repro.monitor.view import ReadSnapshot, SlidingMergeCache, wire_user
 from repro.service import protocol
 from repro.service.ops import OPS
 from repro.service.protocol import ProtocolError
@@ -39,12 +39,8 @@ from repro.service.protocol import ProtocolError
 DEFAULT_PORT = 7373
 
 
-def _json_user(user: object) -> object:
-    return user if isinstance(user, (int, str)) else str(user)
-
-
 def _estimates_payload(estimates: Dict[object, float]) -> list:
-    return [[_json_user(user), float(value)] for user, value in estimates.items()]
+    return [[wire_user(user), float(value)] for user, value in estimates.items()]
 
 
 class EstimateService:
@@ -135,7 +131,7 @@ class EstimateService:
     def _op_topk(self, params):
         snapshot = self._snapshot
         top = snapshot.topk(params["k"])
-        return snapshot, {"top": [[_json_user(user), value] for user, value in top]}
+        return snapshot, {"top": [[wire_user(user), value] for user, value in top]}
 
     def _op_sliding(self, params):
         k_epochs = params["k_epochs"]
@@ -265,7 +261,21 @@ class EstimateServer:
                         )
                     else:
                         response = self.service.handle(request)
-                writer.write(protocol.encode(response))
+                payload = protocol.encode(response)
+                if len(payload) > protocol.MAX_LINE_BYTES:
+                    # The line cap is symmetric: a conforming client may
+                    # reject any longer line, so never emit one — answer
+                    # with a clean error the client can react to instead.
+                    payload = protocol.encode(
+                        protocol.error_response(
+                            response.get("id"),
+                            protocol.RESPONSE_TOO_LARGE,
+                            f"response line would exceed {protocol.MAX_LINE_BYTES} "
+                            "bytes; narrow the query (smaller k, fewer users, or "
+                            "batch_spread in chunks)",
+                        )
+                    )
+                writer.write(payload)
                 try:
                     await writer.drain()
                 except (ConnectionResetError, BrokenPipeError):

@@ -73,6 +73,17 @@ class BitArray:
         self._ones += newly_set
         return newly_set
 
+    def union_update(self, other: "BitArray") -> None:
+        """OR another same-size array into this one (sketch-level union).
+
+        The storage primitive behind every bit-sketch merge (LPC, CSE,
+        FreeBS): one vectorised word-wise OR plus a popcount recount.
+        """
+        if other.size != self.size:
+            raise ValueError("can only union bit arrays of identical size")
+        np.bitwise_or(self._words, other._words, out=self._words)
+        self._ones = self.recount()
+
     def clear(self) -> None:
         """Reset every bit to zero."""
         self._words.fill(0)

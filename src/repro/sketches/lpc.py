@@ -101,10 +101,7 @@ class LinearProbabilisticCounter:
         """
         if other.m != self.m or other.seed != self.seed:
             raise ValueError("can only merge LPC sketches with identical m and seed")
-        merged = self._bits.to_numpy() | other._bits.to_numpy()
-        self._bits.clear()
-        for index in merged.nonzero()[0]:
-            self._bits.set_bit(int(index))
+        self._bits.union_update(other._bits)
 
     # -- analytic error model (paper Section III-A.1) -------------------------
 

@@ -118,6 +118,19 @@ class RegisterArray:
         self._zeros = zeros
         return harmonic_trajectory, zeros_trajectory
 
+    def merge_max(self, other: "RegisterArray") -> None:
+        """Element-wise max of another same-shape array into this one.
+
+        The storage primitive behind every register-sketch merge (HLL-style
+        unions): one vectorised maximum plus a recompute of the incremental
+        statistics.
+        """
+        if (other.count, other.width) != (self.count, self.width):
+            raise ValueError("can only merge register arrays of identical shape")
+        np.maximum(self._values, other._values, out=self._values)
+        self._harmonic_sum = self.recompute_harmonic_sum()
+        self._zeros = self.recount_zeros()
+
     def clear(self) -> None:
         """Reset every register to zero."""
         self._values.fill(0)

@@ -291,3 +291,59 @@ class TestTimestampRegressions:
         restored = monitor_from_json(monitor_to_json(monitor))
         assert restored.window.regressions == 1
         assert restored.window.strict_timestamps is False
+
+
+class TestClosedEpochUsers:
+    """Users present only in closed epochs must stay fresh in sliding queries
+    — across snapshot restores and single-epoch merged copies alike."""
+
+    @pytest.mark.parametrize("method", ["CSE", "vHLL"])
+    def test_window_merged_single_epoch_is_fresh(self, method):
+        window = _windowed(method, epoch_pairs=10_000, window_epochs=4)
+        window.ingest([(user, item) for user in range(10) for item in range(30)])
+        merged = window.window_merged(1)
+        assert merged.estimates() == window.window_estimates(1), (
+            "single-epoch merged copy kept stale as-of-last-arrival estimates"
+        )
+
+    @pytest.mark.parametrize("method", ["CSE", "vHLL", "FreeBS", "LPC"])
+    def test_closed_epoch_only_user_survives_restore(self, method, tmp_path):
+        from repro.monitor import MonitorSpec, SnapshotStore
+
+        spec = MonitorSpec(
+            method=method,
+            memory_bits=1 << 14,
+            expected_users=30,
+            epoch_pairs=200,
+            window_epochs=4,
+            delta=5e-3,
+        )
+        monitor = spec.build()
+        # "lonely" appears only in the first epoch; later batches rotate it
+        # into closed-epoch territory without touching it again.
+        monitor.observe([("lonely", item) for item in range(150)])
+        monitor.observe([(user, item) for user in range(20) for item in range(25)])
+        assert not monitor.window.epochs[0].closed or monitor.window.epochs_started > 1
+        before = monitor.last_window_estimates()
+        assert before.get("lonely", 0.0) > 0.0
+
+        store = SnapshotStore(tmp_path)
+        store.save(monitor)
+        restored = store.restore()
+        after = restored.window.window_estimates()
+        assert after.get("lonely", 0.0) == before["lonely"], (
+            "user present only in closed epochs dropped or stale after restore"
+        )
+
+    @pytest.mark.parametrize("method", ["CSE", "vHLL"])
+    def test_fresh_estimates_cover_all_tracked_users(self, method):
+        from repro.monitor.merge import fresh_estimates, tracked_users
+
+        window = _windowed(method, epoch_pairs=500, window_epochs=4)
+        pairs = [(user, item) for user in range(15) for item in range(60)]
+        window.ingest(pairs)
+        estimator = window.epochs[0].estimator
+        fresh = fresh_estimates(estimator)
+        assert set(fresh) == set(tracked_users(estimator))
+        for user, value in fresh.items():
+            assert value == estimator.estimate_fresh(user)

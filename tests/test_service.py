@@ -301,3 +301,101 @@ class TestProtocolErrors:
             raw.sendall(b"\n\n" + json.dumps({"op": "stats", "id": 1}).encode() + b"\n")
             response = json.loads(raw.makefile("rb").readline())
         assert response["ok"] is True and response["id"] == 1
+
+
+class TestResponseSizeCap:
+    """The line cap is symmetric: the server must never emit a response line
+    over MAX_LINE_BYTES (a conforming client may reject it) — it answers
+    with a clean ``response_too_large`` error instead."""
+
+    def test_boundary(self, served, monkeypatch):
+        import repro.service.protocol as protocol
+
+        _monitor, _service, server = served
+        with socket.create_connection(("127.0.0.1", server.port), timeout=5.0) as raw:
+            reader = raw.makefile("rb")
+
+            def exchange(request_id):
+                raw.sendall(
+                    json.dumps({"id": request_id, "op": "topk", "k": 5}).encode() + b"\n"
+                )
+                return reader.readline()
+
+            line = exchange(1)
+            assert json.loads(line)["ok"] is True
+            cap = len(line)
+            # Exactly at the cap: the response is emitted unchanged.
+            monkeypatch.setattr(protocol, "MAX_LINE_BYTES", cap)
+            at_cap = exchange(2)
+            assert len(at_cap) == cap and json.loads(at_cap)["ok"] is True
+            # One byte under: replaced by the error envelope, id echoed.
+            monkeypatch.setattr(protocol, "MAX_LINE_BYTES", cap - 1)
+            over = json.loads(exchange(3))
+            assert over["ok"] is False
+            assert over["error"]["code"] == "response_too_large"
+            assert over["id"] == 3
+            # The connection stays usable once the cap allows answers again.
+            monkeypatch.setattr(protocol, "MAX_LINE_BYTES", cap)
+            assert json.loads(exchange(4))["ok"] is True
+
+    def test_client_surfaces_the_error_code(self, served, monkeypatch):
+        import repro.service.protocol as protocol
+
+        _monitor, _service, server = served
+        with ServiceClient(port=server.port) as client:
+            monkeypatch.setattr(protocol, "MAX_LINE_BYTES", 64)
+            with pytest.raises(ServiceError) as excinfo:
+                client.sliding()  # enumerates every user: far over 64 bytes
+            assert excinfo.value.code == "response_too_large"
+            monkeypatch.undo()
+            assert client.stats()["pairs_ingested"] == 4_000  # still in sync
+
+
+class TestWireKeyRoundTrip:
+    """Keys read from any response feed back into any query op: the wire
+    coercion (``wire_user``) is symmetric across topk / sliding / spread."""
+
+    @pytest.fixture()
+    def odd_key_server(self):
+        monitor = _spec().build()
+        batch = (
+            [(3, item) for item in range(40)]
+            + [("7", item) for item in range(30)]
+            + [(("src", 9), item) for item in range(20)]
+        )
+        monitor.observe(batch)
+        service = EstimateService(monitor)
+        server = _ServerThread(service)
+        try:
+            yield monitor, server
+        finally:
+            server.close()
+
+    def test_topk_keys_resolve_back(self, odd_key_server):
+        _monitor, server = odd_key_server
+        with ServiceClient(port=server.port) as client:
+            top = client.topk(10)
+            assert {user for user, _ in top} == {3, "7", "('src', 9)"}
+            for user, value in top:
+                assert client.spread(user) == value > 0.0
+
+    def test_sliding_keys_resolve_back(self, odd_key_server):
+        monitor, server = odd_key_server
+        with ServiceClient(port=server.port) as client:
+            sliding = client.sliding()
+            assert set(sliding) == {3, "7", "('src', 9)"}
+            for user, value in sliding.items():
+                assert client.spread(user) == value > 0.0
+            assert client.batch_spread(list(sliding)) == list(sliding.values())
+
+    def test_int_str_duality_is_symmetric(self, odd_key_server):
+        monitor, server = odd_key_server
+        with ServiceClient(port=server.port) as client:
+            assert client.spread("3") == client.spread(3) > 0.0
+            assert client.spread(7) == client.spread("7") > 0.0
+            assert client.batch_spread([3, "3", 7, "7"]) == [
+                client.spread(3),
+                client.spread(3),
+                client.spread("7"),
+                client.spread("7"),
+            ]
