@@ -82,8 +82,13 @@ def _worker_counts() -> list:
     return counts
 
 
-def test_parallel_ingest_speedup_and_json(benchmark):
-    """Sweep worker counts, assert bit-identity, persist the speedup JSON."""
+def test_parallel_ingest_speedup_and_json(benchmark, ingest_transport):
+    """Sweep worker counts, assert bit-identity, persist the speedup JSON.
+
+    ``--transport queue`` re-runs the sweep over the Manager-queue handoff
+    (the default is the shared-memory ring); the choice is recorded in the
+    JSON so trajectories from the two transports are never confused.
+    """
 
     def sweep():
         results = {}
@@ -96,6 +101,7 @@ def test_parallel_ingest_speedup_and_json(benchmark):
                 expected_users=_N_USERS,
                 workers=workers,
                 shards=_SHARDS,
+                transport=ingest_transport,
             )
             if baseline is None:
                 baseline = report
@@ -112,6 +118,7 @@ def test_parallel_ingest_speedup_and_json(benchmark):
 
     payload = {
         "method": _METHOD,
+        "transport": ingest_transport,
         "shards": _SHARDS,
         "pairs": _N_PAIRS,
         "users": _N_USERS,

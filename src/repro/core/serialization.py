@@ -104,7 +104,7 @@ def _dump_sharded(estimator) -> dict:
         "shards": estimator.num_shards,
         "seed": estimator.seed,
         "shard_pairs": list(estimator.shard_pair_counts),
-        "sub": [json.loads(dumps(shard)) for shard in estimator.shards],
+        "sub": [to_obj(shard) for shard in estimator.shards],
     }
 
 
@@ -381,10 +381,16 @@ def _restore_hllpp(sketch, state: dict) -> None:
         sketch._registers = registers
 
 
-def dumps(estimator) -> str:
-    """Serialise an estimator to a JSON string (see module doc for coverage)."""
+def to_obj(estimator) -> dict:
+    """Serialise an estimator to a JSON-ready envelope *dict*.
+
+    The object-level half of :func:`dumps`: callers embedding snapshots in a
+    larger JSON document (the monitor's :mod:`repro.monitor.snapshot`, the
+    sharded sub-envelopes) use this directly instead of paying a render +
+    re-parse round-trip per estimator.
+    """
     kind, body = _dump_body(estimator)
-    envelope = {
+    return {
         "format": "freesketch-snapshot",
         "version": _FORMAT_VERSION,
         "kind": kind,
@@ -393,7 +399,11 @@ def dumps(estimator) -> str:
         ),
         "body": body,
     }
-    return json.dumps(envelope)
+
+
+def dumps(estimator) -> str:
+    """Serialise an estimator to a JSON string (see module doc for coverage)."""
+    return json.dumps(to_obj(estimator))
 
 
 def _restore_bitarray(bits, words_payload: str, ones: int) -> None:
@@ -421,14 +431,24 @@ def _load_envelope(envelope: dict):
     return estimator
 
 
-def loads(payload: str):
-    """Restore an estimator previously serialised with :func:`dumps`."""
-    envelope = json.loads(payload)
-    if envelope.get("format") != "freesketch-snapshot":
+def from_obj(envelope: dict):
+    """Restore an estimator from an already-parsed envelope dict.
+
+    The inverse of :func:`to_obj` — validates the same format/version
+    markers :func:`loads` does, without requiring the caller to re-serialise
+    a dict it already holds (the snapshot-restore hot path loads every
+    retained epoch through here).
+    """
+    if not isinstance(envelope, dict) or envelope.get("format") != "freesketch-snapshot":
         raise ValueError("not a freesketch snapshot payload")
     if envelope.get("version") not in _ACCEPTED_VERSIONS:
         raise ValueError(f"unsupported snapshot version {envelope.get('version')!r}")
     return _load_envelope(envelope)
+
+
+def loads(payload: str):
+    """Restore an estimator previously serialised with :func:`dumps`."""
+    return from_obj(json.loads(payload))
 
 
 def save(estimator, path: PathLike) -> None:

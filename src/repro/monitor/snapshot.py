@@ -71,7 +71,7 @@ def monitor_to_json(monitor: SpreaderMonitor) -> Dict[str, object]:
             "epochs": [
                 {
                     **epoch.summary(),
-                    "estimator": json.loads(serialization.dumps(epoch.estimator)),
+                    "estimator": serialization.to_obj(epoch.estimator),
                 }
                 for epoch in window.epochs
             ],
@@ -94,7 +94,7 @@ def monitor_from_json(payload: Dict[str, object]) -> SpreaderMonitor:
     for record in state["epochs"]:
         epoch = Epoch(
             index=int(record["epoch"]),
-            estimator=serialization.loads(json.dumps(record["estimator"])),
+            estimator=serialization.from_obj(record["estimator"]),
             start_time=record["start_time"],
             end_time=record["end_time"],
             pairs=int(record["pairs"]),

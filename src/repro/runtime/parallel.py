@@ -15,30 +15,44 @@ This module turns that property into an execution path:
    streams are encoded once by the coordinator
    (:class:`~repro.engine.EncodedBatch`) and split with
    :meth:`~repro.engine.EncodedBatch.subset`;
-2. each **worker** — a long-lived task on a ``ProcessPoolExecutor`` — builds
-   the same ``K``-shard estimator from the central method registry, replays
-   its sub-batches through the vectorised ``update_encoded`` path, and
-   returns its serialised state;
+2. each **worker** builds the same ``K``-shard estimator from the central
+   method registry, replays its sub-batches through the vectorised
+   ``update_encoded`` path, and returns its serialised state;
 3. the coordinator restores the worker states and folds them into one final
    estimator via the sketch-level :meth:`~repro.engine.ShardedEstimator.merge`
    (legal because the touched shard sets are disjoint by construction).
+
+Two chunk-handoff transports carry step 1's slices to the workers.  The
+default, ``transport="shm"``, writes each slice into a per-worker
+shared-memory slot ring (:mod:`repro.runtime.shm`) — one memcpy in, a
+zero-copy numpy view out.  ``transport="queue"`` is the original
+``multiprocessing.Manager`` path — every chunk pickled through the
+manager's proxy process — kept as the portable fallback and as the second
+arm of the bit-identity tests.  Both transports preserve per-worker FIFO
+order and the backpressure/liveness semantics: a bounded buffer of four
+in-flight chunks per worker, a per-chunk liveness check, and a prompt
+:class:`WorkerIngestError` (worker id + remote traceback) when a worker
+dies, with buffered chunks drained so surviving siblings stop at their
+next read.
 
 Because shard routing is deterministic in the user id, each shard sees
 exactly the pair sub-sequence it would have seen in a single-process run with
 the same chunking, and the batch paths are bit-identical to the scalar paths
 — so the merged estimator's estimates are **bit-identical** to the
-single-process ``shards=K`` run (asserted by the test-suite and the CI smoke
-job).  ``workers=1`` runs the identical chunk/encode/route loop in-process,
-which is the fair baseline the speedup benchmark measures against.
+single-process ``shards=K`` run for either transport and any worker count
+(asserted by the test-suite and the CI smoke job).  ``workers=1`` runs the
+identical chunk/encode/route loop in-process, which is the fair baseline the
+speedup benchmark measures against.
 """
 
 from __future__ import annotations
 
+import pickle
 import queue as queue_module
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -48,12 +62,17 @@ from repro.engine.encoding import EncodedBatch
 from repro.engine.sharded import ShardedEstimator, route_pair_shards, route_user_hashes
 from repro.hashing import fold_key_array
 from repro.registry import build
+from repro.runtime.shm import ShmRing, as_raw_arrays, shm_worker, slot_size_for
 
 UserItemPair = Tuple[object, object]
 
-#: Encoded chunks buffered per worker queue before the coordinator blocks —
-#: enough to keep workers busy, small enough to bound coordinator memory.
+#: Encoded chunks buffered per worker (queue depth / shm ring slots) before
+#: the coordinator blocks — enough to keep workers busy, small enough to
+#: bound coordinator memory.
 QUEUE_DEPTH = 4
+
+#: Chunk-handoff transports accepted by :func:`parallel_ingest`.
+TRANSPORTS = ("shm", "queue")
 
 
 class WorkerIngestError(RuntimeError):
@@ -129,6 +148,8 @@ class IngestReport:
     pairs: int
     #: Wall-clock seconds of the ingest (encode + route + update + merge).
     seconds: float
+    #: Chunk-handoff transport used ("shm", "queue"; "none" for workers=1).
+    transport: str = "none"
 
     @property
     def pairs_per_second(self) -> float:
@@ -193,8 +214,54 @@ def _encoded_chunks(stream, chunk_size: int) -> Iterator[EncodedBatch]:
         yield EncodedBatch.from_pairs(buffer)
 
 
+def _route_stream(
+    stream,
+    chunk_size: int,
+    shards: int,
+    workers: int,
+    seed: int,
+    send: Callable[[int, object], None],
+    check: Callable[[], None],
+) -> int:
+    """Route a stream's chunks to their owning workers; return the pair count.
+
+    The single routing loop both transports share: ``send(worker, item)``
+    delivers one routed slice (raw ``(users, items)`` arrays on the integer
+    fast path, an :class:`EncodedBatch` otherwise) and ``check()`` is the
+    per-chunk liveness probe — a dead worker whose buffer never fills (few
+    pairs route to it) must still abort the run now, not at collection.
+    """
+    pairs = 0
+    arrays = _raw_int_arrays(stream)
+    if arrays is not None:
+        # Fast path: route on the user folds alone and ship raw id slices;
+        # the workers run the full encode in parallel.
+        users, items = arrays
+        for offset in range(0, len(users), chunk_size):
+            check()
+            chunk_users = users[offset : offset + chunk_size]
+            chunk_items = items[offset : offset + chunk_size]
+            pairs += len(chunk_users)
+            folds = fold_key_array(chunk_users)
+            pair_workers = worker_for_shards(
+                route_user_hashes(folds, shards, seed), workers
+            )
+            for w in np.unique(pair_workers):
+                mask = pair_workers == w
+                send(int(w), (chunk_users[mask], chunk_items[mask]))
+    else:
+        for batch in _encoded_chunks(stream, chunk_size):
+            check()
+            pairs += len(batch)
+            pair_shards = route_pair_shards(batch, shards, seed)
+            pair_workers = worker_for_shards(pair_shards, workers)
+            for w in np.unique(pair_workers):
+                send(int(w), batch.subset(pair_workers == w))
+    return pairs
+
+
 def _worker_ingest(method: str, config, expected_users: int, shards: int, chunk_queue) -> str:
-    """Worker body: replay queued sub-batches, return serialised state.
+    """Worker body (queue transport): replay sub-batches, return state.
 
     Runs on a pool process.  The estimator is rebuilt from the registry with
     the exact configuration the coordinator uses, so its per-shard
@@ -225,6 +292,235 @@ def _put_with_backpressure(chunk_queue, item, futures) -> None:
             _check_workers(futures)
 
 
+# -- shm transport plumbing (coordinator side) ---------------------------------
+
+
+def _check_ring_workers(processes, rings) -> None:
+    """Raise promptly if any shm worker process has died.
+
+    A worker that exited cleanly posted ``("ok", state)`` first — park that
+    on the ring for collection.  Anything else (posted error, or death
+    without a word: segfault, OOM kill) aborts the run.
+    """
+    for worker, (process, ring) in enumerate(zip(processes, rings)):
+        if process.is_alive() or ring.cached_result is not None:
+            continue
+        try:
+            result = ring.results.get_nowait()
+        except queue_module.Empty:
+            result = None
+        if result is not None and result[0] == "ok":
+            ring.cached_result = result
+            continue
+        if result is not None:
+            _tag, remote_tb, cause_repr = result
+            raise WorkerIngestError(worker, RuntimeError(cause_repr), remote_tb)
+        raise WorkerIngestError(
+            worker,
+            RuntimeError(f"worker process exited with code {process.exitcode}"),
+        )
+
+
+def _ring_send(ring: ShmRing, item, check: Callable[[], None]) -> None:
+    """Deliver one routed slice through a ring slot (or inline when too big).
+
+    Backpressure is slot acquisition: with all slots in flight this blocks
+    on the free queue, polling ``check()`` so a worker crash surfaces as
+    :class:`WorkerIngestError` instead of a hang — mirroring
+    :func:`_put_with_backpressure` on the Manager path.
+    """
+    raw = as_raw_arrays(item)
+    blob = None
+    if raw is None or raw[0].nbytes + raw[1].nbytes > ring.capacity:
+        blob = pickle.dumps(item, protocol=pickle.HIGHEST_PROTOCOL)
+        if len(blob) > ring.capacity:
+            # Oversize fallback: straight through the (bounded) ready queue,
+            # which preserves per-worker FIFO order with the slot payloads.
+            _ring_put(ring, ("inline", blob), check)
+            return
+    while True:
+        try:
+            slot = ring.free.get(timeout=1.0)
+            break
+        except queue_module.Empty:
+            check()
+    if blob is None:
+        ring.write_raw(slot, *raw)
+    else:
+        ring.write_pickled(slot, blob)
+    _ring_put(ring, ("slot", slot), check)
+
+
+def _ring_put(ring: ShmRing, message, check: Callable[[], None]) -> None:
+    while True:
+        try:
+            ring.ready.put(message, timeout=1.0)
+            return
+        except queue_module.Full:
+            check()
+
+
+def _collect_ring_result(worker: int, process, ring: ShmRing) -> str:
+    """One worker's serialised state, or :class:`WorkerIngestError`."""
+    result = ring.cached_result
+    while result is None:
+        try:
+            result = ring.results.get(timeout=1.0)
+        except queue_module.Empty:
+            if process.is_alive():
+                continue
+            # Dead without a visible result: grant one grace read for bytes
+            # still in the pipe (the queue feeder flushes at process exit).
+            try:
+                result = ring.results.get(timeout=2.0)
+            except queue_module.Empty:
+                raise WorkerIngestError(
+                    worker,
+                    RuntimeError(
+                        f"worker process exited with code {process.exitcode} "
+                        "without posting a result"
+                    ),
+                ) from None
+    if result[0] == "ok":
+        return result[1]
+    _tag, remote_tb, cause_repr = result
+    raise WorkerIngestError(worker, RuntimeError(cause_repr), remote_tb)
+
+
+def _shm_parallel_ingest(
+    stream, method, config, expected_users, workers, shards, chunk_size
+) -> Tuple[List[str], int]:
+    """Run the shm-transport ingest; return (worker payloads, pair count)."""
+    import multiprocessing
+
+    context = multiprocessing.get_context()
+    rings = [
+        ShmRing(context, slot_size_for(chunk_size), n_slots=QUEUE_DEPTH)
+        for _ in range(workers)
+    ]
+    processes = [
+        context.Process(
+            target=shm_worker,
+            args=(
+                method,
+                config,
+                expected_users,
+                shards,
+                ring.shm.name,
+                ring.slot_size,
+                ring.free,
+                ring.ready,
+                ring.results,
+            ),
+            daemon=True,
+        )
+        for ring in rings
+    ]
+    try:
+        for process in processes:
+            process.start()
+
+        def check() -> None:
+            _check_ring_workers(processes, rings)
+
+        try:
+            pairs = _route_stream(
+                stream,
+                chunk_size,
+                shards,
+                workers,
+                config.seed,
+                lambda w, item: _ring_send(rings[w], item, check),
+                check,
+            )
+        except WorkerIngestError:
+            # Cancel the siblings: discard their buffered chunks so the
+            # sentinels delivered below are the next thing they read.
+            _drain_queues(ring.ready for ring in rings)
+            raise
+        finally:
+            # Always deliver the sentinels: a worker blocked on get() would
+            # otherwise never exit.  A dead process needs none — and its
+            # full ready queue would never drain, so don't block on it.
+            for process, ring in zip(processes, rings):
+                while process.is_alive():
+                    try:
+                        ring.ready.put(None, timeout=0.5)
+                        break
+                    except queue_module.Full:
+                        continue
+        payloads = [
+            _collect_ring_result(worker, process, ring)
+            for worker, (process, ring) in enumerate(zip(processes, rings))
+        ]
+        return payloads, pairs
+    finally:
+        for process in processes:
+            if process.pid is not None:
+                process.join(timeout=10.0)
+                if process.is_alive():  # pragma: no cover - stuck worker
+                    process.terminate()
+                    process.join(timeout=5.0)
+        for ring in rings:
+            ring.close()
+            ring.unlink()
+
+
+def _queue_parallel_ingest(
+    stream, method, config, expected_users, workers, shards, chunk_size
+) -> Tuple[List[str], int]:
+    """Run the Manager-queue ingest; return (worker payloads, pair count)."""
+    import multiprocessing
+
+    context = multiprocessing.get_context()
+    with multiprocessing.Manager() as manager:
+        queues = [manager.Queue(maxsize=QUEUE_DEPTH) for _ in range(workers)]
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as executor:
+            futures = [
+                executor.submit(
+                    _worker_ingest, method, config, expected_users, shards, queues[w]
+                )
+                for w in range(workers)
+            ]
+            try:
+                pairs = _route_stream(
+                    stream,
+                    chunk_size,
+                    shards,
+                    workers,
+                    config.seed,
+                    lambda w, item: _put_with_backpressure(queues[w], item, futures),
+                    lambda: _check_workers(futures),
+                )
+            except WorkerIngestError:
+                # Cancel the siblings: discard their buffered chunks so the
+                # sentinels delivered below are the next thing they read.
+                for future in futures:
+                    future.cancel()
+                _drain_queues(queues)
+                raise
+            finally:
+                # Always deliver the sentinels: a worker blocked on get()
+                # would otherwise hang the pool shutdown on coordinator
+                # errors.  A finished future means the worker crashed (it
+                # only returns after seeing a sentinel), so skip its queue
+                # rather than blocking on it.
+                for future, chunk_queue in zip(futures, queues):
+                    while not future.done():
+                        try:
+                            chunk_queue.put(None, timeout=0.5)
+                            break
+                        except queue_module.Full:
+                            continue
+            payloads = []
+            for worker, future in enumerate(futures):
+                try:
+                    payloads.append(future.result())
+                except Exception as error:  # worker died after routing finished
+                    _raise_worker_error(worker, error)
+            return payloads, pairs
+
+
 def parallel_ingest(
     stream: Iterable[UserItemPair],
     method: str = "FreeRS",
@@ -233,6 +529,7 @@ def parallel_ingest(
     workers: int = 1,
     shards: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    transport: str = "shm",
 ) -> IngestReport:
     """Ingest a stream with ``workers`` processes; return the merged estimator.
 
@@ -259,9 +556,18 @@ def parallel_ingest(
     chunk_size:
         Pairs per encoded chunk (default
         :data:`~repro.engine.base.DEFAULT_CHUNK_PAIRS`).
+    transport:
+        Chunk handoff to the workers: ``"shm"`` (default) writes slices into
+        per-worker shared-memory slot rings (:mod:`repro.runtime.shm`);
+        ``"queue"`` pickles them through ``multiprocessing.Manager`` queues.
+        Both produce bit-identical estimators; ignored when ``workers == 1``.
     """
     if workers <= 0:
         raise ValueError("workers must be positive")
+    if transport not in TRANSPORTS:
+        raise ValueError(
+            f"transport must be one of {', '.join(TRANSPORTS)}, not {transport!r}"
+        )
     if shards is None:
         shards = max(workers, 1)
     if shards < workers:
@@ -294,77 +600,10 @@ def parallel_ingest(
             seconds=time.perf_counter() - start,
         )
 
-    import multiprocessing
-
-    context = multiprocessing.get_context()
-    pairs = 0
-    with multiprocessing.Manager() as manager:
-        queues = [manager.Queue(maxsize=QUEUE_DEPTH) for _ in range(workers)]
-        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as executor:
-            futures = [
-                executor.submit(
-                    _worker_ingest, method, config, expected_users, shards, queues[w]
-                )
-                for w in range(workers)
-            ]
-            try:
-                arrays = _raw_int_arrays(stream)
-                if arrays is not None:
-                    # Fast path: route on the user folds alone and ship raw
-                    # id slices; the workers run the full encode in parallel.
-                    users, items = arrays
-                    for offset in range(0, len(users), chunk_size):
-                        # Per-chunk liveness check: a dead worker whose queue
-                        # never fills (few pairs route to it) must still
-                        # abort the run now, not at result collection.
-                        _check_workers(futures)
-                        chunk_users = users[offset : offset + chunk_size]
-                        chunk_items = items[offset : offset + chunk_size]
-                        pairs += len(chunk_users)
-                        folds = fold_key_array(chunk_users)
-                        pair_workers = worker_for_shards(
-                            route_user_hashes(folds, shards, config.seed), workers
-                        )
-                        for w in np.unique(pair_workers):
-                            mask = pair_workers == w
-                            _put_with_backpressure(
-                                queues[int(w)], (chunk_users[mask], chunk_items[mask]), futures
-                            )
-                else:
-                    for batch in _encoded_chunks(stream, chunk_size):
-                        _check_workers(futures)
-                        pairs += len(batch)
-                        pair_shards = route_pair_shards(batch, shards, config.seed)
-                        pair_workers = worker_for_shards(pair_shards, workers)
-                        for w in np.unique(pair_workers):
-                            sub = batch.subset(pair_workers == w)
-                            _put_with_backpressure(queues[int(w)], sub, futures)
-            except WorkerIngestError:
-                # Cancel the siblings: discard their buffered chunks so the
-                # sentinels delivered below are the next thing they read.
-                for future in futures:
-                    future.cancel()
-                _drain_queues(queues)
-                raise
-            finally:
-                # Always deliver the sentinels: a worker blocked on get()
-                # would otherwise hang the pool shutdown on coordinator
-                # errors.  A finished future means the worker crashed (it
-                # only returns after seeing a sentinel), so skip its queue
-                # rather than blocking on it.
-                for future, chunk_queue in zip(futures, queues):
-                    while not future.done():
-                        try:
-                            chunk_queue.put(None, timeout=0.5)
-                            break
-                        except queue_module.Full:
-                            continue
-            payloads = []
-            for worker, future in enumerate(futures):
-                try:
-                    payloads.append(future.result())
-                except Exception as error:  # worker died after routing finished
-                    _raise_worker_error(worker, error)
+    runner = _shm_parallel_ingest if transport == "shm" else _queue_parallel_ingest
+    payloads, pairs = runner(
+        stream, method, config, expected_users, workers, shards, chunk_size
+    )
 
     from repro.core import serialization
 
@@ -379,4 +618,5 @@ def parallel_ingest(
         shards=shards,
         pairs=pairs,
         seconds=time.perf_counter() - start,
+        transport=transport,
     )

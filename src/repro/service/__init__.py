@@ -16,6 +16,11 @@ Entry points: ``repro.cli serve`` (turnkey), :func:`serve_monitor`
 """
 
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.frames import (
+    MAX_FRAME_BYTES,
+    TRANSPORT_BINARY,
+    TRANSPORT_NDJSON,
+)
 from repro.service.ops import OPS, OpSpec
 from repro.service.protocol import MAX_LINE_BYTES, ProtocolError
 from repro.service.run import serve_monitor
@@ -25,11 +30,14 @@ __all__ = [
     "DEFAULT_PORT",
     "EstimateServer",
     "EstimateService",
+    "MAX_FRAME_BYTES",
     "MAX_LINE_BYTES",
     "OPS",
     "OpSpec",
     "ProtocolError",
     "ServiceClient",
     "ServiceError",
+    "TRANSPORT_BINARY",
+    "TRANSPORT_NDJSON",
     "serve_monitor",
 ]

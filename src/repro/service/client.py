@@ -6,6 +6,13 @@ the parsed result; the full envelope of the most recent exchange (with its
 ``version`` and ``pairs_ingested`` consistency stamp) stays available as
 :attr:`ServiceClient.last_response`, which is how the CI smoke correlates a
 mid-ingest answer with the exact monitor state that produced it.
+
+The client speaks both transports.  ``transport="ndjson"`` (the default)
+keeps every exchange as one JSON line.  ``transport="binary"`` negotiates
+the length-prefixed frames of :mod:`repro.service.frames` — raw numpy
+buffers for the big arrays — and raises when the server can't provide
+them; ``transport="auto"`` tries binary and silently stays on NDJSON when
+the server declines or predates negotiation (``unknown_op`` on hello).
 """
 
 from __future__ import annotations
@@ -14,6 +21,10 @@ import json
 import socket
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.service import frames, protocol
+from repro.service.ops import OPS
 from repro.service.server import DEFAULT_PORT
 
 #: Ceiling on one response line (64 MiB).  Responses are not bounded by the
@@ -25,6 +36,10 @@ MAX_RESPONSE_BYTES = 64 << 20
 #: Bytes requested per buffered read while assembling one response line.
 _READ_CHUNK_BYTES = 1 << 20
 
+#: Recursion bound for the response_too_large auto-chunking of
+#: ``batch_spread`` (2**20 chunks is far beyond any real split).
+_MAX_SPLIT_DEPTH = 20
+
 
 class ServiceError(RuntimeError):
     """The server answered with an error envelope."""
@@ -34,12 +49,31 @@ class ServiceError(RuntimeError):
         self.code = code
 
 
+def _json_default(value: object) -> object:
+    """Make numpy inputs (arrays, scalars) JSON-encodable on the NDJSON path."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    raise TypeError(f"cannot serialise {type(value).__name__} for the wire")
+
+
 class ServiceClient:
-    """Blocking NDJSON client; usable as a context manager."""
+    """Blocking client for both transports; usable as a context manager."""
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = DEFAULT_PORT, timeout: float = 10.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: float = 10.0,
+        transport: str = frames.TRANSPORT_NDJSON,
     ) -> None:
+        if transport not in (frames.TRANSPORT_NDJSON, frames.TRANSPORT_BINARY, "auto"):
+            raise ValueError(
+                f"transport must be 'ndjson', 'binary' or 'auto', not {transport!r}"
+            )
         self.host = host
         self.port = port
         self._socket = socket.create_connection((host, port), timeout=timeout)
@@ -47,6 +81,14 @@ class ServiceClient:
         self._next_id = 0
         #: Full envelope of the most recent successful exchange.
         self.last_response: Optional[Dict[str, object]] = None
+        #: The transport this connection actually speaks after negotiation.
+        self.transport = frames.TRANSPORT_NDJSON
+        if transport != frames.TRANSPORT_NDJSON:
+            try:
+                self.transport = self._negotiate(transport)
+            except BaseException:
+                self.close()
+                raise
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -63,6 +105,39 @@ class ServiceClient:
     def __exit__(self, *_exc) -> None:
         self.close()
 
+    # -- transport negotiation -------------------------------------------------
+
+    def _negotiate(self, requested: str) -> str:
+        """Run the hello exchange; return the transport both sides settled on.
+
+        Always spoken in NDJSON (every connection starts there).  A server
+        that predates negotiation answers ``unknown_op``: fatal for a forced
+        ``"binary"`` client, the stay-on-NDJSON signal for ``"auto"``.
+        """
+        try:
+            response = self.request(
+                frames.HELLO_OP, transports=[frames.TRANSPORT_BINARY]
+            )
+        except ServiceError as error:
+            if error.code == protocol.UNKNOWN_OP:
+                if requested == "auto":
+                    return frames.TRANSPORT_NDJSON
+                raise ServiceError(
+                    "binary_unavailable",
+                    "server predates transport negotiation (hello is unknown_op)",
+                ) from error
+            raise
+        result = response.get("result")
+        chosen = (result or {}).get("transport") if isinstance(result, dict) else None
+        if chosen == frames.TRANSPORT_BINARY:
+            return frames.TRANSPORT_BINARY
+        if requested == frames.TRANSPORT_BINARY:
+            raise ServiceError(
+                "binary_unavailable",
+                f"server selected transport {chosen!r} instead of binary",
+            )
+        return frames.TRANSPORT_NDJSON
+
     # -- request plumbing ------------------------------------------------------
 
     def request(self, op: str, **params: object) -> Dict[str, object]:
@@ -74,11 +149,25 @@ class ServiceClient:
         self._next_id += 1
         request_id = self._next_id
         payload = {"id": request_id, "op": op, **params}
-        self._socket.sendall((json.dumps(payload) + "\n").encode("utf-8"))
-        line = self._read_line()
-        if not line:
-            raise ConnectionError("server closed the connection")
-        response = json.loads(line.decode("utf-8"))
+        if self.transport == frames.TRANSPORT_BINARY:
+            spec = OPS.get(op)
+            fields = (
+                tuple(((name,), kind) for name, kind in spec.request_arrays)
+                if spec is not None
+                else ()
+            )
+            self._socket.sendall(frames.encode_frame(payload, fields))
+            response = frames.read_frame(self._reader)
+            if response is None:
+                raise ConnectionError("server closed the connection")
+        else:
+            self._socket.sendall(
+                (json.dumps(payload, default=_json_default) + "\n").encode("utf-8")
+            )
+            line = self._read_line()
+            if not line:
+                raise ConnectionError("server closed the connection")
+            response = json.loads(line.decode("utf-8"))
         if response.get("id") not in (request_id, None):
             raise ConnectionError(
                 f"response id {response.get('id')!r} does not match request {request_id}"
@@ -137,13 +226,54 @@ class ServiceClient:
         return float(self.request("spread", user=user)["result"]["estimate"])
 
     def batch_spread(self, users: Sequence[object]) -> List[float]:
-        """Estimates for many users, in input order."""
-        return [
-            float(value)
-            for value in self.request("batch_spread", users=list(users))["result"][
-                "estimates"
-            ]
-        ]
+        """Estimates for many users, in input order.
+
+        When the whole answer would blow the transport's size cap the server
+        answers ``response_too_large``; instead of surfacing that, the list
+        is split in halves (recursively, bounded) and the chunk answers are
+        reassembled in input order.  A stitched exchange leaves a synthetic
+        envelope in :attr:`last_response` carrying every chunk's consistency
+        stamp under ``"stitched"`` — the stamps may differ when ingest
+        advanced between chunks, and hiding that would falsify the
+        version/offset correlation the stamps exist for.
+        """
+        if not isinstance(users, (list, np.ndarray)):
+            users = list(users)
+        estimates, stamps = self._batch_spread(users, 0)
+        if len(stamps) > 1:
+            version, pairs_ingested = stamps[-1]
+            self.last_response = {
+                "id": None,
+                "ok": True,
+                "version": version,
+                "pairs_ingested": pairs_ingested,
+                "result": {"estimates": estimates},
+                "stitched": {
+                    "chunks": len(stamps),
+                    "stamps": [list(stamp) for stamp in stamps],
+                },
+            }
+        return estimates
+
+    def _batch_spread(
+        self, users: Sequence[object], depth: int
+    ) -> Tuple[List[float], List[Tuple[object, object]]]:
+        try:
+            response = self.request("batch_spread", users=users)
+        except ServiceError as error:
+            if (
+                error.code != protocol.RESPONSE_TOO_LARGE
+                or len(users) <= 1
+                or depth >= _MAX_SPLIT_DEPTH
+            ):
+                raise
+            mid = len(users) // 2
+            left, left_stamps = self._batch_spread(users[:mid], depth + 1)
+            right, right_stamps = self._batch_spread(users[mid:], depth + 1)
+            return left + right, left_stamps + right_stamps
+        estimates = [float(value) for value in response["result"]["estimates"]]
+        stamp = (response.get("version"), response.get("pairs_ingested"))
+        return estimates, [stamp]
 
     def topk(self, k: int = 10) -> List[Tuple[object, float]]:
         """The sliding window's top-k (user, estimate) ranking."""

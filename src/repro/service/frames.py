@@ -1,0 +1,291 @@
+"""Length-prefixed binary wire frames for the query service.
+
+NDJSON (:mod:`repro.service.protocol`) stays the default transport — every
+message human-typable via ``nc``, every response greppable — but its text
+round-trip is the dominant cost of a large ``batch_spread`` answer: 10k
+float estimates are ~200 KB of JSON to format on the server and parse on
+the client, against 80 KB of raw ``float64`` that both sides could simply
+copy.  This module provides the negotiated binary alternative:
+
+.. code-block:: text
+
+    frame   := magic(2) version(1) flags(1) payload_len(u32 LE) payload
+    payload := header_len(u32 LE) header_json array_bytes...
+
+The header is the usual request/response JSON object with the array-typed
+fields *lifted out*: each lifted field is described by an entry in the
+header's ``"arrays"`` list (field path, kind, element count) and its raw
+little-endian buffer is appended after the header, in descriptor order.
+Which fields are liftable is declared per operation in the op registry
+(:attr:`repro.service.ops.OpSpec.request_arrays` /
+:attr:`~repro.service.ops.OpSpec.result_arrays`); a field whose value does
+not fit the declared kind (string user ids, ints beyond ``int64``) simply
+stays in the JSON header, so the binary transport degrades gracefully
+instead of constraining the data model.
+
+Array kinds:
+
+``ids``
+    one ``int64`` buffer — a flat list of integer ids (``batch_spread``
+    requests).  Decoded server-side to a numpy array, which the op
+    validator accepts wholesale (integer dtype == every element already
+    validated), skipping the per-element Python checks of the JSON path.
+``floats``
+    one ``float64`` buffer — a flat list of estimates.
+``pairs``
+    one ``int64`` + one ``float64`` buffer — a ``[[user, value], ...]``
+    ranking (``topk`` / ``sliding`` results with all-integer users).
+
+``float64`` round-trips exactly through both transports (compact JSON uses
+``repr``-shortest floats), so binary and NDJSON answers are bit-identical —
+asserted op by op in ``tests/test_transport.py``.
+
+Negotiation: a connection starts in NDJSON.  A client that wants binary
+sends ``{"op": "hello", "transports": ["binary"]}`` as its first line; the
+server answers (still in NDJSON) with the transport it chose, and both
+sides switch for every subsequent exchange.  A server that predates
+negotiation answers ``unknown_op`` — the client's cue to stay on NDJSON.
+
+Binary frames are exempt from :data:`~repro.service.protocol.MAX_LINE_BYTES`
+(there are no lines to cap) and bounded by :data:`MAX_FRAME_BYTES` instead,
+on both directions.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.service.protocol import BAD_REQUEST, ProtocolError
+
+#: First two bytes of every binary frame.
+MAGIC = b"FS"
+#: Frame-format version (bumped on incompatible layout changes).
+FRAME_VERSION = 1
+#: ``magic(2) version(1) flags(1) payload_len(u32 LE)``.
+FRAME_HEADER = struct.Struct("<2sBBI")
+#: Bytes of the fixed frame header.
+FRAME_HEADER_BYTES = FRAME_HEADER.size
+#: Upper bound on one frame's payload (64 MiB).  The binary transport has
+#: no line framing, so MAX_LINE_BYTES does not apply; this is its own cap,
+#: sized for ~4M-user batch answers while still bounding a garbage client.
+MAX_FRAME_BYTES = 64 << 20
+
+#: Transport names used in negotiation.
+TRANSPORT_NDJSON = "ndjson"
+TRANSPORT_BINARY = "binary"
+#: The negotiation pseudo-op (connection-level, not in the op registry).
+HELLO_OP = "hello"
+
+#: A field path into a message: ("users",) or ("result", "estimates").
+FieldPath = Tuple[str, ...]
+#: Lift plan entry: (path, kind).
+ArrayField = Tuple[FieldPath, str]
+
+_KIND_DTYPES: Dict[str, Tuple[np.dtype, ...]] = {
+    "ids": (np.dtype("<i8"),),
+    "floats": (np.dtype("<f8"),),
+    "pairs": (np.dtype("<i8"), np.dtype("<f8")),
+}
+
+
+def _get_path(message: dict, path: FieldPath):
+    node = message
+    for part in path:
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def _set_path(message: dict, path: FieldPath, value) -> None:
+    node = message
+    for part in path[:-1]:
+        child = node.get(part)
+        if not isinstance(child, dict):
+            raise ProtocolError(
+                BAD_REQUEST, f"frame header lacks container {'.'.join(path[:-1])!r}"
+            )
+        node = child
+    node[path[-1]] = value
+
+
+def _without_lifted(message: dict, paths: Sequence[FieldPath]) -> dict:
+    """Copy ``message`` minus the lifted fields, without touching their values.
+
+    Only the dicts *along* each lifted path are (shallow-)copied — the big
+    array values themselves are never traversed or serialised, which is the
+    whole point of lifting them.
+    """
+    message = dict(message)
+    for path in paths:
+        node = message
+        for part in path[:-1]:
+            node[part] = dict(node[part])
+            node = node[part]
+        node.pop(path[-1], None)
+    return message
+
+
+def _lift_value(value, kind: str) -> Optional[List[np.ndarray]]:
+    """Convert ``value`` to the kind's buffers, or None when it doesn't fit.
+
+    Lossless or not at all: values that would coerce (bools, floats,
+    strings, ints beyond ``int64``) are left in the JSON header, so the
+    binary transport never changes what the other side observes.
+    """
+    try:
+        if kind == "ids":
+            array = np.asarray(value)
+            if array.ndim != 1 or array.dtype.kind != "i":
+                return None
+            return [array.astype("<i8", copy=False)]
+        if kind == "floats":
+            array = np.asarray(value)
+            if array.ndim != 1 or array.dtype.kind != "f":
+                return None
+            return [array.astype("<f8", copy=False)]
+        if kind == "pairs":
+            if not isinstance(value, (list, tuple)) or not value:
+                return None
+            users = np.asarray([pair[0] for pair in value])
+            if users.ndim != 1 or users.dtype.kind != "i":
+                return None
+            values = np.asarray([float(pair[1]) for pair in value], dtype="<f8")
+            return [users.astype("<i8", copy=False), values]
+    except (ValueError, TypeError, OverflowError, IndexError):
+        return None
+    return None
+
+
+def _rebuild_value(kind: str, buffers: List[np.ndarray]):
+    if kind == "ids":
+        # Returned as the array itself: the op validator accepts integer
+        # numpy arrays wholesale (the dtype already proves every element).
+        return buffers[0]
+    if kind == "floats":
+        return buffers[0].tolist()
+    # pairs
+    return [[user, value] for user, value in zip(buffers[0].tolist(), buffers[1].tolist())]
+
+
+def encode_frame(message: Dict[str, object], fields: Sequence[ArrayField] = ()) -> bytes:
+    """Serialise one message to a binary frame, lifting ``fields`` out.
+
+    ``fields`` is the op's lift plan (paths + kinds); fields that are
+    missing or don't fit their kind stay in the JSON header.
+    """
+    descriptors: List[List[object]] = []
+    buffers: List[np.ndarray] = []
+    lifted_paths: List[FieldPath] = []
+    for path, kind in fields:
+        value = _get_path(message, path)
+        if value is None:
+            continue
+        lifted = _lift_value(value, kind)
+        if lifted is None:
+            continue
+        descriptors.append([list(path), kind, int(lifted[0].shape[0])])
+        buffers.extend(lifted)
+        lifted_paths.append(path)
+    if lifted_paths:
+        message = _without_lifted(message, lifted_paths)
+    header = json.dumps(
+        {"msg": message, "arrays": descriptors}, separators=(",", ":")
+    ).encode("utf-8")
+    parts = [struct.pack("<I", len(header)), header]
+    parts.extend(np.ascontiguousarray(buffer).tobytes() for buffer in buffers)
+    payload = b"".join(parts)
+    return FRAME_HEADER.pack(MAGIC, FRAME_VERSION, 0, len(payload)) + payload
+
+
+def parse_frame_header(header: bytes) -> int:
+    """Validate the 8-byte frame header; return the payload length.
+
+    Raises :class:`ProtocolError` on bad magic, unknown version, or a
+    declared length over :data:`MAX_FRAME_BYTES`.
+    """
+    if len(header) != FRAME_HEADER_BYTES:
+        raise ProtocolError(BAD_REQUEST, "truncated frame header")
+    magic, version, _flags, length = FRAME_HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(BAD_REQUEST, f"bad frame magic {magic!r}")
+    if version != FRAME_VERSION:
+        raise ProtocolError(BAD_REQUEST, f"unsupported frame version {version}")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            BAD_REQUEST, f"frame payload of {length} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    return int(length)
+
+
+def decode_payload(payload: bytes) -> Dict[str, object]:
+    """Rebuild the message from one frame payload (header + buffers)."""
+    if len(payload) < 4:
+        raise ProtocolError(BAD_REQUEST, "frame payload shorter than its header length")
+    (header_len,) = struct.unpack_from("<I", payload, 0)
+    if 4 + header_len > len(payload):
+        raise ProtocolError(BAD_REQUEST, "frame header length exceeds the payload")
+    try:
+        header = json.loads(payload[4 : 4 + header_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(BAD_REQUEST, f"frame header is not valid JSON: {error}") from error
+    if not isinstance(header, dict) or not isinstance(header.get("msg"), dict):
+        raise ProtocolError(BAD_REQUEST, "frame header must carry a 'msg' object")
+    message = header["msg"]
+    offset = 4 + header_len
+    for descriptor in header.get("arrays", ()):
+        try:
+            path, kind, count = descriptor
+            path = tuple(path)
+            dtypes = _KIND_DTYPES[kind]
+            count = int(count)
+            if count < 0:
+                raise ValueError("negative count")
+        except (KeyError, TypeError, ValueError) as error:
+            raise ProtocolError(BAD_REQUEST, f"bad frame array descriptor: {error}") from error
+        buffers = []
+        for dtype in dtypes:
+            nbytes = count * dtype.itemsize
+            if offset + nbytes > len(payload):
+                raise ProtocolError(BAD_REQUEST, "frame arrays exceed the payload")
+            buffers.append(np.frombuffer(payload, dtype=dtype, count=count, offset=offset))
+            offset += nbytes
+        _set_path(message, path, _rebuild_value(kind, buffers))
+    return message
+
+
+def read_frame(reader) -> Optional[Dict[str, object]]:
+    """Read one frame from a blocking binary file object (client side).
+
+    Returns None at a clean EOF; raises ``ConnectionError`` on a truncated
+    frame and :class:`ProtocolError` on a malformed one.
+    """
+    header = _read_exact(reader, FRAME_HEADER_BYTES)
+    if header is None:
+        return None
+    if len(header) < FRAME_HEADER_BYTES:
+        raise ConnectionError("connection closed mid frame header")
+    length = parse_frame_header(header)
+    payload = _read_exact(reader, length)
+    if payload is None or len(payload) < length:
+        raise ConnectionError("connection closed mid frame payload")
+    return decode_payload(payload)
+
+
+def _read_exact(reader, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; None at clean EOF, short bytes mid-EOF."""
+    chunks = []
+    remaining = count
+    while remaining > 0:
+        chunk = reader.read(remaining)
+        if not chunk:
+            break
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    if not chunks:
+        return None if count > 0 else b""
+    return b"".join(chunks)

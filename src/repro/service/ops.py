@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Mapping, Tuple
 
+import numpy as np
+
 from repro.service.protocol import BAD_REQUEST, ProtocolError
 
 #: Parameter validator: raises ProtocolError, returns the coerced value.
@@ -39,6 +41,13 @@ def _user_id(value: object) -> object:
 
 
 def _user_list(value: object) -> list:
+    if isinstance(value, np.ndarray):
+        # The binary transport's ``ids`` lift: an integer dtype proves every
+        # element is an in-range integer id, so the per-element checks of
+        # the JSON path would be pure overhead here.
+        if value.ndim == 1 and value.dtype.kind in "iu":
+            return value.tolist()
+        raise ProtocolError(BAD_REQUEST, "'users' must be a list of user ids")
     if not isinstance(value, list):
         raise ProtocolError(BAD_REQUEST, "'users' must be a list of user ids")
     return [_user_id(user) for user in value]
@@ -59,6 +68,12 @@ class OpSpec:
     needs_lock: bool = False
     #: One-line description (surfaced by the ``stats`` op and the docs).
     summary: str = ""
+    #: Array-typed *request* fields the binary transport may lift out of the
+    #: JSON header into raw buffers: (field name, frame array kind).
+    request_arrays: Tuple[Tuple[str, str], ...] = ()
+    #: Array-typed *result* fields, same shape (kinds are defined in
+    #: :mod:`repro.service.frames`: ``ids`` / ``floats`` / ``pairs``).
+    result_arrays: Tuple[Tuple[str, str], ...] = ()
 
     def extract_params(self, request: Mapping[str, object]) -> Dict[str, object]:
         """Validate and coerce the request's parameters for this op."""
@@ -75,12 +90,18 @@ class OpSpec:
 
     def describe(self) -> Dict[str, object]:
         """JSON-ready description (embedded in the ``stats`` op)."""
-        return {
+        described: Dict[str, object] = {
             "op": self.name,
             "required": sorted(self.required),
             "optional": {name: default for name, (default, _) in self.optional.items()},
             "summary": self.summary,
         }
+        if self.request_arrays or self.result_arrays:
+            described["binary_arrays"] = {
+                "request": dict(self.request_arrays),
+                "result": dict(self.result_arrays),
+            }
+        return described
 
 
 #: The operation registry, in documentation order.
@@ -96,17 +117,21 @@ OPS: Mapping[str, OpSpec] = {
             name="batch_spread",
             required={"users": _user_list},
             summary="spread estimates for a list of users, in input order",
+            request_arrays=(("users", "ids"),),
+            result_arrays=(("estimates", "floats"),),
         ),
         OpSpec(
             name="topk",
             optional={"k": (10, _positive_int("k"))},
             summary="the top-k spreaders of the sliding window",
+            result_arrays=(("top", "pairs"),),
         ),
         OpSpec(
             name="sliding",
             optional={"k_epochs": (None, _positive_int("k_epochs"))},
             needs_lock=True,
             summary="full sliding estimates merged over the last k_epochs epochs",
+            result_arrays=(("estimates", "pairs"),),
         ),
         OpSpec(
             name="stats",

@@ -24,6 +24,13 @@ The framing is deliberately primitive — length-free, human-typable via
 ``nc``, debuggable with ``tee`` — matching the repository's JSONL feed
 format.  Lines are capped at :data:`MAX_LINE_BYTES` to bound a hostile or
 confused client's memory use.
+
+NDJSON is the *default* transport, not the only one: a client can open
+with a ``{"op": "hello", "transports": ["binary"]}`` line to switch the
+connection to the length-prefixed binary frames of
+:mod:`repro.service.frames`, which carry large ``batch_spread`` / ``topk``
+/ ``sliding`` arrays as raw numpy buffers instead of JSON text (exempt
+from the line cap, bounded by ``MAX_FRAME_BYTES`` instead).
 """
 
 from __future__ import annotations
@@ -47,11 +54,18 @@ RESPONSE_TOO_LARGE = "response_too_large"
 
 
 class ProtocolError(ValueError):
-    """A malformed request line (not JSON, not an object, or too long)."""
+    """A malformed request (not JSON, not an object, too long, bad frame).
 
-    def __init__(self, code: str, message: str) -> None:
+    ``fatal`` marks errors after which the byte stream cannot be resynced
+    (an NDJSON line over the stream limit was partially consumed, a binary
+    frame was truncated by EOF): the server answers with the error envelope
+    and then closes the connection instead of continuing.
+    """
+
+    def __init__(self, code: str, message: str, fatal: bool = False) -> None:
         super().__init__(message)
         self.code = code
+        self.fatal = fatal
 
 
 def encode(payload: Dict[str, object]) -> bytes:

@@ -27,16 +27,19 @@ from __future__ import annotations
 
 import asyncio
 import threading
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.monitor.spreader import SpreaderMonitor
 from repro.monitor.view import ReadSnapshot, SlidingMergeCache, wire_user
-from repro.service import protocol
-from repro.service.ops import OPS
+from repro.service import frames, protocol
+from repro.service.ops import OPS, OpSpec
 from repro.service.protocol import ProtocolError
 
 #: Default TCP port (freesketch "FS" on a phone keypad, more or less).
 DEFAULT_PORT = 7373
+
+#: Transports a server negotiates by default (NDJSON stays the opener).
+DEFAULT_TRANSPORTS = (frames.TRANSPORT_NDJSON, frames.TRANSPORT_BINARY)
 
 
 def _estimates_payload(estimates: Dict[object, float]) -> list:
@@ -172,17 +175,120 @@ class EstimateService:
         return snapshot, stats
 
 
+class _NdjsonCodec:
+    """Per-connection NDJSON transport: one line per message."""
+
+    name = frames.TRANSPORT_NDJSON
+
+    async def read_request(self, reader: asyncio.StreamReader) -> Optional[Dict]:
+        """One decoded request; None at EOF.  Raises :class:`ProtocolError`."""
+        while True:
+            try:
+                line = await reader.readline()
+            except ValueError:
+                # Line exceeded the stream limit: mid-line resync is not
+                # possible, so the error is fatal for the connection.
+                raise ProtocolError(
+                    protocol.BAD_REQUEST,
+                    f"request line exceeds {protocol.MAX_LINE_BYTES} bytes",
+                    fatal=True,
+                ) from None
+            if not line:
+                return None
+            if not line.strip():
+                continue
+            return protocol.decode_request(line)
+
+    def encode_response(self, response: Dict, spec: Optional[OpSpec]) -> bytes:
+        payload = protocol.encode(response)
+        if len(payload) > protocol.MAX_LINE_BYTES:
+            # The line cap is symmetric: a conforming client may reject any
+            # longer line, so never emit one — answer with a clean error the
+            # client can react to instead.
+            payload = protocol.encode(
+                protocol.error_response(
+                    response.get("id"),
+                    protocol.RESPONSE_TOO_LARGE,
+                    f"response line would exceed {protocol.MAX_LINE_BYTES} "
+                    "bytes; narrow the query (smaller k, fewer users, or "
+                    "batch_spread in chunks)",
+                )
+            )
+        return payload
+
+
+class _BinaryCodec:
+    """Per-connection binary transport: length-prefixed frames."""
+
+    name = frames.TRANSPORT_BINARY
+
+    async def read_request(self, reader: asyncio.StreamReader) -> Optional[Dict]:
+        try:
+            header = await reader.readexactly(frames.FRAME_HEADER_BYTES)
+        except asyncio.IncompleteReadError as error:
+            if not error.partial:
+                return None
+            raise ProtocolError(
+                protocol.BAD_REQUEST, "connection closed mid frame header", fatal=True
+            ) from None
+        # Bad magic / version / over-cap length: recoverable — the reply
+        # names the defect and the reader realigns at the next 8 bytes (the
+        # declared payload of an over-cap frame is deliberately NOT read).
+        length = frames.parse_frame_header(header)
+        try:
+            payload = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError(
+                protocol.BAD_REQUEST, "connection closed mid frame payload", fatal=True
+            ) from None
+        return frames.decode_payload(payload)
+
+    def encode_response(self, response: Dict, spec: Optional[OpSpec]) -> bytes:
+        fields: Tuple[frames.ArrayField, ...] = ()
+        if spec is not None:
+            fields = tuple(
+                (("result", name), kind) for name, kind in spec.result_arrays
+            )
+        payload = frames.encode_frame(response, fields)
+        if len(payload) > frames.MAX_FRAME_BYTES + frames.FRAME_HEADER_BYTES:
+            payload = frames.encode_frame(
+                protocol.error_response(
+                    response.get("id"),
+                    protocol.RESPONSE_TOO_LARGE,
+                    f"response frame would exceed {frames.MAX_FRAME_BYTES} "
+                    "bytes; narrow the query (smaller k, fewer users, or "
+                    "batch_spread in chunks)",
+                )
+            )
+        return payload
+
+
 class EstimateServer:
-    """Asyncio TCP front end for an :class:`EstimateService`."""
+    """Asyncio TCP front end for an :class:`EstimateService`.
+
+    Every connection opens in NDJSON.  When ``transports`` includes
+    ``"binary"`` (the default), a client may switch the connection to
+    length-prefixed binary frames with a ``hello`` first line; pass
+    ``transports=("ndjson",)`` to answer ``hello`` but never choose binary,
+    or ``transports=None`` to disable negotiation entirely (``hello`` then
+    falls through to the dispatcher as an unknown op, which is exactly how
+    servers predating negotiation behave — the client fallback path).
+    """
 
     def __init__(
         self,
         service: EstimateService,
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
+        transports: Optional[Sequence[str]] = DEFAULT_TRANSPORTS,
     ) -> None:
         self.service = service
         self.host = host
+        self.transports = None if transports is None else tuple(transports)
+        if self.transports is not None:
+            unknown = set(self.transports) - set(DEFAULT_TRANSPORTS)
+            if unknown:
+                raise ValueError(f"unknown transports {sorted(unknown)}")
         self._requested_port = port
         self._server: Optional[asyncio.AbstractServer] = None
         self.connections_served = 0
@@ -217,65 +323,79 @@ class EstimateServer:
             await self.start()
         await self._server.serve_forever()
 
+    def _negotiate(self, request: Dict) -> Tuple[Dict, str]:
+        """Answer a ``hello``: pick a transport both sides speak."""
+        offered = request.get("transports")
+        if not isinstance(offered, list):
+            offered = []
+        chosen = frames.TRANSPORT_NDJSON
+        if frames.TRANSPORT_BINARY in offered and frames.TRANSPORT_BINARY in (
+            self.transports or ()
+        ):
+            chosen = frames.TRANSPORT_BINARY
+        response = {
+            "id": request.get("id"),
+            "ok": True,
+            "result": {
+                "transport": chosen,
+                "transports": list(self.transports or ()),
+                "max_line_bytes": protocol.MAX_LINE_BYTES,
+                "max_frame_bytes": frames.MAX_FRAME_BYTES,
+            },
+        }
+        return response, chosen
+
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self.connections_served += 1
         loop = asyncio.get_running_loop()
+        codec = _NdjsonCodec()
         try:
             while True:
                 try:
-                    line = await reader.readline()
-                except ValueError:
-                    # Line exceeded the stream limit: report and drop the
-                    # connection (mid-line resync is not possible).
+                    request = await codec.read_request(reader)
+                except ProtocolError as error:
                     writer.write(
-                        protocol.encode(
-                            protocol.error_response(
-                                None,
-                                protocol.BAD_REQUEST,
-                                f"request line exceeds {protocol.MAX_LINE_BYTES} bytes",
-                            )
+                        codec.encode_response(
+                            protocol.error_response(None, error.code, str(error)), None
                         )
                     )
-                    break
+                    if error.fatal:
+                        break
+                    try:
+                        await writer.drain()
+                    except (ConnectionResetError, BrokenPipeError):
+                        break
+                    continue
                 except ConnectionResetError:
                     break
-                if not line:
+                if request is None:
                     break
-                if not line.strip():
+                op = request.get("op")
+                if self.transports is not None and op == frames.HELLO_OP:
+                    # Connection-level negotiation: answered in the current
+                    # codec, then both sides switch for everything after.
+                    response, chosen = self._negotiate(request)
+                    writer.write(codec.encode_response(response, None))
+                    try:
+                        await writer.drain()
+                    except (ConnectionResetError, BrokenPipeError):
+                        break
+                    if chosen == frames.TRANSPORT_BINARY and codec.name != chosen:
+                        codec = _BinaryCodec()
                     continue
-                try:
-                    request = protocol.decode_request(line)
-                except ProtocolError as error:
-                    response = protocol.error_response(None, error.code, str(error))
-                else:
-                    op = request.get("op")
-                    spec = OPS.get(op) if isinstance(op, str) else None
-                    if spec is not None and spec.needs_lock:
-                        # Sketch merges block on the ingest lock: push them
-                        # off the event loop so snapshot readers on other
-                        # connections keep streaming answers meanwhile.
-                        response = await loop.run_in_executor(
-                            None, self.service.handle, request
-                        )
-                    else:
-                        response = self.service.handle(request)
-                payload = protocol.encode(response)
-                if len(payload) > protocol.MAX_LINE_BYTES:
-                    # The line cap is symmetric: a conforming client may
-                    # reject any longer line, so never emit one — answer
-                    # with a clean error the client can react to instead.
-                    payload = protocol.encode(
-                        protocol.error_response(
-                            response.get("id"),
-                            protocol.RESPONSE_TOO_LARGE,
-                            f"response line would exceed {protocol.MAX_LINE_BYTES} "
-                            "bytes; narrow the query (smaller k, fewer users, or "
-                            "batch_spread in chunks)",
-                        )
+                spec = OPS.get(op) if isinstance(op, str) else None
+                if spec is not None and spec.needs_lock:
+                    # Sketch merges block on the ingest lock: push them
+                    # off the event loop so snapshot readers on other
+                    # connections keep streaming answers meanwhile.
+                    response = await loop.run_in_executor(
+                        None, self.service.handle, request
                     )
-                writer.write(payload)
+                else:
+                    response = self.service.handle(request)
+                writer.write(codec.encode_response(response, spec))
                 try:
                     await writer.drain()
                 except (ConnectionResetError, BrokenPipeError):

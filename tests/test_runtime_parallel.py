@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.config import ExperimentConfig
-from repro.registry import build
+from repro.registry import METHOD_ORDER, build
 from repro.runtime import IngestReport, owned_shards, parallel_ingest
 from repro.streams.generators import zipf_bipartite_stream
 from repro.streams.stream import GraphStream
@@ -48,18 +48,53 @@ class TestSingleProcessPath:
 
 
 class TestMultiprocessBitIdentity:
+    @pytest.mark.parametrize("transport", ["shm", "queue"])
     @pytest.mark.parametrize("method", ["FreeRS", "CSE"])
-    def test_two_workers_match_single_process(self, method, stream):
+    def test_two_workers_match_single_process(self, method, transport, stream):
         single = parallel_ingest(
             stream, method=method, config=_CONFIG, expected_users=_USERS,
             workers=1, shards=2,
         )
         parallel = parallel_ingest(
             stream, method=method, config=_CONFIG, expected_users=_USERS,
-            workers=2, shards=2,
+            workers=2, shards=2, transport=transport,
         )
         assert parallel.estimates() == single.estimates()
         assert parallel.pairs == single.pairs == len(stream)
+        assert parallel.transport == transport
+
+    @pytest.mark.parametrize("method", METHOD_ORDER)
+    def test_shm_transport_bit_identical_for_every_method(self, method, stream):
+        """The acceptance bar: shm handoff == single-process sharded run,
+        exact float equality, for all six compared methods."""
+        single = parallel_ingest(
+            stream, method=method, config=_CONFIG, expected_users=_USERS,
+            workers=1, shards=2,
+        )
+        parallel = parallel_ingest(
+            stream, method=method, config=_CONFIG, expected_users=_USERS,
+            workers=2, shards=2, transport="shm",
+        )
+        assert parallel.estimates() == single.estimates()
+
+    def test_tiny_slots_fall_back_to_inline_delivery(self, monkeypatch, stream):
+        """Slots too small for the chunks exercise the inline-pickle
+        fallback without changing the result (FIFO order is preserved)."""
+        import repro.runtime.parallel as parallel_module
+        import repro.runtime.shm as shm_module
+
+        single = parallel_ingest(
+            stream, method="FreeRS", config=_CONFIG, expected_users=_USERS,
+            workers=1, shards=2, chunk_size=2048,
+        )
+        monkeypatch.setattr(
+            parallel_module, "slot_size_for", lambda pairs: shm_module.slot_size_for(64)
+        )
+        parallel = parallel_ingest(
+            stream, method="FreeRS", config=_CONFIG, expected_users=_USERS,
+            workers=2, shards=2, chunk_size=2048, transport="shm",
+        )
+        assert parallel.estimates() == single.estimates()
 
     def test_more_shards_than_workers(self, stream):
         single = parallel_ingest(
@@ -111,6 +146,10 @@ class TestValidation:
         with pytest.raises(ValueError, match="chunk_size must be positive"):
             parallel_ingest(stream, workers=1, chunk_size=0)
 
+    def test_rejects_unknown_transport(self, stream):
+        with pytest.raises(ValueError, match="transport must be one of"):
+            parallel_ingest(stream, workers=2, transport="carrier-pigeon")
+
     def test_owned_shards_round_robin(self):
         assert owned_shards(0, 2, 5) == [0, 2, 4]
         assert owned_shards(1, 2, 5) == [1, 3]
@@ -127,7 +166,8 @@ class TestWorkerFailure:
     traceback attached.
     """
 
-    def test_poisoned_stream_raises_within_the_run(self):
+    @pytest.mark.parametrize("transport", ["shm", "queue"])
+    def test_poisoned_stream_raises_within_the_run(self, transport):
         import time
 
         class PoisonedStream:
@@ -141,10 +181,12 @@ class TestWorkerFailure:
             parallel_ingest(
                 PoisonedStream(), method="vHLL", config=_CONFIG,
                 expected_users=_USERS, workers=2, chunk_size=512,
+                transport=transport,
             )
         assert time.perf_counter() - start < 30.0
 
-    def test_worker_exception_raises_worker_ingest_error(self, monkeypatch):
+    @pytest.mark.parametrize("transport", ["shm", "queue"])
+    def test_worker_exception_raises_worker_ingest_error(self, monkeypatch, transport):
         import multiprocessing
         import time
 
@@ -154,13 +196,17 @@ class TestWorkerFailure:
         if multiprocessing.get_start_method() != "fork":
             pytest.skip("worker-failure injection relies on fork inheriting the patch")
 
-        monkeypatch.setattr(parallel_module, "_worker_ingest", _exploding_worker)
+        if transport == "queue":
+            monkeypatch.setattr(parallel_module, "_worker_ingest", _exploding_worker)
+        else:
+            monkeypatch.setattr(parallel_module, "shm_worker", _exploding_worker_shm)
         pairs = [(index % 40, index) for index in range(60_000)]
         start = time.perf_counter()
         with pytest.raises(WorkerIngestError) as excinfo:
             parallel_ingest(
                 GraphStream(pairs), method="vHLL", config=_CONFIG,
                 expected_users=_USERS, workers=2, chunk_size=512,
+                transport=transport,
             )
         # Raised mid-run (not after an end-of-stream timeout), names the
         # worker, and carries the worker-side traceback.
@@ -169,7 +215,10 @@ class TestWorkerFailure:
         assert "worker exploded" in str(excinfo.value)
         assert "_exploding_worker" in excinfo.value.remote_traceback
 
-    def test_instantly_dead_worker_detected_before_result_collection(self, monkeypatch):
+    @pytest.mark.parametrize("transport", ["shm", "queue"])
+    def test_instantly_dead_worker_detected_before_result_collection(
+        self, monkeypatch, transport
+    ):
         import multiprocessing
 
         import repro.runtime.parallel as parallel_module
@@ -178,12 +227,16 @@ class TestWorkerFailure:
         if multiprocessing.get_start_method() != "fork":
             pytest.skip("worker-failure injection relies on fork inheriting the patch")
 
-        monkeypatch.setattr(parallel_module, "_worker_ingest", _instantly_dead_worker)
+        if transport == "queue":
+            monkeypatch.setattr(parallel_module, "_worker_ingest", _instantly_dead_worker)
+        else:
+            monkeypatch.setattr(parallel_module, "shm_worker", _instantly_dead_worker_shm)
         pairs = [(index % 40, index) for index in range(20_000)]
         with pytest.raises(WorkerIngestError):
             parallel_ingest(
                 GraphStream(pairs), method="FreeRS", config=_CONFIG,
                 expected_users=_USERS, workers=2, chunk_size=256,
+                transport=transport,
             )
 
 
@@ -192,5 +245,31 @@ def _exploding_worker(method, config, expected_users, shards, chunk_queue):
     raise ValueError("worker exploded")
 
 
+def _exploding_worker_shm(
+    method, config, expected_users, shards, shm_name, slot_size,
+    free_queue, ready_queue, result_queue,
+):
+    # Mimics the real shm worker's error reporting (there is no Future to
+    # ship the exception, so it travels through the result queue).
+    import sys
+    import traceback
+
+    ready_queue.get()
+    try:
+        raise ValueError("worker exploded")
+    except ValueError as error:
+        result_queue.put(("error", traceback.format_exc(), repr(error)))
+        sys.exit(1)
+
+
 def _instantly_dead_worker(method, config, expected_users, shards, chunk_queue):
     raise ValueError("worker dead on arrival")
+
+
+def _instantly_dead_worker_shm(
+    method, config, expected_users, shards, shm_name, slot_size,
+    free_queue, ready_queue, result_queue,
+):
+    # Dies without posting anything: the coordinator must detect the dead
+    # process (exit code, empty result queue) instead of hanging.
+    raise SystemExit(3)

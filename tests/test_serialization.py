@@ -88,6 +88,39 @@ class TestErrorsAndFormat:
         assert restored.seed == 77
 
 
+class TestObjectEnvelopes:
+    """``to_obj``/``from_obj`` are the dict-level seam under dumps/loads —
+    embedders (monitor snapshots) compose envelopes without a render +
+    re-parse round-trip per estimator."""
+
+    def test_to_obj_matches_dumps_and_from_obj_loads_it(self):
+        import json
+
+        estimator = _feed(FreeRS(1 << 9, seed=3), _pairs(1_000, seed=5))
+        envelope = serialization.to_obj(estimator)
+        assert envelope == json.loads(serialization.dumps(estimator))
+        restored = serialization.from_obj(envelope)
+        assert restored.estimates() == estimator.estimates()
+
+    def test_from_obj_rejects_bad_envelopes(self):
+        with pytest.raises(ValueError):
+            serialization.from_obj({"format": "something-else"})
+        envelope = serialization.to_obj(FreeBS(1 << 10))
+        with pytest.raises(ValueError):
+            serialization.from_obj({**envelope, "version": 99})
+
+    def test_sharded_envelope_embeds_plain_sub_envelopes(self):
+        sharded = _feed(
+            ShardedEstimator(lambda k: FreeRS(1 << 8, seed=3), shards=3),
+            _pairs(1_000, seed=6),
+        )
+        envelope = serialization.to_obj(sharded)
+        for shard in envelope["body"]["sub"]:
+            restored_shard = serialization.from_obj(shard)
+            assert isinstance(restored_shard, FreeRS)
+        assert serialization.from_obj(envelope).estimates() == sharded.estimates()
+
+
 class TestVersion2Kinds:
     """Round-trips of the kinds added in format version 2."""
 

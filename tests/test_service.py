@@ -153,6 +153,14 @@ class TestQueryIdentity:
         assert stats["method_spec"]["tag"] == "FreeRS"
         assert {op["op"] for op in stats["ops"]} == set(OPS)
         assert stats["queries_served"] >= 1
+        # Array-typed fields are declared in the op table so binary-capable
+        # clients can discover the lift plan without out-of-band knowledge.
+        by_name = {op["op"]: op for op in stats["ops"]}
+        assert by_name["batch_spread"]["binary_arrays"] == {
+            "request": {"users": "ids"},
+            "result": {"estimates": "floats"},
+        }
+        assert by_name["topk"]["binary_arrays"]["result"] == {"top": "pairs"}
 
 
 class TestSnapshotRecovery:

@@ -1,0 +1,387 @@
+"""Tests for the negotiated binary wire transport.
+
+The load-bearing contracts:
+
+* negotiation degrades cleanly — a binary-requesting client falls back to
+  NDJSON against servers that decline binary or predate the ``hello``
+  exchange entirely, and a *forced* binary client fails loudly instead;
+* binary answers are **bit-identical** to NDJSON answers for every op
+  (same envelope, exact float equality) — the transport changes bytes on
+  the wire, never what the caller observes;
+* malformed frames (bad magic, unsupported version, over-cap declared
+  length) answer ``bad_request`` without killing the connection, while
+  truncation mid-frame — where no resync point exists — fails the
+  connection after a final error frame;
+* ``batch_spread`` transparently splits on ``response_too_large`` and
+  surfaces every chunk's consistency stamp.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.monitor import MonitorSpec
+from repro.service import (
+    OPS,
+    EstimateServer,
+    EstimateService,
+    ServiceClient,
+    ServiceError,
+    frames,
+)
+from repro.streams import zipf_bipartite_stream
+
+_USERS = 80
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return zipf_bipartite_stream(
+        n_users=_USERS, n_pairs=6_000, max_cardinality=500, duplicate_factor=0.4, seed=9
+    )
+
+
+def _spec(method="FreeRS"):
+    return MonitorSpec(
+        method=method,
+        memory_bits=1 << 14,
+        expected_users=_USERS,
+        epoch_pairs=1_500,
+        window_epochs=4,
+        delta=5e-3,
+    )
+
+
+class _ServerThread:
+    """Run an EstimateServer on its own event loop thread for sync clients."""
+
+    def __init__(self, service: EstimateService, transports="default"):
+        self.service = service
+        self.transports = transports
+        self.port = None
+        self._loop = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._ready.wait(10.0), "server did not come up"
+
+    def _run(self):
+        async def main():
+            kwargs = {} if self.transports == "default" else {
+                "transports": self.transports
+            }
+            server = EstimateServer(self.service, port=0, **kwargs)
+            await server.start()
+            self.port = server.port
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            self._ready.set()
+            await self._stop.wait()
+            await server.close()
+
+        asyncio.run(main())
+
+    def close(self):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10.0)
+
+
+def _served(stream, transports="default"):
+    monitor = _spec().build()
+    monitor.observe(stream[:4_000])
+    service = EstimateService(monitor)
+    return monitor, _ServerThread(service, transports=transports)
+
+
+@pytest.fixture()
+def served(stream):
+    monitor, server = _served(stream)
+    try:
+        yield monitor, server
+    finally:
+        server.close()
+
+
+@pytest.fixture()
+def ndjson_only(stream):
+    """A server that answers ``hello`` but never chooses binary."""
+    monitor, server = _served(stream, transports=("ndjson",))
+    try:
+        yield monitor, server
+    finally:
+        server.close()
+
+
+@pytest.fixture()
+def legacy(stream):
+    """A pre-negotiation server: ``hello`` falls through as ``unknown_op``."""
+    monitor, server = _served(stream, transports=None)
+    try:
+        yield monitor, server
+    finally:
+        server.close()
+
+
+class TestNegotiation:
+    def test_binary_client_negotiates_binary(self, served):
+        monitor, server = served
+        with ServiceClient(port=server.port, transport="binary") as client:
+            assert client.transport == "binary"
+            assert client.topk(5) == monitor.current_top[:5]
+
+    def test_auto_prefers_binary_when_offered(self, served):
+        _monitor, server = served
+        with ServiceClient(port=server.port, transport="auto") as client:
+            assert client.transport == "binary"
+
+    def test_auto_falls_back_when_server_declines_binary(self, ndjson_only):
+        monitor, server = ndjson_only
+        with ServiceClient(port=server.port, transport="auto") as client:
+            assert client.transport == "ndjson"
+            assert client.topk(5) == monitor.current_top[:5]
+
+    def test_auto_falls_back_against_pre_negotiation_server(self, legacy):
+        monitor, server = legacy
+        with ServiceClient(port=server.port, transport="auto") as client:
+            assert client.transport == "ndjson"
+            assert client.topk(5) == monitor.current_top[:5]
+
+    def test_forced_binary_fails_when_server_declines(self, ndjson_only):
+        _monitor, server = ndjson_only
+        with pytest.raises(ServiceError) as excinfo:
+            ServiceClient(port=server.port, transport="binary")
+        assert excinfo.value.code == "binary_unavailable"
+
+    def test_forced_binary_fails_against_pre_negotiation_server(self, legacy):
+        _monitor, server = legacy
+        with pytest.raises(ServiceError) as excinfo:
+            ServiceClient(port=server.port, transport="binary")
+        assert excinfo.value.code == "binary_unavailable"
+
+    def test_rejects_unknown_transport_name(self, served):
+        _monitor, server = served
+        with pytest.raises(ValueError, match="transport must be"):
+            ServiceClient(port=server.port, transport="carrier-pigeon")
+
+    def test_hello_reports_both_size_caps(self, ndjson_only):
+        from repro.service import protocol
+
+        _monitor, server = ndjson_only
+        with ServiceClient(port=server.port) as client:
+            result = client.request("hello", transports=["binary"])["result"]
+        assert result["transport"] == "ndjson"
+        assert result["transports"] == ["ndjson"]
+        assert result["max_line_bytes"] == protocol.MAX_LINE_BYTES
+        assert result["max_frame_bytes"] == frames.MAX_FRAME_BYTES
+
+    def test_server_rejects_unknown_transports(self, stream):
+        service = EstimateService(_spec().build())
+        with pytest.raises(ValueError, match="unknown transports"):
+            EstimateServer(service, transports=("ndjson", "smoke-signals"))
+
+
+class TestBitIdentity:
+    """Binary answers must equal NDJSON answers exactly — envelope for
+    envelope, float for float — for every op in the registry."""
+
+    def test_every_op_answers_identically(self, served):
+        monitor, server = served
+        users = [user for user, _ in monitor.current_top[:40]] + [10**9]
+        covered = set()
+        with ServiceClient(port=server.port, transport="ndjson") as text, \
+                ServiceClient(port=server.port, transport="binary") as binary:
+
+            def compare(op, **params):
+                covered.add(op)
+                a = dict(text.request(op, **params))
+                b = dict(binary.request(op, **params))
+                a.pop("id"), b.pop("id")
+                return a, b
+
+            a, b = compare("spread", user=users[0])
+            assert a == b
+            a, b = compare("batch_spread", users=users)
+            assert a == b
+            a, b = compare("topk", k=10)
+            assert a == b
+            a, b = compare("sliding", k_epochs=2)
+            assert a == b
+            a, b = compare("sliding")
+            assert a == b
+            a, b = compare("stats")
+            # The op is counted per request, so the second client's counter
+            # is one ahead by construction; everything else must match.
+            a["result"].pop("queries_served"), b["result"].pop("queries_served")
+            assert a == b
+        assert covered == set(OPS), "an op joined the registry untested"
+
+    def test_numpy_array_requests_work_on_both_transports(self, served):
+        monitor, server = served
+        users = np.asarray(
+            [user for user, _ in monitor.current_top[:16]], dtype=np.int64
+        )
+        expected = [monitor.last_window_estimates().get(int(u), 0.0) for u in users]
+        for transport in ("ndjson", "binary"):
+            with ServiceClient(port=server.port, transport=transport) as client:
+                assert client.batch_spread(users) == expected
+
+    def test_string_users_ride_the_json_header(self, stream):
+        """Ids that don't fit int64 buffers stay in the JSON header — the
+        binary transport degrades per field, never per connection."""
+        monitor = _spec().build()
+        monitor.observe([(f"u{user}", item) for user, item in stream[:3_000]])
+        server = _ServerThread(EstimateService(monitor))
+        estimates = monitor.last_window_estimates()
+        some = list(estimates)[:8]
+        try:
+            with ServiceClient(port=server.port, transport="binary") as client:
+                assert client.batch_spread(some) == [estimates[u] for u in some]
+                assert client.topk(5) == monitor.current_top[:5]
+        finally:
+            server.close()
+
+
+def _binary_connection(port):
+    """A raw socket switched to the binary transport via ``hello``."""
+    sock = socket.create_connection(("127.0.0.1", port), timeout=5.0)
+    reader = sock.makefile("rb")
+    sock.sendall(
+        json.dumps({"id": 0, "op": "hello", "transports": ["binary"]}).encode() + b"\n"
+    )
+    response = json.loads(reader.readline())
+    assert response["result"]["transport"] == "binary"
+    return sock, reader
+
+
+class TestFrameRobustness:
+    """Malformed frames answer ``bad_request``; only truncation — where no
+    resync point exists — is allowed to end the connection."""
+
+    @pytest.mark.parametrize(
+        "header, defect",
+        [
+            (frames.FRAME_HEADER.pack(b"XX", frames.FRAME_VERSION, 0, 0), "magic"),
+            (frames.FRAME_HEADER.pack(frames.MAGIC, 99, 0, 0), "version"),
+            (
+                frames.FRAME_HEADER.pack(
+                    frames.MAGIC, frames.FRAME_VERSION, 0, frames.MAX_FRAME_BYTES + 1
+                ),
+                "exceeds",
+            ),
+        ],
+    )
+    def test_bad_headers_answer_bad_request_and_keep_the_connection(
+        self, served, header, defect
+    ):
+        _monitor, server = served
+        sock, reader = _binary_connection(server.port)
+        try:
+            sock.sendall(header)
+            error = frames.read_frame(reader)
+            assert error["ok"] is False
+            assert error["error"]["code"] == "bad_request"
+            assert defect in error["error"]["message"]
+            # The connection realigns: a well-formed frame still answers.
+            sock.sendall(frames.encode_frame({"id": 7, "op": "topk", "k": 3}))
+            response = frames.read_frame(reader)
+            assert response["ok"] is True and response["id"] == 7
+        finally:
+            sock.close()
+
+    def test_truncated_payload_fails_the_connection_cleanly(self, served):
+        _monitor, server = served
+        sock, reader = _binary_connection(server.port)
+        try:
+            sock.sendall(
+                frames.FRAME_HEADER.pack(frames.MAGIC, frames.FRAME_VERSION, 0, 100)
+                + b"x" * 10
+            )
+            sock.shutdown(socket.SHUT_WR)
+            error = frames.read_frame(reader)
+            assert error["ok"] is False
+            assert error["error"]["code"] == "bad_request"
+            assert "mid frame payload" in error["error"]["message"]
+            assert frames.read_frame(reader) is None  # server hung up
+        finally:
+            sock.close()
+
+    def test_truncated_header_fails_the_connection_cleanly(self, served):
+        _monitor, server = served
+        sock, reader = _binary_connection(server.port)
+        try:
+            sock.sendall(b"FS\x01")
+            sock.shutdown(socket.SHUT_WR)
+            error = frames.read_frame(reader)
+            assert error["ok"] is False
+            assert "mid frame header" in error["error"]["message"]
+            assert frames.read_frame(reader) is None
+        finally:
+            sock.close()
+
+    def test_garbage_frame_payload_answers_bad_request(self, served):
+        _monitor, server = served
+        sock, reader = _binary_connection(server.port)
+        try:
+            payload = b"\xff" * 32
+            sock.sendall(
+                frames.FRAME_HEADER.pack(
+                    frames.MAGIC, frames.FRAME_VERSION, 0, len(payload)
+                )
+                + payload
+            )
+            error = frames.read_frame(reader)
+            assert error["ok"] is False
+            assert error["error"]["code"] == "bad_request"
+            sock.sendall(frames.encode_frame({"id": 9, "op": "stats"}))
+            assert frames.read_frame(reader)["ok"] is True
+        finally:
+            sock.close()
+
+
+class TestBatchSpreadAutoChunk:
+    """``batch_spread`` splits transparently on ``response_too_large`` and
+    reports every chunk's consistency stamp via ``last_response``."""
+
+    def test_chunks_reassemble_in_order_with_stitched_stamps(
+        self, served, monkeypatch
+    ):
+        import repro.service.protocol as protocol
+
+        monitor, server = served
+        estimates = monitor.last_window_estimates()
+        users = list(estimates)[:60]
+        expected = [estimates[user] for user in users]
+        with ServiceClient(port=server.port) as client:
+            # Small enough to force several splits, large enough that the
+            # substituted error envelope and ~8-user chunks still fit.
+            monkeypatch.setattr(protocol, "MAX_LINE_BYTES", 420)
+            assert client.batch_spread(users) == expected
+            stitched = client.last_response["stitched"]
+            assert stitched["chunks"] >= 2
+            assert len(stitched["stamps"]) == stitched["chunks"]
+            # No ingest ran between chunks: every stamp names one state.
+            assert len({tuple(stamp) for stamp in stitched["stamps"]}) == 1
+            version, pairs = stitched["stamps"][-1]
+            assert client.last_response["version"] == version
+            assert client.last_response["pairs_ingested"] == pairs == 4_000
+            # A fitting exchange afterwards leaves a plain envelope again.
+            monkeypatch.setattr(protocol, "MAX_LINE_BYTES", 1 << 20)
+            client.batch_spread(users[:4])
+            assert "stitched" not in client.last_response
+
+    def test_single_user_failure_is_surfaced_not_looped(self, served, monkeypatch):
+        import repro.service.protocol as protocol
+
+        monitor, server = served
+        user = next(iter(monitor.last_window_estimates()))
+        with ServiceClient(port=server.port) as client:
+            monkeypatch.setattr(protocol, "MAX_LINE_BYTES", 16)
+            with pytest.raises(ServiceError) as excinfo:
+                client.batch_spread([user])
+            assert excinfo.value.code == "response_too_large"
