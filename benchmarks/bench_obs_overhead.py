@@ -1,0 +1,153 @@
+"""Telemetry overhead gate: instrumentation must cost < 3% (CI metrics-smoke).
+
+The observability layer promises to be always-on-cheap: every hot-path
+instrument checks one ``enabled`` flag before touching a lock, and
+:func:`repro.obs.timed` skips the clock entirely when disabled.  This
+benchmark holds the layer to that promise on the two paths that matter:
+
+* **ingest** — ``SpreaderMonitor.observe`` over batched pairs (epoch
+  rotations, evaluations and top-k maintenance all fire their counters);
+* **query** — ``EstimateService.handle`` answering ``batch_spread``
+  requests (request/latency/error instruments plus the ``timed`` span).
+
+Each path is timed best-of-N with the registry enabled and disabled, in
+alternating order so thermal drift hits both modes equally.  The relative
+regression of the enabled mode is asserted to stay under
+``OVERHEAD_BAR`` (3%), and the measurements are persisted to
+``benchmarks/results/BENCH_obs_overhead.json`` for the CI artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.monitor import MonitorSpec
+from repro.service.server import EstimateService
+
+RESULTS_PATH = Path(__file__).resolve().parent / "results" / "BENCH_obs_overhead.json"
+
+#: Maximum tolerated relative slowdown of instrumented vs disabled mode.
+OVERHEAD_BAR = 0.03
+
+_RNG = np.random.default_rng(23)
+
+#: Alternating enabled/disabled timings per path.  The true per-call cost
+#: of an instrument is a few hundred nanoseconds while scheduler jitter on
+#: a shared CI box is microseconds, so the estimator is min-of-many: the
+#: minimum over this many alternations converges on the real cost while a
+#: single unlucky descheduling cannot inflate either mode.
+_REPEATS = 15
+
+
+def _pairs(n_users: int, n_pairs: int):
+    users = _RNG.integers(0, n_users, size=n_pairs).tolist()
+    items = _RNG.integers(0, 1 << 30, size=n_pairs).tolist()
+    return list(zip(users, items))
+
+
+def _build_monitor(expected_users: int = 5_000):
+    return MonitorSpec(
+        method="FreeRS",
+        memory_bits=1 << 15,
+        expected_users=expected_users,
+        epoch_pairs=1 << 14,
+        window_epochs=4,
+        top_k=10,
+        delta=5e-3,
+    ).build()
+
+
+def _measure_modes(setup, run, work_units: int):
+    """Best-of-N seconds for enabled and disabled mode, alternated.
+
+    ``setup()`` builds fresh state per timing (ingest mutates the monitor,
+    so reuse would make later runs cheaper); only ``run(state)`` is timed.
+    """
+    best = {True: float("inf"), False: float("inf")}
+    try:
+        for trial in range(_REPEATS * 2):
+            enabled = trial % 2 == 0
+            obs.set_enabled(enabled)
+            state = setup()
+            start = time.perf_counter()
+            run(state)
+            best[enabled] = min(best[enabled], time.perf_counter() - start)
+    finally:
+        obs.set_enabled(True)
+    overhead = (best[True] - best[False]) / best[False]
+    return {
+        "enabled_seconds": best[True],
+        "disabled_seconds": best[False],
+        "enabled_ops_per_s": work_units / best[True],
+        "disabled_ops_per_s": work_units / best[False],
+        "overhead": overhead,
+    }
+
+
+def _ingest_row():
+    pairs = _pairs(n_users=5_000, n_pairs=120_000)
+    batch = 2_048
+
+    def run(monitor):
+        for start in range(0, len(pairs), batch):
+            monitor.observe(pairs[start : start + batch])
+
+    row = _measure_modes(_build_monitor, run, work_units=len(pairs))
+    row["pairs"] = len(pairs)
+    row["batch_size"] = batch
+    return row
+
+
+def _query_row():
+    monitor = _build_monitor()
+    for start in range(0, 60_000, 4_096):
+        monitor.observe(_pairs(n_users=5_000, n_pairs=4_096))
+    service = EstimateService(monitor)
+    users = _RNG.integers(0, 5_000, size=256).tolist()
+    requests = [
+        {"op": "batch_spread", "id": index, "users": users} for index in range(2_000)
+    ]
+    reply = service.handle(requests[0])
+    assert reply["ok"], reply  # the loop below must time answers, not errors
+
+    def run(_state):
+        for request in requests:
+            service.handle(request)
+
+    row = _measure_modes(lambda: None, run, work_units=len(requests))
+    row["requests"] = len(requests)
+    row["users_per_request"] = len(users)
+    return row
+
+
+def test_obs_overhead_json(benchmark):
+    """Measure both paths once, persist the artifact, gate the 3% bar."""
+
+    def sweep():
+        return {"ingest": _ingest_row(), "query": _query_row()}
+
+    payload = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    payload["overhead_bar"] = OVERHEAD_BAR
+
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {RESULTS_PATH}")
+    for path in ("ingest", "query"):
+        row = payload[path]
+        print(
+            f"  {path:6s} enabled {row['enabled_ops_per_s']:,.0f} ops/s, "
+            f"disabled {row['disabled_ops_per_s']:,.0f} ops/s, "
+            f"overhead {row['overhead'] * 100:+.2f}%"
+        )
+
+    for path in ("ingest", "query"):
+        overhead = payload[path]["overhead"]
+        assert overhead < OVERHEAD_BAR, (
+            f"{path} instrumentation overhead {overhead * 100:.2f}% exceeds "
+            f"the {OVERHEAD_BAR * 100:.0f}% bar"
+        )

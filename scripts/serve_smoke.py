@@ -8,7 +8,11 @@ asserts the acceptance contract of the service layer:
    running* are identical to a direct :class:`SpreaderMonitor` replayed to
    the exact ingest offset each response was stamped with — including at
    least one answer before and one after an epoch rotation;
-2. after the server is hard-killed (SIGKILL), a second server resumed from
+2. the telemetry layer tells the truth: the ``metrics`` op's request
+   counters match the number of requests this script issued, the latency
+   histograms are populated, and the Prometheus endpoint
+   (``--metrics-port``) exports the same values;
+3. after the server is hard-killed (SIGKILL), a second server resumed from
    its snapshot directory answers identically to a direct restore of the
    same checkpoint.
 
@@ -69,7 +73,7 @@ def _spawn_serve(args, cwd):
             continue
         record = json.loads(line)
         if record.get("type") == "serving":
-            return process, record["port"]
+            return process, record
         if time.monotonic() > deadline:
             raise SystemExit("timed out waiting for the serving announcement")
 
@@ -98,6 +102,78 @@ def _check(condition, message):
         raise SystemExit(f"serve-smoke FAILED: {message}")
 
 
+def _metric(snapshot, name, **labels):
+    """One instrument dict from a ``metrics`` op snapshot, or None."""
+    wanted = {key: str(value) for key, value in labels.items()}
+    for metric in snapshot:
+        if metric["name"] == name and metric["labels"] == wanted:
+            return metric
+    return None
+
+
+def _verify_telemetry(client, metrics_port, issued):
+    """Assert the metrics op and the Prometheus endpoint report the truth."""
+    from urllib.request import urlopen
+
+    snapshot = client.metrics()
+    for op, count in issued.items():
+        requests = _metric(
+            snapshot, "service.requests", op=op, transport="ndjson", status="ok"
+        )
+        _check(
+            requests is not None and requests["value"] == count,
+            f"metrics op reports {requests and requests['value']} ok "
+            f"{op} requests; this script issued {count}",
+        )
+        latency = _metric(snapshot, "service.request_seconds", op=op)
+        _check(
+            latency is not None and latency["count"] == count,
+            f"latency histogram for {op} observed "
+            f"{latency and latency['count']} spans, expected {count}",
+        )
+        _check(
+            sum(latency["counts"]) == latency["count"],
+            f"latency histogram buckets for {op} do not sum to its count",
+        )
+    queries = _metric(snapshot, "service.queries")
+    _check(
+        queries is not None and queries["value"] >= sum(issued.values()),
+        "service.queries is below the number of requests this script issued",
+    )
+    batches = _metric(snapshot, "ingest.background.batches")
+    _check(
+        batches is not None and batches["value"] > 0,
+        "background ingest progress counters never moved",
+    )
+
+    # The Prometheus endpoint must export the same counts.  Nothing issues
+    # counted ops between the snapshot above and this scrape, so the values
+    # must match exactly, not merely be close.
+    with urlopen(f"http://127.0.0.1:{metrics_port}/metrics", timeout=10.0) as reply:
+        _check(
+            "text/plain" in reply.headers.get("Content-Type", ""),
+            "Prometheus endpoint served an unexpected content type",
+        )
+        exposition = reply.read().decode("utf-8")
+    for op, count in issued.items():
+        wanted = (
+            f'freesketch_service_requests_total{{op="{op}",status="ok",'
+            f'transport="ndjson"}} {count}'
+        )
+        _check(
+            wanted in exposition,
+            f"Prometheus exposition is missing the line {wanted!r}",
+        )
+    _check(
+        "# TYPE freesketch_service_request_seconds histogram" in exposition,
+        "Prometheus exposition is missing the latency histogram type line",
+    )
+    print(
+        f"telemetry verified: {issued} requests counted on both the metrics "
+        f"op and the Prometheus endpoint (port {metrics_port})"
+    )
+
+
 def main() -> int:
     workdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(tempfile.mkdtemp())
     workdir.mkdir(parents=True, exist_ok=True)
@@ -114,32 +190,42 @@ def main() -> int:
     stream = read_edge_file(dataset)
     print(f"dataset: {len(stream)} pairs, {stream.user_count} users")
 
-    process, port = _spawn_serve(
+    process, serving = _spawn_serve(
         [str(dataset), *SERVE_FLAGS, "--rate", str(RATE),
-         "--snapshot-dir", str(snapshot_dir), "--snapshot-every", "2"],
+         "--snapshot-dir", str(snapshot_dir), "--snapshot-every", "2",
+         "--metrics-port", "0"],
         cwd=workdir,
     )
+    port = serving["port"]
+    metrics_port = serving.get("metrics_port")
+    _check(metrics_port, "serving record did not announce a metrics_port")
     try:
         observed = []  # (offset, probe answers, topk answer)
+        issued = {"batch_spread": 0, "topk": 0, "stats": 0}
         probe_users = sorted({user for user, _ in stream.pairs()[:400]})[:8]
         with ServiceClient(port=port, timeout=30.0) as client:
             while True:
                 values = client.batch_spread(probe_users)
+                issued["batch_spread"] += 1
                 offset = client.last_pairs_ingested
                 top = client.topk(TOP_K)
+                issued["topk"] += 1
                 top_offset = client.last_pairs_ingested
                 if offset == top_offset:  # same snapshot answered both
                     observed.append((offset, values, top))
                 stats = client.stats()
+                issued["stats"] += 1
                 if stats.get("ingest", {}).get("finished"):
                     break
                 time.sleep(0.05)
             final = client.stats()
+            issued["stats"] += 1
             print(
                 f"queried {len(observed)} consistent states during ingest; "
                 f"final: {final['pairs_ingested']} pairs, "
                 f"{final['epochs_started']} epochs"
             )
+            _verify_telemetry(client, metrics_port, issued)
         # Deduplicate by offset; ground-truth each observed state.
         states = {offset: (values, top) for offset, values, top in observed}
         epochs_seen = set()
@@ -174,9 +260,10 @@ def main() -> int:
     estimates = direct.last_window_estimates()
     probe = list(estimates)[:8]
 
-    process, port = _spawn_serve(
+    process, serving = _spawn_serve(
         ["--snapshot-dir", str(snapshot_dir), "--resume"], cwd=workdir
     )
+    port = serving["port"]
     try:
         with ServiceClient(port=port, timeout=30.0) as client:
             resumed_stats = client.stats()

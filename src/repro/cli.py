@@ -50,11 +50,13 @@ Three subcommands:
     budget — the scale-out configuration for multi-worker replay.
 
 ``freesketch serve [edge-file] [--port P] [--refresh-every N] [monitor flags]
-[--snapshot-dir DIR] [--snapshot-every N] [--resume] [--rate R]``
+[--snapshot-dir DIR] [--snapshot-every N] [--resume] [--rate R]
+[--metrics-port P]``
     Serve live spread-estimate queries (``spread`` / ``batch_spread`` /
-    ``topk`` / ``sliding`` / ``stats``) over a newline-delimited-JSON TCP
-    protocol (:mod:`repro.service`) while a background thread ingests the
-    edge-list file through a :class:`~repro.monitor.spreader.SpreaderMonitor`.
+    ``topk`` / ``sliding`` / ``stats`` / ``metrics``) over a
+    newline-delimited-JSON TCP protocol (:mod:`repro.service`) while a
+    background thread ingests the edge-list file through a
+    :class:`~repro.monitor.spreader.SpreaderMonitor`.
     Queries answer from a versioned read snapshot refreshed every
     ``--refresh-every`` batches, so concurrent readers never block ingest.
     With ``--snapshot-dir --resume`` the monitor is restored from the latest
@@ -348,6 +350,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 snapshot_store=snapshot_store,
                 snapshot_every=args.snapshot_every,
                 announce=announce,
+                metrics_port=args.metrics_port,
             )
         )
     except KeyboardInterrupt:
@@ -360,6 +363,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="freesketch",
         description="Reproduction of FreeBS/FreeRS (Wang et al., ICDE 2019).",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="warning",
+        choices=["debug", "info", "warning", "error"],
+        help="runtime log verbosity on stderr (default warning)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit runtime logs as one JSON object per line instead of "
+        "human-readable key=value lines",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -505,6 +520,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-export the read snapshot every N ingest batches (default 1; "
         "larger values trade answer freshness for ingest throughput)",
     )
+    serve_parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="also serve the Prometheus text exposition of the metrics "
+        "registry on this HTTP port (0: pick a free port; the bound port is "
+        "announced in the serving record as metrics_port)",
+    )
     serve_parser.set_defaults(handler=_cmd_serve)
 
     return parser
@@ -573,8 +596,11 @@ def _add_monitor_flags(parser: argparse.ArgumentParser) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
+    from repro.obs import configure_logging
+
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(level=args.log_level, json_mode=args.log_json)
     return args.handler(args)
 
 

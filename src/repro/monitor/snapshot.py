@@ -23,12 +23,15 @@ import os
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro import obs
 from repro.core import serialization
 from repro.monitor.config import MonitorSpec
 from repro.monitor.spreader import SpreaderMonitor
 from repro.monitor.window import Epoch
 
 PathLike = Union[str, Path]
+
+_log = obs.get_logger("monitor.snapshot")
 
 _FORMAT = "freesketch-monitor-snapshot"
 _FORMAT_VERSION = 1
@@ -152,15 +155,22 @@ class SnapshotStore:
 
     def save(self, monitor: SpreaderMonitor) -> Path:
         """Checkpoint the monitor; return the snapshot path."""
-        self.directory.mkdir(parents=True, exist_ok=True)
-        payload = monitor_to_json(monitor)
-        path = self.directory / f"snapshot-{monitor.window.pairs_ingested:012d}.json"
-        temp = path.with_suffix(".json.tmp")
-        temp.write_text(json.dumps(payload), encoding="utf-8")
-        os.replace(temp, path)
-        if self.keep:
-            for stale in self.paths()[: -self.keep]:
-                stale.unlink()
+        with obs.timed(obs.histogram("monitor.snapshot.save_seconds")):
+            self.directory.mkdir(parents=True, exist_ok=True)
+            payload = monitor_to_json(monitor)
+            path = self.directory / f"snapshot-{monitor.window.pairs_ingested:012d}.json"
+            temp = path.with_suffix(".json.tmp")
+            temp.write_text(json.dumps(payload), encoding="utf-8")
+            os.replace(temp, path)
+            if self.keep:
+                for stale in self.paths()[: -self.keep]:
+                    stale.unlink()
+        obs.counter("monitor.snapshot.saves").add()
+        _log.info(
+            "snapshot_saved",
+            path=str(path),
+            pairs_ingested=monitor.window.pairs_ingested,
+        )
         return path
 
     def restore(self, path: PathLike | None = None) -> SpreaderMonitor:
@@ -185,19 +195,32 @@ class SnapshotStore:
             "delete the file to fall back to the previous retained snapshot, "
             "or start a fresh run without --resume"
         )
-        try:
-            text = path.read_text(encoding="utf-8")
-        except OSError as error:
-            raise SnapshotError(path, f"cannot read the file ({error})", recovery) from error
-        try:
-            payload = json.loads(text)
-        except json.JSONDecodeError as error:
-            raise SnapshotError(
-                path, f"file is truncated or corrupt (JSON parse failed: {error})", recovery
-            ) from error
-        try:
-            return monitor_from_json(payload)
-        except (KeyError, TypeError, ValueError) as error:
-            raise SnapshotError(
-                path, f"payload is not a loadable monitor snapshot ({error})", recovery
-            ) from error
+        with obs.timed(obs.histogram("monitor.snapshot.load_seconds")):
+            try:
+                text = path.read_text(encoding="utf-8")
+            except OSError as error:
+                _log.error("snapshot_restore_failed", path=str(path), error=str(error))
+                raise SnapshotError(
+                    path, f"cannot read the file ({error})", recovery
+                ) from error
+            try:
+                payload = json.loads(text)
+            except json.JSONDecodeError as error:
+                _log.error("snapshot_restore_failed", path=str(path), error=str(error))
+                raise SnapshotError(
+                    path,
+                    f"file is truncated or corrupt (JSON parse failed: {error})",
+                    recovery,
+                ) from error
+            try:
+                monitor = monitor_from_json(payload)
+            except (KeyError, TypeError, ValueError) as error:
+                _log.error("snapshot_restore_failed", path=str(path), error=str(error))
+                raise SnapshotError(
+                    path,
+                    f"payload is not a loadable monitor snapshot ({error})",
+                    recovery,
+                ) from error
+        obs.counter("monitor.snapshot.loads").add()
+        _log.info("snapshot_restored", path=str(path))
+        return monitor

@@ -21,11 +21,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.monitor.merge import ADDITIVE, merge_exactness
 from repro.monitor.topk import TopKTracker
 from repro.monitor.window import WindowedEstimator
 
 UserItemPair = Tuple[object, object]
+
+_log = obs.get_logger("monitor.spreader")
 
 
 @dataclass(frozen=True)
@@ -163,6 +166,7 @@ class SpreaderMonitor:
         estimates = self._merge_cache.sliding_estimates(self.window)
         self._tracker.full_refresh(estimates)
         self._full_evaluations += 1
+        obs.counter("monitor.evaluations", path="full").add()
         self._primed = True
         self._pairs_seen = self.window.pairs_ingested
         # Cache for same-state readers (e.g. the replay feed's window
@@ -206,6 +210,7 @@ class SpreaderMonitor:
             changed[user] = value
         self._tracker.apply_updates(changed)
         self._incremental_evaluations += 1
+        obs.counter("monitor.evaluations", path="incremental").add()
         self._pairs_seen = self.window.pairs_ingested
         scores = self._tracker.scores
         self._last_window_estimates = scores
@@ -270,6 +275,16 @@ class SpreaderMonitor:
             sequence=self._sequence,
         )
         self._sequence += 1
+        obs.counter("monitor.alerts", kind=kind).add()
+        _log.info(
+            "spreader_alert",
+            kind=kind,
+            user=user,
+            estimate=round(float(estimate), 3),
+            threshold=round(float(threshold), 3),
+            epoch=epoch,
+            sequence=event.sequence,
+        )
         return event
 
     # -- continuous state ------------------------------------------------------

@@ -29,6 +29,8 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Mapping, Tuple
 
+from repro import obs
+
 
 class TopKTracker:
     """Exact top-k over a mutating score table, cheap under sparse updates."""
@@ -96,6 +98,7 @@ class TopKTracker:
         self._rebuild_head()
 
     def _rebuild_head(self) -> None:
+        obs.counter("monitor.topk.rebuilds").add()
         ranks = self._ranks
         self._head = heapq.nsmallest(
             self.k, self.scores.items(), key=lambda item: (-item[1], ranks[item[0]])
@@ -139,6 +142,7 @@ class TopKTracker:
                 pool.add(user)
                 dirty = True
         if dirty:
+            obs.counter("monitor.topk.repairs").add()
             self._head = sorted(
                 ((user, scores[user]) for user in pool),
                 key=lambda item: (-item[1], ranks[item[0]]),

@@ -28,11 +28,14 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.base import CardinalityEstimator
 from repro.engine.base import supports_batch
 from repro.monitor.merge import merge_exactness, merged_copy, merged_estimates
 
 UserItemPair = Tuple[object, object]
+
+_log = obs.get_logger("monitor.window")
 
 EstimatorFactory = Callable[[int], CardinalityEstimator]
 
@@ -233,6 +236,13 @@ class WindowedEstimator:
             else:
                 previous = value
         self._regressions += clamped
+        if clamped:
+            obs.counter("monitor.timestamp_regressions").add(clamped)
+            _log.warning(
+                "timestamps_clamped",
+                clamped=clamped,
+                total_regressions=self._regressions,
+            )
         return timestamps
 
     def _pairs_until_rotation(self, timestamps: Sequence[float], position: int) -> int:
@@ -261,6 +271,7 @@ class WindowedEstimator:
 
     def _rotate(self, next_timestamp: float) -> List[Epoch]:
         """Close the live epoch (plus any empty grid epochs) and start a new one."""
+        obs.counter("monitor.rotations").add()
         closed: List[Epoch] = []
         live = self._ring[-1]
         live.closed = True

@@ -1,0 +1,65 @@
+"""Observability: metrics registry, Prometheus exposition, structured logs.
+
+The telemetry layer every runtime surface instruments against:
+
+* :mod:`repro.obs.metrics` — the process-global :data:`REGISTRY` of
+  counters, gauges and log-scale histograms, plus the :class:`timed` span
+  helper.  Always-on-cheap: disabled collection costs one branch per call.
+* :mod:`repro.obs.prometheus` — text exposition (format 0.0.4) and the
+  stdlib-only ``GET /metrics`` HTTP endpoint (``repro.cli serve
+  --metrics-port N``).
+* :mod:`repro.obs.log` — structured JSON/key-value logging on stdlib
+  ``logging`` (``--log-json`` / ``--log-level``).
+
+The live snapshot is also served by the query service's ``metrics`` op
+(NDJSON and binary transports alike).  See the metric-name catalog in
+``docs/architecture.md``.
+"""
+
+from repro.obs.log import (
+    JsonFormatter,
+    StructuredLogger,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+    metrics_snapshot,
+    set_enabled,
+    timed,
+)
+from repro.obs.prometheus import (
+    MetricsHTTPServer,
+    render as prometheus_text,
+    start_http_server,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BOUNDS",
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonFormatter",
+    "MetricsHTTPServer",
+    "MetricsRegistry",
+    "StructuredLogger",
+    "configure_logging",
+    "counter",
+    "gauge",
+    "get_logger",
+    "histogram",
+    "metrics_snapshot",
+    "prometheus_text",
+    "set_enabled",
+    "start_http_server",
+    "timed",
+]

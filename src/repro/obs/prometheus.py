@@ -1,0 +1,179 @@
+"""Prometheus text exposition and the stdlib-only scrape endpoint.
+
+Renders a :class:`~repro.obs.metrics.MetricsRegistry` snapshot in the
+Prometheus text exposition format (version 0.0.4) and serves it on an
+``http.server`` endpoint — no client library, no dependency, just the
+bytes a Prometheus/VictoriaMetrics/Grafana-agent scraper expects:
+
+.. code-block:: text
+
+    # TYPE freesketch_service_requests_total counter
+    freesketch_service_requests_total{op="batch_spread",transport="ndjson"} 42
+    # TYPE freesketch_service_request_seconds histogram
+    freesketch_service_request_seconds_bucket{op="topk",le="0.000256"} 17
+    ...
+    freesketch_service_request_seconds_sum{op="topk"} 0.0041
+    freesketch_service_request_seconds_count{op="topk"} 17
+
+Naming: dotted internal names (``service.requests``) become underscored
+metric names under the ``freesketch_`` namespace; counters get the
+conventional ``_total`` suffix; histograms expand to cumulative
+``_bucket{le=...}`` series plus ``_sum`` / ``_count`` (the internal
+buckets are stored non-cumulative — the renderer does the running sum).
+
+The endpoint (:func:`start_http_server`) answers ``GET /metrics`` from a
+daemon-threaded ``ThreadingHTTPServer``, so a scrape never touches the
+asyncio event loop or the ingest thread — reading the registry is
+lock-per-instrument, not stop-the-world.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+
+#: Metric namespace every exported name is prefixed with.
+NAMESPACE = "freesketch"
+
+#: Content type of the text exposition format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _metric_name(name: str) -> str:
+    cleaned = "".join(c if c.isalnum() else "_" for c in name)
+    return f"{NAMESPACE}_{cleaned}"
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    """Shortest faithful rendering; integers without the trailing ``.0``."""
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _labels_text(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def render(registry: MetricsRegistry = REGISTRY) -> str:
+    """The whole registry in text exposition format (one trailing newline)."""
+    lines: List[str] = []
+    typed: set = set()
+    for metric in registry.snapshot():
+        kind = metric["type"]
+        labels = metric["labels"]
+        if kind == "counter":
+            name = _metric_name(metric["name"]) + "_total"
+            prom_type = "counter"
+        elif kind == "gauge":
+            name = _metric_name(metric["name"])
+            prom_type = "gauge"
+        else:
+            name = _metric_name(metric["name"])
+            prom_type = "histogram"
+        if name not in typed:
+            lines.append(f"# TYPE {name} {prom_type}")
+            typed.add(name)
+        if kind in ("counter", "gauge"):
+            lines.append(f"{name}{_labels_text(labels)} {_format_value(metric['value'])}")
+            continue
+        cumulative = 0
+        for bound, count in zip(metric["bounds"], metric["counts"]):
+            cumulative += count
+            lines.append(
+                f"{name}_bucket{_labels_text(labels, {'le': repr(float(bound))})} "
+                f"{cumulative}"
+            )
+        lines.append(
+            f"{name}_bucket{_labels_text(labels, {'le': '+Inf'})} {metric['count']}"
+        )
+        lines.append(f"{name}_sum{_labels_text(labels)} {repr(float(metric['sum']))}")
+        lines.append(f"{name}_count{_labels_text(labels)} {metric['count']}")
+    return "\n".join(lines) + "\n"
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """GET /metrics -> text exposition; anything else -> 404.  Silent logs."""
+
+    registry: MetricsRegistry = REGISTRY
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            self.send_error(404, "only /metrics is served here")
+            return
+        body = render(self.registry).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *_args) -> None:  # scrapes happen every few seconds
+        return None
+
+
+class MetricsHTTPServer:
+    """A running scrape endpoint; ``close()`` stops it (context-manager too)."""
+
+    def __init__(self, server: ThreadingHTTPServer, thread: threading.Thread) -> None:
+        self._server = server
+        self._thread = thread
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (resolves ``port=0``)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}/metrics"
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        self._server.shutdown()
+        self._server.server_close()
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def start_http_server(
+    port: int,
+    host: str = "127.0.0.1",
+    registry: MetricsRegistry = REGISTRY,
+) -> MetricsHTTPServer:
+    """Serve ``GET /metrics`` for ``registry`` on a daemon thread.
+
+    ``port=0`` binds a free port (read it back from ``.port``).  The server
+    thread is a daemon: it never blocks process exit, matching the ingest
+    thread's lifecycle semantics.
+    """
+    handler = type("_BoundMetricsHandler", (_MetricsHandler,), {"registry": registry})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-metrics-http", daemon=True
+    )
+    thread.start()
+    return MetricsHTTPServer(server, thread)

@@ -21,7 +21,11 @@ import threading
 import time
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro import obs
+
 UserItemPair = Tuple[object, object]
+
+_log = obs.get_logger("runtime.ingest")
 
 #: One ingest batch: the pairs plus their (optional) arrival timestamps.
 IngestBatch = Tuple[Sequence[UserItemPair], Optional[Sequence[float]]]
@@ -83,8 +87,18 @@ class IngestHandle:
         self._stop = threading.Event()
         self._finished = threading.Event()
         self._error: Optional[BaseException] = None
-        self._batches_done = 0
-        self._pairs_done = 0
+        # Ingest progress lives in the metrics registry (always-on: the
+        # service's refresh cadence and ``describe()`` depend on it, so
+        # disabling telemetry must not change it).  The registry is
+        # process-global; per-handle counts are deltas from the values
+        # captured here.
+        self._batches_counter = obs.counter("ingest.background.batches", always=True)
+        self._pairs_counter = obs.counter("ingest.background.pairs", always=True)
+        self._batches_base = self._batches_counter.value
+        self._pairs_base = self._pairs_counter.value
+        self._batch_seconds = obs.histogram("ingest.background.batch_seconds")
+        self._started_at: Optional[float] = None
+        self._final_elapsed: Optional[float] = None
         self._thread = threading.Thread(target=self._run, name="repro-ingest", daemon=True)
         self._started = False
 
@@ -98,21 +112,32 @@ class IngestHandle:
         return self
 
     def _run(self) -> None:
+        active = obs.gauge("ingest.background.active")
+        active.add(1)
+        self._started_at = time.perf_counter()
         try:
             for pairs, timestamps in self._batches:
                 if self._stop.is_set():
                     break
-                with self.lock:
+                with self.lock, obs.timed(self._batch_seconds):
                     self._sink(pairs, timestamps)
-                    self._batches_done += 1
-                    self._pairs_done += len(pairs)
+                    self._batches_counter.add()
+                    self._pairs_counter.add(len(pairs))
                     if self._on_batch is not None:
-                        self._on_batch(self._batches_done)
+                        self._on_batch(self.batches_done)
                 if self._rate is not None:
                     time.sleep(len(pairs) / self._rate)
         except BaseException as error:  # surfaced via join()/raise_if_failed()
             self._error = error
+            _log.error(
+                "background_ingest_failed",
+                error=repr(error),
+                batches_done=self.batches_done,
+                pairs_done=self.pairs_done,
+            )
         finally:
+            self._final_elapsed = time.perf_counter() - self._started_at
+            active.add(-1)
             self._finished.set()
 
     def stop(self) -> None:
@@ -150,21 +175,40 @@ class IngestHandle:
 
     @property
     def batches_done(self) -> int:
-        """Batches fully ingested so far."""
-        return self._batches_done
+        """Batches fully ingested so far (by this handle)."""
+        return int(self._batches_counter.value - self._batches_base)
 
     @property
     def pairs_done(self) -> int:
-        """Pairs fully ingested so far."""
-        return self._pairs_done
+        """Pairs fully ingested so far (by this handle)."""
+        return int(self._pairs_counter.value - self._pairs_base)
+
+    def _elapsed_seconds(self) -> Optional[float]:
+        """Ingest wall-clock: live while running, frozen once finished.
+
+        Frozen so two ``stats`` responses from a finished server are
+        bit-identical — the transport-identity contract extends into the
+        embedded ingest description.
+        """
+        if self._started_at is None:
+            return None
+        if self._final_elapsed is not None:
+            return self._final_elapsed
+        return time.perf_counter() - self._started_at
 
     def describe(self) -> dict:
         """JSON-ready ingest state (embedded in the service's ``stats`` op)."""
+        elapsed = self._elapsed_seconds()
+        pairs_done = self.pairs_done
         return {
             "running": self.running,
             "finished": self.finished,
-            "batches_done": self._batches_done,
-            "pairs_done": self._pairs_done,
+            "batches_done": self.batches_done,
+            "pairs_done": pairs_done,
+            "elapsed_seconds": elapsed,
+            "pairs_per_second": (
+                pairs_done / elapsed if elapsed and elapsed > 0 else None
+            ),
             "error": None if self._error is None else repr(self._error),
         }
 

@@ -56,15 +56,25 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.base import CardinalityEstimator
 from repro.engine.base import DEFAULT_CHUNK_PAIRS
 from repro.engine.encoding import EncodedBatch
 from repro.engine.sharded import ShardedEstimator, route_pair_shards, route_user_hashes
 from repro.hashing import fold_key_array
 from repro.registry import build
-from repro.runtime.shm import ShmRing, as_raw_arrays, shm_worker, slot_size_for
+from repro.runtime.shm import (
+    ShmRing,
+    as_raw_arrays,
+    ingest_item,
+    new_worker_stats,
+    shm_worker,
+    slot_size_for,
+)
 
 UserItemPair = Tuple[object, object]
+
+_log = obs.get_logger("runtime.parallel")
 
 #: Encoded chunks buffered per worker (queue depth / shm ring slots) before
 #: the coordinator blocks — enough to keep workers busy, small enough to
@@ -94,6 +104,15 @@ class WorkerIngestError(RuntimeError):
         super().__init__(message)
         self.worker = worker
         self.remote_traceback = remote_traceback
+        # Construction is the one point every raise site passes through, so
+        # the failure counter and the structured record live here.
+        obs.counter("ingest.parallel.worker_failures").add()
+        _log.error(
+            "ingest_worker_failed",
+            worker=worker,
+            cause=f"{type(cause).__name__}: {cause}",
+            has_remote_traceback=bool(remote_traceback),
+        )
 
 
 def _raise_worker_error(worker: int, error: BaseException) -> None:
@@ -260,36 +279,47 @@ def _route_stream(
     return pairs
 
 
-def _worker_ingest(method: str, config, expected_users: int, shards: int, chunk_queue) -> str:
-    """Worker body (queue transport): replay sub-batches, return state.
+def _worker_ingest(method: str, config, expected_users: int, shards: int, chunk_queue):
+    """Worker body (queue transport): replay sub-batches, return state + stats.
 
     Runs on a pool process.  The estimator is rebuilt from the registry with
     the exact configuration the coordinator uses, so its per-shard
     sub-sketches (hash seeds included) match the single-process run's.
     Queue items are either pre-encoded batches or raw ``(users, items)``
     array slices (the coordinator's fast path for integer streams), which
-    the worker encodes itself — folds are bit-identical either way.
+    the worker encodes itself — folds are bit-identical either way.  The
+    returned stats dict (chunks, pairs, encode/update seconds) feeds the
+    coordinator's metrics registry.
     """
     from repro.core import serialization
 
     estimator = build(method, config, expected_users, shards=shards)
+    stats = new_worker_stats()
     while True:
         item = chunk_queue.get()
         if item is None:
             break
-        batch = item if isinstance(item, EncodedBatch) else EncodedBatch.from_int_arrays(*item)
-        estimator.update_encoded(batch)
-    return serialization.dumps(estimator)
+        ingest_item(estimator, item, stats)
+    return serialization.dumps(estimator), stats
 
 
-def _put_with_backpressure(chunk_queue, item, futures) -> None:
+def _put_with_backpressure(chunk_queue, item, futures, worker: int) -> None:
     """Enqueue one chunk, surfacing worker crashes instead of blocking forever."""
     while True:
         try:
             chunk_queue.put(item, timeout=1.0)
-            return
+            break
         except queue_module.Full:
             _check_workers(futures)
+    obs.counter("ingest.parallel.chunks", transport="queue").add()
+    if obs.REGISTRY.enabled:
+        # qsize() on a Manager queue is a proxy round trip — only pay for
+        # it when telemetry is on (and never on platforms without it).
+        try:
+            depth = chunk_queue.qsize()
+        except NotImplementedError:  # pragma: no cover - macOS
+            return
+        obs.gauge("ingest.queue.depth", worker=str(worker)).set(depth)
 
 
 # -- shm transport plumbing (coordinator side) ---------------------------------
@@ -298,8 +328,8 @@ def _put_with_backpressure(chunk_queue, item, futures) -> None:
 def _check_ring_workers(processes, rings) -> None:
     """Raise promptly if any shm worker process has died.
 
-    A worker that exited cleanly posted ``("ok", state)`` first — park that
-    on the ring for collection.  Anything else (posted error, or death
+    A worker that exited cleanly posted ``("ok", state, stats)`` first —
+    park that on the ring for collection.  Anything else (posted error, or death
     without a word: segfault, OOM kill) aborts the run.
     """
     for worker, (process, ring) in enumerate(zip(processes, rings)):
@@ -321,7 +351,7 @@ def _check_ring_workers(processes, rings) -> None:
         )
 
 
-def _ring_send(ring: ShmRing, item, check: Callable[[], None]) -> None:
+def _ring_send(ring: ShmRing, item, check: Callable[[], None], worker: int) -> None:
     """Deliver one routed slice through a ring slot (or inline when too big).
 
     Backpressure is slot acquisition: with all slots in flight this blocks
@@ -329,6 +359,7 @@ def _ring_send(ring: ShmRing, item, check: Callable[[], None]) -> None:
     :class:`WorkerIngestError` instead of a hang — mirroring
     :func:`_put_with_backpressure` on the Manager path.
     """
+    obs.counter("ingest.parallel.chunks", transport="shm").add()
     raw = as_raw_arrays(item)
     blob = None
     if raw is None or raw[0].nbytes + raw[1].nbytes > ring.capacity:
@@ -336,8 +367,14 @@ def _ring_send(ring: ShmRing, item, check: Callable[[], None]) -> None:
         if len(blob) > ring.capacity:
             # Oversize fallback: straight through the (bounded) ready queue,
             # which preserves per-worker FIFO order with the slot payloads.
+            obs.counter("ingest.shm.pickle_fallbacks", path="inline").add()
+            _log.debug(
+                "shm_pickle_fallback", path="inline", worker=worker, bytes=len(blob)
+            )
             _ring_put(ring, ("inline", blob), check)
             return
+        obs.counter("ingest.shm.pickle_fallbacks", path="slot").add()
+        _log.debug("shm_pickle_fallback", path="slot", worker=worker, bytes=len(blob))
     while True:
         try:
             slot = ring.free.get(timeout=1.0)
@@ -348,6 +385,15 @@ def _ring_send(ring: ShmRing, item, check: Callable[[], None]) -> None:
         ring.write_raw(slot, *raw)
     else:
         ring.write_pickled(slot, blob)
+    if obs.REGISTRY.enabled:
+        try:
+            free_slots = ring.free.qsize()
+        except NotImplementedError:  # pragma: no cover - macOS
+            free_slots = None
+        if free_slots is not None:
+            obs.gauge("ingest.shm.slots_inflight", worker=str(worker)).set(
+                ring.n_slots - free_slots
+            )
     _ring_put(ring, ("slot", slot), check)
 
 
@@ -360,8 +406,8 @@ def _ring_put(ring: ShmRing, message, check: Callable[[], None]) -> None:
             check()
 
 
-def _collect_ring_result(worker: int, process, ring: ShmRing) -> str:
-    """One worker's serialised state, or :class:`WorkerIngestError`."""
+def _collect_ring_result(worker: int, process, ring: ShmRing) -> Tuple[str, dict]:
+    """One worker's ``(serialised state, stats)``, or :class:`WorkerIngestError`."""
     result = ring.cached_result
     while result is None:
         try:
@@ -382,9 +428,25 @@ def _collect_ring_result(worker: int, process, ring: ShmRing) -> str:
                     ),
                 ) from None
     if result[0] == "ok":
-        return result[1]
+        return result[1], result[2]
     _tag, remote_tb, cause_repr = result
     raise WorkerIngestError(worker, RuntimeError(cause_repr), remote_tb)
+
+
+def _record_worker_stats(transport: str, worker: int, stats: dict) -> None:
+    """Fold one worker's shipped stats into the coordinator's registry."""
+    if not stats:
+        return
+    label = str(worker)
+    obs.counter("ingest.parallel.worker_chunks", transport=transport, worker=label).add(
+        stats.get("chunks", 0)
+    )
+    obs.counter(
+        "ingest.parallel.worker_encode_seconds", transport=transport, worker=label
+    ).add(stats.get("encode_seconds", 0.0))
+    obs.counter(
+        "ingest.parallel.worker_update_seconds", transport=transport, worker=label
+    ).add(stats.get("update_seconds", 0.0))
 
 
 def _shm_parallel_ingest(
@@ -430,7 +492,7 @@ def _shm_parallel_ingest(
                 shards,
                 workers,
                 config.seed,
-                lambda w, item: _ring_send(rings[w], item, check),
+                lambda w, item: _ring_send(rings[w], item, check, w),
                 check,
             )
         except WorkerIngestError:
@@ -449,10 +511,11 @@ def _shm_parallel_ingest(
                         break
                     except queue_module.Full:
                         continue
-        payloads = [
-            _collect_ring_result(worker, process, ring)
-            for worker, (process, ring) in enumerate(zip(processes, rings))
-        ]
+        payloads = []
+        for worker, (process, ring) in enumerate(zip(processes, rings)):
+            payload, stats = _collect_ring_result(worker, process, ring)
+            _record_worker_stats("shm", worker, stats)
+            payloads.append(payload)
         return payloads, pairs
     finally:
         for process in processes:
@@ -489,7 +552,9 @@ def _queue_parallel_ingest(
                     shards,
                     workers,
                     config.seed,
-                    lambda w, item: _put_with_backpressure(queues[w], item, futures),
+                    lambda w, item: _put_with_backpressure(
+                        queues[w], item, futures, w
+                    ),
                     lambda: _check_workers(futures),
                 )
             except WorkerIngestError:
@@ -515,9 +580,11 @@ def _queue_parallel_ingest(
             payloads = []
             for worker, future in enumerate(futures):
                 try:
-                    payloads.append(future.result())
+                    payload, stats = future.result()
                 except Exception as error:  # worker died after routing finished
                     _raise_worker_error(worker, error)
+                _record_worker_stats("queue", worker, stats)
+                payloads.append(payload)
             return payloads, pairs
 
 
@@ -591,6 +658,10 @@ def parallel_ingest(
         for batch in _encoded_chunks(stream, chunk_size):
             pairs += len(batch)
             estimator.update_encoded(batch)
+        obs.counter("ingest.parallel.pairs", transport="none").add(pairs)
+        obs.histogram("ingest.parallel.run_seconds", transport="none").observe(
+            time.perf_counter() - start
+        )
         return IngestReport(
             estimator=estimator,
             method=method,
@@ -603,6 +674,10 @@ def parallel_ingest(
     runner = _shm_parallel_ingest if transport == "shm" else _queue_parallel_ingest
     payloads, pairs = runner(
         stream, method, config, expected_users, workers, shards, chunk_size
+    )
+    obs.counter("ingest.parallel.pairs", transport=transport).add(pairs)
+    obs.histogram("ingest.parallel.run_seconds", transport=transport).observe(
+        time.perf_counter() - start
     )
 
     from repro.core import serialization

@@ -23,9 +23,11 @@ Layout and control flow:
   encode path may keep zero-copy views of the slot memory
   (``fold_key_array`` on ``uint64`` input), and freeing earlier would let
   the coordinator overwrite bytes still being read;
-* results return on a third queue as ``("ok", state)`` or
-  ``("error", traceback, repr)`` — the coordinator turns the latter into
-  the same :class:`~repro.runtime.parallel.WorkerIngestError` the queue
+* results return on a third queue as ``("ok", state, stats)`` — the
+  stats dict carries the worker's chunk/pair counts and encode/update
+  timings for the coordinator's metrics registry — or
+  ``("error", traceback, repr)``, which the coordinator turns into the
+  same :class:`~repro.runtime.parallel.WorkerIngestError` the queue
   transport raises.
 
 Backpressure is the ring itself: with every slot in flight the
@@ -43,14 +45,45 @@ from __future__ import annotations
 import pickle
 import struct
 import sys
+import time
 import traceback
 from multiprocessing import shared_memory
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.engine.encoding import EncodedBatch
 from repro.registry import build
+
+
+def new_worker_stats() -> Dict[str, float]:
+    """A fresh per-worker stats accumulator (chunks, pairs, timings).
+
+    Workers live in their own processes, where the coordinator's metrics
+    registry is invisible — they count locally (a dict and a few
+    ``perf_counter`` reads per *chunk*, negligible against thousands of
+    pairs of work) and ship the totals home with their serialised state.
+    """
+    return {"chunks": 0, "pairs": 0, "encode_seconds": 0.0, "update_seconds": 0.0}
+
+
+def ingest_item(estimator, item, stats: Dict[str, float]) -> None:
+    """Encode (if needed) and apply one routed chunk, accumulating stats.
+
+    Shared by both transports' workers so the replay stays bit-identical
+    and the timing split (encode vs update) is measured the same way.
+    """
+    if isinstance(item, EncodedBatch):
+        batch = item
+    else:
+        started = time.perf_counter()
+        batch = EncodedBatch.from_int_arrays(*item)
+        stats["encode_seconds"] += time.perf_counter() - started
+    started = time.perf_counter()
+    estimator.update_encoded(batch)
+    stats["update_seconds"] += time.perf_counter() - started
+    stats["chunks"] += 1
+    stats["pairs"] += len(batch)
 
 #: Slots per worker ring — mirrors the Manager transport's QUEUE_DEPTH:
 #: enough buffered chunks to keep a worker busy, small enough to bound the
@@ -231,6 +264,7 @@ def shm_worker(
     shm = shared_memory.SharedMemory(name=shm_name)
     try:
         estimator = build(method, config, expected_users, shards=shards)
+        stats = new_worker_stats()
         while True:
             message = ready_queue.get()
             if message is None:
@@ -242,19 +276,14 @@ def shm_worker(
             else:
                 slot = value
                 item = read_slot(shm.buf, slot, slot_size)
-            batch = (
-                item
-                if isinstance(item, EncodedBatch)
-                else EncodedBatch.from_int_arrays(*item)
-            )
-            estimator.update_encoded(batch)
+            ingest_item(estimator, item, stats)
             # Drop every view of the slot *before* recycling it — the batch
             # may alias slot memory (zero-copy folds), and a freed slot is
             # the coordinator's to overwrite.
-            del item, batch
+            del item
             if slot is not None:
                 free_queue.put(slot)
-        result_queue.put(("ok", serialization.dumps(estimator)))
+        result_queue.put(("ok", serialization.dumps(estimator), stats))
     except BaseException as error:
         result_queue.put(("error", traceback.format_exc(), repr(error)))
         sys.exit(1)

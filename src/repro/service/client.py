@@ -289,3 +289,7 @@ class ServiceClient:
     def stats(self) -> Dict[str, object]:
         """Server-side monitor state, ingest progress and the op table."""
         return self.request("stats")["result"]
+
+    def metrics(self) -> List[Dict[str, object]]:
+        """The server's live telemetry snapshot (list of instrument dicts)."""
+        return self.request("metrics")["result"]["metrics"]

@@ -137,5 +137,9 @@ OPS: Mapping[str, OpSpec] = {
             name="stats",
             summary="monitor state, ingest progress, method spec and this op table",
         ),
+        OpSpec(
+            name="metrics",
+            summary="live telemetry snapshot: every counter, gauge and histogram",
+        ),
     )
 }

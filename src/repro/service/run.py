@@ -16,6 +16,7 @@ from __future__ import annotations
 import asyncio
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.monitor.snapshot import SnapshotStore
 from repro.monitor.spreader import SpreaderMonitor
 from repro.runtime.handle import ingest_handle_for_monitor
@@ -44,12 +45,16 @@ async def serve_monitor(
     snapshot_every: int = 0,
     announce: Optional[Announcer] = None,
     ready: Optional[asyncio.Event] = None,
+    metrics_port: Optional[int] = None,
 ) -> None:
     """Serve ``monitor`` over TCP, optionally ingesting ``pairs`` meanwhile.
 
     Runs until cancelled.  On cancellation the ingest thread is stopped, a
     final checkpoint is written when a ``snapshot_store`` is configured,
-    and the server sockets are closed.
+    and the server sockets are closed.  ``metrics_port`` (``0`` = any free
+    port) additionally serves the Prometheus text exposition of the metrics
+    registry on ``http://host:metrics_port/metrics``; the bound port rides
+    in the ``serving`` announce record as ``metrics_port``.
     """
     if refresh_every <= 0:
         raise ValueError("refresh_every must be positive")
@@ -97,17 +102,22 @@ async def serve_monitor(
         )
         service.attach_ingest(handle)
 
+    metrics_server = None
+    if metrics_port is not None:
+        metrics_server = obs.start_http_server(metrics_port, host=host)
+
     server = EstimateServer(service, host=host, port=port)
     await server.start()
-    announce(
-        {
-            "type": "serving",
-            "host": server.host,
-            "port": server.port,
-            "pairs_ingested": monitor.window.pairs_ingested,
-            "ingesting": handle is not None,
-        }
-    )
+    serving_record: Dict[str, object] = {
+        "type": "serving",
+        "host": server.host,
+        "port": server.port,
+        "pairs_ingested": monitor.window.pairs_ingested,
+        "ingesting": handle is not None,
+    }
+    if metrics_server is not None:
+        serving_record["metrics_port"] = metrics_server.port
+    announce(serving_record)
     if ready is not None:
         ready.set()
 
@@ -146,4 +156,6 @@ async def serve_monitor(
         if snapshot_store is not None:
             with service.lock:
                 checkpoint()
+        if metrics_server is not None:
+            metrics_server.close()
         await server.close()

@@ -29,6 +29,7 @@ import asyncio
 import threading
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.monitor.spreader import SpreaderMonitor
 from repro.monitor.view import ReadSnapshot, SlidingMergeCache, wire_user
 from repro.service import frames, protocol
@@ -40,6 +41,53 @@ DEFAULT_PORT = 7373
 
 #: Transports a server negotiates by default (NDJSON stays the opener).
 DEFAULT_TRANSPORTS = (frames.TRANSPORT_NDJSON, frames.TRANSPORT_BINARY)
+
+_log = obs.get_logger("service")
+
+# Per-(labels) instrument caches: the registry's get-or-create is already a
+# dict hit, but these skip the label sort on every request.
+_REQUEST_COUNTERS: Dict[Tuple[str, str, bool], obs.Counter] = {}
+_OP_SECONDS: Dict[str, obs.Histogram] = {}
+_BYTES_COUNTERS: Dict[str, obs.Counter] = {}
+_ERROR_COUNTERS: Dict[str, obs.Counter] = {}
+
+
+def _count_request(op: str, transport: str, ok: bool) -> None:
+    key = (op, transport, ok)
+    counter = _REQUEST_COUNTERS.get(key)
+    if counter is None:
+        counter = obs.counter(
+            "service.requests",
+            op=op,
+            transport=transport,
+            status="ok" if ok else "error",
+        )
+        _REQUEST_COUNTERS[key] = counter
+    counter.add()
+
+
+def _op_seconds(op: str) -> obs.Histogram:
+    histogram = _OP_SECONDS.get(op)
+    if histogram is None:
+        histogram = obs.histogram("service.request_seconds", op=op)
+        _OP_SECONDS[op] = histogram
+    return histogram
+
+
+def _count_response_bytes(transport: str, size: int) -> None:
+    counter = _BYTES_COUNTERS.get(transport)
+    if counter is None:
+        counter = obs.counter("service.response_bytes", transport=transport)
+        _BYTES_COUNTERS[transport] = counter
+    counter.add(size)
+
+
+def _count_error(code: str) -> None:
+    counter = _ERROR_COUNTERS.get(code)
+    if counter is None:
+        counter = obs.counter("service.errors", code=code)
+        _ERROR_COUNTERS[code] = counter
+    counter.add()
 
 
 def _estimates_payload(estimates: Dict[object, float]) -> list:
@@ -61,7 +109,12 @@ class EstimateService:
         self.lock = lock if lock is not None else threading.Lock()
         self._ingest_handle = ingest_handle
         self._sliding_cache = SlidingMergeCache()
-        self._queries_served = 0
+        # Queries served lives in the metrics registry (always-on: ``stats``
+        # reports it even with telemetry disabled).  The registry is
+        # process-global, so per-instance counts are deltas from the value
+        # captured here.
+        self._queries = obs.counter("service.queries", always=True)
+        self._queries_base = self._queries.value
         with self.lock:
             self._snapshot = monitor.read_snapshot()
 
@@ -75,7 +128,7 @@ class EstimateService:
     @property
     def queries_served(self) -> int:
         """Requests answered since the service started."""
-        return self._queries_served
+        return int(self._queries.value - self._queries_base)
 
     def attach_ingest(self, handle) -> None:
         """Attach the ingest handle once it exists (surfaced via ``stats``)."""
@@ -95,10 +148,24 @@ class EstimateService:
 
     def handle(self, request: Dict[str, object]) -> Dict[str, object]:
         """Answer one decoded request; always returns a response envelope."""
-        request_id = request.get("id")
         op_name = request.get("op")
         spec = OPS.get(op_name) if isinstance(op_name, str) else None
+        # Unknown ops share one "unknown" latency series so a misbehaving
+        # client cannot mint unbounded label values.
+        with obs.timed(_op_seconds(spec.name if spec is not None else "unknown")):
+            response = self._dispatch(request, spec)
+        if response.get("ok"):
+            self._queries.add()
+        else:
+            _count_error(response["error"]["code"])
+        return response
+
+    def _dispatch(
+        self, request: Dict[str, object], spec: Optional[OpSpec]
+    ) -> Dict[str, object]:
+        request_id = request.get("id")
         if spec is None:
+            op_name = request.get("op")
             return protocol.error_response(
                 request_id,
                 protocol.UNKNOWN_OP,
@@ -114,7 +181,6 @@ class EstimateService:
             return protocol.error_response(
                 request_id, protocol.INTERNAL, f"{type(error).__name__}: {error}"
             )
-        self._queries_served += 1
         return protocol.ok_response(
             request_id, snapshot.version, snapshot.pairs_ingested, result
         )
@@ -161,10 +227,17 @@ class EstimateService:
             "estimates": _estimates_payload(estimates),
         }
 
+    def _op_metrics(self, params):
+        snapshot = self._snapshot
+        return snapshot, {
+            "enabled": obs.REGISTRY.enabled,
+            "metrics": obs.metrics_snapshot(),
+        }
+
     def _op_stats(self, params):
         snapshot = self._snapshot
         stats = snapshot.stats()
-        stats["queries_served"] = self._queries_served
+        stats["queries_served"] = self.queries_served
         stats["ops"] = [spec.describe() for spec in OPS.values()]
         if snapshot.method is not None:
             from repro.registry import REGISTRY
@@ -349,6 +422,9 @@ class EstimateServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self.connections_served += 1
+        obs.counter("service.connections").add()
+        active = obs.gauge("service.connections.active")
+        active.add(1)
         loop = asyncio.get_running_loop()
         codec = _NdjsonCodec()
         try:
@@ -356,11 +432,12 @@ class EstimateServer:
                 try:
                     request = await codec.read_request(reader)
                 except ProtocolError as error:
-                    writer.write(
-                        codec.encode_response(
-                            protocol.error_response(None, error.code, str(error)), None
-                        )
+                    payload = codec.encode_response(
+                        protocol.error_response(None, error.code, str(error)), None
                     )
+                    _count_request("unknown", codec.name, False)
+                    _count_response_bytes(codec.name, len(payload))
+                    writer.write(payload)
                     if error.fatal:
                         break
                     try:
@@ -377,7 +454,10 @@ class EstimateServer:
                     # Connection-level negotiation: answered in the current
                     # codec, then both sides switch for everything after.
                     response, chosen = self._negotiate(request)
-                    writer.write(codec.encode_response(response, None))
+                    payload = codec.encode_response(response, None)
+                    _count_request(frames.HELLO_OP, codec.name, True)
+                    _count_response_bytes(codec.name, len(payload))
+                    writer.write(payload)
                     try:
                         await writer.drain()
                     except (ConnectionResetError, BrokenPipeError):
@@ -395,12 +475,20 @@ class EstimateServer:
                     )
                 else:
                     response = self.service.handle(request)
-                writer.write(codec.encode_response(response, spec))
+                payload = codec.encode_response(response, spec)
+                _count_request(
+                    spec.name if spec is not None else "unknown",
+                    codec.name,
+                    bool(response.get("ok")),
+                )
+                _count_response_bytes(codec.name, len(payload))
+                writer.write(payload)
                 try:
                     await writer.drain()
                 except (ConnectionResetError, BrokenPipeError):
                     break
         finally:
+            active.add(-1)
             writer.close()
             try:
                 await writer.wait_closed()

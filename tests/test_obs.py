@@ -1,0 +1,328 @@
+"""The observability layer: registry semantics, thread-safety, exposition.
+
+Most tests build a private :class:`MetricsRegistry` instead of touching the
+process-global one — the global registry backs live instruments cached by
+the service/runtime modules, and resetting it under them would desync those
+caches.  The few tests that do flip the global enabled switch restore it.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import threading
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import DEFAULT_LATENCY_BOUNDS, MetricsRegistry, timed
+from repro.obs.prometheus import CONTENT_TYPE, render, start_http_server
+
+
+class TestRegistrySemantics:
+    def test_same_identity_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("requests", op="spread", transport="ndjson")
+        b = registry.counter("requests", transport="ndjson", op="spread")
+        assert a is b  # label order is not part of the identity
+
+    def test_different_labels_are_different_instruments(self):
+        registry = MetricsRegistry()
+        a = registry.counter("requests", op="spread")
+        b = registry.counter("requests", op="topk")
+        a.add(3)
+        assert a is not b
+        assert (a.value, b.value) == (3.0, 0.0)
+
+    def test_type_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("pairs")
+        with pytest.raises(ValueError, match="already registered as a counter"):
+            registry.gauge("pairs")
+
+    def test_counter_refuses_negative_amounts(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="only go up"):
+            registry.counter("pairs").add(-1)
+
+    def test_gauge_set_and_signed_add(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(4)
+        gauge.add(-1.5)
+        assert gauge.value == 2.5
+
+    def test_histogram_bounds_validation(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="ascending"):
+            registry.histogram("latency", bounds=[2.0, 1.0])
+        with pytest.raises(ValueError, match="ascending"):
+            registry.histogram("empty", bounds=[])
+
+    def test_histogram_buckets_use_inclusive_upper_edges(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency", bounds=[1.0, 2.0, 4.0])
+        for value in (0.5, 1.0, 1.5, 4.0, 99.0):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        # le=1.0 gets {0.5, 1.0}; le=2.0 gets {1.5}; le=4.0 gets {4.0};
+        # the implicit overflow bucket gets {99.0}.
+        assert snapshot["counts"] == [2, 1, 1, 1]
+        assert snapshot["count"] == 5
+        assert snapshot["sum"] == pytest.approx(106.0)
+
+    def test_default_bounds_are_shared_and_log_scale(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency")
+        assert histogram.bounds == DEFAULT_LATENCY_BOUNDS
+        ratios = {
+            round(b / a, 6)
+            for a, b in zip(DEFAULT_LATENCY_BOUNDS, DEFAULT_LATENCY_BOUNDS[1:])
+        }
+        assert ratios == {2.0}
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_lose_nothing(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        histogram = registry.histogram("spans", bounds=[0.5, 1.5])
+        per_thread, threads = 2_000, 8
+
+        def worker():
+            for _ in range(per_thread):
+                counter.add()
+                histogram.observe(1.0)
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert counter.value == per_thread * threads
+        assert histogram.count == per_thread * threads
+        assert histogram.snapshot()["counts"] == [0, per_thread * threads, 0]
+
+    def test_concurrent_get_or_create_returns_one_instrument(self):
+        registry = MetricsRegistry()
+        seen = []
+
+        def worker():
+            seen.append(registry.counter("shared", worker="x"))
+
+        pool = [threading.Thread(target=worker) for _ in range(16)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert len({id(instrument) for instrument in seen}) == 1
+
+
+class TestSnapshot:
+    def test_snapshot_is_deterministic_plain_data(self):
+        registry = MetricsRegistry()
+        registry.counter("b.requests", op="topk").add(2)
+        registry.gauge("a.depth").set(3)
+        registry.counter("b.requests", op="spread").add(1)
+        registry.histogram("c.latency", bounds=[1.0]).observe(0.5)
+        first = registry.snapshot()
+        second = registry.snapshot()
+        assert first == second
+        assert [m["name"] for m in first] == sorted(m["name"] for m in first)
+        # JSON round-trip proves there is nothing numpy-shaped inside.
+        assert json.loads(json.dumps(first)) == first
+
+    def test_snapshot_shapes(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", op="spread").add(2)
+        registry.histogram("spans", bounds=[1.0, 2.0]).observe(1.5)
+        by_name = {m["name"]: m for m in registry.snapshot()}
+        assert by_name["hits"] == {
+            "type": "counter",
+            "name": "hits",
+            "labels": {"op": "spread"},
+            "value": 2.0,
+        }
+        spans = by_name["spans"]
+        assert spans["type"] == "histogram"
+        assert spans["bounds"] == [1.0, 2.0]
+        assert spans["counts"] == [0, 1, 0]
+        assert (spans["count"], spans["sum"]) == (1, 1.5)
+
+
+class TestDisabledMode:
+    def test_disabled_mutations_are_no_ops(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        gauge = registry.gauge("depth")
+        histogram = registry.histogram("spans", bounds=[1.0])
+        registry.set_enabled(False)
+        counter.add(5)
+        gauge.set(9)
+        histogram.observe(0.5)
+        assert (counter.value, gauge.value, histogram.count) == (0.0, 0.0, 0)
+        registry.set_enabled(True)
+        counter.add(5)
+        assert counter.value == 5.0
+
+    def test_always_instruments_ignore_the_switch(self):
+        registry = MetricsRegistry()
+        progress = registry.counter("pairs", always=True)
+        registry.set_enabled(False)
+        progress.add(7)
+        assert progress.value == 7.0
+
+    def test_timed_skips_the_clock_when_disabled(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("spans", bounds=[1.0])
+        registry.set_enabled(False)
+        with timed(histogram) as span:
+            assert span._start is None
+        assert histogram.count == 0
+        registry.set_enabled(True)
+        with timed(histogram):
+            pass
+        assert histogram.count == 1
+
+    def test_global_convenience_functions_hit_the_global_registry(self):
+        name = "test_obs.unique.counter"
+        counter = obs.counter(name, case="global")
+        before = counter.value
+        obs.set_enabled(False)
+        try:
+            counter.add()
+            assert counter.value == before
+        finally:
+            obs.set_enabled(True)
+        counter.add()
+        assert counter.value == before + 1
+        assert any(m["name"] == name for m in obs.metrics_snapshot())
+
+
+class TestPrometheusExposition:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("service.requests", op="topk", transport="ndjson").add(4)
+        registry.gauge("service.connections.active").set(2)
+        histogram = registry.histogram("service.request_seconds", bounds=[0.1, 1.0])
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(7.0)
+        return registry
+
+    def test_counter_and_gauge_lines(self):
+        text = render(self._registry())
+        assert "# TYPE freesketch_service_requests_total counter" in text
+        assert (
+            'freesketch_service_requests_total{op="topk",transport="ndjson"} 4'
+            in text
+        )
+        assert "# TYPE freesketch_service_connections_active gauge" in text
+        assert "freesketch_service_connections_active 2" in text
+
+    def test_histogram_lines_are_cumulative_with_inf(self):
+        text = render(self._registry())
+        assert 'freesketch_service_request_seconds_bucket{le="0.1"} 1' in text
+        assert 'freesketch_service_request_seconds_bucket{le="1.0"} 2' in text
+        assert 'freesketch_service_request_seconds_bucket{le="+Inf"} 3' in text
+        assert "freesketch_service_request_seconds_sum 7.55" in text
+        assert "freesketch_service_request_seconds_count 3" in text
+
+    def test_type_line_appears_once_per_name(self):
+        registry = MetricsRegistry()
+        registry.counter("service.requests", op="a").add(1)
+        registry.counter("service.requests", op="b").add(1)
+        text = render(registry)
+        assert text.count("# TYPE freesketch_service_requests_total counter") == 1
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("errors", detail='bad "quote"\nnewline').add(1)
+        text = render(registry)
+        assert 'detail="bad \\"quote\\"\\nnewline"' in text
+
+    def test_render_ends_with_exactly_one_newline(self):
+        text = render(self._registry())
+        assert text.endswith("\n") and not text.endswith("\n\n")
+
+    def test_http_endpoint_serves_the_registry(self):
+        registry = self._registry()
+        with start_http_server(0, registry=registry) as server:
+            with urllib.request.urlopen(server.url, timeout=10.0) as reply:
+                assert reply.status == 200
+                assert reply.headers["Content-Type"] == CONTENT_TYPE
+                body = reply.read().decode("utf-8")
+            assert body == render(registry)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{server.port}/other", timeout=10.0
+                )
+            assert excinfo.value.code == 404
+
+
+class TestStructuredLogging:
+    def _capture(self, json_mode):
+        stream = io.StringIO()
+        handler = obs.configure_logging(
+            level="debug", json_mode=json_mode, stream=stream
+        )
+        return stream, handler
+
+    def teardown_method(self):
+        # Drop the handler this test installed so later tests (and the
+        # suite's stderr) are not spammed by instrumented code paths.
+        root = logging.getLogger("repro")
+        for handler in list(root.handlers):
+            if getattr(handler, "_repro_obs_handler", False):
+                root.removeHandler(handler)
+        root.setLevel(logging.NOTSET)
+
+    def test_json_mode_emits_one_object_per_line(self):
+        stream, _handler = self._capture(json_mode=True)
+        log = obs.get_logger("test.obs")
+        log.warning("worker_failed", worker=3, exitcode=-9)
+        log.info("snapshot_saved", path="/tmp/x.json")
+        lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert lines[0]["event"] == "worker_failed"
+        assert lines[0]["level"] == "warning"
+        assert lines[0]["logger"] == "repro.test.obs"
+        assert (lines[0]["worker"], lines[0]["exitcode"]) == (3, -9)
+        assert lines[1]["event"] == "snapshot_saved"
+
+    def test_keyvalue_mode_renders_fields(self):
+        stream, _handler = self._capture(json_mode=False)
+        obs.get_logger("test.obs").error("ingest_failed", worker=1, cause="boom")
+        line = stream.getvalue().strip()
+        assert "ingest_failed" in line
+        assert "worker=1" in line
+        assert "cause=boom" in line
+
+    def test_reconfigure_replaces_the_handler(self):
+        first_stream, _ = self._capture(json_mode=True)
+        second_stream, _ = self._capture(json_mode=True)
+        obs.get_logger("test.obs").warning("only_once")
+        assert first_stream.getvalue() == ""
+        assert second_stream.getvalue().count("only_once") == 1
+
+    def test_level_gate_suppresses_below_threshold(self):
+        stream = io.StringIO()
+        obs.configure_logging(level="warning", stream=stream)
+        log = obs.get_logger("test.obs")
+        log.debug("too_quiet")
+        log.info("still_quiet")
+        log.warning("loud")
+        assert "too_quiet" not in stream.getvalue()
+        assert "still_quiet" not in stream.getvalue()
+        assert "loud" in stream.getvalue()
+
+    def test_unknown_level_is_an_error(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            obs.configure_logging(level="verbose")
+
+    def test_non_json_field_values_are_reprd(self):
+        stream, _ = self._capture(json_mode=True)
+        obs.get_logger("test.obs").warning("odd_field", value={1, 2})
+        record = json.loads(stream.getvalue())
+        assert record["value"] == repr({1, 2})

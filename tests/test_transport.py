@@ -219,6 +219,17 @@ class TestBitIdentity:
             # is one ahead by construction; everything else must match.
             a["result"].pop("queries_served"), b["result"].pop("queries_served")
             assert a == b
+            a, b = compare("metrics")
+            # Telemetry values advance with every request (the first metrics
+            # request even mints its own request counter), so the payloads
+            # cannot be bit-identical; the envelope and the enabled flag
+            # must be, and the registry only ever grows between snapshots.
+            result_a, result_b = a.pop("result"), b.pop("result")
+            assert a == b
+            assert result_a["enabled"] == result_b["enabled"]
+            ids_a = {(m["name"], str(m["labels"])) for m in result_a["metrics"]}
+            ids_b = {(m["name"], str(m["labels"])) for m in result_b["metrics"]}
+            assert ids_a <= ids_b
         assert covered == set(OPS), "an op joined the registry untested"
 
     def test_numpy_array_requests_work_on_both_transports(self, served):
