@@ -5,7 +5,7 @@ both a scalar and a vectorised update path producing bit-identical results,
 so the cross-method throughput comparison is vectorised-vs-vectorised — this
 benchmark sweeps all six methods under both engines, guards the batch
 speedups against regressions, and emits a machine-readable JSON file
-(``benchmarks/results/batch_throughput.json``) for the perf trajectory.
+(``benchmarks/results/BENCH_batch_throughput.json``) for the perf trajectory.
 
 The acceptance bar enforced here: the CSE and vHLL batch paths — whose
 scalar twins pay an O(m) estimate refresh per pair — must be at least 5x
@@ -25,7 +25,7 @@ from repro.baselines import CSE, PerUserHLLPP, PerUserLPC, VirtualHLL
 from repro.core import FreeBS, FreeBSBatch, FreeRS, FreeRSBatch, encode_int_pairs
 from repro.engine import DEFAULT_CHUNK_PAIRS, EncodedBatch
 
-RESULTS_PATH = Path(__file__).resolve().parent / "results" / "batch_throughput.json"
+RESULTS_PATH = Path(__file__).resolve().parent / "results" / "BENCH_batch_throughput.json"
 
 _RNG = np.random.default_rng(17)
 _USERS = _RNG.integers(0, 500, size=50_000)

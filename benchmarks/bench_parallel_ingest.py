@@ -7,7 +7,7 @@ through ``workers = 1, 2, 4`` (higher counts only when the machine has the
 cores), asserts the runtime's correctness contract — the merged estimates
 are **bit-identical** to the single-process run with the same shard count —
 and records the speedup trajectory in a machine-readable JSON file
-(``benchmarks/results/parallel_ingest.json``).
+(``benchmarks/results/BENCH_parallel_ingest.json``).
 
 Acceptance bars:
 
@@ -30,7 +30,7 @@ import numpy as np
 from repro.experiments.config import ExperimentConfig
 from repro.runtime import parallel_ingest
 
-RESULTS_PATH = Path(__file__).resolve().parent / "results" / "parallel_ingest.json"
+RESULTS_PATH = Path(__file__).resolve().parent / "results" / "BENCH_parallel_ingest.json"
 
 
 def _usable_cpus() -> int:

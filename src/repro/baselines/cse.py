@@ -39,13 +39,13 @@ from repro.engine.base import BatchUpdatable
 from repro.engine.encoding import EncodedBatch
 from repro.engine.kernels import (
     bit_change_events,
-    cached_positions_matrix,
     event_time_for_index,
     last_occurrence,
     touched_query_positions,
 )
 from repro.hashing import HashFamily, hash64
 from repro.sketches.bitarray import BitArray
+from repro.state import UserArena
 
 
 class CSE(BatchUpdatable, CardinalityEstimator):
@@ -65,19 +65,33 @@ class CSE(BatchUpdatable, CardinalityEstimator):
         self.seed = seed
         self._bits = BitArray(memory_bits)
         self._family = HashFamily(virtual_size, memory_bits, seed=seed ^ 0x5CE)
-        self._estimates: Dict[object, float] = {}
-        # Cache of each user's m physical bit positions; avoids recomputing
-        # the hash family on every O(m) estimate refresh.
-        self._positions_cache: Dict[object, np.ndarray] = {}
+        # Columnar per-user state: cached estimates plus the m physical bit
+        # positions per user (dense rows up to the auto limit, recomputed
+        # from the 8-byte key fold beyond it — bit-identical either way).
+        self._arena = UserArena(m=virtual_size, family=self._family, owner=self.name)
+
+    # -- per-user state views (dict-shaped, arena-backed) ----------------------
+
+    @property
+    def _estimates(self):
+        """Live ``{user: cached estimate}`` view over the arena columns."""
+        return self._arena.estimates
+
+    @_estimates.setter
+    def _estimates(self, mapping) -> None:
+        # Snapshot restore assigns a plain dict; adopt it in mapping order so
+        # first-seen order round-trips exactly.
+        self._arena.load_estimates(mapping)
+
+    @property
+    def _positions_cache(self):
+        """Live view of the arena's materialised position rows."""
+        return self._arena.positions_cache
 
     # -- internal helpers -----------------------------------------------------
 
     def _positions(self, user: object) -> np.ndarray:
-        positions = self._positions_cache.get(user)
-        if positions is None:
-            positions = self._family.positions(user)
-            self._positions_cache[user] = positions
-        return positions
+        return self._arena.positions_row(self._arena.intern(user))
 
     def _estimate_from_sketch(self, user: object) -> float:
         """Recompute the CSE estimate of ``user`` from the shared array (O(m))."""
@@ -103,9 +117,13 @@ class CSE(BatchUpdatable, CardinalityEstimator):
             correction = self.m * math.log(global_zero_fraction)
         return max(0.0, local_term + correction)
 
+    def _intern_batch(self, batch: EncodedBatch) -> np.ndarray:
+        """Arena codes of a batch's unique users (interned in batch order)."""
+        return self._arena.intern_many(batch.users, batch.user_hashes)
+
     def _positions_matrix(self, batch: EncodedBatch) -> np.ndarray:
         """Cache-aware ``(n_users, m)`` position matrix of a batch's users."""
-        return cached_positions_matrix(batch, self._family, self._positions_cache)
+        return self._arena.positions_rows(self._intern_batch(batch))
 
     # -- streaming API --------------------------------------------------------
 
@@ -133,7 +151,8 @@ class CSE(BatchUpdatable, CardinalityEstimator):
         count = len(batch)
         if count == 0:
             return
-        positions_matrix = self._positions_matrix(batch)
+        arena_codes = self._intern_batch(batch)
+        positions_matrix = self._arena.positions_rows(arena_codes)
         buckets = (
             batch.item_hashes_with_seed(self.seed ^ 0xD1) % np.uint64(self.m)
         ).astype(np.int64)
@@ -169,13 +188,15 @@ class CSE(BatchUpdatable, CardinalityEstimator):
         # Commit the array state, then publish the time-correct estimates.
         if event_bits.size:
             self._bits.set_many(event_bits)
-        for code, user in enumerate(batch.users):
+        values = np.empty(batch.n_users, dtype=np.float64)
+        for code in range(batch.n_users):
             global_zero_fraction = (
                 zeros_at_start_global - int(flips_so_far[code])
             ) / self.M
-            self._estimates[user] = self._estimate_from_counts(
+            values[code] = self._estimate_from_counts(
                 int(virtual_zeros[code]), global_zero_fraction
             )
+        self._arena.set_estimates(arena_codes, values)
 
     def estimate(self, user: object) -> float:
         """Return the latest cached estimate of ``user`` (0.0 for unseen users)."""
@@ -188,14 +209,14 @@ class CSE(BatchUpdatable, CardinalityEstimator):
         return gather_cached_estimates(self._estimates, users)
 
     def _tracked(self, user: object) -> bool:
-        """Whether ``user`` has per-user state (positions cache or estimate).
+        """Whether ``user`` has per-user state in the arena.
 
-        Both sets are consulted: a snapshot-restored estimator carries its
-        users in ``_estimates`` with an empty positions cache, and the cache
-        is lazily rebuilt on demand — membership in either means the user's
-        bits are in the shared array.
+        Interned means tracked: every path that touches a user's bits —
+        scalar update, batch update, snapshot restore — interns it first,
+        so arena membership is exactly the old ``positions cache or
+        estimates`` union.
         """
-        return user in self._positions_cache or user in self._estimates
+        return self._arena.contains(user)
 
     def estimate_fresh(self, user: object) -> float:
         """Recompute the estimate of ``user`` from the shared array right now."""

@@ -30,7 +30,6 @@ from repro.core.base import CardinalityEstimator
 from repro.engine.base import BatchUpdatable
 from repro.engine.encoding import EncodedBatch
 from repro.engine.kernels import (
-    cached_positions_matrix,
     last_occurrence,
     register_change_events,
     touched_query_positions,
@@ -40,6 +39,7 @@ from repro.hashing import HashFamily, geometric_rank, hash64, splitmix64, splitm
 from repro.hashing.geometric import geometric_rank_array
 from repro.sketches.hll import alpha_m
 from repro.sketches.registers import RegisterArray
+from repro.state import UserArena
 
 
 class VirtualHLL(BatchUpdatable, CardinalityEstimator):
@@ -67,17 +67,33 @@ class VirtualHLL(BatchUpdatable, CardinalityEstimator):
         self._family = HashFamily(virtual_size, registers, seed=seed ^ 0x711)
         self._alpha_m = alpha_m(virtual_size)
         self._alpha_M = alpha_m(registers)
-        self._estimates: Dict[object, float] = {}
-        self._positions_cache: Dict[object, np.ndarray] = {}
+        # Columnar per-user state: cached estimates plus the m physical
+        # register positions per user (dense rows up to the auto limit,
+        # recomputed from the 8-byte key fold beyond it).
+        self._arena = UserArena(m=virtual_size, family=self._family, owner=self.name)
+
+    # -- per-user state views (dict-shaped, arena-backed) ----------------------
+
+    @property
+    def _estimates(self):
+        """Live ``{user: cached estimate}`` view over the arena columns."""
+        return self._arena.estimates
+
+    @_estimates.setter
+    def _estimates(self, mapping) -> None:
+        # Snapshot restore assigns a plain dict; adopt it in mapping order so
+        # first-seen order round-trips exactly.
+        self._arena.load_estimates(mapping)
+
+    @property
+    def _positions_cache(self):
+        """Live view of the arena's materialised position rows."""
+        return self._arena.positions_cache
 
     # -- internal helpers -----------------------------------------------------
 
     def _positions(self, user: object) -> np.ndarray:
-        positions = self._positions_cache.get(user)
-        if positions is None:
-            positions = self._family.positions(user)
-            self._positions_cache[user] = positions
-        return positions
+        return self._arena.positions_row(self._arena.intern(user))
 
     def _estimate_from_sketch(self, user: object) -> float:
         """Recompute the vHLL estimate of ``user`` from the shared array (O(m))."""
@@ -138,9 +154,13 @@ class VirtualHLL(BatchUpdatable, CardinalityEstimator):
             return self.M * math.log(self.M / zeros)
         return raw_global
 
+    def _intern_batch(self, batch: EncodedBatch) -> np.ndarray:
+        """Arena codes of a batch's unique users (interned in batch order)."""
+        return self._arena.intern_many(batch.users, batch.user_hashes)
+
     def _positions_matrix(self, batch: EncodedBatch) -> np.ndarray:
         """Cache-aware ``(n_users, m)`` position matrix of a batch's users."""
-        return cached_positions_matrix(batch, self._family, self._positions_cache)
+        return self._arena.positions_rows(self._intern_batch(batch))
 
     # -- streaming API --------------------------------------------------------
 
@@ -172,7 +192,8 @@ class VirtualHLL(BatchUpdatable, CardinalityEstimator):
         count = len(batch)
         if count == 0:
             return
-        positions_matrix = self._positions_matrix(batch)
+        arena_codes = self._intern_batch(batch)
+        positions_matrix = self._arena.positions_rows(arena_codes)
         item_hashes = batch.item_hashes_with_seed(self.seed ^ 0xD2)
         buckets = (item_hashes % np.uint64(self.m)).astype(np.int64)
         ranks = geometric_rank_array(
@@ -219,16 +240,18 @@ class VirtualHLL(BatchUpdatable, CardinalityEstimator):
         values_then = values_then.reshape(batch.n_users, self.m)
 
         events_so_far = np.searchsorted(positions, last_arrival, side="right")
-        for code, user in enumerate(batch.users):
+        estimates = np.empty(batch.n_users, dtype=np.float64)
+        for code in range(batch.n_users):
             seen = int(events_so_far[code])
             if seen == 0:
                 harmonic, zeros = harmonic_at_start, zeros_at_start
             else:
                 harmonic = float(harmonic_after_event[seen - 1])
                 zeros = int(zeros_after_event[seen - 1])
-            self._estimates[user] = self._estimate_from_values(
+            estimates[code] = self._estimate_from_values(
                 np.ascontiguousarray(values_then[code]), harmonic, zeros
             )
+        self._arena.set_estimates(arena_codes, estimates)
 
     def estimate(self, user: object) -> float:
         """Return the latest cached estimate of ``user`` (0.0 for unseen users)."""
@@ -241,13 +264,12 @@ class VirtualHLL(BatchUpdatable, CardinalityEstimator):
         return gather_cached_estimates(self._estimates, users)
 
     def _tracked(self, user: object) -> bool:
-        """Whether ``user`` has per-user state (positions cache or estimate).
+        """Whether ``user`` has per-user state in the arena.
 
-        Both sets are consulted: a snapshot-restored estimator carries its
-        users in ``_estimates`` with an empty positions cache, which is
-        lazily rebuilt on demand.
+        Interned means tracked: every path that touches a user's registers —
+        scalar update, batch update, snapshot restore — interns it first.
         """
-        return user in self._positions_cache or user in self._estimates
+        return self._arena.contains(user)
 
     def estimate_fresh(self, user: object) -> float:
         """Recompute the estimate of ``user`` from the shared array right now."""

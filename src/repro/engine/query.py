@@ -23,47 +23,70 @@ property suite (``tests/test_query_engine.py``) enforces this per method.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
 from repro.hashing import fold_key
 
 
-def gather_cached_estimates(cache: Dict[object, float], users: Sequence[object]) -> List[float]:
+def gather_cached_estimates(cache, users: Sequence[object]) -> List[float]:
     """Per-user cached estimates in input order (0.0 for unseen users).
 
-    The batch twin of ``cache.get(user, 0.0)``: one bound-method loop, no
-    per-user method dispatch.  Trivially bit-identical to the scalar path.
+    Arena-backed caches (:class:`repro.state.EstimatesView`) resolve the
+    whole batch as one vectorised code lookup plus a single masked column
+    gather; plain dicts fall back to one bound-method loop, no per-user
+    method dispatch.  Both are trivially bit-identical to the scalar
+    ``cache.get(user, 0.0)`` path (the gathered column holds the exact
+    float64 values the scalar path would read).
     """
+    gather = getattr(cache, "gather_default_zero", None)
+    if gather is not None:
+        return gather(users)
     get = cache.get
     return [get(user, 0.0) for user in users]
 
 
-def positions_matrix_for_users(family, cache: Dict[object, np.ndarray], users: Sequence[object]) -> np.ndarray:
+def positions_matrix_for_users(family, cache, users: Sequence[object]) -> np.ndarray:
     """Return the ``(len(users), family.m)`` virtual-sketch position matrix.
 
     The query-side sibling of :func:`repro.engine.kernels.cached_positions_matrix`
     for plain user sequences (no :class:`~repro.engine.encoding.EncodedBatch`
-    in hand): cached rows are reused, missing rows are folded and evaluated
-    in one vectorised family pass — bit-identical to ``family.positions`` —
-    and written back to ``cache``.
+    in hand).  An arena-backed cache (:class:`repro.state.PositionsView`)
+    answers with one interned-code gather over its columnar positions block
+    (or one vectorised fold evaluation in fold mode) — bit-identical to
+    ``family.positions`` by the hashing layer's contract.  For plain dict
+    caches, cached rows are stacked in one fancy-indexed copy, missing rows
+    are folded and evaluated in one vectorised family pass and written back
+    to ``cache``.
     """
-    matrix = np.empty((len(users), family.m), dtype=np.int64)
+    arena = getattr(cache, "_arena", None)
+    if arena is not None:
+        return arena.positions_rows(arena.intern_many(users))
+    n = len(users)
+    matrix = np.empty((n, family.m), dtype=np.int64)
     missing: List[int] = []
+    hit_rows: List[int] = []
+    hit_values: List[np.ndarray] = []
     for row, user in enumerate(users):
         cached = cache.get(user)
         if cached is not None:
-            matrix[row] = cached
+            hit_rows.append(row)
+            hit_values.append(cached)
         else:
             missing.append(row)
+    if hit_values:
+        if len(hit_values) == n:
+            # All hits: one stacked bulk copy, no index pass.
+            np.stack(hit_values, out=matrix)
+        else:
+            matrix[hit_rows] = np.stack(hit_values)
     if missing:
         folds = np.array([fold_key(users[row]) for row in missing], dtype=np.uint64)
         rows = family.positions_from_hashes(folds)
+        matrix[missing] = rows
         for row_index, row in enumerate(missing):
-            computed = rows[row_index].copy()
-            matrix[row] = computed
-            cache[users[row]] = computed
+            cache[users[row]] = rows[row_index].copy()
     return matrix
 
 

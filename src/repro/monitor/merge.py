@@ -89,13 +89,19 @@ def _sum_estimates(target, source) -> None:
 def tracked_users(estimator) -> list:
     """Every user the estimator carries per-user state for, in stable order.
 
-    The authoritative user set of the shared-sketch methods is the union of
-    the estimate cache and the positions cache: a snapshot-restored
-    estimator has users only in ``_estimates`` (the positions cache rebuilds
-    lazily), while a user whose estimate was never published would appear
-    only in ``_positions_cache``.  Enumerating just one of the two — the bug
-    this helper replaces — dropped users from sliding estimates.
+    Arena-backed estimators (CSE/vHLL) answer straight from the interner:
+    every user with any per-user state is interned, and intern order is
+    first-seen order.  For the dict-backed methods the authoritative user
+    set is the union of the estimate cache and the positions cache: a
+    snapshot-restored estimator has users only in ``_estimates`` (the
+    positions cache rebuilds lazily), while a user whose estimate was never
+    published would appear only in ``_positions_cache``.  Enumerating just
+    one of the two — the bug this helper replaces — dropped users from
+    sliding estimates.
     """
+    arena = getattr(estimator, "_arena", None)
+    if arena is not None:
+        return arena.users()
     users = list(estimator._estimates)
     cache = getattr(estimator, "_positions_cache", None)
     if cache:
@@ -236,7 +242,13 @@ def refresh_estimates_from_state(estimator) -> None:
         return
     if isinstance(estimator, (CSE, VirtualHLL)):
         users = tracked_users(estimator)
-        for user, value in zip(users, estimator.estimate_fresh_many(users)):
+        values = estimator.estimate_fresh_many(users)
+        arena = getattr(estimator, "_arena", None)
+        if arena is not None and len(users) == arena.n_users:
+            # users is the full intern-order population: one column write.
+            arena.set_all_estimates(np.asarray(values, dtype=np.float64))
+            return
+        for user, value in zip(users, values):
             estimator._estimates[user] = value
         return
     if isinstance(estimator, (PerUserLPC, PerUserHLLPP)):

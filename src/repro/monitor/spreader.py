@@ -19,7 +19,7 @@ estimated cardinality, mirroring the paper's ``Delta * n(t)`` rule.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.monitor.merge import ADDITIVE, merge_exactness
@@ -114,7 +114,7 @@ class SpreaderMonitor:
         from repro.monitor.view import SlidingMergeCache
 
         self._merge_cache = SlidingMergeCache()
-        self._last_window_estimates: Optional[Dict[object, float]] = None
+        self._last_window_estimates: Optional[Mapping[object, float]] = None
         #: None until the first evaluation decides whether the method's
         #: sliding estimates can be maintained incrementally (additive merge).
         self._incremental_capable: Optional[bool] = None
@@ -181,8 +181,11 @@ class SpreaderMonitor:
         epoch = self.window.live_epoch.index
         timestamp = self.window.last_timestamp
         alerts: List[AlertEvent] = []
-        for user, estimate in scores.items():
-            if estimate >= enter and user not in self._active:
+        # One vectorised threshold select instead of boxing every (user,
+        # score) pair; candidate order is insertion order, so emission order
+        # and sequence numbers are unchanged.
+        for user, estimate in scores.threshold_candidates(enter):
+            if user not in self._active:
                 self._active[user] = True
                 alerts.append(self._emit("start", user, estimate, enter, epoch, timestamp))
         alerts.extend(self._end_alerts(scores, exit_threshold, epoch, timestamp))
@@ -314,19 +317,26 @@ class SpreaderMonitor:
         """The enter threshold used by the most recent evaluation."""
         return self._last_enter_threshold
 
-    def last_window_estimates(self) -> Dict[object, float]:
+    def last_window_estimates(self) -> Mapping[object, float]:
         """The sliding-window estimates from the most recent evaluation.
 
-        Returns a fresh copy: the backing table is the monitor's live score
-        state, mutated in place by later evaluations — handing it out would
-        let a reader race a concurrent ingest thread mid-iteration (or
-        corrupt the top-k tracker by mutating it).  Falls back to a fresh
-        merge when nothing was ingested since the monitor was built or
-        restored.
+        The backing table is the monitor's live score state, mutated in
+        place by later evaluations — handing it out directly would let a
+        reader race a concurrent ingest thread mid-iteration (or corrupt the
+        top-k tracker by mutating it).  When the table supports it, readers
+        get an O(1) copy-on-write :meth:`~repro.state.ScoreTable.checkout`
+        — the table copies its columns only if a later evaluation actually
+        mutates them — instead of the old O(users) dict copy per call.
+        Falls back to a fresh merge when nothing was ingested since the
+        monitor was built or restored.
         """
-        if self._last_window_estimates is None:
-            self._last_window_estimates = self.window.window_estimates()
-        return dict(self._last_window_estimates)
+        current = self._last_window_estimates
+        if current is None:
+            current = self._last_window_estimates = self.window.window_estimates()
+        checkout = getattr(current, "checkout", None)
+        if checkout is not None:
+            return checkout()
+        return dict(current)
 
     @property
     def alerts_emitted(self) -> int:

@@ -4,8 +4,10 @@ The monitor used to rebuild and fully sort the sliding-window estimate dict
 after every ingested batch — O(users log users) per batch even when the
 batch touched a handful of users.  :class:`TopKTracker` replaces that with:
 
-* a **scores dict** maintained in first-seen order (the canonical tie-break
-  of every ranking this repository serves);
+* a **score table** (:class:`repro.state.ScoreTable`) maintained in
+  first-seen order (the canonical tie-break of every ranking this
+  repository serves) — numpy score/rank columns behind a dict-shaped
+  mapping, with O(1) copy-on-write checkouts for readers;
 * a **bounded head**: the exact top-k under the total order
   ``(-score, first_seen_rank)``, rebuilt from a candidate pool of
   ``old head + users whose score changed`` when updates are monotone
@@ -13,23 +15,24 @@ batch touched a handful of users.  :class:`TopKTracker` replaces that with:
   only grow, so a user whose score did not change can never displace one
   whose score improved);
 * a **full refresh** path (rotations, exact-merge methods) that replaces
-  the scores wholesale and re-selects the head with one
-  ``heapq.nsmallest`` pass — O(users log k), not a full sort.
+  the scores wholesale and re-selects the head with one vectorised
+  ``np.lexsort`` partial selection — O(users log users) on the candidate
+  columns but with no per-user Python work.
 
-The canonical full ranking is the stable descending sort of the scores
-dict; :meth:`TopKTracker.head` equals its first ``k`` entries bit-for-bit
-(``heapq.nsmallest`` with the ``(-score, rank)`` key reproduces stable-sort
-tie order exactly, because first-seen ranks follow dict insertion order).
-The property suite asserts incremental == full re-sort after arbitrary
+The canonical full ranking is the stable descending sort of the score
+table; :meth:`TopKTracker.head` equals its first ``k`` entries bit-for-bit
+(``np.lexsort((ranks, -values))`` reproduces stable-sort tie order exactly,
+because first-seen ranks are unique and follow insertion order).  The
+property suite asserts incremental == full re-sort after arbitrary
 ingest/rotation sequences.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Dict, List, Mapping, Tuple
+from typing import List, Mapping, Tuple
 
 from repro import obs
+from repro.state import ScoreTable
 
 
 class TopKTracker:
@@ -40,9 +43,7 @@ class TopKTracker:
             raise ValueError("k must be positive")
         self.k = k
         #: Current score per user; insertion order is first-seen order.
-        self.scores: Dict[object, float] = {}
-        self._ranks: Dict[object, int] = {}
-        self._next_rank = 0
+        self.scores = ScoreTable()
         self._head: List[Tuple[object, float]] = []
 
     # -- queries ---------------------------------------------------------------
@@ -53,56 +54,51 @@ class TopKTracker:
         return list(self._head)
 
     def total(self) -> float:
-        """``float(sum(scores.values()))``, summed in first-seen order.
+        """Sum of all scores in first-seen order (one vector reduction).
 
         Recomputed on every call (no running float accumulator): an
-        incrementally maintained ``+= new - old`` total drifts by ulps from
-        the left-fold sum, which would make a resumed monitor's delta
-        threshold disagree with the uninterrupted run's.  The scores dict
-        is maintained in first-seen order, which equals the merged estimate
-        dict's order, so this value is a pure function of window state.
+        incrementally maintained ``+= new - old`` total drifts by ulps,
+        which would make a resumed monitor's delta threshold disagree with
+        the uninterrupted run's.  The table's ordered reduction is a pure
+        function of window state, so resumed and uninterrupted monitors
+        compute the identical float.
         """
-        return float(sum(self.scores.values()))
+        return self.scores.total()
 
     def rank_order(self, users) -> List[object]:
         """Sort ``users`` by first-seen rank — the canonical scan order.
 
-        The full evaluation scans the score table in dict (first-seen)
+        The full evaluation scans the score table in insertion (first-seen)
         order; incremental evaluations scan their dirty set through this so
         alert emission order — and with it the alert sequence numbers a
         resumed monitor must reproduce — is identical on both paths.
         """
-        ranks = self._ranks
-        return sorted(users, key=ranks.__getitem__)
+        return sorted(users, key=self.scores.rank_of)
 
     # -- full refresh ----------------------------------------------------------
 
     def full_refresh(self, estimates: Mapping[object, float]) -> None:
         """Replace the whole score table (rotation / exact-merge path).
 
-        The scores dict is updated *in place* so surviving users keep their
-        first-seen position: the dict order — and with it every tie-break —
-        stays stable across refreshes.
+        The score table is updated *in place* so surviving users keep their
+        first-seen position: the insertion order — and with it every
+        tie-break — stays stable across refreshes.
         """
         scores = self.scores
-        ranks = self._ranks
         if estimates is not scores:
             for user in [user for user in scores if user not in estimates]:
                 del scores[user]
-                del ranks[user]
             for user, value in estimates.items():
-                if user not in ranks:
-                    ranks[user] = self._next_rank
-                    self._next_rank += 1
-                scores[user] = value
+                scores.put(user, value)
         self._rebuild_head()
 
     def _rebuild_head(self) -> None:
         obs.counter("monitor.topk.rebuilds").add()
-        ranks = self._ranks
-        self._head = heapq.nsmallest(
-            self.k, self.scores.items(), key=lambda item: (-item[1], ranks[item[0]])
-        )
+        scores = self.scores
+        self._head = [
+            (scores.key_at(code), scores.value_at(code))
+            for code in scores.top_codes(self.k)
+        ]
 
     # -- incremental updates ---------------------------------------------------
 
@@ -116,36 +112,32 @@ class TopKTracker:
         if not changed:
             return
         scores = self.scores
-        ranks = self._ranks
         decreased = False
         for user, value in changed.items():
-            old = scores.get(user)
-            if old is None:
-                ranks[user] = self._next_rank
-                self._next_rank += 1
-            elif value < old:
+            old = scores.put(user, value)
+            if old is not None and value < old:
                 decreased = True
-            scores[user] = value
         if decreased or len(self._head) < min(self.k, len(scores)):
             self._rebuild_head()
             return
+        rank_of = scores.rank_of
         pool = {user for user, _ in self._head}
         tail_user, tail_score = self._head[-1]
         # The pre-update tail key is a safe (weaker) cutoff: scores only
         # grew, so anything beating the new tail also beats this one.
-        cutoff = (-tail_score, ranks[tail_user])
+        cutoff = (-tail_score, rank_of(tail_user))
         dirty = False
         for user in changed:
             if user in pool:
                 dirty = True
-            elif (-scores[user], ranks[user]) < cutoff:
+            elif (-scores[user], rank_of(user)) < cutoff:
                 pool.add(user)
                 dirty = True
         if dirty:
             obs.counter("monitor.topk.repairs").add()
             self._head = sorted(
                 ((user, scores[user]) for user in pool),
-                key=lambda item: (-item[1], ranks[item[0]]),
+                key=lambda item: (-item[1], rank_of(item[0])),
             )[: self.k]
 
     # -- snapshot plumbing -----------------------------------------------------

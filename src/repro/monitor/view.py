@@ -150,21 +150,27 @@ class ReadSnapshot:
     def batch_spread(self, users: Sequence[object]) -> List[float]:
         """Estimates for many users, in input order.
 
-        All-hit batches — the service hot path — resolve with a single
-        C-level ``itemgetter`` call over the estimate table (one dict probe
-        per user, no Python-level loop); any miss falls back to the
-        per-user :meth:`spread` loop with its normalization semantics
-        (int/str duality, wire aliases), so results are identical either
-        way.  (A sorted-column ``searchsorted`` index was measured slower
-        here: random integer probes make binary search cache-miss bound,
-        while a dict probe is one hash lookup.)
+        All-hit batches — the service hot path — resolve against the frozen
+        score columns with one vectorised gather
+        (:meth:`repro.state.FrozenScores.gather_exact`) when the snapshot
+        carries a columnar checkout, or with a single C-level ``itemgetter``
+        call over a plain dict table (one dict probe per user, no
+        Python-level loop).  Any miss falls back to the per-user
+        :meth:`spread` loop with its normalization semantics (int/str
+        duality, wire aliases), so results are identical on every path.
         """
         users = list(users)
         if len(users) > 1:
-            try:
-                return list(operator.itemgetter(*users)(self.estimates))
-            except (KeyError, TypeError):
-                pass
+            gather = getattr(self.estimates, "gather_exact", None)
+            if gather is not None:
+                values = gather(users)
+                if values is not None:
+                    return values
+            else:
+                try:
+                    return list(operator.itemgetter(*users)(self.estimates))
+                except (KeyError, TypeError):
+                    pass
         return [self.spread(user) for user in users]
 
     def topk(self, k: int) -> List[Tuple[object, float]]:
@@ -208,7 +214,9 @@ def export_read_snapshot(monitor) -> ReadSnapshot:
     dict copy — no sorting; the full ranking is materialised lazily only if
     a deep ``topk`` asks for it.
     """
-    estimates = monitor.last_window_estimates()  # already a per-call copy
+    # A copy-on-write checkout (or a per-call dict copy for non-columnar
+    # monitors) — immutable from the snapshot's point of view either way.
+    estimates = monitor.last_window_estimates()
     window = monitor.window
     spec = getattr(monitor, "spec", None)
     return ReadSnapshot(

@@ -1,0 +1,499 @@
+"""Columnar per-user state for the virtual-sketch methods (CSE, vHLL).
+
+One :class:`UserArena` replaces two Python dicts of boxed objects per
+estimator — ``{user: float}`` cached estimates and ``{user: np.ndarray(m)}``
+sketch-position rows — with numpy columns addressed by the dense codes of a
+:class:`~repro.state.interner.UserInterner`:
+
+=================  =========  ====================================================
+column             dtype      meaning
+=================  =========  ====================================================
+``estimate``       float64    latest cached estimate (the ``estimate()`` value)
+``has_estimate``   bool       whether the estimate was ever published
+``fold``           uint64     64-bit key fold (interner-owned; positions seed)
+``positions``      int64      ``(capacity, m)`` contiguous physical-cell rows
+``positions_ok``   bool       whether a user's dense positions row is materialised
+=================  =========  ====================================================
+
+Columns grow by amortised doubling; a grow copies the columns but never
+changes a code, so references held by query kernels stay valid.
+
+Positions policies
+------------------
+
+``dense`` keeps the contiguous ``(capacity, m)`` int64 block — row gathers
+are pure ``np.take``, the fastest query path.  ``fold`` stores *nothing* per
+user beyond the 8-byte fold and recomputes rows on demand through
+``HashFamily.positions_from_hashes`` (bit-identical to the cached rows by
+the hashing contract) — 8 bytes/user instead of ``8*m``, the memory-scale
+mode.  ``auto`` (the default) starts dense and drops the block once the
+population crosses ``dense_limit`` users, trading the recompute cost for a
+~``m``-fold smaller footprint exactly when footprint starts to matter.
+
+The dict-shaped views (:class:`EstimatesView`, :class:`PositionsView`) keep
+the estimators' ``_estimates`` / ``_positions_cache`` attributes source
+compatible: iteration order is intern order filtered by presence, which
+equals the insertion order the dicts used to have.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections.abc import MutableMapping
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.state.interner import UserInterner
+
+#: Default population at which an ``auto`` arena drops its dense positions
+#: block.  Chosen above the service-scale query benchmarks (100k users stay
+#: on the dense fast path) but far below the multi-million-user populations
+#: the fold mode exists for.
+DENSE_POSITIONS_LIMIT = 1 << 17
+
+#: Approximate per-user overhead of the interner's dict slot + key object,
+#: used for the cheap resident-bytes gauge (the exact figure needs an O(n)
+#: ``sys.getsizeof`` sweep — see :meth:`UserArena.resident_bytes`).
+_APPROX_KEY_OVERHEAD = 64
+
+
+def _retire_gauges(owner: str, reported: List[int]) -> None:
+    """Finalizer: subtract a dead arena's contribution from the process gauges."""
+    users, nbytes = reported
+    if users:
+        obs.gauge("state.arena.users", owner=owner).add(-users)
+    if nbytes:
+        obs.gauge("state.arena.bytes", owner=owner).add(-nbytes)
+
+
+class UserArena:
+    """Arena-style columnar store of per-user sketch state."""
+
+    def __init__(
+        self,
+        m: int,
+        family=None,
+        positions: str = "auto",
+        dense_limit: int = DENSE_POSITIONS_LIMIT,
+        owner: str = "arena",
+        initial_capacity: int = 64,
+    ) -> None:
+        if positions not in ("dense", "fold", "auto"):
+            raise ValueError("positions must be 'dense', 'fold' or 'auto'")
+        if m <= 0:
+            raise ValueError("m must be positive")
+        if family is None:
+            raise ValueError("an arena needs the estimator's hash family")
+        self._interner = UserInterner(track_folds=True, initial_capacity=initial_capacity)
+        self._m = int(m)
+        self._family = family
+        self._owner = owner
+        capacity = max(1, initial_capacity)
+        self._estimate = np.zeros(capacity, dtype=np.float64)
+        self._has_estimate = np.zeros(capacity, dtype=np.bool_)
+        self._estimate_count = 0
+        self._positions_policy = positions
+        self._dense_limit = int(dense_limit) if positions == "auto" else None
+        if positions == "fold":
+            self._positions: Optional[np.ndarray] = None
+            self._positions_ok: Optional[np.ndarray] = None
+        else:
+            self._positions = np.zeros((capacity, self._m), dtype=np.int64)
+            self._positions_ok = np.zeros(capacity, dtype=np.bool_)
+        self._growth_events = 0
+        self.estimates = EstimatesView(self)
+        self.positions_cache = PositionsView(self)
+        #: [users, bytes] reported to the process gauges so far; mutated in
+        #: place so the GC finalizer sees the final figures.
+        self._reported = [0, 0]
+        self._finalizer = weakref.finalize(self, _retire_gauges, owner, self._reported)
+
+    # -- pickling (weakref finalizers are not picklable) -------------------------
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_finalizer"]
+        state["_reported"] = [0, 0]  # gauge deltas belong to the source process
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._finalizer = weakref.finalize(
+            self, _retire_gauges, self._owner, self._reported
+        )
+
+    def __deepcopy__(self, memo):
+        import copy
+
+        clone = object.__new__(UserArena)
+        memo[id(self)] = clone
+        state = {
+            key: copy.deepcopy(value, memo)
+            for key, value in self.__dict__.items()
+            if key != "_finalizer"
+        }
+        state["_reported"] = [0, 0]
+        clone.__dict__.update(state)
+        clone.estimates._arena = clone
+        clone.positions_cache._arena = clone
+        clone._finalizer = weakref.finalize(
+            clone, _retire_gauges, clone._owner, clone._reported
+        )
+        return clone
+
+    # -- sizing -------------------------------------------------------------------
+
+    @property
+    def n_users(self) -> int:
+        return len(self._interner)
+
+    @property
+    def m(self) -> int:
+        return self._m
+
+    @property
+    def positions_mode(self) -> str:
+        """The live positions representation: ``dense`` or ``fold``."""
+        return "dense" if self._positions is not None else "fold"
+
+    @property
+    def growth_events(self) -> int:
+        return self._growth_events
+
+    def users(self) -> List[object]:
+        """All tracked users in intern (first-seen) order."""
+        return self._interner.users()
+
+    def _ensure_capacity(self, code: int) -> None:
+        capacity = self._estimate.size
+        if code < capacity:
+            return
+        new_capacity = capacity
+        while new_capacity <= code:
+            new_capacity *= 2
+        grown = np.zeros(new_capacity, dtype=np.float64)
+        grown[:capacity] = self._estimate
+        self._estimate = grown
+        grown_has = np.zeros(new_capacity, dtype=np.bool_)
+        grown_has[:capacity] = self._has_estimate
+        self._has_estimate = grown_has
+        if self._positions is not None:
+            if self._dense_limit is not None and new_capacity > self._dense_limit:
+                # auto policy: the population outgrew the dense block — drop
+                # it and recompute rows from folds from here on.
+                self._positions = None
+                self._positions_ok = None
+                obs.counter(
+                    "state.arena.dense_to_fold", owner=self._owner
+                ).add()
+            else:
+                grown_pos = np.zeros((new_capacity, self._m), dtype=np.int64)
+                grown_pos[:capacity] = self._positions
+                self._positions = grown_pos
+                grown_ok = np.zeros(new_capacity, dtype=np.bool_)
+                grown_ok[:capacity] = self._positions_ok
+                self._positions_ok = grown_ok
+        self._growth_events += 1
+        obs.counter("state.arena.growth_events", owner=self._owner).add()
+        self._report_bytes()
+
+    # -- interning ----------------------------------------------------------------
+
+    def intern(self, user: object, fold: Optional[int] = None) -> int:
+        before = len(self._interner)
+        code = self._interner.intern(user, fold)
+        if code >= before:
+            self._ensure_capacity(code)
+            self._report_users(1)
+        return code
+
+    def intern_many(
+        self, users: Sequence[object], folds: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        before = len(self._interner)
+        codes = self._interner.intern_many(users, folds)
+        added = len(self._interner) - before
+        if added:
+            self._ensure_capacity(len(self._interner) - 1)
+            self._report_users(added)
+        return codes
+
+    def lookup(self, user: object) -> int:
+        return self._interner.lookup(user)
+
+    def lookup_many(self, users: Sequence[object]) -> np.ndarray:
+        return self._interner.lookup_many(users)
+
+    def contains(self, user: object) -> bool:
+        return user in self._interner
+
+    # -- positions ----------------------------------------------------------------
+
+    def positions_row(self, code: int) -> np.ndarray:
+        """One user's ``m`` physical positions (scalar update/estimate path)."""
+        fold = self._interner._folds[code : code + 1]
+        if self._positions is None:
+            return self._family.positions_from_hashes(fold)[0]
+        if not self._positions_ok[code]:
+            self._positions[code] = self._family.positions_from_hashes(fold)[0]
+            self._positions_ok[code] = True
+        return self._positions[code]
+
+    def positions_rows(self, codes: np.ndarray) -> np.ndarray:
+        """``(len(codes), m)`` positions matrix; one gather, no Python loop.
+
+        Dense mode materialises any missing rows first (one vectorised
+        family pass over the missing folds — bit-identical to
+        ``family.positions`` per key); fold mode recomputes every requested
+        row the same way without storing it.
+        """
+        if self._positions is None:
+            return self._family.positions_from_hashes(self._interner.folds(codes))
+        ok = self._positions_ok[codes]
+        if not ok.all():
+            missing = codes[~ok]
+            self._positions[missing] = self._family.positions_from_hashes(
+                self._interner.folds(missing)
+            )
+            self._positions_ok[missing] = True
+        return self._positions[codes]
+
+    def positions_cached_count(self) -> int:
+        """Number of materialised dense rows (0 in fold mode)."""
+        if self._positions_ok is None:
+            return 0
+        return int(np.count_nonzero(self._positions_ok[: self.n_users]))
+
+    # -- estimates ----------------------------------------------------------------
+
+    def set_estimate(self, code: int, value: float) -> None:
+        if not self._has_estimate[code]:
+            self._has_estimate[code] = True
+            self._estimate_count += 1
+        self._estimate[code] = value
+
+    def set_estimates(self, codes: np.ndarray, values: np.ndarray) -> None:
+        """Column write for a batch of (unique) codes."""
+        fresh = int(np.count_nonzero(~self._has_estimate[codes]))
+        if fresh:
+            self._has_estimate[codes] = True
+            self._estimate_count += fresh
+        self._estimate[codes] = values
+
+    def set_all_estimates(self, values: Sequence[float]) -> None:
+        """Replace every tracked user's estimate, in intern order."""
+        n = self.n_users
+        self._estimate[:n] = np.asarray(values, dtype=np.float64)
+        self._has_estimate[:n] = True
+        self._estimate_count = n
+
+    def load_estimates(self, mapping) -> None:
+        """Adopt a ``{user: estimate}`` mapping (snapshot-restore seam).
+
+        Users are interned in mapping order, so a restored estimator's
+        first-seen order equals the order the snapshot was written in —
+        exactly what assigning a dict to ``_estimates`` used to do.
+        """
+        self._has_estimate[: self.n_users] = False
+        self._estimate_count = 0
+        for user, value in mapping.items():
+            code = self.intern(user)
+            self._estimate[code] = value
+            if not self._has_estimate[code]:
+                self._has_estimate[code] = True
+                self._estimate_count += 1
+
+    # -- accounting ----------------------------------------------------------------
+
+    def _column_bytes(self) -> int:
+        total = self._estimate.nbytes + self._has_estimate.nbytes
+        total += self._interner._folds.nbytes
+        if self._positions is not None:
+            total += self._positions.nbytes + self._positions_ok.nbytes
+        return total
+
+    def resident_bytes(self) -> int:
+        """Measured resident footprint: columns + interner dict/list/keys."""
+        return self._column_bytes() + self._interner.resident_bytes()
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "owner": self._owner,
+            "users": self.n_users,
+            "m": self._m,
+            "positions_mode": self.positions_mode,
+            "growth_events": self._growth_events,
+            "column_bytes": self._column_bytes(),
+            "resident_bytes": self.resident_bytes(),
+        }
+
+    def _report_users(self, added: int) -> None:
+        self._reported[0] += added
+        obs.gauge("state.arena.users", owner=self._owner).add(added)
+        # Keep the bytes gauge roughly current between growths: the interner
+        # side grows per key, the columns only at doubling events.
+        self._reported[1] += added * _APPROX_KEY_OVERHEAD
+        obs.gauge("state.arena.bytes", owner=self._owner).add(
+            added * _APPROX_KEY_OVERHEAD
+        )
+
+    def _report_bytes(self) -> None:
+        current = self._column_bytes() + self.n_users * _APPROX_KEY_OVERHEAD
+        delta = current - self._reported[1]
+        if delta:
+            self._reported[1] = current
+            obs.gauge("state.arena.bytes", owner=self._owner).add(delta)
+
+
+class EstimatesView(MutableMapping):
+    """Dict-shaped live view of the arena's estimate column.
+
+    Implements the full ``MutableMapping`` protocol (so ``dict(view)``,
+    ``view == {...}``, ``view.setdefault`` all behave) plus the vectorised
+    gathers the query engine dispatches on.  Iteration order is intern order
+    filtered by ``has_estimate`` — identical to the insertion order of the
+    dict this view replaced on every estimator path (publish, batch publish,
+    setdefault-merge, snapshot load).  The one divergence: re-publishing
+    after ``del view[user]`` restores the user at its *original* position
+    rather than the end — no estimator path deletes estimates, so nothing
+    observes it (the monitor's score table, where deletion is real, tracks
+    re-insert ranks properly).
+    """
+
+    __slots__ = ("_arena",)
+
+    def __init__(self, arena: UserArena) -> None:
+        self._arena = arena
+
+    def __len__(self) -> int:
+        return self._arena._estimate_count
+
+    def __iter__(self) -> Iterator[object]:
+        arena = self._arena
+        has = arena._has_estimate
+        for code, user in enumerate(arena._interner._keys):
+            if has[code]:
+                yield user
+
+    def __contains__(self, user: object) -> bool:
+        arena = self._arena
+        code = arena._interner._codes.get(user)
+        return code is not None and bool(arena._has_estimate[code])
+
+    def __getitem__(self, user: object) -> float:
+        arena = self._arena
+        code = arena._interner._codes.get(user)
+        if code is None or not arena._has_estimate[code]:
+            raise KeyError(user)
+        return float(arena._estimate[code])
+
+    def get(self, user: object, default=None):
+        arena = self._arena
+        code = arena._interner._codes.get(user)
+        if code is None or not arena._has_estimate[code]:
+            return default
+        return float(arena._estimate[code])
+
+    def __setitem__(self, user: object, value: float) -> None:
+        arena = self._arena
+        arena.set_estimate(arena.intern(user), value)
+
+    def setdefault(self, user: object, default: float = 0.0) -> float:
+        arena = self._arena
+        code = arena.intern(user)
+        if not arena._has_estimate[code]:
+            arena.set_estimate(code, default)
+            return default
+        return float(arena._estimate[code])
+
+    def __delitem__(self, user: object) -> None:
+        arena = self._arena
+        code = arena._interner._codes.get(user)
+        if code is None or not arena._has_estimate[code]:
+            raise KeyError(user)
+        arena._has_estimate[code] = False
+        arena._estimate_count -= 1
+
+    def items(self):
+        arena = self._arena
+        has = arena._has_estimate
+        estimate = arena._estimate
+        return (
+            (user, float(estimate[code]))
+            for code, user in enumerate(arena._interner._keys)
+            if has[code]
+        )
+
+    def gather_default_zero(self, users: Sequence[object]) -> List[float]:
+        """``[view.get(user, 0.0) for user in users]`` as one column gather."""
+        arena = self._arena
+        codes = arena.lookup_many(users)
+        hit = codes >= 0
+        safe = np.where(hit, codes, 0)
+        values = np.where(
+            hit & arena._has_estimate[safe], arena._estimate[safe], 0.0
+        )
+        return values.tolist()
+
+
+class PositionsView:
+    """Dict-shaped live view of the arena's positions block.
+
+    Only the surface the estimators and merge helpers actually use:
+    membership, truthiness (``len`` = materialised dense rows, so a freshly
+    restored estimator's cache is falsy exactly like the empty dict was),
+    ``get``/``__getitem__`` returning a row, and iteration over users with
+    materialised rows.
+    """
+
+    __slots__ = ("_arena",)
+
+    def __init__(self, arena: UserArena) -> None:
+        self._arena = arena
+
+    def __len__(self) -> int:
+        return self._arena.positions_cached_count()
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __contains__(self, user: object) -> bool:
+        arena = self._arena
+        code = arena._interner._codes.get(user)
+        if code is None:
+            return False
+        if arena._positions_ok is None:
+            # Fold mode: every interned user's row is derivable on demand.
+            return True
+        return bool(arena._positions_ok[code])
+
+    def __iter__(self) -> Iterator[object]:
+        arena = self._arena
+        ok = arena._positions_ok
+        for code, user in enumerate(arena._interner._keys):
+            if ok is None or ok[code]:
+                yield user
+
+    def get(self, user: object, default=None):
+        arena = self._arena
+        code = arena._interner._codes.get(user)
+        if code is None:
+            return default
+        if arena._positions_ok is not None and not arena._positions_ok[code]:
+            return default
+        return arena.positions_row(code)
+
+    def __getitem__(self, user: object) -> np.ndarray:
+        row = self.get(user)
+        if row is None:
+            raise KeyError(user)
+        return row
+
+    def __setitem__(self, user: object, row: np.ndarray) -> None:
+        arena = self._arena
+        code = arena.intern(user)
+        if arena._positions is not None:
+            arena._positions[code] = row
+            arena._positions_ok[code] = True

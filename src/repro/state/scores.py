@@ -1,0 +1,457 @@
+"""Columnar score table + frozen checkout views for the monitor's top-k.
+
+:class:`ScoreTable` is a drop-in for the ``TopKTracker``'s ``{user: score}``
+dict: the full ``MutableMapping`` protocol with *identical* iteration
+semantics (insertion order; delete-then-reinsert moves a user to the end),
+backed by numpy columns so ranking, thresholds and totals are vectorised:
+
+* ``values``  — float64 score per code;
+* ``present`` — bool membership (codes are permanent, deletion is a flag);
+* ``rank``    — the monotone insertion counter; sorting present codes by
+  rank reproduces dict insertion order exactly, because every insert *and*
+  every re-insert takes a fresh rank.
+
+:meth:`checkout` returns a :class:`FrozenScores` — the read-only snapshot
+``SpreaderMonitor.last_window_estimates`` hands to readers.  Checkout is
+O(1): the frozen view borrows the live columns, and the table copies them
+for itself before its next mutation (copy-on-write with ownership handoff —
+the frozen view keeps the originals, which are never written again, so
+concurrent readers can gather from a snapshot while ingest keeps mutating
+the table).  Before this existed every ``last_window_estimates()`` call
+boxed the whole table into a fresh dict.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, MutableMapping
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.state.interner import UserInterner
+
+_INT64_MAX = (1 << 63) - 1
+
+
+class ScoreTable(MutableMapping):
+    """Mutable mapping of user -> score over interner-coded numpy columns."""
+
+    def __init__(self, initial_capacity: int = 64) -> None:
+        self._interner = UserInterner(track_folds=False, initial_capacity=initial_capacity)
+        capacity = max(1, initial_capacity)
+        self._values = np.zeros(capacity, dtype=np.float64)
+        self._present = np.zeros(capacity, dtype=np.bool_)
+        self._rank = np.zeros(capacity, dtype=np.int64)
+        self._next_rank = 0
+        self._count = 0
+        #: Cached present-codes-in-rank-order array (None = needs rebuild).
+        self._order_cache: Optional[np.ndarray] = None
+        #: True while rank order equals code order with no gaps, which makes
+        #: ordered gathers plain contiguous slices.
+        self._order_is_identity = True
+        #: Columns currently borrowed by an outstanding FrozenScores.
+        self._loaned = False
+
+    # -- copy-on-write plumbing --------------------------------------------------
+
+    def _prepare_write(self) -> None:
+        """Detach from any outstanding checkout before the first mutation.
+
+        The table takes fresh copies and leaves the originals to the frozen
+        view — the lazy-copy contract: a checkout that is never followed by
+        a mutation costs nothing.
+        """
+        if self._loaned:
+            self._values = self._values.copy()
+            self._present = self._present.copy()
+            self._rank = self._rank.copy()
+            self._loaned = False
+
+    def checkout(self) -> "FrozenScores":
+        """An immutable snapshot of the current scores (O(1); see module doc)."""
+        self._loaned = True
+        return FrozenScores(
+            self._interner,
+            len(self._interner),
+            self._values,
+            self._present,
+            self._rank,
+            self._count,
+        )
+
+    # -- growth -------------------------------------------------------------------
+
+    def _ensure_capacity(self, code: int) -> None:
+        capacity = self._values.size
+        if code < capacity:
+            return
+        new_capacity = capacity
+        while new_capacity <= code:
+            new_capacity *= 2
+        values = np.zeros(new_capacity, dtype=np.float64)
+        values[:capacity] = self._values
+        present = np.zeros(new_capacity, dtype=np.bool_)
+        present[:capacity] = self._present
+        rank = np.zeros(new_capacity, dtype=np.int64)
+        rank[:capacity] = self._rank
+        # Growth allocates fresh columns either way, which also detaches any
+        # outstanding checkout.
+        self._values, self._present, self._rank = values, present, rank
+        self._loaned = False
+
+    # -- mapping protocol ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, user: object) -> bool:
+        code = self._interner._codes.get(user)
+        return code is not None and bool(self._present[code])
+
+    def __getitem__(self, user: object) -> float:
+        code = self._interner._codes.get(user)
+        if code is None or not self._present[code]:
+            raise KeyError(user)
+        return float(self._values[code])
+
+    def get(self, user: object, default=None):
+        code = self._interner._codes.get(user)
+        if code is None or not self._present[code]:
+            return default
+        return float(self._values[code])
+
+    def __setitem__(self, user: object, value: float) -> None:
+        self.put(user, value)
+
+    def put(self, user: object, value: float):
+        """Set ``user``'s score; returns the previous score or None if absent.
+
+        The combined get-and-set the tracker's incremental update uses (one
+        interner probe instead of two mapping calls).
+        """
+        interner = self._interner
+        code = interner._codes.get(user)
+        if code is None:
+            code = interner.intern(user)
+            self._ensure_capacity(code)
+            self._prepare_write()
+            self._present[code] = True
+            self._values[code] = value
+            self._rank[code] = self._next_rank
+            self._next_rank += 1
+            self._count += 1
+            self._append_to_order(code)
+            return None
+        self._prepare_write()
+        if self._present[code]:
+            old = float(self._values[code])
+            self._values[code] = value
+            return old
+        # Re-insert after deletion: fresh rank, moves to the end — exactly
+        # what a dict re-insert does.
+        self._present[code] = True
+        self._values[code] = value
+        self._rank[code] = self._next_rank
+        self._next_rank += 1
+        self._count += 1
+        self._order_cache = None
+        self._order_is_identity = False
+        return None
+
+    def __delitem__(self, user: object) -> None:
+        code = self._interner._codes.get(user)
+        if code is None or not self._present[code]:
+            raise KeyError(user)
+        self._prepare_write()
+        self._present[code] = False
+        self._count -= 1
+        self._order_cache = None
+        self._order_is_identity = False
+
+    def __iter__(self) -> Iterator[object]:
+        keys = self._interner._keys
+        for code in self.ordered_codes().tolist():
+            yield keys[code]
+
+    def items(self):
+        keys = self._interner._keys
+        values = self._values
+        return (
+            (keys[code], float(values[code]))
+            for code in self.ordered_codes().tolist()
+        )
+
+    # -- ordered access -------------------------------------------------------------
+
+    def _append_to_order(self, code: int) -> None:
+        # Appending would keep a cached order valid (a new code takes the
+        # maximum rank), but growing an ndarray per insert is quadratic over
+        # a bulk refresh — drop the cache and rebuild lazily instead.
+        if self._order_cache is not None:
+            self._order_cache = None
+        if self._order_is_identity and code != self._count - 1:
+            self._order_is_identity = False
+
+    def ordered_codes(self) -> np.ndarray:
+        """Present codes in insertion (rank) order — the dict iteration order."""
+        if self._order_is_identity:
+            return np.arange(self._count, dtype=np.int64)
+        cache = self._order_cache
+        if cache is None:
+            n = len(self._interner)
+            codes = np.flatnonzero(self._present[:n])
+            cache = codes[np.argsort(self._rank[codes])]
+            self._order_cache = cache
+        return cache
+
+    def rank_of(self, user: object) -> int:
+        return int(self._rank[self._interner._codes[user]])
+
+    def total(self) -> float:
+        """Sum of all scores in insertion order (one vector reduction).
+
+        A pure function of (values, order): a resumed monitor rebuilding the
+        same table computes the identical float, which is what the alert
+        sequence-number reproducibility contract needs.
+        """
+        if self._order_is_identity:
+            return float(self._values[: self._count].sum())
+        codes = self.ordered_codes()
+        if codes.size == 0:
+            return 0.0
+        return float(self._values[codes].sum())
+
+    def threshold_candidates(self, threshold: float):
+        """(user, score) pairs with ``score >= threshold`` in insertion order.
+
+        The full evaluation's start-alert scan: one vector compare selects
+        the (few) candidates, which are then boxed — instead of boxing every
+        user/score in the table per batch.
+        """
+        codes = self.ordered_codes()
+        if codes.size == 0:
+            return []
+        values = self._values[codes]
+        selected = np.flatnonzero(values >= threshold)
+        keys = self._interner._keys
+        return [
+            (keys[code], float(value))
+            for code, value in zip(
+                codes[selected].tolist(), values[selected].tolist()
+            )
+        ]
+
+    def top_codes(self, k: int) -> List[int]:
+        """Codes of the exact top-``k`` under ``(-score, rank)``, best first."""
+        codes = self.ordered_codes()
+        if codes.size == 0:
+            return []
+        values = self._values[codes]
+        ranks = self._rank[codes]
+        selected = np.lexsort((ranks, -values))[:k]
+        return codes[selected].tolist()
+
+    def key_at(self, code: int) -> object:
+        return self._interner._keys[code]
+
+    def value_at(self, code: int) -> float:
+        return float(self._values[code])
+
+
+class FrozenScores(Mapping):
+    """Immutable mapping view over a :meth:`ScoreTable.checkout`.
+
+    Codes interned after the checkout are >= the frozen length and read as
+    absent; the interner's dict and key list are append-only, so sharing
+    them with the live table is safe (the columns themselves are protected
+    by the table's copy-on-write handoff).  Iteration order is the frozen
+    insertion order, derived lazily — the hot consumers (``spread`` /
+    ``batch_spread`` gathers, ``len``) never need it.
+    """
+
+    __slots__ = (
+        "_interner",
+        "_n",
+        "_values",
+        "_present",
+        "_rank",
+        "_count",
+        "_order",
+        "_int_index",
+        "_int_lut",
+    )
+
+    def __init__(self, interner, n, values, present, rank, count) -> None:
+        self._interner = interner
+        self._n = n
+        self._values = values
+        self._present = present
+        self._rank = rank
+        self._count = count
+        self._order: Optional[np.ndarray] = None
+        self._int_index = False  # False = not built; None = unbuildable
+        self._int_lut = False  # False = not built; None = range too sparse
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, user: object) -> bool:
+        code = self._interner._codes.get(user)
+        return code is not None and code < self._n and bool(self._present[code])
+
+    def __getitem__(self, user: object) -> float:
+        code = self._interner._codes.get(user)
+        if code is None or code >= self._n or not self._present[code]:
+            raise KeyError(user)
+        return float(self._values[code])
+
+    def get(self, user: object, default=None):
+        code = self._interner._codes.get(user)
+        if code is None or code >= self._n or not self._present[code]:
+            return default
+        return float(self._values[code])
+
+    def _ordered(self) -> np.ndarray:
+        order = self._order
+        if order is None:
+            codes = np.flatnonzero(self._present[: self._n])
+            order = self._order = codes[np.argsort(self._rank[codes])]
+        return order
+
+    def __iter__(self) -> Iterator[object]:
+        keys = self._interner._keys
+        for code in self._ordered().tolist():
+            yield keys[code]
+
+    def keys(self):
+        return iter(self)
+
+    def values(self):
+        values = self._values
+        return (float(values[code]) for code in self._ordered().tolist())
+
+    def items(self):
+        keys = self._interner._keys
+        values = self._values
+        return (
+            (keys[code], float(values[code])) for code in self._ordered().tolist()
+        )
+
+    def __repr__(self) -> str:
+        return f"FrozenScores({self._count} users)"
+
+    # -- vectorised gathers ----------------------------------------------------------
+
+    def gather_exact(self, users: Sequence[object]) -> Optional[List[float]]:
+        """All-present batch gather, or None if any user misses.
+
+        The ``batch_spread`` hot path: mirrors the semantics of the old
+        ``operator.itemgetter`` fast path exactly — a single miss makes the
+        caller fall back to the per-user normalising lookup.
+        """
+        try:
+            arr = np.asarray(users) if not isinstance(users, np.ndarray) else users
+        except (ValueError, TypeError):  # ragged / inhomogeneous probe lists
+            return self._gather_via_dict(users)
+        if arr.ndim != 1:  # e.g. a list of equal-length tuples
+            return self._gather_via_dict(users)
+        kind = arr.dtype.kind
+        if kind == "u":
+            if arr.size and int(arr.max()) > _INT64_MAX:
+                return self._gather_via_dict(users)
+            arr = arr.astype(np.int64)
+            kind = "i"
+        if kind != "i":
+            return self._gather_via_dict(users)
+        index = self._build_int_index()
+        if index is None:
+            return self._gather_via_dict(users)
+        sorted_keys, sorted_codes = index
+        if sorted_keys.size == 0:
+            return None
+        lut_entry = self._build_int_lut(sorted_keys, sorted_codes)
+        if lut_entry is not None:
+            # Dense key range (the service's integer-id hot case): one fancy
+            # index replaces a per-element binary search over unsorted probes.
+            lo, table = lut_entry
+            shifted = arr - lo
+            if shifted.size and (
+                int(shifted.min()) < 0 or int(shifted.max()) >= table.size
+            ):
+                return None  # some probe is outside the frozen key range
+            codes = table[shifted]
+            if not np.all(codes >= 0):
+                return None
+        else:
+            pos = np.searchsorted(sorted_keys, arr)
+            pos_clipped = np.minimum(pos, sorted_keys.size - 1)
+            if not np.all(sorted_keys[pos_clipped] == arr):
+                return None
+            codes = sorted_codes[pos_clipped]
+        if not np.all(self._present[codes]):
+            return None
+        return self._values[codes].tolist()
+
+    def _gather_via_dict(self, users: Sequence[object]) -> Optional[List[float]]:
+        codes_map = self._interner._codes
+        values = self._values
+        present = self._present
+        n = self._n
+        out: List[float] = []
+        for user in users:
+            try:
+                code = codes_map.get(user)
+            except TypeError:  # unhashable probe — let the caller normalise
+                return None
+            if code is None or code >= n or not present[code]:
+                return None
+            out.append(float(values[code]))
+        return out
+
+    def _build_int_index(self):
+        """Sorted (key, code) probe index over the frozen prefix, built once.
+
+        Only representable when every frozen key is a plain int64-range
+        integer; reading ``keys[:n]`` of the append-only key list is safe
+        against concurrent interns.
+        """
+        index = self._int_index
+        if index is False:
+            try:
+                keys_arr = np.fromiter(
+                    self._interner._keys[: self._n], dtype=np.int64, count=self._n
+                )
+            except (TypeError, ValueError, OverflowError):
+                index = self._int_index = None
+            else:
+                order = np.argsort(keys_arr)
+                index = self._int_index = (keys_arr[order], order.astype(np.int64))
+        return index
+
+    def _build_int_lut(self, sorted_keys: np.ndarray, sorted_codes: np.ndarray):
+        """Direct ``key - lo -> code`` table over the frozen key range.
+
+        Built once per checkout, and only when the integer keys are dense
+        enough that the table stays proportional to the population (range
+        <= 4x the key count, with a 64Ki floor so small tables always
+        qualify); sparse populations keep the searchsorted path.  ``-1``
+        marks in-range gaps.
+        """
+        lut = self._int_lut
+        if lut is False:
+            lo = int(sorted_keys[0])
+            span = int(sorted_keys[-1]) - lo + 1
+            if span <= max(4 * sorted_keys.size, 1 << 16):
+                table = np.full(span, -1, dtype=np.int64)
+                table[sorted_keys - lo] = sorted_codes
+                lut = self._int_lut = (lo, table)
+            else:
+                lut = self._int_lut = None
+        return lut
+
+    def total(self) -> float:
+        """Sum of the frozen scores in insertion order (vector reduction)."""
+        codes = self._ordered()
+        if codes.size == 0:
+            return 0.0
+        return float(self._values[codes].sum())

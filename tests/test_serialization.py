@@ -70,7 +70,7 @@ class TestErrorsAndFormat:
 
     def test_rejects_unknown_version(self):
         payload = serialization.dumps(FreeBS(1 << 10))
-        tampered = payload.replace('"version": 2', '"version": 99')
+        tampered = payload.replace('"version": 3', '"version": 99')
         with pytest.raises(ValueError):
             serialization.loads(tampered)
 

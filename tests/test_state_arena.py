@@ -1,0 +1,364 @@
+"""The columnar user-state arena: dict-parity, snapshots, growth, gauges.
+
+The arena contract (:mod:`repro.state`): every dict-shaped view over the
+numpy columns behaves exactly like the Python dict it replaced — key-type
+duality (``7`` vs ``"7"``), insertion-order iteration, delete-then-reinsert
+moving a key to the end — and every positions row is bit-identical whether
+it comes from the dense block, a fold-mode recompute, or
+``HashFamily.positions`` directly.  On top of that sit the scale behaviours
+the dicts never had: amortised-doubling growth that preserves row identity
+under a concurrently ingesting writer, O(1) copy-on-write score checkouts,
+and occupancy gauges in the process metrics registry.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import obs
+from repro.baselines import CSE, VirtualHLL
+from repro.core.serialization import dumps, loads
+from repro.hashing import HashFamily, fold_key
+from repro.state import DENSE_POSITIONS_LIMIT, FrozenScores, ScoreTable, UserArena, UserInterner
+
+_SETTINGS = settings(max_examples=25, deadline=None)
+
+
+def _arena(m=16, M=1 << 12, **kwargs) -> UserArena:
+    family = HashFamily(m, M, seed=7)
+    return UserArena(m=m, family=family, **kwargs)
+
+
+class TestInterner:
+    def test_int_and_string_keys_are_distinct_users(self):
+        interner = UserInterner()
+        assert interner.intern(7) != interner.intern("7")
+        assert interner.lookup(7) == 0
+        assert interner.lookup("7") == 1
+        assert interner.users() == [7, "7"]
+
+    def test_intern_order_is_first_seen_order(self):
+        interner = UserInterner()
+        keys = [5, "a", (1, 2), b"raw", 5, "a", -3]
+        codes = [interner.intern(key) for key in keys]
+        assert codes == [0, 1, 2, 3, 0, 1, 4]
+        assert interner.users() == [5, "a", (1, 2), b"raw", -3]
+
+    def test_vectorised_lookup_matches_dict_probes(self):
+        interner = UserInterner()
+        for key in range(0, 1000, 3):
+            interner.intern(key)
+        probes = np.array([0, 1, 3, 999, 998, -5, 10**6], dtype=np.int64)
+        expected = [interner.lookup(int(p)) for p in probes]
+        assert interner.lookup_many(probes).tolist() == expected
+
+    def test_folds_match_fold_key(self):
+        interner = UserInterner()
+        keys = [3, "x", (1, "y"), b"z"]
+        codes = np.array([interner.intern(key) for key in keys])
+        assert interner.folds(codes).tolist() == [fold_key(key) for key in keys]
+
+
+class TestArenaPositions:
+    @pytest.mark.parametrize("mode", ["dense", "fold"])
+    def test_rows_bit_identical_to_family(self, mode):
+        arena = _arena(positions=mode)
+        family = arena._family
+        users = [1, "u2", (3, 4), b"five", -6]
+        codes = arena.intern_many(users)
+        rows = arena.positions_rows(codes)
+        for user, row in zip(users, rows):
+            np.testing.assert_array_equal(row, family.positions(user))
+            code = arena.lookup(user)
+            np.testing.assert_array_equal(arena.positions_row(code), row)
+
+    def test_auto_switches_dense_to_fold_and_rows_survive(self):
+        arena = _arena(positions="auto", dense_limit=64, initial_capacity=8)
+        family = arena._family
+        users = list(range(200))
+        before = {
+            user: arena.positions_row(arena.intern(user)).copy() for user in users[:40]
+        }
+        assert arena.positions_mode == "dense"
+        arena.intern_many(users)
+        assert arena.positions_mode == "fold"
+        for user, row in before.items():
+            np.testing.assert_array_equal(
+                arena.positions_row(arena.lookup(user)), row
+            )
+            np.testing.assert_array_equal(row, family.positions(user))
+
+    def test_default_dense_limit_is_above_service_scale(self):
+        assert DENSE_POSITIONS_LIMIT == 1 << 17
+
+    def test_growth_preserves_rows_under_background_ingest(self):
+        """Doubling growths driven by a background ingest thread (the single
+        writer, as under the service's ingest lock) while this thread keeps
+        reading: every row captured before any growth must stay bit-identical
+        through several doublings (row identity is positional — a grow copies
+        columns but never moves a code), and reads racing a block swap see a
+        consistent row either way."""
+        arena = _arena(positions="dense", initial_capacity=4)
+        family = arena._family
+        captured = {
+            user: arena.positions_row(arena.intern(user)).copy()
+            for user in range(16)
+        }
+        errors = []
+
+        def ingest():
+            try:
+                for user in range(16, 2000):
+                    arena.positions_row(arena.intern(user))
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        writer = threading.Thread(target=ingest)
+        writer.start()
+        codes = np.array([arena.lookup(user) for user in captured], dtype=np.int64)
+        while writer.is_alive():
+            rows = arena.positions_rows(codes)
+            for (user, row), read in zip(captured.items(), rows):
+                np.testing.assert_array_equal(read, row)
+        writer.join()
+        assert not errors
+        assert arena.growth_events > 0
+        assert arena.n_users == 2000
+        for user, row in captured.items():
+            np.testing.assert_array_equal(
+                arena.positions_rows(np.array([arena.lookup(user)]))[0], row
+            )
+            np.testing.assert_array_equal(row, family.positions(user))
+
+
+class TestEstimatesViewDictParity:
+    @_SETTINGS
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["set", "del", "setdefault", "get"]),
+                st.sampled_from([1, 2, "2", (3,), b"b", True]),
+                st.floats(0, 100, allow_nan=False),
+            ),
+            max_size=40,
+        )
+    )
+    def test_random_op_sequences_match_a_plain_dict(self, ops):
+        arena = _arena()
+        view = arena.estimates
+        reference = {}
+        for op, key, value in ops:
+            if op == "set":
+                view[key] = value
+                reference[key] = value
+            elif op == "del":
+                if key in reference:
+                    del view[key]
+                    del reference[key]
+                else:
+                    with pytest.raises(KeyError):
+                        del view[key]
+            elif op == "setdefault":
+                assert view.setdefault(key, value) == reference.setdefault(key, value)
+            else:
+                assert view.get(key) == reference.get(key)
+            assert dict(view.items()) == reference
+            assert len(view) == len(reference)
+        # Iteration order parity binds on the estimator paths (no deletion):
+        # without dels the view's intern order IS dict insertion order.
+        if not any(op == "del" for op, _key, _value in ops):
+            assert list(view) == list(reference)
+            assert list(view.items()) == list(reference.items())
+
+    def test_gather_default_zero_matches_scalar_gets(self):
+        arena = _arena()
+        view = arena.estimates
+        for user in [4, 9, "9", (1, 2)]:
+            view[user] = float(hash(user) % 50)
+        probes = [4, 9, "9", (1, 2), "missing", 123]
+        assert view.gather_default_zero(probes) == [
+            view.get(user, 0.0) for user in probes
+        ]
+
+
+class TestEstimatorKeyDuality:
+    @pytest.mark.parametrize("factory", [
+        lambda: CSE(1 << 12, virtual_size=32, seed=3),
+        lambda: VirtualHLL(1 << 11, virtual_size=32, seed=3),
+    ])
+    def test_int_7_and_string_7_are_distinct_users(self, factory):
+        estimator = factory()
+        for item in range(40):
+            estimator.update(7, item)
+        for item in range(5):
+            estimator.update("7", item)
+        assert estimator.estimate(7) != estimator.estimate("7")
+        assert set(estimator.estimates()) == {7, "7"}
+        restored = loads(dumps(estimator))
+        assert restored.estimate(7) == estimator.estimate(7)
+        assert restored.estimate("7") == estimator.estimate("7")
+
+    @pytest.mark.parametrize("factory", [
+        lambda: CSE(1 << 12, virtual_size=32, seed=5),
+        lambda: VirtualHLL(1 << 11, virtual_size=32, seed=5),
+    ])
+    def test_tuple_and_bytes_keys_survive_snapshot_round_trips(self, factory):
+        estimator = factory()
+        users = [("src", 1), ("src", 2), b"\x00\xffraw", b"plain", "txt", 42]
+        for user in users:
+            for item in range(10):
+                estimator.update(user, (user, item))
+        restored = loads(dumps(estimator))
+        assert list(restored.estimates()) == list(estimator.estimates())
+        for user in users:
+            assert restored.estimate(user) == estimator.estimate(user)
+            assert restored.estimate_fresh(user) == estimator.estimate_fresh(user)
+        # A second hop must be loss-free too (restore -> dump -> restore).
+        twice = loads(dumps(restored))
+        assert dict(twice.estimates()) == dict(estimator.estimates())
+        # The restored arena keeps answering updates identically.
+        follow_up = [(user, ("extra", i)) for user in users for i in range(3)]
+        for (user, item), (user2, item2) in zip(follow_up, follow_up):
+            assert estimator.update(user, item) == restored.update(user2, item2)
+
+
+class TestScoreTable:
+    @_SETTINGS
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["put", "del"]),
+                st.integers(0, 10),
+                st.floats(0, 1000, allow_nan=False),
+            ),
+            max_size=50,
+        )
+    )
+    def test_matches_dict_semantics_including_reinsert_order(self, ops):
+        table = ScoreTable()
+        reference = {}
+        for op, key, value in ops:
+            if op == "put":
+                old = table.put(key, value)
+                assert old == reference.get(key)
+                reference[key] = value
+            elif key in reference:
+                del table[key]
+                del reference[key]
+            assert list(table.items()) == list(reference.items())
+        assert table.total() == float(np.sum(np.asarray(list(reference.values()))) if reference else 0.0)
+
+    def test_top_codes_equal_stable_sort(self):
+        table = ScoreTable()
+        values = [5.0, 3.0, 5.0, 1.0, 9.0, 3.0]
+        for user, value in enumerate(values):
+            table.put(user, value)
+        expected = sorted(
+            table.items(), key=lambda item: (-item[1], table.rank_of(item[0]))
+        )[:3]
+        assert [
+            (table.key_at(c), table.value_at(c)) for c in table.top_codes(3)
+        ] == expected
+
+    def test_threshold_candidates_preserve_insertion_order(self):
+        table = ScoreTable()
+        for user, value in [("a", 5.0), ("b", 1.0), ("c", 7.0), ("d", 5.0)]:
+            table.put(user, value)
+        assert table.threshold_candidates(5.0) == [("a", 5.0), ("c", 7.0), ("d", 5.0)]
+
+    def test_checkout_is_isolated_from_later_writes(self):
+        table = ScoreTable()
+        for user in range(8):
+            table.put(user, float(user))
+        frozen = table.checkout()
+        expected = dict(table.items())
+        table.put(3, 99.0)
+        table.put(100, 1.0)
+        del table[5]
+        assert dict(frozen.items()) == expected
+        assert frozen.get(3) == 3.0
+        assert frozen.get(100) is None
+        assert table[3] == 99.0
+
+    def test_checkout_survives_concurrent_writer(self):
+        table = ScoreTable()
+        for user in range(64):
+            table.put(user, float(user))
+        frozen = table.checkout()
+        expected = [float(user) for user in range(64)]
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            user = 64
+            try:
+                while not stop.is_set():
+                    table.put(user, float(user))
+                    table.put(user % 64, float(user))
+                    user += 1
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(200):
+                assert frozen.gather_exact(list(range(64))) == expected
+        finally:
+            stop.set()
+            thread.join()
+        assert not errors
+
+    def test_gather_exact_miss_returns_none(self):
+        table = ScoreTable()
+        table.put(1, 1.0)
+        table.put(2, 2.0)
+        frozen = table.checkout()
+        assert frozen.gather_exact([1, 2]) == [1.0, 2.0]
+        assert frozen.gather_exact([1, 3]) is None
+        assert frozen.gather_exact([1, "1"]) is None
+        assert isinstance(frozen, FrozenScores)
+
+
+class TestArenaLifecycle:
+    def test_deepcopy_and_pickle_round_trip(self):
+        import pickle
+
+        arena = _arena()
+        for user in [1, "two", (3,), b"four"]:
+            arena.estimates[user] = float(len(str(user)))
+        for restored in (copy.deepcopy(arena), pickle.loads(pickle.dumps(arena))):
+            assert dict(restored.estimates.items()) == dict(arena.estimates.items())
+            assert restored.users() == arena.users()
+            np.testing.assert_array_equal(
+                restored.positions_row(0), arena.positions_row(0)
+            )
+
+    def test_occupancy_gauges_track_population_and_release(self):
+        users_gauge = obs.gauge("state.arena.users", owner="gauge-test")
+        bytes_gauge = obs.gauge("state.arena.bytes", owner="gauge-test")
+        base_users, base_bytes = users_gauge.value, bytes_gauge.value
+        arena = _arena(owner="gauge-test", initial_capacity=4)
+        arena.intern_many(list(range(100)))
+        assert users_gauge.value == base_users + 100
+        assert bytes_gauge.value > base_bytes
+        assert arena.stats()["users"] == 100
+        assert arena.stats()["resident_bytes"] > 0
+        del arena
+        import gc
+
+        gc.collect()
+        assert users_gauge.value == base_users
+
+    def test_growth_events_counter_increments(self):
+        counter = obs.counter("state.arena.growth_events", owner="growth-test")
+        before = counter.value
+        arena = _arena(owner="growth-test", initial_capacity=2)
+        arena.intern_many(list(range(50)))
+        assert arena.growth_events > 0
+        assert counter.value == before + arena.growth_events
