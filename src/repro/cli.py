@@ -70,7 +70,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import DESCRIPTIONS, list_experiments, run_experiment
@@ -192,7 +191,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _monitor_spec_from_args(args: argparse.Namespace, stream) -> "object":
+def _monitor_spec_from_args(args: argparse.Namespace, stream) -> object:
     """Build the MonitorSpec shared by the ``monitor`` and ``serve`` commands.
 
     One home for the epoch-mode and threshold validation and the delta
@@ -300,6 +299,19 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         if out_handle is not None:
             out_handle.close()
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import main as lint_main
+
+    argv = list(args.paths)
+    if args.strict:
+        argv.append("--strict")
+    if args.as_json:
+        argv.append("--json")
+    if args.rules:
+        argv.extend(["--rules", args.rules])
+    return lint_main(argv)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -530,6 +542,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.set_defaults(handler=_cmd_serve)
 
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the repository's AST-based invariant checks (repro.lint)",
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", default=["src", "scripts"],
+        help="files or directories to lint (default: src scripts)",
+    )
+    lint_parser.add_argument(
+        "--strict", action="store_true",
+        help="also fail on suppression hygiene (missing reasons, stale suppressions)",
+    )
+    lint_parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit findings as a JSON document on stdout",
+    )
+    lint_parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids to run (default: all shipped rules)",
+    )
+    lint_parser.set_defaults(handler=_cmd_lint)
+
     return parser
 
 
@@ -594,7 +628,7 @@ def _add_monitor_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     from repro.obs import configure_logging
 

@@ -26,6 +26,7 @@ compare vectorised implementations against vectorised implementations.
 from repro.engine.base import (
     DEFAULT_CHUNK_PAIRS,
     BatchUpdatable,
+    hot_path,
     process_stream,
     supports_batch,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "encode_int_pairs",
     "encode_pairs",
     "gather_cached_estimates",
+    "hot_path",
     "positions_matrix_for_users",
     "process_stream",
     "route_pair_shards",

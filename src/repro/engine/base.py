@@ -20,11 +20,29 @@ the fast path without call-site changes.
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+from collections.abc import Callable, Iterable
+
+from typing import Any, TypeVar
 
 from repro.engine.encoding import EncodedBatch
 
-UserItemPair = Tuple[object, object]
+UserItemPair = tuple[object, object]
+
+_F = TypeVar("_F", bound=Callable[..., object])
+
+
+def hot_path(func: _F) -> _F:
+    """Mark a function as hot-path: vectorized-only, no per-element Python.
+
+    Zero runtime cost — the marker only tags the function so tooling (the
+    ``RL003`` checker in :mod:`repro.lint`) holds it to the hot-path purity
+    contract: no per-element loops over user collections, no dict hops, no
+    numpy calls inside Python loops.  Apply it to any function outside the
+    always-hot modules (``engine/kernels.py`` / ``engine/query.py`` /
+    ``state/arena.py``) that sits on a per-pair or per-user path.
+    """
+    func.__repro_hot_path__ = True  # type: ignore[attr-defined]
+    return func
 
 #: Default number of pairs per chunk in :func:`process_stream`.  Large enough
 #: to amortise numpy call overhead, small enough that the per-chunk scratch
@@ -60,7 +78,9 @@ def supports_batch(estimator: object) -> bool:
     return callable(getattr(estimator, "update_batch", None))
 
 
-def process_stream(estimator, stream: Iterable[UserItemPair], chunk_size: int | None = None):
+def process_stream(
+    estimator: Any, stream: Iterable[UserItemPair], chunk_size: int | None = None
+) -> Any:
     """Consume a stream through the fastest available path; return the estimator.
 
     Batch-capable estimators receive the stream in chunks of ``chunk_size``
@@ -77,7 +97,7 @@ def process_stream(estimator, stream: Iterable[UserItemPair], chunk_size: int | 
         chunk = int(chunk_size)
         if chunk <= 0:
             raise ValueError("chunk_size must be positive")
-    buffer: list = []
+    buffer: list[UserItemPair] = []
     append = buffer.append
     for pair in stream:
         append(pair)

@@ -1,0 +1,34 @@
+"""Repo-specific static analysis: AST checks for this codebase's contracts.
+
+Generic linters see none of the invariants this repository's correctness
+actually rests on — the ingest-lock discipline (PR 4), the never-block
+asyncio server (PR 4), vectorized hot paths (PRs 1/5/8), registry/codec
+consistency (PR 3/6), bit-identity determinism, and the telemetry catalog
+(PR 7).  Each shipped rule encodes one of those contracts as a stdlib-
+``ast`` pass; findings carry ``file:line``, the rule id and a fix hint,
+and are silenced only by an inline, reasoned, staleness-checked
+suppression.
+
+Run as ``python -m repro.lint [paths] [--strict] [--json]`` or
+``repro.cli lint``; the checker catalog lives in
+``docs/architecture.md``.
+"""
+
+from repro.lint.base import Checker, FileContext, ProjectContext
+from repro.lint.checkers import all_checkers
+from repro.lint.driver import LintResult, main, run_lint
+from repro.lint.findings import Finding
+from repro.lint.suppress import META_RULE, SuppressionTable
+
+__all__ = [
+    "META_RULE",
+    "Checker",
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "ProjectContext",
+    "SuppressionTable",
+    "all_checkers",
+    "main",
+    "run_lint",
+]

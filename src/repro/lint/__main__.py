@@ -1,0 +1,8 @@
+"""``python -m repro.lint [paths] [--strict] [--json]``."""
+
+import sys
+
+from repro.lint.driver import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""RL001 — lock discipline for ingest-shared monitor state.
+
+The runtime's :class:`~repro.runtime.handle.IngestHandle` contract (PR 4):
+every mutation of state shared between the ingest thread and readers must
+happen while holding the handle's shared lock.  Nothing enforced that — a
+refactor that moves a ``self._snapshot = ...`` out of its ``with
+self.lock`` block compiles, passes the single-threaded tests, and corrupts
+answers only under concurrent load.
+
+The rule infers each class's *guarded attribute set* from the code itself:
+every ``self.<attr>`` touched inside a ``with self.<lock>`` block (where
+the attribute name contains ``lock``) is considered lock-guarded, and any
+*write* to a guarded attribute outside such a block — in any method other
+than ``__init__``, which runs before the object is shared — is a
+violation.  Classes without a lock attribute are ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import Checker, FileContext
+from repro.lint.findings import Finding
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """The attribute name of a ``self.<attr>`` expression, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _lock_exprs(item: ast.withitem) -> str | None:
+    """The lock attribute named by one with-item, if it is ``self.<lock-ish>``."""
+    attr = _self_attr(item.context_expr)
+    if attr is not None and "lock" in attr.lower():
+        return attr
+    return None
+
+
+class LockDisciplineChecker(Checker):
+    rule = "RL001"
+    title = (
+        "state shared with the ingest thread is only written under the "
+        "shared lock (IngestHandle contract, PR 4)"
+    )
+    scope = (
+        "src/repro/monitor/*.py",
+        "src/repro/runtime/handle.py",
+        "src/repro/service/server.py",
+    )
+
+    def check(self, context: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(context, node))
+        return findings
+
+    def _check_class(self, context: FileContext, cls: ast.ClassDef) -> list[Finding]:
+        guarded = self._guarded_attributes(cls)
+        if not guarded:
+            return []
+        findings: list[Finding] = []
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name == "__init__":
+                continue
+            findings.extend(self._check_method(context, cls, method, guarded))
+        return findings
+
+    def _guarded_attributes(self, cls: ast.ClassDef) -> set[str]:
+        """Attributes of ``self`` touched inside any ``with self.<lock>``."""
+        guarded: set[str] = set()
+        for node in ast.walk(cls):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            locks = [_lock_exprs(item) for item in node.items]
+            if not any(locks):
+                continue
+            for inner in ast.walk(node):
+                attr = _self_attr(inner) if isinstance(inner, ast.Attribute) else None
+                if attr is not None and "lock" not in attr.lower():
+                    guarded.add(attr)
+        return guarded
+
+    def _check_method(
+        self,
+        context: FileContext,
+        cls: ast.ClassDef,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+        guarded: set[str],
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+
+        def visit(node: ast.AST, locked: bool) -> None:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                now_locked = locked or any(_lock_exprs(item) for item in node.items)
+                for child in ast.iter_child_nodes(node):
+                    visit(child, now_locked)
+                return
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not method:
+                # Nested defs run later, under whoever calls them.
+                return
+            if not locked and isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    attr = _self_attr(target)
+                    if attr in guarded:
+                        findings.append(
+                            Finding(
+                                path=context.rel,
+                                line=node.lineno,
+                                col=node.col_offset,
+                                rule=self.rule,
+                                message=(
+                                    f"{cls.name}.{method.name} writes lock-guarded "
+                                    f"attribute 'self.{attr}' outside `with self.lock`"
+                                ),
+                                hint=(
+                                    "move the write under the shared lock, or suppress "
+                                    "with the contract that makes it safe"
+                                ),
+                            )
+                        )
+            for child in ast.iter_child_nodes(node):
+                visit(child, locked)
+
+        visit(method, False)
+        return findings

@@ -1,0 +1,192 @@
+"""RL006 — the metric catalog and the metric call sites cannot drift.
+
+PR 7's telemetry layer registers instruments at the call site
+(``obs.counter("service.requests", ...)``), documents them in the
+``docs/architecture.md`` catalog, and asserts on them in
+``scripts/serve_smoke.py`` and the test suite.  Three surfaces, zero
+enforcement: renaming a metric silently breaks dashboards (the docs lie)
+or the smoke assertions (they look up a name that no longer exists).
+
+This cross-file rule extracts:
+
+* **registrations** — every literal first argument of an
+  ``obs.counter`` / ``obs.gauge`` / ``obs.histogram`` call under ``src/``;
+* **references** — dotted metric-shaped string literals in
+  ``scripts/serve_smoke.py`` and ``tests/``, plus every backticked name in
+  the docs catalog (the ```a.b.c` / `.d``` shorthand is expanded against
+  the preceding full name);
+
+and reports both drift directions: a reference to a never-registered
+metric, and a registered metric missing from the docs catalog.  Reference
+scanning is restricted to the first-segment namespaces that actually have
+registrations (``service.`` / ``ingest.`` / ...), so arbitrary dotted
+strings (module paths, file names) are never mistaken for metrics.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.lint.base import Checker, ProjectContext
+from repro.lint.findings import Finding
+
+_DOCS = "docs/architecture.md"
+_SMOKE = "scripts/serve_smoke.py"
+
+_METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+_BACKTICK_RE = re.compile(r"`([^`]+)`")
+
+_INSTRUMENT_FACTORIES = {"counter", "gauge", "histogram"}
+
+
+def _registration_calls(tree: ast.Module) -> list[tuple[str, int, int]]:
+    """(metric name, line, col) of obs.counter/gauge/histogram call literals."""
+    registrations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        func = node.func
+        is_factory = (
+            isinstance(func, ast.Attribute) and func.attr in _INSTRUMENT_FACTORIES
+        ) or (isinstance(func, ast.Name) and func.id in _INSTRUMENT_FACTORIES)
+        if not is_factory:
+            continue
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            if _METRIC_NAME_RE.match(first.value):
+                registrations.append((first.value, node.lineno, node.col_offset))
+    return registrations
+
+
+def _expand_doc_token(token: str, previous: str | None) -> str | None:
+    """Resolve catalog shorthand against the previous full name.
+
+    ``ingest.background.batches`` stands alone; a following ``.pairs``
+    or ``worker_encode_seconds`` replaces the last segment(s) of it.
+    """
+    if _METRIC_NAME_RE.match(token):
+        return token
+    if previous is None:
+        return None
+    prefix = previous.rsplit(".", 1)[0]
+    if token.startswith("."):
+        candidate = prefix + token
+    elif re.fullmatch(r"[a-z][a-z0-9_]*", token):
+        candidate = f"{prefix}.{token}"
+    else:
+        return None
+    return candidate if _METRIC_NAME_RE.match(candidate) else None
+
+
+class MetricsDriftChecker(Checker):
+    rule = "RL006"
+    title = (
+        "metric names referenced by docs, smoke scripts and tests exist "
+        "in the obs registrations — and vice versa (PR 7 catalog)"
+    )
+
+    def finalize(self, project: ProjectContext) -> list[Finding]:
+        registered: dict[str, tuple[str, int]] = {}
+        for rel in project.glob("src/repro/**/*.py"):
+            context = project.load(rel)
+            if context is None:
+                continue
+            for name, line, _col in _registration_calls(context.tree):
+                registered.setdefault(name, (rel, line))
+        if not registered:
+            return []
+        namespaces = {name.split(".", 1)[0] for name in registered}
+
+        findings: list[Finding] = []
+        findings.extend(self._check_code_references(project, registered, namespaces))
+        findings.extend(self._check_docs(project, registered, namespaces))
+        return findings
+
+    def _check_code_references(
+        self,
+        project: ProjectContext,
+        registered: dict[str, tuple[str, int]],
+        namespaces: set[str],
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for rel in [_SMOKE, *project.glob("tests/test_*.py")]:
+            context = project.load(rel)
+            if context is None:
+                continue
+            for node in ast.walk(context.tree):
+                if not (isinstance(node, ast.Constant) and isinstance(node.value, str)):
+                    continue
+                value = node.value
+                if not _METRIC_NAME_RE.match(value):
+                    continue
+                if value.split(".", 1)[0] not in namespaces:
+                    continue
+                if value not in registered:
+                    findings.append(
+                        Finding(
+                            path=rel,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            rule=self.rule,
+                            message=f"metric {value!r} is referenced but never registered",
+                            hint="the name drifted from the obs call site; align them",
+                        )
+                    )
+        return findings
+
+    def _check_docs(
+        self,
+        project: ProjectContext,
+        registered: dict[str, tuple[str, int]],
+        namespaces: set[str],
+    ) -> list[Finding]:
+        text = project.read_text(_DOCS)
+        if text is None:
+            return []
+        documented: set[str] = set()
+        findings: list[Finding] = []
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            # Shorthand expansion (`.pairs`, bare replacement segments) only
+            # applies inside the first cell of catalog table rows; elsewhere
+            # a backticked label like `op` must not be mistaken for one.
+            scanned = line
+            allow_shorthand = False
+            if line.lstrip().startswith("|"):
+                cells = line.split("|")
+                scanned = cells[1] if len(cells) > 1 else ""
+                allow_shorthand = True
+            previous: str | None = None
+            for match in _BACKTICK_RE.finditer(scanned):
+                token = match.group(1).strip()
+                name = _expand_doc_token(token, previous if allow_shorthand else None)
+                if name is None:
+                    continue
+                previous = name
+                if name.split(".", 1)[0] not in namespaces:
+                    continue
+                documented.add(name)
+                if name not in registered:
+                    findings.append(
+                        Finding(
+                            path=_DOCS,
+                            line=lineno,
+                            col=match.start(),
+                            rule=self.rule,
+                            message=f"documented metric {name!r} is never registered",
+                            hint="the catalog drifted from the code; fix whichever is wrong",
+                        )
+                    )
+        for name, (rel, line) in sorted(registered.items()):
+            if name not in documented:
+                findings.append(
+                    Finding(
+                        path=rel,
+                        line=line,
+                        col=0,
+                        rule=self.rule,
+                        message=f"registered metric {name!r} is missing from the {_DOCS} catalog",
+                        hint="add a catalog row (type, labels, meaning)",
+                    )
+                )
+        return findings

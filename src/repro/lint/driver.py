@@ -1,0 +1,214 @@
+"""The lint driver: discover, parse, check, suppress, report.
+
+One run:
+
+1. expand the target paths to ``.py`` files (directories walked
+   recursively, ``__pycache__``/hidden directories skipped);
+2. locate the repository root (the nearest ancestor carrying
+   ``src/repro``) so findings and scopes use stable repo-relative paths;
+3. run every per-file checker over its in-scope targets, then every
+   cross-file checker once;
+4. filter findings through the inline suppression tables, collecting
+   suppression-hygiene findings (reason-less / stale) along the way;
+5. render text (or ``--json``) and choose the exit code.
+
+Exit codes: ``0`` clean, ``1`` findings, ``2`` usage/parse errors.  In
+``--strict`` mode suppression hygiene counts as findings — the mode CI
+runs, so a stale suppression can never linger.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lint.base import Checker, FileContext, ProjectContext
+from repro.lint.checkers import all_checkers
+from repro.lint.findings import Finding
+from repro.lint.suppress import SuppressionTable
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".ruff_cache", ".mypy_cache"}
+
+
+@dataclass
+class LintResult:
+    """Everything one run produced, before rendering."""
+
+    findings: list[Finding]
+    hygiene: list[Finding]
+    checked_files: int
+    parse_errors: list[str]
+
+    def reportable(self, strict: bool) -> list[Finding]:
+        chosen = list(self.findings)
+        if strict:
+            chosen.extend(self.hygiene)
+        return sorted(chosen)
+
+
+def find_repo_root(start: Path) -> Path:
+    """Nearest ancestor of ``start`` containing ``src/repro`` (else CWD)."""
+    probe = start if start.is_dir() else start.parent
+    for candidate in [probe, *probe.parents]:
+        if (candidate / "src" / "repro").is_dir():
+            return candidate
+    return Path.cwd()
+
+
+def discover_files(paths: list[Path]) -> list[Path]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    found: set[Path] = set()
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            found.add(path.resolve())
+        elif path.is_dir():
+            for child in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in child.parts):
+                    found.add(child.resolve())
+    return sorted(found)
+
+
+def run_lint(
+    paths: list[Path],
+    checkers: list[Checker] | None = None,
+    root: Path | None = None,
+) -> LintResult:
+    """Lint ``paths`` with ``checkers`` (default: the shipped set)."""
+    if checkers is None:
+        checkers = all_checkers()
+    files = discover_files(paths)
+    if root is None:
+        root = find_repo_root(files[0] if files else Path.cwd())
+    root = root.resolve()
+    project = ProjectContext(root)
+    for checker in checkers:
+        checker.start(project)
+
+    raw_findings: list[Finding] = []
+    parse_errors: list[str] = []
+    checked = 0
+    linted_rels: list[str] = []
+    for path in files:
+        try:
+            rel = path.relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as error:
+            parse_errors.append(f"{rel}:{error.lineno or 0}: syntax error: {error.msg}")
+            continue
+        checked += 1
+        linted_rels.append(rel)
+        context = FileContext(root, path, source, tree)
+        project.add(context)
+        for checker in checkers:
+            if checker.scope and checker.in_scope(rel):
+                raw_findings.extend(checker.check(context))
+    for checker in checkers:
+        raw_findings.extend(checker.finalize(project))
+
+    # Suppression pass: parse each implicated file's table once, filter the
+    # findings through it, then collect hygiene findings for *linted* files
+    # (files merely read by cross-file checkers are not this run's targets).
+    tables: dict[str, SuppressionTable] = {}
+
+    def table_for(rel: str) -> SuppressionTable | None:
+        if rel not in tables:
+            context = project.load(rel)
+            if context is None:
+                text = project.read_text(rel)
+                tables[rel] = SuppressionTable.from_source(text) if text else None
+            else:
+                tables[rel] = SuppressionTable.from_source(context.source)
+        return tables[rel]
+
+    kept: list[Finding] = []
+    for finding in raw_findings:
+        table = table_for(finding.path)
+        if table is None or table.match(finding) is None:
+            kept.append(finding)
+
+    hygiene: list[Finding] = []
+    for rel in linted_rels:
+        table = table_for(rel)
+        if table is not None:
+            hygiene.extend(table.hygiene_findings(rel))
+
+    return LintResult(
+        findings=sorted(kept),
+        hygiene=sorted(hygiene),
+        checked_files=checked,
+        parse_errors=parse_errors,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``python -m repro.lint`` and ``repro.cli lint``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="AST-based invariant checks for this repository's contracts",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "scripts"],
+        help="files or directories to lint (default: src scripts)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on suppression hygiene (missing reasons, stale suppressions)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit findings as a JSON document on stdout",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (default: all shipped rules)",
+    )
+    args = parser.parse_args(argv)
+
+    checkers = all_checkers()
+    if args.rules:
+        wanted = {rule.strip().upper() for rule in args.rules.split(",") if rule.strip()}
+        unknown = wanted - {checker.rule for checker in checkers}
+        if unknown:
+            parser.error(f"unknown rule ids: {', '.join(sorted(unknown))}")
+        checkers = [checker for checker in checkers if checker.rule in wanted]
+
+    result = run_lint([Path(path) for path in args.paths], checkers)
+    reportable = result.reportable(args.strict)
+
+    if args.as_json:
+        document = {
+            "checked_files": result.checked_files,
+            "strict": args.strict,
+            "rules": {checker.rule: checker.title for checker in checkers},
+            "findings": [finding.to_dict() for finding in reportable],
+            "parse_errors": result.parse_errors,
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        for error in result.parse_errors:
+            print(error, file=sys.stderr)
+        for finding in reportable:
+            print(finding.render())
+        summary = (
+            f"repro.lint: {result.checked_files} files checked, "
+            f"{len(reportable)} finding(s)"
+        )
+        print(summary, file=sys.stderr)
+
+    if result.parse_errors:
+        return 2
+    return 1 if reportable else 0

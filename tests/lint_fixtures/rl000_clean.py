@@ -1,0 +1,4 @@
+# dest: src/repro/core/example.py
+"""RL000 clean: no suppressions at all — nothing to go stale."""
+
+VALUE = 1

@@ -1,0 +1,5 @@
+# dest: src/repro/core/example.py
+"""RL000 firing: a stale suppression and a reason-less one."""
+
+VALUE = 1  # repro-lint: disable=RL005(nothing here violates determinism any more)
+OTHER = 2  # repro-lint: disable=RL001

@@ -1,0 +1,20 @@
+# dest: src/repro/monitor/example.py
+"""RL001 clean: every guarded write happens under the lock."""
+
+import threading
+
+
+class Window:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.count = 0
+        self.snapshot = None
+
+    def publish(self):
+        with self.lock:
+            self.count += 1
+            self.snapshot = self.count
+
+    def reset(self):
+        with self.lock:
+            self.snapshot = None

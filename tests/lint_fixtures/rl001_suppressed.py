@@ -1,0 +1,19 @@
+# dest: src/repro/monitor/example.py
+"""RL001 suppressed: the out-of-lock write documents its contract."""
+
+import threading
+
+
+class Window:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.count = 0
+        self.snapshot = None
+
+    def publish(self):
+        with self.lock:
+            self.count += 1
+            self.snapshot = self.count
+
+    def reset(self):
+        self.snapshot = None  # repro-lint: disable=RL001(caller holds the lock by contract)

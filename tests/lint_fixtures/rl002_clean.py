@@ -1,0 +1,18 @@
+# dest: src/repro/service/example.py
+"""RL002 clean: async sleeps, and blocking work parked on the executor."""
+
+import asyncio
+import json
+
+
+class Handler:
+    async def handle(self, request):
+        await asyncio.sleep(0.1)
+
+        def encode():
+            # Sync helper: runs on the executor, where blocking is fine.
+            with self.lock:
+                return json.dumps(request)
+
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, encode)

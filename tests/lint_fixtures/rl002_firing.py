@@ -1,0 +1,13 @@
+# dest: src/repro/service/example.py
+"""RL002 firing: blocking calls and a lock acquisition in async defs."""
+
+import json
+import time
+
+
+class Handler:
+    async def handle(self, request):
+        time.sleep(0.1)
+        with self.lock:
+            payload = json.dumps(request)
+        return payload

@@ -1,0 +1,9 @@
+# dest: src/repro/service/example.py
+"""RL002 suppressed: a justified blocking call inside an async def."""
+
+import json
+
+
+class Handler:
+    async def handle(self, request):
+        return json.dumps(request)  # repro-lint: disable=RL002(tiny constant-size payload)

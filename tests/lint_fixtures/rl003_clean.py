@@ -1,0 +1,15 @@
+# dest: src/repro/engine/kernels.py
+"""RL003 clean: whole-array operations, no per-element Python."""
+
+import numpy as np
+
+from repro.engine import hot_path
+
+
+def gather(values):
+    return np.asarray(values, dtype=np.float64)
+
+
+@hot_path
+def total(values):
+    return float(np.sum(values))

@@ -1,0 +1,11 @@
+# dest: src/repro/engine/kernels.py
+"""RL003 firing: per-element dict hops and numpy-in-loop in a hot module."""
+
+import numpy as np
+
+
+def gather(estimates):
+    out = []
+    for user, value in estimates.items():
+        out.append(np.float64(value))
+    return out

@@ -1,0 +1,16 @@
+# dest: src/repro/analysis/example.py
+"""RL003 firing: an @hot_path-marked function looping over its parameter.
+
+The marker extends the rule beyond the hot modules: this file lives
+outside them, and still gets checked because of the decorator.
+"""
+
+from repro.engine import hot_path
+
+
+@hot_path
+def total(values):
+    acc = 0.0
+    for value in values:
+        acc += value
+    return acc

@@ -1,0 +1,4 @@
+# dest: src/repro/service/client.py
+"""RL004 clean: the client references every declared array field."""
+
+FIELDS = ["users", "estimates"]

@@ -1,0 +1,4 @@
+# dest: src/repro/service/frames.py
+"""RL004 clean: the dtype table lifts both declared kinds."""
+
+_KIND_DTYPES = {"u64": None, "f64": None}

@@ -1,0 +1,10 @@
+# dest: src/repro/service/ops.py
+"""RL004 clean: every array kind and field name has its wire counterpart."""
+
+OPS = [
+    OpSpec(  # noqa: F821 — fixture is parsed, never run
+        name="ghost",
+        request_arrays=(("users", "u64"),),
+        result_arrays=(("estimates", "f64"),),
+    ),
+]

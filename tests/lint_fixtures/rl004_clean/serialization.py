@@ -1,0 +1,4 @@
+# dest: src/repro/core/serialization.py
+"""RL004 clean: the codec table carries the registry's 'Ghost' entry."""
+
+_METHOD_STATE_CODECS = {"Ghost": (None, None)}

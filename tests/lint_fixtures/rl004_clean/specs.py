@@ -1,0 +1,6 @@
+# dest: src/repro/registry/specs.py
+"""RL004 clean: the registry entry has codec, tests and wire counterparts."""
+
+SPECS = [
+    MethodSpec(name="Ghost", tag="Ghost"),  # noqa: F821 — fixture is parsed, never run
+]

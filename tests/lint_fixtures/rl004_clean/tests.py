@@ -1,0 +1,5 @@
+# dest: tests/test_serialization.py
+"""RL004 clean: round-trips exercise the tag and every format version."""
+
+TAGS = ["Ghost"]
+VERSIONS = ["v1", "v2", "v3"]

@@ -1,0 +1,4 @@
+# dest: src/repro/service/client.py
+"""RL004 firing: the client knows 'estimates' but not 'users'."""
+
+FIELDS = ["estimates"]

@@ -1,0 +1,4 @@
+# dest: src/repro/service/frames.py
+"""RL004 firing: the dtype table only knows 'f64' — 'u64' is missing."""
+
+_KIND_DTYPES = {"f64": None}

@@ -1,0 +1,11 @@
+# dest: src/repro/service/ops.py
+"""RL004 firing: an op array kind the frames layer cannot lift, and a
+field name the client never references."""
+
+OPS = [
+    OpSpec(  # noqa: F821 — fixture is parsed, never run
+        name="ghost",
+        request_arrays=(("users", "u64"),),
+        result_arrays=(("estimates", "f64"),),
+    ),
+]

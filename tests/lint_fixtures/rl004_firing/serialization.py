@@ -1,0 +1,4 @@
+# dest: src/repro/core/serialization.py
+"""RL004 firing: the codec table misses the registry's 'Ghost' entry."""
+
+_METHOD_STATE_CODECS = {"Other": (None, None)}

@@ -1,0 +1,6 @@
+# dest: src/repro/registry/specs.py
+"""RL004 firing: a MethodSpec with no codec entry and no round-trip test."""
+
+SPECS = [
+    MethodSpec(name="Ghost", tag="Ghost"),  # noqa: F821 — fixture is parsed, never run
+]

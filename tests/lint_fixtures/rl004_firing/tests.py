@@ -1,0 +1,4 @@
+# dest: tests/test_serialization.py
+"""RL004 firing: the round-trip suite covers v1 only — v2/v3 untested."""
+
+VERSIONS = ["v1"]

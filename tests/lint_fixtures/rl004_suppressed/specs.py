@@ -1,0 +1,6 @@
+# dest: src/repro/registry/specs.py
+"""RL004 suppressed: an intentionally codec-less spec names its reason."""
+
+SPECS = [
+    MethodSpec(name="Ghost", tag="Ghost"),  # noqa: F821  # repro-lint: disable=RL004(experimental method, snapshots deliberately unsupported)
+]

@@ -1,0 +1,4 @@
+# dest: tests/test_serialization.py
+"""RL004 suppressed companion: version coverage is complete."""
+
+VERSIONS = ["v1", "v2", "v3"]

@@ -1,0 +1,12 @@
+# dest: src/repro/sketches/example.py
+"""RL005 clean: seeded generators; timestamps arrive with the stream."""
+
+import random
+
+import numpy as np
+
+
+def jitter(seed, timestamp):
+    rng = np.random.default_rng(seed)
+    local = random.Random(seed)
+    return timestamp + local.random() + rng.random()

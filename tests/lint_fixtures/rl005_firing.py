@@ -1,0 +1,15 @@
+# dest: src/repro/sketches/example.py
+"""RL005 firing: wall clocks and unseeded RNGs in sketch code."""
+
+import random
+import time
+
+import numpy as np
+
+
+def jitter():
+    now = time.time()
+    noise = random.random()
+    legacy = np.random.rand()
+    rng = np.random.default_rng()
+    return now + noise + legacy + rng.random()

@@ -1,0 +1,8 @@
+# dest: src/repro/sketches/example.py
+"""RL005 suppressed: a deliberate wall-clock read, reason given."""
+
+import time
+
+
+def bench_stamp():
+    return time.time()  # repro-lint: disable=RL005(benchmark label only, never sketch state)

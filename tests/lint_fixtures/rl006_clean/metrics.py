@@ -1,0 +1,9 @@
+# dest: src/repro/obs/example.py
+"""RL006 clean: registration, reference and catalog row all agree."""
+
+
+def counter(name):
+    return name
+
+
+REQUESTS = counter("service.requests")

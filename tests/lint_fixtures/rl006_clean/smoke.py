@@ -1,0 +1,4 @@
+# dest: scripts/serve_smoke.py
+"""RL006 clean: the smoke script asserts on a registered metric."""
+
+REQUESTS = "service.requests"

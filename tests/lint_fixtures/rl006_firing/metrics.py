@@ -1,0 +1,9 @@
+# dest: src/repro/obs/example.py
+"""RL006 firing: a registration the docs catalog never mentions."""
+
+
+def counter(name):
+    return name
+
+
+REQUESTS = counter("service.requests")

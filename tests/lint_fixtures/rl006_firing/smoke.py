@@ -1,0 +1,4 @@
+# dest: scripts/serve_smoke.py
+"""RL006 firing: the smoke script asserts on a never-registered metric."""
+
+GHOST = "service.ghost"

@@ -1,0 +1,9 @@
+# dest: src/repro/obs/example.py
+"""RL006 suppressed companion: a documented registration."""
+
+
+def counter(name):
+    return name
+
+
+REQUESTS = counter("service.requests")

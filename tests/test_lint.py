@@ -1,0 +1,184 @@
+"""The lint framework: fixtures fire, clean passes, suppressions work.
+
+Every shipped rule is proven *live* three ways, from the fixture corpus in
+``tests/lint_fixtures/``:
+
+* its ``*_firing`` fixture produces at least one finding of that rule;
+* its ``*_clean`` fixture produces zero findings (of any rule);
+* its ``*_suppressed`` fixture is silent **and** leaves no hygiene
+  residue — the suppression is used and carries a reason.
+
+Each fixture file names its deploy path in a ``# dest:`` header; the
+harness materialises it inside a throwaway repo root so scope patterns
+(``src/repro/monitor/*.py`` ...) match exactly as they do in this
+repository.  Cross-file rules (RL004/RL006) use fixture *directories*.
+
+On top of the corpus: driver behaviour (exit codes, ``--json``,
+``--rules``, strict hygiene) and the meta-assertion that the fixture
+corpus itself is complete for every shipped rule.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import META_RULE, all_checkers, main, run_lint
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+RULES = sorted(checker.rule for checker in all_checkers())
+
+
+def _deploy(case: str, tmp_path: Path) -> Path:
+    """Materialise one fixture (file or directory) in a fresh repo root."""
+    root = tmp_path / "repo"
+    (root / "src" / "repro").mkdir(parents=True)  # the root marker
+    source = FIXTURES / case
+    files = [source] if source.is_file() else sorted(source.glob("*.py"))
+    for file in files:
+        text = file.read_text(encoding="utf-8")
+        header = text.splitlines()[0]
+        assert header.startswith("# dest:"), f"{file} lacks a '# dest:' header"
+        dest = root / header.split(":", 1)[1].strip()
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        dest.write_text(text, encoding="utf-8")
+    return root
+
+
+def _lint(root: Path, strict: bool = True):
+    result = run_lint([root], root=root)
+    return result.reportable(strict)
+
+
+def _cases(rule: str, kind: str) -> list[str]:
+    prefix = rule.lower()
+    return sorted(
+        path.name for path in FIXTURES.glob(f"{prefix}_{kind}*")
+    )
+
+
+class TestFixtureCorpus:
+    def test_every_rule_has_firing_clean_and_suppressed_fixtures(self):
+        for rule in RULES:
+            assert _cases(rule, "firing"), f"no firing fixture for {rule}"
+            assert _cases(rule, "clean"), f"no clean fixture for {rule}"
+            assert _cases(rule, "suppressed"), f"no suppressed fixture for {rule}"
+        # The meta rule has no suppressed case: hygiene findings cannot be
+        # suppressed (a suppression of a suppression could never go stale).
+        assert _cases(META_RULE, "firing") and _cases(META_RULE, "clean")
+
+    @pytest.mark.parametrize("rule", RULES)
+    def test_firing_fixtures_fire(self, rule, tmp_path):
+        for index, case in enumerate(_cases(rule, "firing")):
+            root = _deploy(case, tmp_path / str(index))
+            findings = _lint(root)
+            fired = [finding for finding in findings if finding.rule == rule]
+            assert fired, f"{case} produced no {rule} finding: {findings}"
+
+    @pytest.mark.parametrize("rule", RULES)
+    def test_clean_fixtures_are_silent(self, rule, tmp_path):
+        for index, case in enumerate(_cases(rule, "clean")):
+            root = _deploy(case, tmp_path / str(index))
+            findings = _lint(root)
+            assert findings == [], f"{case} is not clean: {findings}"
+
+    @pytest.mark.parametrize("rule", RULES)
+    def test_suppressed_fixtures_are_silent_even_in_strict_mode(self, rule, tmp_path):
+        for index, case in enumerate(_cases(rule, "suppressed")):
+            root = _deploy(case, tmp_path / str(index))
+            findings = _lint(root, strict=True)
+            assert findings == [], f"{case} left residue: {findings}"
+
+    def test_meta_rule_fires_on_stale_and_reasonless_suppressions(self, tmp_path):
+        root = _deploy("rl000_firing.py", tmp_path)
+        strict = _lint(root, strict=True)
+        messages = [finding.message for finding in strict]
+        assert any("silences nothing" in message for message in messages)
+        assert any("carries no reason" in message for message in messages)
+        assert all(finding.rule == META_RULE for finding in strict)
+        # Hygiene is strict-only: the default mode stays quiet.
+        assert _lint(root, strict=False) == []
+
+    def test_findings_carry_location_rule_and_hint(self, tmp_path):
+        root = _deploy("rl001_firing.py", tmp_path)
+        finding = _lint(root)[0]
+        assert finding.path == "src/repro/monitor/example.py"
+        assert finding.line > 0 and finding.rule == "RL001"
+        rendered = finding.render()
+        assert rendered.startswith("src/repro/monitor/example.py:")
+        assert "RL001" in rendered and "[hint:" in rendered
+
+
+class TestReasonlessSuppressionNeverSilences:
+    def test_reasonless_suppression_does_not_hide_the_finding(self, tmp_path):
+        root = _deploy("rl001_firing.py", tmp_path)
+        target = root / "src/repro/monitor/example.py"
+        text = target.read_text(encoding="utf-8").replace(
+            "# guarded write outside `with self.lock`",
+            "# repro-lint: disable=RL001",
+        )
+        target.write_text(text, encoding="utf-8")
+        findings = _lint(root, strict=True)
+        rules = {finding.rule for finding in findings}
+        # The violation still fires AND the bare suppression is flagged.
+        assert rules == {"RL001", META_RULE}
+
+
+class TestDriver:
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        root = _deploy("rl001_clean.py", tmp_path)
+        assert main([str(root), "--strict"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().err
+
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        root = _deploy("rl001_firing.py", tmp_path)
+        assert main([str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "RL001" in out
+
+    def test_exit_two_on_syntax_errors(self, tmp_path, capsys):
+        root = tmp_path / "repo"
+        (root / "src" / "repro").mkdir(parents=True)
+        (root / "src" / "repro" / "broken.py").write_text("def oops(:\n")
+        assert main([str(root)]) == 2
+        assert "syntax error" in capsys.readouterr().err
+
+    def test_json_output_is_a_findings_document(self, tmp_path, capsys):
+        root = _deploy("rl005_firing.py", tmp_path)
+        assert main([str(root), "--json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["checked_files"] == 1
+        assert document["rules"]  # the rule catalog rides along
+        assert any(f["rule"] == "RL005" for f in document["findings"])
+        for finding in document["findings"]:
+            assert {"path", "line", "col", "rule", "message", "hint"} <= set(finding)
+
+    def test_rules_filter_limits_the_run(self, tmp_path):
+        # The RL005 firing fixture fires nothing when only RL001 runs.
+        root = _deploy("rl005_firing.py", tmp_path)
+        assert main([str(root), "--rules", "RL001"]) == 0
+
+    def test_unknown_rule_id_is_a_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main([str(tmp_path), "--rules", "RL999"])
+        assert excinfo.value.code == 2
+
+    def test_rule_ids_are_unique_and_titled(self):
+        checkers = all_checkers()
+        rules = [checker.rule for checker in checkers]
+        assert len(set(rules)) == len(rules) >= 6
+        assert all(checker.title for checker in checkers)
+
+
+class TestRepositoryIsClean:
+    def test_src_and_scripts_lint_clean_in_strict_mode(self):
+        # The same invocation CI runs; a regression in the codebase (or an
+        # over-eager checker) fails here first, with the rendered findings.
+        repo = Path(__file__).resolve().parents[1]
+        result = run_lint([repo / "src", repo / "scripts"], root=repo)
+        reportable = result.reportable(strict=True)
+        assert result.parse_errors == []
+        assert reportable == [], "\n".join(f.render() for f in reportable)
