@@ -13,8 +13,9 @@ relies on.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
+
 import asyncio
-from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.monitor.snapshot import SnapshotStore
@@ -22,30 +23,30 @@ from repro.monitor.spreader import SpreaderMonitor
 from repro.runtime.handle import ingest_handle_for_monitor
 from repro.service.server import EstimateServer, EstimateService
 
-UserItemPair = Tuple[object, object]
+UserItemPair = tuple[object, object]
 
 #: Callback receiving JSONL-ready lifecycle records (serving, ingest end).
-Announcer = Callable[[Dict[str, object]], None]
+Announcer = Callable[[dict[str, object]], None]
 
 
-def _null_announce(_record: Dict[str, object]) -> None:
+def _null_announce(_record: dict[str, object]) -> None:
     return None
 
 
 async def serve_monitor(
     monitor: SpreaderMonitor,
-    pairs: Optional[Sequence[UserItemPair]] = None,
-    timestamps: Optional[Sequence[float]] = None,
+    pairs: Sequence[UserItemPair] | None = None,
+    timestamps: Sequence[float] | None = None,
     host: str = "127.0.0.1",
     port: int = 0,
     batch_size: int = 2048,
-    rate: Optional[float] = None,
+    rate: float | None = None,
     refresh_every: int = 1,
-    snapshot_store: Optional[SnapshotStore] = None,
+    snapshot_store: SnapshotStore | None = None,
     snapshot_every: int = 0,
-    announce: Optional[Announcer] = None,
-    ready: Optional[asyncio.Event] = None,
-    metrics_port: Optional[int] = None,
+    announce: Announcer | None = None,
+    ready: asyncio.Event | None = None,
+    metrics_port: int | None = None,
 ) -> None:
     """Serve ``monitor`` over TCP, optionally ingesting ``pairs`` meanwhile.
 
@@ -108,7 +109,7 @@ async def serve_monitor(
 
     server = EstimateServer(service, host=host, port=port)
     await server.start()
-    serving_record: Dict[str, object] = {
+    serving_record: dict[str, object] = {
         "type": "serving",
         "host": server.host,
         "port": server.port,
@@ -121,16 +122,22 @@ async def serve_monitor(
     if ready is not None:
         ready.set()
 
+    def _finalize_ingest() -> None:
+        # Runs on the default executor: the lock is shared with long sketch
+        # merges (`sliding`), so acquiring it on the event loop would stall
+        # every connection until the merge finishes.
+        with service.lock:
+            service.refresh()
+            checkpoint()
+
     async def watch_ingest() -> None:
         if handle is None:
             return
         handle.start()
         while not handle.finished:
             await asyncio.sleep(0.05)
-        with service.lock:
-            service.refresh()
-            checkpoint()
-        record: Dict[str, object] = {
+        await asyncio.get_running_loop().run_in_executor(None, _finalize_ingest)
+        record: dict[str, object] = {
             "type": "ingest-finished",
             "pairs_ingested": monitor.window.pairs_ingested,
             "batches": handle.batches_done,
@@ -146,16 +153,28 @@ async def serve_monitor(
     except asyncio.CancelledError:
         pass
     finally:
-        if handle is not None:
-            handle.stop()
-            try:
-                handle.join(timeout=10.0)
-            except RuntimeError:
-                pass  # ingest failure was already announced / is in stats
+        def _shutdown_ingest() -> None:
+            # Executor-side shutdown: joining the ingest thread and taking
+            # the shared lock for the final checkpoint both block, and the
+            # loop must keep draining in-flight connections meanwhile.
+            if handle is not None:
+                handle.stop()
+                try:
+                    handle.join(timeout=10.0)
+                except RuntimeError:
+                    pass  # ingest failure was already announced / is in stats
+            if snapshot_store is not None:
+                with service.lock:
+                    checkpoint()
+
+        shutdown = asyncio.get_running_loop().run_in_executor(None, _shutdown_ingest)
+        try:
+            await asyncio.shield(shutdown)
+        except asyncio.CancelledError:
+            # Cancelled again mid-shutdown: the executor thread still
+            # finishes the join + checkpoint; only the wait is abandoned.
+            pass
         watcher.cancel()
-        if snapshot_store is not None:
-            with service.lock:
-                checkpoint()
         if metrics_server is not None:
             metrics_server.close()
         await server.close()

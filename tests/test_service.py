@@ -407,3 +407,74 @@ class TestWireKeyRoundTrip:
                 client.spread("7"),
                 client.spread("7"),
             ]
+
+
+class TestServeMonitorLifecycle:
+    """End-to-end orchestration: :func:`serve_monitor` must announce the
+    serving and ingest-finished records, answer queries while ingesting,
+    and — on cancellation — finish the executor-side shutdown (ingest join
+    + final checkpoint) even though the blocking lock work was moved off
+    the event loop."""
+
+    def _run(self, stream, tmp_path, snapshot_every=4):
+        from repro.service import serve_monitor
+
+        monitor = _spec().build()
+        store = SnapshotStore(tmp_path, keep=2)
+        records = []
+        queried = {}
+
+        async def main():
+            ready = asyncio.Event()
+            task = asyncio.create_task(
+                serve_monitor(
+                    monitor,
+                    pairs=stream,
+                    port=0,
+                    batch_size=512,
+                    refresh_every=1,
+                    snapshot_store=store,
+                    snapshot_every=snapshot_every,
+                    announce=records.append,
+                    ready=ready,
+                )
+            )
+            await asyncio.wait_for(ready.wait(), 10.0)
+            deadline = time.monotonic() + 30.0
+            while not any(
+                r["type"] in ("ingest-finished", "ingest-failed") for r in records
+            ):
+                assert time.monotonic() < deadline, "ingest never finished"
+                await asyncio.sleep(0.05)
+            # The server stays queryable after the stream drains; the sync
+            # client runs on the executor so the serving loop keeps turning.
+            port = records[0]["port"]
+
+            def query():
+                with ServiceClient(port=port) as client:
+                    queried["topk"] = client.topk(5)
+                    queried["stats"] = client.stats()
+
+            await asyncio.get_running_loop().run_in_executor(None, query)
+            task.cancel()
+            await asyncio.gather(task, return_exceptions=True)
+
+        asyncio.run(main())
+        return monitor, store, records, queried
+
+    def test_announces_serving_then_ingest_finished(self, stream, tmp_path):
+        monitor, store, records, queried = self._run(stream, tmp_path)
+        assert records[0]["type"] == "serving"
+        assert records[0]["ingesting"] is True
+        finished = [r for r in records if r["type"] == "ingest-finished"]
+        assert len(finished) == 1
+        assert finished[0]["pairs_ingested"] == len(stream)
+        assert queried["topk"] and queried["stats"]["pairs_ingested"] == len(stream)
+
+    def test_final_checkpoint_covers_the_whole_stream(self, stream, tmp_path):
+        monitor, store, _records, _queried = self._run(stream, tmp_path)
+        latest = store.latest()
+        assert latest is not None
+        restored = store.restore(latest)
+        assert restored.window.pairs_ingested == len(stream)
+        assert restored.current_top == monitor.current_top
