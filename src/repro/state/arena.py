@@ -39,8 +39,8 @@ equals the insertion order the dicts used to have.
 from __future__ import annotations
 
 import weakref
-from collections.abc import MutableMapping
-from typing import Dict, Iterator, List, Optional, Sequence
+from collections.abc import Iterator, Mapping, MutableMapping, Sequence
+from typing import Any, Protocol
 
 import numpy as np
 
@@ -59,7 +59,13 @@ DENSE_POSITIONS_LIMIT = 1 << 17
 _APPROX_KEY_OVERHEAD = 64
 
 
-def _retire_gauges(owner: str, reported: List[int]) -> None:
+class HashFamily(Protocol):
+    """The one hash-family operation the arena needs: fold rows -> positions."""
+
+    def positions_from_hashes(self, folds: np.ndarray) -> np.ndarray: ...
+
+
+def _retire_gauges(owner: str, reported: list[int]) -> None:
     """Finalizer: subtract a dead arena's contribution from the process gauges."""
     users, nbytes = reported
     if users:
@@ -74,7 +80,7 @@ class UserArena:
     def __init__(
         self,
         m: int,
-        family=None,
+        family: HashFamily | None = None,
         positions: str = "auto",
         dense_limit: int = DENSE_POSITIONS_LIMIT,
         owner: str = "arena",
@@ -95,10 +101,12 @@ class UserArena:
         self._has_estimate = np.zeros(capacity, dtype=np.bool_)
         self._estimate_count = 0
         self._positions_policy = positions
-        self._dense_limit = int(dense_limit) if positions == "auto" else None
+        self._dense_limit: int | None = (
+            int(dense_limit) if positions == "auto" else None
+        )
         if positions == "fold":
-            self._positions: Optional[np.ndarray] = None
-            self._positions_ok: Optional[np.ndarray] = None
+            self._positions: np.ndarray | None = None
+            self._positions_ok: np.ndarray | None = None
         else:
             self._positions = np.zeros((capacity, self._m), dtype=np.int64)
             self._positions_ok = np.zeros(capacity, dtype=np.bool_)
@@ -112,24 +120,24 @@ class UserArena:
 
     # -- pickling (weakref finalizers are not picklable) -------------------------
 
-    def __getstate__(self):
+    def __getstate__(self) -> dict[str, Any]:
         state = self.__dict__.copy()
         del state["_finalizer"]
         state["_reported"] = [0, 0]  # gauge deltas belong to the source process
         return state
 
-    def __setstate__(self, state):
+    def __setstate__(self, state: dict[str, Any]) -> None:
         self.__dict__.update(state)
         self._finalizer = weakref.finalize(
             self, _retire_gauges, self._owner, self._reported
         )
 
-    def __deepcopy__(self, memo):
+    def __deepcopy__(self, memo: dict[int, Any]) -> UserArena:
         import copy
 
         clone = object.__new__(UserArena)
         memo[id(self)] = clone
-        state = {
+        state: dict[str, Any] = {
             key: copy.deepcopy(value, memo)
             for key, value in self.__dict__.items()
             if key != "_finalizer"
@@ -162,7 +170,7 @@ class UserArena:
     def growth_events(self) -> int:
         return self._growth_events
 
-    def users(self) -> List[object]:
+    def users(self) -> list[object]:
         """All tracked users in intern (first-seen) order."""
         return self._interner.users()
 
@@ -180,6 +188,7 @@ class UserArena:
         grown_has[:capacity] = self._has_estimate
         self._has_estimate = grown_has
         if self._positions is not None:
+            assert self._positions_ok is not None
             if self._dense_limit is not None and new_capacity > self._dense_limit:
                 # auto policy: the population outgrew the dense block — drop
                 # it and recompute rows from folds from here on.
@@ -201,7 +210,7 @@ class UserArena:
 
     # -- interning ----------------------------------------------------------------
 
-    def intern(self, user: object, fold: Optional[int] = None) -> int:
+    def intern(self, user: object, fold: int | None = None) -> int:
         before = len(self._interner)
         code = self._interner.intern(user, fold)
         if code >= before:
@@ -210,7 +219,7 @@ class UserArena:
         return code
 
     def intern_many(
-        self, users: Sequence[object], folds: Optional[np.ndarray] = None
+        self, users: Sequence[object], folds: np.ndarray | None = None
     ) -> np.ndarray:
         before = len(self._interner)
         codes = self._interner.intern_many(users, folds)
@@ -233,9 +242,12 @@ class UserArena:
 
     def positions_row(self, code: int) -> np.ndarray:
         """One user's ``m`` physical positions (scalar update/estimate path)."""
-        fold = self._interner._folds[code : code + 1]
+        folds = self._interner._folds
+        assert folds is not None
+        fold = folds[code : code + 1]
         if self._positions is None:
             return self._family.positions_from_hashes(fold)[0]
+        assert self._positions_ok is not None
         if not self._positions_ok[code]:
             self._positions[code] = self._family.positions_from_hashes(fold)[0]
             self._positions_ok[code] = True
@@ -251,6 +263,7 @@ class UserArena:
         """
         if self._positions is None:
             return self._family.positions_from_hashes(self._interner.folds(codes))
+        assert self._positions_ok is not None
         ok = self._positions_ok[codes]
         if not ok.all():
             missing = codes[~ok]
@@ -289,7 +302,7 @@ class UserArena:
         self._has_estimate[:n] = True
         self._estimate_count = n
 
-    def load_estimates(self, mapping) -> None:
+    def load_estimates(self, mapping: Mapping[object, float]) -> None:
         """Adopt a ``{user: estimate}`` mapping (snapshot-restore seam).
 
         Users are interned in mapping order, so a restored estimator's
@@ -298,19 +311,27 @@ class UserArena:
         """
         self._has_estimate[: self.n_users] = False
         self._estimate_count = 0
-        for user, value in mapping.items():
-            code = self.intern(user)
-            self._estimate[code] = value
-            if not self._has_estimate[code]:
-                self._has_estimate[code] = True
-                self._estimate_count += 1
+        users = list(mapping)
+        if not users:
+            return
+        # Dict keys are unique under the same equality the interner uses, so
+        # the codes are unique: one column write adopts the whole mapping.
+        codes = self.intern_many(users)
+        self._estimate[codes] = np.fromiter(
+            mapping.values(), dtype=np.float64, count=len(users)
+        )
+        self._has_estimate[codes] = True
+        self._estimate_count = len(users)
 
     # -- accounting ----------------------------------------------------------------
 
     def _column_bytes(self) -> int:
         total = self._estimate.nbytes + self._has_estimate.nbytes
-        total += self._interner._folds.nbytes
+        interner_folds = self._interner._folds
+        if interner_folds is not None:
+            total += interner_folds.nbytes
         if self._positions is not None:
+            assert self._positions_ok is not None
             total += self._positions.nbytes + self._positions_ok.nbytes
         return total
 
@@ -318,7 +339,7 @@ class UserArena:
         """Measured resident footprint: columns + interner dict/list/keys."""
         return self._column_bytes() + self._interner.resident_bytes()
 
-    def stats(self) -> Dict[str, object]:
+    def stats(self) -> dict[str, object]:
         return {
             "owner": self._owner,
             "users": self.n_users,
@@ -389,7 +410,7 @@ class EstimatesView(MutableMapping):
             raise KeyError(user)
         return float(arena._estimate[code])
 
-    def get(self, user: object, default=None):
+    def get(self, user: object, default: Any = None) -> Any:
         arena = self._arena
         code = arena._interner._codes.get(user)
         if code is None or not arena._has_estimate[code]:
@@ -416,7 +437,7 @@ class EstimatesView(MutableMapping):
         arena._has_estimate[code] = False
         arena._estimate_count -= 1
 
-    def items(self):
+    def items(self) -> Any:  # a lazy (user, estimate) generator, not an ItemsView
         arena = self._arena
         has = arena._has_estimate
         estimate = arena._estimate
@@ -426,7 +447,7 @@ class EstimatesView(MutableMapping):
             if has[code]
         )
 
-    def gather_default_zero(self, users: Sequence[object]) -> List[float]:
+    def gather_default_zero(self, users: Sequence[object]) -> list[float]:
         """``[view.get(user, 0.0) for user in users]`` as one column gather."""
         arena = self._arena
         codes = arena.lookup_many(users)
@@ -476,7 +497,7 @@ class PositionsView:
             if ok is None or ok[code]:
                 yield user
 
-    def get(self, user: object, default=None):
+    def get(self, user: object, default: np.ndarray | None = None) -> np.ndarray | None:
         arena = self._arena
         code = arena._interner._codes.get(user)
         if code is None:
@@ -495,5 +516,6 @@ class PositionsView:
         arena = self._arena
         code = arena.intern(user)
         if arena._positions is not None:
+            assert arena._positions_ok is not None
             arena._positions[code] = row
             arena._positions_ok[code] = True

@@ -123,7 +123,7 @@ class TestArenaPositions:
         codes = np.array([arena.lookup(user) for user in captured], dtype=np.int64)
         while writer.is_alive():
             rows = arena.positions_rows(codes)
-            for (user, row), read in zip(captured.items(), rows):
+            for (_user, row), read in zip(captured.items(), rows):
                 np.testing.assert_array_equal(read, row)
         writer.join()
         assert not errors
@@ -184,6 +184,50 @@ class TestEstimatesViewDictParity:
         assert view.gather_default_zero(probes) == [
             view.get(user, 0.0) for user in probes
         ]
+
+
+class TestLoadEstimates:
+    """``load_estimates`` is the snapshot-restore seam: the vectorised
+    adoption (one ``intern_many`` + column write) must stay exactly
+    equivalent to the per-item dict assignment it replaced."""
+
+    def test_adopts_mapping_with_dict_key_semantics_and_order(self):
+        arena = _arena()
+        mapping = {7: 1.0, "7": 2.0, b"raw": 3.0, ("t", 1): 4.0, -3: 5.0}
+        arena.load_estimates(mapping)
+        view = arena.estimates
+        assert dict(view.items()) == mapping
+        # Intern order == mapping insertion order (restored estimators must
+        # keep the snapshot's first-seen order).
+        assert list(view) == list(mapping)
+
+    def test_reload_clears_entries_absent_from_the_new_mapping(self):
+        arena = _arena()
+        arena.load_estimates({1: 1.0, 2: 2.0, 3: 3.0})
+        arena.load_estimates({2: 9.0})
+        view = arena.estimates
+        assert dict(view.items()) == {2: 9.0}
+        assert len(view) == 1
+        assert view.get(1) is None and view.get(3) is None
+
+    def test_empty_mapping_clears_everything(self):
+        arena = _arena()
+        arena.load_estimates({4: 4.0, 5: 5.0})
+        arena.load_estimates({})
+        assert len(arena.estimates) == 0
+        assert dict(arena.estimates.items()) == {}
+
+    def test_matches_per_item_view_assignment(self):
+        rng = np.random.default_rng(9)
+        mapping = {int(user): float(value) for user, value in zip(
+            rng.integers(0, 10**12, size=500), rng.random(size=500)
+        )}
+        loaded, assigned = _arena(), _arena()
+        loaded.load_estimates(mapping)
+        for user, value in mapping.items():
+            assigned.estimates[user] = value
+        assert dict(loaded.estimates.items()) == dict(assigned.estimates.items())
+        assert list(loaded.estimates) == list(assigned.estimates)
 
 
 class TestEstimatorKeyDuality:
