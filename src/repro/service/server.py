@@ -25,9 +25,10 @@ version and ingest offset.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import asyncio
 import threading
-from typing import Dict, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.monitor.spreader import SpreaderMonitor
@@ -46,10 +47,10 @@ _log = obs.get_logger("service")
 
 # Per-(labels) instrument caches: the registry's get-or-create is already a
 # dict hit, but these skip the label sort on every request.
-_REQUEST_COUNTERS: Dict[Tuple[str, str, bool], obs.Counter] = {}
-_OP_SECONDS: Dict[str, obs.Histogram] = {}
-_BYTES_COUNTERS: Dict[str, obs.Counter] = {}
-_ERROR_COUNTERS: Dict[str, obs.Counter] = {}
+_REQUEST_COUNTERS: dict[tuple[str, str, bool], obs.Counter] = {}
+_OP_SECONDS: dict[str, obs.Histogram] = {}
+_BYTES_COUNTERS: dict[str, obs.Counter] = {}
+_ERROR_COUNTERS: dict[str, obs.Counter] = {}
 
 
 def _count_request(op: str, transport: str, ok: bool) -> None:
@@ -90,7 +91,7 @@ def _count_error(code: str) -> None:
     counter.add()
 
 
-def _estimates_payload(estimates: Dict[object, float]) -> list:
+def _estimates_payload(estimates: dict[object, float]) -> list:
     return [[wire_user(user), float(value)] for user, value in estimates.items()]
 
 
@@ -141,12 +142,12 @@ class EstimateService:
         ``on_batch`` callback, which fires under the lock — the exported
         state is always a batch-boundary state.
         """
-        self._snapshot = self._monitor.read_snapshot()
+        self._snapshot = self._monitor.read_snapshot()  # repro-lint: disable=RL001(caller holds the lock: on_batch fires under it by the IngestHandle contract)
         return self._snapshot
 
     # -- request handling ------------------------------------------------------
 
-    def handle(self, request: Dict[str, object]) -> Dict[str, object]:
+    def handle(self, request: dict[str, object]) -> dict[str, object]:
         """Answer one decoded request; always returns a response envelope."""
         op_name = request.get("op")
         spec = OPS.get(op_name) if isinstance(op_name, str) else None
@@ -161,8 +162,8 @@ class EstimateService:
         return response
 
     def _dispatch(
-        self, request: Dict[str, object], spec: Optional[OpSpec]
-    ) -> Dict[str, object]:
+        self, request: dict[str, object], spec: OpSpec | None
+    ) -> dict[str, object]:
         request_id = request.get("id")
         if spec is None:
             op_name = request.get("op")
@@ -253,7 +254,7 @@ class _NdjsonCodec:
 
     name = frames.TRANSPORT_NDJSON
 
-    async def read_request(self, reader: asyncio.StreamReader) -> Optional[Dict]:
+    async def read_request(self, reader: asyncio.StreamReader) -> dict | None:
         """One decoded request; None at EOF.  Raises :class:`ProtocolError`."""
         while True:
             try:
@@ -272,7 +273,7 @@ class _NdjsonCodec:
                 continue
             return protocol.decode_request(line)
 
-    def encode_response(self, response: Dict, spec: Optional[OpSpec]) -> bytes:
+    def encode_response(self, response: dict, spec: OpSpec | None) -> bytes:
         payload = protocol.encode(response)
         if len(payload) > protocol.MAX_LINE_BYTES:
             # The line cap is symmetric: a conforming client may reject any
@@ -295,7 +296,7 @@ class _BinaryCodec:
 
     name = frames.TRANSPORT_BINARY
 
-    async def read_request(self, reader: asyncio.StreamReader) -> Optional[Dict]:
+    async def read_request(self, reader: asyncio.StreamReader) -> dict | None:
         try:
             header = await reader.readexactly(frames.FRAME_HEADER_BYTES)
         except asyncio.IncompleteReadError as error:
@@ -316,8 +317,8 @@ class _BinaryCodec:
             ) from None
         return frames.decode_payload(payload)
 
-    def encode_response(self, response: Dict, spec: Optional[OpSpec]) -> bytes:
-        fields: Tuple[frames.ArrayField, ...] = ()
+    def encode_response(self, response: dict, spec: OpSpec | None) -> bytes:
+        fields: tuple[frames.ArrayField, ...] = ()
         if spec is not None:
             fields = tuple(
                 (("result", name), kind) for name, kind in spec.result_arrays
@@ -353,7 +354,7 @@ class EstimateServer:
         service: EstimateService,
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
-        transports: Optional[Sequence[str]] = DEFAULT_TRANSPORTS,
+        transports: Sequence[str] | None = DEFAULT_TRANSPORTS,
     ) -> None:
         self.service = service
         self.host = host
@@ -363,7 +364,7 @@ class EstimateServer:
             if unknown:
                 raise ValueError(f"unknown transports {sorted(unknown)}")
         self._requested_port = port
-        self._server: Optional[asyncio.AbstractServer] = None
+        self._server: asyncio.AbstractServer | None = None
         self.connections_served = 0
 
     @property
@@ -373,7 +374,7 @@ class EstimateServer:
             return self._requested_port
         return self._server.sockets[0].getsockname()[1]
 
-    async def start(self) -> "EstimateServer":
+    async def start(self) -> EstimateServer:
         """Bind and start accepting connections; returns self."""
         self._server = await asyncio.start_server(
             self._serve_connection,
@@ -396,7 +397,7 @@ class EstimateServer:
             await self.start()
         await self._server.serve_forever()
 
-    def _negotiate(self, request: Dict) -> Tuple[Dict, str]:
+    def _negotiate(self, request: dict) -> tuple[dict, str]:
         """Answer a ``hello``: pick a transport both sides speak."""
         offered = request.get("transports")
         if not isinstance(offered, list):

@@ -183,7 +183,7 @@ class TestVersion2Kinds:
 
 
 class TestCrossVersionLoads:
-    """Version-1 envelopes must stay loadable by the version-2 codec table.
+    """Older envelopes (v1/v2) must stay loadable by the v3 codec table.
 
     The loader accepts every version in ``_ACCEPTED_VERSIONS``; a payload
     whose envelope says ``version: 1`` differs from today's only in that
@@ -218,6 +218,52 @@ class TestCrossVersionLoads:
         from repro.registry import REGISTRY
 
         assert seen_tags == [spec.tag for spec in REGISTRY.values()]
+
+    def test_v2_payloads_load_for_every_registry_tag(self):
+        import json
+
+        # Version-2 envelopes (pre-columnar estimates) differ from v3 in the
+        # estimates body: a triple list, never the columnar dict.  Rewriting
+        # the header *and* downgrading the payload exercises the shape
+        # dispatch in _estimates_from_payload.
+        for tag, estimator in self._registry_estimators():
+            envelope = json.loads(serialization.dumps(estimator))
+            envelope["version"] = 2
+            if isinstance(envelope["estimates"], dict):
+                envelope["estimates"] = serialization._estimates_to_json(
+                    estimator.estimates()
+                )
+            restored = serialization.loads(json.dumps(envelope))
+            assert restored.estimates() == estimator.estimates(), (
+                f"v2 payload of kind {tag} did not restore identically"
+            )
+
+    def test_v3_columnar_estimates_payload_round_trips(self):
+        import json
+
+        # v3's headline change: pure-int user populations ship as two base85
+        # columns.  Assert the wire form is actually columnar, and that it
+        # restores the exact dict (including key *types* — ints, not strs).
+        estimator = _feed(FreeBS(1 << 12, seed=3), _pairs(2_000, seed=11))
+        envelope = json.loads(serialization.dumps(estimator))
+        assert envelope["version"] == 3
+        assert envelope["estimates"]["encoding"] == "columnar-i64"
+        restored = serialization.from_obj(envelope)
+        assert restored.estimates() == estimator.estimates()
+        assert all(type(user) is int for user in restored.estimates())
+
+    def test_v3_mixed_keys_fall_back_to_triples(self):
+        import json
+
+        estimator = FreeBS(1 << 10, seed=1)
+        estimator.update("alice", "x")
+        estimator.update(42, "y")
+        estimator.update(b"raw", "z")
+        estimator.update(("t", 7), "w")
+        envelope = json.loads(serialization.dumps(estimator))
+        assert isinstance(envelope["estimates"], list)  # not columnar
+        restored = serialization.from_obj(envelope)
+        assert set(restored.estimates()) == {"alice", 42, b"raw", ("t", 7)}
 
     def test_v1_sharded_envelope_loads(self):
         import json
