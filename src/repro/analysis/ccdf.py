@@ -9,14 +9,15 @@ logarithmically spaced points so the benchmark can print a compact series.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+from collections.abc import Mapping, Sequence
+
 
 import numpy as np
 
 from repro.streams.stream import GraphStream
 
 
-def ccdf(cardinalities: Mapping[object, int] | Sequence[int]) -> List[Tuple[int, float]]:
+def ccdf(cardinalities: Mapping[object, int] | Sequence[int]) -> list[tuple[int, float]]:
     """Return the CCDF of a cardinality collection as ``(n, P(N >= n))`` pairs.
 
     The returned points are the distinct observed cardinalities in increasing
@@ -30,7 +31,7 @@ def ccdf(cardinalities: Mapping[object, int] | Sequence[int]) -> List[Tuple[int,
         return []
     values = np.sort(values)
     total = values.size
-    points: List[Tuple[int, float]] = []
+    points: list[tuple[int, float]] = []
     distinct, first_index = np.unique(values, return_index=True)
     for value, index in zip(distinct, first_index):
         points.append((int(value), float((total - index) / total)))
@@ -39,13 +40,13 @@ def ccdf(cardinalities: Mapping[object, int] | Sequence[int]) -> List[Tuple[int,
 
 def ccdf_at(
     cardinalities: Mapping[object, int] | Sequence[int], thresholds: Sequence[int]
-) -> Dict[int, float]:
+) -> dict[int, float]:
     """Evaluate the CCDF at the given thresholds (``P(N >= threshold)``)."""
     if isinstance(cardinalities, Mapping):
         values = np.array(list(cardinalities.values()), dtype=np.int64)
     else:
         values = np.array(list(cardinalities), dtype=np.int64)
-    results: Dict[int, float] = {}
+    results: dict[int, float] = {}
     total = values.size
     for threshold in thresholds:
         if total == 0:
@@ -55,11 +56,11 @@ def ccdf_at(
     return results
 
 
-def logarithmic_thresholds(max_value: int, points_per_decade: int = 3) -> List[int]:
+def logarithmic_thresholds(max_value: int, points_per_decade: int = 3) -> list[int]:
     """Return logarithmically spaced integer thresholds from 1 to ``max_value``."""
     if max_value < 1:
         return [1]
-    thresholds: List[int] = []
+    thresholds: list[int] = []
     exponent = 0.0
     while 10**exponent <= max_value:
         value = int(round(10**exponent))
@@ -71,7 +72,7 @@ def logarithmic_thresholds(max_value: int, points_per_decade: int = 3) -> List[i
     return thresholds
 
 
-def ccdf_from_stream(stream: GraphStream, points_per_decade: int = 3) -> List[Tuple[int, float]]:
+def ccdf_from_stream(stream: GraphStream, points_per_decade: int = 3) -> list[tuple[int, float]]:
     """Compute a compact CCDF series (log-spaced thresholds) for a stream."""
     cardinalities = stream.cardinalities()
     if not cardinalities:

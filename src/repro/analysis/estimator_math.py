@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import math
 from functools import lru_cache
-from typing import Dict, List
 
 from repro.sketches.hll import alpha_m
 
@@ -44,7 +43,7 @@ def stirling2(n: int, k: int) -> int:
     return k * stirling2(n - 1, k) + stirling2(n - 1, k - 1)
 
 
-def occupancy_distribution(n: int, m: int) -> Dict[int, float]:
+def occupancy_distribution(n: int, m: int) -> dict[int, float]:
     """Distribution of the number of occupied cells after ``n`` balls into ``m`` bins.
 
     Returns ``{j: P(exactly j occupied)}`` for ``j = 0..min(n, m)``, using
@@ -56,7 +55,7 @@ def occupancy_distribution(n: int, m: int) -> Dict[int, float]:
     if n == 0:
         return {0: 1.0}
     total = float(m) ** n
-    distribution: Dict[int, float] = {}
+    distribution: dict[int, float] = {}
     for j in range(1, min(n, m) + 1):
         ways = math.comb(m, j) * math.factorial(j) * stirling2(n, j)
         distribution[j] = ways / total
@@ -112,7 +111,7 @@ def harmonic_partial_sum(m: int) -> float:
     return m * sum(1.0 / i for i in range(1, m + 1))
 
 
-def geometric_register_distribution(n: int, width: int) -> List[float]:
+def geometric_register_distribution(n: int, width: int) -> list[float]:
     """Distribution of a single HLL register after ``n`` distinct elements.
 
     Returns ``[P(R = 0), P(R = 1), ..., P(R = max)]`` where

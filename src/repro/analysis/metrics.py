@@ -13,9 +13,10 @@ the figures are usually rendered.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Mapping, Sequence
+
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -30,7 +31,7 @@ class ErrorSummary:
     rse: float
     max_relative_error: float
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> dict[str, float]:
         """Return the summary as a plain dictionary (for reports/CSV)."""
         return {
             "count": float(self.count),
@@ -43,7 +44,7 @@ class ErrorSummary:
 
 def _paired_arrays(
     truth: Mapping[object, float], estimates: Mapping[object, float], minimum_cardinality: int
-) -> Tuple[np.ndarray, np.ndarray]:
+) -> tuple[np.ndarray, np.ndarray]:
     users = [user for user, true in truth.items() if true >= minimum_cardinality]
     true_values = np.array([truth[user] for user in users], dtype=np.float64)
     estimated = np.array([estimates.get(user, 0.0) for user in users], dtype=np.float64)
@@ -97,14 +98,14 @@ def aggregate_error(
 def rse_by_cardinality(
     truth: Mapping[object, float],
     estimates: Mapping[object, float],
-) -> Dict[int, float]:
+) -> dict[int, float]:
     """RSE computed separately for every exact cardinality value.
 
     This is the paper's definition of ``RSE(n)`` verbatim: group users by
     exact true cardinality and compute the root-mean-square relative error
     inside each group.
     """
-    groups: Dict[int, List[float]] = {}
+    groups: dict[int, list[float]] = {}
     for user, true_value in truth.items():
         n = int(true_value)
         if n <= 0:
@@ -121,7 +122,7 @@ def rse_curve(
     estimates: Mapping[object, float],
     buckets_per_decade: int = 4,
     minimum_cardinality: int = 1,
-) -> List[Tuple[float, float, int]]:
+) -> list[tuple[float, float, int]]:
     """RSE aggregated in geometric cardinality buckets.
 
     Returns a list of ``(bucket_center, rse, user_count)`` tuples, which is
@@ -129,7 +130,7 @@ def rse_curve(
     """
     if buckets_per_decade <= 0:
         raise ValueError("buckets_per_decade must be positive")
-    groups: Dict[int, List[float]] = {}
+    groups: dict[int, list[float]] = {}
     for user, true_value in truth.items():
         n = float(true_value)
         if n < minimum_cardinality:
@@ -137,7 +138,7 @@ def rse_curve(
         bucket = int(math.floor(math.log10(n) * buckets_per_decade)) if n > 0 else 0
         estimate = estimates.get(user, 0.0)
         groups.setdefault(bucket, []).append((estimate - n) / n)
-    curve: List[Tuple[float, float, int]] = []
+    curve: list[tuple[float, float, int]] = []
     for bucket, errors in sorted(groups.items()):
         center = 10 ** ((bucket + 0.5) / buckets_per_decade)
         rse = float(np.sqrt(np.mean(np.square(errors))))
@@ -149,21 +150,21 @@ def scatter_summary(
     truth: Mapping[object, float],
     estimates: Mapping[object, float],
     buckets_per_decade: int = 4,
-) -> List[Tuple[float, float, float, float]]:
+) -> list[tuple[float, float, float, float]]:
     """Summarise an estimated-vs-actual scatter (Figure 4) per geometric bucket.
 
     Returns ``(bucket_center, mean_estimate, p10_estimate, p90_estimate)``
     rows: a compact textual stand-in for the paper's scatter plots that still
     shows bias (mean away from the diagonal) and spread (p10/p90 band).
     """
-    groups: Dict[int, List[float]] = {}
+    groups: dict[int, list[float]] = {}
     for user, true_value in truth.items():
         n = float(true_value)
         if n <= 0:
             continue
         bucket = int(math.floor(math.log10(n) * buckets_per_decade))
         groups.setdefault(bucket, []).append(estimates.get(user, 0.0))
-    rows: List[Tuple[float, float, float, float]] = []
+    rows: list[tuple[float, float, float, float]] = []
     for bucket, values in sorted(groups.items()):
         center = 10 ** ((bucket + 0.5) / buckets_per_decade)
         array = np.array(values, dtype=np.float64)
@@ -182,7 +183,7 @@ def detection_confusion(
     true_positives: Iterable[object],
     detected: Iterable[object],
     population: int,
-) -> Tuple[float, float]:
+) -> tuple[float, float]:
     """Return (FNR, FPR) for a detection task.
 
     ``FNR`` is the fraction of true positives that were missed; ``FPR`` is the

@@ -30,7 +30,6 @@ Known limitations faithfully reproduced:
 from __future__ import annotations
 
 import math
-from typing import Dict
 
 import numpy as np
 
@@ -248,7 +247,7 @@ class CSE(BatchUpdatable, CardinalityEstimator):
             results[index] = self._estimate_from_counts(int(zeros), global_zero_fraction)
         return results
 
-    def estimates(self) -> Dict[object, float]:
+    def estimates(self) -> dict[object, float]:
         """Return the latest cached estimate of every observed user."""
         return dict(self._estimates)
 

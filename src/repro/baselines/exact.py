@@ -14,7 +14,6 @@ motivation section argues is infeasible at line rate.
 from __future__ import annotations
 
 import sys
-from typing import Dict, Set, Tuple
 
 from repro.core.base import CardinalityEstimator
 
@@ -25,7 +24,7 @@ class ExactCounter(CardinalityEstimator):
     name = "Exact"
 
     def __init__(self) -> None:
-        self._items: Dict[object, Set[object]] = {}
+        self._items: dict[object, set[object]] = {}
         self._total_distinct_pairs = 0
         self._pairs_processed = 0
 
@@ -46,7 +45,7 @@ class ExactCounter(CardinalityEstimator):
         items = self._items.get(user)
         return float(len(items)) if items is not None else 0.0
 
-    def estimates(self) -> Dict[object, float]:
+    def estimates(self) -> dict[object, float]:
         """Return the exact cardinality of every observed user."""
         return {user: float(len(items)) for user, items in self._items.items()}
 
@@ -55,7 +54,7 @@ class ExactCounter(CardinalityEstimator):
         items = self._items.get(user)
         return len(items) if items is not None else 0
 
-    def cardinalities(self) -> Dict[object, int]:
+    def cardinalities(self) -> dict[object, int]:
         """Integer-typed exact cardinality of every observed user."""
         return {user: len(items) for user, items in self._items.items()}
 
@@ -87,6 +86,6 @@ class ExactCounter(CardinalityEstimator):
             total += sys.getsizeof(user) + sys.getsizeof(items)
         return total * 8
 
-    def items_of(self, user: object) -> Tuple[object, ...]:
+    def items_of(self, user: object) -> tuple[object, ...]:
         """Return the distinct items of ``user`` (for debugging/tests)."""
         return tuple(self._items.get(user, ()))

@@ -13,7 +13,8 @@ harness passes the dataset's user count, mirroring the paper's setup.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from collections.abc import Callable
+
 
 import numpy as np
 
@@ -39,8 +40,8 @@ class _PerUserSketchEstimator(BatchUpdatable, CardinalityEstimator):
         self._sketch_factory = sketch_factory
         self._sketch_bits = sketch_bits
         self.seed = seed
-        self._sketches: Dict[object, object] = {}
-        self._estimates: Dict[object, float] = {}
+        self._sketches: dict[object, object] = {}
+        self._estimates: dict[object, float] = {}
 
     def update(self, user: object, item: object) -> float:
         """Insert ``item`` into ``user``'s private sketch; return its estimate."""
@@ -95,7 +96,7 @@ class _PerUserSketchEstimator(BatchUpdatable, CardinalityEstimator):
 
         return gather_cached_estimates(self._estimates, users)
 
-    def estimates(self) -> Dict[object, float]:
+    def estimates(self) -> dict[object, float]:
         """Return the latest estimate of every observed user."""
         return dict(self._estimates)
 

@@ -22,7 +22,6 @@ matching the evaluation protocol of Section V-B.
 from __future__ import annotations
 
 import math
-from typing import Dict
 
 import numpy as np
 
@@ -315,7 +314,7 @@ class VirtualHLL(BatchUpdatable, CardinalityEstimator):
             )
         return results
 
-    def estimates(self) -> Dict[object, float]:
+    def estimates(self) -> dict[object, float]:
         """Return the latest cached estimate of every observed user."""
         return dict(self._estimates)
 

@@ -29,11 +29,12 @@ Implementations must provide:
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator, Sequence
+
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
-UserItemPair = Tuple[object, object]
+UserItemPair = tuple[object, object]
 
 
 @dataclass
@@ -43,7 +44,7 @@ class EstimatorState:
     pairs_processed: int = 0
     distinct_pairs_estimate: float = 0.0
     users_tracked: int = 0
-    extra: Dict[str, float] = field(default_factory=dict)
+    extra: dict[str, float] = field(default_factory=dict)
 
 
 class CardinalityEstimator(ABC):
@@ -61,10 +62,10 @@ class CardinalityEstimator(ABC):
         """Return the current cardinality estimate of ``user`` (0.0 if unseen)."""
 
     @abstractmethod
-    def estimates(self) -> Dict[object, float]:
+    def estimates(self) -> dict[object, float]:
         """Return a mapping of every observed user to its current estimate."""
 
-    def estimate_many(self, users: Sequence[object]) -> List[float]:
+    def estimate_many(self, users: Sequence[object]) -> list[float]:
         """Estimates for many users in input order (0.0 for unseen users).
 
         Bit-identical to ``[self.estimate(user) for user in users]`` — the
@@ -83,7 +84,7 @@ class CardinalityEstimator(ABC):
         self,
         stream: Iterable[UserItemPair],
         chunk_size: int | None = None,
-    ) -> "CardinalityEstimator":
+    ) -> CardinalityEstimator:
         """Consume an entire stream of (user, item) pairs; return ``self``.
 
         Batch-capable estimators (everything carrying the engine's
@@ -100,7 +101,7 @@ class CardinalityEstimator(ABC):
         self,
         stream: Iterable[UserItemPair],
         every: int,
-    ) -> Iterator[Tuple[int, Dict[object, float]]]:
+    ) -> Iterator[tuple[int, dict[object, float]]]:
         """Yield ``(t, estimates)`` snapshots every ``every`` processed pairs.
 
         This powers the "over time" experiments (Figure 6): detection quality

@@ -34,7 +34,6 @@ drop-in replacements implementing :class:`repro.core.base.CardinalityEstimator`.
 
 from __future__ import annotations
 
-from typing import Dict
 
 import numpy as np
 
@@ -58,7 +57,7 @@ class _BatchEstimatorBase(BatchUpdatable, CardinalityEstimator):
 
     def __init__(self, seed: int) -> None:
         self.seed = seed
-        self._estimates: Dict[object, float] = {}
+        self._estimates: dict[object, float] = {}
         self._pairs_processed = 0
 
     # -- scalar interface delegates to the batch path -------------------------
@@ -78,7 +77,7 @@ class _BatchEstimatorBase(BatchUpdatable, CardinalityEstimator):
 
         return gather_cached_estimates(self._estimates, users)
 
-    def estimates(self) -> Dict[object, float]:
+    def estimates(self) -> dict[object, float]:
         """Return the current estimate of every observed user."""
         return dict(self._estimates)
 
@@ -97,7 +96,7 @@ class _BatchEstimatorBase(BatchUpdatable, CardinalityEstimator):
         self,
         user_codes: np.ndarray,
         pair_keys: np.ndarray,
-        decode: Dict[int, object],
+        decode: dict[int, object],
     ) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
@@ -135,7 +134,7 @@ class FreeBSBatch(_BatchEstimatorBase):
         self,
         user_codes: np.ndarray,
         pair_keys: np.ndarray,
-        decode: Dict[int, object],
+        decode: dict[int, object],
     ) -> None:
         """Process a batch already encoded by :func:`encode_pairs`.
 
@@ -227,7 +226,7 @@ class FreeRSBatch(_BatchEstimatorBase):
         self,
         user_codes: np.ndarray,
         pair_keys: np.ndarray,
-        decode: Dict[int, object],
+        decode: dict[int, object],
     ) -> None:
         """Process a batch already encoded by :func:`encode_pairs`."""
         if user_codes.shape != pair_keys.shape:

@@ -22,7 +22,6 @@ Properties reproduced here:
 
 from __future__ import annotations
 
-from typing import Dict
 
 import numpy as np
 
@@ -54,7 +53,7 @@ class FreeBS(BatchUpdatable, CardinalityEstimator):
         self.M = memory_bits
         self.seed = seed
         self._bits = BitArray(memory_bits)
-        self._estimates: Dict[object, float] = {}
+        self._estimates: dict[object, float] = {}
         self._pairs_processed = 0
         self._pairs_sampled = 0
 
@@ -125,7 +124,7 @@ class FreeBS(BatchUpdatable, CardinalityEstimator):
 
         return gather_cached_estimates(self._estimates, users)
 
-    def estimates(self) -> Dict[object, float]:
+    def estimates(self) -> dict[object, float]:
         """Return the current estimate of every observed user."""
         return dict(self._estimates)
 

@@ -21,7 +21,6 @@ cardinalities and FreeRS better for heavy users (Section IV-C).
 
 from __future__ import annotations
 
-from typing import Dict
 
 import numpy as np
 
@@ -55,7 +54,7 @@ class FreeRS(BatchUpdatable, CardinalityEstimator):
         self.M = registers
         self.seed = seed
         self._registers = RegisterArray(registers, width=register_width)
-        self._estimates: Dict[object, float] = {}
+        self._estimates: dict[object, float] = {}
         self._pairs_processed = 0
         self._pairs_sampled = 0
 
@@ -133,7 +132,7 @@ class FreeRS(BatchUpdatable, CardinalityEstimator):
 
         return gather_cached_estimates(self._estimates, users)
 
-    def estimates(self) -> Dict[object, float]:
+    def estimates(self) -> dict[object, float]:
         """Return the current estimate of every observed user."""
         return dict(self._estimates)
 

@@ -35,11 +35,12 @@ stored raw, so the overhead is a few percent.
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 import base64
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Union
 
 import numpy as np
 
@@ -47,14 +48,14 @@ from repro.core.batch import FreeBSBatch, FreeRSBatch
 from repro.core.freebs import FreeBS
 from repro.core.freers import FreeRS
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 _FORMAT_VERSION = 3
 
 #: Payload versions this loader understands (older versions stay readable).
 _ACCEPTED_VERSIONS = frozenset({1, 2, 3})
 
-SerializableEstimator = Union[FreeBS, FreeRS, FreeBSBatch, FreeRSBatch]
+SerializableEstimator = FreeBS | FreeRS | FreeBSBatch | FreeRSBatch
 
 
 def _encode_array(array: np.ndarray) -> str:
@@ -366,7 +367,7 @@ def _load_hllpp(body: dict):
 
 #: Dump/load state functions per registry method name; tag and class come
 #: from the registry spec itself so the two layers cannot disagree.
-_METHOD_STATE_CODECS: Dict[str, tuple] = {
+_METHOD_STATE_CODECS: dict[str, tuple] = {
     "FreeBS": (_dump_freebs, _load_freebs),
     "FreeRS": (_dump_freers, _load_freers),
     "CSE": (_dump_cse, _load_cse),
@@ -375,11 +376,11 @@ _METHOD_STATE_CODECS: Dict[str, tuple] = {
     "HLL++": (_dump_hllpp, _load_hllpp),
 }
 
-_CODECS: List[_Codec] = []
-_CODEC_BY_TAG: Dict[str, _Codec] = {}
+_CODECS: list[_Codec] = []
+_CODEC_BY_TAG: dict[str, _Codec] = {}
 
 
-def _codecs() -> List[_Codec]:
+def _codecs() -> list[_Codec]:
     """Build (once) the codec table from the method registry + local kinds."""
     if _CODECS:
         return _CODECS

@@ -14,14 +14,15 @@ a fixed number of checkpoints — the "t (minutes)" axis of Figure 6.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
+
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.baselines.exact import ExactCounter
 from repro.core.base import CardinalityEstimator
 from repro.detection.super_spreader import super_spreaders
 
-UserItemPair = Tuple[object, object]
+UserItemPair = tuple[object, object]
 
 
 @dataclass(frozen=True)
@@ -35,7 +36,7 @@ class DetectionResult:
     false_negative_rate: float
     false_positive_rate: float
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> dict[str, float]:
         """Return the result as a plain dictionary (for reports/CSV)."""
         return {
             "checkpoint": float(self.checkpoint),
@@ -48,9 +49,9 @@ class DetectionResult:
 
 
 def _score(
-    truth: Dict[object, int],
+    truth: dict[object, int],
     total_cardinality: int,
-    estimates: Dict[object, float],
+    estimates: dict[object, float],
     delta: float,
     checkpoint: int,
     pairs_processed: int,
@@ -97,7 +98,7 @@ def detection_error_over_time(
     pairs: Sequence[UserItemPair],
     delta: float = 5e-5,
     checkpoints: int = 10,
-) -> List[DetectionResult]:
+) -> list[DetectionResult]:
     """Score detection at ``checkpoints`` evenly spaced points of the stream.
 
     Reproduces the Figure 6 protocol: the stream (one hour of traffic in the
@@ -111,7 +112,7 @@ def detection_error_over_time(
         return []
     exact = ExactCounter()
     boundaries = [((index + 1) * len(pairs)) // checkpoints for index in range(checkpoints)]
-    results: List[DetectionResult] = []
+    results: list[DetectionResult] = []
     position = 0
     for checkpoint_index, boundary in enumerate(boundaries, start=1):
         while position < boundary:

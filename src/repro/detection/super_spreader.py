@@ -11,7 +11,8 @@ method (FreeBS and FreeRS do), which is the fully-online deployment mode.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Set
+from collections.abc import Iterable, Mapping
+
 
 from repro.core.base import CardinalityEstimator
 
@@ -20,7 +21,7 @@ def super_spreaders(
     cardinalities: Mapping[object, float],
     delta: float,
     total_cardinality: float | None = None,
-) -> Set[object]:
+) -> set[object]:
     """Return the users whose cardinality is at least ``delta * total``.
 
     ``total_cardinality`` defaults to the sum of the provided cardinalities,
@@ -67,12 +68,12 @@ class SuperSpreaderDetector:
         """Feed one pair to the wrapped estimator (pass-through)."""
         return self.estimator.update(user, item)
 
-    def process(self, stream: Iterable[tuple]) -> "SuperSpreaderDetector":
+    def process(self, stream: Iterable[tuple]) -> SuperSpreaderDetector:
         """Feed an entire stream to the wrapped estimator; return ``self``."""
         self.estimator.process(stream)
         return self
 
-    def _resolve_total(self, exact_total: float | None, estimates: Dict[object, float]) -> float:
+    def _resolve_total(self, exact_total: float | None, estimates: dict[object, float]) -> float:
         if self.use_exact_total:
             if exact_total is None:
                 raise ValueError(
@@ -86,7 +87,7 @@ class SuperSpreaderDetector:
             return float(total_estimator())
         return float(sum(estimates.values()))
 
-    def detect(self, exact_total: float | None = None) -> Set[object]:
+    def detect(self, exact_total: float | None = None) -> set[object]:
         """Return the set of users currently classified as super spreaders."""
         estimates = self.estimator.estimates()
         total = self._resolve_total(exact_total, estimates)
@@ -98,7 +99,7 @@ class SuperSpreaderDetector:
         estimates = self.estimator.estimates()
         return self.delta * self._resolve_total(exact_total, estimates)
 
-    def top_users(self, count: int = 10) -> List[tuple]:
+    def top_users(self, count: int = 10) -> list[tuple]:
         """Return the ``count`` users with the largest estimates (diagnostics)."""
         estimates = self.estimator.estimates()
         ranked = sorted(estimates.items(), key=lambda pair: pair[1], reverse=True)

@@ -24,20 +24,21 @@ integer ids.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
+
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.hashing import MASK64, fold_key, fold_key_array, splitmix64, splitmix64_array
 from repro.hashing.mix import _GOLDEN_GAMMA
 
-UserItemPair = Tuple[object, object]
+UserItemPair = tuple[object, object]
 
 _GAMMA64 = np.uint64(_GOLDEN_GAMMA)
 
 
-def _as_exact_array(values, name: str) -> np.ndarray:
+def _as_exact_array(values: Sequence[object] | np.ndarray, name: str) -> np.ndarray:
     """Coerce encoder input to an array without losing integer precision.
 
     ``np.asarray`` turns a Python list that mixes negative ids with ids
@@ -88,8 +89,8 @@ class EncodedBatch:
     user_codes: np.ndarray
     user_hashes: np.ndarray
     item_hashes: np.ndarray
-    users: List[object]
-    _pair_keys: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    users: list[object]
+    _pair_keys: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
         return int(self.user_codes.shape[0])
@@ -116,11 +117,11 @@ class EncodedBatch:
         """Per-pair ``hash64(item, seed)`` values (the item-hash hot path)."""
         return splitmix64_array(self.item_hashes ^ seed_mix(seed))
 
-    def decode_table(self) -> Dict[int, object]:
+    def decode_table(self) -> dict[int, object]:
         """Return the legacy ``{code: user}`` decode dict."""
         return dict(enumerate(self.users))
 
-    def subset(self, mask: np.ndarray) -> "EncodedBatch":
+    def subset(self, mask: np.ndarray) -> EncodedBatch:
         """Return a new batch containing only the pairs selected by ``mask``.
 
         User codes are re-densified; the relative order of the selected pairs
@@ -141,13 +142,13 @@ class EncodedBatch:
     # -- constructors ---------------------------------------------------------
 
     @classmethod
-    def from_pairs(cls, pairs: Sequence[UserItemPair]) -> "EncodedBatch":
+    def from_pairs(cls, pairs: Sequence[UserItemPair]) -> EncodedBatch:
         """Encode arbitrary (user, item) pairs (one scalar fold per element)."""
-        users: List[object] = []
-        codes_of: Dict[object, int] = {}
-        user_folds: List[int] = []
-        codes: List[int] = []
-        item_folds: List[int] = []
+        users: list[object] = []
+        codes_of: dict[object, int] = {}
+        user_folds: list[int] = []
+        codes: list[int] = []
+        item_folds: list[int] = []
         for user, item in pairs:
             code = codes_of.get(user)
             if code is None:
@@ -165,7 +166,7 @@ class EncodedBatch:
         )
 
     @classmethod
-    def from_int_arrays(cls, users: np.ndarray, items: np.ndarray) -> "EncodedBatch":
+    def from_int_arrays(cls, users: np.ndarray, items: np.ndarray) -> EncodedBatch:
         """Vectorised encoding for streams of integer users and items.
 
         Accepts signed, unsigned and ``object`` (big Python int) arrays; the
@@ -193,7 +194,7 @@ class EncodedBatch:
 
 def encode_pairs(
     pairs: Iterable[UserItemPair],
-) -> Tuple[np.ndarray, np.ndarray, Dict[int, object]]:
+) -> tuple[np.ndarray, np.ndarray, dict[int, object]]:
     """Encode arbitrary (user, item) pairs into integer arrays for batch APIs.
 
     Legacy tuple-shaped API kept for the original FreeBS/FreeRS batch
@@ -207,7 +208,7 @@ def encode_pairs(
 
 def encode_int_pairs(
     users: np.ndarray, items: np.ndarray
-) -> Tuple[np.ndarray, np.ndarray, Dict[int, object]]:
+) -> tuple[np.ndarray, np.ndarray, dict[int, object]]:
     """Vectorised :func:`encode_pairs` for streams of integer users and items.
 
     Produces exactly the same keys as the scalar path (``pair_key(u, i)``)

@@ -26,11 +26,15 @@ storage (:class:`~repro.sketches.bitarray.BitArray`,
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from collections.abc import Iterator
+from typing import Any
 
 import numpy as np
 
+from repro.engine.base import hot_path
 
+
+@hot_path
 def bit_change_events(indices: np.ndarray, zero_at_start: np.ndarray) -> np.ndarray:
     """Return the arrival-ordered batch positions that flip a zero bit.
 
@@ -52,9 +56,10 @@ def bit_change_events(indices: np.ndarray, zero_at_start: np.ndarray) -> np.ndar
     return np.nonzero(first_occurrence & zero_at_start)[0]
 
 
+@hot_path
 def register_change_events(
     indices: np.ndarray, ranks: np.ndarray, initial_values: np.ndarray
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Find the pairs of a batch that raise a register.
 
     A pair is an event iff its rank exceeds the running maximum of (initial
@@ -140,6 +145,7 @@ def event_time_for_index(
     return np.where(found, event_times[clipped], missing)
 
 
+@hot_path
 def value_after_events(
     query_indices: np.ndarray,
     query_times: np.ndarray,
@@ -166,7 +172,9 @@ def value_after_events(
     return np.where(has_event, event_values[previous], initial_values)
 
 
-def cached_positions_matrix(batch, family, cache: dict) -> np.ndarray:
+def cached_positions_matrix(
+    batch: Any, family: Any, cache: dict[object, np.ndarray]
+) -> np.ndarray:
     """Return the ``(n_users, family.m)`` virtual-sketch position matrix.
 
     Shared by the CSE and vHLL batch paths: cached rows are reused, missing
@@ -219,7 +227,7 @@ def touched_query_positions(
 
 def grouped_indices(
     codes: np.ndarray, n_codes: int
-) -> Iterator[Tuple[int, np.ndarray]]:
+) -> Iterator[tuple[int, np.ndarray]]:
     """Yield ``(code, positions)`` for every code present, positions in arrival order.
 
     The grouping primitive of the per-user batch paths: one stable argsort,

@@ -23,14 +23,15 @@ property suite (``tests/test_query_engine.py``) enforces this per method.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
 from repro.hashing import fold_key
 
 
-def gather_cached_estimates(cache, users: Sequence[object]) -> List[float]:
+def gather_cached_estimates(cache: Any, users: Sequence[object]) -> list[float]:
     """Per-user cached estimates in input order (0.0 for unseen users).
 
     Arena-backed caches (:class:`repro.state.EstimatesView`) resolve the
@@ -47,7 +48,9 @@ def gather_cached_estimates(cache, users: Sequence[object]) -> List[float]:
     return [get(user, 0.0) for user in users]
 
 
-def positions_matrix_for_users(family, cache, users: Sequence[object]) -> np.ndarray:
+def positions_matrix_for_users(
+    family: Any, cache: Any, users: Sequence[object]
+) -> np.ndarray:
     """Return the ``(len(users), family.m)`` virtual-sketch position matrix.
 
     The query-side sibling of :func:`repro.engine.kernels.cached_positions_matrix`
@@ -65,9 +68,9 @@ def positions_matrix_for_users(family, cache, users: Sequence[object]) -> np.nda
         return arena.positions_rows(arena.intern_many(users))
     n = len(users)
     matrix = np.empty((n, family.m), dtype=np.int64)
-    missing: List[int] = []
-    hit_rows: List[int] = []
-    hit_values: List[np.ndarray] = []
+    missing: list[int] = []
+    hit_rows: list[int] = []
+    hit_values: list[np.ndarray] = []
     for row, user in enumerate(users):
         cached = cache.get(user)
         if cached is not None:
@@ -90,7 +93,7 @@ def positions_matrix_for_users(family, cache, users: Sequence[object]) -> np.nda
     return matrix
 
 
-def row_zero_bit_counts(bits, positions_matrix: np.ndarray) -> np.ndarray:
+def row_zero_bit_counts(bits: Any, positions_matrix: np.ndarray) -> np.ndarray:
     """Per-row count of *zero* bits at the given positions of a ``BitArray``.
 
     One flat gather plus an axis-1 count; row ``i`` equals the scalar
@@ -102,7 +105,7 @@ def row_zero_bit_counts(bits, positions_matrix: np.ndarray) -> np.ndarray:
     return zero.reshape(positions_matrix.shape).sum(axis=1)
 
 
-def row_register_values(registers, positions_matrix: np.ndarray) -> np.ndarray:
+def row_register_values(registers: Any, positions_matrix: np.ndarray) -> np.ndarray:
     """Gather the register values at every position of a ``(n, m)`` matrix."""
     flat = positions_matrix.ravel()
     return registers.get_many(flat).reshape(positions_matrix.shape)

@@ -18,17 +18,18 @@ shards (no sketch-level interleaving is required).
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable
+
 import copy
-from typing import Callable, Dict, Iterable, List, Tuple
 
 import numpy as np
 
 from repro.core.base import CardinalityEstimator
-from repro.engine.base import BatchUpdatable, supports_batch
+from repro.engine.base import BatchUpdatable, hot_path, supports_batch
 from repro.engine.encoding import EncodedBatch, seed_mix
 from repro.hashing import MASK64, fold_key, fold_key_array, hash64, splitmix64_array
 
-UserItemPair = Tuple[object, object]
+UserItemPair = tuple[object, object]
 
 #: Salt xor-ed into the routing seed so the shard choice is independent of the
 #: hash functions the sub-estimators draw from the same seed.
@@ -37,6 +38,7 @@ _SHARD_SALT = 0x5AD5
 EstimatorFactory = Callable[[int], CardinalityEstimator]
 
 
+@hot_path
 def route_user_hashes(user_hashes: np.ndarray, shards: int, seed: int) -> np.ndarray:
     """Shard ids for raw 64-bit user folds under the estimator's routing.
 
@@ -50,6 +52,7 @@ def route_user_hashes(user_hashes: np.ndarray, shards: int, seed: int) -> np.nda
     return (mixed % np.uint64(shards)).astype(np.int64)
 
 
+@hot_path
 def route_pair_shards(batch: EncodedBatch, shards: int, seed: int) -> np.ndarray:
     """Per-pair shard ids of an encoded batch (vectorised, bit-identical)."""
     return route_user_hashes(batch.user_hashes, shards, seed)[batch.user_codes]
@@ -78,8 +81,8 @@ class ShardedEstimator(BatchUpdatable, CardinalityEstimator):
         self.num_shards = shards
         self.seed = seed
         self._route_seed = (seed ^ _SHARD_SALT) & MASK64
-        self._shards: List[CardinalityEstimator] = [factory(k) for k in range(shards)]
-        self._shard_pairs: List[int] = [0] * shards
+        self._shards: list[CardinalityEstimator] = [factory(k) for k in range(shards)]
+        self._shard_pairs: list[int] = [0] * shards
         base_name = getattr(self._shards[0], "name", "estimator")
         self.name = f"Sharded[{shards}x{base_name}]"
 
@@ -105,7 +108,7 @@ class ShardedEstimator(BatchUpdatable, CardinalityEstimator):
         """Return the owner shard's estimate of ``user``."""
         return self._shards[self.shard_of(user)].estimate(user)
 
-    def estimate_many(self, users) -> List[float]:
+    def estimate_many(self, users: Iterable[object]) -> list[float]:
         """Batch estimates in input order: route once, query each shard once.
 
         Users are routed with the same vectorised hash as :meth:`shard_of`,
@@ -124,7 +127,7 @@ class ShardedEstimator(BatchUpdatable, CardinalityEstimator):
         else:
             folds = np.array([fold_key(user) for user in users], dtype=np.uint64)
         shard_ids = route_user_hashes(folds, self.num_shards, self.seed)
-        results: List[float] = [0.0] * len(users)
+        results: list[float] = [0.0] * len(users)
         for shard_index in np.unique(shard_ids):
             positions = np.nonzero(shard_ids == shard_index)[0].tolist()
             values = self._shards[int(shard_index)].estimate_many(
@@ -134,9 +137,9 @@ class ShardedEstimator(BatchUpdatable, CardinalityEstimator):
                 results[position] = value
         return results
 
-    def estimates(self) -> Dict[object, float]:
+    def estimates(self) -> dict[object, float]:
         """Union of the shard estimates (user sets are disjoint by routing)."""
-        combined: Dict[object, float] = {}
+        combined: dict[object, float] = {}
         for shard in self._shards:
             combined.update(shard.estimates())
         return combined
@@ -156,7 +159,7 @@ class ShardedEstimator(BatchUpdatable, CardinalityEstimator):
         if all(supports_batch(shard) for shard in self._shards):
             self.update_encoded(EncodedBatch.from_pairs(pairs))
             return
-        routed: Dict[int, List[UserItemPair]] = {}
+        routed: dict[int, list[UserItemPair]] = {}
         for user, item in pairs:
             routed.setdefault(self.shard_of(user), []).append((user, item))
         for shard_index, shard_pairs in routed.items():
@@ -181,20 +184,20 @@ class ShardedEstimator(BatchUpdatable, CardinalityEstimator):
     # -- mergeable state ------------------------------------------------------
 
     @property
-    def shards(self) -> List[CardinalityEstimator]:
+    def shards(self) -> list[CardinalityEstimator]:
         """The sub-estimators, indexed by shard id."""
         return list(self._shards)
 
     @property
-    def shard_pair_counts(self) -> List[int]:
+    def shard_pair_counts(self) -> list[int]:
         """Pairs routed to each shard so far (duplicates included)."""
         return list(self._shard_pairs)
 
-    def touched_shards(self) -> List[int]:
+    def touched_shards(self) -> list[int]:
         """Shard ids that have received at least one pair."""
         return [k for k, count in enumerate(self._shard_pairs) if count > 0]
 
-    def merge(self, other: "ShardedEstimator") -> "ShardedEstimator":
+    def merge(self, other: ShardedEstimator) -> ShardedEstimator:
         """Absorb the shards ``other`` touched; return ``self``.
 
         The two runs must share the shard count and routing seed, and must

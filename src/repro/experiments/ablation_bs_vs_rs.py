@@ -18,7 +18,6 @@ group, plus the analytic variance bounds of Theorems 1 and 2 for context.
 from __future__ import annotations
 
 import math
-from typing import Dict
 
 from repro.analysis.metrics import relative_standard_error
 from repro.analysis.variance import freebs_rse_bound, freers_rse_bound
@@ -60,7 +59,7 @@ def run(
         ),
         columns=["group", "method", "empirical_rse", "analytic_rse_bound"],
     )
-    groups: Dict[str, Dict[object, int]] = {"early_users": early, "late_users": late}
+    groups: dict[str, dict[object, int]] = {"early_users": early, "late_users": late}
     for group_name, group_truth in groups.items():
         # The analytic bound is evaluated at the stream load seen by that
         # group: half the total for the early group, the full total for the

@@ -11,7 +11,6 @@ FreeBS/FreeRS errors as reference lines.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List
 
 from repro.analysis.metrics import relative_standard_error
 from repro.baselines.exact import ExactCounter
@@ -25,8 +24,8 @@ DEFAULT_SWEEP = [64, 128, 256, 512, 1024]
 
 
 def _split_rse(
-    truth: Dict[object, int], estimates: Dict[object, float], split: int
-) -> Dict[str, float]:
+    truth: dict[object, int], estimates: dict[object, float], split: int
+) -> dict[str, float]:
     light = {user: n for user, n in truth.items() if 0 < n < split}
     heavy = {user: n for user, n in truth.items() if n >= split}
     return {
@@ -38,7 +37,7 @@ def _split_rse(
 def run(
     config: ExperimentConfig | None = None,
     dataset: str = "Orkut",
-    sweep: List[int] | None = None,
+    sweep: list[int] | None = None,
 ) -> Table:
     """Sweep ``m`` for CSE/vHLL and report light/heavy-user RSE per point."""
     config = config or ExperimentConfig()

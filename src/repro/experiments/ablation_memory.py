@@ -10,7 +10,6 @@ their fixed ``m`` — the practical message of the paper's Section V.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import List
 
 from repro.analysis.metrics import relative_standard_error
 from repro.baselines.exact import ExactCounter
@@ -26,7 +25,7 @@ DEFAULT_MULTIPLIERS = [0.25, 0.5, 1.0, 2.0]
 def run(
     config: ExperimentConfig | None = None,
     dataset: str = "chicago",
-    multipliers: List[float] | None = None,
+    multipliers: list[float] | None = None,
 ) -> Table:
     """Sweep the memory budget and report every sharing method's RSE."""
     config = config or ExperimentConfig()

@@ -21,7 +21,6 @@ range cap, so the trade-off is visible in one table.
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 from repro.analysis.metrics import relative_standard_error
 from repro.baselines.exact import ExactCounter
@@ -37,7 +36,7 @@ DEFAULT_WIDTHS = [3, 4, 5, 6, 8]
 def run(
     config: ExperimentConfig | None = None,
     dataset: str = "Orkut",
-    widths: List[int] | None = None,
+    widths: list[int] | None = None,
 ) -> Table:
     """Sweep the register width for FreeRS under a fixed memory budget."""
     config = config or ExperimentConfig()
@@ -64,7 +63,7 @@ def run(
         estimator = FreeRS(registers, register_width=width, seed=config.seed)
         for user, item in pairs:
             estimator.update(user, item)
-        estimates: Dict[object, float] = estimator.estimates()
+        estimates: dict[object, float] = estimator.estimates()
         table.add_row(
             width,
             registers,

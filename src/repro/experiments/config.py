@@ -19,7 +19,6 @@ Two presets are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List
 
 
 @dataclass(frozen=True)
@@ -45,7 +44,7 @@ class ExperimentConfig:
     #: Master seed; every estimator derives its hash seeds from it.
     seed: int = 7
     #: Datasets included in multi-dataset experiments.
-    datasets: List[str] = field(
+    datasets: list[str] = field(
         default_factory=lambda: [
             "sanjose",
             "chicago",
@@ -61,12 +60,12 @@ class ExperimentConfig:
         """Number of shared registers under the same memory budget."""
         return max(16, self.memory_bits // self.register_width)
 
-    def scaled(self, dataset_scale: float) -> "ExperimentConfig":
+    def scaled(self, dataset_scale: float) -> ExperimentConfig:
         """Return a copy with a different dataset scale."""
         return replace(self, dataset_scale=dataset_scale)
 
     @classmethod
-    def quick(cls) -> "ExperimentConfig":
+    def quick(cls) -> ExperimentConfig:
         """Small configuration for tests and fast benchmark runs (seconds)."""
         return cls(
             dataset_scale=0.08,
@@ -78,7 +77,7 @@ class ExperimentConfig:
         )
 
     @classmethod
-    def full(cls) -> "ExperimentConfig":
+    def full(cls) -> ExperimentConfig:
         """Configuration used for the EXPERIMENTS.md numbers (minutes)."""
         return cls(
             dataset_scale=0.5,

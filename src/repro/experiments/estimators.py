@@ -11,7 +11,8 @@ unchanged.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable
+from collections.abc import Iterable
+
 
 from repro.core.base import CardinalityEstimator
 from repro.registry import METHOD_ORDER, build, build_many
@@ -33,7 +34,7 @@ def build_estimators(
     expected_users: int,
     methods: Iterable[str] | None = None,
     shards: int = 1,
-) -> Dict[str, CardinalityEstimator]:
+) -> dict[str, CardinalityEstimator]:
     """Build the requested estimators under one shared memory budget.
 
     Delegates to :func:`repro.registry.build_many`; with ``shards > 1`` every

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import time
 from dataclasses import replace
-from typing import Dict, List
 
 from repro.core.base import CardinalityEstimator
 from repro.experiments.config import ExperimentConfig
@@ -27,7 +26,7 @@ from repro.streams.generators import zipf_bipartite_stream
 DEFAULT_SWEEP = [64, 128, 256, 512, 1024]
 
 
-def _time_updates(estimator: CardinalityEstimator, pairs: List[tuple]) -> float:
+def _time_updates(estimator: CardinalityEstimator, pairs: list[tuple]) -> float:
     """Return the average seconds per update over the given pairs."""
     start = time.perf_counter()
     for user, item in pairs:
@@ -38,7 +37,7 @@ def _time_updates(estimator: CardinalityEstimator, pairs: List[tuple]) -> float:
 
 def run(
     config: ExperimentConfig | None = None,
-    sweep: List[int] | None = None,
+    sweep: list[int] | None = None,
     pairs_per_point: int = 4000,
 ) -> Table:
     """Measure per-update time for every method at every virtual sketch size."""
@@ -61,10 +60,10 @@ def run(
         point_config = replace(config, virtual_size=m)
         # Per-user baselines are dimensioned so each user gets ~m bits/registers,
         # matching the x-axis semantics of the paper's figure.
-        estimators: Dict[str, CardinalityEstimator] = build_estimators(
+        estimators: dict[str, CardinalityEstimator] = build_estimators(
             point_config, expected_users=max(1, point_config.memory_bits // max(m, 1))
         )
-        row: List[object] = [m]
+        row: list[object] = [m]
         for method in METHOD_ORDER:
             row.append(_time_updates(estimators[method], pairs))
         table.add_row(*row)

@@ -11,7 +11,6 @@ band at small cardinalities — the paper's qualitative findings.
 
 from __future__ import annotations
 
-from typing import Dict
 
 from repro.analysis.metrics import scatter_summary
 from repro.baselines.exact import ExactCounter
@@ -38,7 +37,7 @@ def run(config: ExperimentConfig | None = None, dataset: str = "Orkut") -> Table
         columns=["method", "actual_bucket", "mean_estimate", "p10_estimate", "p90_estimate"],
     )
     for method in METHOD_ORDER:
-        estimates: Dict[object, float] = estimators[method].estimates()
+        estimates: dict[object, float] = estimators[method].estimates()
         for center, mean, p10, p90 in scatter_summary(truth, estimates):
             table.add_row(method, center, mean, p10, p90)
     table.add_note(

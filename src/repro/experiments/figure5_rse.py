@@ -10,7 +10,8 @@ sharing for small cardinalities and vice versa for large ones.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from collections.abc import Iterable
+
 
 from repro.analysis.metrics import rse_curve
 from repro.baselines.exact import ExactCounter
@@ -30,8 +31,8 @@ def run(
 ) -> Table:
     """Compute RSE-vs-cardinality curves for every dataset and method."""
     config = config or ExperimentConfig()
-    dataset_names: List[str] = list(datasets) if datasets is not None else list(config.datasets)
-    method_names: List[str] = list(methods) if methods is not None else list(FIGURE5_METHODS)
+    dataset_names: list[str] = list(datasets) if datasets is not None else list(config.datasets)
+    method_names: list[str] = list(methods) if methods is not None else list(FIGURE5_METHODS)
     table = Table(
         title="Figure 5 — RSE vs cardinality",
         columns=["dataset", "method", "cardinality", "rse", "users_in_bucket"],
@@ -47,7 +48,7 @@ def run(
                 estimator.update(user, item)
         truth = exact.cardinalities()
         for method in method_names:
-            estimates: Dict[object, float] = estimators[method].estimates()
+            estimates: dict[object, float] = estimators[method].estimates()
             for center, rse, count in rse_curve(truth, estimates, buckets_per_decade=3):
                 table.add_row(dataset, method, center, rse, count)
     table.add_note(

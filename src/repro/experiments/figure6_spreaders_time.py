@@ -9,7 +9,8 @@ metrics at every slice boundary with exact ground truth at that point.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from collections.abc import Iterable
+
 
 from repro.detection.evaluation import detection_error_over_time
 from repro.experiments.config import ExperimentConfig
@@ -28,7 +29,7 @@ def run(
 ) -> Table:
     """Evaluate detection FNR/FPR at every checkpoint of the stream."""
     config = config or ExperimentConfig()
-    method_names: List[str] = list(methods) if methods is not None else list(FIGURE6_METHODS)
+    method_names: list[str] = list(methods) if methods is not None else list(FIGURE6_METHODS)
     stream = DATASETS[dataset].load(scale=config.dataset_scale)
     pairs = stream.pairs()
     table = Table(

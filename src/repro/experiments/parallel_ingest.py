@@ -14,7 +14,8 @@ machine.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from collections.abc import Iterable
+
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import Table
@@ -31,7 +32,7 @@ def run(
 ) -> Table:
     """Sweep worker counts over one dataset; verify single-process parity."""
     config = config or ExperimentConfig()
-    worker_counts: List[int] = sorted(set(int(count) for count in workers))
+    worker_counts: list[int] = sorted({int(count) for count in workers})
     if not worker_counts or worker_counts[0] <= 0:
         raise ValueError("workers must be a non-empty iterable of positive counts")
     stream = DATASETS[dataset].load(scale=config.dataset_scale)

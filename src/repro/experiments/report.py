@@ -9,12 +9,13 @@ assertions in tests.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
+
 import csv
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence, Union
 
-Value = Union[str, int, float]
+Value = str | int | float
 
 
 def _format_value(value: Value) -> str:
@@ -34,8 +35,8 @@ class Table:
 
     title: str
     columns: Sequence[str]
-    rows: List[Sequence[Value]] = field(default_factory=list)
-    notes: List[str] = field(default_factory=list)
+    rows: list[Sequence[Value]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
 
     def add_row(self, *values: Value) -> None:
         """Append a row; the number of values must match the column count."""
@@ -50,7 +51,7 @@ class Table:
         """Attach a free-text note rendered under the table."""
         self.notes.append(note)
 
-    def column(self, name: str) -> List[Value]:
+    def column(self, name: str) -> list[Value]:
         """Return all values of one column (for assertions and plots)."""
         try:
             index = list(self.columns).index(name)
@@ -58,7 +59,7 @@ class Table:
             raise KeyError(f"unknown column {name!r}; columns: {list(self.columns)}") from None
         return [row[index] for row in self.rows]
 
-    def row_dicts(self) -> List[Dict[str, Value]]:
+    def row_dicts(self) -> list[dict[str, Value]]:
         """Return the rows as dictionaries keyed by column name."""
         return [dict(zip(self.columns, row)) for row in self.rows]
 
@@ -79,7 +80,7 @@ class Table:
             lines.append(f"note: {note}")
         return "\n".join(lines)
 
-    def to_csv(self, path: Union[str, Path]) -> None:
+    def to_csv(self, path: str | Path) -> None:
         """Write the table to a CSV file."""
         with open(path, "w", newline="", encoding="utf-8") as handle:
             writer = csv.writer(handle)

@@ -8,8 +8,9 @@ described in DESIGN.md.
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 import inspect
-from typing import Callable, Dict, List
 
 from repro.experiments import (
     ablation_bs_vs_rs,
@@ -31,7 +32,7 @@ from repro.experiments.report import Table
 ExperimentFunction = Callable[..., Table]
 
 #: Registry of every reproducible artefact, keyed by experiment id.
-EXPERIMENTS: Dict[str, ExperimentFunction] = {
+EXPERIMENTS: dict[str, ExperimentFunction] = {
     "table1": table1_datasets.run,
     "figure2": figure2_ccdf.run,
     "figure3": figure3_runtime.run,
@@ -47,7 +48,7 @@ EXPERIMENTS: Dict[str, ExperimentFunction] = {
 }
 
 #: Short human-readable description per experiment id (shown by the CLI).
-DESCRIPTIONS: Dict[str, str] = {
+DESCRIPTIONS: dict[str, str] = {
     "table1": "Table I — dataset summary statistics",
     "figure2": "Figure 2 — CCDF of user cardinalities",
     "figure3": "Figure 3 — per-update runtime vs m",
@@ -63,7 +64,7 @@ DESCRIPTIONS: Dict[str, str] = {
 }
 
 
-def list_experiments() -> List[str]:
+def list_experiments() -> list[str]:
     """Return the identifiers of all registered experiments."""
     return list(EXPERIMENTS)
 

@@ -10,7 +10,8 @@ detections in a dedicated column.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from collections.abc import Iterable
+
 
 from repro.detection.evaluation import detection_error_at_end
 from repro.experiments.config import ExperimentConfig
@@ -28,7 +29,7 @@ def run(
 ) -> Table:
     """Evaluate end-of-stream detection FNR/FPR on every dataset."""
     config = config or ExperimentConfig()
-    method_names: List[str] = list(methods) if methods is not None else list(TABLE2_METHODS)
+    method_names: list[str] = list(methods) if methods is not None else list(TABLE2_METHODS)
     table = Table(
         title=f"Table II — super-spreader detection (delta={config.delta})",
         columns=["dataset", "method", "true_spreaders", "detected", "fnr", "fpr"],

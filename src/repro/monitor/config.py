@@ -13,7 +13,6 @@ factories.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Dict
 
 from repro.core.base import CardinalityEstimator
 from repro.experiments.config import ExperimentConfig
@@ -107,11 +106,11 @@ class MonitorSpec:
 
     # -- JSON round-trip -------------------------------------------------------
 
-    def to_json(self) -> Dict[str, object]:
+    def to_json(self) -> dict[str, object]:
         """JSON-ready dict (embedded in every snapshot)."""
         return asdict(self)
 
     @classmethod
-    def from_json(cls, payload: Dict[str, object]) -> "MonitorSpec":
+    def from_json(cls, payload: dict[str, object]) -> MonitorSpec:
         """Rebuild a spec from :meth:`to_json` output."""
         return cls(**payload)

@@ -36,8 +36,9 @@ every epoch from the same factory.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import copy
-from typing import Dict, Sequence
 
 import numpy as np
 
@@ -257,7 +258,7 @@ def refresh_estimates_from_state(estimator) -> None:
         return
 
 
-def fresh_estimates(estimator) -> Dict[object, float]:
+def fresh_estimates(estimator) -> dict[object, float]:
     """Per-user estimates re-evaluated from the estimator's current state.
 
     For CSE/vHLL the cached ``estimates()`` reflect the shared array *as of
@@ -267,7 +268,7 @@ def fresh_estimates(estimator) -> Dict[object, float]:
     answer with the same semantics.  Read-only: ``estimator`` is untouched.
     """
     if isinstance(estimator, ShardedEstimator):
-        combined: Dict[object, float] = {}
+        combined: dict[object, float] = {}
         for shard in estimator._shards:
             combined.update(fresh_estimates(shard))
         return combined
@@ -298,7 +299,7 @@ def merged_copy(estimators: Sequence):
     return merged
 
 
-def merged_estimates(estimators: Sequence) -> Dict[object, float]:
+def merged_estimates(estimators: Sequence) -> dict[object, float]:
     """Per-user estimates over the union of the given epoch states.
 
     Single-epoch queries short-circuit to a fresh (no-copy) re-evaluation of

@@ -22,22 +22,23 @@ past the pairs a restored snapshot has already seen.
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Sequence
+
 import time
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.monitor.snapshot import SnapshotStore
 from repro.monitor.spreader import SpreaderMonitor
 from repro.monitor.view import wire_user as _json_user
 from repro.monitor.window import Epoch
 
-UserItemPair = Tuple[object, object]
+UserItemPair = tuple[object, object]
 
 
-def _top_to_json(ranked: Sequence[Tuple[object, float]]) -> List[List[object]]:
+def _top_to_json(ranked: Sequence[tuple[object, float]]) -> list[list[object]]:
     return [[_json_user(user), round(float(estimate), 3)] for user, estimate in ranked]
 
 
-def _window_record(monitor: SpreaderMonitor, epoch: Epoch) -> Dict[str, object]:
+def _window_record(monitor: SpreaderMonitor, epoch: Epoch) -> dict[str, object]:
     # Reuse the merge and the ranking the monitor's evaluation just computed
     # for this batch (the window state has not changed since).
     window_estimates = monitor.last_window_estimates()
@@ -62,10 +63,10 @@ def replay_feed(
     timestamps: Sequence[float] | None = None,
     batch_size: int = 2048,
     rate: float | None = None,
-    snapshot_store: Optional[SnapshotStore] = None,
+    snapshot_store: SnapshotStore | None = None,
     snapshot_every: int = 0,
     skip_pairs: int = 0,
-) -> Iterator[Dict[str, object]]:
+) -> Iterator[dict[str, object]]:
     """Replay ``pairs`` through ``monitor``; yield the JSONL feed records."""
     if batch_size <= 0:
         raise ValueError("batch_size must be positive")

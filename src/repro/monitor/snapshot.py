@@ -21,7 +21,6 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Dict, List, Optional, Union
 
 from repro import obs
 from repro.core import serialization
@@ -29,7 +28,7 @@ from repro.monitor.config import MonitorSpec
 from repro.monitor.spreader import SpreaderMonitor
 from repro.monitor.window import Epoch
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 _log = obs.get_logger("monitor.snapshot")
 
@@ -46,14 +45,14 @@ class SnapshotError(RuntimeError):
     an opaque traceback from the JSON layer.
     """
 
-    def __init__(self, path: Optional[PathLike], reason: str, recovery: str) -> None:
+    def __init__(self, path: PathLike | None, reason: str, recovery: str) -> None:
         location = f"snapshot {Path(path)}" if path is not None else "snapshot"
         super().__init__(f"{location}: {reason}.  Recovery options: {recovery}")
         self.path = None if path is None else Path(path)
         self.reason = reason
 
 
-def monitor_to_json(monitor: SpreaderMonitor) -> Dict[str, object]:
+def monitor_to_json(monitor: SpreaderMonitor) -> dict[str, object]:
     """Serialise a monitor (spec + window + detector state) to a JSON dict."""
     spec = getattr(monitor, "spec", None)
     if spec is None:
@@ -83,7 +82,7 @@ def monitor_to_json(monitor: SpreaderMonitor) -> Dict[str, object]:
     }
 
 
-def monitor_from_json(payload: Dict[str, object]) -> SpreaderMonitor:
+def monitor_from_json(payload: dict[str, object]) -> SpreaderMonitor:
     """Rebuild a monitor from :func:`monitor_to_json` output."""
     if payload.get("format") != _FORMAT:
         raise ValueError("not a monitor snapshot payload")
@@ -133,7 +132,7 @@ class SnapshotStore:
         self.directory = Path(directory)
         self.keep = keep
 
-    def paths(self) -> List[Path]:
+    def paths(self) -> list[Path]:
         """Existing snapshot files, oldest first (by resume offset)."""
         if not self.directory.is_dir():
             return []
@@ -148,7 +147,7 @@ class SnapshotStore:
         except (IndexError, ValueError):
             return -1
 
-    def latest(self) -> Optional[Path]:
+    def latest(self) -> Path | None:
         """Path of the most recent snapshot, or None when the store is empty."""
         paths = self.paths()
         return paths[-1] if paths else None

@@ -18,15 +18,16 @@ estimated cardinality, mirroring the paper's ``Delta * n(t)`` rule.
 
 from __future__ import annotations
 
+from collections.abc import Mapping, Sequence
+
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.monitor.merge import ADDITIVE, merge_exactness
 from repro.monitor.topk import TopKTracker
 from repro.monitor.window import WindowedEstimator
 
-UserItemPair = Tuple[object, object]
+UserItemPair = tuple[object, object]
 
 _log = obs.get_logger("monitor.spreader")
 
@@ -40,10 +41,10 @@ class AlertEvent:
     estimate: float
     threshold: float
     epoch: int  #: index of the live epoch at evaluation time
-    timestamp: Optional[float]  #: arrival-clock position at evaluation time
+    timestamp: float | None  #: arrival-clock position at evaluation time
     sequence: int  #: monotonically increasing alert id
 
-    def to_json(self) -> Dict[str, object]:
+    def to_json(self) -> dict[str, object]:
         """JSON-ready representation (used by the replay feed)."""
         from repro.monitor.view import wire_user
 
@@ -103,7 +104,7 @@ class SpreaderMonitor:
         self.threshold = threshold
         self.delta = delta
         self.hysteresis = hysteresis
-        self._active: Dict[object, bool] = {}
+        self._active: dict[object, bool] = {}
         self._sequence = 0
         self._version = 0
         self._last_enter_threshold = 0.0
@@ -114,10 +115,10 @@ class SpreaderMonitor:
         from repro.monitor.view import SlidingMergeCache
 
         self._merge_cache = SlidingMergeCache()
-        self._last_window_estimates: Optional[Mapping[object, float]] = None
+        self._last_window_estimates: Mapping[object, float] | None = None
         #: None until the first evaluation decides whether the method's
         #: sliding estimates can be maintained incrementally (additive merge).
-        self._incremental_capable: Optional[bool] = None
+        self._incremental_capable: bool | None = None
         self._primed = False
         self._pairs_seen = 0
         self._incremental_evaluations = 0
@@ -129,7 +130,7 @@ class SpreaderMonitor:
         self,
         pairs: Sequence[UserItemPair],
         timestamps: Sequence[float] | None = None,
-    ) -> List[AlertEvent]:
+    ) -> list[AlertEvent]:
         """Ingest one batch, re-evaluate the window, return new alert events.
 
         Between epoch rotations, methods with *additive* sliding merges
@@ -161,7 +162,7 @@ class SpreaderMonitor:
             self._incremental_capable = exactness == ADDITIVE
         return self._incremental_capable
 
-    def evaluate(self) -> List[AlertEvent]:
+    def evaluate(self) -> list[AlertEvent]:
         """Fully re-rank the sliding window and emit threshold-crossing events."""
         estimates = self._merge_cache.sliding_estimates(self.window)
         self._tracker.full_refresh(estimates)
@@ -180,7 +181,7 @@ class SpreaderMonitor:
         exit_threshold = enter * (1.0 - self.hysteresis)
         epoch = self.window.live_epoch.index
         timestamp = self.window.last_timestamp
-        alerts: List[AlertEvent] = []
+        alerts: list[AlertEvent] = []
         # One vectorised threshold select instead of boxing every (user,
         # score) pair; candidate order is insertion order, so emission order
         # and sequence numbers are unchanged.
@@ -193,7 +194,7 @@ class SpreaderMonitor:
         self._version += 1
         return alerts
 
-    def _evaluate_incremental(self, touched: Dict[object, None]) -> List[AlertEvent]:
+    def _evaluate_incremental(self, touched: dict[object, None]) -> list[AlertEvent]:
         """Re-score only the batch's users (additive methods, no rotation).
 
         A touched user's windowed estimate is the sum of its per-epoch
@@ -205,7 +206,7 @@ class SpreaderMonitor:
         plus the active set (for end alerts) sees every possible crossing.
         """
         epoch_estimators = [epoch.estimator for epoch in self.window.epochs]
-        changed: Dict[object, float] = {}
+        changed: dict[object, float] = {}
         for user in touched:
             value = 0.0
             for estimator in epoch_estimators:
@@ -221,7 +222,7 @@ class SpreaderMonitor:
         exit_threshold = enter * (1.0 - self.hysteresis)
         epoch = self.window.live_epoch.index
         timestamp = self.window.last_timestamp
-        alerts: List[AlertEvent] = []
+        alerts: list[AlertEvent] = []
         # Scan the dirty set in first-seen (score-table) order so alert
         # emission order and sequence numbers match what a full evaluation
         # of the same state emits — the snapshot-resume identity contract.
@@ -237,12 +238,12 @@ class SpreaderMonitor:
 
     def _end_alerts(
         self,
-        scores: Dict[object, float],
+        scores: dict[object, float],
         exit_threshold: float,
         epoch: int,
-        timestamp: Optional[float],
-    ) -> List[AlertEvent]:
-        alerts: List[AlertEvent] = []
+        timestamp: float | None,
+    ) -> list[AlertEvent]:
+        alerts: list[AlertEvent] = []
         for user in [
             user for user in self._active if scores.get(user, 0.0) < exit_threshold
         ]:
@@ -266,7 +267,7 @@ class SpreaderMonitor:
         estimate: float,
         threshold: float,
         epoch: int,
-        timestamp: Optional[float],
+        timestamp: float | None,
     ) -> AlertEvent:
         event = AlertEvent(
             kind=kind,
@@ -293,12 +294,12 @@ class SpreaderMonitor:
     # -- continuous state ------------------------------------------------------
 
     @property
-    def active_spreaders(self) -> List[object]:
+    def active_spreaders(self) -> list[object]:
         """Users currently inside the alert band (start emitted, no end yet)."""
         return list(self._active)
 
     @property
-    def current_top(self) -> List[Tuple[object, float]]:
+    def current_top(self) -> list[tuple[object, float]]:
         """The continuously maintained top-k (user, estimate) ranking."""
         return self._tracker.head
 
@@ -365,7 +366,7 @@ class SpreaderMonitor:
 
     # -- snapshot plumbing -----------------------------------------------------
 
-    def state_to_json(self) -> Dict[str, object]:
+    def state_to_json(self) -> dict[str, object]:
         """Detector state for :mod:`repro.monitor.snapshot` (keys tagged)."""
         from repro.core.serialization import _estimates_to_json, _key_to_json
 
@@ -377,7 +378,7 @@ class SpreaderMonitor:
             "top": _estimates_to_json(dict(self._tracker.head)),
         }
 
-    def state_from_json(self, state: Dict[str, object]) -> None:
+    def state_from_json(self, state: dict[str, object]) -> None:
         """Restore detector state written by :meth:`state_to_json`."""
         from repro.core.serialization import _estimates_from_json, _key_from_json
 

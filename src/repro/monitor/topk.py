@@ -29,7 +29,8 @@ ingest/rotation sequences.
 
 from __future__ import annotations
 
-from typing import List, Mapping, Tuple
+from collections.abc import Mapping
+
 
 from repro import obs
 from repro.state import ScoreTable
@@ -44,12 +45,12 @@ class TopKTracker:
         self.k = k
         #: Current score per user; insertion order is first-seen order.
         self.scores = ScoreTable()
-        self._head: List[Tuple[object, float]] = []
+        self._head: list[tuple[object, float]] = []
 
     # -- queries ---------------------------------------------------------------
 
     @property
-    def head(self) -> List[Tuple[object, float]]:
+    def head(self) -> list[tuple[object, float]]:
         """The exact top-k ``(user, score)`` list, best first."""
         return list(self._head)
 
@@ -65,7 +66,7 @@ class TopKTracker:
         """
         return self.scores.total()
 
-    def rank_order(self, users) -> List[object]:
+    def rank_order(self, users) -> list[object]:
         """Sort ``users`` by first-seen rank — the canonical scan order.
 
         The full evaluation scans the score table in insertion (first-seen)
@@ -142,6 +143,6 @@ class TopKTracker:
 
     # -- snapshot plumbing -----------------------------------------------------
 
-    def restore_head(self, head: List[Tuple[object, float]]) -> None:
+    def restore_head(self, head: list[tuple[object, float]]) -> None:
         """Adopt a checkpointed head (scores stay empty until a refresh)."""
         self._head = [(user, float(value)) for user, value in head[: self.k]]

@@ -23,10 +23,11 @@ and cheap:
 
 from __future__ import annotations
 
+from collections.abc import Mapping, Sequence
+
 import copy
 import operator
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.monitor.merge import (
     fresh_estimates,
@@ -78,27 +79,27 @@ class ReadSnapshot:
     #: Monotonically increasing state version (bumped per evaluation).
     version: int
     #: Method name from the monitor's spec (None for spec-less monitors).
-    method: Optional[str]
+    method: str | None
     pairs_ingested: int
     epochs_started: int
     #: Index of the live epoch at export time.
     live_epoch: int
-    last_timestamp: Optional[float]
+    last_timestamp: float | None
     window_epochs: int
     #: Merge guarantee of the sliding estimates ("exact" or "additive").
     exactness: str
     #: Clamped timestamp regressions observed so far.
     regressions: int
     enter_threshold: float
-    active_spreaders: Tuple[object, ...]
+    active_spreaders: tuple[object, ...]
     #: Metadata of every retained epoch, oldest first.
-    epoch_summaries: Tuple[Dict[str, object], ...]
+    epoch_summaries: tuple[dict[str, object], ...]
     #: Full sliding-window per-user estimates, in first-seen key order (the
     #: canonical tie-break of every ranking).
     estimates: Mapping[object, float]
     #: Head of the ranking, precomputed by the monitor's continuous top-k
     #: tracker (up to the monitor's ``top_k`` entries).
-    top: Tuple[Tuple[object, float], ...] = ()
+    top: tuple[tuple[object, float], ...] = ()
 
     # -- lazy derived structures ----------------------------------------------
     # The snapshot is frozen; caches are attached via object.__setattr__ so
@@ -106,7 +107,7 @@ class ReadSnapshot:
     # copies, not a full sort or index build.
 
     @property
-    def ranked(self) -> Tuple[Tuple[object, float], ...]:
+    def ranked(self) -> tuple[tuple[object, float], ...]:
         """``estimates`` ranked descending, ties in first-seen order.
 
         Built on first use: the hot refresh path never ranks more than the
@@ -121,7 +122,7 @@ class ReadSnapshot:
             object.__setattr__(self, "_ranked", cached)
         return cached
 
-    def _wire_aliases(self) -> Dict[str, object]:
+    def _wire_aliases(self) -> dict[str, object]:
         """Map ``wire_user`` forms back to the original non-JSON-safe keys."""
         cached = self.__dict__.get("_aliases")
         if cached is None:
@@ -147,7 +148,7 @@ class ReadSnapshot:
                 value = estimates.get(alias)
         return float(value) if value is not None else 0.0
 
-    def batch_spread(self, users: Sequence[object]) -> List[float]:
+    def batch_spread(self, users: Sequence[object]) -> list[float]:
         """Estimates for many users, in input order.
 
         All-hit batches — the service hot path — resolve against the frozen
@@ -173,7 +174,7 @@ class ReadSnapshot:
                     pass
         return [self.spread(user) for user in users]
 
-    def topk(self, k: int) -> List[Tuple[object, float]]:
+    def topk(self, k: int) -> list[tuple[object, float]]:
         """The top-``k`` (user, estimate) ranking of the sliding window."""
         if k <= 0:
             raise ValueError("k must be positive")
@@ -185,7 +186,7 @@ class ReadSnapshot:
         """Sum of the sliding-window estimates (the paper's ``n(t)``)."""
         return float(sum(self.estimates.values()))
 
-    def stats(self) -> Dict[str, object]:
+    def stats(self) -> dict[str, object]:
         """JSON-ready summary of the snapshot (the ``stats`` op's core)."""
         return {
             "version": self.version,
@@ -254,7 +255,7 @@ class SlidingMergeCache:
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
         self._max_entries = max_entries
-        self._prefixes: Dict[Tuple[int, ...], object] = {}
+        self._prefixes: dict[tuple[int, ...], object] = {}
 
     def invalidate(self, window: WindowedEstimator) -> None:
         """Drop prefixes referencing epochs no longer retained by the ring."""

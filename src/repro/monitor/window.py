@@ -22,18 +22,19 @@ to ``epoch_pairs=n`` on a gap-free stream.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
+
 import math
 from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.core.base import CardinalityEstimator
 from repro.engine.base import supports_batch
 from repro.monitor.merge import merge_exactness, merged_copy, merged_estimates
 
-UserItemPair = Tuple[object, object]
+UserItemPair = tuple[object, object]
 
 _log = obs.get_logger("monitor.window")
 
@@ -46,16 +47,16 @@ class Epoch:
 
     index: int
     estimator: CardinalityEstimator
-    start_time: Optional[float] = None
-    end_time: Optional[float] = None
+    start_time: float | None = None
+    end_time: float | None = None
     pairs: int = 0
     closed: bool = False
 
-    def estimates(self) -> Dict[object, float]:
+    def estimates(self) -> dict[object, float]:
         """The epoch's per-user estimates (a tumbling-window query)."""
         return self.estimator.estimates()
 
-    def summary(self) -> Dict[str, object]:
+    def summary(self) -> dict[str, object]:
         """JSON-ready metadata of the epoch (no estimates)."""
         return {
             "epoch": self.index,
@@ -118,11 +119,11 @@ class WindowedEstimator:
         self.epoch_span = epoch_span
         self.window_epochs = window_epochs
         self.strict_timestamps = strict_timestamps
-        self._ring: Deque[Epoch] = deque(maxlen=window_epochs)
+        self._ring: deque[Epoch] = deque(maxlen=window_epochs)
         self._epochs_started = 0
         self._pairs_ingested = 0
         self._regressions = 0
-        self._last_timestamp: Optional[float] = None
+        self._last_timestamp: float | None = None
         self._ring.append(self._new_epoch())
 
     # -- construction helpers --------------------------------------------------
@@ -135,7 +136,7 @@ class WindowedEstimator:
     # -- introspection ---------------------------------------------------------
 
     @property
-    def epochs(self) -> List[Epoch]:
+    def epochs(self) -> list[Epoch]:
         """The retained epochs, oldest first; the last one is live."""
         return list(self._ring)
 
@@ -155,7 +156,7 @@ class WindowedEstimator:
         return self._pairs_ingested
 
     @property
-    def last_timestamp(self) -> Optional[float]:
+    def last_timestamp(self) -> float | None:
         """Arrival-clock position of the most recent pair."""
         return self._last_timestamp
 
@@ -174,7 +175,7 @@ class WindowedEstimator:
         self,
         pairs: Sequence[UserItemPair],
         timestamps: Sequence[float] | None = None,
-    ) -> List[Epoch]:
+    ) -> list[Epoch]:
         """Absorb a batch of pairs; return the epochs closed along the way.
 
         ``timestamps`` should be non-decreasing and not precede previously
@@ -199,7 +200,7 @@ class WindowedEstimator:
         if self.epoch_span is not None and self._ring[-1].start_time is None:
             # Anchor the epoch grid at the stream's first timestamp.
             self._ring[-1].start_time = timestamps[0]
-        closed: List[Epoch] = []
+        closed: list[Epoch] = []
         position = 0
         while position < len(pairs):
             take = self._pairs_until_rotation(timestamps, position)
@@ -213,7 +214,7 @@ class WindowedEstimator:
             position += take
         return closed
 
-    def _normalize_timestamps(self, timestamps: List[float]) -> List[float]:
+    def _normalize_timestamps(self, timestamps: list[float]) -> list[float]:
         """Clamp (or, in strict mode, reject) regressed arrival timestamps.
 
         The rotation logic (`bisect_left` over the batch, the live-epoch
@@ -269,10 +270,10 @@ class WindowedEstimator:
         self._pairs_ingested += len(chunk)
         self._last_timestamp = chunk_times[-1]
 
-    def _rotate(self, next_timestamp: float) -> List[Epoch]:
+    def _rotate(self, next_timestamp: float) -> list[Epoch]:
         """Close the live epoch (plus any empty grid epochs) and start a new one."""
         obs.counter("monitor.rotations").add()
-        closed: List[Epoch] = []
+        closed: list[Epoch] = []
         live = self._ring[-1]
         live.closed = True
         if self.epoch_span is None:
@@ -303,14 +304,14 @@ class WindowedEstimator:
 
     # -- queries ---------------------------------------------------------------
 
-    def epoch_estimates(self, position: int = -1) -> Dict[object, float]:
+    def epoch_estimates(self, position: int = -1) -> dict[object, float]:
         """Tumbling-window query: the estimates of one retained epoch.
 
         ``position`` indexes the ring (default -1, the live epoch).
         """
         return self._ring[position].estimates()
 
-    def window_estimates(self, last: int | None = None) -> Dict[object, float]:
+    def window_estimates(self, last: int | None = None) -> dict[object, float]:
         """Sliding-window query: merged estimates of the last ``last`` epochs.
 
         Defaults to the whole ring (up to ``window_epochs`` epochs, live
@@ -323,7 +324,7 @@ class WindowedEstimator:
         """Return a merged estimator copy over the last ``last`` epochs."""
         return merged_copy([epoch.estimator for epoch in self._window_slice(last)])
 
-    def _window_slice(self, last: int | None) -> List[Epoch]:
+    def _window_slice(self, last: int | None) -> list[Epoch]:
         if last is None:
             last = self.window_epochs
         if last <= 0:

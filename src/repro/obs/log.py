@@ -27,7 +27,7 @@ import json
 import logging
 import sys
 import time
-from typing import IO, Dict, Optional
+from typing import IO
 
 #: Root of the repository's logger hierarchy.
 ROOT_LOGGER = "repro"
@@ -59,7 +59,7 @@ class JsonFormatter(logging.Formatter):
     """One JSON object per record: ts, level, logger, event, then fields."""
 
     def format(self, record: logging.LogRecord) -> str:
-        payload: Dict[str, object] = {
+        payload: dict[str, object] = {
             "ts": round(record.created, 6),
             "level": record.levelname.lower(),
             "logger": record.name,
@@ -97,20 +97,20 @@ class StructuredLogger:
     def __init__(self, logger: logging.Logger) -> None:
         self._logger = logger
 
-    def _log(self, level: int, event: str, fields: Dict[str, object]) -> None:
+    def _log(self, level: int, event: str, fields: dict[str, object]) -> None:
         if self._logger.isEnabledFor(level):
             self._logger.log(level, event, extra={"fields": fields})
 
-    def debug(self, event: str, **fields) -> None:
+    def debug(self, event: str, **fields: object) -> None:
         self._log(logging.DEBUG, event, fields)
 
-    def info(self, event: str, **fields) -> None:
+    def info(self, event: str, **fields: object) -> None:
         self._log(logging.INFO, event, fields)
 
-    def warning(self, event: str, **fields) -> None:
+    def warning(self, event: str, **fields: object) -> None:
         self._log(logging.WARNING, event, fields)
 
-    def error(self, event: str, **fields) -> None:
+    def error(self, event: str, **fields: object) -> None:
         self._log(logging.ERROR, event, fields)
 
     def isEnabledFor(self, level: int) -> bool:  # noqa: N802 - stdlib parity
@@ -126,7 +126,7 @@ def get_logger(name: str) -> StructuredLogger:
 def configure_logging(
     level: str = "info",
     json_mode: bool = False,
-    stream: Optional[IO[str]] = None,
+    stream: IO[str] | None = None,
 ) -> logging.Handler:
     """Install (or replace) the process-wide handler on the ``repro`` root.
 
@@ -141,7 +141,7 @@ def configure_logging(
     for existing in list(root.handlers):
         if getattr(existing, "_repro_obs_handler", False):
             root.removeHandler(existing)
-    handler._repro_obs_handler = True
+    setattr(handler, "_repro_obs_handler", True)
     root.addHandler(handler)
     root.setLevel(_level_for(level))
     root.propagate = False

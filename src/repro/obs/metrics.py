@@ -38,21 +38,25 @@ from, and turning telemetry off must not change program behaviour.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Mapping
+
 import threading
 import time
+from typing import Any, TypeVar, cast
 from bisect import bisect_left
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 #: Default histogram bounds: base-2 log scale from 1 µs to ~67 s (27
 #: buckets + overflow).  Chosen once for the whole repository so latency
 #: histograms from any layer (or process) can be merged bucket by bucket.
-DEFAULT_LATENCY_BOUNDS: Tuple[float, ...] = tuple(1e-6 * 2.0**i for i in range(27))
+DEFAULT_LATENCY_BOUNDS: tuple[float, ...] = tuple(1e-6 * 2.0**i for i in range(27))
 
 #: Identity of one instrument: (name, sorted (label, value) pairs).
-MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+MetricKey = tuple[str, tuple[tuple[str, str], ...]]
+
+_InstrumentT = TypeVar("_InstrumentT", bound="_Instrument")
 
 
-def _label_key(labels: Mapping[str, object]) -> Tuple[Tuple[str, str], ...]:
+def _label_key(labels: Mapping[str, object]) -> tuple[tuple[str, str], ...]:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
@@ -65,9 +69,9 @@ class _Instrument:
 
     def __init__(
         self,
-        registry: "MetricsRegistry",
+        registry: MetricsRegistry,
         name: str,
-        labels: Tuple[Tuple[str, str], ...],
+        labels: tuple[tuple[str, str], ...],
         always: bool = False,
     ) -> None:
         self.name = name
@@ -81,7 +85,7 @@ class _Instrument:
         """Whether mutations apply right now (always-on instruments: yes)."""
         return self.always or self._registry.enabled
 
-    def _identity(self) -> Dict[str, object]:
+    def _identity(self) -> dict[str, object]:
         return {"type": self.kind, "name": self.name, "labels": dict(self.labels)}
 
 
@@ -92,7 +96,13 @@ class Counter(_Instrument):
 
     kind = "counter"
 
-    def __init__(self, registry, name, labels, always=False) -> None:
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        name: str,
+        labels: tuple[tuple[str, str], ...],
+        always: bool = False,
+    ) -> None:
         super().__init__(registry, name, labels, always)
         self._value = 0.0
 
@@ -108,7 +118,7 @@ class Counter(_Instrument):
     def value(self) -> float:
         return self._value
 
-    def snapshot(self) -> Dict[str, object]:
+    def snapshot(self) -> dict[str, object]:
         return {**self._identity(), "value": self._value}
 
 
@@ -119,7 +129,13 @@ class Gauge(_Instrument):
 
     kind = "gauge"
 
-    def __init__(self, registry, name, labels, always=False) -> None:
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        name: str,
+        labels: tuple[tuple[str, str], ...],
+        always: bool = False,
+    ) -> None:
         super().__init__(registry, name, labels, always)
         self._value = 0.0
 
@@ -139,7 +155,7 @@ class Gauge(_Instrument):
     def value(self) -> float:
         return self._value
 
-    def snapshot(self) -> Dict[str, object]:
+    def snapshot(self) -> dict[str, object]:
         return {**self._identity(), "value": self._value}
 
 
@@ -155,12 +171,19 @@ class Histogram(_Instrument):
 
     kind = "histogram"
 
-    def __init__(self, registry, name, labels, bounds=None, always=False) -> None:
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        name: str,
+        labels: tuple[tuple[str, str], ...],
+        bounds: Iterable[float] | None = None,
+        always: bool = False,
+    ) -> None:
         super().__init__(registry, name, labels, always)
         chosen = DEFAULT_LATENCY_BOUNDS if bounds is None else tuple(bounds)
         if not chosen or list(chosen) != sorted(chosen):
             raise ValueError("histogram bounds must be a non-empty ascending sequence")
-        self.bounds: Tuple[float, ...] = tuple(float(b) for b in chosen)
+        self.bounds: tuple[float, ...] = tuple(float(b) for b in chosen)
         self._counts = [0] * (len(self.bounds) + 1)
         self._sum = 0.0
         self._count = 0
@@ -182,7 +205,7 @@ class Histogram(_Instrument):
     def sum(self) -> float:
         return self._sum
 
-    def snapshot(self) -> Dict[str, object]:
+    def snapshot(self) -> dict[str, object]:
         with self._lock:
             counts = list(self._counts)
             total, observed = self._sum, self._count
@@ -210,14 +233,14 @@ class timed:
 
     def __init__(self, histogram: Histogram) -> None:
         self._histogram = histogram
-        self._start: Optional[float] = None
+        self._start: float | None = None
 
-    def __enter__(self) -> "timed":
+    def __enter__(self) -> timed:
         if self._histogram.enabled:
             self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *_exc) -> bool:
+    def __exit__(self, *_exc: object) -> bool:
         if self._start is not None:
             self._histogram.observe(time.perf_counter() - self._start)
             self._start = None
@@ -230,11 +253,18 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self.enabled = True
         self._lock = threading.Lock()
-        self._metrics: Dict[MetricKey, _Instrument] = {}
+        self._metrics: dict[MetricKey, _Instrument] = {}
 
     # -- instrument construction ----------------------------------------------
 
-    def _get_or_create(self, cls, name: str, labels, always: bool, **kwargs):
+    def _get_or_create(
+        self,
+        cls: type[_InstrumentT],
+        name: str,
+        labels: Mapping[str, object],
+        always: bool,
+        **kwargs: Any,
+    ) -> _InstrumentT:
         key: MetricKey = (name, _label_key(labels))
         instrument = self._metrics.get(key)
         if instrument is None:
@@ -247,22 +277,22 @@ class MetricsRegistry:
             raise ValueError(
                 f"metric {name!r} already registered as a {instrument.kind}"
             )
-        return instrument
+        return cast("_InstrumentT", instrument)
 
-    def counter(self, name: str, always: bool = False, **labels) -> Counter:
+    def counter(self, name: str, always: bool = False, **labels: object) -> Counter:
         """The counter ``(name, labels)``, created on first use."""
         return self._get_or_create(Counter, name, labels, always)
 
-    def gauge(self, name: str, always: bool = False, **labels) -> Gauge:
+    def gauge(self, name: str, always: bool = False, **labels: object) -> Gauge:
         """The gauge ``(name, labels)``, created on first use."""
         return self._get_or_create(Gauge, name, labels, always)
 
     def histogram(
         self,
         name: str,
-        bounds: Optional[Iterable[float]] = None,
+        bounds: Iterable[float] | None = None,
         always: bool = False,
-        **labels,
+        **labels: object,
     ) -> Histogram:
         """The histogram ``(name, labels)``, created on first use.
 
@@ -284,7 +314,7 @@ class MetricsRegistry:
 
     # -- export -----------------------------------------------------------------
 
-    def snapshot(self) -> List[Dict[str, object]]:
+    def snapshot(self) -> list[dict[str, object]]:
         """Every instrument as a plain dict, in deterministic (name, labels)
         order — the payload of the ``metrics`` service op."""
         with self._lock:

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, List, Optional
+from typing import Any
 
 from repro.obs.metrics import REGISTRY, MetricsRegistry
 
@@ -59,7 +59,7 @@ def _format_value(value: float) -> str:
     return repr(as_float)
 
 
-def _labels_text(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+def _labels_text(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
     merged = dict(labels)
     if extra:
         merged.update(extra)
@@ -74,8 +74,9 @@ def _labels_text(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None)
 
 def render(registry: MetricsRegistry = REGISTRY) -> str:
     """The whole registry in text exposition format (one trailing newline)."""
-    lines: List[str] = []
-    typed: set = set()
+    lines: list[str] = []
+    typed: set[str] = set()
+    metric: dict[str, Any]
     for metric in registry.snapshot():
         kind = metric["type"]
         labels = metric["labels"]
@@ -125,7 +126,7 @@ class _MetricsHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def log_message(self, *_args) -> None:  # scrapes happen every few seconds
+    def log_message(self, *_args: object) -> None:  # scrapes happen every few seconds
         return None
 
 
@@ -151,10 +152,10 @@ class MetricsHTTPServer:
         self._server.shutdown()
         self._server.server_close()
 
-    def __enter__(self) -> "MetricsHTTPServer":
+    def __enter__(self) -> MetricsHTTPServer:
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self.close()
 
 

@@ -19,6 +19,7 @@ from repro.registry.specs import (
     METHOD_ORDER,
     MIN_VIRTUAL_SIZE,
     REGISTRY,
+    DimensionConfig,
     MethodSpec,
     clamp_virtual_size,
     shared_registers,
@@ -28,6 +29,7 @@ __all__ = [
     "METHOD_ORDER",
     "MIN_VIRTUAL_SIZE",
     "REGISTRY",
+    "DimensionConfig",
     "MethodSpec",
     "build",
     "build_many",

@@ -10,18 +10,34 @@ exactly one place.
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Dict, Iterable, List
+from collections.abc import Iterable
+
+from dataclasses import dataclass
 
 from repro.core.base import CardinalityEstimator
 from repro.engine.sharded import ShardedEstimator
-from repro.registry.specs import METHOD_ORDER, REGISTRY, MethodSpec
+from repro.registry.specs import METHOD_ORDER, REGISTRY, DimensionConfig, MethodSpec
 
 #: Smallest per-shard memory budget the dimensioning rules stay sane under.
 MIN_SHARD_MEMORY_BITS = 64
 
 
-def method_names() -> List[str]:
+@dataclass(frozen=True)
+class _ShardConfig:
+    """A per-shard budget: the four dimensioning knobs and nothing else.
+
+    The sharded path must not mutate the caller's config, and the dimension
+    rules read only these knobs — so the shard budget is a fresh value, not
+    a ``dataclasses.replace`` of whatever config type the caller passed.
+    """
+
+    memory_bits: int
+    virtual_size: int
+    register_width: int
+    seed: int
+
+
+def method_names() -> list[str]:
     """Canonical method names in table order."""
     return list(METHOD_ORDER)
 
@@ -34,7 +50,7 @@ def spec_for(method: str) -> MethodSpec:
         raise ValueError(f"unknown method {method!r}; known: {METHOD_ORDER}") from None
 
 
-def _default_config():
+def _default_config() -> DimensionConfig:
     # Imported lazily: repro.experiments.__init__ imports the experiment
     # modules, which import this package — a module-level import would cycle.
     from repro.experiments.config import ExperimentConfig
@@ -44,7 +60,7 @@ def _default_config():
 
 def build(
     method: str,
-    config=None,
+    config: DimensionConfig | None = None,
     expected_users: int = 1000,
     shards: int = 1,
 ) -> CardinalityEstimator:
@@ -80,7 +96,12 @@ def build(
             f"{shards} shards (each shard would get {shard_memory} < "
             f"{MIN_SHARD_MEMORY_BITS} bits); raise the budget or lower the shard count"
         )
-    shard_config = replace(config, memory_bits=shard_memory)
+    shard_config = _ShardConfig(
+        memory_bits=shard_memory,
+        virtual_size=config.virtual_size,
+        register_width=config.register_width,
+        seed=config.seed,
+    )
     shard_users = max(1, expected_users // shards)
 
     def factory(_shard_index: int) -> CardinalityEstimator:
@@ -90,18 +111,18 @@ def build(
 
 
 def build_many(
-    config=None,
+    config: DimensionConfig | None = None,
     expected_users: int = 1000,
     methods: Iterable[str] | None = None,
     shards: int = 1,
-) -> Dict[str, CardinalityEstimator]:
+) -> dict[str, CardinalityEstimator]:
     """Build several estimators under one shared memory budget.
 
     ``methods`` defaults to all of :data:`~repro.registry.specs.METHOD_ORDER`;
     unknown names are rejected up front so a typo cannot silently shrink a
     comparison.
     """
-    selected: List[str] = list(methods) if methods is not None else list(METHOD_ORDER)
+    selected: list[str] = list(methods) if methods is not None else list(METHOD_ORDER)
     unknown = set(selected) - set(REGISTRY)
     if unknown:
         raise ValueError(f"unknown methods {sorted(unknown)}; known: {METHOD_ORDER}")

@@ -29,8 +29,10 @@ gone.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Mapping
+
 from dataclasses import dataclass
-from typing import Callable, Dict, Mapping
+from typing import Protocol
 
 from repro.baselines import CSE, PerUserHLLPP, PerUserLPC, VirtualHLL
 from repro.core import FreeBS, FreeRS
@@ -46,13 +48,33 @@ MIN_VIRTUAL_SIZE = 16
 #: every user), so the requested size is capped at ``capacity // 4``.
 CAPACITY_FRACTION = 4
 
-#: Rule mapping ``(config, expected_users) -> constructor kwargs``.  The
-#: config is duck-typed: anything exposing ``memory_bits``, ``virtual_size``,
-#: ``register_width`` and ``seed`` works (``ExperimentConfig`` in practice).
-DimensionRule = Callable[[object, int], Dict[str, object]]
+
+class DimensionConfig(Protocol):
+    """The four dimensioning knobs every rule reads.
+
+    Structurally typed: anything exposing these (``ExperimentConfig`` in
+    practice, :class:`repro.registry.factory._ShardConfig` for per-shard
+    budgets) dimensions identically.
+    """
+
+    @property
+    def memory_bits(self) -> int: ...
+
+    @property
+    def virtual_size(self) -> int: ...
+
+    @property
+    def register_width(self) -> int: ...
+
+    @property
+    def seed(self) -> int: ...
 
 
-def shared_registers(config) -> int:
+#: Rule mapping ``(config, expected_users) -> constructor kwargs``.
+DimensionRule = Callable[[DimensionConfig, int], dict[str, object]]
+
+
+def shared_registers(config: DimensionConfig) -> int:
     """Register count under the equal-memory protocol: ``max(16, M // w)``.
 
     Matches :attr:`repro.experiments.config.ExperimentConfig.registers` so
@@ -79,12 +101,12 @@ def clamp_virtual_size(requested: int, capacity: int, *, strict: bool = False) -
     return min(requested, max(MIN_VIRTUAL_SIZE, capacity // CAPACITY_FRACTION), upper)
 
 
-def _dimension_freebs(config, expected_users: int) -> Dict[str, object]:
+def _dimension_freebs(config: DimensionConfig, expected_users: int) -> dict[str, object]:
     """FreeBS gets the full memory budget as one shared bit array."""
     return {"memory_bits": config.memory_bits, "seed": config.seed}
 
 
-def _dimension_freers(config, expected_users: int) -> Dict[str, object]:
+def _dimension_freers(config: DimensionConfig, expected_users: int) -> dict[str, object]:
     """FreeRS gets ``M / w`` shared registers of ``w`` bits."""
     return {
         "registers": shared_registers(config),
@@ -93,7 +115,7 @@ def _dimension_freers(config, expected_users: int) -> Dict[str, object]:
     }
 
 
-def _dimension_cse(config, expected_users: int) -> Dict[str, object]:
+def _dimension_cse(config: DimensionConfig, expected_users: int) -> dict[str, object]:
     """CSE gets ``M`` shared bits; the virtual sketch follows the shared clamp."""
     return {
         "memory_bits": config.memory_bits,
@@ -102,7 +124,7 @@ def _dimension_cse(config, expected_users: int) -> Dict[str, object]:
     }
 
 
-def _dimension_vhll(config, expected_users: int) -> Dict[str, object]:
+def _dimension_vhll(config: DimensionConfig, expected_users: int) -> dict[str, object]:
     """vHLL gets ``M / w`` shared registers; the virtual sketch must stay smaller."""
     registers = shared_registers(config)
     return {
@@ -113,7 +135,7 @@ def _dimension_vhll(config, expected_users: int) -> Dict[str, object]:
     }
 
 
-def _dimension_lpc(config, expected_users: int) -> Dict[str, object]:
+def _dimension_lpc(config: DimensionConfig, expected_users: int) -> dict[str, object]:
     """Per-user LPC splits the budget into ``M / |S|`` bits per expected user."""
     return {
         "memory_bits": config.memory_bits,
@@ -122,7 +144,7 @@ def _dimension_lpc(config, expected_users: int) -> Dict[str, object]:
     }
 
 
-def _dimension_hllpp(config, expected_users: int) -> Dict[str, object]:
+def _dimension_hllpp(config: DimensionConfig, expected_users: int) -> dict[str, object]:
     """Per-user HLL++ splits the budget into ``M / (6 |S|)`` six-bit registers."""
     return {
         "memory_bits": config.memory_bits,
@@ -140,7 +162,7 @@ class MethodSpec:
     #: ``kind`` tag of :mod:`repro.core.serialization` snapshot envelopes.
     tag: str
     #: Estimator class the spec constructs.
-    estimator_cls: type
+    estimator_cls: type[CardinalityEstimator]
     #: Equal-memory dimensioning rule (see module docstring).
     dimension: DimensionRule
     #: True when sketch-level union merges are *exact* (estimates are pure
@@ -153,11 +175,11 @@ class MethodSpec:
     #: One-line description for docs and ``--help`` output.
     summary: str
 
-    def dimensions(self, config, expected_users: int) -> Dict[str, object]:
+    def dimensions(self, config: DimensionConfig, expected_users: int) -> dict[str, object]:
         """Constructor kwargs for this method under ``config``'s budget."""
         return self.dimension(config, expected_users)
 
-    def describe(self) -> Dict[str, object]:
+    def describe(self) -> dict[str, object]:
         """JSON-ready description of the spec.
 
         The service layer's ``stats`` op embeds this so a remote client can
@@ -173,9 +195,13 @@ class MethodSpec:
             "summary": self.summary,
         }
 
-    def build(self, config, expected_users: int) -> CardinalityEstimator:
+    def build(self, config: DimensionConfig, expected_users: int) -> CardinalityEstimator:
         """Construct the estimator under the configuration's memory budget."""
-        return self.estimator_cls(**self.dimensions(config, expected_users))
+        # Bound as a plain callable: the concrete constructors take
+        # method-specific keyword sets a ``type[CardinalityEstimator]`` call
+        # signature cannot express.
+        construct: Callable[..., CardinalityEstimator] = self.estimator_cls
+        return construct(**self.dimensions(config, expected_users))
 
 
 #: The central registry, in the order every table and legend uses.

@@ -17,18 +17,19 @@ behind the pacing sleep rather than behind real work.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable, Iterator, Sequence
+
 import threading
 import time
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro import obs
 
-UserItemPair = Tuple[object, object]
+UserItemPair = tuple[object, object]
 
 _log = obs.get_logger("runtime.ingest")
 
 #: One ingest batch: the pairs plus their (optional) arrival timestamps.
-IngestBatch = Tuple[Sequence[UserItemPair], Optional[Sequence[float]]]
+IngestBatch = tuple[Sequence[UserItemPair], Sequence[float] | None]
 
 
 def batch_slices(
@@ -72,7 +73,7 @@ class IngestHandle:
     def __init__(
         self,
         batches: Iterable[IngestBatch],
-        sink: Callable[[Sequence[UserItemPair], Optional[Sequence[float]]], object],
+        sink: Callable[[Sequence[UserItemPair], Sequence[float] | None], object],
         lock: threading.Lock | None = None,
         on_batch: Callable[[int], None] | None = None,
         rate: float | None = None,
@@ -86,7 +87,7 @@ class IngestHandle:
         self._rate = rate
         self._stop = threading.Event()
         self._finished = threading.Event()
-        self._error: Optional[BaseException] = None
+        self._error: BaseException | None = None
         # Ingest progress lives in the metrics registry (always-on: the
         # service's refresh cadence and ``describe()`` depend on it, so
         # disabling telemetry must not change it).  The registry is
@@ -97,14 +98,14 @@ class IngestHandle:
         self._batches_base = self._batches_counter.value
         self._pairs_base = self._pairs_counter.value
         self._batch_seconds = obs.histogram("ingest.background.batch_seconds")
-        self._started_at: Optional[float] = None
-        self._final_elapsed: Optional[float] = None
+        self._started_at: float | None = None
+        self._final_elapsed: float | None = None
         self._thread = threading.Thread(target=self._run, name="repro-ingest", daemon=True)
         self._started = False
 
     # -- lifecycle -------------------------------------------------------------
 
-    def start(self) -> "IngestHandle":
+    def start(self) -> IngestHandle:
         """Start the ingest thread (idempotent); return self for chaining."""
         if not self._started:
             self._started = True
@@ -169,7 +170,7 @@ class IngestHandle:
         return self._finished.is_set()
 
     @property
-    def error(self) -> Optional[BaseException]:
+    def error(self) -> BaseException | None:
         """The captured ingest error (None while healthy)."""
         return self._error
 
@@ -183,7 +184,7 @@ class IngestHandle:
         """Pairs fully ingested so far (by this handle)."""
         return int(self._pairs_counter.value - self._pairs_base)
 
-    def _elapsed_seconds(self) -> Optional[float]:
+    def _elapsed_seconds(self) -> float | None:
         """Ingest wall-clock: live while running, frozen once finished.
 
         Frozen so two ``stats`` responses from a finished server are
@@ -223,7 +224,7 @@ def ingest_handle_for_monitor(
     lock: threading.Lock | None = None,
 ) -> IngestHandle:
     """Build (without starting) a handle replaying a stream into a monitor."""
-    batches: List[IngestBatch] = list(batch_slices(pairs, timestamps, batch_size))
+    batches: list[IngestBatch] = list(batch_slices(pairs, timestamps, batch_size))
 
     def sink(batch_pairs, batch_times):
         monitor.observe(batch_pairs, batch_times)

@@ -47,12 +47,13 @@ speedup benchmark measures against.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable, Iterator
+
 import pickle
 import queue as queue_module
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -72,7 +73,7 @@ from repro.runtime.shm import (
     slot_size_for,
 )
 
-UserItemPair = Tuple[object, object]
+UserItemPair = tuple[object, object]
 
 _log = obs.get_logger("runtime.parallel")
 
@@ -175,7 +176,7 @@ class IngestReport:
         """Ingest throughput; 0.0 for an empty or instantaneous run."""
         return self.pairs / self.seconds if self.seconds > 0 else 0.0
 
-    def estimates(self) -> Dict[object, float]:
+    def estimates(self) -> dict[object, float]:
         """Per-user estimates of the merged estimator."""
         return self.estimator.estimates()
 
@@ -190,7 +191,7 @@ def worker_for_shards(shard_ids: np.ndarray, workers: int) -> np.ndarray:
     return shard_ids % workers
 
 
-def owned_shards(worker: int, workers: int, shards: int) -> List[int]:
+def owned_shards(worker: int, workers: int, shards: int) -> list[int]:
     """Shard ids owned by ``worker`` (the inverse view of the same rule)."""
     all_shards = np.arange(shards)
     return all_shards[worker_for_shards(all_shards, workers) == worker].tolist()
@@ -223,7 +224,7 @@ def _encoded_chunks(stream, chunk_size: int) -> Iterator[EncodedBatch]:
                 users[start : start + chunk_size], items[start : start + chunk_size]
             )
         return
-    buffer: List[UserItemPair] = []
+    buffer: list[UserItemPair] = []
     for pair in stream:
         buffer.append(pair)
         if len(buffer) >= chunk_size:
@@ -406,7 +407,7 @@ def _ring_put(ring: ShmRing, message, check: Callable[[], None]) -> None:
             check()
 
 
-def _collect_ring_result(worker: int, process, ring: ShmRing) -> Tuple[str, dict]:
+def _collect_ring_result(worker: int, process, ring: ShmRing) -> tuple[str, dict]:
     """One worker's ``(serialised state, stats)``, or :class:`WorkerIngestError`."""
     result = ring.cached_result
     while result is None:
@@ -451,7 +452,7 @@ def _record_worker_stats(transport: str, worker: int, stats: dict) -> None:
 
 def _shm_parallel_ingest(
     stream, method, config, expected_users, workers, shards, chunk_size
-) -> Tuple[List[str], int]:
+) -> tuple[list[str], int]:
     """Run the shm-transport ingest; return (worker payloads, pair count)."""
     import multiprocessing
 
@@ -531,7 +532,7 @@ def _shm_parallel_ingest(
 
 def _queue_parallel_ingest(
     stream, method, config, expected_users, workers, shards, chunk_size
-) -> Tuple[List[str], int]:
+) -> tuple[list[str], int]:
     """Run the Manager-queue ingest; return (worker payloads, pair count)."""
     import multiprocessing
 
@@ -594,8 +595,8 @@ def parallel_ingest(
     config=None,
     expected_users: int = 1000,
     workers: int = 1,
-    shards: Optional[int] = None,
-    chunk_size: Optional[int] = None,
+    shards: int | None = None,
+    chunk_size: int | None = None,
     transport: str = "shm",
 ) -> IngestReport:
     """Ingest a stream with ``workers`` processes; return the merged estimator.

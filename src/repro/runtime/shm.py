@@ -48,7 +48,6 @@ import sys
 import time
 import traceback
 from multiprocessing import shared_memory
-from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -56,7 +55,7 @@ from repro.engine.encoding import EncodedBatch
 from repro.registry import build
 
 
-def new_worker_stats() -> Dict[str, float]:
+def new_worker_stats() -> dict[str, float]:
     """A fresh per-worker stats accumulator (chunks, pairs, timings).
 
     Workers live in their own processes, where the coordinator's metrics
@@ -67,7 +66,7 @@ def new_worker_stats() -> Dict[str, float]:
     return {"chunks": 0, "pairs": 0, "encode_seconds": 0.0, "update_seconds": 0.0}
 
 
-def ingest_item(estimator, item, stats: Dict[str, float]) -> None:
+def ingest_item(estimator, item, stats: dict[str, float]) -> None:
     """Encode (if needed) and apply one routed chunk, accumulating stats.
 
     Shared by both transports' workers so the replay stays bit-identical
@@ -136,7 +135,7 @@ class ShmRing:
         #: ("ok", state) / ("error", traceback, repr), worker → coordinator.
         self.results = context.Queue()
         #: Result pulled early by a liveness probe, parked for collection.
-        self.cached_result: Optional[tuple] = None
+        self.cached_result: tuple | None = None
         for slot in range(self.n_slots):
             self.free.put(slot)
 
@@ -193,7 +192,7 @@ class ShmRing:
             pass
 
 
-def as_raw_arrays(item) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+def as_raw_arrays(item) -> tuple[np.ndarray, np.ndarray] | None:
     """The item as two fixed-width arrays, or None when not representable."""
     if (
         isinstance(item, tuple)

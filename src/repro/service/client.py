@@ -17,9 +17,10 @@ the server declines or predates negotiation (``unknown_op`` on hello).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import json
 import socket
-from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -80,7 +81,7 @@ class ServiceClient:
         self._reader = self._socket.makefile("rb")
         self._next_id = 0
         #: Full envelope of the most recent successful exchange.
-        self.last_response: Optional[Dict[str, object]] = None
+        self.last_response: dict[str, object] | None = None
         #: The transport this connection actually speaks after negotiation.
         self.transport = frames.TRANSPORT_NDJSON
         if transport != frames.TRANSPORT_NDJSON:
@@ -99,7 +100,7 @@ class ServiceClient:
         finally:
             self._socket.close()
 
-    def __enter__(self) -> "ServiceClient":
+    def __enter__(self) -> ServiceClient:
         return self
 
     def __exit__(self, *_exc) -> None:
@@ -140,7 +141,7 @@ class ServiceClient:
 
     # -- request plumbing ------------------------------------------------------
 
-    def request(self, op: str, **params: object) -> Dict[str, object]:
+    def request(self, op: str, **params: object) -> dict[str, object]:
         """Send one request; return the response envelope.
 
         Raises :class:`ServiceError` on an error envelope and
@@ -206,14 +207,14 @@ class ServiceClient:
         return b"".join(chunks)
 
     @property
-    def last_version(self) -> Optional[int]:
+    def last_version(self) -> int | None:
         """Version stamp of the most recent successful response."""
         if self.last_response is None:
             return None
         return self.last_response.get("version")
 
     @property
-    def last_pairs_ingested(self) -> Optional[int]:
+    def last_pairs_ingested(self) -> int | None:
         """Ingest offset stamp of the most recent successful response."""
         if self.last_response is None:
             return None
@@ -225,7 +226,7 @@ class ServiceClient:
         """One user's sliding-window spread estimate."""
         return float(self.request("spread", user=user)["result"]["estimate"])
 
-    def batch_spread(self, users: Sequence[object]) -> List[float]:
+    def batch_spread(self, users: Sequence[object]) -> list[float]:
         """Estimates for many users, in input order.
 
         When the whole answer would blow the transport's size cap the server
@@ -257,7 +258,7 @@ class ServiceClient:
 
     def _batch_spread(
         self, users: Sequence[object], depth: int
-    ) -> Tuple[List[float], List[Tuple[object, object]]]:
+    ) -> tuple[list[float], list[tuple[object, object]]]:
         try:
             response = self.request("batch_spread", users=users)
         except ServiceError as error:
@@ -275,21 +276,21 @@ class ServiceClient:
         stamp = (response.get("version"), response.get("pairs_ingested"))
         return estimates, [stamp]
 
-    def topk(self, k: int = 10) -> List[Tuple[object, float]]:
+    def topk(self, k: int = 10) -> list[tuple[object, float]]:
         """The sliding window's top-k (user, estimate) ranking."""
         result = self.request("topk", k=k)["result"]
         return [(user, float(value)) for user, value in result["top"]]
 
-    def sliding(self, k_epochs: int | None = None) -> Dict[object, float]:
+    def sliding(self, k_epochs: int | None = None) -> dict[object, float]:
         """Merged estimates over the last ``k_epochs`` epochs (None = all)."""
         params = {} if k_epochs is None else {"k_epochs": k_epochs}
         result = self.request("sliding", **params)["result"]
         return {user: float(value) for user, value in result["estimates"]}
 
-    def stats(self) -> Dict[str, object]:
+    def stats(self) -> dict[str, object]:
         """Server-side monitor state, ingest progress and the op table."""
         return self.request("stats")["result"]
 
-    def metrics(self) -> List[Dict[str, object]]:
+    def metrics(self) -> list[dict[str, object]]:
         """The server's live telemetry snapshot (list of instrument dicts)."""
         return self.request("metrics")["result"]["metrics"]

@@ -53,9 +53,11 @@ on both directions.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import json
 import struct
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any
 
 import numpy as np
 
@@ -81,18 +83,18 @@ TRANSPORT_BINARY = "binary"
 HELLO_OP = "hello"
 
 #: A field path into a message: ("users",) or ("result", "estimates").
-FieldPath = Tuple[str, ...]
+FieldPath = tuple[str, ...]
 #: Lift plan entry: (path, kind).
-ArrayField = Tuple[FieldPath, str]
+ArrayField = tuple[FieldPath, str]
 
-_KIND_DTYPES: Dict[str, Tuple[np.dtype, ...]] = {
+_KIND_DTYPES: dict[str, tuple[np.dtype, ...]] = {
     "ids": (np.dtype("<i8"),),
     "floats": (np.dtype("<f8"),),
     "pairs": (np.dtype("<i8"), np.dtype("<f8")),
 }
 
 
-def _get_path(message: dict, path: FieldPath):
+def _get_path(message: dict[str, Any], path: FieldPath) -> Any:
     node = message
     for part in path:
         if not isinstance(node, dict) or part not in node:
@@ -101,7 +103,7 @@ def _get_path(message: dict, path: FieldPath):
     return node
 
 
-def _set_path(message: dict, path: FieldPath, value) -> None:
+def _set_path(message: dict[str, Any], path: FieldPath, value: object) -> None:
     node = message
     for part in path[:-1]:
         child = node.get(part)
@@ -113,7 +115,9 @@ def _set_path(message: dict, path: FieldPath, value) -> None:
     node[path[-1]] = value
 
 
-def _without_lifted(message: dict, paths: Sequence[FieldPath]) -> dict:
+def _without_lifted(
+    message: dict[str, Any], paths: Sequence[FieldPath]
+) -> dict[str, Any]:
     """Copy ``message`` minus the lifted fields, without touching their values.
 
     Only the dicts *along* each lifted path are (shallow-)copied — the big
@@ -130,7 +134,7 @@ def _without_lifted(message: dict, paths: Sequence[FieldPath]) -> dict:
     return message
 
 
-def _lift_value(value, kind: str) -> Optional[List[np.ndarray]]:
+def _lift_value(value: object, kind: str) -> list[np.ndarray] | None:
     """Convert ``value`` to the kind's buffers, or None when it doesn't fit.
 
     Lossless or not at all: values that would coerce (bools, floats,
@@ -161,7 +165,7 @@ def _lift_value(value, kind: str) -> Optional[List[np.ndarray]]:
     return None
 
 
-def _rebuild_value(kind: str, buffers: List[np.ndarray]):
+def _rebuild_value(kind: str, buffers: list[np.ndarray]) -> object:
     if kind == "ids":
         # Returned as the array itself: the op validator accepts integer
         # numpy arrays wholesale (the dtype already proves every element).
@@ -172,15 +176,15 @@ def _rebuild_value(kind: str, buffers: List[np.ndarray]):
     return [[user, value] for user, value in zip(buffers[0].tolist(), buffers[1].tolist())]
 
 
-def encode_frame(message: Dict[str, object], fields: Sequence[ArrayField] = ()) -> bytes:
+def encode_frame(message: dict[str, object], fields: Sequence[ArrayField] = ()) -> bytes:
     """Serialise one message to a binary frame, lifting ``fields`` out.
 
     ``fields`` is the op's lift plan (paths + kinds); fields that are
     missing or don't fit their kind stay in the JSON header.
     """
-    descriptors: List[List[object]] = []
-    buffers: List[np.ndarray] = []
-    lifted_paths: List[FieldPath] = []
+    descriptors: list[list[object]] = []
+    buffers: list[np.ndarray] = []
+    lifted_paths: list[FieldPath] = []
     for path, kind in fields:
         value = _get_path(message, path)
         if value is None:
@@ -222,7 +226,7 @@ def parse_frame_header(header: bytes) -> int:
     return int(length)
 
 
-def decode_payload(payload: bytes) -> Dict[str, object]:
+def decode_payload(payload: bytes) -> dict[str, object]:
     """Rebuild the message from one frame payload (header + buffers)."""
     if len(payload) < 4:
         raise ProtocolError(BAD_REQUEST, "frame payload shorter than its header length")
@@ -258,7 +262,7 @@ def decode_payload(payload: bytes) -> Dict[str, object]:
     return message
 
 
-def read_frame(reader) -> Optional[Dict[str, object]]:
+def read_frame(reader: Any) -> dict[str, object] | None:
     """Read one frame from a blocking binary file object (client side).
 
     Returns None at a clean EOF; raises ``ConnectionError`` on a truncated
@@ -276,9 +280,9 @@ def read_frame(reader) -> Optional[Dict[str, object]]:
     return decode_payload(payload)
 
 
-def _read_exact(reader, count: int) -> Optional[bytes]:
+def _read_exact(reader: Any, count: int) -> bytes | None:
     """Read exactly ``count`` bytes; None at clean EOF, short bytes mid-EOF."""
-    chunks = []
+    chunks: list[bytes] = []
     remaining = count
     while remaining > 0:
         chunk = reader.read(remaining)

@@ -12,8 +12,9 @@ its documentation cannot drift apart.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Mapping
+
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Tuple
 
 import numpy as np
 
@@ -62,7 +63,7 @@ class OpSpec:
     #: Required parameters: field name -> validator.
     required: Mapping[str, Validator] = field(default_factory=dict)
     #: Optional parameters: field name -> (default, validator).
-    optional: Mapping[str, Tuple[object, Validator]] = field(default_factory=dict)
+    optional: Mapping[str, tuple[object, Validator]] = field(default_factory=dict)
     #: False when the op reads the immutable snapshot (never blocks ingest);
     #: True when it must briefly hold the ingest lock (sketch merges).
     needs_lock: bool = False
@@ -70,14 +71,14 @@ class OpSpec:
     summary: str = ""
     #: Array-typed *request* fields the binary transport may lift out of the
     #: JSON header into raw buffers: (field name, frame array kind).
-    request_arrays: Tuple[Tuple[str, str], ...] = ()
+    request_arrays: tuple[tuple[str, str], ...] = ()
     #: Array-typed *result* fields, same shape (kinds are defined in
     #: :mod:`repro.service.frames`: ``ids`` / ``floats`` / ``pairs``).
-    result_arrays: Tuple[Tuple[str, str], ...] = ()
+    result_arrays: tuple[tuple[str, str], ...] = ()
 
-    def extract_params(self, request: Mapping[str, object]) -> Dict[str, object]:
+    def extract_params(self, request: Mapping[str, object]) -> dict[str, object]:
         """Validate and coerce the request's parameters for this op."""
-        params: Dict[str, object] = {}
+        params: dict[str, object] = {}
         for name, validate in self.required.items():
             if name not in request:
                 raise ProtocolError(
@@ -88,9 +89,9 @@ class OpSpec:
             params[name] = validate(request[name]) if name in request else default
         return params
 
-    def describe(self) -> Dict[str, object]:
+    def describe(self) -> dict[str, object]:
         """JSON-ready description (embedded in the ``stats`` op)."""
-        described: Dict[str, object] = {
+        described: dict[str, object] = {
             "op": self.name,
             "required": sorted(self.required),
             "optional": {name: default for name, (default, _) in self.optional.items()},

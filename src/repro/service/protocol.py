@@ -36,7 +36,6 @@ from the line cap, bounded by ``MAX_FRAME_BYTES`` instead).
 from __future__ import annotations
 
 import json
-from typing import Dict, Optional
 
 #: Upper bound on one request/response line (1 MiB covers thousands of
 #: users in one batch_spread while bounding a garbage client's damage).
@@ -68,12 +67,12 @@ class ProtocolError(ValueError):
         self.fatal = fatal
 
 
-def encode(payload: Dict[str, object]) -> bytes:
+def encode(payload: dict[str, object]) -> bytes:
     """Serialise one message to its wire form (compact JSON + newline)."""
     return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
 
 
-def decode_request(line: bytes) -> Dict[str, object]:
+def decode_request(line: bytes) -> dict[str, object]:
     """Parse one request line; raise :class:`ProtocolError` when malformed."""
     if len(line) > MAX_LINE_BYTES:
         raise ProtocolError(BAD_REQUEST, f"request line exceeds {MAX_LINE_BYTES} bytes")
@@ -87,13 +86,13 @@ def decode_request(line: bytes) -> Dict[str, object]:
 
 
 def ok_response(
-    request_id: Optional[object],
+    request_id: object | None,
     version: int,
     pairs_ingested: int,
-    result: Dict[str, object],
-) -> Dict[str, object]:
+    result: dict[str, object],
+) -> dict[str, object]:
     """Build a success envelope stamped with the answering snapshot's state."""
-    response: Dict[str, object] = {
+    response: dict[str, object] = {
         "id": request_id,
         "ok": True,
         "version": version,
@@ -104,7 +103,7 @@ def ok_response(
 
 
 def error_response(
-    request_id: Optional[object], code: str, message: str
-) -> Dict[str, object]:
+    request_id: object | None, code: str, message: str
+) -> dict[str, object]:
     """Build an error envelope (the connection stays usable afterwards)."""
     return {"id": request_id, "ok": False, "error": {"code": code, "message": message}}

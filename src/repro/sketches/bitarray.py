@@ -73,7 +73,7 @@ class BitArray:
         self._ones += newly_set
         return newly_set
 
-    def union_update(self, other: "BitArray") -> None:
+    def union_update(self, other: BitArray) -> None:
         """OR another same-size array into this one (sketch-level union).
 
         The storage primitive behind every bit-sketch merge (LPC, CSE,

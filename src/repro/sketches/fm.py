@@ -73,7 +73,7 @@ class FlajoletMartinSketch:
         """Memory footprint of the sketch in bits."""
         return self.m * self.width
 
-    def merge(self, other: "FlajoletMartinSketch") -> None:
+    def merge(self, other: FlajoletMartinSketch) -> None:
         """Merge another FM sketch built with the same parameters (bitwise OR)."""
         if (other.m, other.width, other.seed) != (self.m, self.width, self.seed):
             raise ValueError("can only merge FM sketches with identical parameters")

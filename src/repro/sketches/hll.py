@@ -103,7 +103,7 @@ class HyperLogLog:
         """The underlying register array (read access for analysis/tests)."""
         return self._registers
 
-    def merge(self, other: "HyperLogLog") -> None:
+    def merge(self, other: HyperLogLog) -> None:
         """Merge another HLL sketch with identical parameters (register max)."""
         if (other.m, other.seed, other._registers.width) != (
             self.m,

@@ -129,7 +129,7 @@ class HyperLogLogPlusPlus:
         """Accounted memory footprint in bits (dense-equivalent)."""
         return self.m * self.width
 
-    def merge(self, other: "HyperLogLogPlusPlus") -> None:
+    def merge(self, other: HyperLogLogPlusPlus) -> None:
         """Merge another HLL++ sketch with identical parameters."""
         if (other.m, other.width, other.seed) != (self.m, self.width, self.seed):
             raise ValueError("can only merge HLL++ sketches with identical parameters")

@@ -66,7 +66,7 @@ class LogLogSketch:
         """Memory footprint of the sketch in bits."""
         return self._registers.memory_bits()
 
-    def merge(self, other: "LogLogSketch") -> None:
+    def merge(self, other: LogLogSketch) -> None:
         """Merge another LogLog sketch with identical parameters (register max)."""
         if (other.m, other.seed, other._registers.width) != (
             self.m,

@@ -93,7 +93,7 @@ class LinearProbabilisticCounter:
         """Memory footprint of the sketch in bits."""
         return self._bits.memory_bits()
 
-    def merge(self, other: "LinearProbabilisticCounter") -> None:
+    def merge(self, other: LinearProbabilisticCounter) -> None:
         """Merge another LPC sketch built with the same ``m`` and seed.
 
         Merging ORs the bitmaps, which makes the merged sketch equal to the

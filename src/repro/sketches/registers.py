@@ -118,7 +118,7 @@ class RegisterArray:
         self._zeros = zeros
         return harmonic_trajectory, zeros_trajectory
 
-    def merge_max(self, other: "RegisterArray") -> None:
+    def merge_max(self, other: RegisterArray) -> None:
         """Element-wise max of another same-shape array into this one.
 
         The storage primitive behind every register-sketch merge (HLL-style

@@ -26,7 +26,8 @@ hop per user.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
+
 
 import numpy as np
 
@@ -51,17 +52,17 @@ class UserInterner:
     )
 
     def __init__(self, track_folds: bool = True, initial_capacity: int = 64) -> None:
-        self._codes: Dict[object, int] = {}
-        self._keys: List[object] = []
+        self._codes: dict[object, int] = {}
+        self._keys: list[object] = []
         self._track_folds = track_folds
-        self._folds: Optional[np.ndarray] = (
+        self._folds: np.ndarray | None = (
             np.zeros(max(1, initial_capacity), dtype=np.uint64) if track_folds else None
         )
         #: True while every interned key is a plain int64-range int (the only
         #: population the sorted lookup index can represent losslessly).
         self._int_only = True
-        self._index_keys: Optional[np.ndarray] = None
-        self._index_codes: Optional[np.ndarray] = None
+        self._index_keys: np.ndarray | None = None
+        self._index_codes: np.ndarray | None = None
         self._index_size = 0
 
     # -- size / enumeration ----------------------------------------------------
@@ -73,20 +74,20 @@ class UserInterner:
         return key in self._codes
 
     @property
-    def keys(self) -> List[object]:
+    def keys(self) -> list[object]:
         """The live key list, index == code.  Append-only; do not mutate."""
         return self._keys
 
     def key_at(self, code: int) -> object:
         return self._keys[code]
 
-    def users(self) -> List[object]:
+    def users(self) -> list[object]:
         """A fresh list of all keys in intern (first-seen) order."""
         return list(self._keys)
 
     # -- interning --------------------------------------------------------------
 
-    def intern(self, key: object, fold: Optional[int] = None) -> int:
+    def intern(self, key: object, fold: int | None = None) -> int:
         """Return the code of ``key``, assigning the next dense code if new."""
         code = self._codes.get(key)
         if code is not None:
@@ -96,6 +97,7 @@ class UserInterner:
         self._keys.append(key)
         if self._track_folds:
             folds = self._folds
+            assert folds is not None
             if code >= folds.size:
                 grown = np.zeros(folds.size * 2, dtype=np.uint64)
                 grown[: folds.size] = folds
@@ -108,7 +110,7 @@ class UserInterner:
         return code
 
     def intern_many(
-        self, keys: Sequence[object], folds: Optional[np.ndarray] = None
+        self, keys: Sequence[object], folds: np.ndarray | None = None
     ) -> np.ndarray:
         """Intern a batch of keys; returns their codes as an ``int64`` array.
 
@@ -148,7 +150,7 @@ class UserInterner:
             arr = self._as_int64(keys)
             if arr is not None:
                 index_keys, index_codes = self._int_index()
-                if index_keys is not None:
+                if index_keys is not None and index_codes is not None:
                     pos = np.searchsorted(index_keys, arr)
                     pos_clipped = np.minimum(pos, index_keys.size - 1)
                     found = index_keys[pos_clipped] == arr
@@ -158,12 +160,13 @@ class UserInterner:
 
     def folds(self, codes: np.ndarray) -> np.ndarray:
         """Fold column gather (requires ``track_folds=True``)."""
+        assert self._folds is not None, "interner built with track_folds=False"
         return self._folds[codes]
 
     # -- int fast-path plumbing ---------------------------------------------------
 
     @staticmethod
-    def _as_int64(keys: Sequence[object]) -> Optional[np.ndarray]:
+    def _as_int64(keys: Sequence[object]) -> np.ndarray | None:
         """Coerce a probe batch to int64 losslessly, or return None."""
         arr = keys if isinstance(keys, np.ndarray) else np.asarray(keys)
         kind = arr.dtype.kind
@@ -175,7 +178,7 @@ class UserInterner:
             return arr.astype(np.int64)
         return None
 
-    def _int_index(self):
+    def _int_index(self) -> tuple[np.ndarray | None, np.ndarray | None]:
         """The (sorted keys, codes) probe index, rebuilt lazily after interns."""
         if self._index_size != len(self._keys):
             try:
@@ -202,6 +205,6 @@ class UserInterner:
         total += sum(sys.getsizeof(key) for key in self._keys)
         if self._folds is not None:
             total += self._folds.nbytes
-        if self._index_keys is not None:
+        if self._index_keys is not None and self._index_codes is not None:
             total += self._index_keys.nbytes + self._index_codes.nbytes
         return total

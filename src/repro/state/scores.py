@@ -23,8 +23,8 @@ boxed the whole table into a fresh dict.
 
 from __future__ import annotations
 
-from collections.abc import Mapping, MutableMapping
-from typing import Iterator, List, Optional, Sequence
+from collections.abc import Iterator, Mapping, MutableMapping, Sequence
+from typing import Any, Literal
 
 import numpy as np
 
@@ -45,7 +45,7 @@ class ScoreTable(MutableMapping):
         self._next_rank = 0
         self._count = 0
         #: Cached present-codes-in-rank-order array (None = needs rebuild).
-        self._order_cache: Optional[np.ndarray] = None
+        self._order_cache: np.ndarray | None = None
         #: True while rank order equals code order with no gaps, which makes
         #: ordered gathers plain contiguous slices.
         self._order_is_identity = True
@@ -67,7 +67,7 @@ class ScoreTable(MutableMapping):
             self._rank = self._rank.copy()
             self._loaned = False
 
-    def checkout(self) -> "FrozenScores":
+    def checkout(self) -> FrozenScores:
         """An immutable snapshot of the current scores (O(1); see module doc)."""
         self._loaned = True
         return FrozenScores(
@@ -114,7 +114,7 @@ class ScoreTable(MutableMapping):
             raise KeyError(user)
         return float(self._values[code])
 
-    def get(self, user: object, default=None):
+    def get(self, user: object, default: Any = None) -> Any:
         code = self._interner._codes.get(user)
         if code is None or not self._present[code]:
             return default
@@ -123,7 +123,7 @@ class ScoreTable(MutableMapping):
     def __setitem__(self, user: object, value: float) -> None:
         self.put(user, value)
 
-    def put(self, user: object, value: float):
+    def put(self, user: object, value: float) -> float | None:
         """Set ``user``'s score; returns the previous score or None if absent.
 
         The combined get-and-set the tracker's incremental update uses (one
@@ -173,7 +173,7 @@ class ScoreTable(MutableMapping):
         for code in self.ordered_codes().tolist():
             yield keys[code]
 
-    def items(self):
+    def items(self) -> Any:  # a lazy (user, score) generator, not an ItemsView
         keys = self._interner._keys
         values = self._values
         return (
@@ -221,7 +221,7 @@ class ScoreTable(MutableMapping):
             return 0.0
         return float(self._values[codes].sum())
 
-    def threshold_candidates(self, threshold: float):
+    def threshold_candidates(self, threshold: float) -> list[tuple[object, float]]:
         """(user, score) pairs with ``score >= threshold`` in insertion order.
 
         The full evaluation's start-alert scan: one vector compare selects
@@ -241,7 +241,7 @@ class ScoreTable(MutableMapping):
             )
         ]
 
-    def top_codes(self, k: int) -> List[int]:
+    def top_codes(self, k: int) -> list[int]:
         """Codes of the exact top-``k`` under ``(-score, rank)``, best first."""
         codes = self.ordered_codes()
         if codes.size == 0:
@@ -281,16 +281,26 @@ class FrozenScores(Mapping):
         "_int_lut",
     )
 
-    def __init__(self, interner, n, values, present, rank, count) -> None:
+    def __init__(
+        self,
+        interner: UserInterner,
+        n: int,
+        values: np.ndarray,
+        present: np.ndarray,
+        rank: np.ndarray,
+        count: int,
+    ) -> None:
         self._interner = interner
         self._n = n
         self._values = values
         self._present = present
         self._rank = rank
         self._count = count
-        self._order: Optional[np.ndarray] = None
-        self._int_index = False  # False = not built; None = unbuildable
-        self._int_lut = False  # False = not built; None = range too sparse
+        self._order: np.ndarray | None = None
+        #: False = not built; None = unbuildable (non-int keys).
+        self._int_index: tuple[np.ndarray, np.ndarray] | None | Literal[False] = False
+        #: False = not built; None = key range too sparse for a direct table.
+        self._int_lut: tuple[int, np.ndarray] | None | Literal[False] = False
 
     def __len__(self) -> int:
         return self._count
@@ -305,7 +315,7 @@ class FrozenScores(Mapping):
             raise KeyError(user)
         return float(self._values[code])
 
-    def get(self, user: object, default=None):
+    def get(self, user: object, default: Any = None) -> Any:
         code = self._interner._codes.get(user)
         if code is None or code >= self._n or not self._present[code]:
             return default
@@ -323,14 +333,14 @@ class FrozenScores(Mapping):
         for code in self._ordered().tolist():
             yield keys[code]
 
-    def keys(self):
+    def keys(self) -> Any:  # a lazy iterator, not a KeysView
         return iter(self)
 
-    def values(self):
+    def values(self) -> Any:  # a lazy iterator, not a ValuesView
         values = self._values
         return (float(values[code]) for code in self._ordered().tolist())
 
-    def items(self):
+    def items(self) -> Any:  # a lazy (user, score) generator, not an ItemsView
         keys = self._interner._keys
         values = self._values
         return (
@@ -342,7 +352,7 @@ class FrozenScores(Mapping):
 
     # -- vectorised gathers ----------------------------------------------------------
 
-    def gather_exact(self, users: Sequence[object]) -> Optional[List[float]]:
+    def gather_exact(self, users: Sequence[object]) -> list[float] | None:
         """All-present batch gather, or None if any user misses.
 
         The ``batch_spread`` hot path: mirrors the semantics of the old
@@ -392,12 +402,12 @@ class FrozenScores(Mapping):
             return None
         return self._values[codes].tolist()
 
-    def _gather_via_dict(self, users: Sequence[object]) -> Optional[List[float]]:
+    def _gather_via_dict(self, users: Sequence[object]) -> list[float] | None:
         codes_map = self._interner._codes
         values = self._values
         present = self._present
         n = self._n
-        out: List[float] = []
+        out: list[float] = []
         for user in users:
             try:
                 code = codes_map.get(user)
@@ -408,7 +418,7 @@ class FrozenScores(Mapping):
             out.append(float(values[code]))
         return out
 
-    def _build_int_index(self):
+    def _build_int_index(self) -> tuple[np.ndarray, np.ndarray] | None:
         """Sorted (key, code) probe index over the frozen prefix, built once.
 
         Only representable when every frozen key is a plain int64-range
@@ -428,7 +438,9 @@ class FrozenScores(Mapping):
                 index = self._int_index = (keys_arr[order], order.astype(np.int64))
         return index
 
-    def _build_int_lut(self, sorted_keys: np.ndarray, sorted_codes: np.ndarray):
+    def _build_int_lut(
+        self, sorted_keys: np.ndarray, sorted_codes: np.ndarray
+    ) -> tuple[int, np.ndarray] | None:
         """Direct ``key - lo -> code`` table over the frozen key range.
 
         Built once per checkout, and only when the integer keys are dense

@@ -24,12 +24,11 @@ format the originals ship in.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
 
 from repro.streams.generators import zipf_bipartite_stream
 from repro.streams.stream import GraphStream
 
-UserItemPair = Tuple[int, int]
+UserItemPair = tuple[int, int]
 
 
 @dataclass(frozen=True)
@@ -54,7 +53,7 @@ class DatasetSpec:
         """Average user cardinality of the original dataset."""
         return self.paper_total_cardinality / self.paper_users
 
-    def generate(self, scale: float = 1.0, seed_offset: int = 0) -> List[UserItemPair]:
+    def generate(self, scale: float = 1.0, seed_offset: int = 0) -> list[UserItemPair]:
         """Materialise the stand-in stream, optionally scaled down further."""
         if scale <= 0:
             raise ValueError("scale must be positive")
@@ -77,7 +76,7 @@ class DatasetSpec:
 
 
 #: Registry of dataset stand-ins, keyed by the paper's dataset names.
-DATASETS: Dict[str, DatasetSpec] = {
+DATASETS: dict[str, DatasetSpec] = {
     "sanjose": DatasetSpec(
         name="sanjose",
         paper_users=8_387_347,
@@ -153,7 +152,7 @@ DATASETS: Dict[str, DatasetSpec] = {
 }
 
 
-def dataset_names() -> List[str]:
+def dataset_names() -> list[str]:
     """Names of all registered dataset stand-ins, in the paper's order."""
     return list(DATASETS)
 

@@ -9,7 +9,6 @@ files, generators that need to carry timestamps, and the experiment reports.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 
 @dataclass(frozen=True, slots=True)
@@ -31,10 +30,10 @@ class Edge:
     item: object
     timestamp: int = 0
 
-    def as_pair(self) -> Tuple[object, object]:
+    def as_pair(self) -> tuple[object, object]:
         """Return the (user, item) tuple consumed by the estimators."""
         return (self.user, self.item)
 
-    def reversed(self) -> "Edge":
+    def reversed(self) -> Edge:
         """Return the edge with endpoints swapped (for regular-graph streams)."""
         return Edge(user=self.item, item=self.user, timestamp=self.timestamp)

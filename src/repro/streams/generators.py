@@ -17,12 +17,13 @@ user-specific hash functions — but the option exists for realism).
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Sequence
+
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
-UserItemPair = Tuple[int, int]
+UserItemPair = tuple[int, int]
 
 _ITEM_STRIDE = 1 << 26  # large enough that u * stride + j never collides at our scales
 
@@ -63,11 +64,11 @@ def zipf_cardinalities(
 
 
 def assign_timestamps(
-    pairs: Sequence[Tuple[object, object]],
+    pairs: Sequence[tuple[object, object]],
     rate: float | None = None,
     start: float = 0.0,
     seed: int = 0,
-) -> List[float]:
+) -> list[float]:
     """Assign one arrival timestamp per pair.
 
     With ``rate=None`` (the default) timestamps are the monotonic event index
@@ -92,7 +93,7 @@ def _pairs_for_cardinalities(
     duplicate_factor: float,
     seed: int,
     shared_item_space: bool,
-) -> List[UserItemPair]:
+) -> list[UserItemPair]:
     """Build a shuffled stream realising the requested per-user cardinalities.
 
     Every user ``u`` with target cardinality ``c`` contributes exactly ``c``
@@ -138,7 +139,7 @@ def zipf_bipartite_stream(
     duplicate_factor: float = 0.5,
     seed: int = 0,
     shared_item_space: bool = False,
-) -> List[UserItemPair]:
+) -> list[UserItemPair]:
     """Generate a shuffled bipartite stream with Zipf-ian user cardinalities.
 
     Parameters
@@ -172,7 +173,7 @@ def uniform_bipartite_stream(
     cardinality: int,
     duplicate_factor: float = 0.0,
     seed: int = 0,
-) -> List[UserItemPair]:
+) -> list[UserItemPair]:
     """Generate a stream where every user has exactly the same cardinality.
 
     Used by the statistical tests: with all users identical, the empirical
@@ -189,7 +190,7 @@ def interleaved_stream(
     late_users: int,
     cardinality: int,
     seed: int = 0,
-) -> List[UserItemPair]:
+) -> list[UserItemPair]:
     """Generate a stream where one group of users finishes before another starts.
 
     The FreeBS-vs-FreeRS discussion in Section IV-C of the paper predicts that
@@ -223,9 +224,9 @@ class StreamSpec:
     target_total_cardinality: int | None = None
     duplicate_factor: float = 0.5
     seed: int = 0
-    extra: Dict[str, object] = field(default_factory=dict)
+    extra: dict[str, object] = field(default_factory=dict)
 
-    def generate(self, seed_offset: int = 0) -> List[UserItemPair]:
+    def generate(self, seed_offset: int = 0) -> list[UserItemPair]:
         """Materialise the stream described by this spec."""
         return zipf_bipartite_stream(
             n_users=self.n_users,

@@ -20,14 +20,15 @@ fields are ignored" behaviour.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator, Sequence
+
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence, Tuple, Union
 
 from repro.streams.stream import GraphStream
 
-UserItemPair = Tuple[object, object]
-TimedPair = Tuple[object, object, float]
-PathLike = Union[str, Path]
+UserItemPair = tuple[object, object]
+TimedPair = tuple[object, object, float]
+PathLike = str | Path
 
 
 def _parse_endpoints(user_raw: str, item_raw: str, as_int: bool) -> UserItemPair:
@@ -68,7 +69,7 @@ def _iter_rows(
     as_int: bool,
 ) -> Iterator[tuple]:
     """Yield ``(user, item, timestamp_or_None)`` rows; None = no numeric third field."""
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             stripped = line.strip()
             if not stripped or stripped.startswith("#"):

@@ -10,13 +10,14 @@ cardinalities, total cardinality) computed on demand and cached.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
-
-UserItemPair = Tuple[object, object]
-TimedPair = Tuple[object, object, float]
+from collections.abc import Callable, Iterable, Iterator, Sequence
 
 
-def materialize(pairs: Iterable[UserItemPair]) -> List[UserItemPair]:
+UserItemPair = tuple[object, object]
+TimedPair = tuple[object, object, float]
+
+
+def materialize(pairs: Iterable[UserItemPair]) -> list[UserItemPair]:
     """Materialise a pair iterable into a list (convenience re-export)."""
     return list(pairs)
 
@@ -26,30 +27,30 @@ class GraphStream:
 
     def __init__(
         self,
-        source: Callable[[], Iterable[UserItemPair]] | List[UserItemPair],
+        source: Callable[[], Iterable[UserItemPair]] | list[UserItemPair],
         name: str = "stream",
-        timestamps: Optional[Sequence[float]] = None,
+        timestamps: Sequence[float] | None = None,
     ) -> None:
         if callable(source):
             self._factory: Callable[[], Iterable[UserItemPair]] = source
-            self._pairs: Optional[List[UserItemPair]] = None
+            self._pairs: list[UserItemPair] | None = None
         else:
             pairs = list(source)
             self._pairs = pairs
             self._factory = lambda: pairs
         self.name = name
-        self._timestamps: Optional[List[float]] = (
+        self._timestamps: list[float] | None = (
             None if timestamps is None else [float(value) for value in timestamps]
         )
         if self._timestamps is not None and self._pairs is not None:
             if len(self._timestamps) != len(self._pairs):
                 raise ValueError("timestamps must have one entry per pair")
-        self._stats: Optional[Dict[str, object]] = None
+        self._stats: dict[str, object] | None = None
 
     # -- construction helpers -------------------------------------------------
 
     @classmethod
-    def from_pairs(cls, pairs: Iterable[UserItemPair], name: str = "stream") -> "GraphStream":
+    def from_pairs(cls, pairs: Iterable[UserItemPair], name: str = "stream") -> GraphStream:
         """Build a stream from an in-memory iterable of pairs."""
         return cls(list(pairs), name=name)
 
@@ -58,7 +59,7 @@ class GraphStream:
     def __iter__(self) -> Iterator[UserItemPair]:
         return iter(self._factory())
 
-    def pairs(self) -> List[UserItemPair]:
+    def pairs(self) -> list[UserItemPair]:
         """Return (and cache) the full list of pairs."""
         if self._pairs is None:
             self._pairs = list(self._factory())
@@ -69,7 +70,7 @@ class GraphStream:
     def __len__(self) -> int:
         return len(self.pairs())
 
-    def prefix(self, length: int) -> "GraphStream":
+    def prefix(self, length: int) -> GraphStream:
         """Return a new stream containing only the first ``length`` pairs."""
         timestamps = None if self._timestamps is None else self._timestamps[:length]
         return GraphStream(
@@ -83,7 +84,7 @@ class GraphStream:
         """True when explicit arrival timestamps were attached to this stream."""
         return self._timestamps is not None
 
-    def timestamps(self) -> List[float]:
+    def timestamps(self) -> list[float]:
         """Arrival timestamps, one per pair.
 
         Defaults to the monotonic event index (0, 1, 2, ...) when no explicit
@@ -96,7 +97,7 @@ class GraphStream:
             return list(self._timestamps)
         return [float(index) for index in range(len(self.pairs()))]
 
-    def with_timestamps(self, timestamps: Sequence[float]) -> "GraphStream":
+    def with_timestamps(self, timestamps: Sequence[float]) -> GraphStream:
         """Return a copy of this stream with explicit arrival timestamps."""
         return GraphStream(self.pairs(), name=self.name, timestamps=timestamps)
 
@@ -137,8 +138,8 @@ class GraphStream:
 
     # -- exact statistics ------------------------------------------------------
 
-    def _compute_stats(self) -> Dict[str, object]:
-        cardinalities: Dict[object, set] = {}
+    def _compute_stats(self) -> dict[str, object]:
+        cardinalities: dict[object, set] = {}
         total_pairs = 0
         for user, item in self:
             total_pairs += 1
@@ -152,13 +153,13 @@ class GraphStream:
             "max_cardinality": max(per_user.values()) if per_user else 0,
         }
 
-    def stats(self) -> Dict[str, object]:
+    def stats(self) -> dict[str, object]:
         """Return exact summary statistics of the stream (cached)."""
         if self._stats is None:
             self._stats = self._compute_stats()
         return self._stats
 
-    def cardinalities(self) -> Dict[object, int]:
+    def cardinalities(self) -> dict[object, int]:
         """Exact per-user cardinalities."""
         return dict(self.stats()["cardinalities"])  # type: ignore[arg-type]
 
