@@ -105,7 +105,7 @@ def _ingest_row():
 
 def _query_row():
     monitor = _build_monitor()
-    for start in range(0, 60_000, 4_096):
+    for _start in range(0, 60_000, 4_096):
         monitor.observe(_pairs(n_users=5_000, n_pairs=4_096))
     service = EstimateService(monitor)
     users = _RNG.integers(0, 5_000, size=256).tolist()

@@ -198,7 +198,7 @@ def test_query_throughput_json(benchmark):
     spread["speedup"] = spread["batch_ops_per_s"] / spread["scalar_ops_per_s"]
     refresh = payload["topk_refresh_100k"]
     refresh["speedup"] = refresh["scalar_refresh_s"] / refresh["incremental_refresh_s"]
-    for name, row in payload["methods"].items():
+    for row in payload["methods"].values():
         row["speedup"] = row["batch_ops_per_s"] / row["scalar_ops_per_s"]
         if "fresh_batch_ops_per_s" in row:
             row["fresh_speedup"] = (
@@ -208,7 +208,7 @@ def test_query_throughput_json(benchmark):
     RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
     RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"\nwrote {RESULTS_PATH}")
-    for name, row in payload["methods"].items():
+    for row in payload["methods"].values():
         fresh = (
             f", fresh {row['fresh_speedup']:.1f}x" if "fresh_speedup" in row else ""
         )
