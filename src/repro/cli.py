@@ -302,16 +302,11 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.lint import main as lint_main
+    # Same parsed namespace, same runner as ``python -m repro.lint`` — the
+    # flag sets cannot drift because both come from add_lint_arguments().
+    from repro.lint import run_from_args
 
-    argv = list(args.paths)
-    if args.strict:
-        argv.append("--strict")
-    if args.as_json:
-        argv.append("--json")
-    if args.rules:
-        argv.extend(["--rules", args.rules])
-    return lint_main(argv)
+    return run_from_args(args)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -544,24 +539,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint_parser = subparsers.add_parser(
         "lint",
-        help="run the repository's AST-based invariant checks (repro.lint)",
+        help="run the repository's AST- and flow-based invariant checks (repro.lint)",
     )
-    lint_parser.add_argument(
-        "paths", nargs="*", default=["src", "scripts"],
-        help="files or directories to lint (default: src scripts)",
-    )
-    lint_parser.add_argument(
-        "--strict", action="store_true",
-        help="also fail on suppression hygiene (missing reasons, stale suppressions)",
-    )
-    lint_parser.add_argument(
-        "--json", action="store_true", dest="as_json",
-        help="emit findings as a JSON document on stdout",
-    )
-    lint_parser.add_argument(
-        "--rules", default=None,
-        help="comma-separated rule ids to run (default: all shipped rules)",
-    )
+    from repro.lint import add_lint_arguments
+
+    add_lint_arguments(lint_parser)
     lint_parser.set_defaults(handler=_cmd_lint)
 
     return parser

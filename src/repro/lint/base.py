@@ -59,44 +59,73 @@ class FileContext:
 
 
 class ProjectContext:
-    """The repository as cross-file checkers see it."""
+    """The repository as cross-file checkers see it.
+
+    Every access is recorded — file reads as ``rel -> content hash``
+    (empty string: the file was probed and absent), glob expansions as
+    ``pattern -> matches`` — so the incremental cache can fingerprint
+    exactly what the cross-file checkers depended on and replay their
+    findings while none of it changed.
+    """
 
     def __init__(self, root: Path) -> None:
         self.root = root
         self._cache: dict[str, FileContext | None] = {}
+        #: rel path -> content hash of every file read ("" when absent).
+        self.file_deps: dict[str, str] = {}
+        #: glob pattern -> the sorted match list it expanded to.
+        self.glob_deps: dict[str, list[str]] = {}
 
     def add(self, context: FileContext) -> None:
         """Seed the cache with an already-parsed file (the driver's targets)."""
         self._cache.setdefault(context.rel, context)
+
+    def _record(self, rel: str, source: str | None) -> None:
+        from repro.lint.cache import content_hash
+
+        self.file_deps.setdefault(rel, "" if source is None else content_hash(source))
 
     def load(self, rel: str) -> FileContext | None:
         """Parse ``root/rel`` (cached); None when absent or unparseable."""
         if rel not in self._cache:
             path = self.root / rel
             context = None
-            if path.is_file():
-                source = path.read_text(encoding="utf-8")
+            source = self.read_text(rel)
+            if source is not None:
                 try:
                     context = FileContext(self.root, path, source, ast.parse(source))
                 except SyntaxError:
                     context = None
             self._cache[rel] = context
+        else:
+            context = self._cache[rel]
+            if context is not None:
+                self._record(rel, context.source)
         return self._cache[rel]
 
     def read_text(self, rel: str) -> str | None:
-        """Raw text of ``root/rel`` (docs, configs); None when absent."""
+        """Raw text of ``root/rel``; None when absent or not readable UTF-8.
+
+        Unreadable files must not crash a cross-file pass that merely
+        swept them up in a glob — the per-file pass already reported them.
+        """
         path = self.root / rel
-        if not path.is_file():
-            return None
-        return path.read_text(encoding="utf-8")
+        try:
+            source = path.read_bytes().decode("utf-8") if path.is_file() else None
+        except (OSError, UnicodeDecodeError):
+            source = None
+        self._record(rel, source)
+        return source
 
     def glob(self, pattern: str) -> list[str]:
         """Sorted repo-relative matches of a root-anchored glob."""
-        return sorted(
+        matches = sorted(
             match.relative_to(self.root).as_posix()
             for match in self.root.glob(pattern)
             if match.is_file()
         )
+        self.glob_deps.setdefault(pattern, matches)
+        return matches
 
 
 class Checker:

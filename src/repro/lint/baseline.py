@@ -1,0 +1,83 @@
+"""The ratchet baseline: known findings may linger, new ones may not.
+
+Turning the flow-sensitive rules on over a living tree surfaces findings
+that are real but not this change's to fix.  The baseline records them —
+keyed by ``(path, rule, message)`` with a count, deliberately *without*
+line numbers so unrelated edits above a finding do not churn the file —
+and CI fails only on findings absent from it.  The ratchet direction is
+one-way by convention: ``--update-baseline`` is run when findings are
+*fixed* (shrinking the file), never to bury new ones.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+_VERSION = 1
+
+
+def finding_key(finding: Finding) -> str:
+    """The baseline identity of a finding (line numbers excluded, stable)."""
+    return f"{finding.path}::{finding.rule}::{finding.message}"
+
+
+def load_baseline(path: Path) -> Counter[str]:
+    """The recorded finding multiset; empty when absent or unreadable."""
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return Counter()
+    if not isinstance(raw, dict) or raw.get("version") != _VERSION:
+        return Counter()
+    findings = raw.get("findings")
+    if not isinstance(findings, dict):
+        return Counter()
+    return Counter(
+        {str(key): int(count) for key, count in findings.items() if int(count) > 0}
+    )
+
+
+def save_baseline(path: Path, findings: list[Finding]) -> None:
+    counts = Counter(finding_key(finding) for finding in findings)
+    document = {
+        "version": _VERSION,
+        "findings": dict(sorted(counts.items())),
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n", "utf-8")
+
+
+@dataclass
+class BaselineDiff:
+    """This run's findings split against the recorded baseline."""
+
+    #: Findings not covered by the baseline — these fail the run.
+    new: list[Finding] = field(default_factory=list)
+    #: Findings the baseline already records — reported, never fatal.
+    known: list[Finding] = field(default_factory=list)
+    #: Baseline keys with fewer occurrences now than recorded — fixed
+    #: findings whose entries should be ratcheted out.
+    resolved: list[str] = field(default_factory=list)
+
+
+def diff_baseline(findings: list[Finding], baseline: Counter[str]) -> BaselineDiff:
+    """Split ``findings`` into new/known and list the resolved keys.
+
+    When a key occurs more often than the baseline records, the recorded
+    count is treated as known and the excess (in sorted order) as new.
+    """
+    result = BaselineDiff()
+    remaining = Counter(baseline)
+    for finding in sorted(findings):
+        key = finding_key(finding)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            result.known.append(finding)
+        else:
+            result.new.append(finding)
+    result.resolved = sorted(key for key, count in remaining.items() if count > 0)
+    return result

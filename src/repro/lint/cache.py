@@ -1,0 +1,187 @@
+"""Incremental lint cache: skip re-analysing files that did not change.
+
+The flow-sensitive rules make a cold lint run measurably slower than the
+old pattern pass — every function body now builds a CFG and runs analyses
+to fixpoint.  The cache buys that cost back for the common case (CI and
+editor loops re-linting a tree where almost nothing moved):
+
+* **per-file findings** are keyed by the file's content hash.  Per-file
+  checkers see exactly one file, so identical content implies identical
+  raw findings — on a hit the driver skips ``ast.parse`` *and* every
+  checker for that file and replays the recorded findings (suppression
+  filtering still runs live: it is cheap and keeps staleness exact);
+* **cross-file findings** (registry/codec sync, metrics drift) are keyed
+  by a *dependency fingerprint*: the :class:`~repro.lint.base
+  .ProjectContext` records every file read and every glob expanded while
+  the cross-file checkers run, and the cache replays their findings only
+  while every recorded file hash and glob expansion still matches;
+* the whole cache is invalidated by a **checker fingerprint** — a hash of
+  the lint package's own sources, the active rule set and the interpreter
+  version — so editing a checker (or selecting different ``--rules``)
+  can never replay stale results.
+
+The cache lives in ``.repro-lint-cache.json`` at the repository root
+(gitignored); raw findings are stored pre-suppression so edits to a
+suppression comment change the file hash and re-filter naturally.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+_VERSION = 1
+
+
+def content_hash(text: str) -> str:
+    """Stable hash of one file's decoded source."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def checker_fingerprint(rules: list[str]) -> str:
+    """Hash of the lint package sources + active rules + interpreter."""
+    digest = hashlib.sha256()
+    digest.update(f"v{_VERSION}|py{sys.version_info[:2]}".encode())
+    digest.update(("|" + ",".join(sorted(rules))).encode())
+    package = Path(__file__).resolve().parent
+    for source in sorted(package.rglob("*.py")):
+        digest.update(source.relative_to(package).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(source.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+class LintCache:
+    """One cache file: load, consult, refresh, save."""
+
+    def __init__(self, path: Path, fingerprint: str) -> None:
+        self.path = path
+        self.fingerprint = fingerprint
+        self.hits = 0
+        self.misses = 0
+        self.crossfile_hit = False
+        self._old_files: dict[str, dict[str, object]] = {}
+        self._old_crossfile: dict[str, object] | None = None
+        #: Entries touched this run — save() writes these, pruning the rest.
+        self._new_files: dict[str, dict[str, object]] = {}
+        self._new_crossfile: dict[str, object] | None = None
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if (
+            not isinstance(raw, dict)
+            or raw.get("version") != _VERSION
+            or raw.get("fingerprint") != fingerprint
+        ):
+            return
+        files = raw.get("files")
+        if isinstance(files, dict):
+            self._old_files = files
+        crossfile = raw.get("crossfile")
+        if isinstance(crossfile, dict):
+            self._old_crossfile = crossfile
+
+    # -- per-file entries ----------------------------------------------------
+
+    def lookup(self, rel: str, digest: str) -> list[Finding] | None:
+        """Replay ``rel``'s raw findings if its content hash still matches."""
+        entry = self._old_files.get(rel)
+        if entry is None or entry.get("hash") != digest:
+            self.misses += 1
+            return None
+        try:
+            findings = [
+                Finding.from_dict(item)
+                for item in entry.get("findings", [])  # type: ignore[union-attr]
+            ]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._new_files[rel] = entry
+        return findings
+
+    def store(self, rel: str, digest: str, findings: list[Finding]) -> None:
+        self._new_files[rel] = {
+            "hash": digest,
+            "findings": [finding.to_dict() for finding in findings],
+        }
+
+    # -- cross-file entry ----------------------------------------------------
+
+    def crossfile_lookup(self, root: Path) -> list[Finding] | None:
+        """Replay the cross-file findings if every recorded dep is unchanged."""
+        entry = self._old_crossfile
+        if entry is None:
+            return None
+        file_deps = entry.get("file_deps")
+        glob_deps = entry.get("glob_deps")
+        if not isinstance(file_deps, dict) or not isinstance(glob_deps, dict):
+            return None
+        for rel, expected in file_deps.items():
+            path = root / rel
+            if not path.is_file():
+                current = ""
+            else:
+                try:
+                    current = content_hash(path.read_bytes().decode("utf-8"))
+                except (OSError, UnicodeDecodeError):
+                    # Same marker as absent: read_text() yields None for
+                    # both, so the checkers cannot tell them apart either.
+                    current = ""
+            if current != expected:
+                return None
+        for pattern, expected_matches in glob_deps.items():
+            matches = sorted(
+                match.relative_to(root).as_posix()
+                for match in root.glob(pattern)
+                if match.is_file()
+            )
+            if matches != expected_matches:
+                return None
+        try:
+            findings = [
+                Finding.from_dict(item)
+                for item in entry.get("findings", [])  # type: ignore[union-attr]
+            ]
+        except (KeyError, TypeError, ValueError):
+            return None
+        self.crossfile_hit = True
+        self._new_crossfile = entry
+        return findings
+
+    def crossfile_store(
+        self,
+        file_deps: dict[str, str],
+        glob_deps: dict[str, list[str]],
+        findings: list[Finding],
+    ) -> None:
+        self._new_crossfile = {
+            "file_deps": dict(sorted(file_deps.items())),
+            "glob_deps": dict(sorted(glob_deps.items())),
+            "findings": [finding.to_dict() for finding in findings],
+        }
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self) -> None:
+        """Write the entries this run touched (atomically via a temp file)."""
+        document = {
+            "version": _VERSION,
+            "fingerprint": self.fingerprint,
+            "files": dict(sorted(self._new_files.items())),
+            "crossfile": self._new_crossfile,
+        }
+        tmp = self.path.with_suffix(".tmp")
+        try:
+            tmp.write_text(json.dumps(document, sort_keys=True), encoding="utf-8")
+            tmp.replace(self.path)
+        except OSError:
+            # A read-only checkout just runs cold every time.
+            return

@@ -23,9 +23,12 @@ called, which the executor pattern makes deliberate.
 from __future__ import annotations
 
 import ast
+import dataclasses
 
+from repro.lint.astutil import attr_tail as _attr_tail
+from repro.lint.astutil import call_origin as _call_origin
 from repro.lint.base import Checker, FileContext
-from repro.lint.findings import Finding
+from repro.lint.findings import Edit, Finding, Fix
 
 #: Dotted call origins that block the event loop, with the fix to name.
 _BLOCKING_CALLS: dict[str, str] = {
@@ -109,15 +112,18 @@ class AsyncBlockingChecker(Checker):
     ) -> None:
         origin = _call_origin(call.func, aliases)
         if origin in _BLOCKING_CALLS:
-            findings.append(
-                self._finding(
-                    context,
-                    call,
-                    func,
-                    f"calls blocking `{origin}`",
-                    _BLOCKING_CALLS[origin],
-                )
+            finding = self._finding(
+                context,
+                call,
+                func,
+                f"calls blocking `{origin}`",
+                _BLOCKING_CALLS[origin],
             )
+            if origin == "time.sleep":
+                fix = _sleep_fix(call, func, aliases)
+                if fix is not None:
+                    finding = dataclasses.replace(finding, fix=fix)
+            findings.append(finding)
             return
         if origin == "open" or origin == "io.open":
             findings.append(
@@ -169,22 +175,31 @@ class AsyncBlockingChecker(Checker):
         )
 
 
-def _call_origin(func: ast.expr, aliases: dict[str, str]) -> str | None:
-    """Dotted origin of a call target, resolved through import aliases."""
-    if isinstance(func, ast.Name):
-        return aliases.get(func.id, func.id)
-    if isinstance(func, ast.Attribute):
-        base = _call_origin(func.value, aliases)
-        if base is None:
-            return None
-        return f"{base}.{func.attr}"
-    return None
+def _sleep_fix(
+    call: ast.Call, func: ast.AsyncFunctionDef, aliases: dict[str, str]
+) -> Fix | None:
+    """``time.sleep(x)`` as a bare statement becomes ``await asyncio.sleep(x)``.
 
-
-def _attr_tail(node: ast.expr) -> str | None:
-    """Trailing attribute/identifier name of a dotted expression."""
-    if isinstance(node, ast.Attribute):
-        return node.attr
-    if isinstance(node, ast.Name):
-        return node.id
-    return None
+    Only offered when the module imports ``asyncio`` (the service layer
+    always does) and the call is a standalone expression statement — in any
+    other position the rewrite would change a value.
+    """
+    if not any(origin == "asyncio" for origin in aliases.values()):
+        return None
+    is_statement = any(
+        isinstance(node, ast.Expr) and node.value is call for node in ast.walk(func)
+    )
+    if not is_statement or call.func.end_lineno is None:
+        return None
+    return Fix(
+        description="replace time.sleep with await asyncio.sleep",
+        edits=(
+            Edit(
+                call.func.lineno,
+                call.func.col_offset,
+                call.func.end_lineno,
+                call.func.end_col_offset or 0,
+                "await asyncio.sleep",
+            ),
+        ),
+    )

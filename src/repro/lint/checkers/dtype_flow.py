@@ -1,0 +1,333 @@
+"""RL009 — numpy dtype facts must match the wire-frame / arena contracts.
+
+The binary wire format (PR 6) and the columnar arena (PR 8) are dtype
+contracts: frame ``ids`` buffers are little-endian ``int64``, ``floats``
+buffers are ``float64``, arena estimate columns are ``float64`` and
+position/code columns ``int64``.  Python will not enforce any of that — an
+``int32`` array reaches ``set_all_estimates`` and silently up-casts, a
+``float64`` id array round-trips through a frame as garbage, and the
+mismatch only surfaces as wrong estimates three layers away.
+
+The rule tracks dtype facts as a forward dataflow: a variable bound from
+``np.zeros/empty/asarray/... (dtype=...)`` (or ``.astype``) carries its
+dtype token through assignments and joins — a variable assigned ``int32``
+on one branch and ``float64`` on the other carries *both*, which is how
+the rule catches drift a syntactic check cannot even express.  Findings
+fire where a tracked variable meets a contract:
+
+* passed to a known dtype-contract sink (``set_estimates``,
+  ``set_all_estimates``, ``EncodedBatch.from_int_arrays``, ``write_raw``)
+  with the wrong kind, or with a path-dependent kind;
+* asserted against a dtype it can never be (``assert x.dtype == np.int64``
+  when every reaching definition says ``float64``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.astutil import attr_tail, call_origin, walk_expressions
+from repro.lint.base import Checker, FileContext
+from repro.lint.cfg import Marker, build_cfg, function_defs
+from repro.lint.dataflow import ForwardAnalysis, run_forward
+from repro.lint.findings import Finding
+
+#: var -> frozenset of (dtype token, defining line).
+State = dict[str, frozenset[tuple[str, int]]]
+
+#: numpy constructors whose result dtype we can read off the call.
+_CONSTRUCTORS = {
+    "numpy.zeros",
+    "numpy.ones",
+    "numpy.empty",
+    "numpy.full",
+    "numpy.array",
+    "numpy.asarray",
+    "numpy.ascontiguousarray",
+    "numpy.arange",
+    "numpy.frombuffer",
+    "numpy.fromiter",
+}
+#: Constructors defaulting to float64 when no ``dtype=`` is given.
+_FLOAT_DEFAULT = {"numpy.zeros", "numpy.ones", "numpy.empty"}
+_LIKE_CONSTRUCTORS = {"numpy.zeros_like", "numpy.ones_like", "numpy.empty_like"}
+
+_TOKENS = {
+    "int8", "int16", "int32", "int64", "intp",
+    "uint8", "uint16", "uint32", "uint64", "uintp",
+    "float16", "float32", "float64", "bool",
+}
+_STR_TOKENS = {
+    "i1": "int8", "i2": "int16", "i4": "int32", "i8": "int64",
+    "u1": "uint8", "u2": "uint16", "u4": "uint32", "u8": "uint64",
+    "f2": "float16", "f4": "float32", "f8": "float64", "?": "bool",
+}
+
+#: Contract sinks: callee tail -> per-positional-arg accepted dtype kinds
+#: (None: unconstrained).  Kinds are numpy kind letters.
+_SINKS: dict[str, tuple[tuple[str, ...] | None, ...]] = {
+    # UserArena columns (PR 8): integer codes, float64 estimates.
+    "set_estimates": (("i", "u"), ("f",)),
+    "set_all_estimates": (("f",),),
+    # EncodedBatch construction: two integer id arrays.
+    "from_int_arrays": (("i", "u"), ("i", "u")),
+    # shm slot rings: slot index, then two fixed-width integer arrays.
+    "write_raw": (None, ("i", "u"), ("i", "u")),
+}
+
+_SINK_CONTRACT = {
+    "set_estimates": "arena columns are int codes + float64 estimates",
+    "set_all_estimates": "arena estimate columns are float64",
+    "from_int_arrays": "encoded batches carry integer id arrays",
+    "write_raw": "shm slots carry fixed-width integer arrays",
+}
+
+
+def _kind(token: str) -> str:
+    if token.startswith("uint"):
+        return "u"
+    if token.startswith("int"):
+        return "i"
+    if token.startswith("float"):
+        return "f"
+    return "b"
+
+
+def _normalize_dtype(node: ast.expr, aliases: dict[str, str]) -> str | None:
+    """The dtype token named by a ``dtype=...`` argument, if recognisable."""
+    if isinstance(node, ast.Call):
+        origin = call_origin(node.func, aliases)
+        if origin == "numpy.dtype" and node.args:
+            return _normalize_dtype(node.args[0], aliases)
+        return None
+    if isinstance(node, ast.Attribute):
+        base = call_origin(node, aliases)
+        if base is not None and base.startswith("numpy."):
+            token = base.removeprefix("numpy.").rstrip("_")
+            return token if token in _TOKENS else None
+        return None
+    if isinstance(node, ast.Name):
+        return {"int": "int64", "float": "float64", "bool": "bool"}.get(node.id)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.lstrip("<>|=")
+        if text in _TOKENS:
+            return text
+        return _STR_TOKENS.get(text)
+    return None
+
+
+class _DtypeAnalysis(ForwardAnalysis[State]):
+    def __init__(self, aliases: dict[str, str]) -> None:
+        self.aliases = aliases
+
+    def initial(self) -> State:
+        return {}
+
+    def join(self, left: State, right: State) -> State:
+        joined = dict(left)
+        for var, facts in right.items():
+            joined[var] = joined.get(var, frozenset()) | facts
+        return joined
+
+    def transfer(self, element: ast.stmt | Marker, state: State) -> State:
+        if isinstance(element, Marker):
+            if element.kind == "loop_iter":
+                stmt = element.node
+                assert isinstance(stmt, (ast.For, ast.AsyncFor))
+                if isinstance(stmt.target, ast.Name) and stmt.target.id in state:
+                    state = dict(state)
+                    del state[stmt.target.id]
+            return state
+        if isinstance(element, (ast.Assign, ast.AnnAssign)):
+            targets = element.targets if isinstance(element, ast.Assign) else [element.target]
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if not names or element.value is None:
+                return state
+            facts = self._infer(element.value, state)
+            state = dict(state)
+            for name in names:
+                if facts:
+                    state[name] = facts
+                else:
+                    state.pop(name, None)
+        elif isinstance(element, ast.AugAssign) and isinstance(element.target, ast.Name):
+            if element.target.id in state:
+                state = dict(state)
+                del state[element.target.id]
+        return state
+
+    def _infer(self, value: ast.expr, state: State) -> frozenset[tuple[str, int]]:
+        if isinstance(value, ast.Name):
+            return state.get(value.id, frozenset())
+        if not isinstance(value, ast.Call):
+            return frozenset()
+        # ``x.astype(D)``
+        if isinstance(value.func, ast.Attribute) and value.func.attr == "astype":
+            candidates = value.args[:1] + [
+                kw.value for kw in value.keywords if kw.arg == "dtype"
+            ]
+            for node in candidates:
+                token = _normalize_dtype(node, self.aliases)
+                if token is not None:
+                    return frozenset({(token, value.lineno)})
+            return frozenset()
+        origin = call_origin(value.func, self.aliases)
+        if origin in _LIKE_CONSTRUCTORS:
+            for keyword in value.keywords:
+                if keyword.arg == "dtype":
+                    token = _normalize_dtype(keyword.value, self.aliases)
+                    if token is not None:
+                        return frozenset({(token, value.lineno)})
+                    return frozenset()
+            if value.args and isinstance(value.args[0], ast.Name):
+                return state.get(value.args[0].id, frozenset())
+            return frozenset()
+        if origin not in _CONSTRUCTORS:
+            return frozenset()
+        for keyword in value.keywords:
+            if keyword.arg == "dtype":
+                token = _normalize_dtype(keyword.value, self.aliases)
+                if token is not None:
+                    return frozenset({(token, value.lineno)})
+                return frozenset()
+        if origin in _FLOAT_DEFAULT:
+            return frozenset({("float64", value.lineno)})
+        return frozenset()
+
+
+class DtypeFlowChecker(Checker):
+    rule = "RL009"
+    title = (
+        "numpy dtype facts flow consistently into the wire-frame and "
+        "arena column contracts (int64 ids, float64 estimates)"
+    )
+    scope = ("src/repro/*.py", "scripts/*.py")
+
+    def check(self, context: FileContext) -> list[Finding]:
+        aliases = context.import_aliases()
+        if not any(origin == "numpy" for origin in aliases.values()):
+            return []
+        findings: list[Finding] = []
+        for func in function_defs(context.tree):
+            findings.extend(self._check_function(context, aliases, func))
+        return findings
+
+    def _check_function(
+        self,
+        context: FileContext,
+        aliases: dict[str, str],
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> list[Finding]:
+        cfg = build_cfg(func)
+        result = run_forward(cfg, _DtypeAnalysis(aliases))
+        findings: list[Finding] = []
+        seen: set[tuple[int, int, str]] = set()
+        for block_id, element in cfg.elements():
+            fact = result.fact_in(block_id)
+            if not fact:
+                continue
+            node = element.node if isinstance(element, Marker) else element
+            for sub in walk_expressions(node):
+                if isinstance(sub, ast.Call):
+                    self._check_sink(context, fact, sub, findings, seen)
+                elif isinstance(sub, ast.Assert):
+                    self._check_assert(context, aliases, fact, sub, findings, seen)
+        return findings
+
+    def _check_sink(
+        self,
+        context: FileContext,
+        fact: State,
+        call: ast.Call,
+        findings: list[Finding],
+        seen: set[tuple[int, int, str]],
+    ) -> None:
+        tail = attr_tail(call.func) if isinstance(call.func, (ast.Attribute, ast.Name)) else None
+        if tail not in _SINKS:
+            return
+        requirements = _SINKS[tail]
+        for position, arg in enumerate(call.args):
+            if position >= len(requirements) or requirements[position] is None:
+                continue
+            if not isinstance(arg, ast.Name) or arg.id not in fact:
+                continue
+            allowed = requirements[position]
+            assert allowed is not None
+            tokens = fact[arg.id]
+            bad = sorted({t for t, _ in tokens if _kind(t) not in allowed})
+            if not bad:
+                continue
+            key = (call.lineno, call.col_offset, f"{tail}:{arg.id}")
+            if key in seen:
+                continue
+            seen.add(key)
+            kinds = sorted({t for t, _ in tokens})
+            if len(kinds) > 1:
+                drift = " | ".join(kinds)
+                message = (
+                    f"dtype of `{arg.id}` depends on the path taken ({drift}) "
+                    f"at {tail}() — {_SINK_CONTRACT[tail]}"
+                )
+            else:
+                message = (
+                    f"passes `{arg.id}` (dtype {bad[0]}) to {tail}() — "
+                    f"{_SINK_CONTRACT[tail]}"
+                )
+            lines = ", ".join(str(line) for _, line in sorted(tokens))
+            findings.append(
+                Finding(
+                    path=context.rel,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    rule=self.rule,
+                    message=message,
+                    hint=f"dtype set on line(s) {lines}; convert with .astype or fix the constructor",
+                )
+            )
+
+    def _check_assert(
+        self,
+        context: FileContext,
+        aliases: dict[str, str],
+        fact: State,
+        node: ast.Assert,
+        findings: list[Finding],
+        seen: set[tuple[int, int, str]],
+    ) -> None:
+        test = node.test
+        if not (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Eq)
+            and isinstance(test.left, ast.Attribute)
+            and test.left.attr == "dtype"
+            and isinstance(test.left.value, ast.Name)
+        ):
+            return
+        var = test.left.value.id
+        if var not in fact:
+            return
+        expected = _normalize_dtype(test.comparators[0], aliases)
+        if expected is None:
+            return
+        tokens = {t for t, _ in fact[var]}
+        if expected in tokens:
+            return
+        key = (node.lineno, node.col_offset, f"assert:{var}")
+        if key in seen:
+            return
+        seen.add(key)
+        actual = " | ".join(sorted(tokens))
+        findings.append(
+            Finding(
+                path=context.rel,
+                line=node.lineno,
+                col=node.col_offset,
+                rule=self.rule,
+                message=(
+                    f"assert requires `{var}.dtype == {expected}` but every "
+                    f"reaching definition makes it {actual}"
+                ),
+                hint="fix the constructor dtype or the assertion — one of them has drifted",
+            )
+        )

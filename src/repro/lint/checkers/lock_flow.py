@@ -1,0 +1,213 @@
+"""RL008 — locks are released on every path and never held across ``await``.
+
+RL001 checks the *syntactic* lock discipline (guarded attributes written
+under ``with self.lock``); this rule upgrades it to *paths*.  Two
+failure modes it catches that no pattern can:
+
+* a manual ``lock.acquire()`` whose ``release()`` sits in one branch (or
+  is skipped by the ``except`` arm / an early return) — under load the
+  next ingest batch deadlocks against a lock nobody will ever release;
+* an ``await`` executed while a **synchronous** lock is held — the event
+  loop parks the coroutine mid-critical-section, every other task that
+  touches the lock blocks the loop itself, and a single slow client can
+  wedge the whole server.  ``async with`` on an asyncio lock is the
+  sanctioned pattern and is ignored.
+
+The dataflow fact is the set of held sync locks (anything lock-ish by the
+RL001/RL002 naming convention: the dotted name contains "lock").  ``with
+<lock>:`` acquires at the enter marker and releases at every exit copy —
+normal, exceptional and early-return — so only genuinely unbalanced
+``acquire()`` calls and awaits-under-lock survive to be reported.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import replace
+
+from repro.lint.astutil import dotted_name, walk_expressions
+from repro.lint.base import Checker, FileContext
+from repro.lint.cfg import CFG, Marker, build_cfg, function_defs
+from repro.lint.dataflow import ForwardAnalysis, run_forward
+from repro.lint.findings import Finding
+from repro.lint.ownership import Claim
+
+State = dict[str, Claim]
+
+
+def _lock_key(expr: ast.expr) -> str | None:
+    """The held-lock key of a lock-ish expression (``self._lock``), or None."""
+    name = dotted_name(expr)
+    if name is not None and "lock" in name.lower():
+        return name
+    return None
+
+
+class _LockAnalysis(ForwardAnalysis[State]):
+    def initial(self) -> State:
+        return {}
+
+    def join(self, left: State, right: State) -> State:
+        joined: State = {}
+        for key in left.keys() | right.keys():
+            a, b = left.get(key), right.get(key)
+            if a is None or b is None:
+                present = a if a is not None else b
+                assert present is not None
+                joined[key] = replace(present, definite=False)
+            else:
+                joined[key] = Claim(sites=a.sites | b.sites, definite=a.definite and b.definite)
+        return joined
+
+    def transfer(self, element: ast.stmt | Marker, state: State) -> State:
+        if isinstance(element, Marker):
+            if element.kind == "with_enter" and not element.is_async:
+                item = element.node
+                assert isinstance(item, ast.withitem)
+                key = _lock_key(item.context_expr)
+                if key is not None:
+                    state = dict(state)
+                    state[key] = Claim(
+                        sites=frozenset(
+                            {(item.context_expr.lineno, item.context_expr.col_offset, "with")}
+                        )
+                    )
+                return state
+            if element.kind == "with_exit" and not element.is_async:
+                item = element.node
+                assert isinstance(item, ast.withitem)
+                key = _lock_key(item.context_expr)
+                if key is not None and key in state:
+                    state = {held: claim for held, claim in state.items() if held != key}
+                return state
+            node: ast.AST = element.node
+        else:
+            node = element
+        return self._scan_calls(node, state)
+
+    def _scan_calls(self, node: ast.AST, state: State) -> State:
+        for sub in walk_expressions(node):
+            if not (isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute)):
+                continue
+            key = _lock_key(sub.func.value)
+            if key is None:
+                continue
+            if sub.func.attr == "acquire":
+                state = dict(state)
+                state[key] = Claim(sites=frozenset({(sub.lineno, sub.col_offset, "acquire")}))
+            elif sub.func.attr == "release" and key in state:
+                state = {held: claim for held, claim in state.items() if held != key}
+        return state
+
+    def exception_state(self, element: ast.stmt | Marker, pre: State, post: State) -> State:
+        # ``acquire()`` is atomic-on-success; ``release()`` that raised is
+        # treated as released (reporting it would be noise).
+        if set(post) <= set(pre):
+            return post
+        return pre
+
+
+class LockFlowChecker(Checker):
+    rule = "RL008"
+    title = (
+        "sync locks are released on every path and never held across an "
+        "await (path-sensitive upgrade of RL001)"
+    )
+    scope = (
+        "src/repro/runtime/*.py",
+        "src/repro/monitor/*.py",
+        "src/repro/service/*.py",
+    )
+
+    def check(self, context: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for func in function_defs(context.tree):
+            if not any("lock" in name.lower() for name in _names_mentioned(func)):
+                continue
+            findings.extend(self._check_function(context, func))
+        return findings
+
+    def _check_function(
+        self, context: FileContext, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> list[Finding]:
+        cfg = build_cfg(func)
+        result = run_forward(cfg, _LockAnalysis())
+        findings: list[Finding] = []
+
+        # Awaits executed while a sync lock is held.
+        for block_id, element in cfg.elements():
+            fact = result.fact_in(block_id)
+            if not fact:
+                continue
+            node = element.node if isinstance(element, Marker) else element
+            if isinstance(element, Marker) and element.kind in {"with_enter", "with_exit"}:
+                continue
+            for sub in walk_expressions(node):
+                if isinstance(sub, ast.Await):
+                    held = ", ".join(f"`{key}`" for key in sorted(fact))
+                    findings.append(
+                        Finding(
+                            path=context.rel,
+                            line=sub.lineno,
+                            col=sub.col_offset,
+                            rule=self.rule,
+                            message=(
+                                f"{func.name} awaits while holding sync lock {held} "
+                                "(parks the critical section on the event loop)"
+                            ),
+                            hint=(
+                                "release the lock before awaiting, or make the "
+                                "section async with an asyncio lock"
+                            ),
+                        )
+                    )
+
+        # Locks still held at an exit.
+        findings.extend(self._exit_findings(context, func, cfg, result))
+        return findings
+
+    def _exit_findings(self, context, func, cfg: CFG, result) -> list[Finding]:
+        held: dict[tuple[str, tuple], tuple[Claim, str]] = {}
+        for exit_kind, fact in (
+            ("return", result.at_exit),
+            ("exception", result.at_raise_exit),
+        ):
+            if not fact:
+                continue
+            for key, claim in fact.items():
+                for site in claim.sites:
+                    if site[2] != "acquire":
+                        continue  # with-managed locks cannot leak by construction
+                    slot = held.get((key, site))
+                    if slot is None or exit_kind == "return":
+                        held[(key, site)] = (claim, exit_kind)
+        findings = []
+        for (key, site), (claim, exit_kind) in sorted(held.items()):
+            line, col, _ = site
+            if exit_kind == "return":
+                path = (
+                    "is never released" if claim.definite else "is not released on every path"
+                )
+            else:
+                path = "is not released when an exception escapes"
+            findings.append(
+                Finding(
+                    path=context.rel,
+                    line=line,
+                    col=col,
+                    rule=self.rule,
+                    message=f"`{key}` acquired in {func.name} {path}",
+                    hint="pair acquire() with release() in a `finally:`, or use `with`",
+                )
+            )
+        return findings
+
+
+def _names_mentioned(func: ast.AST) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.Name):
+            names.add(node.id)
+    return names

@@ -1,0 +1,136 @@
+"""RL007 — OS resources are released on every path, exception exits included.
+
+The runtime owns real kernel objects now: ``SharedMemory`` segments behind
+the shm slot rings (PR 6), sockets in the service client, files all over
+the scripts.  A leak that only happens when an exception unwinds — the
+``except`` arm returns early, a branch skips the ``close()`` — is exactly
+what a syntactic checker cannot see and what wedges a long-running worker
+under load (fd exhaustion, orphaned ``/dev/shm`` segments that outlive the
+process).
+
+The rule runs the ownership dataflow (:mod:`repro.lint.ownership`) over
+each function's CFG: a local variable bound from an acquiring call
+(``open``, ``socket.socket``, ``SharedMemory``, ...) must be discharged —
+released (``close``/``unlink``/...), auto-released by a ``with``, or
+escaped to another owner (returned, stored on ``self``, passed to a
+callee) — before *every* function exit, the implicit exception exit
+included.  ``with`` statements are modelled with exceptional-path exit
+copies, so ``with open(...) as f:`` is clean by construction while a bare
+``f = open(...)`` with a late ``close()`` is flagged for the raising path.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import Checker, FileContext
+from repro.lint.cfg import build_cfg, function_defs
+from repro.lint.dataflow import run_forward
+from repro.lint.findings import Finding
+from repro.lint.ownership import Claim, OwnershipAnalysis, Site
+
+#: Call origins (alias-resolved) that hand the caller a disposable object.
+_ACQUIRERS: dict[str, str] = {
+    "open": "open(...)",
+    "io.open": "io.open(...)",
+    "socket.socket": "socket.socket(...)",
+    "socket.create_connection": "socket.create_connection(...)",
+    "multiprocessing.shared_memory.SharedMemory": "SharedMemory(...)",
+    "tempfile.NamedTemporaryFile": "NamedTemporaryFile(...)",
+    "tempfile.TemporaryFile": "TemporaryFile(...)",
+    "gzip.open": "gzip.open(...)",
+    "bz2.open": "bz2.open(...)",
+    "lzma.open": "lzma.open(...)",
+    "zipfile.ZipFile": "ZipFile(...)",
+    "tarfile.open": "tarfile.open(...)",
+}
+
+#: Methods on an owned object that dispose of it.
+_RELEASERS = {"close", "shutdown", "terminate", "unlink", "detach", "release"}
+
+
+class _ResourceAnalysis(OwnershipAnalysis):
+    def acquire(self, call: ast.Call) -> str | None:
+        origin = self.origin_of(call)
+        if origin is None:
+            return None
+        return _ACQUIRERS.get(origin)
+
+    def release_status(self, method: str) -> str | None:
+        return "" if method in _RELEASERS else None
+
+
+class ResourceLeakChecker(Checker):
+    rule = "RL007"
+    title = (
+        "acquired resources (files, sockets, shared memory) are released "
+        "on every path, exception exits included"
+    )
+    scope = ("src/repro/*.py", "scripts/*.py")
+
+    def check(self, context: FileContext) -> list[Finding]:
+        aliases = context.import_aliases()
+        findings: list[Finding] = []
+        for func in function_defs(context.tree):
+            findings.extend(self._check_function(context, aliases, func))
+        return findings
+
+    def _check_function(
+        self,
+        context: FileContext,
+        aliases: dict[str, str],
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> list[Finding]:
+        if not self._mentions_acquirer(func, aliases):
+            return []
+        cfg = build_cfg(func)
+        result = run_forward(cfg, _ResourceAnalysis(aliases))
+        leaks: dict[tuple[str, Site], tuple[Claim, set[str]]] = {}
+        for exit_kind, fact in (
+            ("return", result.at_exit),
+            ("exception", result.at_raise_exit),
+        ):
+            if not fact:
+                continue
+            for var, claim in fact.items():
+                for site in claim.sites:
+                    slot = leaks.setdefault((var, site), (claim, set()))
+                    slot[1].add(exit_kind)
+                    if not claim.definite:
+                        leaks[(var, site)] = (claim, slot[1])
+        findings = []
+        for (var, site), (claim, exits) in sorted(leaks.items()):
+            line, col, what = site
+            if "return" in exits:
+                path = (
+                    f"is never released in {func.name}"
+                    if claim.definite
+                    else f"is not released on every path through {func.name}"
+                )
+            else:
+                path = f"is not released when an exception escapes {func.name}"
+            findings.append(
+                Finding(
+                    path=context.rel,
+                    line=line,
+                    col=col,
+                    rule=self.rule,
+                    message=f"`{var}` acquired from {what} {path}",
+                    hint=(
+                        "release it in a `finally:` (or use `with`) so the "
+                        "exception path cannot leak it"
+                    ),
+                )
+            )
+        return findings
+
+    def _mentions_acquirer(
+        self, func: ast.FunctionDef | ast.AsyncFunctionDef, aliases: dict[str, str]
+    ) -> bool:
+        """Cheap prefilter: skip the CFG walk when nothing here acquires."""
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                origin = _ResourceAnalysis(aliases).origin_of(node)
+                if origin in _ACQUIRERS:
+                    return True
+        return False

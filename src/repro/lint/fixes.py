@@ -1,0 +1,116 @@
+"""Applying autofixes: span edits, bottom-up, one file at a time.
+
+A :class:`~repro.lint.findings.Fix` is a set of span-based edits that must
+land atomically — the shield fix, for example, is two insertions that are
+nonsense applied alone.  The applier therefore admits or rejects whole
+fixes: a fix whose edits overlap an already-admitted fix (two rules
+rewriting the same span) is skipped and stays reported, never half-applied.
+Admitted edits are applied bottom-up — descending source offset — so each
+edit's span is still valid when its turn comes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lint.findings import Edit, Finding
+
+
+@dataclass
+class FixReport:
+    """What ``--fix`` did to one tree."""
+
+    #: rel path -> number of fixes applied there.
+    applied: dict[str, int]
+    #: Fixable findings skipped because their edits conflicted.
+    skipped: list[Finding]
+
+    @property
+    def total(self) -> int:
+        return sum(self.applied.values())
+
+
+def _offsets(source: str) -> list[int]:
+    """Absolute offset of the start of each 1-based line."""
+    starts = [0]
+    for line in source.splitlines(keepends=True):
+        starts.append(starts[-1] + len(line))
+    return starts
+
+
+def _span(edit: Edit, starts: list[int]) -> tuple[int, int] | None:
+    """The absolute ``[start, end)`` span of an edit, or None if out of range."""
+    if not (1 <= edit.line < len(starts) + 1 and 1 <= edit.end_line < len(starts) + 1):
+        return None
+    start = starts[edit.line - 1] + edit.col
+    end = starts[edit.end_line - 1] + edit.end_col
+    if start > end or end > starts[-1]:
+        return None
+    return start, end
+
+
+def _conflicts(span: tuple[int, int], taken: list[tuple[int, int]]) -> bool:
+    start, end = span
+    for other_start, other_end in taken:
+        # Zero-width insertions at the same point conflict too: their
+        # relative order would be an accident of sorting.
+        if start < other_end and other_start < end:
+            return True
+        if start == end and other_start <= start <= other_end:
+            return True
+        if other_start == other_end and start <= other_start <= end:
+            return True
+    return False
+
+
+def fix_source(source: str, findings: list[Finding]) -> tuple[str, int, list[Finding]]:
+    """Apply the fixes carried by ``findings`` to ``source``.
+
+    Returns ``(new_source, fixes_applied, skipped_findings)``.
+    """
+    starts = _offsets(source)
+    taken: list[tuple[int, int]] = []
+    admitted: list[tuple[tuple[int, int], str]] = []
+    applied = 0
+    skipped: list[Finding] = []
+    for finding in sorted(findings):
+        if finding.fix is None:
+            continue
+        spans = [_span(edit, starts) for edit in finding.fix.edits]
+        if any(span is None for span in spans) or any(
+            _conflicts(span, taken) for span in spans if span is not None
+        ):
+            skipped.append(finding)
+            continue
+        for span, edit in zip(spans, finding.fix.edits):
+            assert span is not None
+            taken.append(span)
+            admitted.append((span, edit.text))
+        applied += 1
+    # Bottom-up: descending start offset keeps earlier spans valid.
+    text = source
+    for (start, end), replacement in sorted(admitted, reverse=True):
+        text = text[:start] + replacement + text[end:]
+    return text, applied, skipped
+
+
+def apply_fixes(root: Path, findings: list[Finding]) -> FixReport:
+    """Apply every carried fix, grouped per file, writing files in place."""
+    by_path: dict[str, list[Finding]] = {}
+    for finding in findings:
+        if finding.fix is not None:
+            by_path.setdefault(finding.path, []).append(finding)
+    report = FixReport(applied={}, skipped=[])
+    for rel in sorted(by_path):
+        path = root / rel
+        if not path.is_file():
+            report.skipped.extend(by_path[rel])
+            continue
+        source = path.read_text(encoding="utf-8")
+        fixed, count, skipped = fix_source(source, by_path[rel])
+        report.skipped.extend(skipped)
+        if count and fixed != source:
+            path.write_text(fixed, encoding="utf-8")
+            report.applied[rel] = count
+    return report

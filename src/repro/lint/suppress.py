@@ -8,6 +8,14 @@ rule changed, the line moved) is stale and reported as :data:`META_RULE`,
 as is one missing its reason.  The suppression mechanism can therefore
 never rot into a pile of dead annotations.
 
+Stale suppressions additionally carry an **autofix**: ``--fix`` deletes
+the dead item — the whole comment (and its line, when the comment stands
+alone) if every item in it is stale, otherwise a rewrite keeping the
+still-live items.  One comment yields exactly one edit, attached to the
+first stale finding, so multiple stale items can never produce
+overlapping edits.  Reason-less suppressions have no fix: nobody can
+invent the missing reason mechanically.
+
 Grammar (one comment, any number of rules)::
 
     # repro-lint: disable=RL003(cache-miss fill is bounded by misses)
@@ -23,7 +31,7 @@ import tokenize
 from dataclasses import dataclass, field
 from io import StringIO
 
-from repro.lint.findings import Finding
+from repro.lint.findings import Edit, Finding, Fix
 
 #: Rule id for suppression-hygiene findings (stale / reason-less).
 META_RULE = "RL000"
@@ -44,12 +52,40 @@ class Suppression:
     used: bool = field(default=False, compare=False)
 
 
+@dataclass
+class _Comment:
+    """One ``# repro-lint:`` comment and the span needed to rewrite it."""
+
+    line: int
+    #: Column of the ``#`` (0-based).
+    col: int
+    #: Column just past the comment's last character.
+    end_col: int
+    #: Column where the whitespace run preceding the comment starts —
+    #: deleting from here removes the trailing blanks too.
+    ws_col: int
+    #: True when nothing but whitespace precedes the comment (own line).
+    standalone: bool
+    items: list[Suppression] = field(default_factory=list)
+
+
+def _render_items(items: list[Suppression]) -> str:
+    parts = []
+    for item in items:
+        parts.append(f"{item.rule}({item.reason})" if item.reason else item.rule)
+    return "# repro-lint: disable=" + ",".join(parts)
+
+
 class SuppressionTable:
     """Every suppression in one file, indexed by (line, rule)."""
 
-    def __init__(self, suppressions: list[Suppression]) -> None:
+    def __init__(self, comments: list[_Comment], total_lines: int = 0) -> None:
+        self._comments = comments
+        self._total_lines = total_lines
         self._by_line_rule: dict[tuple[int, str], Suppression] = {
-            (item.line, item.rule): item for item in suppressions
+            (item.line, item.rule): item
+            for comment in comments
+            for item in comment.items
         }
 
     @classmethod
@@ -60,7 +96,7 @@ class SuppressionTable:
         lines), so a ``# repro-lint:`` sequence inside a string literal is
         never mistaken for a suppression.
         """
-        suppressions: list[Suppression] = []
+        comments: list[_Comment] = []
         try:
             tokens = tokenize.generate_tokens(StringIO(source).readline)
             for token in tokens:
@@ -70,8 +106,17 @@ class SuppressionTable:
                 if match is None:
                     continue
                 line, col = token.start
+                before = token.line[:col]
+                ws_col = len(before.rstrip(" \t"))
+                comment = _Comment(
+                    line=line,
+                    col=col,
+                    end_col=token.end[1],
+                    ws_col=ws_col,
+                    standalone=not before.strip(),
+                )
                 for item in _ITEM_RE.finditer(match.group("items")):
-                    suppressions.append(
+                    comment.items.append(
                         Suppression(
                             rule=item.group("rule"),
                             reason=(item.group("reason") or "").strip(),
@@ -79,11 +124,13 @@ class SuppressionTable:
                             col=col,
                         )
                     )
+                if comment.items:
+                    comments.append(comment)
         except tokenize.TokenError:
             # Unparseable tail (the AST pass already reported the syntax
             # error); whatever was tokenised before the failure still counts.
             pass
-        return cls(suppressions)
+        return cls(comments, total_lines=source.count("\n") + 1)
 
     def match(self, finding: Finding) -> Suppression | None:
         """The suppression covering ``finding``, if any (marks it used)."""
@@ -93,30 +140,62 @@ class SuppressionTable:
             return suppression
         return None
 
+    def _deletion_fix(self, comment: _Comment) -> Fix:
+        """The single edit repairing one comment's stale items."""
+        survivors = [
+            item for item in comment.items if not (item.reason and not item.used)
+        ]
+        if survivors:
+            edit = Edit(
+                comment.line,
+                comment.col,
+                comment.line,
+                comment.end_col,
+                _render_items(survivors),
+            )
+            return Fix(description="drop the stale suppression item", edits=(edit,))
+        if comment.standalone and comment.line < self._total_lines:
+            # The comment owns its line: delete the line outright.
+            edit = Edit(comment.line, 0, comment.line + 1, 0, "")
+        else:
+            edit = Edit(comment.line, comment.ws_col, comment.line, comment.end_col, "")
+        return Fix(description="delete the stale suppression comment", edits=(edit,))
+
     def hygiene_findings(self, path: str) -> list[Finding]:
         """Meta findings: reason-less and stale (unused) suppressions."""
         findings = []
-        for (line, rule), item in sorted(self._by_line_rule.items()):
-            if not item.reason:
-                findings.append(
-                    Finding(
-                        path=path,
-                        line=line,
-                        col=item.col,
-                        rule=META_RULE,
-                        message=f"suppression of {rule} carries no reason",
-                        hint=f"write `# repro-lint: disable={rule}(why the invariant does not apply)`",
+        for comment in sorted(self._comments, key=lambda c: (c.line, c.col)):
+            fix: Fix | None = None
+            if any(item.reason and not item.used for item in comment.items):
+                fix = self._deletion_fix(comment)
+            for item in comment.items:
+                if not item.reason:
+                    findings.append(
+                        Finding(
+                            path=path,
+                            line=item.line,
+                            col=item.col,
+                            rule=META_RULE,
+                            message=f"suppression of {item.rule} carries no reason",
+                            hint=(
+                                f"write `# repro-lint: disable={item.rule}"
+                                "(why the invariant does not apply)`"
+                            ),
+                        )
                     )
-                )
-            elif not item.used:
-                findings.append(
-                    Finding(
-                        path=path,
-                        line=line,
-                        col=item.col,
-                        rule=META_RULE,
-                        message=f"suppression of {rule} silences nothing (stale)",
-                        hint="the violation is gone or moved; delete the comment",
+                elif not item.used:
+                    findings.append(
+                        Finding(
+                            path=path,
+                            line=item.line,
+                            col=item.col,
+                            rule=META_RULE,
+                            message=f"suppression of {item.rule} silences nothing (stale)",
+                            hint="the violation is gone or moved; delete the comment",
+                            fix=fix,
+                        )
                     )
-                )
-        return findings
+                    # One edit per comment: only the first stale item
+                    # carries it, the rest are report-only duplicates.
+                    fix = None
+        return sorted(findings)

@@ -167,14 +167,25 @@ async def serve_monitor(
                 with service.lock:
                     checkpoint()
 
-        shutdown = asyncio.get_running_loop().run_in_executor(None, _shutdown_ingest)
         try:
-            await asyncio.shield(shutdown)
-        except asyncio.CancelledError:
-            # Cancelled again mid-shutdown: the executor thread still
-            # finishes the join + checkpoint; only the wait is abandoned.
-            pass
-        watcher.cancel()
+            shutdown = asyncio.get_running_loop().run_in_executor(
+                None, _shutdown_ingest
+            )
+            try:
+                await asyncio.shield(shutdown)
+            except asyncio.CancelledError:
+                # Cancelled again mid-shutdown: the executor thread still
+                # finishes the join + checkpoint; only the wait is abandoned.
+                pass
+        finally:
+            watcher.cancel()
+            try:
+                # Join the cancellation: watch_ingest may be mid-finalize on
+                # the executor, and tearing the loop down under it loses that
+                # work (and swallows any exception it was about to raise).
+                await asyncio.shield(watcher)
+            except asyncio.CancelledError:
+                pass
         if metrics_server is not None:
             metrics_server.close()
-        await server.close()
+        await asyncio.shield(server.close())

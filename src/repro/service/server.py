@@ -492,6 +492,6 @@ class EstimateServer:
             active.add(-1)
             writer.close()
             try:
-                await writer.wait_closed()
+                await asyncio.shield(writer.wait_closed())
             except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
                 pass

@@ -1,0 +1,26 @@
+# dest: src/repro/runtime/example.py
+"""RL007 clean: every handle is released on all paths, or ownership moves."""
+
+import socket
+
+
+def closed_in_finally(path):
+    handle = open(path)
+    try:
+        return handle.read()
+    finally:
+        handle.close()
+
+
+def with_managed(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def ownership_escapes():
+    sock = socket.socket()
+    return sock  # the caller owns it now
+
+
+def stored_on_self(ring, path):
+    ring.handle = open(path)  # the object owns it now

@@ -1,0 +1,27 @@
+# dest: src/repro/runtime/example.py
+"""RL007 firing: handles that leak on exception or branch paths.
+
+Both leaks are *flow-dependent*: each handle is closed somewhere, just
+not on every path — the except arm in the first case, the slow branch in
+the second — which is exactly what a syntactic open/close pairing check
+cannot see.
+"""
+
+import socket
+
+
+def leaks_when_read_raises(path):
+    handle = open(path)
+    try:
+        data = handle.read()
+        handle.close()
+        return data
+    except OSError:
+        return None  # the handle is still open on this arm
+
+
+def leaks_on_one_branch(fast):
+    sock = socket.socket()
+    if fast:
+        sock.close()
+    return fast

@@ -1,0 +1,8 @@
+# dest: src/repro/runtime/example.py
+"""RL007 suppressed: a deliberately long-lived handle, documented inline."""
+
+
+def intentionally_left_open(path):
+    handle = open(path)  # repro-lint: disable=RL007(closed by the caller's atexit hook)
+    handle.readline()
+    return path

@@ -1,0 +1,26 @@
+# dest: src/repro/runtime/example.py
+"""RL008 clean: balanced releases on every path; awaits only under asyncio locks."""
+
+import asyncio
+import threading
+
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._alock = asyncio.Lock()
+
+    def drain(self, items):
+        self._lock.acquire()
+        try:
+            return len(items)
+        finally:
+            self._lock.release()
+
+    def bump(self):
+        with self._lock:
+            return 1
+
+    async def flush(self):
+        async with self._alock:  # asyncio locks are built to span awaits
+            await asyncio.sleep(0)

@@ -1,0 +1,27 @@
+# dest: src/repro/runtime/example.py
+"""RL008 firing: a release skipped on the early-return path, and an await
+executed while a sync lock is held.
+
+The unbalanced acquire is flow-dependent: release() *is* called — just
+not on the empty-input path.
+"""
+
+import asyncio
+import threading
+
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def drain(self, items):
+        self._lock.acquire()
+        if not items:
+            return 0  # the lock is still held on this path
+        count = len(items)
+        self._lock.release()
+        return count
+
+    async def flush(self):
+        with self._lock:
+            await asyncio.sleep(0)  # parks the critical section on the loop

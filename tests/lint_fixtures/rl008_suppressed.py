@@ -1,0 +1,13 @@
+# dest: src/repro/runtime/example.py
+"""RL008 suppressed: a hand-over-hand acquire, documented inline."""
+
+import threading
+
+
+class Handoff:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def seize(self):
+        self._lock.acquire()  # repro-lint: disable=RL008(released by the paired finish call)
+        return self

@@ -1,0 +1,22 @@
+# dest: src/repro/state/example.py
+"""RL009 clean: dtype facts satisfy the sink contracts on every path."""
+
+import numpy as np
+
+
+def float_columns(arena, users):
+    estimates = np.zeros(len(users))
+    arena.set_all_estimates(estimates)
+
+
+def both_paths_float(arena, users, fast):
+    if fast:
+        estimates = np.zeros(len(users), dtype=np.float32)
+    else:
+        estimates = np.zeros(len(users), dtype=np.float64)
+    arena.set_all_estimates(estimates)  # contract is kind-level: both float
+
+
+def converted_before_the_sink(arena, codes, values):
+    keys = np.asarray(codes, dtype=np.int64)
+    arena.set_estimates(keys, values.astype(np.float64))

@@ -1,0 +1,28 @@
+# dest: src/repro/state/example.py
+"""RL009 firing: dtype facts drift into the arena estimate contract.
+
+The first case is flow-dependent: the variable is int32 on one branch
+and float64 (the np.zeros default) on the other, so the dtype reaching
+the sink depends on the path taken.
+"""
+
+import numpy as np
+
+
+def path_dependent_drift(arena, users, fast):
+    if fast:
+        estimates = np.zeros(len(users), dtype=np.int32)
+    else:
+        estimates = np.zeros(len(users))
+    arena.set_all_estimates(estimates)
+
+
+def wrong_kind(arena, users):
+    counts = np.zeros(len(users), dtype=np.int64)
+    arena.set_all_estimates(counts)
+
+
+def impossible_assert(users):
+    codes = np.zeros(len(users), dtype=np.int64)
+    assert codes.dtype == np.float64
+    return codes

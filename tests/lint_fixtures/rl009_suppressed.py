@@ -1,0 +1,9 @@
+# dest: src/repro/state/example.py
+"""RL009 suppressed: a deliberate integer surface in the estimate column."""
+
+import numpy as np
+
+
+def histogram_counts(arena, users):
+    counts = np.zeros(len(users), dtype=np.int64)
+    arena.set_all_estimates(counts)  # repro-lint: disable=RL009(count debug surface reuses the column)

@@ -1,0 +1,33 @@
+# dest: src/repro/runtime/example.py
+"""RL010 clean: every task is joined on every path; cleanup awaits are shielded."""
+
+import asyncio
+
+
+async def joined_on_every_path(coro, flag):
+    task = asyncio.create_task(coro)
+    if not flag:
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+        return 0
+    return await task
+
+
+async def gathered(make):
+    first = asyncio.create_task(make())
+    second = asyncio.create_task(make())
+    return await asyncio.gather(first, second)
+
+
+async def stored_for_later(registry, coro):
+    registry.pending = asyncio.create_task(coro)  # the registry joins it
+
+
+async def shielded_cleanup(writer):
+    try:
+        writer.write(b"bye")
+    finally:
+        await asyncio.shield(writer.wait_closed())

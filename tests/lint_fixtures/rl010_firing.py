@@ -1,0 +1,22 @@
+# dest: src/repro/runtime/example.py
+"""RL010 firing: a task joined only on one path, and unshielded cleanup.
+
+The unjoined task is flow-dependent: ``await task`` exists — the early
+return just skips it.
+"""
+
+import asyncio
+
+
+async def joins_only_on_success(coro, flag):
+    task = asyncio.create_task(coro)
+    if not flag:
+        return 0  # the task is still pending on this path
+    return await task
+
+
+async def closes_unshielded(writer):
+    try:
+        writer.write(b"bye")
+    finally:
+        await writer.wait_closed()

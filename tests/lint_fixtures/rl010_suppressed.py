@@ -1,0 +1,9 @@
+# dest: src/repro/runtime/example.py
+"""RL010 suppressed: a deliberate fire-and-forget, documented inline."""
+
+import asyncio
+
+
+async def fire_and_forget(coro):
+    task = asyncio.create_task(coro)  # repro-lint: disable=RL010(the supervisor joins orphans at shutdown)
+    return None

@@ -14,18 +14,22 @@ harness materialises it inside a throwaway repo root so scope patterns
 repository.  Cross-file rules (RL004/RL006) use fixture *directories*.
 
 On top of the corpus: driver behaviour (exit codes, ``--json``,
-``--rules``, strict hygiene) and the meta-assertion that the fixture
-corpus itself is complete for every shipped rule.
+``--rules``, strict hygiene, resilience to unreadable files), the
+flow-sensitive rules' path-dependence, the ``--fix`` round-trip property,
+the incremental cache, the ratchet baseline, CLI parity and the
+meta-assertion that the fixture corpus itself is complete for every
+shipped rule.
 """
 
 from __future__ import annotations
 
+import ast
 import json
 from pathlib import Path
 
 import pytest
 
-from repro.lint import META_RULE, all_checkers, main, run_lint
+from repro.lint import META_RULE, PARSE_RULE, all_checkers, main, run_lint
 
 FIXTURES = Path(__file__).parent / "lint_fixtures"
 
@@ -139,12 +143,32 @@ class TestDriver:
         out = capsys.readouterr().out
         assert "RL001" in out
 
-    def test_exit_two_on_syntax_errors(self, tmp_path, capsys):
-        root = tmp_path / "repo"
-        (root / "src" / "repro").mkdir(parents=True)
+    def test_syntax_errors_are_findings_not_aborts(self, tmp_path, capsys):
+        # One broken file must never hide the findings in the rest of the
+        # tree: it yields a structured RL099 finding and the run goes on.
+        root = _deploy("rl001_firing.py", tmp_path)
         (root / "src" / "repro" / "broken.py").write_text("def oops(:\n")
-        assert main([str(root)]) == 2
-        assert "syntax error" in capsys.readouterr().err
+        assert main([str(root), "--no-cache"]) == 1
+        out = capsys.readouterr().out
+        assert PARSE_RULE in out and "syntax error" in out
+        assert "RL001" in out  # the healthy file was still linted
+
+    def test_non_utf8_files_are_findings_not_aborts(self, tmp_path, capsys):
+        root = _deploy("rl001_clean.py", tmp_path)
+        (root / "src" / "repro" / "binary.py").write_bytes(b"data = '\xff\xfe'\n")
+        assert main([str(root), "--no-cache"]) == 1
+        out = capsys.readouterr().out
+        assert PARSE_RULE in out and "not valid UTF-8" in out
+
+    def test_internal_errors_exit_two(self, tmp_path, capsys, monkeypatch):
+        import repro.lint.driver as driver
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("checker exploded")
+
+        monkeypatch.setattr(driver, "run_lint", boom)
+        assert main([str(tmp_path)]) == 2
+        assert "internal error" in capsys.readouterr().err
 
     def test_json_output_is_a_findings_document(self, tmp_path, capsys):
         root = _deploy("rl005_firing.py", tmp_path)
@@ -161,10 +185,13 @@ class TestDriver:
         root = _deploy("rl005_firing.py", tmp_path)
         assert main([str(root), "--rules", "RL001"]) == 0
 
-    def test_unknown_rule_id_is_a_usage_error(self, tmp_path):
-        with pytest.raises(SystemExit) as excinfo:
-            main([str(tmp_path), "--rules", "RL999"])
-        assert excinfo.value.code == 2
+    def test_unknown_rule_id_is_a_usage_error(self, tmp_path, capsys):
+        assert main([str(tmp_path), "--rules", "RL999"]) == 2
+        assert "unknown rule ids" in capsys.readouterr().err
+
+    def test_update_baseline_requires_baseline(self, tmp_path, capsys):
+        assert main([str(tmp_path), "--update-baseline"]) == 2
+        assert "--baseline" in capsys.readouterr().err
 
     def test_rule_ids_are_unique_and_titled(self):
         checkers = all_checkers()
@@ -182,3 +209,334 @@ class TestRepositoryIsClean:
         reportable = result.reportable(strict=True)
         assert result.parse_errors == []
         assert reportable == [], "\n".join(f.render() for f in reportable)
+
+    def test_checked_in_baseline_is_empty(self):
+        # The ratchet starts from zero: the baseline exists (CI diffs
+        # against it) but records no lingering findings.
+        from repro.lint import load_baseline
+
+        repo = Path(__file__).resolve().parents[1]
+        baseline = repo / "lint-baseline.json"
+        assert baseline.is_file()
+        assert load_baseline(baseline) == {}
+
+
+class TestFlowSensitiveRules:
+    """The CFG/dataflow core sees paths, not patterns — one assertion per
+    rule that a syntactic checker could not make."""
+
+    def _messages(self, case: str, tmp_path: Path) -> list[str]:
+        root = _deploy(case, tmp_path)
+        return [finding.message for finding in _lint(root)]
+
+    def test_rl007_reports_the_unreleased_paths(self, tmp_path):
+        messages = self._messages("rl007_firing.py", tmp_path)
+        # Both handles ARE closed somewhere; only path-sensitivity can tell
+        # that the except arm / the slow branch still leaks them.
+        assert sum("is not released on every path" in m for m in messages) == 2
+
+    def test_rl008_reports_the_skipped_release_and_the_held_await(self, tmp_path):
+        messages = self._messages("rl008_firing.py", tmp_path)
+        assert any("is not released on every path" in m for m in messages)
+        assert any("awaits while holding sync lock `self._lock`" in m for m in messages)
+
+    def test_rl009_reports_path_dependent_dtype_drift(self, tmp_path):
+        messages = self._messages("rl009_firing.py", tmp_path)
+        assert any("depends on the path taken" in m for m in messages)
+        assert any("dtype int64" in m for m in messages)
+        assert any("every reaching definition" in m for m in messages)
+
+    def test_rl010_reports_the_join_skipped_by_the_early_return(self, tmp_path):
+        messages = self._messages("rl010_firing.py", tmp_path)
+        assert any(
+            "neither awaited nor cancelled on some paths" in m for m in messages
+        )
+        assert any("without asyncio.shield" in m for m in messages)
+
+    def test_cfg_builder_survives_the_syntax_zoo(self, tmp_path):
+        # Every construct the CFG models, in one function, analysed to
+        # fixpoint without error (the result is irrelevant here).
+        from repro.lint.cfg import build_cfg, function_defs
+
+        source = '''
+import asyncio
+
+async def zoo(items, flag):
+    while True:
+        if flag:
+            break
+    else:
+        flag = not flag
+    for item in items:
+        if item is None:
+            continue
+        try:
+            async with make_lock() as guard:
+                await guard.poke()
+        except (ValueError, KeyError) as error:
+            raise RuntimeError("wrapped") from error
+        except Exception:
+            return None
+        else:
+            flag = True
+        finally:
+            item.done = True
+    match flag:
+        case True:
+            return 1
+        case _:
+            pass
+    async for chunk in stream():
+        with open("x") as fh, closing(fh) as duplicate:
+            yield fh.read()
+    return flag
+'''
+        tree = ast.parse(source)
+        functions = function_defs(tree)
+        assert len(functions) == 1
+        cfg = build_cfg(functions[0])
+        assert cfg.entry is not None and cfg.exit is not None
+
+    def test_dedup_keeps_one_finding_per_site(self, tmp_path):
+        # A finally body is duplicated per continuation in the CFG (normal
+        # and exceptional); an offending statement inside one must still be
+        # reported exactly once.
+        root = tmp_path / "repo"
+        target = root / "src" / "repro" / "runtime" / "example.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "import asyncio\n"
+            "import threading\n"
+            "\n"
+            "\n"
+            "class Worker:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.count = 0\n"
+            "\n"
+            "    async def flush(self):\n"
+            "        self._lock.acquire()\n"
+            "        try:\n"
+            "            self.count += 1\n"
+            "        finally:\n"
+            "            await asyncio.sleep(0)\n"
+            "            self._lock.release()\n",
+            encoding="utf-8",
+        )
+        findings = _lint(root)
+        held_awaits = [
+            f for f in findings
+            if f.rule == "RL008" and "awaits while holding" in f.message
+        ]
+        assert len(held_awaits) == 1
+
+
+class TestSuppressionEdgeCases:
+    def _deploy_service(self, tmp_path: Path, body: str) -> Path:
+        root = tmp_path / "repo"
+        target = root / "src" / "repro" / "service" / "example.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(body, encoding="utf-8")
+        return root
+
+    def test_two_rules_suppressed_on_one_line(self, tmp_path):
+        # `open` in an async service handler fires RL002 (blocking) AND
+        # RL007 (leak) on the same line; one comment silences both.
+        root = self._deploy_service(
+            tmp_path,
+            "async def warm(path):\n"
+            "    handle = open(path)  # repro-lint: disable=RL002(startup only),"
+            "RL007(closed by shutdown hook)\n"
+            "    handle.readline()\n",
+        )
+        assert _lint(root, strict=True) == []
+
+    def test_empty_reason_neither_silences_nor_passes_hygiene(self, tmp_path):
+        root = self._deploy_service(
+            tmp_path,
+            "import time\n\n\n"
+            "async def slow():\n"
+            "    time.sleep(1)  # repro-lint: disable=RL002()\n",
+        )
+        rules = {finding.rule for finding in _lint(root, strict=True)}
+        assert rules == {"RL002", META_RULE}
+
+    def test_stale_item_is_flagged_while_its_neighbour_still_silences(self, tmp_path):
+        # RL002 fires and stays silenced; the RL005 item on the same
+        # comment silences nothing and must be reported stale.
+        root = self._deploy_service(
+            tmp_path,
+            "import time\n\n\n"
+            "async def slow():\n"
+            "    time.sleep(1)  # repro-lint: disable=RL002(bench harness),"
+            "RL005(stale reason)\n",
+        )
+        strict = _lint(root, strict=True)
+        assert [finding.rule for finding in strict] == [META_RULE]
+        assert "RL005" in strict[0].message and "silences nothing" in strict[0].message
+
+
+class TestAutofix:
+    def test_time_sleep_fix_round_trips(self, tmp_path, capsys):
+        root = tmp_path / "repo"
+        target = root / "src" / "repro" / "service" / "example.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "import asyncio\nimport time\n\n\n"
+            "async def pause():\n"
+            "    time.sleep(0.5)\n",
+            encoding="utf-8",
+        )
+        assert main([str(root), "--no-cache"]) == 1
+        assert "[fixable]" in capsys.readouterr().out
+        assert main([str(root), "--no-cache", "--fix"]) == 0
+        assert "await asyncio.sleep(0.5)" in target.read_text(encoding="utf-8")
+
+    def test_shield_fix_round_trips(self, tmp_path, capsys):
+        root = _deploy("rl010_firing.py", tmp_path)
+        target = root / "src" / "repro" / "runtime" / "example.py"
+        # The unjoined task has no mechanical fix; the unshielded await does.
+        assert main([str(root), "--no-cache", "--fix", "--json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["fixes"]["total"] == 1
+        text = target.read_text(encoding="utf-8")
+        assert "await asyncio.shield(writer.wait_closed())" in text
+        ast.parse(text)  # the rewrite is still valid Python
+
+    def test_stale_suppression_fix_deletes_the_comment(self, tmp_path):
+        root = _deploy("rl001_clean.py", tmp_path)
+        target = root / "src" / "repro" / "monitor" / "example.py"
+        text = target.read_text(encoding="utf-8")
+        target.write_text(
+            text + "\n# repro-lint: disable=RL001(long gone)\n", encoding="utf-8"
+        )
+        assert main([str(root), "--no-cache", "--strict", "--fix"]) == 0
+        assert "repro-lint" not in target.read_text(encoding="utf-8")
+
+    def test_partial_stale_rewrite_keeps_the_live_item(self, tmp_path):
+        root = _deploy("rl002_suppressed.py", tmp_path)
+        files = list((root / "src").rglob("*.py"))
+        assert len(files) == 1
+        target = files[0]
+        text = target.read_text(encoding="utf-8")
+        assert "disable=RL002(" in text
+        # Graft a stale item onto the live comment.
+        stale = text.replace("# repro-lint: disable=RL002(",
+                             "# repro-lint: disable=RL005(never fired),RL002(", 1)
+        target.write_text(stale, encoding="utf-8")
+        assert main([str(root), "--no-cache", "--strict", "--fix"]) == 0
+        fixed = target.read_text(encoding="utf-8")
+        assert "RL005" not in fixed and "disable=RL002(" in fixed
+
+    @pytest.mark.parametrize(
+        "case", sorted(path.name for path in FIXTURES.glob("*_firing*"))
+    )
+    def test_fix_leaves_zero_fixable_findings(self, case, tmp_path):
+        # The round-trip property: after --fix, a re-lint of the tree may
+        # still report findings, but none of them may carry a fix.
+        root = _deploy(case, tmp_path)
+        main([str(root), "--no-cache", "--strict", "--fix"])
+        for finding in _lint(root, strict=True):
+            assert finding.fix is None, finding.render()
+        for file in (root / "src").rglob("*.py"):
+            ast.parse(file.read_text(encoding="utf-8"))
+
+
+class TestIncrementalCache:
+    def test_warm_run_replays_identical_findings(self, tmp_path, capsys):
+        root = _deploy("rl001_firing.py", tmp_path)
+        assert main([str(root), "--json"]) == 1
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["cache"]["hits"] == 0 and cold["cache"]["misses"] == 1
+        assert (root / ".repro-lint-cache.json").is_file()
+        assert main([str(root), "--json"]) == 1
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["findings"] == cold["findings"]
+        assert warm["cache"]["hits"] == 1 and warm["cache"]["misses"] == 0
+        assert warm["cache"]["crossfile_hit"]
+
+    def test_editing_a_file_invalidates_only_it(self, tmp_path, capsys):
+        root = _deploy("rl001_firing.py", tmp_path)
+        second = root / "src" / "repro" / "monitor" / "other.py"
+        second.write_text("VALUE = 1\n", encoding="utf-8")
+        main([str(root), "--json"])
+        capsys.readouterr()
+        second.write_text("VALUE = 2\n", encoding="utf-8")
+        assert main([str(root), "--json"]) == 1
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["cache"]["hits"] == 1 and warm["cache"]["misses"] == 1
+
+    def test_fixed_code_is_relinted_not_replayed(self, tmp_path, capsys):
+        root = _deploy("rl001_firing.py", tmp_path)
+        main([str(root), "--json"])
+        capsys.readouterr()
+        target = root / "src" / "repro" / "monitor" / "example.py"
+        text = target.read_text(encoding="utf-8")
+        target.write_text(
+            text.replace(
+                "        self.snapshot = None  # guarded write outside `with self.lock`",
+                "        with self.lock:\n            self.snapshot = None",
+            ),
+            encoding="utf-8",
+        )
+        assert main([str(root), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["findings"] == []
+
+
+class TestBaselineRatchet:
+    def test_known_findings_pass_new_findings_fail(self, tmp_path, capsys):
+        root = _deploy("rl001_firing.py", tmp_path)
+        baseline = root / "lint-baseline.json"
+        args = [str(root), "--no-cache", "--baseline", str(baseline)]
+        assert main([*args, "--update-baseline"]) == 0
+        capsys.readouterr()
+        # The recorded finding no longer fails the run...
+        assert main(args) == 0
+        capsys.readouterr()
+        # ...but a finding at a new location does, and is the only one shown.
+        second = root / "src" / "repro" / "monitor" / "example2.py"
+        second.write_text(
+            (FIXTURES / "rl001_firing.py").read_text(encoding="utf-8"),
+            encoding="utf-8",
+        )
+        assert main([*args, "--json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert all(f["path"].endswith("example2.py") for f in document["baseline"]["new"])
+        assert all(f["path"].endswith("example.py") for f in document["baseline"]["known"])
+
+    def test_fixed_findings_show_up_as_resolved(self, tmp_path, capsys):
+        root = _deploy("rl001_firing.py", tmp_path)
+        baseline = root / "lint-baseline.json"
+        args = [str(root), "--no-cache", "--baseline", str(baseline)]
+        assert main([*args, "--update-baseline"]) == 0
+        capsys.readouterr()
+        target = root / "src" / "repro" / "monitor" / "example.py"
+        target.write_text(
+            (FIXTURES / "rl001_clean.py").read_text(encoding="utf-8"), encoding="utf-8"
+        )
+        assert main([*args, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["baseline"]["resolved"]  # the ratchet can now shrink
+
+
+class TestCliParity:
+    """``repro.cli lint`` and ``python -m repro.lint`` share one argument
+    set and one runner — same flags, same exit codes, same output."""
+
+    def test_same_json_document_and_exit_code(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        root = _deploy("rl001_firing.py", tmp_path)
+        argv = [str(root), "--strict", "--json", "--no-cache"]
+        module_exit = main(argv)
+        module_doc = json.loads(capsys.readouterr().out)
+        cli_exit = cli_main(["lint", *argv])
+        cli_doc = json.loads(capsys.readouterr().out)
+        assert (module_exit, module_doc) == (cli_exit, cli_doc) == (1, cli_doc)
+
+    def test_same_exit_code_on_clean_trees(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        root = _deploy("rl001_clean.py", tmp_path)
+        argv = [str(root), "--strict", "--no-cache"]
+        assert main(argv) == cli_main(["lint", *argv]) == 0
